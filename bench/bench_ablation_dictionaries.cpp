@@ -1,0 +1,106 @@
+// Ablation — per-column dictionaries vs one global dictionary (§III-F).
+//
+// "The implementation uses a smaller dictionary for each text column …
+// rather than having one large dictionary for all text columns. This
+// approach allows more precise time estimation … as smaller dictionaries
+// have smaller time variation of search as well."
+//
+// Two effects are measured: (1) raw translation cost — a global
+// dictionary makes EVERY search scan the union; (2) throughput of the
+// GPU-only system under each design.
+#include "bench_util.hpp"
+
+using namespace holap;
+using namespace holap::bench;
+
+namespace {
+
+/// TranslationWorkModel for the single-global-dictionary design: every
+/// search scans the union of all text columns' dictionaries.
+class GlobalDictionaryModel final : public TranslationWorkModel {
+ public:
+  GlobalDictionaryModel(TableSchema schema, double multiplier)
+      : schema_(std::move(schema)) {
+    for (const int col : schema_.text_columns()) {
+      const ColumnSpec& spec = schema_.column(col);
+      const Dimension& dim =
+          schema_.dimensions()[static_cast<std::size_t>(spec.dim)];
+      total_ += static_cast<std::size_t>(
+          dim.level(spec.level).cardinality * multiplier);
+    }
+  }
+
+  std::vector<std::size_t> dictionary_lengths(
+      const Query& q) const override {
+    std::vector<std::size_t> lengths;
+    for (const auto& c : q.conditions) {
+      if (!c.is_text()) continue;
+      for (std::size_t i = 0; i < c.text_values.size(); ++i) {
+        lengths.push_back(total_);
+      }
+    }
+    return lengths;
+  }
+
+ private:
+  TableSchema schema_;
+  std::size_t total_ = 0;
+};
+
+SimResult run(bool global_dict, double multiplier) {
+  ScenarioOptions o = table3_options(8);
+  o.enable_cpu = false;
+  o.text_probability = 1.0;
+  o.dict_length_multiplier = multiplier;
+  const PaperScenario s{o};
+  const auto queries = s.make_workload(2500);
+
+  const GlobalDictionaryModel global(s.schema(), multiplier);
+  SchedulerConfig config;
+  config.gpu_partitions = o.gpu_partitions;
+  config.deadline = o.deadline;
+  config.enable_cpu = false;
+  std::unique_ptr<SchedulerPolicy> policy;
+  if (global_dict) {
+    policy = make_policy(
+        "figure10", config,
+        make_paper_estimator(o.gpu_partitions, 8, s.gpu_table_mb(),
+                             s.gpu_total_columns(), &s.catalog(), &global));
+  } else {
+    policy = s.make_policy();
+  }
+  return run_simulation(*policy, queries, paper_sim_config());
+}
+
+}  // namespace
+
+int main() {
+  heading("Ablation: per-column vs global dictionary",
+          "GPU-only system, all text-capable conditions arrive as strings. "
+          "The global design makes every\nsearch scan the union of the "
+          "per-column dictionaries (here 2 text columns).");
+
+  TablePrinter t({"dict entries/column", "per-column [Q/s]",
+                  "global [Q/s]", "global penalty"});
+  for (const double mult : {250.0, 675.0, 1350.0}) {
+    const SimResult per_column = run(false, mult);
+    const SimResult global = run(true, mult);
+    t.add_row({std::to_string(static_cast<long>(1600 * mult)),
+               TablePrinter::fixed(per_column.throughput_qps, 1),
+               TablePrinter::fixed(global.throughput_qps, 1),
+               TablePrinter::fixed(
+                   100.0 * (1.0 - global.throughput_qps /
+                                      per_column.throughput_qps),
+                   1) +
+                   "%"});
+  }
+  t.print(std::cout, "Per-column vs global dictionary throughput");
+  note("");
+  note("shape check: the global design doubles every search's scan length "
+       "(2 text columns), halving\nthe translation partition's capacity — "
+       "it saturates at half the dictionary size. The paper's\nper-column "
+       "design also keeps each search's cost exactly predictable "
+       "(P_DICT of the one column),\nwhich is what the scheduler's "
+       "eq.-(18) estimate relies on.");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation — measured-vs-estimated feedback (§III-G, last paragraph).
+//
+// "The difference of these two times [is] used to update the value T_Q of
+// the queue that was processing the query. This way the errors in the
+// estimation do not significantly affect the scheduling algorithm."
+// We miscalibrate the model two ways — an unmodeled fixed overhead and
+// multiplicative noise — and compare feedback on vs off.
+#include "bench_util.hpp"
+
+using namespace holap;
+using namespace holap::bench;
+
+namespace {
+
+SimResult run(bool feedback, std::vector<double> bias, double rate) {
+  ScenarioOptions o = table3_options(8);
+  o.enable_cpu = false;  // GPU placement is where the clocks matter
+  o.text_probability = 0.0;
+  o.feedback = feedback;
+  const PaperScenario s{std::move(o)};
+  const auto queries = s.make_workload(3000);
+  const auto p = s.make_policy();
+  SimConfig c = paper_sim_config();
+  c.arrival_rate = rate;
+  c.gpu_dispatch_overhead = 0.0;
+  c.gpu_queue_bias = std::move(bias);
+  return run_simulation(*p, queries, c);
+}
+
+}  // namespace
+
+int main() {
+  heading("Ablation: estimation-error feedback",
+          "Figure-10 scheduler with the completion-time feedback loop "
+          "(§III-G) on vs off.\nMiscalibration is ASYMMETRIC: the 1- and "
+          "2-SM partitions run 4x slower than their eq.-(14) model\n(e.g. "
+          "the "
+          "model was fitted on an idle device) — without feedback the "
+          "scheduler keeps trusting\nthe stale model; with feedback the "
+          "queue clocks learn the truth.");
+
+  // Queues {1,1,2,2,4,4}: bias the four slow queues — the ones the
+  // slowest-feasible-first rule loads first — by 4x.
+  const std::vector<double> biased = {4.0, 4.0, 4.0, 4.0, 1.0, 1.0};
+  const std::vector<double> unbiased = {};
+
+  TablePrinter t({"model", "feedback", "rate [Q/s]", "deadline hit",
+                  "p95 latency [ms]"});
+  struct Case {
+    const char* name;
+    std::vector<double> bias;
+  };
+  for (const auto& c : {Case{"perfect", unbiased},
+                        Case{"slow classes 4x slower than modeled", biased}}) {
+    for (const bool fb : {true, false}) {
+      const SimResult r = run(fb, c.bias, 220.0);
+      t.add_row({c.name, fb ? "on" : "off",
+                 TablePrinter::fixed(r.throughput_qps, 1),
+                 TablePrinter::fixed(100.0 * r.deadline_hit_rate, 1) + "%",
+                 TablePrinter::fixed(r.p95_latency * 1000.0, 1)});
+    }
+  }
+  t.print(std::cout, "Feedback ablation (GPU-only, 220 Q/s arrivals)");
+  note("");
+  note("shape check: with a perfect model feedback is a no-op; under "
+       "asymmetric miscalibration the\nfeedback-corrected scheduler "
+       "detects the slow class through completion times and steers work\n"
+       "away from it — \"the errors in the estimation do not significantly "
+       "affect the scheduling\nalgorithm\" (§III-G).");
+  return 0;
+}

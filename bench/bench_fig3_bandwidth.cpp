@@ -1,0 +1,59 @@
+// Figure 3 — memory bandwidth of multithreaded OLAP cube processing for
+// 1, 4 and 8 OpenMP threads across sub-cube sizes.
+//
+// Two series per thread count:
+//   - NATIVE: the real aggregation kernel measured on THIS host (which has
+//     1 physical core, so thread counts > 1 are oversubscribed and show no
+//     speedup — printed for transparency, see DESIGN.md §2);
+//   - PAPER MODEL: the bandwidth implied by the published eqs. (7)/(10)
+//     and the 1 GB/s original engine, i.e. the dual-Xeon X5667 testbed.
+#include "bench_util.hpp"
+#include "perfmodel/calibrate.hpp"
+
+using namespace holap;
+using namespace holap::bench;
+
+int main() {
+  heading("Figure 3",
+          "Memory bandwidth [GB/s] for multithreaded OLAP cube processing "
+          "by the CPU.");
+
+  const std::vector<Megabytes> sizes = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const int thread_counts[] = {1, 4, 8};
+
+  std::vector<CpuCalibrationResult> native;
+  for (const int threads : thread_counts) {
+    CpuCalibrationConfig config;
+    config.sizes_mb = sizes;
+    config.threads = threads == 1 ? 0 : threads;
+    config.repetitions = 3;
+    native.push_back(calibrate_cpu(config));
+  }
+
+  TablePrinter t({"sub-cube", "native 1T", "native 4T", "native 8T",
+                  "paper 1T", "paper 4T", "paper 8T"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Megabytes mb = native[0].samples[i].x;
+    t.add_row({TablePrinter::human_bytes(mb * 1024 * 1024),
+               TablePrinter::fixed(native[0].bandwidth_gbps[i], 2),
+               TablePrinter::fixed(native[1].bandwidth_gbps[i], 2),
+               TablePrinter::fixed(native[2].bandwidth_gbps[i], 2),
+               TablePrinter::fixed(
+                   CpuPerfModel::paper_for_threads(1).gb_per_second(mb), 2),
+               TablePrinter::fixed(
+                   CpuPerfModel::paper_4t().gb_per_second(mb), 2),
+               TablePrinter::fixed(
+                   CpuPerfModel::paper_8t().gb_per_second(mb), 2)});
+  }
+  t.print(std::cout, "Figure 3: aggregation bandwidth [GB/s]");
+
+  note("");
+  note("shape check (paper series): 1T ~1 GB/s flat; 4T/8T rise to the "
+       "15-25 GB/s plateau for cubes\n>= 128 MB (\"processing rates from "
+       "15 to 20 GB per second for cube sized 128 MB and more\", §III-D).");
+  note("native series: this host has 1 physical core, so all native "
+       "thread counts converge to the\nsingle-core streaming bandwidth — "
+       "the engine is correct under oversubscription, and the\nparallel "
+       "speedup shape comes from the published model (see DESIGN.md §2).");
+  return 0;
+}

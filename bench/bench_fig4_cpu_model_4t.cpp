@@ -1,0 +1,10 @@
+// Figure 4 — performance characteristics of OLAP cube processing, 4-thread
+// OpenMP implementation: processing time vs sub-cube size, with the
+// piecewise fit f_A (power law, Range A) / f_B (linear, Range B) of eq. (7).
+#include "cpu_figure_common.hpp"
+
+int main() {
+  holap::bench::run_figure("Figure 4", 4, holap::CpuPerfModel::paper_4t(),
+                           "eq. (7)");
+  return 0;
+}

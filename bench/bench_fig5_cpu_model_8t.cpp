@@ -1,0 +1,10 @@
+// Figure 5 — performance characteristics of OLAP cube processing, 8-thread
+// OpenMP implementation: processing time vs sub-cube size, with the
+// piecewise fit f_A (power law, Range A) / f_B (linear, Range B) of eq. (10).
+#include "cpu_figure_common.hpp"
+
+int main() {
+  holap::bench::run_figure("Figure 5", 8, holap::CpuPerfModel::paper_8t(),
+                           "eq. (10)");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Extension — the paper's future work, realised: "We want to minimize this
+// effect [the ~7% translation slowdown] by using more sophisticated
+// translation algorithm in our future implementation."
+//
+// Three successors to the per-parameter linear scan are evaluated in the
+// same GPU-only scenario that produced the published 69 -> 64 Q/s drop:
+//   1. batch translation (Aho–Corasick over the query's parameters, one
+//      dictionary pass per distinct column — dict/aho_corasick.hpp);
+//   2. a parallel translation partition (2 and 4 workers);
+//   3. hashed dictionary lookup (O(1) per parameter).
+// Plus native timings of the three algorithms on a real dictionary.
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "query/batch_translator.hpp"
+#include "relational/generator.hpp"
+
+using namespace holap;
+using namespace holap::bench;
+
+namespace {
+
+double gpu_only_qps(double text, TranslationCosting costing, int workers) {
+  ScenarioOptions o = table3_options(8);
+  o.enable_cpu = false;
+  o.text_probability = text;
+  o.dict_length_multiplier = 1350.0;
+  o.translation_costing = costing;
+  const PaperScenario s{std::move(o)};
+  const auto queries = s.make_workload(3000);
+  const auto p = s.make_policy();
+  SimConfig c = paper_sim_config();
+  c.translation_workers = workers;
+  return run_simulation(*p, queries, c).throughput_qps;
+}
+
+}  // namespace
+
+int main() {
+  heading("Future work: sophisticated translation",
+          "GPU-only scenario of the published ~7% translation slowdown "
+          "(dictionaries ~2.2M entries,\nall text-capable conditions "
+          "arrive as strings), with each successor algorithm.");
+
+  const double baseline = gpu_only_qps(0.0, TranslationCosting::kPerParameter,
+                                       1);
+  TablePrinter t({"translation algorithm", "rate [Q/s]",
+                  "slowdown vs no-text"});
+  struct Case {
+    const char* name;
+    TranslationCosting costing;
+    int workers;
+  };
+  for (const auto& c :
+       {Case{"none (no text parameters)", TranslationCosting::kPerParameter,
+             1},
+        Case{"per-parameter linear scan (paper)",
+             TranslationCosting::kPerParameter, 1},
+        Case{"batch Aho-Corasick (1 pass/column)",
+             TranslationCosting::kBatchPerColumn, 1},
+        Case{"parallel partition, 2 workers",
+             TranslationCosting::kPerParameter, 2},
+        Case{"parallel partition, 4 workers",
+             TranslationCosting::kPerParameter, 4},
+        Case{"hashed lookup", TranslationCosting::kHashed, 1}}) {
+    const bool none = std::string(c.name).starts_with("none");
+    const double qps = none ? baseline
+                            : gpu_only_qps(1.0, c.costing, c.workers);
+    t.add_row({c.name, TablePrinter::fixed(qps, 1),
+               TablePrinter::fixed(100.0 * (1.0 - qps / baseline), 1) + "%"});
+  }
+  t.print(std::cout, "GPU-only processing rate by translation algorithm");
+
+  // Native timings: translate one 8-parameter query against a real 200k
+  // dictionary with each algorithm.
+  note("");
+  GeneratorConfig gen;
+  gen.rows = 1000;
+  gen.seed = 5;
+  gen.text_levels = {{1, 3}};
+  const FactTable table = generate_fact_table(tiny_model_dimensions(), gen);
+  DictionarySet dicts;
+  Dictionary& dict =
+      dicts.create_column(table.schema().dimension_column(1, 3));
+  for (std::uint64_t i = 0; i < 200'000; ++i) {
+    dict.encode_or_add(synth_name(NameKind::kCity, i));
+  }
+  // The eq.-(18) upper-bound regime: absent strings force full scans (a
+  // present string would let the linear scan exit early, understating the
+  // bound the scheduler must budget for).
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  for (int i = 0; i < 8; ++i) {
+    c.text_values.push_back("~absent-" + std::to_string(i) + "~");
+  }
+  q.conditions.push_back(c);
+  q.measures = {12};
+
+  TablePrinter native({"algorithm", "8-parameter query [ms]", "all found"});
+  const auto time_algorithm = [&](const char* name, auto&& translate) {
+    Query copy = q;
+    WallTimer timer;
+    const TranslationReport report = translate(copy);
+    native.add_row({name, TablePrinter::fixed(timer.seconds() * 1e3, 3),
+                    report.all_found ? "yes" : "absent by design"});
+  };
+  const Translator linear(table.schema(), dicts, DictSearch::kLinearScan);
+  const Translator hashed(table.schema(), dicts, DictSearch::kHashed);
+  const BatchTranslator batch(table.schema(), dicts);
+  time_algorithm("per-parameter linear scan",
+                 [&](Query& query) { return linear.translate(query); });
+  time_algorithm("batch Aho-Corasick",
+                 [&](Query& query) { return batch.translate(query); });
+  time_algorithm("hashed lookup",
+                 [&](Query& query) { return hashed.translate(query); });
+  native.print(std::cout,
+               "Native translation of one 8-parameter query, 200k-entry "
+               "dictionary");
+  note("shape check: batch translation scans the dictionary once instead "
+       "of once per parameter (8x\nless data touched; the automaton walk "
+       "costs more per byte than a failed compare, so the net\nnative win "
+       "grows with the parameter count); hashing removes the dictionary-"
+       "size dependence\naltogether. In the system simulation every "
+       "successor erases the published ~7% GPU-side cost.");
+  return 0;
+}

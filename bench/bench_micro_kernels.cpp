@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the per-operation costs the
+// system models are built from: dictionary search (both strategies), cube
+// sub-cube aggregation, the GPU scan kernel, and one scheduling decision.
+#include <benchmark/benchmark.h>
+
+#include "cube/aggregate.hpp"
+#include "cube/builder.hpp"
+#include "dict/dictionary.hpp"
+#include "gpusim/scan.hpp"
+#include "relational/generator.hpp"
+#include "sched/catalog.hpp"
+#include "sched/scheduler.hpp"
+
+namespace holap {
+namespace {
+
+void BM_DictionarySearch_Linear(benchmark::State& state) {
+  Dictionary dict;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    dict.encode_or_add(synth_name(NameKind::kCity, i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.find("~absent~", DictSearch::kLinearScan));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DictionarySearch_Linear)->Range(1 << 10, 1 << 18);
+
+void BM_DictionarySearch_Hashed(benchmark::State& state) {
+  Dictionary dict;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    dict.encode_or_add(synth_name(NameKind::kCity, i));
+  }
+  const std::string probe = synth_name(NameKind::kCity, n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.find(probe, DictSearch::kHashed));
+  }
+}
+BENCHMARK(BM_DictionarySearch_Hashed)->Range(1 << 10, 1 << 18);
+
+void BM_CubeAggregate(benchmark::State& state) {
+  // 2-d cube; region size controlled by the range argument (in 0.5 MB
+  // rows), matching the calibration harness's layout.
+  const auto rows = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<Dimension> dims = {
+      Dimension("r", {{"r", rows}}),
+      Dimension("c", {{"c", 65'536}}),
+  };
+  DenseCube cube(dims, 0, CubeBasis::kSum, 0);
+  SplitMix64 rng(5);
+  for (auto& c : cube.cells()) c = rng.uniform01();
+  CubeRegion region;
+  region.dims = {{{0, static_cast<std::int32_t>(rows) - 1}},
+                 {{0, 65'535}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregate_region(cube, region, 0).value);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cube.size_bytes()));
+}
+BENCHMARK(BM_CubeAggregate)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_GpuScanKernel(benchmark::State& state) {
+  const FactTable table =
+      generate_paper_model_table(static_cast<std::size_t>(state.range(0)),
+                                 3);
+  Query q;
+  q.conditions.push_back({0, 2, 0, 99, {}, {}});
+  q.conditions.push_back({1, 1, 0, 9, {}, {}});
+  q.measures = {12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpu_scan(table, q, 14).answer.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GpuScanKernel)->Arg(10'000)->Arg(100'000);
+
+void BM_SchedulerDecision(benchmark::State& state) {
+  const auto dims = paper_model_dimensions();
+  const TableSchema schema = make_star_schema(
+      dims, {"m0", "m1", "m2", "m3"}, {{1, 3}, {2, 3}});
+  const VirtualCubeCatalog catalog(dims, {0, 1, 2, 3});
+  const VirtualTranslationModel translation(schema, 1000.0);
+  SchedulerConfig config;
+  FigureTenScheduler scheduler(
+      config, make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+                                   &catalog, &translation));
+  Query q;
+  q.conditions.push_back({0, 2, 0, 99, {}, {}});
+  q.conditions.push_back({1, 3, 0, 511, {}, {}});
+  q.measures = {12, 13};
+  double now = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(q, now));
+    now += 1.0;  // keep queues from growing unboundedly backlogged
+  }
+}
+BENCHMARK(BM_SchedulerDecision);
+
+void BM_CubeBuild(benchmark::State& state) {
+  GeneratorConfig config;
+  config.rows = static_cast<std::size_t>(state.range(0));
+  config.seed = 7;
+  const FactTable table =
+      generate_fact_table(tiny_model_dimensions(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_cube(table, 3, CubeBasis::kSum, 12, 0).cell_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CubeBuild)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+}  // namespace holap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench prints (a) the experiment's configuration, (b) a paper-style
+// table of our measured/simulated numbers next to the published ones, and
+// (c) a one-line shape verdict. EXPERIMENTS.md quotes this output.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.hpp"
+#include "sim/scenario.hpp"
+
+namespace holap::bench {
+
+inline void heading(const std::string& title, const std::string& what) {
+  std::cout << "\n=== " << title << " ===\n" << what << "\n\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// The calibrated simulation overheads (see SimConfig doc comments and
+/// DESIGN.md §2): 5 ms CPU-side per-query cost, 14.5 ms serialised GPU
+/// dispatch (tuned so the GPU-only rate reproduces the published ~69 Q/s).
+inline SimConfig paper_sim_config() {
+  SimConfig config;
+  config.closed_clients = 16;
+  config.cpu_overhead = 0.005;
+  config.gpu_dispatch_overhead = 0.0145;
+  return config;
+}
+
+/// Table-1 scenario: CPU only, cubes {~4 KB, ~500 KB, ~512 MB}, workload
+/// restricted to resolutions those cubes cover.
+inline ScenarioOptions table1_options(int threads) {
+  ScenarioOptions o;
+  o.enable_gpu = false;
+  o.gpu_partitions.clear();
+  o.cube_levels = {0, 1, 2};
+  o.cpu_threads = threads;
+  o.level_weights = {0.1, 0.2, 0.7, 0.0};
+  o.mean_selectivity = 0.5;
+  o.text_probability = 0.0;
+  return o;
+}
+
+/// Table-2 scenario: the ~32 GB cube joins the ladder and the workload
+/// gains level-3 (finest-resolution) queries.
+inline ScenarioOptions table2_options(int threads) {
+  ScenarioOptions o = table1_options(threads);
+  o.cube_levels = {0, 1, 2, 3};
+  o.level_weights = {0.2, 0.25, 0.35, 0.2};
+  return o;
+}
+
+/// Table-3 scenario: the full hybrid system over the Table-2 workload with
+/// text parameters enabled (half the text-capable conditions arrive as
+/// strings).
+inline ScenarioOptions table3_options(int threads) {
+  ScenarioOptions o = table2_options(threads);
+  o.enable_gpu = true;
+  o.gpu_partitions = {1, 1, 2, 2, 4, 4};
+  o.text_probability = 0.5;
+  return o;
+}
+
+inline double simulate_qps(ScenarioOptions options, std::size_t queries,
+                           const SimConfig& config,
+                           const std::string& policy = "figure10") {
+  const PaperScenario scenario{std::move(options)};
+  const auto workload = scenario.make_workload(queries);
+  const auto p = scenario.make_policy(policy);
+  return run_simulation(*p, workload, config).throughput_qps;
+}
+
+}  // namespace holap::bench

@@ -1,0 +1,61 @@
+// Shared driver for Figures 4 and 5: native sweep + piecewise re-fit of
+// the CPU model at a given thread count, printed beside the published
+// coefficients.
+#pragma once
+
+#include "bench_util.hpp"
+#include "perfmodel/calibrate.hpp"
+
+namespace holap::bench {
+
+
+
+inline void run_figure(const char* figure, int threads, const CpuPerfModel& paper,
+                const char* paper_eq) {
+  heading(figure, std::string("CPU processing time vs sub-cube size, ") +
+                      std::to_string(threads) +
+                      " OpenMP threads. Native sweep + piecewise re-fit "
+                      "(power law / linear, 512 MB split)\nnext to the "
+                      "published " +
+                      paper_eq + ".");
+
+  CpuCalibrationConfig config;
+  config.sizes_mb = {1, 2, 4, 8, 16, 32, 64, 128, 256, 384, 640, 768};
+  config.threads = threads;
+  config.repetitions = 3;
+  const CpuCalibrationResult result = calibrate_cpu(config);
+
+  TablePrinter t({"sub-cube [MB]", "native [ms]", "our fit [ms]",
+                  "paper model [ms]"});
+  for (const auto& sample : result.samples) {
+    t.add_row({TablePrinter::fixed(sample.x, 1),
+               TablePrinter::fixed(sample.seconds * 1000.0, 3),
+               TablePrinter::fixed(result.model.seconds(sample.x) * 1000.0,
+                                   3),
+               TablePrinter::fixed(paper.seconds(sample.x) * 1000.0, 3)});
+  }
+  t.print(std::cout, "Processing time vs sub-cube size");
+
+  note("");
+  note("our Range A fit:   t = " +
+       TablePrinter::scientific(result.model.range_a().a, 3) + " * SC^" +
+       TablePrinter::fixed(result.model.range_a().b, 4) +
+       "   (r2 = " + TablePrinter::fixed(result.model.range_a().r2, 4) +
+       ")");
+  note("paper Range A:     t = " +
+       TablePrinter::scientific(paper.range_a().a, 3) + " * SC^" +
+       TablePrinter::fixed(paper.range_a().b, 4));
+  note("our Range B fit:   t = " +
+       TablePrinter::scientific(result.model.range_b().a, 3) + " * SC + " +
+       TablePrinter::scientific(result.model.range_b().b, 3));
+  note("paper Range B:     t = " +
+       TablePrinter::scientific(paper.range_b().a, 3) + " * SC + " +
+       TablePrinter::scientific(paper.range_b().b, 3));
+  note("shape check: near-unit power-law exponent (bandwidth-bound "
+       "streaming) and positive linear slope\nabove the split — the eq. "
+       "(4) structure the scheduler consumes.");
+}
+
+
+
+}  // namespace holap::bench

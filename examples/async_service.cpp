@@ -1,0 +1,108 @@
+// Async service — the online hybrid OLAP system under concurrent clients.
+//
+// Spins up the AsyncHybridExecutor (one worker thread per partition) and a
+// set of client threads firing mixed queries; reports throughput, latency
+// percentiles, routing and deadline adherence, with every Nth answer
+// cross-checked against the table-scan oracle.
+//
+//   ./async_service [rows] [clients] [queries_per_client]
+#include <iostream>
+#include <numeric>
+
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+#include "olap/async_executor.hpp"
+#include "query/workload.hpp"
+#include "relational/generator.hpp"
+
+using namespace holap;
+
+int main(int argc, char** argv) {
+  const std::size_t rows = argc > 1 ? std::stoul(argv[1]) : 40'000;
+  const int clients = argc > 2 ? std::stoi(argv[2]) : 4;
+  const int per_client = argc > 3 ? std::stoi(argv[3]) : 50;
+
+  GeneratorConfig gen;
+  gen.rows = rows;
+  gen.seed = 12;
+  gen.zipf_skew = 0.8;
+  gen.text_levels = {{1, 3}};
+  HybridSystemConfig config;
+  config.cpu_threads = 2;
+  config.cube_levels = {0, 1, 2};
+  HybridOlapSystem system(
+      generate_fact_table(tiny_model_dimensions(), gen), config);
+  AsyncHybridExecutor executor(system);
+
+  std::cout << "async service: " << rows << " rows, " << clients
+            << " clients x " << per_client << " queries, "
+            << system.device().partition_count()
+            << " GPU partition workers + CPU + translation workers\n\n";
+
+  struct ClientResult {
+    std::vector<double> latencies;
+    std::size_t cpu = 0, gpu = 0, translated = 0, checked = 0;
+  };
+  std::vector<ClientResult> results(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  WallTimer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      WorkloadConfig wl;
+      wl.seed = 1000 + static_cast<std::uint64_t>(c);
+      wl.text_probability = 0.3;
+      QueryGenerator queries(system.schema().dimensions(), system.schema(),
+                             wl);
+      ClientResult& mine = results[static_cast<std::size_t>(c)];
+      for (int i = 0; i < per_client; ++i) {
+        const Query q = queries.next();
+        WallTimer latency;
+        const ExecutionReport report = executor.submit(q).get();
+        mine.latencies.push_back(latency.seconds() * 1e3);
+        if (report.rejected) continue;
+        (report.queue.kind == QueueRef::kCpu ? mine.cpu : mine.gpu) += 1;
+        mine.translated += report.translated;
+        if (i % 10 == 0) {
+          const QueryAnswer oracle = system.answer_on_gpu(q);
+          if (std::abs(oracle.value - report.answer.value) > 1e-6) {
+            std::cerr << "ORACLE MISMATCH on client " << c << " query "
+                      << i << "\n";
+            std::exit(1);
+          }
+          ++mine.checked;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.seconds();
+  executor.shutdown();
+
+  std::vector<double> all;
+  std::size_t cpu = 0, gpu = 0, translated = 0, checked = 0;
+  for (const auto& r : results) {
+    all.insert(all.end(), r.latencies.begin(), r.latencies.end());
+    cpu += r.cpu;
+    gpu += r.gpu;
+    translated += r.translated;
+    checked += r.checked;
+  }
+
+  TablePrinter t({"metric", "value"});
+  t.add_row({"completed", std::to_string(executor.completed())});
+  t.add_row({"wall time", TablePrinter::fixed(elapsed, 2) + " s"});
+  t.add_row({"throughput",
+             TablePrinter::fixed(
+                 static_cast<double>(executor.completed()) / elapsed, 1) +
+                 " Q/s"});
+  t.add_row({"mean latency",
+             TablePrinter::fixed(summarize(all).mean, 2) + " ms"});
+  t.add_row({"p95 latency",
+             TablePrinter::fixed(percentile(all, 95.0), 2) + " ms"});
+  t.add_row({"CPU : GPU routing",
+             std::to_string(cpu) + " : " + std::to_string(gpu)});
+  t.add_row({"translated", std::to_string(translated)});
+  t.add_row({"oracle-checked", std::to_string(checked) + " (all agreed)"});
+  t.print(std::cout, "service statistics");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Dictionary tool — inspect the text-to-integer translation layer.
+//
+// Builds the per-column dictionaries of a generated retail table, shows
+// their contents, translates example query strings with both search
+// strategies (timing them), and demonstrates eq. (17)'s linear cost
+// directly against this host's measured slope.
+//
+//   ./dictionary_tool [rows] [probe ...]
+//   e.g. ./dictionary_tool 100000 "Marlowick" "Denborough 3"
+#include <iostream>
+
+#include "common/table_printer.hpp"
+#include "common/timer.hpp"
+#include "perfmodel/calibrate.hpp"
+#include "query/translator.hpp"
+#include "relational/generator.hpp"
+
+using namespace holap;
+
+int main(int argc, char** argv) {
+  const std::size_t rows = argc > 1 ? std::stoul(argv[1]) : 100'000;
+
+  GeneratorConfig gen;
+  gen.rows = rows;
+  gen.seed = 21;
+  gen.text_levels = {{1, 3}, {2, 3}};
+  const FactTable table =
+      generate_fact_table(tiny_model_dimensions(), gen);
+  const DictionarySet dicts = DictionarySet::build_from_table(table);
+
+  TablePrinter overview({"column", "entries", "memory", "sample strings"});
+  for (const int col : dicts.columns()) {
+    const Dictionary& dict = dicts.for_column(col);
+    std::string samples;
+    for (std::int32_t k = 0; k < 3 && k < static_cast<std::int32_t>(
+                                              dict.size());
+         ++k) {
+      if (k) samples += ", ";
+      samples += '"' + dict.decode(k) + '"';
+    }
+    overview.add_row({table.schema().column(col).name,
+                      std::to_string(dict.size()),
+                      TablePrinter::human_bytes(
+                          static_cast<double>(dict.memory_bytes())),
+                      samples});
+  }
+  overview.print(std::cout, "per-column dictionaries (one per text column, "
+                            "as §III-F prescribes)");
+
+  // Translate a query through each strategy, timing the search.
+  const int store_col = table.schema().dimension_column(1, 3);
+  const Dictionary& store_dict = dicts.for_column(store_col);
+  std::vector<std::string> probes;
+  for (int i = 2; i < argc; ++i) probes.emplace_back(argv[i]);
+  if (probes.empty()) {
+    probes = {store_dict.decode(1),
+              store_dict.decode(static_cast<std::int32_t>(
+                  store_dict.size() - 1)),
+              "No Such Store"};
+  }
+
+  std::cout << '\n';
+  TablePrinter lookups({"probe", "linear scan", "hashed", "code"});
+  for (const auto& probe : probes) {
+    WallTimer t1;
+    const auto linear = store_dict.find(probe, DictSearch::kLinearScan);
+    const double linear_us = t1.seconds() * 1e6;
+    WallTimer t2;
+    const auto hashed = store_dict.find(probe, DictSearch::kHashed);
+    const double hashed_us = t2.seconds() * 1e6;
+    if (linear != hashed) {
+      std::cerr << "strategy disagreement!\n";
+      return 1;
+    }
+    lookups.add_row({'"' + probe + '"',
+                     TablePrinter::fixed(linear_us, 1) + " us",
+                     TablePrinter::fixed(hashed_us, 2) + " us",
+                     linear ? std::to_string(*linear) : "(absent)"});
+  }
+  lookups.print(std::cout, "search strategies on " +
+                               std::to_string(store_dict.size()) +
+                               "-entry store dictionary");
+
+  // Eq. (17) on this host: measure and fit the linear-scan slope.
+  std::cout << '\n';
+  DictCalibrationConfig calib;
+  calib.lengths = {1'000, 10'000, 100'000};
+  calib.searches = 30;
+  const DictCalibrationResult fitted = calibrate_dict(calib);
+  std::cout << "this host's P_DICT slope: "
+            << TablePrinter::scientific(fitted.model.seconds_per_entry(), 3)
+            << " s/entry (paper's eq. 17: 1.380e-08 s/entry)\n";
+  std::cout << "predicted upper-bound search in a 1M-entry dictionary: "
+            << TablePrinter::fixed(
+                   fitted.model.search_seconds(1'000'000) * 1e3, 2)
+            << " ms here vs "
+            << TablePrinter::fixed(
+                   DictPerfModel::paper().search_seconds(1'000'000) * 1e3, 2)
+            << " ms on the paper's Xeon.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Query console — an interactive shell over the hybrid OLAP system.
+//
+// Type queries in the library's query language against a generated retail
+// table; each is parsed, scheduled (CPU cubes vs GPU scan), translated if
+// it carries string parameters, executed, and cross-checked against the
+// table-scan oracle.
+//
+//   ./query_console [rows]                 — interactive (reads stdin)
+//   ./query_console [rows] "query" ...     — batch mode
+//
+// Language:   sum|count|avg|min|max ( measures... )
+//             [ where dim.level in [lo, hi] (and ...) ]
+//             [ where dim.level in {"name", ...} ]
+// Examples:   sum(measure_0) where time.month in [0, 2]
+//             count() where geography.store in {"Marlowick"}
+#include <iostream>
+
+#include "olap/hybrid_system.hpp"
+#include "query/parser.hpp"
+#include "relational/generator.hpp"
+
+using namespace holap;
+
+namespace {
+
+void run_one(HybridOlapSystem& system, const std::string& text) {
+  try {
+    const Query q = parse_query(text, system.schema());
+    const ExecutionReport r = system.execute(q);
+    if (r.rejected) {
+      std::cout << "  rejected: no partition can process this query\n";
+      return;
+    }
+    std::cout << "  = " << r.answer.value << "   (" << r.answer.row_count
+              << " rows, via "
+              << (r.queue.kind == QueueRef::kCpu
+                      ? std::string("CPU cubes")
+                      : "GPU queue " + std::to_string(r.queue.index))
+              << (r.translated ? ", translated" : "") << ", est "
+              << r.estimated_processing * 1e3 << " ms)\n";
+    const QueryAnswer oracle = system.answer_on_gpu(q);
+    if (std::abs(oracle.value - r.answer.value) > 1e-6) {
+      std::cout << "  !! oracle disagrees: " << oracle.value << "\n";
+    }
+  } catch (const ParseError& e) {
+    std::cout << "  " << e.what() << "\n";
+  } catch (const Error& e) {
+    std::cout << "  error: " << e.what() << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rows = argc > 1 ? std::stoul(argv[1]) : 30'000;
+  GeneratorConfig gen;
+  gen.rows = rows;
+  gen.seed = 9;
+  gen.zipf_skew = 0.8;
+  gen.text_levels = {{1, 3}, {2, 3}};
+  HybridSystemConfig config;
+  config.cpu_threads = 4;
+  config.cube_levels = {0, 1, 2};
+  config.minmax_cubes = true;
+  HybridOlapSystem system(
+      generate_fact_table(tiny_model_dimensions(), gen), config);
+
+  std::cout << "hybrid OLAP console — " << rows << " rows; dimensions:";
+  for (const auto& dim : system.schema().dimensions()) {
+    std::cout << ' ' << dim.name() << '(';
+    for (int l = 0; l < dim.level_count(); ++l) {
+      std::cout << (l ? "/" : "") << dim.level(l).name;
+    }
+    std::cout << ')';
+  }
+  std::cout << "; measures: measure_0..measure_3\n";
+  const int store_col = system.schema().dimension_column(1, 3);
+  std::cout << "example store name: \""
+            << system.dictionaries().for_column(store_col).decode(0)
+            << "\"\n\n";
+
+  if (argc > 2) {
+    for (int i = 2; i < argc; ++i) {
+      std::cout << "> " << argv[i] << "\n";
+      run_one(system, argv[i]);
+    }
+    return 0;
+  }
+  std::string line;
+  std::cout << "> " << std::flush;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (!line.empty()) run_one(system, line);
+    std::cout << "> " << std::flush;
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Scheduler playground — experiment with the §IV system model from the
+// command line: pick a policy, an arrival rate, a deadline and a GPU
+// partitioning, and watch throughput / deadline adherence / utilisation.
+//
+//   ./scheduler_playground [policy] [arrival_qps] [deadline_ms] [queries]
+//   e.g. ./scheduler_playground figure10 120 250 3000
+//        ./scheduler_playground MET 250 100 3000
+//        ./scheduler_playground figure10 0 250 3000   (0 = closed loop)
+#include <iostream>
+
+#include "common/table_printer.hpp"
+#include "sim/scenario.hpp"
+
+using namespace holap;
+
+int main(int argc, char** argv) {
+  const std::string policy = argc > 1 ? argv[1] : "figure10";
+  const double arrival = argc > 2 ? std::stod(argv[2]) : 120.0;
+  const double deadline_ms = argc > 3 ? std::stod(argv[3]) : 250.0;
+  const std::size_t queries = argc > 4 ? std::stoul(argv[4]) : 3000;
+
+  ScenarioOptions options;
+  options.deadline = deadline_ms / 1000.0;
+  options.cube_levels = {0, 1, 2, 3};
+  options.level_weights = {0.2, 0.25, 0.35, 0.2};
+  options.mean_selectivity = 0.5;
+  const PaperScenario scenario{options};
+
+  std::cout << "system model: CPU " << options.cpu_threads
+            << " threads + translation partition; GPU {1,1,2,2,4,4} SMs; "
+               "cubes ~4KB/~500KB/~512MB/~32GB;\n4 GB fact table; policy="
+            << policy << "; deadline=" << deadline_ms << " ms; "
+            << (arrival > 0 ? "open-loop " + std::to_string(arrival) + " Q/s"
+                            : std::string("closed loop, 16 clients"))
+            << "; " << queries << " queries\n\n";
+
+  const auto workload = scenario.make_workload(queries);
+  const auto p = scenario.make_policy(policy);
+  SimConfig config;
+  config.arrival_rate = arrival;
+  config.closed_clients = 16;
+  config.cpu_overhead = 0.005;
+  config.gpu_dispatch_overhead = 0.0145;
+  const SimResult r = run_simulation(*p, workload, config);
+
+  TablePrinter t({"metric", "value"});
+  t.add_row({"throughput", TablePrinter::fixed(r.throughput_qps, 1) + " Q/s"});
+  t.add_row({"completed / rejected", std::to_string(r.completed) + " / " +
+                                         std::to_string(r.rejected)});
+  t.add_row({"deadline hit rate",
+             TablePrinter::fixed(100.0 * r.deadline_hit_rate, 1) + "%"});
+  t.add_row({"mean / p95 latency",
+             TablePrinter::fixed(r.mean_latency * 1e3, 1) + " / " +
+                 TablePrinter::fixed(r.p95_latency * 1e3, 1) + " ms"});
+  t.add_row({"CPU : GPU routing", std::to_string(r.cpu_queries) + " : " +
+                                      std::to_string(r.gpu_queries)});
+  t.add_row({"translated queries", std::to_string(r.translated_queries)});
+  t.add_row({"CPU partition busy",
+             TablePrinter::fixed(100.0 * r.cpu_utilization, 1) + "%"});
+  t.add_row({"translation partition busy",
+             TablePrinter::fixed(100.0 * r.translation_utilization, 1) +
+                 "%"});
+  t.add_row({"GPU dispatcher busy",
+             TablePrinter::fixed(100.0 * r.dispatcher_utilization, 1) +
+                 "%"});
+  for (std::size_t i = 0; i < r.gpu_utilization.size(); ++i) {
+    t.add_row({"GPU queue " + std::to_string(i) + " (" +
+                   std::to_string(options.gpu_partitions[i]) + " SM) busy",
+               TablePrinter::fixed(100.0 * r.gpu_utilization[i], 1) + "%"});
+  }
+  t.print(std::cout, "simulation result");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// A minimal thread-safe FIFO queue for the native async executor.
+//
+// Multiple producers, multiple consumers, blocking pop with a closed
+// state: after close(), producers are rejected and consumers drain the
+// remaining items, then pop() returns nullopt. Intentionally tiny — the
+// executor's queues carry a handful of in-flight jobs, so a mutex +
+// condition variable is the right tool (no lock-free heroics).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace holap {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueue an item. Returns false (dropping the item) when closed.
+  bool push(T item) {
+    {
+      const std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and drained;
+  /// nullopt means shutdown.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Reject future pushes and wake all waiting consumers.
+  void close() {
+    {
+      const std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    const std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace holap

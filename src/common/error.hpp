@@ -1,0 +1,56 @@
+// Error handling for the hybrid OLAP library.
+//
+// Public-API misuse (bad query shapes, out-of-range dimensions, capacity
+// violations) throws `holap::Error` with a formatted message; internal
+// invariants use HOLAP_ASSERT which also throws so tests can exercise
+// failure paths without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace holap {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes arguments that violate an API precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a resource capacity would be exceeded (e.g. GPU memory).
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require_failure(const char* expr,
+                                               const char* file, int line,
+                                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace holap
+
+/// Precondition check: throws holap::InvalidArgument when `expr` is false.
+#define HOLAP_REQUIRE(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::holap::detail::throw_require_failure(#expr, __FILE__, __LINE__, \
+                                             (msg));                    \
+    }                                                                   \
+  } while (false)
+
+/// Internal invariant check; same behaviour, different intent at call sites.
+#define HOLAP_ASSERT(expr, msg) HOLAP_REQUIRE(expr, msg)

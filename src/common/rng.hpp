@@ -1,0 +1,121 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the system (workload generators, synthetic
+// fact tables, arrival processes) derives its stream from a 64-bit seed via
+// SplitMix64, so any experiment is reproducible from a single published
+// seed. We deliberately avoid std::mt19937 seeding subtleties and
+// distribution implementation divergence across standard libraries: all
+// distributions here are implemented explicitly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace holap {
+
+/// SplitMix64: tiny, fast, and statistically strong for simulation use.
+/// Used both as a generator and to expand one master seed into substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Derive an independent substream seed; call with distinct indices.
+  std::uint64_t fork(std::uint64_t index) const {
+    SplitMix64 f(state_ ^ (0x632be59bd9b4e019ull * (index + 1)));
+    return f.next();
+  }
+
+  /// Uniform in [0, n). n must be > 0. Uses rejection to remove modulo bias.
+  std::uint64_t uniform(std::uint64_t n) {
+    HOLAP_REQUIRE(n > 0, "uniform(n) requires n > 0");
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    HOLAP_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1ull;
+    if (span == 0) return static_cast<std::int64_t>(next());  // full range
+    return lo + static_cast<std::int64_t>(uniform(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    HOLAP_REQUIRE(lo <= hi, "uniform_real requires lo <= hi");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Exponential with the given rate (events per unit time); rate > 0.
+  double exponential(double rate) {
+    HOLAP_REQUIRE(rate > 0.0, "exponential requires rate > 0");
+    double u = uniform01();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();  // avoid log(0)
+    return -std::log(u) / rate;
+  }
+
+  /// True with probability p in [0, 1].
+  bool bernoulli(double p) {
+    HOLAP_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli requires p in [0,1]");
+    return uniform01() < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Zipf(s) sampler over {0, 1, ..., n-1} using inverse-CDF on a precomputed
+/// table. Provides realistic skew for text columns (city/name frequency).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) {
+    HOLAP_REQUIRE(n > 0, "ZipfSampler requires n > 0");
+    HOLAP_REQUIRE(s >= 0.0, "ZipfSampler requires s >= 0");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  std::size_t operator()(SplitMix64& rng) const {
+    const double u = rng.uniform01();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace holap

@@ -1,0 +1,157 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace holap {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  HOLAP_REQUIRE(!xs.empty(), "percentile of empty sample");
+  HOLAP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile requires p in [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+namespace {
+
+// r^2 of predictions `pred` against observations `ys`.
+double r_squared(std::span<const double> ys, std::span<const double> pred) {
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+    ss_res += (ys[i] - pred[i]) * (ys[i] - pred[i]);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+void check_paired(std::span<const double> xs, std::span<const double> ys,
+                  std::size_t min_points) {
+  HOLAP_REQUIRE(xs.size() == ys.size(), "fit requires equal-length x and y");
+  HOLAP_REQUIRE(xs.size() >= min_points, "fit requires more sample points");
+}
+
+}  // namespace
+
+FitResult fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  check_paired(xs, ys, 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  HOLAP_REQUIRE(denom != 0.0, "fit_linear requires at least two distinct x");
+  FitResult f;
+  f.a = (n * sxy - sx * sy) / denom;
+  f.b = (sy - f.a * sx) / n;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = f.a * xs[i] + f.b;
+  f.r2 = r_squared(ys, pred);
+  return f;
+}
+
+FitResult fit_linear_origin(std::span<const double> xs,
+                            std::span<const double> ys) {
+  check_paired(xs, ys, 1);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  HOLAP_REQUIRE(sxx != 0.0, "fit_linear_origin requires a nonzero x");
+  FitResult f;
+  f.a = sxy / sxx;
+  f.b = 0.0;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = f.a * xs[i];
+  f.r2 = r_squared(ys, pred);
+  return f;
+}
+
+FitResult fit_power_law(std::span<const double> xs,
+                        std::span<const double> ys) {
+  check_paired(xs, ys, 2);
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    HOLAP_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0,
+                  "fit_power_law requires strictly positive samples");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const FitResult lin = fit_linear(lx, ly);
+  FitResult f;
+  f.a = std::exp(lin.b);  // scale = exp(intercept in log space)
+  f.b = lin.a;            // exponent = slope in log space
+  f.r2 = lin.r2;
+  return f;
+}
+
+double eval_power_law(const FitResult& f, double x) {
+  return f.a * std::pow(x, f.b);
+}
+
+double eval_linear(const FitResult& f, double x) { return f.a * x + f.b; }
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    min_ = x;
+    max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace holap

@@ -1,0 +1,81 @@
+// Descriptive statistics and least-squares model fitting.
+//
+// The paper derives its performance models by fitting measured samples:
+// a power law  y = a * x^b  below the 512 MB crossover (eqs. 5, 8), a linear
+// function  y = a * x + b  above it (eqs. 6, 9), and a linear-through-origin
+// dictionary model (eq. 17). This header provides exactly those fits —
+// ordinary least squares for the linear forms and log–log OLS for the power
+// law — plus the summary statistics the benches report.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace holap {
+
+/// Summary of a sample: count, mean, standard deviation, extrema.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute summary statistics of `xs`. Returns a zeroed Summary when empty.
+Summary summarize(std::span<const double> xs);
+
+/// Percentile via linear interpolation between closest ranks.
+/// `p` in [0, 100]. Throws InvalidArgument on empty input or p out of range.
+double percentile(std::span<const double> xs, double p);
+
+/// Result of a least-squares fit together with its goodness of fit.
+struct FitResult {
+  double a = 0.0;   ///< slope (linear) or scale (power law)
+  double b = 0.0;   ///< intercept (linear) or exponent (power law)
+  double r2 = 0.0;  ///< coefficient of determination in the fitted space
+};
+
+/// Ordinary least squares for y = a*x + b.
+/// Requires at least two points with distinct x. Throws otherwise.
+FitResult fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Least squares for y = a*x through the origin (the eq. 17 form).
+/// Requires at least one point with x != 0.
+FitResult fit_linear_origin(std::span<const double> xs,
+                            std::span<const double> ys);
+
+/// Log–log least squares for y = a * x^b  (the eq. 5/8 form).
+/// All xs and ys must be strictly positive; requires two distinct x.
+/// Returned r2 is computed in log space, where the fit is linear.
+FitResult fit_power_law(std::span<const double> xs,
+                        std::span<const double> ys);
+
+/// Evaluate a power-law fit: a * x^b.
+double eval_power_law(const FitResult& f, double x);
+
+/// Evaluate a linear fit: a * x + b.
+double eval_linear(const FitResult& f, double x);
+
+/// Streaming accumulator for mean/variance (Welford) used by long DES runs
+/// where storing every sample would be wasteful.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance; 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace holap

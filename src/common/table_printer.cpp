@@ -1,0 +1,82 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace holap {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  HOLAP_REQUIRE(!header_.empty(), "table requires at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  HOLAP_REQUIRE(cells.size() == header_.size(),
+                "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os, const std::string& caption) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!caption.empty()) os << caption << '\n';
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 2;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << "  " << std::string(total - 2, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::scientific(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::human_bytes(double bytes) {
+  const char* unit = "B";
+  double v = bytes;
+  if (v >= static_cast<double>(kGiB)) {
+    v /= static_cast<double>(kGiB);
+    unit = "GB";
+  } else if (v >= static_cast<double>(kMiB)) {
+    v /= static_cast<double>(kMiB);
+    unit = "MB";
+  } else if (v >= static_cast<double>(kKiB)) {
+    v /= static_cast<double>(kKiB);
+    unit = "KB";
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << v << ' ' << unit;
+  return os.str();
+}
+
+}  // namespace holap

@@ -1,0 +1,40 @@
+// Aligned plain-text tables for the benchmark harnesses.
+//
+// Every table/figure reproduction prints its rows through this printer so
+// all benches share one output convention (caption, header rule, aligned
+// columns) and EXPERIMENTS.md can quote the output verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace holap {
+
+/// Builds and prints an aligned text table.
+///
+/// Usage:
+///   TablePrinter t({"threads", "rate [Q/s]"});
+///   t.add_row({"1", "12.0"});
+///   t.print(std::cout, "Table 1: CPU-only processing rate");
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to `os` with an optional caption line above the table.
+  void print(std::ostream& os, const std::string& caption = "") const;
+
+  /// Number formatting helpers used by the benches.
+  static std::string fixed(double v, int precision);
+  static std::string scientific(double v, int precision);
+  /// Human-readable binary size: "512.0 MB", "4.0 KB", "32.0 GB".
+  static std::string human_bytes(double bytes);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace holap

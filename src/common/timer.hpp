@@ -1,0 +1,25 @@
+// Wall-clock timing for native benchmarks and calibration runs.
+#pragma once
+
+#include <chrono>
+
+namespace holap {
+
+/// Monotonic wall-clock stopwatch. Construction starts it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace holap

@@ -1,0 +1,33 @@
+// Size and time units used across the hybrid OLAP system.
+//
+// The paper's performance models (eqs. 3, 7, 10) are expressed in MB, so the
+// canonical unit for model inputs is `Megabytes` (a double), while storage
+// code uses exact `std::size_t` byte counts. Conversions are centralised here
+// so the 1024-vs-1000 choice is made exactly once: the paper uses binary
+// prefixes (eq. 3 multiplies by 1024^2), and so do we.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace holap {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+/// Size expressed in binary megabytes, the unit of the paper's models.
+using Megabytes = double;
+
+/// Time expressed in seconds; all performance models emit seconds.
+using Seconds = double;
+
+constexpr Megabytes bytes_to_mb(std::size_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+constexpr std::size_t mb_to_bytes(Megabytes mb) {
+  return static_cast<std::size_t>(mb * static_cast<double>(kMiB));
+}
+
+}  // namespace holap

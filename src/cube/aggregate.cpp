@@ -1,0 +1,130 @@
+#include "cube/aggregate.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace holap {
+namespace {
+
+// Accumulate one contiguous run of cells. Specialised per basis so the
+// inner loop is a tight vectorisable stream.
+template <CubeBasis B>
+inline void accumulate_run(const double* p, std::size_t n, double& acc) {
+  if constexpr (B == CubeBasis::kSum || B == CubeBasis::kCount) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += p[i];
+    acc += s;
+  } else if constexpr (B == CubeBasis::kMin) {
+    double m = acc;
+    for (std::size_t i = 0; i < n; ++i) m = std::min(m, p[i]);
+    acc = m;
+  } else {
+    double m = acc;
+    for (std::size_t i = 0; i < n; ++i) m = std::max(m, p[i]);
+    acc = m;
+  }
+}
+
+// Enumerate base offsets over dimensions [d, ndims-1): the cartesian
+// product of all but the last dimension's intervals.
+void build_outer_offsets(const DenseCube& cube, const CubeRegion& region,
+                         int d, std::size_t acc,
+                         std::vector<std::size_t>& out) {
+  if (d == cube.dim_count() - 1) {
+    out.push_back(acc);
+    return;
+  }
+  const std::size_t stride = cube.stride(d);
+  for (const Interval& iv : region.dims[static_cast<std::size_t>(d)]) {
+    for (std::int32_t i = iv.lo; i <= iv.hi; ++i) {
+      build_outer_offsets(cube, region, d + 1,
+                          acc + static_cast<std::size_t>(i) * stride, out);
+    }
+  }
+}
+
+template <CubeBasis B>
+AggregateResult scan(const DenseCube& cube, const CubeRegion& region,
+                     int threads) {
+  AggregateResult result;
+  result.value = basis_identity(B);
+
+  std::vector<std::size_t> offsets;
+  build_outer_offsets(cube, region, 0, 0, offsets);
+  const auto& inner = region.dims.back();
+  std::size_t inner_cells = 0;
+  for (const Interval& iv : inner) {
+    inner_cells += static_cast<std::size_t>(iv.hi - iv.lo + 1);
+  }
+  result.cells_scanned = offsets.size() * inner_cells;
+  result.bytes_scanned = result.cells_scanned * sizeof(double);
+  const double* cells = cube.cells().data();
+
+  if (threads <= 0) {
+    double acc = basis_identity(B);
+    for (const std::size_t base : offsets) {
+      for (const Interval& iv : inner) {
+        accumulate_run<B>(cells + base + static_cast<std::size_t>(iv.lo),
+                          static_cast<std::size_t>(iv.hi - iv.lo + 1), acc);
+      }
+    }
+    result.value = acc;
+    return result;
+  }
+
+  std::vector<double> partial(static_cast<std::size_t>(threads),
+                              basis_identity(B));
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    double acc = basis_identity(B);
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t o = 0;
+         o < static_cast<std::ptrdiff_t>(offsets.size()); ++o) {
+      const std::size_t base = offsets[static_cast<std::size_t>(o)];
+      for (const Interval& iv : inner) {
+        accumulate_run<B>(cells + base + static_cast<std::size_t>(iv.lo),
+                          static_cast<std::size_t>(iv.hi - iv.lo + 1), acc);
+      }
+    }
+    partial[static_cast<std::size_t>(tid)] = acc;
+  }
+  double acc = basis_identity(B);
+  for (double p : partial) acc = basis_combine(B, acc, p);
+  result.value = acc;
+  return result;
+}
+
+}  // namespace
+
+AggregateResult aggregate_region(const DenseCube& cube,
+                                 const CubeRegion& region, int threads) {
+  HOLAP_REQUIRE(static_cast<int>(region.dims.size()) == cube.dim_count(),
+                "region arity must match cube dimensionality");
+  if (region.empty()) {
+    AggregateResult r;
+    r.value = basis_identity(cube.basis());
+    return r;
+  }
+  for (int d = 0; d < cube.dim_count(); ++d) {
+    const auto& ivs = region.dims[static_cast<std::size_t>(d)];
+    HOLAP_REQUIRE(ivs.front().lo >= 0 &&
+                      static_cast<std::uint32_t>(ivs.back().hi) <
+                          cube.cardinality(d),
+                  "region exceeds cube bounds");
+  }
+  switch (cube.basis()) {
+    case CubeBasis::kSum:
+      return scan<CubeBasis::kSum>(cube, region, threads);
+    case CubeBasis::kCount:
+      return scan<CubeBasis::kCount>(cube, region, threads);
+    case CubeBasis::kMin:
+      return scan<CubeBasis::kMin>(cube, region, threads);
+    case CubeBasis::kMax:
+      return scan<CubeBasis::kMax>(cube, region, threads);
+  }
+  return {};
+}
+
+}  // namespace holap

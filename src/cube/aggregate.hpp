@@ -1,0 +1,30 @@
+// Sub-cube aggregation — the memory-bandwidth-bound kernel of §III-B.
+//
+// Aggregating a region of a dense cube reads every cell of the sub-cube
+// exactly once, streaming contiguous runs along the last dimension; the
+// paper's CPU performance model (eqs. 4–10) is a model of precisely this
+// kernel's run time as a function of the sub-cube's size in MB. Both a
+// sequential and an OpenMP implementation are provided; Figures 3–5
+// benchmark them and perfmodel fits their measurements.
+#pragma once
+
+#include "cube/region.hpp"
+
+namespace holap {
+
+struct AggregateResult {
+  double value = 0.0;            ///< combined basis value over the region
+  std::size_t cells_scanned = 0;
+  std::size_t bytes_scanned = 0;  ///< cells * sizeof(double)
+};
+
+/// Aggregate `region` of `cube` with the cube's own basis.
+///
+/// `threads` selects the implementation: 0 = sequential code path (no
+/// OpenMP constructs at all, the paper's original single-threaded engine);
+/// n >= 1 = OpenMP parallel scan with n threads (the paper's new engine;
+/// n may exceed the physical core count, as in any oversubscribed run).
+AggregateResult aggregate_region(const DenseCube& cube,
+                                 const CubeRegion& region, int threads = 0);
+
+}  // namespace holap

@@ -1,0 +1,123 @@
+#include "cube/builder.hpp"
+
+#include <omp.h>
+
+namespace holap {
+namespace {
+
+/// Per-thread private cubes stay attractive up to this many cells
+/// (32 MB of doubles per thread).
+constexpr std::size_t kPrivatizationCells = std::size_t{1} << 22;
+
+struct RowAddresser {
+  std::vector<std::span<const std::int32_t>> level_cols;
+  std::vector<std::size_t> strides;
+
+  std::size_t cell_of(std::size_t row) const {
+    std::size_t idx = 0;
+    for (std::size_t d = 0; d < level_cols.size(); ++d) {
+      idx += static_cast<std::size_t>(level_cols[d][row]) * strides[d];
+    }
+    return idx;
+  }
+};
+
+RowAddresser make_addresser(const FactTable& table, const DenseCube& cube,
+                            int level) {
+  RowAddresser addr;
+  const auto& dims = table.schema().dimensions();
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    addr.level_cols.push_back(
+        table.dim_level_column(static_cast<int>(d), level));
+    addr.strides.push_back(cube.stride(static_cast<int>(d)));
+  }
+  return addr;
+}
+
+double row_value(const FactTable& table, CubeBasis basis, int measure,
+                 std::size_t row) {
+  if (basis == CubeBasis::kCount) return 1.0;
+  return table.measure_column(measure)[row];
+}
+
+void scatter_sequential(const FactTable& table, DenseCube& cube,
+                        const RowAddresser& addr) {
+  const std::size_t rows = table.row_count();
+  const CubeBasis basis = cube.basis();
+  double* cells = cube.cells().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t idx = addr.cell_of(r);
+    cells[idx] = basis_combine(basis, cells[idx],
+                               row_value(table, basis, cube.measure(), r));
+  }
+}
+
+void scatter_private_cubes(const FactTable& table, DenseCube& cube,
+                           const RowAddresser& addr, int threads) {
+  const std::size_t rows = table.row_count();
+  const CubeBasis basis = cube.basis();
+  const std::size_t n_cells = cube.cell_count();
+  std::vector<std::vector<double>> partials(
+      static_cast<std::size_t>(threads));
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    auto& local = partials[static_cast<std::size_t>(tid)];
+    local.assign(n_cells, basis_identity(basis));
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+      const auto row = static_cast<std::size_t>(r);
+      const std::size_t idx = addr.cell_of(row);
+      local[idx] = basis_combine(basis, local[idx],
+                                 row_value(table, basis, cube.measure(), row));
+    }
+  }
+  double* cells = cube.cells().data();
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n_cells); ++i) {
+    double v = cells[i];
+    for (const auto& local : partials) {
+      v = basis_combine(basis, v, local[static_cast<std::size_t>(i)]);
+    }
+    cells[i] = v;
+  }
+}
+
+void scatter_atomic(const FactTable& table, DenseCube& cube,
+                    const RowAddresser& addr, int threads) {
+  const std::size_t rows = table.row_count();
+  double* cells = cube.cells().data();
+  const int measure = cube.measure();
+  const bool count = cube.basis() == CubeBasis::kCount;
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    const auto row = static_cast<std::size_t>(r);
+    const std::size_t idx = addr.cell_of(row);
+    const double v = count ? 1.0 : table.measure_column(measure)[row];
+#pragma omp atomic
+    cells[idx] += v;
+  }
+}
+
+}  // namespace
+
+DenseCube build_cube(const FactTable& table, int level, CubeBasis basis,
+                     int measure, int threads) {
+  const auto& dims = table.schema().dimensions();
+  DenseCube cube(dims, level, basis, measure);
+  const RowAddresser addr = make_addresser(table, cube, level);
+
+  if (threads <= 0) {
+    scatter_sequential(table, cube, addr);
+  } else if (cube.cell_count() <= kPrivatizationCells) {
+    scatter_private_cubes(table, cube, addr, threads);
+  } else if (basis == CubeBasis::kSum || basis == CubeBasis::kCount) {
+    scatter_atomic(table, cube, addr, threads);
+  } else {
+    // No portable atomic FP min/max; large min/max cubes build sequentially.
+    scatter_sequential(table, cube, addr);
+  }
+  return cube;
+}
+
+}  // namespace holap

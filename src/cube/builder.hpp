@@ -1,0 +1,26 @@
+// Cube construction from the fact table.
+//
+// The array-based algorithm of Zhao, Deshpande & Naughton [20]: one pass
+// over the fact table scatters each row's measure into the dense cell its
+// dimension codes address. The fact table stores a column per (dimension,
+// level), so building at any resolution reads the level's own columns —
+// no coarsening arithmetic in the hot loop.
+//
+// The OpenMP build uses per-thread private cubes merged at the end when the
+// cube is small enough, and atomic scatter otherwise (sum/count only; dense
+// min/max cubes above the privatisation threshold build sequentially, since
+// portable atomic FP min/max does not exist — see builder.cpp).
+#pragma once
+
+#include "cube/dense_cube.hpp"
+#include "relational/fact_table.hpp"
+
+namespace holap {
+
+/// Build one cube over `table` at uniform `level`.
+/// `measure` is a schema measure-column index (-1 with kCount).
+/// `threads`: 0 = sequential, n >= 1 = OpenMP with n threads.
+DenseCube build_cube(const FactTable& table, int level, CubeBasis basis,
+                     int measure, int threads = 0);
+
+}  // namespace holap

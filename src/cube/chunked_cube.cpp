@@ -1,0 +1,316 @@
+#include "cube/chunked_cube.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace holap {
+namespace {
+
+// Iterate the cartesian product of [0, extents[d]) incrementally.
+bool advance_odometer(std::vector<std::int32_t>& coords,
+             std::span<const std::uint32_t> extents) {
+  for (int d = static_cast<int>(coords.size()) - 1; d >= 0; --d) {
+    const auto du = static_cast<std::size_t>(d);
+    if (static_cast<std::uint32_t>(++coords[du]) < extents[du]) return true;
+    coords[du] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t ChunkedCube::chunk_cells() const {
+  std::size_t cells = 1;
+  for (int d = 0; d < dim_count(); ++d) {
+    cells *= static_cast<std::size_t>(chunk_side_);
+  }
+  return cells;
+}
+
+std::size_t ChunkedCube::grid_index(
+    std::span<const std::int32_t> chunk_coords) const {
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < chunk_coords.size(); ++d) {
+    idx += static_cast<std::size_t>(chunk_coords[d]) * grid_strides_[d];
+  }
+  return idx;
+}
+
+ChunkedCube ChunkedCube::from_dense(const DenseCube& dense, int chunk_side,
+                                    double threshold) {
+  HOLAP_REQUIRE(chunk_side >= 1, "chunk side must be positive");
+  HOLAP_REQUIRE(threshold >= 0.0 && threshold <= 1.0,
+                "threshold must be in [0,1]");
+  ChunkedCube cube;
+  cube.level_ = dense.level();
+  cube.basis_ = dense.basis();
+  cube.measure_ = dense.measure();
+  cube.chunk_side_ = chunk_side;
+  const int n = dense.dim_count();
+  for (int d = 0; d < n; ++d) {
+    cube.cards_.push_back(dense.cardinality(d));
+    cube.chunk_grid_.push_back(
+        (dense.cardinality(d) + static_cast<std::uint32_t>(chunk_side) - 1) /
+        static_cast<std::uint32_t>(chunk_side));
+  }
+  cube.grid_strides_.assign(static_cast<std::size_t>(n), 1);
+  cube.local_strides_.assign(static_cast<std::size_t>(n), 1);
+  for (int d = n - 2; d >= 0; --d) {
+    const auto du = static_cast<std::size_t>(d);
+    cube.grid_strides_[du] =
+        cube.grid_strides_[du + 1] * cube.chunk_grid_[du + 1];
+    cube.local_strides_[du] =
+        cube.local_strides_[du + 1] * static_cast<std::size_t>(chunk_side);
+  }
+  std::size_t total_chunks = 1;
+  for (const std::uint32_t g : cube.chunk_grid_) total_chunks *= g;
+  cube.chunks_.resize(total_chunks);
+
+  const double identity = basis_identity(dense.basis());
+  const std::size_t chunk_cells = cube.chunk_cells();
+
+  std::vector<std::int32_t> chunk_coords(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> local(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> global(static_cast<std::size_t>(n));
+  do {
+    // Gather this chunk's cells from the dense cube.
+    SparseChunk sparse;
+    DenseChunk values(chunk_cells, identity);
+    std::size_t filled = 0;
+    std::fill(local.begin(), local.end(), 0);
+    std::vector<std::uint32_t> extents(static_cast<std::size_t>(n));
+    bool any_cell = true;
+    for (int d = 0; d < n; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      const std::int64_t base =
+          static_cast<std::int64_t>(chunk_coords[du]) * chunk_side;
+      const std::int64_t extent =
+          std::min<std::int64_t>(chunk_side, cube.cards_[du] - base);
+      extents[du] = static_cast<std::uint32_t>(extent);
+      any_cell = any_cell && extent > 0;
+    }
+    if (any_cell) {
+      do {
+        std::uint32_t offset = 0;
+        for (int d = 0; d < n; ++d) {
+          const auto du = static_cast<std::size_t>(d);
+          global[du] = chunk_coords[du] * chunk_side + local[du];
+          offset += static_cast<std::uint32_t>(
+              static_cast<std::size_t>(local[du]) * cube.local_strides_[du]);
+        }
+        const double v = dense.cell(dense.linear_index(global));
+        values[offset] = v;
+        if (v != identity) {
+          ++filled;
+          sparse.push_back({offset, v});
+        }
+      } while (advance_odometer(local, extents));
+    }
+
+    Chunk& slot = cube.chunks_[cube.grid_index(chunk_coords)];
+    const double fill =
+        static_cast<double>(filled) / static_cast<double>(chunk_cells);
+    if (filled == 0) {
+      slot = std::monostate{};
+    } else if (fill < threshold) {
+      slot = std::move(sparse);  // already offset-sorted by construction
+    } else {
+      slot = std::move(values);
+    }
+  } while (advance_odometer(chunk_coords, cube.chunk_grid_));
+  return cube;
+}
+
+std::uint32_t ChunkedCube::cardinality(int d) const {
+  HOLAP_REQUIRE(d >= 0 && d < dim_count(), "dimension index out of range");
+  return cards_[static_cast<std::size_t>(d)];
+}
+
+std::size_t ChunkedCube::cell_count() const {
+  std::size_t cells = 1;
+  for (const std::uint32_t c : cards_) cells *= c;
+  return cells;
+}
+
+std::size_t ChunkedCube::stored_value_count() const {
+  std::size_t stored = 0;
+  for (const Chunk& chunk : chunks_) {
+    if (const auto* dense = std::get_if<DenseChunk>(&chunk)) {
+      stored += dense->size();
+    } else if (const auto* sparse = std::get_if<SparseChunk>(&chunk)) {
+      stored += sparse->size();
+    }
+  }
+  return stored;
+}
+
+std::size_t ChunkedCube::size_bytes() const {
+  std::size_t bytes = chunks_.size() * sizeof(Chunk);
+  for (const Chunk& chunk : chunks_) {
+    if (const auto* dense = std::get_if<DenseChunk>(&chunk)) {
+      bytes += dense->size() * sizeof(double);
+    } else if (const auto* sparse = std::get_if<SparseChunk>(&chunk)) {
+      bytes += sparse->size() * sizeof(SparseEntry);
+    }
+  }
+  return bytes;
+}
+
+std::size_t ChunkedCube::sparse_chunk_count() const {
+  std::size_t n = 0;
+  for (const Chunk& chunk : chunks_) {
+    n += std::holds_alternative<SparseChunk>(chunk);
+  }
+  return n;
+}
+
+double ChunkedCube::cell(std::span<const std::int32_t> coords) const {
+  HOLAP_REQUIRE(static_cast<int>(coords.size()) == dim_count(),
+                "coordinate arity must match dimensionality");
+  std::vector<std::int32_t> chunk_coords(coords.size());
+  std::uint32_t offset = 0;
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    HOLAP_REQUIRE(coords[d] >= 0 &&
+                      static_cast<std::uint32_t>(coords[d]) < cards_[d],
+                  "coordinate out of range");
+    chunk_coords[d] = coords[d] / chunk_side_;
+    offset += static_cast<std::uint32_t>(
+        static_cast<std::size_t>(coords[d] % chunk_side_) *
+        local_strides_[d]);
+  }
+  const Chunk& chunk = chunks_[grid_index(chunk_coords)];
+  if (const auto* dense = std::get_if<DenseChunk>(&chunk)) {
+    return (*dense)[offset];
+  }
+  if (const auto* sparse = std::get_if<SparseChunk>(&chunk)) {
+    const auto it = std::lower_bound(
+        sparse->begin(), sparse->end(), offset,
+        [](const SparseEntry& e, std::uint32_t o) { return e.offset < o; });
+    if (it != sparse->end() && it->offset == offset) return it->value;
+  }
+  return basis_identity(basis_);
+}
+
+AggregateResult ChunkedCube::aggregate(const CubeRegion& region) const {
+  HOLAP_REQUIRE(static_cast<int>(region.dims.size()) == dim_count(),
+                "region arity must match cube dimensionality");
+  AggregateResult result;
+  result.value = basis_identity(basis_);
+  result.cells_scanned = region.cell_count();
+  result.bytes_scanned = result.cells_scanned * sizeof(double);
+  if (region.empty()) return result;
+  for (int d = 0; d < dim_count(); ++d) {
+    const auto& ivs = region.dims[static_cast<std::size_t>(d)];
+    HOLAP_REQUIRE(ivs.front().lo >= 0 &&
+                      static_cast<std::uint32_t>(ivs.back().hi) <
+                          cardinality(d),
+                  "region exceeds cube bounds");
+  }
+
+  const int n = dim_count();
+  double acc = basis_identity(basis_);
+
+  // Per chunk: intersect the region with the chunk's box (in local
+  // coordinates), then stream dense boxes / filter sparse entries.
+  std::vector<std::int32_t> chunk_coords(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<Interval>> local_ivs(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> local(static_cast<std::size_t>(n));
+  do {
+    const Chunk& chunk = chunks_[grid_index(chunk_coords)];
+    if (std::holds_alternative<std::monostate>(chunk)) continue;
+    bool overlaps = true;
+    for (int d = 0; d < n && overlaps; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      const std::int32_t base = chunk_coords[du] * chunk_side_;
+      local_ivs[du].clear();
+      for (const Interval& iv : region.dims[du]) {
+        const std::int32_t lo = std::max(iv.lo - base, 0);
+        const std::int32_t hi =
+            std::min<std::int32_t>(iv.hi - base, chunk_side_ - 1);
+        if (lo <= hi) local_ivs[du].push_back({lo, hi});
+      }
+      overlaps = !local_ivs[du].empty();
+    }
+    if (!overlaps) continue;
+
+    if (const auto* sparse = std::get_if<SparseChunk>(&chunk)) {
+      for (const SparseEntry& entry : *sparse) {
+        std::size_t rest = entry.offset;
+        bool inside = true;
+        for (int d = 0; d < n && inside; ++d) {
+          const auto du = static_cast<std::size_t>(d);
+          const auto coord = static_cast<std::int32_t>(
+              rest / local_strides_[du]);
+          rest %= local_strides_[du];
+          bool in_dim = false;
+          for (const Interval& iv : local_ivs[du]) {
+            in_dim = in_dim || (coord >= iv.lo && coord <= iv.hi);
+          }
+          inside = in_dim;
+        }
+        if (inside) acc = basis_combine(basis_, acc, entry.value);
+      }
+      continue;
+    }
+
+    const DenseChunk& dense = std::get<DenseChunk>(chunk);
+    // Walk the cartesian product of the local intervals; runs along the
+    // last dimension are contiguous within the chunk.
+    std::vector<std::size_t> iv_cursor(static_cast<std::size_t>(n), 0);
+    for (std::size_t d = 0; d < static_cast<std::size_t>(n); ++d) {
+      local[d] = local_ivs[d][0].lo;
+    }
+    for (;;) {
+      // Accumulate the run along the last dimension.
+      std::size_t base = 0;
+      for (int d = 0; d < n - 1; ++d) {
+        const auto du = static_cast<std::size_t>(d);
+        base += static_cast<std::size_t>(local[du]) * local_strides_[du];
+      }
+      for (const Interval& iv :
+           local_ivs[static_cast<std::size_t>(n) - 1]) {
+        for (std::int32_t i = iv.lo; i <= iv.hi; ++i) {
+          acc = basis_combine(basis_, acc,
+                              dense[base + static_cast<std::size_t>(i)]);
+        }
+      }
+      // Advance the outer dimensions across their interval lists.
+      int d = n - 2;
+      for (; d >= 0; --d) {
+        const auto du = static_cast<std::size_t>(d);
+        if (++local[du] <= local_ivs[du][iv_cursor[du]].hi) break;
+        if (++iv_cursor[du] < local_ivs[du].size()) {
+          local[du] = local_ivs[du][iv_cursor[du]].lo;
+          break;
+        }
+        iv_cursor[du] = 0;
+        local[du] = local_ivs[du][0].lo;
+      }
+      if (d < 0) break;
+    }
+  } while (advance_odometer(chunk_coords, chunk_grid_));
+
+  result.value = acc;
+  return result;
+}
+
+DenseCube ChunkedCube::to_dense(const std::vector<Dimension>& dims) const {
+  DenseCube dense(dims, level_, basis_, measure_);
+  HOLAP_REQUIRE(dense.dim_count() == dim_count() &&
+                    [&] {
+                      for (int d = 0; d < dim_count(); ++d) {
+                        if (dense.cardinality(d) != cardinality(d)) {
+                          return false;
+                        }
+                      }
+                      return true;
+                    }(),
+                "dimension list does not match this cube's shape");
+  std::vector<std::int32_t> coords(static_cast<std::size_t>(dim_count()), 0);
+  do {
+    dense.cell(dense.linear_index(coords)) = cell(coords);
+  } while (advance_odometer(coords, cards_));
+  return dense;
+}
+
+}  // namespace holap

@@ -1,0 +1,206 @@
+#include "cube/cube_set.hpp"
+
+#include <algorithm>
+
+namespace holap {
+namespace {
+
+std::size_t bytes_of(const std::variant<DenseCube, ChunkedCube>& cube) {
+  return std::visit([](const auto& c) { return c.size_bytes(); }, cube);
+}
+
+}  // namespace
+
+CubeSet::CubeSet(std::vector<Dimension> dims) : dims_(std::move(dims)) {
+  HOLAP_REQUIRE(!dims_.empty(), "cube set requires dimensions");
+}
+
+void CubeSet::add_level_from_table(const FactTable& table, int level,
+                                   int threads, bool with_minmax) {
+  const auto& measures = table.schema().measure_columns();
+  add_cube(build_cube(table, level, CubeBasis::kCount, -1, threads));
+  for (int m : measures) {
+    add_cube(build_cube(table, level, CubeBasis::kSum, m, threads));
+    if (with_minmax) {
+      add_cube(build_cube(table, level, CubeBasis::kMin, m, threads));
+      add_cube(build_cube(table, level, CubeBasis::kMax, m, threads));
+    }
+  }
+}
+
+void CubeSet::add_level_by_rollup(int level, int threads) {
+  // Smallest parent: the lowest materialised level above the target.
+  const auto parent = std::find_if(
+      levels_.begin(), levels_.end(),
+      [level](const auto& kv) { return kv.first > level; });
+  HOLAP_REQUIRE(parent != levels_.end(), "no finer level to roll up from");
+  std::vector<DenseCube> rolled;
+  rolled.reserve(parent->second.size());
+  for (const auto& [key, cube] : parent->second) {
+    if (const auto* dense = std::get_if<DenseCube>(&cube)) {
+      rolled.push_back(rollup(*dense, dims_, level, threads));
+    } else {
+      // Compressed parent: decompress transiently for the roll-up.
+      rolled.push_back(rollup(
+          std::get<ChunkedCube>(cube).to_dense(dims_), dims_, level,
+          threads));
+    }
+  }
+  for (auto& cube : rolled) add_cube(std::move(cube));
+}
+
+void CubeSet::add_cube(DenseCube cube) {
+  const BasisKey key{cube.basis(), cube.measure()};
+  auto& level = levels_[cube.level()];
+  HOLAP_REQUIRE(!level.contains(key),
+                "cube for this (level, basis, measure) already present");
+  level.emplace(key, std::move(cube));
+}
+
+void CubeSet::compress_level(int level, int chunk_side, double threshold) {
+  const auto it = levels_.find(level);
+  HOLAP_REQUIRE(it != levels_.end(), "level not materialised");
+  for (auto& [key, cube] : it->second) {
+    if (const auto* dense = std::get_if<DenseCube>(&cube)) {
+      cube = ChunkedCube::from_dense(*dense, chunk_side, threshold);
+    }
+  }
+}
+
+bool CubeSet::level_compressed(int level) const {
+  const auto it = levels_.find(level);
+  if (it == levels_.end()) return false;
+  for (const auto& [key, cube] : it->second) {
+    if (std::holds_alternative<ChunkedCube>(cube)) return true;
+  }
+  return false;
+}
+
+std::vector<int> CubeSet::levels() const {
+  std::vector<int> out;
+  out.reserve(levels_.size());
+  for (const auto& [level, cubes] : levels_) out.push_back(level);
+  return out;
+}
+
+bool CubeSet::has_level(int level) const { return levels_.contains(level); }
+
+const CubeSet::AnyCube* CubeSet::find_cube(int level, CubeBasis basis,
+                                           int measure) const {
+  const auto lit = levels_.find(level);
+  if (lit == levels_.end()) return nullptr;
+  const auto cit = lit->second.find({basis, measure});
+  return cit == lit->second.end() ? nullptr : &cit->second;
+}
+
+double CubeSet::aggregate_cube(const AnyCube& cube, const CubeRegion& region,
+                               int threads) const {
+  if (const auto* dense = std::get_if<DenseCube>(&cube)) {
+    return aggregate_region(*dense, region, threads).value;
+  }
+  return std::get<ChunkedCube>(cube).aggregate(region).value;
+}
+
+std::vector<CubeSet::BasisKey> CubeSet::required_bases(const Query& q) const {
+  std::vector<BasisKey> keys;
+  keys.emplace_back(CubeBasis::kCount, -1);  // row count always computed
+  switch (q.op) {
+    case AggOp::kCount:
+      break;
+    case AggOp::kSum:
+    case AggOp::kAvg:
+      for (int m : q.measures) keys.emplace_back(CubeBasis::kSum, m);
+      break;
+    case AggOp::kMin:
+      for (int m : q.measures) keys.emplace_back(CubeBasis::kMin, m);
+      break;
+    case AggOp::kMax:
+      for (int m : q.measures) keys.emplace_back(CubeBasis::kMax, m);
+      break;
+  }
+  return keys;
+}
+
+bool CubeSet::level_supports(int level, const Query& q) const {
+  for (const auto& [basis, measure] : required_bases(q)) {
+    if (find_cube(level, basis, measure) == nullptr) return false;
+  }
+  return true;
+}
+
+std::optional<int> CubeSet::lowest_level_for(const Query& q) const {
+  const int required = q.required_resolution();
+  for (const auto& [level, cubes] : levels_) {  // map: ascending levels
+    if (level < required) continue;
+    if (level_supports(level, q)) return level;
+  }
+  return std::nullopt;
+}
+
+std::size_t CubeSet::answer_bytes(const Query& q) const {
+  const auto level = lowest_level_for(q);
+  HOLAP_REQUIRE(level.has_value(), "cube set cannot answer this query");
+  const std::size_t per_cube =
+      subcube_bytes(q, dims_, *level, sizeof(double));
+  return per_cube * required_bases(q).size();
+}
+
+QueryAnswer CubeSet::answer(const Query& q, int threads) const {
+  const auto level = lowest_level_for(q);
+  HOLAP_REQUIRE(level.has_value(), "cube set cannot answer this query");
+  const CubeRegion region = region_for_query(q, dims_, *level);
+
+  QueryAnswer answer;
+  answer.row_count = aggregate_cube(
+      *find_cube(*level, CubeBasis::kCount, -1), region, threads);
+
+  switch (q.op) {
+    case AggOp::kCount:
+      answer.value = answer.row_count;
+      break;
+    case AggOp::kSum:
+    case AggOp::kAvg: {
+      double sum = 0.0;
+      for (int m : q.measures) {
+        sum += aggregate_cube(*find_cube(*level, CubeBasis::kSum, m),
+                              region, threads);
+      }
+      answer.value = q.op == AggOp::kSum
+                         ? sum
+                         : (answer.row_count > 0.0 ? sum / answer.row_count
+                                                   : 0.0);
+      break;
+    }
+    case AggOp::kMin: {
+      double v = basis_identity(CubeBasis::kMin);
+      for (int m : q.measures) {
+        v = std::min(v, aggregate_cube(*find_cube(*level, CubeBasis::kMin,
+                                                  m),
+                                       region, threads));
+      }
+      answer.value = v;
+      break;
+    }
+    case AggOp::kMax: {
+      double v = basis_identity(CubeBasis::kMax);
+      for (int m : q.measures) {
+        v = std::max(v, aggregate_cube(*find_cube(*level, CubeBasis::kMax,
+                                                  m),
+                                       region, threads));
+      }
+      answer.value = v;
+      break;
+    }
+  }
+  return answer;
+}
+
+std::size_t CubeSet::total_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [level, cubes] : levels_) {
+    for (const auto& [key, cube] : cubes) bytes += bytes_of(cube);
+  }
+  return bytes;
+}
+
+}  // namespace holap

@@ -1,0 +1,92 @@
+// The pre-computed cube ladder of Figure 1.
+//
+// A hybrid OLAP system keeps several cubes of the same data at different
+// resolutions — coarse cubes are tiny and fast, fine ones large and slow.
+// Level M in Figure 1 is the finest resolution the CPU's memory can hold;
+// queries needing finer data must go to the GPU's fact table. "It is always
+// desirable to respond to the query using a cube with lowest possible
+// resolution to minimize memory accesses" (§III-C) — CubeSet implements
+// exactly that selection, plus the eq.-(3) sub-cube size estimate the
+// scheduler's CPU time model consumes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <variant>
+
+#include "cube/aggregate.hpp"
+#include "cube/builder.hpp"
+#include "cube/chunked_cube.hpp"
+#include "cube/rollup.hpp"
+
+namespace holap {
+
+/// A set of uniform-resolution cubes over one fact table's dimensions.
+class CubeSet {
+ public:
+  explicit CubeSet(std::vector<Dimension> dims);
+
+  const std::vector<Dimension>& dimensions() const { return dims_; }
+
+  /// Materialise a full level: one kSum cube per measure column of
+  /// `table`'s schema, one kCount cube, one kMin and kMax cube per measure
+  /// when `with_minmax`. Builds from the fact table.
+  void add_level_from_table(const FactTable& table, int level, int threads = 0,
+                            bool with_minmax = false);
+
+  /// Materialise a coarser level by rolling up an existing finer one
+  /// (the smallest existing parent is chosen automatically).
+  void add_level_by_rollup(int level, int threads = 0);
+
+  /// Insert one externally built cube.
+  void add_cube(DenseCube cube);
+
+  /// Convert every cube at `level` to chunked/compressed storage
+  /// (cube/chunked_cube.hpp). Answers are unchanged; memory shrinks in
+  /// proportion to the level's sparsity — what makes fine levels
+  /// materialisable at all (see bench_ablation_storage).
+  void compress_level(int level, int chunk_side = 16,
+                      double threshold = kChunkCompressionThreshold);
+
+  /// Is any cube at `level` stored compressed?
+  bool level_compressed(int level) const;
+
+  /// Levels present, ascending (coarsest first).
+  std::vector<int> levels() const;
+  bool has_level(int level) const;
+
+  /// Lowest materialised level that can answer `q` — at least the query's
+  /// required resolution R (eq. 2) and holding every basis the operator
+  /// needs. nullopt when no cube qualifies (the query must go to the GPU).
+  std::optional<int> lowest_level_for(const Query& q) const;
+
+  bool can_answer(const Query& q) const {
+    return lowest_level_for(q).has_value();
+  }
+
+  /// Eq. (3): bytes the CPU must traverse to answer `q` on the level this
+  /// set would choose. Counts all basis cubes the operator touches.
+  /// Throws when the set cannot answer `q`.
+  std::size_t answer_bytes(const Query& q) const;
+
+  /// Answer `q` on the chosen level. The query must be translated.
+  /// `threads`: 0 = sequential engine, n >= 1 = OpenMP engine.
+  QueryAnswer answer(const Query& q, int threads = 0) const;
+
+  /// Total memory held by all cubes.
+  std::size_t total_bytes() const;
+
+ private:
+  using BasisKey = std::pair<CubeBasis, int>;  // (basis, measure)
+  using AnyCube = std::variant<DenseCube, ChunkedCube>;
+  std::vector<Dimension> dims_;
+  std::map<int, std::map<BasisKey, AnyCube>> levels_;
+
+  const AnyCube* find_cube(int level, CubeBasis basis, int measure) const;
+  double aggregate_cube(const AnyCube& cube, const CubeRegion& region,
+                        int threads) const;
+  bool level_supports(int level, const Query& q) const;
+  std::vector<BasisKey> required_bases(const Query& q) const;
+};
+
+}  // namespace holap

@@ -1,0 +1,105 @@
+#include "cube/dense_cube.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace holap {
+
+const char* to_string(CubeBasis basis) {
+  switch (basis) {
+    case CubeBasis::kSum:
+      return "sum";
+    case CubeBasis::kCount:
+      return "count";
+    case CubeBasis::kMin:
+      return "min";
+    case CubeBasis::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+double basis_identity(CubeBasis basis) {
+  switch (basis) {
+    case CubeBasis::kSum:
+    case CubeBasis::kCount:
+      return 0.0;
+    case CubeBasis::kMin:
+      return std::numeric_limits<double>::infinity();
+    case CubeBasis::kMax:
+      return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double basis_combine(CubeBasis basis, double a, double b) {
+  switch (basis) {
+    case CubeBasis::kSum:
+    case CubeBasis::kCount:
+      return a + b;
+    case CubeBasis::kMin:
+      return std::min(a, b);
+    case CubeBasis::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+std::size_t cube_bytes(const std::vector<Dimension>& dims, int level,
+                       std::size_t cell_bytes) {
+  std::size_t cells = 1;
+  for (const auto& dim : dims) {
+    cells *= dim.level(level).cardinality;
+  }
+  return cells * cell_bytes;
+}
+
+DenseCube::DenseCube(const std::vector<Dimension>& dims, int level,
+                     CubeBasis basis, int measure)
+    : level_(level), basis_(basis), measure_(measure) {
+  HOLAP_REQUIRE(!dims.empty(), "cube requires at least one dimension");
+  HOLAP_REQUIRE(basis != CubeBasis::kCount || measure == -1,
+                "count basis takes no measure");
+  HOLAP_REQUIRE(basis == CubeBasis::kCount || measure >= 0,
+                "sum/min/max basis requires a measure column");
+  cards_.reserve(dims.size());
+  for (const auto& dim : dims) {
+    HOLAP_REQUIRE(level >= 0 && level < dim.level_count(),
+                  "cube level out of range for dimension");
+    cards_.push_back(dim.level(level).cardinality);
+  }
+  strides_.assign(cards_.size(), 1);
+  for (int d = static_cast<int>(cards_.size()) - 2; d >= 0; --d) {
+    strides_[static_cast<std::size_t>(d)] =
+        strides_[static_cast<std::size_t>(d) + 1] *
+        cards_[static_cast<std::size_t>(d) + 1];
+  }
+  const std::size_t total = strides_[0] * cards_[0];
+  cells_.assign(total, basis_identity(basis));
+}
+
+std::uint32_t DenseCube::cardinality(int d) const {
+  HOLAP_REQUIRE(d >= 0 && d < dim_count(), "dimension index out of range");
+  return cards_[static_cast<std::size_t>(d)];
+}
+
+std::size_t DenseCube::stride(int d) const {
+  HOLAP_REQUIRE(d >= 0 && d < dim_count(), "dimension index out of range");
+  return strides_[static_cast<std::size_t>(d)];
+}
+
+std::size_t DenseCube::linear_index(
+    std::span<const std::int32_t> coords) const {
+  HOLAP_REQUIRE(coords.size() == cards_.size(),
+                "coordinate arity must match dimension count");
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < cards_.size(); ++d) {
+    HOLAP_REQUIRE(coords[d] >= 0 && static_cast<std::uint32_t>(coords[d]) <
+                                        cards_[d],
+                  "cube coordinate out of range");
+    idx += static_cast<std::size_t>(coords[d]) * strides_[d];
+  }
+  return idx;
+}
+
+}  // namespace holap

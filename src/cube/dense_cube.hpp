@@ -1,0 +1,83 @@
+// Dense MOLAP cube storage.
+//
+// A DenseCube is an N-dimensional dense array of 8-byte cells at one
+// uniform hierarchy level ("resolution" in the paper's terms), holding one
+// aggregation basis over one measure:
+//
+//   kSum   — per-cell sum of the measure over the rows mapping to the cell
+//   kCount — per-cell row count (measure-independent)
+//   kMin / kMax — per-cell extremum of the measure
+//
+// Storage is row-major with the LAST dimension contiguous, so a sub-cube
+// scan streams cache-line-aligned runs — this is the array-based layout of
+// Zhao, Deshpande & Naughton [20] (in-memory, so their chunk-offset disk
+// compression is unnecessary) and is what makes cube processing
+// memory-bandwidth-bound (§III-B), the property the paper's CPU
+// performance model rests on.
+//
+// Empty cells hold the basis identity (0 for sum/count, ±inf for min/max),
+// so aggregation over any region needs no occupancy mask.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "relational/dimensions.hpp"
+
+namespace holap {
+
+enum class CubeBasis : std::uint8_t { kSum, kCount, kMin, kMax };
+
+const char* to_string(CubeBasis basis);
+
+/// Identity value for a basis (what empty cells hold).
+double basis_identity(CubeBasis basis);
+
+/// Combine two partial aggregates of the same basis.
+double basis_combine(CubeBasis basis, double a, double b);
+
+/// Size in bytes of a uniform-resolution cube over `dims` at `level` with
+/// `cell_bytes` per cell — eq. (3)'s capacity math without allocating.
+std::size_t cube_bytes(const std::vector<Dimension>& dims, int level,
+                       std::size_t cell_bytes = sizeof(double));
+
+class DenseCube {
+ public:
+  /// Allocates (and identity-fills) the full dense array. `measure` is the
+  /// schema column the basis aggregates (-1 for kCount).
+  DenseCube(const std::vector<Dimension>& dims, int level, CubeBasis basis,
+            int measure);
+
+  int level() const { return level_; }
+  CubeBasis basis() const { return basis_; }
+  int measure() const { return measure_; }
+  int dim_count() const { return static_cast<int>(cards_.size()); }
+
+  /// Member count of dimension d at this cube's level.
+  std::uint32_t cardinality(int d) const;
+
+  std::size_t cell_count() const { return cells_.size(); }
+  std::size_t size_bytes() const { return cells_.size() * sizeof(double); }
+
+  /// Linear index of a cell from per-dimension member codes.
+  std::size_t linear_index(std::span<const std::int32_t> coords) const;
+
+  double& cell(std::size_t linear) { return cells_[linear]; }
+  double cell(std::size_t linear) const { return cells_[linear]; }
+  std::span<double> cells() { return cells_; }
+  std::span<const double> cells() const { return cells_; }
+
+  /// Stride (in cells) of dimension d in the linear layout.
+  std::size_t stride(int d) const;
+
+ private:
+  int level_;
+  CubeBasis basis_;
+  int measure_;
+  std::vector<std::uint32_t> cards_;
+  std::vector<std::size_t> strides_;
+  std::vector<double> cells_;
+};
+
+}  // namespace holap

@@ -1,0 +1,154 @@
+#include "cube/lattice.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace holap {
+
+bool ViewId::derivable_from(const ViewId& parent) const {
+  if (levels.size() != parent.levels.size()) return false;
+  for (std::size_t d = 0; d < levels.size(); ++d) {
+    if (levels[d] == kCollapsed) continue;          // anything rolls up
+    if (parent.levels[d] == kCollapsed) return false;  // lost the dimension
+    if (parent.levels[d] < levels[d]) return false;    // parent too coarse
+  }
+  return true;
+}
+
+std::size_t ViewId::cells(const std::vector<Dimension>& dims) const {
+  std::size_t n = 1;
+  for (std::size_t d = 0; d < levels.size(); ++d) {
+    if (levels[d] == kCollapsed) continue;
+    n *= dims[d].level(levels[d]).cardinality;
+  }
+  return n;
+}
+
+std::string ViewId::to_string(const std::vector<Dimension>& dims) const {
+  std::ostringstream os;
+  for (std::size_t d = 0; d < levels.size(); ++d) {
+    if (d) os << " x ";
+    os << dims[d].name() << '.';
+    if (levels[d] == kCollapsed) {
+      os << "(all)";
+    } else {
+      os << dims[d].level(levels[d]).name;
+    }
+  }
+  return os.str();
+}
+
+void validate_view(const ViewId& view, const std::vector<Dimension>& dims) {
+  HOLAP_REQUIRE(view.levels.size() == dims.size(),
+                "view arity must match dimension count");
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    HOLAP_REQUIRE(view.levels[d] == ViewId::kCollapsed ||
+                      (view.levels[d] >= 0 &&
+                       view.levels[d] < dims[d].level_count()),
+                  "view level out of range for dimension");
+  }
+}
+
+ViewId base_view(const std::vector<Dimension>& dims) {
+  ViewId view;
+  for (const auto& dim : dims) view.levels.push_back(dim.finest_level());
+  return view;
+}
+
+ViewId apex_view(const std::vector<Dimension>& dims) {
+  ViewId view;
+  view.levels.assign(dims.size(), ViewId::kCollapsed);
+  return view;
+}
+
+std::vector<ViewId> enumerate_lattice(const std::vector<Dimension>& dims) {
+  HOLAP_REQUIRE(!dims.empty(), "lattice requires dimensions");
+  std::vector<ViewId> views;
+  ViewId current;
+  current.levels.assign(dims.size(), ViewId::kCollapsed);
+  for (;;) {
+    views.push_back(current);
+    // Odometer over {kCollapsed, 0, ..., L_d - 1} per dimension.
+    int d = static_cast<int>(dims.size()) - 1;
+    for (; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      if (current.levels[du] + 1 < dims[du].level_count()) {
+        ++current.levels[du];
+        break;
+      }
+      current.levels[du] = ViewId::kCollapsed;
+    }
+    if (d < 0) break;
+  }
+  // Coarse first: ascending cell count, then lexicographic for stability.
+  std::sort(views.begin(), views.end(),
+            [&](const ViewId& a, const ViewId& b) {
+              const std::size_t ca = a.cells(dims), cb = b.cells(dims);
+              if (ca != cb) return ca < cb;
+              return a.levels < b.levels;
+            });
+  return views;
+}
+
+MaterializationPlan plan_smallest_parent(const std::vector<Dimension>& dims,
+                                         std::vector<ViewId> views,
+                                         std::size_t fact_rows) {
+  for (const auto& view : views) validate_view(view, dims);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    for (std::size_t j = i + 1; j < views.size(); ++j) {
+      HOLAP_REQUIRE(!(views[i] == views[j]), "duplicate view in request");
+    }
+  }
+  // Fine-to-coarse processing order makes every potential parent appear
+  // before its children; ties broken for determinism.
+  std::sort(views.begin(), views.end(),
+            [&](const ViewId& a, const ViewId& b) {
+              const std::size_t ca = a.cells(dims), cb = b.cells(dims);
+              if (ca != cb) return ca > cb;
+              return a.levels < b.levels;
+            });
+
+  MaterializationPlan plan;
+  for (const auto& view : views) {
+    MaterializationStep step;
+    step.view = view;
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (std::size_t p = 0; p < plan.steps.size(); ++p) {
+      if (!view.derivable_from(plan.steps[p].view)) continue;
+      const std::size_t cost = plan.steps[p].view.cells(dims);
+      if (cost < best) {
+        best = cost;
+        step.parent = p;
+      }
+    }
+    // The fact table is always a legal parent; prefer it when smaller
+    // (it never is in practice for coarse views, but stay principled).
+    if (!step.parent.has_value() || fact_rows < best) {
+      step.parent = std::nullopt;
+      best = fact_rows;
+    }
+    step.scan_cost = best;
+    plan.total_cost += best;
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+MaterializationPlan plan_naive(const std::vector<Dimension>& dims,
+                               std::vector<ViewId> views,
+                               std::size_t fact_rows) {
+  for (const auto& view : views) validate_view(view, dims);
+  MaterializationPlan plan;
+  for (auto& view : views) {
+    MaterializationStep step;
+    step.view = std::move(view);
+    step.parent = std::nullopt;
+    step.scan_cost = fact_rows;
+    plan.total_cost += fact_rows;
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+}  // namespace holap

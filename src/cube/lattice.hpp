@@ -1,0 +1,90 @@
+// The group-by lattice and smallest-parent materialization planning
+// (§II-A/B: Gray et al.'s data cube [5], the smallest-parent method, and
+// the minimum-size spanning tree of Zhao et al. [20] / Liang & Orlowska
+// [10]).
+//
+// A *view* fixes, per dimension, either a hierarchy level or "collapsed"
+// (the dimension is aggregated out — the GROUP BY omits it). With L levels
+// per dimension the lattice has (L+1)^N views, ordered by derivability:
+// view A is computable from view B iff B is at least as fine in every
+// dimension. Computing A from B costs one scan of B, so the classic
+// smallest-parent method materialises views coarse-to-fine, each from its
+// smallest already-materialised ancestor; because the edge cost into A
+// depends only on the chosen parent, the greedy choice yields the
+// minimum-cost spanning tree of the lattice.
+//
+// This module plans; cube/view_cube.hpp executes the plans on real data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/dimensions.hpp"
+
+namespace holap {
+
+/// Identifies one group-by view: levels[d] is a hierarchy level of
+/// dimension d, or kCollapsed when d is aggregated out.
+struct ViewId {
+  static constexpr int kCollapsed = -1;
+  std::vector<int> levels;
+
+  friend bool operator==(const ViewId&, const ViewId&) = default;
+
+  /// Can this view be computed from `parent` (parent at least as fine in
+  /// every dimension)? A collapsed dimension derives from any level.
+  bool derivable_from(const ViewId& parent) const;
+
+  /// Cells of the view's dense array (collapsed dimensions contribute 1).
+  std::size_t cells(const std::vector<Dimension>& dims) const;
+
+  /// "time.month x geography.* x product.(all)" style rendering.
+  std::string to_string(const std::vector<Dimension>& dims) const;
+};
+
+/// Validate a view against the dimensions; throws InvalidArgument.
+void validate_view(const ViewId& view, const std::vector<Dimension>& dims);
+
+/// The base cuboid: every dimension at its finest level.
+ViewId base_view(const std::vector<Dimension>& dims);
+
+/// The apex: every dimension collapsed (the grand total).
+ViewId apex_view(const std::vector<Dimension>& dims);
+
+/// All (L+1)^N views of the full lattice, coarse-to-fine-ish order
+/// (descending total collapse count, then lexicographic).
+std::vector<ViewId> enumerate_lattice(const std::vector<Dimension>& dims);
+
+/// One step of a materialization plan.
+struct MaterializationStep {
+  ViewId view;
+  /// Index into the plan of the parent this view rolls up from, or
+  /// nullopt when it builds from the fact table (the base cuboid and any
+  /// view with no planned ancestor).
+  std::optional<std::size_t> parent;
+  /// Cells scanned to produce this view: parent's size, or the fact
+  /// table's row count for fact-table builds.
+  std::size_t scan_cost = 0;
+};
+
+struct MaterializationPlan {
+  std::vector<MaterializationStep> steps;  ///< topological order
+  std::size_t total_cost = 0;              ///< Σ scan_cost
+};
+
+/// Smallest-parent plan for materialising `views` over a fact table of
+/// `fact_rows` rows. Views may arrive in any order and must be distinct;
+/// the plan orders them so every parent precedes its children.
+MaterializationPlan plan_smallest_parent(const std::vector<Dimension>& dims,
+                                         std::vector<ViewId> views,
+                                         std::size_t fact_rows);
+
+/// The naive comparison plan: every view scans the fact table directly
+/// (what §II-B's "multiple scans required by a naive algorithm" costs).
+MaterializationPlan plan_naive(const std::vector<Dimension>& dims,
+                               std::vector<ViewId> views,
+                               std::size_t fact_rows);
+
+}  // namespace holap

@@ -1,0 +1,95 @@
+#include "cube/region.hpp"
+
+#include <algorithm>
+
+namespace holap {
+
+std::vector<Interval> normalize_intervals(std::vector<Interval> intervals) {
+  for (const auto& iv : intervals) {
+    HOLAP_REQUIRE(iv.lo <= iv.hi, "interval must satisfy lo <= hi");
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> out;
+  for (const auto& iv : intervals) {
+    if (!out.empty() && iv.lo <= out.back().hi + 1) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> intersect_intervals(const std::vector<Interval>& a,
+                                          const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int32_t lo = std::max(a[i].lo, b[j].lo);
+    const std::int32_t hi = std::min(a[i].hi, b[j].hi);
+    if (lo <= hi) out.push_back({lo, hi});
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+bool CubeRegion::empty() const {
+  for (const auto& d : dims) {
+    if (d.empty()) return true;
+  }
+  return dims.empty();
+}
+
+std::size_t CubeRegion::cell_count() const {
+  if (empty()) return 0;
+  std::size_t cells = 1;
+  for (const auto& d : dims) {
+    std::size_t width = 0;
+    for (const auto& iv : d) {
+      width += static_cast<std::size_t>(iv.hi - iv.lo + 1);
+    }
+    cells *= width;
+  }
+  return cells;
+}
+
+CubeRegion region_for_query(const Query& q,
+                            const std::vector<Dimension>& dims,
+                            int cube_level) {
+  HOLAP_REQUIRE(cube_level >= q.required_resolution(),
+                "cube resolution too coarse for query");
+  HOLAP_REQUIRE(!q.needs_translation(),
+                "query must be translated before cube processing");
+  CubeRegion region;
+  region.dims.resize(dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    const Dimension& dim = dims[d];
+    const auto card =
+        static_cast<std::int32_t>(dim.level(cube_level).cardinality);
+    region.dims[d] = {{0, card - 1}};
+  }
+  for (const auto& c : q.conditions) {
+    const Dimension& dim = dims[static_cast<std::size_t>(c.dim)];
+    const auto fanout =
+        static_cast<std::int32_t>(dim.fanout(c.level, cube_level));
+    std::vector<Interval> cond;
+    if (c.is_text()) {
+      for (std::int32_t code : c.codes) {
+        if (code < 0) continue;  // string absent from dictionary: no rows
+        cond.push_back({code * fanout, (code + 1) * fanout - 1});
+      }
+    } else {
+      cond.push_back({c.from * fanout, (c.to + 1) * fanout - 1});
+    }
+    auto& slot = region.dims[static_cast<std::size_t>(c.dim)];
+    slot = intersect_intervals(slot, normalize_intervals(std::move(cond)));
+  }
+  return region;
+}
+
+}  // namespace holap

@@ -1,0 +1,53 @@
+// Sub-cube regions: the "area of limited search" of Figure 2.
+//
+// A query restricted to a cube becomes, per dimension, a set of disjoint
+// inclusive member-code intervals at the cube's level. Range conditions at
+// a coarser level widen by the hierarchy fanout; text conditions become one
+// interval per translated code; several conditions on one dimension
+// intersect. The aggregation kernels walk a region's cartesian product of
+// intervals, streaming contiguous runs along the last dimension.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/dense_cube.hpp"
+#include "query/query.hpp"
+
+namespace holap {
+
+/// Inclusive member-code interval [lo, hi].
+struct Interval {
+  std::int32_t lo = 0;
+  std::int32_t hi = 0;
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Sorted, disjoint, non-adjacent interval set. Normalisation merges
+/// overlapping/adjacent intervals so cell runs are maximal.
+std::vector<Interval> normalize_intervals(std::vector<Interval> intervals);
+
+/// Intersection of two normalised interval sets.
+std::vector<Interval> intersect_intervals(const std::vector<Interval>& a,
+                                          const std::vector<Interval>& b);
+
+/// Per-dimension interval sets describing a sub-cube.
+struct CubeRegion {
+  std::vector<std::vector<Interval>> dims;
+
+  bool empty() const;
+  /// Number of cells in the region (product over dims of covered widths).
+  std::size_t cell_count() const;
+};
+
+/// Region of `q` on a uniform-resolution cube at `cube_level`.
+///
+/// Preconditions: cube_level >= q.required_resolution(); every text
+/// condition already translated (codes filled). Untranslated queries must
+/// go through the Translator first — this mirrors the system rule that
+/// translation precedes processing.
+CubeRegion region_for_query(const Query& q,
+                            const std::vector<Dimension>& dims,
+                            int cube_level);
+
+}  // namespace holap

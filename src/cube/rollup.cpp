@@ -1,0 +1,82 @@
+#include "cube/rollup.hpp"
+
+#include <omp.h>
+
+namespace holap {
+namespace {
+
+// Decodes fine linear indices incrementally: for each fine cell, the
+// corresponding coarse linear index. Fine cells are visited in linear
+// order, so per-dimension counters replace div/mod in the hot loop.
+struct CoarseMapper {
+  std::vector<std::uint32_t> fine_cards;
+  std::vector<std::uint32_t> fanouts;       // fine members per coarse member
+  std::vector<std::size_t> coarse_strides;  // strides in the coarse cube
+
+  std::size_t coarse_of(std::size_t fine_linear) const {
+    std::size_t idx = 0;
+    for (int d = static_cast<int>(fine_cards.size()) - 1; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      const std::size_t coord = fine_linear % fine_cards[du];
+      fine_linear /= fine_cards[du];
+      idx += (coord / fanouts[du]) * coarse_strides[du];
+    }
+    return idx;
+  }
+};
+
+}  // namespace
+
+DenseCube rollup(const DenseCube& fine, const std::vector<Dimension>& dims,
+                 int coarse_level, int threads) {
+  HOLAP_REQUIRE(static_cast<int>(dims.size()) == fine.dim_count(),
+                "dimension list must match cube dimensionality");
+  HOLAP_REQUIRE(coarse_level >= 0 && coarse_level <= fine.level(),
+                "rollup target must be at or above the fine level");
+  DenseCube coarse(dims, coarse_level, fine.basis(), fine.measure());
+
+  CoarseMapper map;
+  for (int d = 0; d < fine.dim_count(); ++d) {
+    map.fine_cards.push_back(fine.cardinality(d));
+    map.fanouts.push_back(
+        dims[static_cast<std::size_t>(d)].fanout(coarse_level, fine.level()));
+    map.coarse_strides.push_back(coarse.stride(d));
+  }
+
+  const CubeBasis basis = fine.basis();
+  const double* src = fine.cells().data();
+  const std::size_t n = fine.cell_count();
+
+  if (threads <= 0) {
+    double* dst = coarse.cells().data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = map.coarse_of(i);
+      dst[c] = basis_combine(basis, dst[c], src[i]);
+    }
+    return coarse;
+  }
+
+  const std::size_t coarse_cells = coarse.cell_count();
+  std::vector<std::vector<double>> partials(
+      static_cast<std::size_t>(threads));
+#pragma omp parallel num_threads(threads)
+  {
+    auto& local = partials[static_cast<std::size_t>(omp_get_thread_num())];
+    local.assign(coarse_cells, basis_identity(basis));
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+      const std::size_t c = map.coarse_of(static_cast<std::size_t>(i));
+      local[c] = basis_combine(basis, local[c],
+                               src[static_cast<std::size_t>(i)]);
+    }
+  }
+  double* dst = coarse.cells().data();
+  for (const auto& local : partials) {
+    for (std::size_t c = 0; c < coarse_cells; ++c) {
+      dst[c] = basis_combine(basis, dst[c], local[c]);
+    }
+  }
+  return coarse;
+}
+
+}  // namespace holap

@@ -1,0 +1,23 @@
+// Roll-up: derive a coarser cube from a finer one.
+//
+// The "smallest parent" principle [5, 10]: a group-by at a coarse
+// resolution is computed from the smallest already-materialised finer cube
+// rather than from the fact table. With balanced hierarchies every coarse
+// cell is the basis-combination of an axis-aligned block of fine cells, so
+// roll-up is a single pass over the fine cube. CubeSet uses this to
+// materialise its resolution ladder from one fact-table scan at the finest
+// pre-computed level.
+#pragma once
+
+#include "cube/dense_cube.hpp"
+
+namespace holap {
+
+/// Aggregate `fine` (over `dims` at its own level) down to `coarse_level`.
+/// Requires coarse_level <= fine.level(); equal levels return a copy.
+/// `threads`: 0 = sequential, n >= 1 = OpenMP (per-thread partial coarse
+/// cubes merged at the end — the coarse cube is the smaller one).
+DenseCube rollup(const DenseCube& fine, const std::vector<Dimension>& dims,
+                 int coarse_level, int threads = 0);
+
+}  // namespace holap

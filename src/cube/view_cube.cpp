@@ -1,0 +1,135 @@
+#include "cube/view_cube.hpp"
+
+namespace holap {
+
+ViewCube::ViewCube(const std::vector<Dimension>& dims, ViewId view,
+                   CubeBasis basis, int measure)
+    : view_(std::move(view)), basis_(basis), measure_(measure) {
+  validate_view(view_, dims);
+  HOLAP_REQUIRE(basis != CubeBasis::kCount || measure == -1,
+                "count basis takes no measure");
+  HOLAP_REQUIRE(basis == CubeBasis::kCount || measure >= 0,
+                "sum/min/max basis requires a measure column");
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    cards_.push_back(view_.levels[d] == ViewId::kCollapsed
+                         ? 1u
+                         : dims[d].level(view_.levels[d]).cardinality);
+  }
+  strides_.assign(cards_.size(), 1);
+  for (int d = static_cast<int>(cards_.size()) - 2; d >= 0; --d) {
+    const auto du = static_cast<std::size_t>(d);
+    strides_[du] = strides_[du + 1] * cards_[du + 1];
+  }
+  cells_.assign(strides_[0] * cards_[0], basis_identity(basis));
+}
+
+std::size_t ViewCube::linear_index(
+    std::span<const std::int32_t> coords) const {
+  HOLAP_REQUIRE(coords.size() == cards_.size(),
+                "coordinate arity must match dimension count");
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < cards_.size(); ++d) {
+    if (cards_[d] == 1) continue;  // collapsed: any code maps to slot 0
+    HOLAP_REQUIRE(coords[d] >= 0 &&
+                      static_cast<std::uint32_t>(coords[d]) < cards_[d],
+                  "view coordinate out of range");
+    idx += static_cast<std::size_t>(coords[d]) * strides_[d];
+  }
+  return idx;
+}
+
+double ViewCube::combined_total() const {
+  double acc = basis_identity(basis_);
+  for (const double c : cells_) acc = basis_combine(basis_, acc, c);
+  return acc;
+}
+
+ViewCube build_view(const FactTable& table, const ViewId& view,
+                    CubeBasis basis, int measure) {
+  const auto& dims = table.schema().dimensions();
+  ViewCube cube(dims, view, basis, measure);
+  // Bind the column of each non-collapsed dimension at the view's level.
+  std::vector<std::span<const std::int32_t>> columns(dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (view.levels[d] == ViewId::kCollapsed) continue;
+    columns[d] = table.dim_level_column(static_cast<int>(d), view.levels[d]);
+  }
+  std::vector<std::int32_t> coords(dims.size(), 0);
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      coords[d] = columns[d].empty() ? 0 : columns[d][r];
+    }
+    const std::size_t idx = cube.linear_index(coords);
+    const double v =
+        basis == CubeBasis::kCount ? 1.0 : table.measure_column(measure)[r];
+    cube.cells()[idx] = basis_combine(basis, cube.cells()[idx], v);
+  }
+  return cube;
+}
+
+ViewCube rollup_view(const ViewCube& parent,
+                     const std::vector<Dimension>& dims,
+                     const ViewId& child) {
+  HOLAP_REQUIRE(child.derivable_from(parent.view()),
+                "child view is not derivable from this parent");
+  ViewCube cube(dims, child, parent.basis(), parent.measure());
+  // Per dimension: how a parent coordinate maps to a child coordinate.
+  const std::size_t n = dims.size();
+  std::vector<std::uint32_t> fanout(n, 1);   // parent members per child
+  std::vector<bool> collapse(n, false);
+  for (std::size_t d = 0; d < n; ++d) {
+    const int pl = parent.view().levels[d];
+    const int cl = child.levels[d];
+    if (cl == ViewId::kCollapsed) {
+      collapse[d] = true;
+    } else {
+      fanout[d] = dims[d].fanout(cl, pl);
+    }
+  }
+  // Walk the parent's cells in linear order with an incremental odometer.
+  std::vector<std::int32_t> pcoords(n, 0);
+  std::vector<std::int32_t> ccoords(n, 0);
+  const auto parent_card = [&](std::size_t d) {
+    const int pl = parent.view().levels[d];
+    return pl == ViewId::kCollapsed ? 1u : dims[d].level(pl).cardinality;
+  };
+  for (std::size_t i = 0; i < parent.cell_count(); ++i) {
+    for (std::size_t d = 0; d < n; ++d) {
+      ccoords[d] = collapse[d]
+                       ? 0
+                       : pcoords[d] / static_cast<std::int32_t>(fanout[d]);
+    }
+    const std::size_t idx = cube.linear_index(ccoords);
+    cube.cells()[idx] = basis_combine(parent.basis(), cube.cells()[idx],
+                                      parent.cells()[i]);
+    // Advance the parent odometer (last dimension fastest, matching the
+    // linear layout).
+    for (int d = static_cast<int>(n) - 1; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      if (static_cast<std::uint32_t>(++pcoords[du]) < parent_card(du)) break;
+      pcoords[du] = 0;
+    }
+  }
+  return cube;
+}
+
+std::vector<ViewCube> execute_plan(const FactTable& table,
+                                   const MaterializationPlan& plan,
+                                   CubeBasis basis, int measure) {
+  const auto& dims = table.schema().dimensions();
+  std::vector<ViewCube> cubes;
+  cubes.reserve(plan.steps.size());
+  for (const auto& step : plan.steps) {
+    if (step.parent.has_value()) {
+      HOLAP_REQUIRE(*step.parent < cubes.size(),
+                    "plan parent must precede its child");
+      cubes.push_back(
+          rollup_view(cubes[*step.parent], dims, step.view));
+    } else {
+      cubes.push_back(build_view(table, step.view, basis, measure));
+    }
+  }
+  return cubes;
+}
+
+}  // namespace holap

@@ -1,0 +1,67 @@
+// Materialized group-by views (general cuboids).
+//
+// A ViewCube is the dense array of one lattice view (cube/lattice.hpp):
+// per-dimension levels may differ and dimensions may be collapsed. It is
+// the executor for materialization plans — build_view() scans the fact
+// table, rollup_view() derives a coarser view from any derivable parent —
+// and generalises the uniform-level DenseCube that CubeSet serves queries
+// from.
+#pragma once
+
+#include "cube/dense_cube.hpp"
+#include "cube/lattice.hpp"
+#include "relational/fact_table.hpp"
+
+namespace holap {
+
+class ViewCube {
+ public:
+  /// Allocates the identity-filled array for `view`.
+  ViewCube(const std::vector<Dimension>& dims, ViewId view, CubeBasis basis,
+           int measure);
+
+  const ViewId& view() const { return view_; }
+  CubeBasis basis() const { return basis_; }
+  int measure() const { return measure_; }
+  std::size_t cell_count() const { return cells_.size(); }
+  std::span<const double> cells() const { return cells_; }
+  std::span<double> cells() { return cells_; }
+
+  /// Linear index from per-dimension member codes; codes of collapsed
+  /// dimensions are ignored (pass anything).
+  std::size_t linear_index(std::span<const std::int32_t> coords) const;
+
+  /// Grand total under the basis (handy invariant for tests).
+  double combined_total() const;
+
+ private:
+  ViewId view_;
+  CubeBasis basis_;
+  int measure_;
+  std::vector<std::uint32_t> cards_;   // per dim; 1 when collapsed
+  std::vector<std::size_t> strides_;
+  std::vector<double> cells_;
+
+  friend ViewCube rollup_view(const ViewCube& parent,
+                              const std::vector<Dimension>& dims,
+                              const ViewId& child);
+};
+
+/// Build `view` by scanning the fact table (plan steps without a parent).
+ViewCube build_view(const FactTable& table, const ViewId& view,
+                    CubeBasis basis, int measure);
+
+/// Derive `child` from a materialized `parent`; child must be
+/// derivable_from(parent.view()).
+ViewCube rollup_view(const ViewCube& parent,
+                     const std::vector<Dimension>& dims,
+                     const ViewId& child);
+
+/// Execute a whole materialization plan (cube/lattice.hpp) over `table`,
+/// returning the cubes in plan order. Each step builds from its planned
+/// parent or from the fact table, exactly as costed.
+std::vector<ViewCube> execute_plan(const FactTable& table,
+                                   const MaterializationPlan& plan,
+                                   CubeBasis basis, int measure);
+
+}  // namespace holap

@@ -1,0 +1,144 @@
+#include "dict/aho_corasick.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace holap {
+
+std::int32_t AhoCorasick::child(std::int32_t node, unsigned char c) const {
+  const auto& edges = nodes_[static_cast<std::size_t>(node)].edges;
+  const auto it = std::lower_bound(
+      edges.begin(), edges.end(), c,
+      [](const auto& edge, unsigned char ch) { return edge.first < ch; });
+  if (it != edges.end() && it->first == c) return it->second;
+  return -1;
+}
+
+AhoCorasick::AhoCorasick(const std::vector<std::string_view>& patterns) {
+  nodes_.emplace_back();  // root
+  pattern_lengths_.reserve(patterns.size());
+  terminal_node_.reserve(patterns.size());
+
+  // Phase 1: trie of patterns (goto function).
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::string_view pattern = patterns[p];
+    HOLAP_REQUIRE(!pattern.empty(), "empty pattern");
+    std::int32_t node = 0;
+    for (const char ch : pattern) {
+      const auto c = static_cast<unsigned char>(ch);
+      std::int32_t next = child(node, c);
+      if (next < 0) {
+        next = static_cast<std::int32_t>(nodes_.size());
+        auto& edges = nodes_[static_cast<std::size_t>(node)].edges;
+        edges.insert(std::upper_bound(edges.begin(), edges.end(),
+                                      std::make_pair(c, std::int32_t{0})),
+                     {c, next});
+        nodes_.emplace_back();
+      }
+      node = next;
+    }
+    outputs_.emplace_back(p, nodes_[static_cast<std::size_t>(node)]
+                                 .output_head);
+    nodes_[static_cast<std::size_t>(node)].output_head =
+        static_cast<std::int32_t>(outputs_.size()) - 1;
+    pattern_lengths_.push_back(pattern.size());
+    terminal_node_.push_back(node);
+  }
+
+  // Phase 2: BFS fail links; merge output chains along fail links.
+  std::queue<std::int32_t> bfs;
+  for (const auto& [c, next] : nodes_[0].edges) {
+    nodes_[static_cast<std::size_t>(next)].fail = 0;
+    bfs.push(next);
+  }
+  while (!bfs.empty()) {
+    const std::int32_t node = bfs.front();
+    bfs.pop();
+    for (const auto& [c, next] : nodes_[static_cast<std::size_t>(node)]
+                                     .edges) {
+      // Follow fail links from the parent's fail state.
+      std::int32_t f = nodes_[static_cast<std::size_t>(node)].fail;
+      while (f != 0 && child(f, c) < 0) {
+        f = nodes_[static_cast<std::size_t>(f)].fail;
+      }
+      const std::int32_t via = child(f, c);
+      const std::int32_t fail = (via >= 0 && via != next) ? via : 0;
+      auto& next_node = nodes_[static_cast<std::size_t>(next)];
+      next_node.fail = fail;
+      // Append the fail state's output chain after our own, preserving
+      // all matches without per-step chain walking at query time.
+      if (next_node.output_head < 0) {
+        next_node.output_head =
+            nodes_[static_cast<std::size_t>(fail)].output_head;
+      } else {
+        std::int32_t tail = next_node.output_head;
+        while (outputs_[static_cast<std::size_t>(tail)].second >= 0) {
+          tail = outputs_[static_cast<std::size_t>(tail)].second;
+        }
+        outputs_[static_cast<std::size_t>(tail)].second =
+            nodes_[static_cast<std::size_t>(fail)].output_head;
+      }
+      bfs.push(next);
+    }
+  }
+}
+
+std::int32_t AhoCorasick::step(std::int32_t node, unsigned char c) const {
+  for (;;) {
+    const std::int32_t next = child(node, c);
+    if (next >= 0) return next;
+    if (node == 0) return 0;
+    node = nodes_[static_cast<std::size_t>(node)].fail;
+  }
+}
+
+void AhoCorasick::scan(
+    std::string_view text,
+    const std::function<void(std::size_t, std::size_t)>& on_match) const {
+  std::int32_t node = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    node = step(node, static_cast<unsigned char>(text[i]));
+    for (std::int32_t out = nodes_[static_cast<std::size_t>(node)]
+                                .output_head;
+         out >= 0; out = outputs_[static_cast<std::size_t>(out)].second) {
+      on_match(outputs_[static_cast<std::size_t>(out)].first, i + 1);
+    }
+  }
+}
+
+std::vector<AhoCorasick::Occurrence> AhoCorasick::match(
+    std::string_view text) const {
+  std::vector<Occurrence> occurrences;
+  scan(text, [&](std::size_t pattern, std::size_t end) {
+    occurrences.push_back({pattern, end});
+  });
+  return occurrences;
+}
+
+std::vector<std::size_t> AhoCorasick::match_exact(
+    std::string_view text) const {
+  std::vector<std::size_t> hits;
+  match_exact(text, hits);
+  return hits;
+}
+
+void AhoCorasick::match_exact(std::string_view text,
+                              std::vector<std::size_t>& hits) const {
+  hits.clear();
+  std::int32_t node = 0;
+  for (const char ch : text) {
+    node = step(node, static_cast<unsigned char>(ch));
+    if (node == 0 && child(0, static_cast<unsigned char>(ch)) < 0) {
+      return;  // fell off the trie: no pattern can equal `text`
+    }
+  }
+  for (std::int32_t out = nodes_[static_cast<std::size_t>(node)].output_head;
+       out >= 0; out = outputs_[static_cast<std::size_t>(out)].second) {
+    const std::size_t pattern = outputs_[static_cast<std::size_t>(out)].first;
+    if (pattern_lengths_[pattern] == text.size()) hits.push_back(pattern);
+  }
+}
+
+}  // namespace holap

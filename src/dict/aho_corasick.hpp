@@ -1,0 +1,80 @@
+// Aho–Corasick multi-pattern matcher (§II-E, ref. [22]).
+//
+// The paper's related work singles out Aho–Corasick as the classic machine
+// for finding "occurrences of large numbers of keywords in text strings";
+// its future work promises a "more sophisticated translation algorithm".
+// This automaton is that algorithm's engine: build it once over a query's
+// string parameters, then stream the dictionary through it ONCE — every
+// parameter is resolved in a single pass, so a query's translation cost is
+// P_DICT(D_L) per distinct column instead of per parameter (see
+// BatchTranslator in query/batch_translator.hpp).
+//
+// The matcher is general-purpose: match() reports every occurrence of any
+// pattern inside a text, and match_exact() the patterns equal to a text —
+// the case translation needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace holap {
+
+class AhoCorasick {
+ public:
+  /// Build the goto/fail automaton over `patterns`. Duplicate patterns
+  /// share a match slot (both indices are reported). Empty patterns are
+  /// rejected.
+  explicit AhoCorasick(const std::vector<std::string_view>& patterns);
+
+  std::size_t pattern_count() const { return pattern_lengths_.size(); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Occurrence of pattern `pattern` ending at text position `end`
+  /// (exclusive, i.e. text[end - len, end) == pattern).
+  struct Occurrence {
+    std::size_t pattern = 0;
+    std::size_t end = 0;
+  };
+
+  /// All occurrences of all patterns in `text`, in end-position order.
+  std::vector<Occurrence> match(std::string_view text) const;
+
+  /// Stream interface: invoke `on_match(pattern, end)` per occurrence.
+  void scan(std::string_view text,
+            const std::function<void(std::size_t, std::size_t)>& on_match)
+      const;
+
+  /// Indices of the patterns exactly equal to `text` (whole-string match).
+  /// One automaton walk of |text| steps, regardless of pattern count —
+  /// the primitive batch translation is built on.
+  std::vector<std::size_t> match_exact(std::string_view text) const;
+
+  /// Allocation-free variant for tight loops (dictionary streaming):
+  /// clears `out` and fills it with the exact-match pattern indices.
+  void match_exact(std::string_view text, std::vector<std::size_t>& out)
+      const;
+
+ private:
+  struct Node {
+    // Dense first level would waste memory for few patterns; a sorted
+    // edge list keeps the automaton compact and cache-friendly.
+    std::vector<std::pair<unsigned char, std::int32_t>> edges;
+    std::int32_t fail = 0;
+    std::int32_t output_head = -1;  // chain into outputs_
+  };
+
+  std::int32_t child(std::int32_t node, unsigned char c) const;
+  std::int32_t step(std::int32_t node, unsigned char c) const;
+
+  std::vector<Node> nodes_;
+  // outputs_: (pattern index, next-in-chain) — patterns ending at a node,
+  // including via fail links.
+  std::vector<std::pair<std::size_t, std::int32_t>> outputs_;
+  std::vector<std::size_t> pattern_lengths_;
+  // Node reached by spelling each full pattern (for match_exact).
+  std::vector<std::int32_t> terminal_node_;
+};
+
+}  // namespace holap

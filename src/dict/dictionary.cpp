@@ -1,0 +1,43 @@
+#include "dict/dictionary.hpp"
+
+#include "common/error.hpp"
+
+namespace holap {
+
+std::int32_t Dictionary::encode_or_add(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  const auto code = static_cast<std::int32_t>(by_code_.size());
+  by_code_.emplace_back(s);
+  index_.emplace(std::string_view(by_code_.back()), code);
+  return code;
+}
+
+std::optional<std::int32_t> Dictionary::find(std::string_view s,
+                                             DictSearch strategy) const {
+  if (strategy == DictSearch::kHashed) {
+    if (auto it = index_.find(s); it != index_.end()) return it->second;
+    return std::nullopt;
+  }
+  std::int32_t code = 0;
+  for (const auto& entry : by_code_) {
+    if (entry == s) return code;
+    ++code;
+  }
+  return std::nullopt;
+}
+
+const std::string& Dictionary::decode(std::int32_t code) const {
+  HOLAP_REQUIRE(code >= 0 && static_cast<std::size_t>(code) < by_code_.size(),
+                "dictionary code out of range");
+  return by_code_[static_cast<std::size_t>(code)];
+}
+
+std::size_t Dictionary::memory_bytes() const {
+  std::size_t bytes = by_code_.size() * sizeof(std::string);
+  for (const auto& s : by_code_) bytes += s.capacity();
+  bytes += index_.size() *
+           (sizeof(std::string_view) + sizeof(std::int32_t) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace holap

@@ -1,0 +1,60 @@
+// String dictionary for text-to-integer translation (§III-F).
+//
+// One dictionary maps each distinct string of a text column to a dense
+// integer code; the GPU-resident table stores only the codes. Two search
+// strategies are provided:
+//
+//   - kLinearScan: sequential search, cost proportional to dictionary
+//     length. This is what the paper's measured translation function
+//     P_DICT(D_L) = 0.0138e-6 * D_L models (Fig. 9 is linear in dictionary
+//     length), so calibration benches use it; and
+//   - kHashed: O(1) expected lookup via an index, the practical fast path
+//     (the "more sophisticated translation algorithm" of the paper's
+//     future work).
+//
+// Codes are dense and stable: the i-th distinct inserted string receives
+// code i, so a dictionary doubles as the code→string decode table.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace holap {
+
+enum class DictSearch : std::uint8_t { kLinearScan, kHashed };
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Insert `s` if absent; return its code either way.
+  std::int32_t encode_or_add(std::string_view s);
+
+  /// Code of `s` using the chosen strategy; nullopt when absent.
+  std::optional<std::int32_t> find(std::string_view s,
+                                   DictSearch strategy) const;
+
+  /// The string for a code; throws on out-of-range codes.
+  const std::string& decode(std::int32_t code) const;
+
+  std::size_t size() const { return by_code_.size(); }
+  bool contains(std::string_view s) const {
+    return find(s, DictSearch::kHashed).has_value();
+  }
+
+  /// Approximate heap footprint in bytes (strings + index), used by
+  /// capacity accounting and the examples' reporting.
+  std::size_t memory_bytes() const;
+
+ private:
+  // deque: stable element addresses under growth, so the index's
+  // string_view keys can safely reference the stored strings.
+  std::deque<std::string> by_code_;
+  std::unordered_map<std::string_view, std::int32_t> index_;
+};
+
+}  // namespace holap

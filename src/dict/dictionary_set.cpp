@@ -1,0 +1,53 @@
+#include "dict/dictionary_set.hpp"
+
+#include <algorithm>
+
+#include "relational/generator.hpp"
+
+namespace holap {
+
+DictionarySet DictionarySet::build_from_table(const FactTable& table) {
+  DictionarySet set;
+  const TableSchema& schema = table.schema();
+  for (int col : schema.text_columns()) {
+    const ColumnSpec& spec = schema.column(col);
+    const auto codes = table.dim_column(col);
+    const std::int32_t max_code =
+        codes.empty() ? -1 : *std::max_element(codes.begin(), codes.end());
+    Dictionary& dict = set.create_column(col);
+    // Cover the full code prefix [0, max_code] so every stored code decodes;
+    // insertion in code order makes dictionary code == member code.
+    const NameKind kind = text_column_name_kind(spec.dim);
+    for (std::int32_t k = 0; k <= max_code; ++k) {
+      dict.encode_or_add(synth_name(kind, static_cast<std::uint64_t>(k)));
+    }
+  }
+  return set;
+}
+
+const Dictionary& DictionarySet::for_column(int col) const {
+  const auto it = dicts_.find(col);
+  HOLAP_REQUIRE(it != dicts_.end(), "no dictionary for column");
+  return it->second;
+}
+
+Dictionary& DictionarySet::for_column(int col) {
+  const auto it = dicts_.find(col);
+  HOLAP_REQUIRE(it != dicts_.end(), "no dictionary for column");
+  return it->second;
+}
+
+std::size_t DictionarySet::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [col, dict] : dicts_) bytes += dict.memory_bytes();
+  return bytes;
+}
+
+std::vector<int> DictionarySet::columns() const {
+  std::vector<int> cols;
+  cols.reserve(dicts_.size());
+  for (const auto& [col, dict] : dicts_) cols.push_back(col);
+  return cols;
+}
+
+}  // namespace holap

@@ -1,0 +1,49 @@
+// Per-column dictionary set (§III-F).
+//
+// The paper deliberately keeps "a smaller dictionary for each text column in
+// the table rather than having one large dictionary for all text columns",
+// because the translation-time estimate P_DICT(D_L) is per-dictionary and
+// smaller dictionaries have smaller search-time variance. DictionarySet is
+// that design: a dictionary per text column, built when the database is
+// loaded. (bench_ablation_dictionaries quantifies the claim against a
+// single shared dictionary.)
+#pragma once
+
+#include <map>
+
+#include "dict/dictionary.hpp"
+#include "relational/fact_table.hpp"
+
+namespace holap {
+
+class DictionarySet {
+ public:
+  DictionarySet() = default;
+
+  /// Build dictionaries for every text column of `table`. Codes already
+  /// stored in the table are covered in code order, so dictionary code k
+  /// decodes to the canonical string of member k (synth_name of the
+  /// column's dimension) and encode(decode(k)) == k.
+  static DictionarySet build_from_table(const FactTable& table);
+
+  /// Dictionary for a schema column index; throws if the column has none.
+  const Dictionary& for_column(int col) const;
+  Dictionary& for_column(int col);
+
+  bool has_column(int col) const { return dicts_.contains(col); }
+  std::size_t column_count() const { return dicts_.size(); }
+
+  /// Create (or fetch) the dictionary for a text column; used by loaders.
+  Dictionary& create_column(int col) { return dicts_[col]; }
+
+  /// Total memory across all dictionaries.
+  std::size_t memory_bytes() const;
+
+  /// Schema column indices that have dictionaries, ascending.
+  std::vector<int> columns() const;
+
+ private:
+  std::map<int, Dictionary> dicts_;
+};
+
+}  // namespace holap

@@ -1,0 +1,14 @@
+#include "gpusim/device.hpp"
+
+namespace holap {
+
+DeviceSpec DeviceSpec::tesla_c2070() {
+  DeviceSpec spec;
+  spec.name = "Tesla C2070 (simulated)";
+  spec.sm_count = 14;
+  spec.memory_bytes = std::size_t{6} * kGiB;
+  spec.bandwidth_gbps = 144.0;
+  return spec;
+}
+
+}  // namespace holap

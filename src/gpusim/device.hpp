@@ -1,0 +1,28 @@
+// Simulated GPU device specification.
+//
+// No physical GPU exists in this environment, so the accelerator is
+// reproduced as a functional simulator (see DESIGN.md §2): the *behaviour*
+// — SM partitioning, column-proportional scan cost, device-memory capacity
+// limits, text-free tables — is real code driven end-to-end, while *time*
+// comes from the paper's measured Tesla C2070 performance functions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace holap {
+
+struct DeviceSpec {
+  std::string name;
+  int sm_count = 0;             ///< streaming multiprocessors
+  std::size_t memory_bytes = 0;  ///< global memory capacity
+  double bandwidth_gbps = 0.0;   ///< peak global-memory bandwidth
+
+  /// The paper's accelerator: Tesla C2070 — Fermi, 14 active SMs, 6 GB of
+  /// global memory, up to 144 GB/s with column-based access (§III-E).
+  static DeviceSpec tesla_c2070();
+};
+
+}  // namespace holap

@@ -1,0 +1,91 @@
+// Simulated GPU device: memory, partitions, concurrent query execution.
+//
+// §III-A gives the GPU two tasks: (1) building cubes from relational
+// tables held in GPU memory and (2) executing queries too costly for the
+// CPU. §III-E/G adds Fermi concurrent-kernel partitioning: the device's
+// SMs are split into independent partitions, each processing one query at
+// a time from its own queue (queues live in the scheduler; concurrency in
+// time is the DES's job — this class provides per-partition *execution*
+// and its modeled duration).
+//
+// Device memory is accounted exactly: uploading a fact table larger than
+// the remaining capacity throws CapacityError, which is the constraint
+// that forces text columns to be dictionary-encoded in the first place.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cube/builder.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/scan.hpp"
+#include "perfmodel/gpu_model.hpp"
+
+namespace holap {
+
+/// Result of one simulated kernel execution.
+struct GpuExecution {
+  QueryAnswer answer;
+  int columns_accessed = 0;
+  double column_fraction = 0.0;   ///< C / C_TOT of eq. (13)
+  Seconds modeled_seconds = 0.0;  ///< from the partition's GpuPerfModel
+};
+
+class GpuDevice {
+ public:
+  explicit GpuDevice(DeviceSpec spec);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Copy a fact table into device memory under `name` ("facts" by
+  /// default — §III-G: "all partitions have access to the entire GPU
+  /// memory and to ALL fact tables"). Throws CapacityError when it does
+  /// not fit alongside what is already resident, InvalidArgument on a
+  /// duplicate name. Text columns are always dictionary-encoded already:
+  /// FactTable stores codes only — the type system enforces the design.
+  void upload_table(const FactTable& table,
+                    const std::string& name = kDefaultTable);
+
+  /// Remove a resident table, freeing its memory.
+  void drop_table(const std::string& name);
+
+  bool has_table(const std::string& name = kDefaultTable) const;
+  const FactTable& table(const std::string& name = kDefaultTable) const;
+  std::vector<std::string> table_names() const;
+  std::size_t memory_used() const;
+  std::size_t memory_free() const;
+
+  static constexpr const char* kDefaultTable = "facts";
+
+  /// Partition the device's SMs. Counts must be positive and sum to at
+  /// most the SM count. Replaces any previous partitioning.
+  /// The paper's configuration for the C2070 is {1, 1, 2, 2, 4, 4}.
+  void set_partitions(std::vector<int> sm_counts);
+  const std::vector<int>& partitions() const { return partitions_; }
+  int partition_count() const { return static_cast<int>(partitions_.size()); }
+
+  /// Execute `q` on partition `p` against a resident table
+  /// (functionally real scan, modeled time).
+  GpuExecution execute(int partition, const Query& q,
+                       const std::string& table_name = kDefaultTable) const;
+
+  /// Task (1) of §III-A: build a cube from a device-resident table.
+  /// Returns the cube and the modeled build time (one full-table stream
+  /// at device bandwidth).
+  std::pair<DenseCube, Seconds> build_cube_on_device(
+      int level, CubeBasis basis, int measure,
+      const std::string& table_name = kDefaultTable) const;
+
+  /// The performance model used for a partition of `n_sms` on a resident
+  /// table (paper constants scaled to that table's size).
+  GpuPerfModel partition_model(
+      int n_sms, const std::string& table_name = kDefaultTable) const;
+
+ private:
+  DeviceSpec spec_;
+  std::map<std::string, FactTable> tables_;
+  std::vector<int> partitions_;
+};
+
+}  // namespace holap

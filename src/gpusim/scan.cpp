@@ -1,0 +1,122 @@
+#include "gpusim/scan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace holap {
+namespace {
+
+// Step-1 output: one resolved predicate per condition.
+struct Predicate {
+  std::span<const std::int32_t> column;
+  std::int32_t from = 0, to = 0;           // range form
+  std::vector<std::int32_t> codes;         // IN-list form (text condition)
+  bool in_list = false;
+
+  bool matches(std::size_t row) const {
+    const std::int32_t v = column[row];
+    if (!in_list) return v >= from && v <= to;
+    return std::find(codes.begin(), codes.end(), v) != codes.end();
+  }
+};
+
+// Per-stripe accumulator (the thread-block private state of step 2).
+struct Partial {
+  double sum = 0.0;
+  double count = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+Partial combine(const Partial& a, const Partial& b) {
+  return {a.sum + b.sum, a.count + b.count, std::min(a.min, b.min),
+          std::max(a.max, b.max)};
+}
+
+}  // namespace
+
+ScanResult gpu_scan(const FactTable& table, const Query& q, int stripes) {
+  HOLAP_REQUIRE(stripes >= 1, "scan requires at least one stripe");
+  HOLAP_REQUIRE(!q.needs_translation(),
+                "GPU scan received an untranslated query; text parameters "
+                "must pass through the translation partition first");
+  validate_query(q, table.schema().dimensions(), table.schema());
+
+  // Step 1 — preprocessing on the host: bind conditions to columns.
+  std::vector<Predicate> predicates;
+  predicates.reserve(q.conditions.size());
+  for (const auto& c : q.conditions) {
+    Predicate p;
+    p.column = table.dim_level_column(c.dim, c.level);
+    if (c.is_text()) {
+      p.in_list = true;
+      for (std::int32_t code : c.codes) {
+        if (code >= 0) p.codes.push_back(code);
+      }
+    } else {
+      p.from = c.from;
+      p.to = c.to;
+    }
+    predicates.push_back(std::move(p));
+  }
+  std::vector<std::span<const double>> measures;
+  measures.reserve(q.measures.size());
+  for (int m : q.measures) measures.push_back(table.measure_column(m));
+
+  // Step 2 — parallel table scan, one private partial per simulated SM.
+  const std::size_t rows = table.row_count();
+  const auto n_stripes = static_cast<std::size_t>(stripes);
+  std::vector<Partial> partials(n_stripes);
+  for (std::size_t s = 0; s < n_stripes; ++s) {
+    const std::size_t begin = rows * s / n_stripes;
+    const std::size_t end = rows * (s + 1) / n_stripes;
+    Partial& part = partials[s];
+    for (std::size_t r = begin; r < end; ++r) {
+      bool match = true;
+      for (const auto& p : predicates) {
+        if (!p.matches(r)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      part.count += 1.0;
+      for (const auto& col : measures) {
+        const double v = col[r];
+        part.sum += v;
+        part.min = std::min(part.min, v);
+        part.max = std::max(part.max, v);
+      }
+    }
+  }
+
+  // Step 3 — reduction across stripe partials.
+  Partial total;
+  for (const auto& p : partials) total = combine(total, p);
+
+  // Step 4 — final aggregation on the host.
+  ScanResult result;
+  result.rows_scanned = rows;
+  result.columns_accessed = q.gpu_columns_accessed();
+  result.answer.row_count = total.count;
+  switch (q.op) {
+    case AggOp::kCount:
+      result.answer.value = total.count;
+      break;
+    case AggOp::kSum:
+      result.answer.value = total.sum;
+      break;
+    case AggOp::kAvg:
+      result.answer.value = total.count > 0.0 ? total.sum / total.count : 0.0;
+      break;
+    case AggOp::kMin:
+      result.answer.value = total.min;
+      break;
+    case AggOp::kMax:
+      result.answer.value = total.max;
+      break;
+  }
+  return result;
+}
+
+}  // namespace holap

@@ -1,0 +1,37 @@
+// Functional GPU table-scan kernel.
+//
+// Implements the four-step aggregation pipeline of Lauer et al. [9] that
+// the paper's GPU side uses:
+//   1. preprocessing (host): resolve each condition to its fact-table
+//      column and a code predicate;
+//   2. parallel table scan: the row space is striped across the
+//      partition's SMs, each stripe filtering and accumulating privately
+//      (one thread-block-per-stripe in the real kernel);
+//   3. parallel reduction: stripe partials combine pairwise;
+//   4. final aggregation (host): avg division and answer assembly.
+//
+// The scan is *functionally real* — it reads actual columns and produces
+// exact answers that tests cross-check against the CPU cube engine — while
+// its simulated duration comes from GpuPerfModel (the paper's measured
+// C2070 functions), not from host wall time.
+#pragma once
+
+#include "query/query.hpp"
+#include "relational/fact_table.hpp"
+
+namespace holap {
+
+struct ScanResult {
+  QueryAnswer answer;
+  int columns_accessed = 0;      ///< eq. (12): conditions + measures
+  std::size_t rows_scanned = 0;  ///< always the full table (columnar scan)
+};
+
+/// Scan `table` with `q`, striped across `stripes` simulated SMs.
+///
+/// Preconditions: `q` validated against the table's schema and fully
+/// translated (the GPU holds no text; an untranslated query throws — the
+/// invariant the scheduler's translation partition exists to maintain).
+ScanResult gpu_scan(const FactTable& table, const Query& q, int stripes);
+
+}  // namespace holap

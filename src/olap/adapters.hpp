@@ -1,0 +1,48 @@
+// Native-plane adapters: real engines behind the scheduler interfaces.
+//
+// These are the counterparts of sched/catalog.hpp's virtual catalogs: the
+// CpuWorkModel answers from a real CubeSet (materialised cubes), and the
+// TranslationWorkModel consults real per-column dictionaries. Estimation
+// therefore sees exactly what execution will touch.
+#pragma once
+
+#include "cube/cube_set.hpp"
+#include "query/translator.hpp"
+#include "sched/interfaces.hpp"
+
+namespace holap {
+
+class CubeSetWorkModel final : public CpuWorkModel {
+ public:
+  explicit CubeSetWorkModel(const CubeSet* cubes) : cubes_(cubes) {
+    HOLAP_REQUIRE(cubes != nullptr, "work model requires a cube set");
+  }
+
+  bool can_answer(const Query& q) const override {
+    return cubes_->can_answer(q);
+  }
+  Megabytes answer_mb(const Query& q) const override {
+    return bytes_to_mb(cubes_->answer_bytes(q));
+  }
+
+ private:
+  const CubeSet* cubes_;
+};
+
+class DictionaryTranslationModel final : public TranslationWorkModel {
+ public:
+  explicit DictionaryTranslationModel(const Translator* translator)
+      : translator_(translator) {
+    HOLAP_REQUIRE(translator != nullptr,
+                  "work model requires a translator");
+  }
+
+  std::vector<std::size_t> dictionary_lengths(const Query& q) const override {
+    return translator_->dictionary_lengths(q);
+  }
+
+ private:
+  const Translator* translator_;
+};
+
+}  // namespace holap

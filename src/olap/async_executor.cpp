@@ -1,0 +1,133 @@
+#include "olap/async_executor.hpp"
+
+namespace holap {
+
+AsyncHybridExecutor::AsyncHybridExecutor(HybridOlapSystem& system)
+    : system_(&system) {
+  for (int i = 0; i < system.device().partition_count(); ++i) {
+    gpu_queues_.push_back(std::make_unique<BlockingQueue<Job>>());
+  }
+  workers_.emplace_back([this] { cpu_worker(); });
+  workers_.emplace_back([this] { translation_worker(); });
+  for (int i = 0; i < system.device().partition_count(); ++i) {
+    workers_.emplace_back([this, i] { gpu_worker(i); });
+  }
+}
+
+AsyncHybridExecutor::~AsyncHybridExecutor() { shutdown(); }
+
+void AsyncHybridExecutor::shutdown() {
+  if (down_.exchange(true)) {
+    return;
+  }
+  // Close the intake queues first; the translation worker may still push
+  // into GPU queues while draining, so those close after it joins.
+  cpu_queue_.close();
+  translation_queue_.close();
+  // Join translation (workers_[1]) before closing the GPU queues.
+  if (workers_.size() >= 2 && workers_[1].joinable()) workers_[1].join();
+  for (auto& queue : gpu_queues_) queue->close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
+  HOLAP_REQUIRE(!down_.load(), "executor is shut down");
+  validate_query(q, system_->schema().dimensions(), system_->schema());
+
+  Job job;
+  job.query = std::move(q);
+  std::future<ExecutionReport> future = job.promise.get_future();
+  {
+    const std::lock_guard lock(scheduler_mutex_);
+    job.placement = system_->scheduler_mutable().schedule(job.query,
+                                                          clock_.seconds());
+  }
+  if (job.placement.rejected) {
+    ExecutionReport report;
+    report.rejected = true;
+    job.promise.set_value(report);
+    return future;
+  }
+  bool accepted = false;
+  if (job.placement.queue.kind == QueueRef::kCpu) {
+    accepted = cpu_queue_.push(std::move(job));
+  } else if (job.placement.translate) {
+    accepted = translation_queue_.push(std::move(job));
+  } else {
+    accepted = gpu_queues_[static_cast<std::size_t>(
+                               job.placement.queue.index)]
+                   ->push(std::move(job));
+  }
+  HOLAP_REQUIRE(accepted, "executor is shut down");
+  return future;
+}
+
+void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {
+  {
+    const std::lock_guard lock(scheduler_mutex_);
+    system_->scheduler_mutable().on_completed(
+        job.placement.queue, report.estimated_processing,
+        report.measured_processing);
+  }
+  ++completed_;
+  job.promise.set_value(std::move(report));
+}
+
+void AsyncHybridExecutor::cpu_worker() {
+  while (auto job = cpu_queue_.pop()) {
+    ExecutionReport report;
+    report.queue = job->placement.queue;
+    report.estimated_processing = job->placement.processing_est;
+    report.before_deadline_estimate = job->placement.before_deadline;
+    // CPU-path text parameters translate inline (hashed path), outside
+    // the translation partition — §III-F: translation is a GPU-side need.
+    if (job->query.needs_translation()) {
+      system_->translate(job->query);
+    }
+    WallTimer timer;
+    report.answer = system_->cubes().answer(job->query,
+                                            system_->config().cpu_threads);
+    report.measured_processing = timer.seconds();
+    finish(std::move(*job), std::move(report));
+  }
+}
+
+void AsyncHybridExecutor::translation_worker() {
+  while (auto job = translation_queue_.pop()) {
+    WallTimer timer;
+    system_->translate(job->query);
+    const Seconds took = timer.seconds();
+    const int queue = job->placement.queue.index;
+    Job forwarded = std::move(*job);
+    forwarded.placement.translation_est = took;  // measured, for reports
+    if (!gpu_queues_[static_cast<std::size_t>(queue)]->push(
+            std::move(forwarded))) {
+      // Shutdown raced us; the job's promise is abandoned deliberately
+      // only during teardown after shutdown() — which joins us first, so
+      // this cannot happen in practice. Keep the invariant explicit:
+      HOLAP_ASSERT(false, "GPU queue closed while translation ran");
+    }
+  }
+}
+
+void AsyncHybridExecutor::gpu_worker(int queue) {
+  auto& jobs = *gpu_queues_[static_cast<std::size_t>(queue)];
+  while (auto job = jobs.pop()) {
+    ExecutionReport report;
+    report.queue = job->placement.queue;
+    report.estimated_processing = job->placement.processing_est;
+    report.before_deadline_estimate = job->placement.before_deadline;
+    report.translated = job->placement.translate;
+    report.translation_time = job->placement.translate
+                                  ? job->placement.translation_est
+                                  : 0.0;
+    const GpuExecution exec = system_->device().execute(queue, job->query);
+    report.answer = exec.answer;
+    report.measured_processing = exec.modeled_seconds;
+    finish(std::move(*job), std::move(report));
+  }
+}
+
+}  // namespace holap

@@ -1,0 +1,75 @@
+// Asynchronous execution over the hybrid system — the online service of
+// §III-A with real threads.
+//
+// The paper's system is interactive: queries arrive continuously, the
+// scheduler places them, and partitions work their queues concurrently.
+// AsyncHybridExecutor realises that on the host: one worker thread per
+// GPU partition queue, one for the CPU processing partition, and one for
+// the translation partition, all fed by BlockingQueues. submit() is
+// non-blocking and returns a std::future for the answer; the Figure-10
+// scheduler (shared state, mutex-protected) makes every placement and
+// receives measured-time feedback exactly as in the synchronous path.
+//
+// GPU-bound text queries flow translation-worker -> partition-worker,
+// preserving the system invariant that the device never sees text.
+#pragma once
+
+#include <future>
+#include <thread>
+
+#include "common/blocking_queue.hpp"
+#include "olap/hybrid_system.hpp"
+
+namespace holap {
+
+class AsyncHybridExecutor {
+ public:
+  /// Spawns the worker threads over `system`'s components. The system
+  /// must outlive the executor. The executor drives `system`'s scheduler
+  /// through its own mutex; do not call system.execute() concurrently.
+  explicit AsyncHybridExecutor(HybridOlapSystem& system);
+
+  /// Drains queues and joins all workers.
+  ~AsyncHybridExecutor();
+
+  AsyncHybridExecutor(const AsyncHybridExecutor&) = delete;
+  AsyncHybridExecutor& operator=(const AsyncHybridExecutor&) = delete;
+
+  /// Schedule `q` and enqueue it on its partition. The future resolves
+  /// when the partition finishes (with ExecutionReport::rejected set when
+  /// no partition can process the query). Throws after shutdown().
+  std::future<ExecutionReport> submit(Query q);
+
+  /// Stop accepting work, finish everything in flight, join workers.
+  /// Idempotent; also runs on destruction.
+  void shutdown();
+
+  /// Completed query count (for monitoring/tests).
+  std::size_t completed() const { return completed_.load(); }
+
+ private:
+  struct Job {
+    Query query;
+    Placement placement;
+    std::promise<ExecutionReport> promise;
+  };
+
+  void cpu_worker();
+  void translation_worker();
+  void gpu_worker(int queue);
+  void finish(Job job, ExecutionReport report);
+
+  HybridOlapSystem* system_;
+  std::mutex scheduler_mutex_;
+  WallTimer clock_;
+  std::atomic<bool> down_{false};
+  std::atomic<std::size_t> completed_{0};
+
+  BlockingQueue<Job> cpu_queue_;
+  BlockingQueue<Job> translation_queue_;
+  std::vector<std::unique_ptr<BlockingQueue<Job>>> gpu_queues_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace holap

@@ -1,0 +1,142 @@
+#include "olap/hybrid_system.hpp"
+
+#include <algorithm>
+
+namespace holap {
+namespace {
+
+CubeSet build_cube_ladder(const FactTable& table,
+                          const HybridSystemConfig& config) {
+  CubeSet cubes(table.schema().dimensions());
+  if (config.cube_levels.empty()) return cubes;
+  // Build the finest requested level from the table, coarser ones by
+  // roll-up from their smallest parent.
+  std::vector<int> levels = config.cube_levels;
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  cubes.add_level_from_table(table, levels.back(), config.cpu_threads,
+                             config.minmax_cubes);
+  for (auto it = levels.rbegin() + 1; it != levels.rend(); ++it) {
+    cubes.add_level_by_rollup(*it, config.cpu_threads);
+  }
+  return cubes;
+}
+
+}  // namespace
+
+HybridOlapSystem::HybridOlapSystem(FactTable table, HybridSystemConfig config)
+    : config_(std::move(config)),
+      table_(std::move(table)),
+      dicts_(DictionarySet::build_from_table(table_)),
+      cubes_(build_cube_ladder(table_, config_)),
+      device_(config_.device),
+      translator_(table_.schema(), dicts_,
+                  config_.translation ==
+                          HybridSystemConfig::TranslationAlgorithm::
+                              kLinearScan
+                      ? DictSearch::kLinearScan
+                      : DictSearch::kHashed),
+      batch_translator_(table_.schema(), dicts_),
+      cpu_work_(&cubes_),
+      translation_work_(&translator_) {
+  if (config_.enable_gpu) {
+    device_.upload_table(table_);
+    device_.set_partitions(config_.gpu_partitions);
+  } else {
+    config_.gpu_partitions.clear();
+  }
+
+  SchedulerConfig sched;
+  sched.gpu_partitions = config_.gpu_partitions;
+  sched.enable_gpu = config_.enable_gpu;
+  sched.deadline = config_.deadline;
+  sched.feedback = config_.feedback;
+  policy_ = make_policy(
+      config_.policy, sched,
+      make_paper_estimator(config_.gpu_partitions,
+                           std::max(1, config_.cpu_threads),
+                           bytes_to_mb(table_.size_bytes()),
+                           table_.schema().column_count(), &cpu_work_,
+                           &translation_work_));
+}
+
+ExecutionReport HybridOlapSystem::execute(const Query& q) {
+  validate_query(q, table_.schema().dimensions(), table_.schema());
+  const Seconds now = clock_.seconds();
+  Query working = q;
+
+  // Untranslated queries cannot be estimated against the cube region until
+  // translation, but scheduling happens first (the scheduler works from
+  // dictionary lengths, not codes). Text queries bound for the CPU also
+  // get translated — the cube engine needs codes too, but via the fast
+  // hashed path outside the translation partition's accounting.
+  const Placement placement = policy_->schedule(working, now);
+  ExecutionReport report;
+  report.rejected = placement.rejected;
+  if (placement.rejected) {
+    if (!config_.cpu_table_scan_fallback) return report;
+    // Hybrid fallback: no cube covers the resolution and no GPU can take
+    // it — answer from the relational fact table on the host.
+    report.rejected = false;
+    report.via_table_scan = true;
+    report.queue = {QueueRef::kCpu, 0};
+    if (working.needs_translation()) {
+      WallTimer t;
+      translate(working);
+      report.translation_time = t.seconds();
+    }
+    WallTimer t;
+    report.answer =
+        gpu_scan(table_, working, std::max(1, config_.cpu_threads)).answer;
+    report.measured_processing = t.seconds();
+    return report;
+  }
+  report.queue = placement.queue;
+  report.estimated_processing = placement.processing_est;
+  report.before_deadline_estimate = placement.before_deadline;
+
+  if (working.needs_translation()) {
+    WallTimer t;
+    translate(working);
+    report.translation_time = t.seconds();
+    report.translated = placement.translate;
+  }
+
+  if (placement.queue.kind == QueueRef::kCpu) {
+    WallTimer t;
+    report.answer = cubes_.answer(working, config_.cpu_threads);
+    report.measured_processing = t.seconds();
+  } else {
+    const GpuExecution exec =
+        device_.execute(placement.queue.index, working);
+    report.answer = exec.answer;
+    report.measured_processing = exec.modeled_seconds;
+  }
+  policy_->on_completed(placement.queue, report.estimated_processing,
+                        report.measured_processing);
+  return report;
+}
+
+TranslationReport HybridOlapSystem::translate(Query& q) const {
+  if (config_.translation ==
+      HybridSystemConfig::TranslationAlgorithm::kBatchAhoCorasick) {
+    return batch_translator_.translate(q);
+  }
+  return translator_.translate(q);
+}
+
+QueryAnswer HybridOlapSystem::answer_on_cpu(Query q) const {
+  if (q.needs_translation()) translate(q);
+  return cubes_.answer(q, config_.cpu_threads);
+}
+
+QueryAnswer HybridOlapSystem::answer_on_gpu(Query q) const {
+  if (q.needs_translation()) translate(q);
+  // The device copy and the host table are identical; scan whichever
+  // exists (GPU-disabled systems have no device copy).
+  const FactTable& table =
+      device_.has_table() ? device_.table() : table_;
+  return gpu_scan(table, q, device_.spec().sm_count).answer;
+}
+
+}  // namespace holap

@@ -1,0 +1,114 @@
+// HybridOlapSystem — the library's top-level façade (native plane).
+//
+// Owns the full §III system: the relational fact table, the pre-computed
+// cube ladder, the per-column dictionaries, the (simulated) GPU device
+// with its partitioning, and the Figure-10 scheduler. `execute()` runs a
+// query end-to-end exactly as the paper's system would: estimate →
+// schedule → (translate if GPU-bound) → process on the chosen partition →
+// feed measured time back into the scheduler.
+//
+// Execution is synchronous (this is the correctness/API plane; throughput
+// experiments use sim/simulator.hpp), but every scheduling decision — queue
+// choice, deadline feasibility, translation routing — is made by the same
+// scheduler code the simulation drives.
+#pragma once
+
+#include <memory>
+
+#include "common/timer.hpp"
+#include "gpusim/gpu_device.hpp"
+#include "olap/adapters.hpp"
+#include "query/batch_translator.hpp"
+#include "sched/baselines.hpp"
+
+namespace holap {
+
+struct HybridSystemConfig {
+  /// OpenMP threads of the CPU processing partition (0 = sequential).
+  int cpu_threads = 4;
+  /// Cube levels to pre-compute on the CPU side.
+  std::vector<int> cube_levels = {0, 1};
+  /// Also build min/max basis cubes (enables kMin/kMax on the CPU side).
+  bool minmax_cubes = false;
+  /// GPU partitioning (SM counts, slow queues first).
+  std::vector<int> gpu_partitions = {1, 1, 2, 2, 4, 4};
+  /// Disable the accelerator entirely (CPU-only deployment).
+  bool enable_gpu = true;
+  /// A Hybrid OLAP system answers from cubes AND relational tables
+  /// (§III-A). When no pre-computed cube covers a query and no GPU can
+  /// take it, fall back to a host-side scan of the relational fact table
+  /// instead of rejecting.
+  bool cpu_table_scan_fallback = true;
+  DeviceSpec device = DeviceSpec::tesla_c2070();
+  /// T_C per-query deadline for the scheduler.
+  Seconds deadline = 0.25;
+  /// Live translation algorithm: the paper's per-parameter linear scan,
+  /// the hashed fast path, or the Aho–Corasick batch pass (future work).
+  enum class TranslationAlgorithm : std::uint8_t {
+    kLinearScan,
+    kHashed,
+    kBatchAhoCorasick,
+  };
+  TranslationAlgorithm translation = TranslationAlgorithm::kHashed;
+  /// Scheduling policy name (see make_policy).
+  std::string policy = "figure10";
+  bool feedback = true;
+};
+
+/// Where and how one query was processed.
+struct ExecutionReport {
+  QueryAnswer answer;
+  QueueRef queue;               ///< partition that processed the query
+  bool rejected = false;
+  bool via_table_scan = false;  ///< answered by the CPU relational fallback
+  bool translated = false;
+  Seconds estimated_processing = 0.0;  ///< scheduler's model estimate
+  Seconds measured_processing = 0.0;   ///< wall time (CPU) / modeled (GPU)
+  Seconds translation_time = 0.0;      ///< measured translation wall time
+  bool before_deadline_estimate = false;
+};
+
+class HybridOlapSystem {
+ public:
+  /// Builds the full system from a fact table: dictionaries from its text
+  /// columns, the cube ladder at `config.cube_levels`, a device-resident
+  /// copy of the table, and the scheduler wired to all of it.
+  HybridOlapSystem(FactTable table, HybridSystemConfig config);
+
+  /// Schedule and execute one query end-to-end.
+  ExecutionReport execute(const Query& q);
+
+  /// Translate `q`'s text parameters in place with the configured
+  /// algorithm. Thread-safe (dictionaries are immutable after build).
+  TranslationReport translate(Query& q) const;
+
+  /// Reference answers for cross-checking (bypass the scheduler).
+  QueryAnswer answer_on_cpu(Query q) const;  ///< cube engine; throws if no cube
+  QueryAnswer answer_on_gpu(Query q) const;  ///< full-device table scan
+
+  const TableSchema& schema() const { return table_.schema(); }
+  const FactTable& table() const { return table_; }
+  const CubeSet& cubes() const { return cubes_; }
+  const DictionarySet& dictionaries() const { return dicts_; }
+  const GpuDevice& device() const { return device_; }
+  const SchedulerPolicy& scheduler() const { return *policy_; }
+  /// Mutable scheduler access for external executors (AsyncHybridExecutor
+  /// serialises calls through its own mutex).
+  SchedulerPolicy& scheduler_mutable() { return *policy_; }
+  const HybridSystemConfig& config() const { return config_; }
+
+ private:
+  HybridSystemConfig config_;
+  FactTable table_;
+  DictionarySet dicts_;
+  CubeSet cubes_;
+  GpuDevice device_;
+  Translator translator_;
+  BatchTranslator batch_translator_;
+  CubeSetWorkModel cpu_work_;
+  DictionaryTranslationModel translation_work_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  WallTimer clock_;  ///< system time: "now" for the scheduler
+};
+
+}  // namespace holap

@@ -1,0 +1,109 @@
+#include "perfmodel/calibrate.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "cube/aggregate.hpp"
+#include "dict/dictionary.hpp"
+#include "relational/names.hpp"
+
+namespace holap {
+
+CpuCalibrationResult calibrate_cpu(const CpuCalibrationConfig& config) {
+  HOLAP_REQUIRE(!config.sizes_mb.empty(), "calibration requires sizes");
+  HOLAP_REQUIRE(std::is_sorted(config.sizes_mb.begin(), config.sizes_mb.end()),
+                "sizes must be ascending");
+  HOLAP_REQUIRE(config.sizes_mb.front() > 0.0, "sizes must be positive");
+  HOLAP_REQUIRE(config.repetitions >= 1, "repetitions must be >= 1");
+
+  // One 2-d cube sized to the largest request. Rows of 0.5 MB each keep
+  // the outer dimension wide enough for OpenMP to spread across threads
+  // while inner runs stay long contiguous streams.
+  constexpr std::uint32_t kRunCells = 65'536;  // 0.5 MB of doubles
+  const double max_mb = config.sizes_mb.back();
+  const auto outer = static_cast<std::uint32_t>(
+      std::max(1.0, max_mb * 2.0 + 0.5));
+  const std::vector<Dimension> dims = {
+      Dimension("calib_rows", {{"row", outer}}),
+      Dimension("calib_cols", {{"col", kRunCells}}),
+  };
+  DenseCube cube(dims, 0, CubeBasis::kSum, 0);
+  // Fill with nonzero data so the scan cannot be optimised away and sums
+  // are checkable.
+  SplitMix64 rng(1234);
+  for (auto& c : cube.cells()) c = rng.uniform01();
+
+  CpuCalibrationResult result{
+      {}, CpuPerfModel::paper_4t(), {}};  // model replaced below
+  for (const Megabytes size_mb : config.sizes_mb) {
+    auto rows = static_cast<std::int32_t>(size_mb * 2.0 + 0.5);
+    rows = std::clamp<std::int32_t>(rows, 1,
+                                    static_cast<std::int32_t>(outer));
+    CubeRegion region;
+    region.dims = {{{0, rows - 1}},
+                   {{0, static_cast<std::int32_t>(kRunCells) - 1}}};
+    Seconds best = 0.0;
+    double checksum = 0.0;
+    for (int rep = 0; rep < config.repetitions; ++rep) {
+      WallTimer timer;
+      const AggregateResult agg =
+          aggregate_region(cube, region, config.threads);
+      const Seconds t = timer.seconds();
+      checksum += agg.value;  // defeat dead-code elimination
+      if (rep == 0 || t < best) best = t;
+    }
+    HOLAP_ASSERT(checksum > 0.0, "calibration scan produced no data");
+    const double actual_mb =
+        static_cast<double>(rows) * kRunCells * sizeof(double) /
+        static_cast<double>(kMiB);
+    result.samples.push_back({actual_mb, best});
+    result.bandwidth_gbps.push_back(best > 0.0
+                                        ? actual_mb / 1024.0 / best
+                                        : 0.0);
+  }
+
+  std::vector<double> xs, ys;
+  for (const auto& s : result.samples) {
+    xs.push_back(s.x);
+    ys.push_back(s.seconds);
+  }
+  result.model = CpuPerfModel::fit(xs, ys, config.split_mb);
+  return result;
+}
+
+DictCalibrationResult calibrate_dict(const DictCalibrationConfig& config) {
+  HOLAP_REQUIRE(!config.lengths.empty(), "calibration requires lengths");
+  HOLAP_REQUIRE(config.searches >= 1, "searches must be >= 1");
+
+  DictCalibrationResult result{{}, DictPerfModel::paper()};
+  for (const std::size_t length : config.lengths) {
+    Dictionary dict;
+    for (std::size_t i = 0; i < length; ++i) {
+      dict.encode_or_add(synth_name(NameKind::kCity, i));
+    }
+    // Absent string: every search scans the full dictionary, matching the
+    // upper-bound semantics of eq. (18).
+    const std::string absent = "~absent-key~";
+    std::int64_t sink = 0;
+    WallTimer timer;
+    for (int s = 0; s < config.searches; ++s) {
+      const auto found = dict.find(absent, DictSearch::kLinearScan);
+      sink = sink + (found ? *found : -1);
+    }
+    const Seconds per_search =
+        timer.seconds() / static_cast<double>(config.searches);
+    HOLAP_ASSERT(sink < 0, "absent key unexpectedly found");
+    result.samples.push_back({static_cast<double>(length), per_search});
+  }
+
+  std::vector<double> xs, ys;
+  for (const auto& s : result.samples) {
+    xs.push_back(s.x);
+    ys.push_back(s.seconds);
+  }
+  result.model = DictPerfModel::fit(xs, ys);
+  return result;
+}
+
+}  // namespace holap

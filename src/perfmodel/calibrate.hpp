@@ -1,0 +1,67 @@
+// Native calibration: measure this host's engines and fit the paper's
+// model forms to them.
+//
+// The paper derives every performance function from benchmarks on its test
+// system ("system performance variables … are measured by benchmarks and
+// stored inside the scheduler", §III-G). These harnesses are those
+// benchmarks: a sub-cube size sweep over the real aggregation kernel fits a
+// CpuPerfModel (Figures 4/5), and a dictionary-length sweep over the real
+// linear-scan search fits a DictPerfModel (Figure 9). Any host can thereby
+// regenerate its own coefficients next to the published ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perfmodel/cpu_model.hpp"
+#include "perfmodel/dict_model.hpp"
+
+namespace holap {
+
+/// One measured point of a sweep.
+struct CalibrationSample {
+  double x = 0.0;        ///< sub-cube MB, or dictionary length
+  Seconds seconds = 0.0;  ///< best-of-repetitions wall time
+};
+
+struct CpuCalibrationConfig {
+  /// Sub-cube sizes to measure, in MB. Must be positive and ascending.
+  std::vector<Megabytes> sizes_mb = {1, 2, 4, 8, 16, 32, 64, 128};
+  /// 0 = sequential engine; n >= 1 = OpenMP engine with n threads.
+  int threads = 0;
+  /// Wall time is the best of this many repetitions (noise floor).
+  int repetitions = 3;
+  /// Crossover passed to CpuPerfModel::fit.
+  Megabytes split_mb = kCpuModelSplitMb;
+};
+
+struct CpuCalibrationResult {
+  std::vector<CalibrationSample> samples;
+  CpuPerfModel model;
+  /// Measured streaming bandwidth (GB/s) at each sample, aligned with
+  /// `samples` — the Figure 3 series.
+  std::vector<double> bandwidth_gbps;
+};
+
+/// Run the sub-cube sweep on this host. Allocates one cube of the largest
+/// requested size (sizes beyond free memory should not be requested).
+CpuCalibrationResult calibrate_cpu(const CpuCalibrationConfig& config);
+
+struct DictCalibrationConfig {
+  /// Dictionary lengths (entry counts) to measure.
+  std::vector<std::size_t> lengths = {1'000,   5'000,   10'000, 50'000,
+                                      100'000, 500'000, 1'000'000};
+  /// Searches averaged per length (each is a full linear scan: the paper's
+  /// model is the upper bound, i.e. the absent-string worst case).
+  int searches = 50;
+};
+
+struct DictCalibrationResult {
+  std::vector<CalibrationSample> samples;
+  DictPerfModel model;
+};
+
+/// Run the dictionary sweep on this host using the linear-scan search.
+DictCalibrationResult calibrate_dict(const DictCalibrationConfig& config);
+
+}  // namespace holap

@@ -1,0 +1,70 @@
+// CPU performance model for OLAP cube processing (§III-B/D).
+//
+// Cube aggregation is memory-bandwidth-bound, so query processing time is a
+// function of the sub-cube size alone. The paper models it piecewise over
+// sub-cube size SC (in MB): a power law a·SC^b below a 512 MB crossover
+// (Range A: the sub-cube partially fits in cache / bandwidth has not
+// saturated) and a linear function a·SC + b above it (Range B: streaming at
+// saturated bandwidth), eq. (4).
+//
+// Published presets (dual Xeon X5667):
+//   4 threads  (eq. 7):  A: 1e-4·SC^0.9341      B: 5e-5·SC + 0.0096
+//   8 threads  (eq. 10): A: 6e-5·SC^0.984       B: 4e-5·SC + 0.0146
+// The sequential engine is modelled from its measured ~1 GB/s streaming
+// bandwidth (§III-D's "maximum memory bandwidth of 1 GB per second").
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace holap {
+
+/// The 512 MB Range-A/Range-B crossover of eq. (4).
+inline constexpr Megabytes kCpuModelSplitMb = 512.0;
+
+class CpuPerfModel {
+ public:
+  /// Piecewise model from explicit coefficients.
+  /// Range A: power.a * SC^power.b; Range B: linear.a * SC + linear.b.
+  CpuPerfModel(FitResult power, FitResult linear,
+               Megabytes split_mb = kCpuModelSplitMb);
+
+  /// Estimated processing time for a sub-cube of `sc_mb` MB.
+  Seconds seconds(Megabytes sc_mb) const;
+
+  /// Effective bandwidth implied by the model at a given sub-cube size.
+  double gb_per_second(Megabytes sc_mb) const;
+
+  const FitResult& range_a() const { return power_; }
+  const FitResult& range_b() const { return linear_; }
+  Megabytes split_mb() const { return split_mb_; }
+
+  /// Eq. (7): the published 4-thread model.
+  static CpuPerfModel paper_4t();
+  /// Eq. (10): the published 8-thread model.
+  static CpuPerfModel paper_8t();
+  /// Sequential engine: pure streaming at `gb_per_s` with a fixed
+  /// per-query overhead. Both ranges collapse to the same linear law.
+  static CpuPerfModel bandwidth_model(double gb_per_s,
+                                      Seconds overhead = 0.002);
+  /// Published model for a thread count, as the scheduler configures it:
+  /// 1 → bandwidth_model(1.0) (the original single-threaded engine),
+  /// 4 → paper_4t(), 8 → paper_8t(). Other counts interpolate bandwidth
+  /// between the published anchors.
+  static CpuPerfModel paper_for_threads(int threads);
+
+  /// Re-fit the paper's functional form from measured (size MB, seconds)
+  /// samples: log-log OLS below `split_mb`, OLS above. Samples must cover
+  /// a range; a side with fewer than 2 samples inherits the other side's
+  /// law evaluated continuously.
+  static CpuPerfModel fit(std::span<const double> sizes_mb,
+                          std::span<const double> seconds,
+                          Megabytes split_mb = kCpuModelSplitMb);
+
+ private:
+  FitResult power_;
+  FitResult linear_;
+  Megabytes split_mb_;
+};
+
+}  // namespace holap

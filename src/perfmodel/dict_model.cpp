@@ -1,0 +1,31 @@
+#include "perfmodel/dict_model.hpp"
+
+#include "common/error.hpp"
+
+namespace holap {
+
+DictPerfModel::DictPerfModel(double seconds_per_entry)
+    : k_(seconds_per_entry) {
+  HOLAP_REQUIRE(k_ > 0.0, "per-entry cost must be positive");
+}
+
+Seconds DictPerfModel::search_seconds(std::size_t entries) const {
+  return k_ * static_cast<double>(entries);
+}
+
+Seconds DictPerfModel::translation_seconds(
+    std::span<const std::size_t> dictionary_lengths) const {
+  Seconds total = 0.0;
+  for (std::size_t len : dictionary_lengths) total += search_seconds(len);
+  return total;
+}
+
+DictPerfModel DictPerfModel::paper() { return DictPerfModel(0.0138e-6); }
+
+DictPerfModel DictPerfModel::fit(std::span<const double> lengths,
+                                 std::span<const double> seconds) {
+  const FitResult f = fit_linear_origin(lengths, seconds);
+  return DictPerfModel(f.a);
+}
+
+}  // namespace holap

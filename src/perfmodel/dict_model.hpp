@@ -1,0 +1,42 @@
+// Dictionary search (translation) performance model (§III-F).
+//
+// One dictionary search costs time proportional to the dictionary length
+// (eq. 17): P_DICT(D_L) = k · D_L with the published k = 0.0138 µs/entry
+// for the paper's test system. A query's translation time upper bound
+// (eq. 18) sums P_DICT over every text parameter's dictionary.
+#pragma once
+
+#include <span>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace holap {
+
+class DictPerfModel {
+ public:
+  explicit DictPerfModel(double seconds_per_entry);
+
+  /// Time of one search in a dictionary of `entries` strings.
+  Seconds search_seconds(std::size_t entries) const;
+
+  /// Eq. (18): translation time for a query whose text parameters hit
+  /// dictionaries of the given lengths (one entry per parameter).
+  Seconds translation_seconds(
+      std::span<const std::size_t> dictionary_lengths) const;
+
+  double seconds_per_entry() const { return k_; }
+
+  /// The published constant: 0.0138e-6 s per dictionary entry.
+  static DictPerfModel paper();
+
+  /// Re-fit from measured (dictionary length, seconds) samples
+  /// (through-origin OLS, matching the eq. 17 form).
+  static DictPerfModel fit(std::span<const double> lengths,
+                           std::span<const double> seconds);
+
+ private:
+  double k_;
+};
+
+}  // namespace holap

@@ -1,0 +1,52 @@
+#include "perfmodel/gpu_model.hpp"
+
+#include "common/error.hpp"
+
+namespace holap {
+
+GpuPerfModel::GpuPerfModel(double a, double b) : a_(a), b_(b) {
+  HOLAP_REQUIRE(a_ >= 0.0 && b_ >= 0.0,
+                "GPU model coefficients must be non-negative");
+}
+
+Seconds GpuPerfModel::seconds(double col_fraction) const {
+  HOLAP_REQUIRE(col_fraction >= 0.0 && col_fraction <= 1.0,
+                "column fraction must be in [0,1]");
+  return a_ * col_fraction + b_;
+}
+
+GpuPerfModel GpuPerfModel::paper_c2070(int n_sms) {
+  HOLAP_REQUIRE(n_sms >= 1 && n_sms <= 14,
+                "C2070 has 14 SMs; partition size out of range");
+  switch (n_sms) {
+    case 1:
+      return {0.003, 0.0258};    // eq. (14)
+    case 2:
+      return {0.0015, 0.013};    // eq. (14)
+    case 4:
+      return {0.0008, 0.0065};   // eq. (14)
+    case 14:
+      return {0.00021, 0.0020};  // eq. (15)
+    default: {
+      const double n = static_cast<double>(n_sms);
+      return {0.003 / n, 0.0258 / n};
+    }
+  }
+}
+
+GpuPerfModel GpuPerfModel::paper_c2070_scaled(int n_sms, Megabytes table_mb,
+                                              Megabytes reference_mb) {
+  HOLAP_REQUIRE(table_mb > 0.0 && reference_mb > 0.0,
+                "table sizes must be positive");
+  const GpuPerfModel base = paper_c2070(n_sms);
+  const double scale = table_mb / reference_mb;
+  return {base.a_ * scale, base.b_ * scale};
+}
+
+GpuPerfModel GpuPerfModel::fit(std::span<const double> fractions,
+                               std::span<const double> seconds) {
+  const FitResult f = fit_linear(fractions, seconds);
+  return {f.a, f.b};
+}
+
+}  // namespace holap

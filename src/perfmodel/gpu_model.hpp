@@ -1,0 +1,54 @@
+// GPU partition performance model (§III-E).
+//
+// A GPU partition's query time is linear in the fraction of fact-table
+// columns the query touches (eq. 13): T = a·(C/C_TOT) + b, with
+// coefficients per partition size measured on a 4 GB table (Figure 8,
+// eq. 14/15 for the Tesla C2070):
+//
+//   1 SM:  0.003   ·(C/C_TOT) + 0.0258
+//   2 SM:  0.0015  ·(C/C_TOT) + 0.013
+//   4 SM:  0.0008  ·(C/C_TOT) + 0.0065
+//   14 SM: 0.00021 ·(C/C_TOT) + 0.0020
+//
+// The published constants follow a near-perfect 1/n_SM scaling
+// (a ≈ 0.003/n, b ≈ 0.0258/n) — scan work divides evenly across SMs — so
+// partition sizes without a published row use that law. Table size scales
+// both coefficients proportionally (the scan streams the whole column).
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace holap {
+
+class GpuPerfModel {
+ public:
+  /// T = a·col_fraction + b, valid for the table size it was measured on.
+  GpuPerfModel(double a, double b);
+
+  /// Estimated time for a query touching `col_fraction` = C/C_TOT of the
+  /// table's columns; fraction in [0, 1].
+  Seconds seconds(double col_fraction) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+  /// Published C2070 model for a partition of `n_sms` SMs (exact constants
+  /// for 1/2/4/14; the 1/n law otherwise), for the paper's 4 GB table.
+  static GpuPerfModel paper_c2070(int n_sms);
+
+  /// Same model rescaled to a different table size (both coefficients
+  /// scale with the bytes streamed).
+  static GpuPerfModel paper_c2070_scaled(int n_sms, Megabytes table_mb,
+                                         Megabytes reference_mb = 4096.0);
+
+  /// Re-fit from measured (col_fraction, seconds) samples.
+  static GpuPerfModel fit(std::span<const double> fractions,
+                          std::span<const double> seconds);
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace holap

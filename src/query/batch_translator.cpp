@@ -1,0 +1,77 @@
+#include "query/batch_translator.hpp"
+
+#include <map>
+
+#include "dict/aho_corasick.hpp"
+
+namespace holap {
+
+BatchTranslator::BatchTranslator(const TableSchema& schema,
+                                 const DictionarySet& dicts)
+    : schema_(&schema), dicts_(&dicts) {}
+
+TranslationReport BatchTranslator::translate(Query& q) const {
+  TranslationReport report;
+
+  // Group the untranslated parameters by fact-table column.
+  struct Slot {
+    Condition* condition;
+    std::size_t value_index;
+  };
+  std::map<int, std::vector<Slot>> by_column;
+  for (auto& c : q.conditions) {
+    if (!c.needs_translation()) continue;
+    const int col = schema_->dimension_column(c.dim, c.level);
+    HOLAP_REQUIRE(
+        schema_->column(col).encoding == ValueEncoding::kDictEncodedText,
+        "text parameters on a non-text column");
+    c.codes.assign(c.text_values.size(), -1);
+    for (std::size_t v = 0; v < c.text_values.size(); ++v) {
+      by_column[col].push_back({&c, v});
+    }
+  }
+
+  // One automaton + one dictionary pass per column.
+  for (auto& [col, slots] : by_column) {
+    std::vector<std::string_view> patterns;
+    patterns.reserve(slots.size());
+    for (const Slot& slot : slots) {
+      patterns.push_back(slot.condition->text_values[slot.value_index]);
+    }
+    const AhoCorasick automaton(patterns);
+    const Dictionary& dict = dicts_->for_column(col);
+    std::vector<std::size_t> hits;
+    for (std::int32_t code = 0;
+         code < static_cast<std::int32_t>(dict.size()); ++code) {
+      automaton.match_exact(dict.decode(code), hits);
+      for (const std::size_t p : hits) {
+        Slot& slot = slots[p];
+        slot.condition->codes[slot.value_index] = code;
+      }
+    }
+    report.parameters_translated += static_cast<int>(slots.size());
+    report.dictionary_entries_scanned += dict.size();  // one pass, total
+    for (const Slot& slot : slots) {
+      report.all_found = report.all_found &&
+                         slot.condition->codes[slot.value_index] >= 0;
+    }
+  }
+  return report;
+}
+
+std::vector<std::size_t> BatchTranslator::unique_dictionary_lengths(
+    const Query& q) const {
+  std::map<int, std::size_t> lengths;
+  for (const auto& c : q.conditions) {
+    if (!c.is_text()) continue;
+    const int col = schema_->dimension_column(c.dim, c.level);
+    lengths[col] = dicts_->has_column(col) ? dicts_->for_column(col).size()
+                                           : 0;
+  }
+  std::vector<std::size_t> out;
+  out.reserve(lengths.size());
+  for (const auto& [col, len] : lengths) out.push_back(len);
+  return out;
+}
+
+}  // namespace holap

@@ -1,0 +1,41 @@
+// Batch text-to-integer translation — the paper's future-work
+// "more sophisticated translation algorithm", built on Aho–Corasick.
+//
+// The baseline Translator performs one dictionary search per text
+// parameter, so a query with many parameters multiplies the eq.-(18)
+// upper bound. The batch algorithm inverts the loop: per text column it
+// builds an Aho–Corasick automaton over THAT COLUMN'S query parameters and
+// streams the dictionary through it once — every parameter resolves in a
+// single pass, making translation cost P_DICT(D_L) per distinct column,
+// independent of the parameter count:
+//
+//   ⌈T_TRANS_batch⌉ = Σ_{columns with text params} P_DICT(D_L|col)
+//
+// bench_future_translation quantifies what this buys the GPU pipeline.
+#pragma once
+
+#include "query/translator.hpp"
+
+namespace holap {
+
+class BatchTranslator {
+ public:
+  BatchTranslator(const TableSchema& schema, const DictionarySet& dicts);
+
+  /// Translate all text conditions of `q` in place; produces exactly the
+  /// codes Translator would (absent strings -> -1). The report's
+  /// dictionary_entries_scanned counts one full pass per distinct column,
+  /// not per parameter.
+  TranslationReport translate(Query& q) const;
+
+  /// Dictionary length per DISTINCT text column of `q` (the batch model's
+  /// eq.-(18) input; compare Translator::dictionary_lengths, which lists
+  /// one entry per parameter).
+  std::vector<std::size_t> unique_dictionary_lengths(const Query& q) const;
+
+ private:
+  const TableSchema* schema_;
+  const DictionarySet* dicts_;
+};
+
+}  // namespace holap

@@ -1,0 +1,238 @@
+#include "query/parser.hpp"
+
+#include <cctype>
+
+namespace holap {
+
+ParseError::ParseError(const std::string& message, std::size_t position)
+    : Error("parse error at position " + std::to_string(position) + ": " +
+            message),
+      position_(position) {}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const TableSchema& schema)
+      : text_(text), schema_(&schema) {}
+
+  Query parse() {
+    Query q;
+    q.op = parse_agg();
+    expect('(');
+    skip_ws();
+    if (!looking_at(')')) {
+      for (;;) {
+        q.measures.push_back(parse_measure());
+        skip_ws();
+        if (!consume_if(',')) break;
+      }
+    }
+    expect(')');
+    skip_ws();
+    if (consume_keyword("where")) {
+      for (;;) {
+        q.conditions.push_back(parse_condition());
+        skip_ws();
+        if (!consume_keyword("and")) break;
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing input");
+    }
+    try {
+      validate_query(q, schema_->dimensions(), *schema_);
+    } catch (const InvalidArgument& e) {
+      throw ParseError(e.what(), pos_);
+    }
+    return q;
+  }
+
+ private:
+  std::string_view text_;
+  const TableSchema* schema_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool looking_at(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool consume_if(char c) {
+    if (!looking_at(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!consume_if(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  static bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '#';
+  }
+
+  std::string_view peek_identifier() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() && ident_char(text_[end])) ++end;
+    return text_.substr(pos_, end - pos_);
+  }
+
+  std::string_view parse_identifier(const char* what) {
+    const std::string_view id = peek_identifier();
+    if (id.empty()) fail(std::string("expected ") + what);
+    pos_ += id.size();
+    return id;
+  }
+
+  bool consume_keyword(std::string_view keyword) {
+    if (peek_identifier() != keyword) return false;
+    pos_ += keyword.size();
+    return true;
+  }
+
+  AggOp parse_agg() {
+    const std::string_view id = parse_identifier("aggregation operator");
+    if (id == "sum") return AggOp::kSum;
+    if (id == "count") return AggOp::kCount;
+    if (id == "avg") return AggOp::kAvg;
+    if (id == "min") return AggOp::kMin;
+    if (id == "max") return AggOp::kMax;
+    pos_ -= id.size();
+    fail("unknown aggregation operator '" + std::string(id) + "'");
+  }
+
+  int parse_measure() {
+    const std::string_view name = parse_identifier("measure name");
+    const auto col = schema_->find_column(std::string(name));
+    if (!col || schema_->column(*col).kind != ColumnKind::kMeasure) {
+      pos_ -= name.size();
+      fail("'" + std::string(name) + "' is not a measure column");
+    }
+    return *col;
+  }
+
+  std::int64_t parse_integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    std::size_t digits = 0;
+    std::int64_t value = 0;
+    bool negative = start < pos_ && text_[start] == '-';
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_] - '0');
+      ++digits;
+      ++pos_;
+    }
+    if (digits == 0) {
+      pos_ = start;
+      fail("expected an integer");
+    }
+    return negative ? -value : value;
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+      fail("expected a quoted string");
+    }
+    const char quote = text_[pos_++];
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      out += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) fail("unterminated string literal");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Condition parse_condition() {
+    const std::size_t at = pos_;
+    const std::string_view dim_name = parse_identifier("dimension name");
+    expect('.');
+    const std::string_view level_name = parse_identifier("level name");
+
+    Condition c;
+    c.dim = -1;
+    const auto& dims = schema_->dimensions();
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      if (dims[d].name() != dim_name) continue;
+      c.dim = static_cast<int>(d);
+      c.level = -1;
+      for (int l = 0; l < dims[d].level_count(); ++l) {
+        if (dims[d].level(l).name == level_name) c.level = l;
+      }
+      if (c.level < 0) {
+        pos_ = at;
+        fail("dimension '" + std::string(dim_name) + "' has no level '" +
+             std::string(level_name) + "'");
+      }
+    }
+    if (c.dim < 0) {
+      pos_ = at;
+      fail("unknown dimension '" + std::string(dim_name) + "'");
+    }
+
+    if (!consume_keyword("in")) fail("expected 'in'");
+    skip_ws();
+    if (consume_if('[')) {
+      c.from = static_cast<std::int32_t>(parse_integer());
+      expect(',');
+      c.to = static_cast<std::int32_t>(parse_integer());
+      expect(']');
+      return c;
+    }
+    if (consume_if('{')) {
+      for (;;) {
+        c.text_values.push_back(parse_string());
+        skip_ws();
+        if (!consume_if(',')) break;
+      }
+      expect('}');
+      // Text conditions require a dict-encoded column; surface the error
+      // here rather than at translation time.
+      const int col = schema_->dimension_column(c.dim, c.level);
+      if (schema_->column(col).encoding != ValueEncoding::kDictEncodedText) {
+        pos_ = at;
+        fail("column '" + schema_->column(col).name +
+             "' is not a text column; use a [from, to] range");
+      }
+      // Keep the range fields valid for validate_query.
+      c.from = 0;
+      c.to = static_cast<std::int32_t>(
+                 schema_->dimensions()[static_cast<std::size_t>(c.dim)]
+                     .level(c.level)
+                     .cardinality) -
+             1;
+      return c;
+    }
+    fail("expected '[from, to]' or '{\"string\", ...}'");
+  }
+};
+
+}  // namespace
+
+Query parse_query(std::string_view text, const TableSchema& schema) {
+  return Parser(text, schema).parse();
+}
+
+}  // namespace holap

@@ -1,0 +1,43 @@
+// A small textual query language for the hybrid OLAP system.
+//
+// Grammar (case-sensitive keywords, whitespace-insensitive):
+//
+//   query     := agg '(' [measure (',' measure)*] ')'
+//                [ 'where' condition ('and' condition)* ]
+//   agg       := 'sum' | 'count' | 'avg' | 'min' | 'max'
+//   measure   := identifier                      — a measure column name
+//   condition := dim '.' level 'in' (range | strings)
+//   range     := '[' integer ',' integer ']'     — inclusive member codes
+//   strings   := '{' string (',' string)* '}'    — text parameters (IN-list)
+//   string    := '"' ... '"' | '\'' ... '\''
+//
+// Examples:
+//   sum(measure_0) where time.month in [3, 7]
+//   avg(measure_1, measure_2) where geography.store in {"Marlowick"}
+//   count() where product.brand in {'Nortek #1', 'Wintek #4'}
+//
+// parse_query() resolves names against the schema, validates ranges and
+// returns a ready-to-schedule Query; errors carry the offending position.
+#pragma once
+
+#include <string_view>
+
+#include "query/query.hpp"
+
+namespace holap {
+
+/// Thrown on malformed input; what() includes character position context.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& message, std::size_t position);
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parse `text` into a validated Query over `schema` (whose dimensions
+/// provide the dim/level name space).
+Query parse_query(std::string_view text, const TableSchema& schema);
+
+}  // namespace holap

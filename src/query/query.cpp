@@ -1,0 +1,142 @@
+#include "query/query.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace holap {
+
+const char* to_string(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+    case AggOp::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+int Query::required_resolution() const {
+  int r = 0;
+  for (const auto& c : conditions) r = std::max(r, c.level);
+  return r;
+}
+
+int Query::gpu_columns_accessed() const {
+  return static_cast<int>(conditions.size()) +
+         static_cast<int>(measures.size());
+}
+
+int Query::text_conditions() const {
+  int n = 0;
+  for (const auto& c : conditions) n += c.is_text() ? 1 : 0;
+  return n;
+}
+
+bool Query::needs_translation() const {
+  return std::any_of(conditions.begin(), conditions.end(),
+                     [](const Condition& c) { return c.needs_translation(); });
+}
+
+void validate_query(const Query& q, const std::vector<Dimension>& dims,
+                    const TableSchema& schema) {
+  HOLAP_REQUIRE(!q.conditions.empty() || !q.measures.empty(),
+                "query must have at least one condition or measure");
+  for (const auto& c : q.conditions) {
+    HOLAP_REQUIRE(c.dim >= 0 && c.dim < static_cast<int>(dims.size()),
+                  "condition references unknown dimension");
+    const Dimension& dim = dims[static_cast<std::size_t>(c.dim)];
+    HOLAP_REQUIRE(c.level >= 0 && c.level < dim.level_count(),
+                  "condition references unknown level");
+    if (!c.is_text()) {
+      const auto card =
+          static_cast<std::int32_t>(dim.level(c.level).cardinality);
+      HOLAP_REQUIRE(c.from >= 0 && c.to < card && c.from <= c.to,
+                    "condition range out of bounds for level");
+    }
+  }
+  for (int m : q.measures) {
+    HOLAP_REQUIRE(m >= 0 && m < schema.column_count(),
+                  "measure index out of range");
+    HOLAP_REQUIRE(schema.column(m).kind == ColumnKind::kMeasure,
+                  "measure index does not name a measure column");
+  }
+  if (q.op == AggOp::kCount) return;  // count needs no measure
+  HOLAP_REQUIRE(!q.measures.empty(),
+                "non-count aggregation requires at least one measure");
+}
+
+std::size_t subcube_bytes(const Query& q, const std::vector<Dimension>& dims,
+                          int cube_level, std::size_t cell_bytes) {
+  HOLAP_REQUIRE(cube_level >= q.required_resolution(),
+                "cube resolution too coarse for query");
+  std::size_t cells = 1;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    const Dimension& dim = dims[d];
+    // Narrowest condition in this dimension (if several, the intersection
+    // is conservative; we take the finest-range product as eq. (3) does
+    // with one condition per dimension).
+    std::size_t width = dim.level(cube_level).cardinality;  // no condition
+    for (const auto& c : q.conditions) {
+      if (c.dim != static_cast<int>(d)) continue;
+      const std::size_t fanout = dim.fanout(c.level, cube_level);
+      std::size_t w;
+      if (c.is_text()) {
+        // IN-list of members at the condition's level.
+        w = std::max<std::size_t>(c.text_values.size(), 1) * fanout;
+      } else {
+        w = static_cast<std::size_t>(c.to - c.from + 1) * fanout;
+      }
+      width = std::min(width, w);
+    }
+    cells *= width;
+  }
+  return cells * cell_bytes;
+}
+
+std::vector<int> distinct_columns_accessed(const Query& q,
+                                           const TableSchema& schema) {
+  std::vector<int> cols;
+  for (const auto& c : q.conditions) {
+    cols.push_back(schema.dimension_column(c.dim, c.level));
+  }
+  cols.insert(cols.end(), q.measures.begin(), q.measures.end());
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+std::string to_string(const Query& q, const std::vector<Dimension>& dims) {
+  std::ostringstream os;
+  os << to_string(q.op) << '(';
+  for (std::size_t i = 0; i < q.measures.size(); ++i) {
+    if (i) os << ", ";
+    os << "m" << q.measures[i];
+  }
+  os << ") where ";
+  for (std::size_t i = 0; i < q.conditions.size(); ++i) {
+    const auto& c = q.conditions[i];
+    if (i) os << " and ";
+    const Dimension& dim = dims[static_cast<std::size_t>(c.dim)];
+    os << dim.name() << '.' << dim.level(c.level).name;
+    if (c.is_text()) {
+      os << " in {";
+      for (std::size_t t = 0; t < c.text_values.size(); ++t) {
+        if (t) os << ", ";
+        os << '"' << c.text_values[t] << '"';
+      }
+      os << '}';
+    } else {
+      os << " in [" << c.from << ", " << c.to << ']';
+    }
+  }
+  if (q.conditions.empty()) os << "true";
+  return os.str();
+}
+
+}  // namespace holap

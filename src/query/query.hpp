@@ -1,0 +1,108 @@
+// OLAP query model.
+//
+// Eq. (1) of the paper formulates a query as a set of per-dimension
+// conditions C_L(f, t, r): an inclusive member-code range [f, t] at
+// hierarchy level (resolution) r. Eq. (11) generalises to the decomposed
+// form Q_D where a dimension may carry conditions at several levels, each
+// addressing one fact-table column. We represent both with one structure:
+// a list of conditions, each naming (dimension, level, range), plus the
+// measure columns to aggregate and the aggregation operator.
+//
+// A condition on a dict-encoded text column may arrive with *string*
+// parameters (`text_values`); such a query must pass through the
+// translation partition before GPU submission (§III-F). After translation
+// the condition carries the equivalent integer codes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/dimensions.hpp"
+#include "relational/schema.hpp"
+
+namespace holap {
+
+enum class AggOp : std::uint8_t { kSum, kCount, kMin, kMax, kAvg };
+
+const char* to_string(AggOp op);
+
+/// One filtration condition C_dim(from, to, level), eq. (1)/(11).
+struct Condition {
+  int dim = 0;    ///< dimension index
+  int level = 0;  ///< hierarchy level r (0 = coarsest)
+  std::int32_t from = 0;  ///< inclusive lower member code at `level`
+  std::int32_t to = 0;    ///< inclusive upper member code at `level`
+  /// String parameters for a text column; non-empty means the condition
+  /// still needs text-to-integer translation. Interpreted as an IN-list.
+  std::vector<std::string> text_values;
+  /// Translated codes of `text_values` (filled by the Translator).
+  std::vector<std::int32_t> codes;
+
+  bool needs_translation() const {
+    return !text_values.empty() && codes.size() != text_values.size();
+  }
+  bool is_text() const { return !text_values.empty(); }
+};
+
+/// Answer to a query, produced identically by the CPU cube engine and the
+/// GPU table scan (their agreement is a core integration invariant).
+struct QueryAnswer {
+  double value = 0.0;      ///< aggregate value (or the count, for kCount)
+  double row_count = 0.0;  ///< number of matching fact rows
+  bool empty() const { return row_count == 0.0; }
+};
+
+/// A query: conditions + measures + aggregation operator.
+struct Query {
+  std::vector<Condition> conditions;
+  std::vector<int> measures;  ///< schema indices of measure columns
+  AggOp op = AggOp::kSum;
+
+  /// Eq. (2): the required cube resolution R — the highest (finest) level
+  /// any condition needs. A pre-computed cube can answer the query only if
+  /// its resolution is at least R in every dimension.
+  int required_resolution() const;
+
+  /// Eq. (12): columns a GPU scan touches — one per filtration condition
+  /// plus one per aggregated measure. Follows the paper exactly: two
+  /// conditions on the same column count twice (each performs its own
+  /// column pass in the modeled kernel). See distinct_columns_accessed()
+  /// for the deduplicated view.
+  int gpu_columns_accessed() const;
+
+  /// Eq. (16): number of conditions carrying text parameters, i.e. the
+  /// number of dictionary searches the translation partition must run.
+  int text_conditions() const;
+
+  bool needs_translation() const;
+};
+
+/// Validate a query against dimensions and schema: condition ranges inside
+/// level cardinalities, measures exist, at most sensible shapes. Throws
+/// InvalidArgument with a precise message on the first violation.
+void validate_query(const Query& q, const std::vector<Dimension>& dims,
+                    const TableSchema& schema);
+
+/// Eq. (3): size of the sub-cube a CPU must traverse to answer `q` on a
+/// uniform-resolution cube at level `cube_level`, in bytes.
+///
+/// Every condition's range is widened from its own level to the cube's
+/// level (fanout multiplication); dimensions without a condition contribute
+/// their full extent. `cell_bytes` is E_size. (The paper's printed formula
+/// multiplies by 1024^2 where the MB conversion should divide; we compute
+/// exact bytes and convert explicitly at call sites.)
+std::size_t subcube_bytes(const Query& q, const std::vector<Dimension>& dims,
+                          int cube_level, std::size_t cell_bytes);
+
+/// The Q_D decomposition of eq. (11) made explicit: the distinct
+/// fact-table columns the query addresses (conditions resolved through
+/// the schema, then measures), ascending. Unlike eq. (12)'s count this
+/// deduplicates — the quantity a smarter kernel would stream.
+std::vector<int> distinct_columns_accessed(const Query& q,
+                                           const TableSchema& schema);
+
+/// Human-readable one-line rendering for logs and examples.
+std::string to_string(const Query& q, const std::vector<Dimension>& dims);
+
+}  // namespace holap

@@ -1,0 +1,100 @@
+#include "query/query_builder.hpp"
+
+namespace holap {
+
+QueryBuilder::QueryBuilder(const TableSchema& schema) : schema_(&schema) {}
+
+QueryBuilder& QueryBuilder::set_measures(
+    AggOp op, const std::vector<std::string>& measures) {
+  query_.op = op;
+  query_.measures.clear();
+  for (const std::string& name : measures) {
+    const auto col = schema_->find_column(name);
+    HOLAP_REQUIRE(col.has_value() &&
+                      schema_->column(*col).kind == ColumnKind::kMeasure,
+                  "'" + name + "' is not a measure column");
+    query_.measures.push_back(*col);
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::sum(const std::vector<std::string>& measures) {
+  return set_measures(AggOp::kSum, measures);
+}
+QueryBuilder& QueryBuilder::avg(const std::vector<std::string>& measures) {
+  return set_measures(AggOp::kAvg, measures);
+}
+QueryBuilder& QueryBuilder::min(const std::vector<std::string>& measures) {
+  return set_measures(AggOp::kMin, measures);
+}
+QueryBuilder& QueryBuilder::max(const std::vector<std::string>& measures) {
+  return set_measures(AggOp::kMax, measures);
+}
+QueryBuilder& QueryBuilder::count() {
+  query_.op = AggOp::kCount;
+  query_.measures.clear();
+  return *this;
+}
+
+std::pair<int, int> QueryBuilder::resolve(const std::string& dim,
+                                          const std::string& level) const {
+  const auto& dims = schema_->dimensions();
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (dims[d].name() != dim) continue;
+    for (int l = 0; l < dims[d].level_count(); ++l) {
+      if (dims[d].level(l).name == level) return {static_cast<int>(d), l};
+    }
+    throw InvalidArgument("dimension '" + dim + "' has no level '" + level +
+                          "'");
+  }
+  throw InvalidArgument("unknown dimension '" + dim + "'");
+}
+
+QueryBuilder& QueryBuilder::where(const std::string& dim,
+                                  const std::string& level,
+                                  std::int32_t from, std::int32_t to) {
+  const auto [d, l] = resolve(dim, level);
+  Condition c;
+  c.dim = d;
+  c.level = l;
+  c.from = from;
+  c.to = to;
+  query_.conditions.push_back(std::move(c));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::where_equals(const std::string& dim,
+                                         const std::string& level,
+                                         std::int32_t code) {
+  return where(dim, level, code, code);
+}
+
+QueryBuilder& QueryBuilder::where_text(const std::string& dim,
+                                       const std::string& level,
+                                       std::vector<std::string> values) {
+  HOLAP_REQUIRE(!values.empty(), "where_text requires at least one value");
+  const auto [d, l] = resolve(dim, level);
+  const int col = schema_->dimension_column(d, l);
+  HOLAP_REQUIRE(
+      schema_->column(col).encoding == ValueEncoding::kDictEncodedText,
+      "column '" + schema_->column(col).name + "' is not a text column");
+  Condition c;
+  c.dim = d;
+  c.level = l;
+  c.text_values = std::move(values);
+  c.from = 0;
+  c.to = static_cast<std::int32_t>(
+             schema_->dimensions()[static_cast<std::size_t>(d)]
+                 .level(l)
+                 .cardinality) -
+         1;
+  query_.conditions.push_back(std::move(c));
+  return *this;
+}
+
+Query QueryBuilder::build() const {
+  validate_query(query_, schema_->dimensions(), *schema_);
+  return query_;
+}
+
+}  // namespace holap

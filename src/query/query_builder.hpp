@@ -1,0 +1,59 @@
+// Fluent query construction.
+//
+// The Query struct is deliberately plain (the scheduler and engines
+// consume it directly); QueryBuilder is the ergonomic front door for
+// applications: name-based dimension/level/measure resolution, chaining,
+// and validation on build().
+//
+//   Query q = QueryBuilder(schema)
+//                 .sum({"measure_0", "measure_1"})
+//                 .where("time", "month", 3, 7)
+//                 .where_text("geography", "store", {"Marlowick"})
+//                 .build();
+#pragma once
+
+#include "query/query.hpp"
+
+namespace holap {
+
+class QueryBuilder {
+ public:
+  /// `schema` must outlive build().
+  explicit QueryBuilder(const TableSchema& schema);
+
+  /// Aggregation operator + measures by column name.
+  QueryBuilder& sum(const std::vector<std::string>& measures);
+  QueryBuilder& avg(const std::vector<std::string>& measures);
+  QueryBuilder& min(const std::vector<std::string>& measures);
+  QueryBuilder& max(const std::vector<std::string>& measures);
+  QueryBuilder& count();
+
+  /// Range condition on (dimension, level) by name; [from, to] inclusive
+  /// member codes.
+  QueryBuilder& where(const std::string& dim, const std::string& level,
+                      std::int32_t from, std::int32_t to);
+
+  /// Single-member equality condition.
+  QueryBuilder& where_equals(const std::string& dim,
+                             const std::string& level, std::int32_t code);
+
+  /// Text IN-list condition on a dict-encoded column; the query will need
+  /// translation before GPU processing.
+  QueryBuilder& where_text(const std::string& dim, const std::string& level,
+                           std::vector<std::string> values);
+
+  /// Validate and return the query. The builder may be reused afterwards
+  /// (it keeps its state).
+  Query build() const;
+
+ private:
+  const TableSchema* schema_;
+  Query query_;
+
+  QueryBuilder& set_measures(AggOp op,
+                             const std::vector<std::string>& measures);
+  std::pair<int, int> resolve(const std::string& dim,
+                              const std::string& level) const;
+};
+
+}  // namespace holap

@@ -1,0 +1,45 @@
+#include "query/translator.hpp"
+
+namespace holap {
+
+Translator::Translator(const TableSchema& schema, const DictionarySet& dicts,
+                       DictSearch strategy)
+    : schema_(&schema), dicts_(&dicts), strategy_(strategy) {}
+
+TranslationReport Translator::translate(Query& q) const {
+  TranslationReport report;
+  for (auto& c : q.conditions) {
+    if (!c.needs_translation()) continue;
+    const int col = schema_->dimension_column(c.dim, c.level);
+    HOLAP_REQUIRE(
+        schema_->column(col).encoding == ValueEncoding::kDictEncodedText,
+        "text parameters on a non-text column");
+    const Dictionary& dict = dicts_->for_column(col);
+    c.codes.clear();
+    c.codes.reserve(c.text_values.size());
+    for (const auto& s : c.text_values) {
+      const auto code = dict.find(s, strategy_);
+      if (!code) report.all_found = false;
+      c.codes.push_back(code.value_or(-1));
+      ++report.parameters_translated;
+      report.dictionary_entries_scanned += dict.size();
+    }
+  }
+  return report;
+}
+
+std::vector<std::size_t> Translator::dictionary_lengths(const Query& q) const {
+  std::vector<std::size_t> lengths;
+  for (const auto& c : q.conditions) {
+    if (!c.is_text()) continue;
+    const int col = schema_->dimension_column(c.dim, c.level);
+    const std::size_t len =
+        dicts_->has_column(col) ? dicts_->for_column(col).size() : 0;
+    for (std::size_t i = 0; i < c.text_values.size(); ++i) {
+      lengths.push_back(len);
+    }
+  }
+  return lengths;
+}
+
+}  // namespace holap

@@ -1,0 +1,52 @@
+// Text-to-integer query translation (§III-F).
+//
+// Every query routed to the GPU must have its string parameters replaced by
+// integer dictionary codes first — the GPU-resident table holds no text.
+// The Translator performs that substitution against a DictionarySet and
+// reports how much dictionary work it did, which is what the translation
+// partition's time model (eq. 18) charges for:
+//
+//   ⌈T_TRANS⌉ = Σ_{i ∈ CDT_QD} P_DICT(D_L|i)
+//
+// i.e. one dictionary search per text parameter, each costing time
+// proportional to that column's dictionary length.
+#pragma once
+
+#include "dict/dictionary_set.hpp"
+#include "query/query.hpp"
+
+namespace holap {
+
+/// Outcome of translating one query.
+struct TranslationReport {
+  int parameters_translated = 0;  ///< dictionary searches performed
+  /// Σ dictionary length over all searches — the quantity eq. (18)'s upper
+  /// bound is linear in; perfmodel turns it into seconds.
+  std::size_t dictionary_entries_scanned = 0;
+  bool all_found = true;  ///< false if any string was absent (query matches
+                          ///< nothing in that condition)
+};
+
+class Translator {
+ public:
+  /// `schema` locates each condition's column; `dicts` supplies the
+  /// per-column dictionaries; `strategy` selects the paper-faithful linear
+  /// scan or the hashed fast path.
+  Translator(const TableSchema& schema, const DictionarySet& dicts,
+             DictSearch strategy = DictSearch::kLinearScan);
+
+  /// Translate all text conditions of `q` in place: fills Condition::codes
+  /// (absent strings yield code -1, which matches no row). Idempotent.
+  TranslationReport translate(Query& q) const;
+
+  /// Eq. (16)/(18) inputs without mutating the query: the dictionary
+  /// lengths that would be searched. Used by the scheduler's estimator.
+  std::vector<std::size_t> dictionary_lengths(const Query& q) const;
+
+ private:
+  const TableSchema* schema_;
+  const DictionarySet* dicts_;
+  DictSearch strategy_;
+};
+
+}  // namespace holap

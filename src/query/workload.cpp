@@ -1,0 +1,130 @@
+#include "query/workload.hpp"
+
+#include <algorithm>
+
+#include "relational/generator.hpp"
+
+namespace holap {
+
+QueryGenerator::QueryGenerator(const std::vector<Dimension>& dims,
+                               const TableSchema& schema,
+                               WorkloadConfig config)
+    : dims_(&dims),
+      schema_(&schema),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  HOLAP_REQUIRE(!dims.empty(), "workload requires dimensions");
+  HOLAP_REQUIRE(config_.text_probability >= 0.0 &&
+                    config_.text_probability <= 1.0,
+                "text_probability must be in [0,1]");
+  HOLAP_REQUIRE(config_.mean_selectivity > 0.0 &&
+                    config_.mean_selectivity <= 1.0,
+                "mean_selectivity must be in (0,1]");
+  HOLAP_REQUIRE(config_.min_measures >= 0 &&
+                    config_.max_measures >= config_.min_measures,
+                "measure bounds invalid");
+  if (!config_.level_weights.empty()) {
+    double total = 0.0;
+    for (double w : config_.level_weights) {
+      HOLAP_REQUIRE(w >= 0.0, "level weights must be non-negative");
+      total += w;
+    }
+    HOLAP_REQUIRE(total > 0.0, "level weights must not all be zero");
+    level_cdf_.resize(config_.level_weights.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < config_.level_weights.size(); ++i) {
+      acc += config_.level_weights[i] / total;
+      level_cdf_[i] = acc;
+    }
+  }
+}
+
+int QueryGenerator::sample_level(const Dimension& dim) {
+  if (level_cdf_.empty()) {
+    return static_cast<int>(
+        rng_.uniform(static_cast<std::uint64_t>(dim.level_count())));
+  }
+  HOLAP_REQUIRE(level_cdf_.size() ==
+                    static_cast<std::size_t>(dim.level_count()),
+                "level_weights size must match dimension level count");
+  const double u = rng_.uniform01();
+  for (std::size_t i = 0; i < level_cdf_.size(); ++i) {
+    if (u <= level_cdf_[i]) return static_cast<int>(i);
+  }
+  return dim.level_count() - 1;
+}
+
+Query QueryGenerator::next() {
+  Query q;
+  for (std::size_t d = 0; d < dims_->size(); ++d) {
+    if (!rng_.bernoulli(config_.condition_probability)) continue;
+    const Dimension& dim = (*dims_)[d];
+    Condition c;
+    c.dim = static_cast<int>(d);
+    c.level = sample_level(dim);
+    const auto card =
+        static_cast<std::int64_t>(dim.level(c.level).cardinality);
+
+    const int col = schema_->dimension_column(c.dim, c.level);
+    const bool text_col = schema_->column(col).encoding ==
+                          ValueEncoding::kDictEncodedText;
+    if (text_col && rng_.bernoulli(config_.text_probability)) {
+      const int n_values = static_cast<int>(
+          rng_.uniform_int(1, std::max(1, config_.max_text_values)));
+      const NameKind kind = text_column_name_kind(c.dim);
+      for (int v = 0; v < n_values; ++v) {
+        const auto code =
+            static_cast<std::uint64_t>(rng_.uniform_int(0, card - 1));
+        c.text_values.push_back(synth_name(kind, code));
+      }
+      // Range fields unused for text conditions, but keep them valid.
+      c.from = 0;
+      c.to = static_cast<std::int32_t>(card - 1);
+    } else {
+      const double sel = std::min(
+          1.0, rng_.uniform_real(0.0, 2.0 * config_.mean_selectivity));
+      const auto width = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(sel * static_cast<double>(card)));
+      const std::int64_t from = rng_.uniform_int(0, card - width);
+      c.from = static_cast<std::int32_t>(from);
+      c.to = static_cast<std::int32_t>(from + width - 1);
+    }
+    q.conditions.push_back(std::move(c));
+  }
+  // A query with no condition at all is legal but dull; force at least one.
+  if (q.conditions.empty()) {
+    const Dimension& dim = (*dims_)[0];
+    Condition c;
+    c.dim = 0;
+    c.level = 0;
+    c.from = 0;
+    c.to = static_cast<std::int32_t>(dim.level(0).cardinality - 1);
+    q.conditions.push_back(c);
+  }
+
+  const auto& measures = schema_->measure_columns();
+  const int n_measures = static_cast<int>(rng_.uniform_int(
+      config_.min_measures,
+      std::min<std::int64_t>(config_.max_measures,
+                             static_cast<std::int64_t>(measures.size()))));
+  // Sample distinct measures by shuffled prefix.
+  std::vector<int> pool = measures;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const auto j = i + rng_.uniform(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  q.measures.assign(pool.begin(), pool.begin() + n_measures);
+  q.op = n_measures == 0 ? AggOp::kCount : AggOp::kSum;
+
+  validate_query(q, *dims_, *schema_);
+  return q;
+}
+
+std::vector<Query> QueryGenerator::batch(std::size_t n) {
+  std::vector<Query> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace holap

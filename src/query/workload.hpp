@@ -1,0 +1,58 @@
+// Random query workload generation.
+//
+// The paper's evaluation drives the system with a stream of queries of
+// mixed resolution: coarse queries land on small pre-computed cubes (CPU),
+// fine ones exceed the pre-computed resolutions or their deadline and go to
+// the GPU. This generator produces such streams deterministically from a
+// seed, with control over the level mix, selectivity, how often conditions
+// on text columns arrive as strings, and how many measures are aggregated.
+#pragma once
+
+#include "common/rng.hpp"
+#include "query/query.hpp"
+#include "relational/names.hpp"
+
+namespace holap {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 7;
+  /// Probability that a condition whose (dim, level) column is dict-encoded
+  /// arrives with string parameters (and therefore needs translation).
+  double text_probability = 0.5;
+  /// Mean fraction of a level's extent covered by a range condition; the
+  /// actual fraction is drawn uniformly in (0, 2*mean] and clamped to 1.
+  double mean_selectivity = 0.15;
+  /// Per-level selection weights (coarsest first). Size must equal the
+  /// common level count; empty = uniform.
+  std::vector<double> level_weights;
+  /// Probability that a dimension carries a condition at all.
+  double condition_probability = 0.9;
+  /// Number of values in a text IN-list is uniform in [1, this].
+  int max_text_values = 2;
+  int min_measures = 1;
+  int max_measures = 2;
+};
+
+/// Deterministic stream of valid queries over the given dimensions/schema.
+class QueryGenerator {
+ public:
+  QueryGenerator(const std::vector<Dimension>& dims, const TableSchema& schema,
+                 WorkloadConfig config);
+
+  /// Next query in the stream; always passes validate_query.
+  Query next();
+
+  /// Generate a batch of `n` queries.
+  std::vector<Query> batch(std::size_t n);
+
+ private:
+  const std::vector<Dimension>* dims_;
+  const TableSchema* schema_;
+  WorkloadConfig config_;
+  SplitMix64 rng_;
+  std::vector<double> level_cdf_;
+
+  int sample_level(const Dimension& dim);
+};
+
+}  // namespace holap

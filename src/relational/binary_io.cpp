@@ -1,0 +1,175 @@
+#include "relational/binary_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace holap {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'O', 'L', 'A', 'P', 'F', 'T', '1'};
+
+void require_little_endian() {
+  HOLAP_REQUIRE(std::endian::native == std::endian::little,
+                "binary format is little-endian only");
+}
+
+template <typename T>
+void write_pod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  HOLAP_REQUIRE(static_cast<bool>(is), "unexpected end of input");
+  return value;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto len = read_pod<std::uint32_t>(is);
+  HOLAP_REQUIRE(len <= (1u << 20), "implausible string length");
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  HOLAP_REQUIRE(static_cast<bool>(is), "unexpected end of input");
+  return s;
+}
+
+}  // namespace
+
+void write_fact_table(std::ostream& os, const FactTable& table) {
+  require_little_endian();
+  os.write(kMagic, sizeof(kMagic));
+  const TableSchema& schema = table.schema();
+
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(
+                                   schema.dimension_count()));
+  for (const Dimension& dim : schema.dimensions()) {
+    write_string(os, dim.name());
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(
+                                     dim.level_count()));
+    for (int l = 0; l < dim.level_count(); ++l) {
+      write_string(os, dim.level(l).name);
+      write_pod<std::uint32_t>(os, dim.level(l).cardinality);
+    }
+  }
+
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(
+                                   schema.column_count()));
+  for (int c = 0; c < schema.column_count(); ++c) {
+    const ColumnSpec& spec = schema.column(c);
+    write_string(os, spec.name);
+    write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(spec.kind));
+    write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(spec.encoding));
+    write_pod<std::int32_t>(os, spec.dim);
+    write_pod<std::int32_t>(os, spec.level);
+  }
+
+  write_pod<std::uint64_t>(os, table.row_count());
+  for (int c = 0; c < schema.column_count(); ++c) {
+    if (schema.column(c).kind == ColumnKind::kMeasure) {
+      const auto col = table.measure_column(c);
+      os.write(reinterpret_cast<const char*>(col.data()),
+               static_cast<std::streamsize>(col.size() * sizeof(double)));
+    } else {
+      const auto col = table.dim_column(c);
+      os.write(reinterpret_cast<const char*>(col.data()),
+               static_cast<std::streamsize>(col.size() *
+                                            sizeof(std::int32_t)));
+    }
+  }
+  HOLAP_REQUIRE(static_cast<bool>(os), "write failed");
+}
+
+FactTable read_fact_table(std::istream& is) {
+  require_little_endian();
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  HOLAP_REQUIRE(static_cast<bool>(is) &&
+                    std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "not a HOLAP fact-table file (bad magic)");
+
+  const auto dim_count = read_pod<std::uint32_t>(is);
+  HOLAP_REQUIRE(dim_count >= 1 && dim_count <= 64,
+                "implausible dimension count");
+  std::vector<Dimension> dims;
+  dims.reserve(dim_count);
+  for (std::uint32_t d = 0; d < dim_count; ++d) {
+    std::string name = read_string(is);
+    const auto level_count = read_pod<std::uint32_t>(is);
+    HOLAP_REQUIRE(level_count >= 1 && level_count <= 64,
+                  "implausible level count");
+    std::vector<Level> levels;
+    levels.reserve(level_count);
+    for (std::uint32_t l = 0; l < level_count; ++l) {
+      Level level;
+      level.name = read_string(is);
+      level.cardinality = read_pod<std::uint32_t>(is);
+      levels.push_back(std::move(level));
+    }
+    dims.emplace_back(std::move(name), std::move(levels));
+  }
+
+  const auto column_count = read_pod<std::uint32_t>(is);
+  HOLAP_REQUIRE(column_count >= 1 && column_count <= 4096,
+                "implausible column count");
+  std::vector<ColumnSpec> columns;
+  columns.reserve(column_count);
+  for (std::uint32_t c = 0; c < column_count; ++c) {
+    ColumnSpec spec;
+    spec.name = read_string(is);
+    const auto kind = read_pod<std::uint8_t>(is);
+    const auto encoding = read_pod<std::uint8_t>(is);
+    HOLAP_REQUIRE(kind <= 1 && encoding <= 1, "corrupt column spec");
+    spec.kind = static_cast<ColumnKind>(kind);
+    spec.encoding = static_cast<ValueEncoding>(encoding);
+    spec.dim = read_pod<std::int32_t>(is);
+    spec.level = read_pod<std::int32_t>(is);
+    columns.push_back(std::move(spec));
+  }
+  // TableSchema's constructor re-validates every invariant.
+  FactTable table(TableSchema(std::move(dims), std::move(columns)));
+
+  const auto rows = read_pod<std::uint64_t>(is);
+  HOLAP_REQUIRE(rows <= (std::uint64_t{1} << 33), "implausible row count");
+  const TableSchema& schema = table.schema();
+  for (int c = 0; c < schema.column_count(); ++c) {
+    if (schema.column(c).kind == ColumnKind::kMeasure) {
+      auto& col = table.mutable_measure_column(c);
+      col.resize(rows);
+      is.read(reinterpret_cast<char*>(col.data()),
+              static_cast<std::streamsize>(rows * sizeof(double)));
+    } else {
+      auto& col = table.mutable_dim_column(c);
+      col.resize(rows);
+      is.read(reinterpret_cast<char*>(col.data()),
+              static_cast<std::streamsize>(rows * sizeof(std::int32_t)));
+    }
+    HOLAP_REQUIRE(static_cast<bool>(is), "truncated column payload");
+  }
+  table.finalize_bulk_load();
+  return table;
+}
+
+void save_fact_table(const std::string& path, const FactTable& table) {
+  std::ofstream os(path, std::ios::binary);
+  HOLAP_REQUIRE(os.is_open(), "cannot open file for writing: " + path);
+  write_fact_table(os, table);
+  HOLAP_REQUIRE(static_cast<bool>(os), "write failed: " + path);
+}
+
+FactTable load_fact_table(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  HOLAP_REQUIRE(is.is_open(), "cannot open file for reading: " + path);
+  return read_fact_table(is);
+}
+
+}  // namespace holap

@@ -1,0 +1,35 @@
+// Compact binary persistence for fact tables.
+//
+// CSV (relational/csv.hpp) is the interchange path; this is the fast
+// native one: a little-endian columnar container holding the schema
+// (dimensions, levels, column specs) followed by raw column payloads, so a
+// 50M-row table loads at disk bandwidth with no parsing. Format:
+//
+//   magic "HOLAPFT1" | u32 dim_count | dims... | u32 column_count |
+//   columns... | u64 row_count | column payloads in schema order
+//
+// Strings are u32-length-prefixed UTF-8. All integers little-endian (the
+// writer refuses big-endian hosts rather than silently corrupting).
+// A version bump in the magic invalidates old files explicitly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/fact_table.hpp"
+
+namespace holap {
+
+/// Serialise `table` (schema + data) to `os`. Throws holap::Error on I/O
+/// failure.
+void write_fact_table(std::ostream& os, const FactTable& table);
+
+/// Deserialise a fact table; validates the magic, the schema invariants
+/// and payload sizes. Throws holap::Error on malformed input.
+FactTable read_fact_table(std::istream& is);
+
+/// Convenience file wrappers.
+void save_fact_table(const std::string& path, const FactTable& table);
+FactTable load_fact_table(const std::string& path);
+
+}  // namespace holap

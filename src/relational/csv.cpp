@@ -1,0 +1,133 @@
+#include "relational/csv.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "relational/generator.hpp"
+
+namespace holap {
+
+namespace {
+
+// RFC-4180-style quoting for cells containing separators or quotes.
+std::string quote_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += ch;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const FactTable& table,
+               const TextDecoder& decode) {
+  // Measures must round-trip exactly through text.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const TableSchema& schema = table.schema();
+  for (int c = 0; c < schema.column_count(); ++c) {
+    if (c) os << ',';
+    os << quote_cell(schema.column(c).name);
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    for (int c = 0; c < schema.column_count(); ++c) {
+      if (c) os << ',';
+      const ColumnSpec& spec = schema.column(c);
+      if (spec.kind == ColumnKind::kMeasure) {
+        os << table.measure_column(c)[r];
+      } else if (spec.encoding == ValueEncoding::kDictEncodedText) {
+        os << quote_cell(decode(c, table.dim_column(c)[r]));
+      } else {
+        os << table.dim_column(c)[r];
+      }
+    }
+    os << '\n';
+  }
+}
+
+FactTable read_csv(std::istream& is, const TableSchema& schema,
+                   const TextEncoder& encode) {
+  FactTable table(schema);
+  std::string line;
+  HOLAP_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                "CSV input is empty");
+  const auto header = split_csv_line(line);
+  HOLAP_REQUIRE(header.size() == static_cast<std::size_t>(
+                                     schema.column_count()),
+                "CSV header arity does not match schema");
+  for (int c = 0; c < schema.column_count(); ++c) {
+    HOLAP_REQUIRE(header[static_cast<std::size_t>(c)] == schema.column(c).name,
+                  "CSV header name mismatch: " +
+                      header[static_cast<std::size_t>(c)]);
+  }
+
+  std::vector<std::int32_t> codes;
+  std::vector<double> measures;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    HOLAP_REQUIRE(cells.size() == header.size(), "CSV row arity mismatch");
+    codes.clear();
+    measures.clear();
+    for (int c = 0; c < schema.column_count(); ++c) {
+      const ColumnSpec& spec = schema.column(c);
+      const std::string& cell = cells[static_cast<std::size_t>(c)];
+      if (spec.kind == ColumnKind::kMeasure) {
+        measures.push_back(std::stod(cell));
+      } else if (spec.encoding == ValueEncoding::kDictEncodedText) {
+        codes.push_back(encode(c, cell));
+      } else {
+        codes.push_back(static_cast<std::int32_t>(std::stol(cell)));
+      }
+    }
+    table.append_row(codes, measures);
+  }
+  return table;
+}
+
+TextDecoder default_text_decoder(const TableSchema& schema) {
+  return [&schema](int col, std::int32_t code) {
+    const ColumnSpec& spec = schema.column(col);
+    return synth_name(text_column_name_kind(spec.dim),
+                      static_cast<std::uint64_t>(code));
+  };
+}
+
+}  // namespace holap

@@ -1,0 +1,40 @@
+// CSV import/export for fact tables.
+//
+// Export materialises text columns back into strings (via synth_name), which
+// is what a raw data feed looks like before dictionary encoding; import
+// performs the reverse, using caller-provided dictionaries to translate text
+// cells to integer codes — the "translation when the database is built" step
+// of §III-F. Used by the examples and the dictionary_tool.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "relational/fact_table.hpp"
+
+namespace holap {
+
+/// Renders a text column's integer code as a string during export and is
+/// consulted during import to translate a string cell back to a code.
+/// Arguments: schema column index, code or cell text.
+using TextEncoder = std::function<std::int32_t(int col, const std::string&)>;
+using TextDecoder = std::function<std::string(int col, std::int32_t)>;
+
+/// Write `table` as CSV with a header row. Text columns are rendered via
+/// `decode` (pass the dictionary's string lookup, or synth_name-based
+/// default_text_decoder for generated tables).
+void write_csv(std::ostream& os, const FactTable& table,
+               const TextDecoder& decode);
+
+/// Read rows from CSV into a fresh table with the given schema. The header
+/// must match the schema's column names. Text cells are translated with
+/// `encode` (typically DictionarySet::encode_or_add).
+FactTable read_csv(std::istream& is, const TableSchema& schema,
+                   const TextEncoder& encode);
+
+/// Decoder rendering code k of a text column as the generator's canonical
+/// string (synth_name of the column's dimension).
+TextDecoder default_text_decoder(const TableSchema& schema);
+
+}  // namespace holap

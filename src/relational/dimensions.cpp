@@ -1,0 +1,68 @@
+#include "relational/dimensions.hpp"
+
+namespace holap {
+
+Dimension::Dimension(std::string name, std::vector<Level> levels)
+    : name_(std::move(name)), levels_(std::move(levels)) {
+  HOLAP_REQUIRE(!levels_.empty(), "dimension requires at least one level");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    HOLAP_REQUIRE(levels_[i].cardinality > 0,
+                  "level cardinality must be positive");
+    if (i > 0) {
+      HOLAP_REQUIRE(levels_[i].cardinality > levels_[i - 1].cardinality,
+                    "level cardinalities must strictly increase");
+      HOLAP_REQUIRE(levels_[i].cardinality % levels_[i - 1].cardinality == 0,
+                    "coarser cardinality must divide finer (balanced "
+                    "hierarchy)");
+    }
+  }
+}
+
+const Level& Dimension::level(int i) const {
+  HOLAP_REQUIRE(i >= 0 && i < level_count(), "level index out of range");
+  return levels_[static_cast<std::size_t>(i)];
+}
+
+std::uint32_t Dimension::fanout(int coarse, int fine) const {
+  HOLAP_REQUIRE(coarse >= 0 && fine < level_count() && coarse <= fine,
+                "fanout requires 0 <= coarse <= fine < levels");
+  return level(fine).cardinality / level(coarse).cardinality;
+}
+
+std::int32_t Dimension::coarsen(std::int32_t fine_code, int fine,
+                                int coarse) const {
+  HOLAP_REQUIRE(fine_code >= 0 &&
+                    fine_code < static_cast<std::int32_t>(
+                                    level(fine).cardinality),
+                "member code out of range for level");
+  return fine_code / static_cast<std::int32_t>(fanout(coarse, fine));
+}
+
+namespace {
+std::vector<Dimension> model_dimensions(
+    const std::vector<std::uint32_t>& cards) {
+  auto mk = [&](const std::string& dim,
+                const std::vector<std::string>& level_names) {
+    std::vector<Level> levels;
+    for (std::size_t i = 0; i < level_names.size(); ++i) {
+      levels.push_back({level_names[i], cards[i]});
+    }
+    return Dimension(dim, std::move(levels));
+  };
+  return {
+      mk("time", {"year", "month", "day", "hour"}),
+      mk("geography", {"region", "state", "city", "store"}),
+      mk("product", {"category", "class", "brand", "item"}),
+  };
+}
+}  // namespace
+
+std::vector<Dimension> paper_model_dimensions() {
+  return model_dimensions({8, 40, 400, 1600});
+}
+
+std::vector<Dimension> tiny_model_dimensions() {
+  return model_dimensions({2, 4, 8, 16});
+}
+
+}  // namespace holap

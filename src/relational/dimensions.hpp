@@ -1,0 +1,66 @@
+// Dimension hierarchies shared by the relational substrate and the cube
+// engine.
+//
+// A dimension has an ordered list of levels from coarsest (index 0, e.g.
+// "year") to finest (last index, e.g. "hour"). The paper's §IV model uses
+// 3 dimensions with 4 levels each; `paper_model_dimensions()` reproduces
+// that configuration with level cardinalities (8, 40, 400, 1600) per
+// dimension, which yields pre-computed cube sizes of ~4 KB, ~500 KB,
+// ~512 MB and ~32.8 GB for 8-byte cells — the four cubes of §IV.
+//
+// Invariant: level cardinalities strictly increase and each coarser
+// cardinality divides the next finer one, so a fine-level member code maps
+// to its ancestor at any coarser level by integer division. This is the
+// standard balanced-hierarchy model (hour→day→month→year).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace holap {
+
+/// One hierarchy level of a dimension.
+struct Level {
+  std::string name;
+  std::uint32_t cardinality = 0;  ///< number of distinct members at this level
+};
+
+/// A dimension with a balanced hierarchy of levels, coarsest first.
+class Dimension {
+ public:
+  Dimension(std::string name, std::vector<Level> levels);
+
+  const std::string& name() const { return name_; }
+  int level_count() const { return static_cast<int>(levels_.size()); }
+  const Level& level(int i) const;
+  const std::vector<Level>& levels() const { return levels_; }
+
+  /// Index of the finest level (highest resolution).
+  int finest_level() const { return level_count() - 1; }
+
+  /// Number of fine members per coarse member between two levels.
+  /// `coarse <= fine`; fanout(l, l) == 1.
+  std::uint32_t fanout(int coarse, int fine) const;
+
+  /// Map a member code at `fine` level to its ancestor at `coarse` level.
+  std::int32_t coarsen(std::int32_t fine_code, int fine, int coarse) const;
+
+ private:
+  std::string name_;
+  std::vector<Level> levels_;
+};
+
+/// The 3-dimension, 4-level hierarchy used throughout the paper's §IV model.
+/// Dimensions: time (year/month/day/hour-like), geography
+/// (region/state/city/store-like), product (category/class/brand/item-like);
+/// every dimension uses cardinalities (8, 40, 400, 1600).
+std::vector<Dimension> paper_model_dimensions();
+
+/// Smaller variant of the same shape for unit tests and native examples:
+/// cardinalities (2, 4, 8, 16) per dimension.
+std::vector<Dimension> tiny_model_dimensions();
+
+}  // namespace holap

@@ -1,0 +1,90 @@
+#include "relational/fact_table.hpp"
+
+namespace holap {
+
+FactTable::FactTable(TableSchema schema) : schema_(std::move(schema)) {
+  storage_index_.resize(static_cast<std::size_t>(schema_.column_count()));
+  for (int c = 0; c < schema_.column_count(); ++c) {
+    if (schema_.column(c).kind == ColumnKind::kMeasure) {
+      storage_index_[static_cast<std::size_t>(c)] =
+          static_cast<int>(measure_data_.size());
+      measure_data_.emplace_back();
+    } else {
+      storage_index_[static_cast<std::size_t>(c)] =
+          static_cast<int>(dim_data_.size());
+      dim_data_.emplace_back();
+    }
+  }
+}
+
+std::size_t FactTable::size_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& col : dim_data_) bytes += col.size() * sizeof(std::int32_t);
+  for (const auto& col : measure_data_) bytes += col.size() * sizeof(double);
+  return bytes;
+}
+
+void FactTable::reserve(std::size_t rows) {
+  for (auto& col : dim_data_) col.reserve(rows);
+  for (auto& col : measure_data_) col.reserve(rows);
+}
+
+void FactTable::append_row(std::span<const std::int32_t> dim_codes,
+                           std::span<const double> measures) {
+  HOLAP_REQUIRE(dim_codes.size() == dim_data_.size(),
+                "append_row: wrong number of dimension codes");
+  HOLAP_REQUIRE(measures.size() == measure_data_.size(),
+                "append_row: wrong number of measures");
+  for (std::size_t i = 0; i < dim_data_.size(); ++i) {
+    dim_data_[i].push_back(dim_codes[i]);
+  }
+  for (std::size_t i = 0; i < measure_data_.size(); ++i) {
+    measure_data_[i].push_back(measures[i]);
+  }
+  ++rows_;
+}
+
+int FactTable::dim_storage(int col) const {
+  const ColumnSpec& spec = schema_.column(col);
+  HOLAP_REQUIRE(spec.kind == ColumnKind::kDimensionLevel,
+                "column is not a dimension column");
+  return storage_index_[static_cast<std::size_t>(col)];
+}
+
+int FactTable::measure_storage(int col) const {
+  const ColumnSpec& spec = schema_.column(col);
+  HOLAP_REQUIRE(spec.kind == ColumnKind::kMeasure,
+                "column is not a measure column");
+  return storage_index_[static_cast<std::size_t>(col)];
+}
+
+std::span<const std::int32_t> FactTable::dim_column(int col) const {
+  return dim_data_[static_cast<std::size_t>(dim_storage(col))];
+}
+
+std::span<const double> FactTable::measure_column(int col) const {
+  return measure_data_[static_cast<std::size_t>(measure_storage(col))];
+}
+
+std::vector<std::int32_t>& FactTable::mutable_dim_column(int col) {
+  return dim_data_[static_cast<std::size_t>(dim_storage(col))];
+}
+
+std::vector<double>& FactTable::mutable_measure_column(int col) {
+  return measure_data_[static_cast<std::size_t>(measure_storage(col))];
+}
+
+void FactTable::finalize_bulk_load() {
+  std::size_t rows = dim_data_.empty()
+                         ? (measure_data_.empty() ? 0 : measure_data_[0].size())
+                         : dim_data_[0].size();
+  for (const auto& col : dim_data_) {
+    HOLAP_REQUIRE(col.size() == rows, "bulk load left ragged columns");
+  }
+  for (const auto& col : measure_data_) {
+    HOLAP_REQUIRE(col.size() == rows, "bulk load left ragged columns");
+  }
+  rows_ = rows;
+}
+
+}  // namespace holap

@@ -1,0 +1,69 @@
+// Columnar fact table.
+//
+// Storage follows the paper's GPU layout (§III-E, Figure 6): a column-major
+// arrangement where each column is one contiguous array, dimension columns
+// hold 32-bit member codes and measure columns hold 64-bit doubles. The
+// same structure serves both the host-side relational substrate and the
+// simulated GPU device memory (gpusim copies/owns a FactTable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "relational/schema.hpp"
+
+namespace holap {
+
+/// A columnar fact table with a fixed schema.
+class FactTable {
+ public:
+  explicit FactTable(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  std::size_t row_count() const { return rows_; }
+
+  /// Total payload bytes across all columns (the quantity the GPU memory
+  /// model accounts against device capacity).
+  std::size_t size_bytes() const;
+
+  /// Reserve storage for `rows` rows across all columns.
+  void reserve(std::size_t rows);
+
+  /// Append one row. `dim_codes` must supply a code for every dimension
+  /// column in schema order; `measures` likewise for measure columns.
+  void append_row(std::span<const std::int32_t> dim_codes,
+                  std::span<const double> measures);
+
+  /// Read-only view of a dimension column by schema column index.
+  std::span<const std::int32_t> dim_column(int col) const;
+
+  /// Read-only view of a measure column by schema column index.
+  std::span<const double> measure_column(int col) const;
+
+  /// Convenience: dimension column for a (dimension, level) pair.
+  std::span<const std::int32_t> dim_level_column(int dim, int level) const {
+    return dim_column(schema_.dimension_column(dim, level));
+  }
+
+  /// Mutable access used by builders (generator, dict encoder).
+  std::vector<std::int32_t>& mutable_dim_column(int col);
+  std::vector<double>& mutable_measure_column(int col);
+
+  /// Recompute the row count from column sizes after bulk mutation;
+  /// validates that all columns agree.
+  void finalize_bulk_load();
+
+ private:
+  // Maps schema column index -> index into dim_data_ / measure_data_.
+  TableSchema schema_;
+  std::vector<int> storage_index_;
+  std::vector<std::vector<std::int32_t>> dim_data_;
+  std::vector<std::vector<double>> measure_data_;
+  std::size_t rows_ = 0;
+
+  int dim_storage(int col) const;
+  int measure_storage(int col) const;
+};
+
+}  // namespace holap

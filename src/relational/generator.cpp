@@ -1,0 +1,87 @@
+#include "relational/generator.hpp"
+
+#include <memory>
+
+namespace holap {
+
+NameKind text_column_name_kind(int dim) {
+  switch (dim) {
+    case 1:
+      return NameKind::kCity;
+    case 2:
+      return NameKind::kBrand;
+    default:
+      return NameKind::kPerson;
+  }
+}
+
+FactTable generate_fact_table(const std::vector<Dimension>& dims,
+                              const GeneratorConfig& config) {
+  HOLAP_REQUIRE(config.measures >= 0, "measure count must be non-negative");
+  std::vector<std::string> measure_names;
+  for (int m = 0; m < config.measures; ++m) {
+    measure_names.push_back("measure_" + std::to_string(m));
+  }
+  FactTable table(
+      make_star_schema(dims, measure_names, config.text_levels));
+  table.reserve(config.rows);
+
+  SplitMix64 master(config.seed);
+  SplitMix64 code_rng(master.fork(1));
+  SplitMix64 measure_rng(master.fork(2));
+
+  // Optional skewed popularity of finest-level members, one sampler per
+  // dimension (coarser levels inherit the skew through the hierarchy).
+  std::vector<std::unique_ptr<ZipfSampler>> skew;
+  if (config.zipf_skew > 0.0) {
+    for (const auto& dim : dims) {
+      skew.push_back(std::make_unique<ZipfSampler>(
+          dim.level(dim.finest_level()).cardinality, config.zipf_skew));
+    }
+  }
+
+  const int dim_cols = [&] {
+    int n = 0;
+    for (const auto& d : dims) n += d.level_count();
+    return n;
+  }();
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(dim_cols));
+  std::vector<double> measures(static_cast<std::size_t>(config.measures));
+
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    std::size_t c = 0;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      const Dimension& dim = dims[d];
+      const int fine = dim.finest_level();
+      const auto fine_card = dim.level(fine).cardinality;
+      const std::int32_t fine_code =
+          skew.empty() ? static_cast<std::int32_t>(code_rng.uniform(fine_card))
+                       : static_cast<std::int32_t>((*skew[d])(code_rng));
+      for (int l = 0; l < dim.level_count(); ++l) {
+        codes[c++] = dim.coarsen(fine_code, fine, l);
+      }
+    }
+    for (int m = 0; m < config.measures; ++m) {
+      // Pseudo-sales values: positive, long-tailed, reproducible.
+      const double u = measure_rng.uniform01();
+      measures[static_cast<std::size_t>(m)] =
+          1.0 + 99.0 * u * u * (1.0 + static_cast<double>(m));
+    }
+    table.append_row(codes, measures);
+  }
+  return table;
+}
+
+FactTable generate_paper_model_table(std::size_t rows, std::uint64_t seed) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = seed;
+  config.measures = 4;
+  config.zipf_skew = 0.9;
+  // Finest geography level (stores named by city-like strings) and finest
+  // product level (brand strings) are text columns, as in retail schemas.
+  config.text_levels = {{1, 3}, {2, 3}};
+  return generate_fact_table(paper_model_dimensions(), config);
+}
+
+}  // namespace holap

@@ -1,0 +1,54 @@
+// Synthetic TPC-DS-like fact table generator.
+//
+// The paper evaluates on TPC-DS fact tables (§I) with a model configuration
+// of 3 dimensions × 4 levels and a ~4 GB GPU-resident table (§IV). TPC-DS
+// data is not redistributable here, so this generator produces a structurally
+// equivalent star-schema table: hierarchically consistent dimension codes
+// (the code at a coarse level is the integer-division ancestor of the code
+// at the finest level), optionally Zipf-skewed member popularity (real
+// retail data is heavily skewed), and several measure columns. Text columns
+// keep their integer member codes — the canonical string for code k of a
+// text column is synth_name(kind, k), which the dict module uses to build
+// per-column dictionaries exactly as a TPC-DS loader would.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "relational/fact_table.hpp"
+#include "relational/names.hpp"
+
+namespace holap {
+
+/// Configuration of the synthetic generator.
+struct GeneratorConfig {
+  std::size_t rows = 10'000;
+  std::uint64_t seed = 42;
+  /// Zipf skew of finest-level member popularity per dimension;
+  /// 0 = uniform. Retail-like data sits around 0.8–1.1.
+  double zipf_skew = 0.0;
+  /// Number of measure columns (filled with reproducible pseudo-sales data).
+  int measures = 4;
+  /// (dimension, level) pairs whose columns are dict-encoded text.
+  std::vector<std::pair<int, int>> text_levels;
+};
+
+/// Generate a fact table over the given dimensions.
+/// Dimension codes are hierarchy-consistent: for every row and dimension,
+/// code(level l) == dim.coarsen(code(finest), finest, l).
+FactTable generate_fact_table(const std::vector<Dimension>& dims,
+                              const GeneratorConfig& config);
+
+/// The NameKind used to materialise strings for a text column, chosen by
+/// dimension index (geography→city, product→brand, others→person). Kept
+/// deterministic so dictionaries are reproducible.
+NameKind text_column_name_kind(int dim);
+
+/// Paper §IV model table: 3 dims × 4 levels (paper_model_dimensions),
+/// 4 measures, with the finest geography and product levels as text columns.
+/// `rows` scales the table; 50M rows ≈ 4 GB matches the paper's GPU table
+/// (simulation-plane experiments use the size analytically; native tests
+/// pass a small row count).
+FactTable generate_paper_model_table(std::size_t rows, std::uint64_t seed);
+
+}  // namespace holap

@@ -1,0 +1,88 @@
+#include "relational/names.hpp"
+
+#include <array>
+
+namespace holap {
+namespace {
+
+constexpr std::array<const char*, 16> kOnsets = {
+    "Mar", "Den", "Hal", "Wes", "Nor", "Bel", "Cra", "Fair",
+    "Glen", "Hart", "Kings", "Lake", "Mill", "Oak", "Stone", "Win"};
+
+constexpr std::array<const char*, 16> kMiddles = {
+    "lo",  "ber", "ville", "ing", "ham", "ford", "dale", "mont",
+    "wood", "field", "brook", "ridge", "haven", "port", "gate", "mere"};
+
+constexpr std::array<const char*, 8> kCitySuffixes = {
+    "wick", "borough", "ton", "by", "stead", "worth", "church", "minster"};
+
+constexpr std::array<const char*, 12> kStreetNames = {
+    "Oak Hill", "Maple",   "Cedar",   "Elm Park", "Birch",  "Juniper",
+    "Willow",   "Linden",  "Chestnut", "Alder",   "Laurel", "Hawthorn"};
+
+constexpr std::array<const char*, 6> kStreetTypes = {"Rd",  "St", "Ave",
+                                                     "Ln", "Blvd", "Ct"};
+
+constexpr std::array<const char*, 20> kFirstNames = {
+    "Harlan", "Mira",  "Jonas",  "Edith",  "Caleb",  "Nora", "Felix",
+    "Ada",    "Rufus", "Clara",  "Milo",   "Vera",   "Oscar", "Ivy",
+    "Hugo",   "Tessa", "Alvin",  "Greta",  "Silas",  "June"};
+
+constexpr std::array<const char*, 20> kLastNames = {
+    "Becker",  "Hollis",  "Artois",   "Mendel", "Sorens", "Quimby",
+    "Farrow",  "Ostler",  "Vance",    "Whitley", "Garner", "Pruitt",
+    "Sable",   "Thorne",  "Underhill", "Marsh",  "Keats",  "Lovell",
+    "Draper",  "Ashby"};
+
+// Appends a base-N "digit string" disambiguator when the combinatorial name
+// space is exhausted, preserving bijectivity for arbitrarily large i.
+std::string with_counter(std::string base, std::uint64_t counter) {
+  if (counter == 0) return base;
+  base += ' ';
+  base += std::to_string(counter);
+  return base;
+}
+
+}  // namespace
+
+std::string synth_name(NameKind kind, std::uint64_t i) {
+  switch (kind) {
+    case NameKind::kCity: {
+      const std::uint64_t combos =
+          kOnsets.size() * kMiddles.size() * kCitySuffixes.size();
+      const std::uint64_t j = i % combos;
+      std::string name = kOnsets[j % kOnsets.size()];
+      name += kMiddles[(j / kOnsets.size()) % kMiddles.size()];
+      name += kCitySuffixes[j / (kOnsets.size() * kMiddles.size())];
+      return with_counter(std::move(name), i / combos);
+    }
+    case NameKind::kStreet: {
+      const std::uint64_t combos = kStreetNames.size() * kStreetTypes.size();
+      const std::uint64_t j = i % combos;
+      // House numbers keep low indices distinct before the counter kicks in.
+      std::string name = std::to_string(1 + i / combos * 7 % 9900 + j % 97);
+      name += ' ';
+      name += kStreetNames[j % kStreetNames.size()];
+      name += ' ';
+      name += kStreetTypes[j / kStreetNames.size()];
+      return with_counter(std::move(name), i / (combos * 9900));
+    }
+    case NameKind::kPerson: {
+      const std::uint64_t combos = kFirstNames.size() * kLastNames.size();
+      const std::uint64_t j = i % combos;
+      std::string name = kFirstNames[j % kFirstNames.size()];
+      name += ' ';
+      name += kLastNames[j / kFirstNames.size()];
+      return with_counter(std::move(name), i / combos);
+    }
+    case NameKind::kBrand: {
+      std::string name = kOnsets[i % kOnsets.size()];
+      name += "tek #";
+      name += std::to_string(i / kOnsets.size());
+      return name;
+    }
+  }
+  return "name " + std::to_string(i);  // unreachable, keeps GCC satisfied
+}
+
+}  // namespace holap

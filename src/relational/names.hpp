@@ -1,0 +1,29 @@
+// Deterministic synthetic name generation.
+//
+// The paper evaluates text translation on TPC-DS fact tables, whose text
+// attributes are generated names (cities, streets, people). We reproduce
+// that with a bijective synthesizer: `synth_name(kind, i)` returns a unique,
+// human-plausible string for every index i, so a dimension column's member
+// code k has the canonical string form synth_name(kind, k). This keeps the
+// relational substrate free of any dictionary dependency — the dict module
+// builds dictionaries from these strings, exactly as a loader would from
+// raw TPC-DS text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace holap {
+
+enum class NameKind : std::uint8_t {
+  kCity,    ///< "Marlowick", "Denborough", ...
+  kStreet,  ///< "14 Oak Hill Rd", ...
+  kPerson,  ///< "Harlan Becker", ...
+  kBrand,   ///< "Nortek #12", ...
+};
+
+/// Unique, deterministic string for index `i` of the given kind.
+/// Bijective per kind: synth_name(k, i) == synth_name(k, j) iff i == j.
+std::string synth_name(NameKind kind, std::uint64_t i);
+
+}  // namespace holap

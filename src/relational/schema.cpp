@@ -1,0 +1,111 @@
+#include "relational/schema.hpp"
+
+#include <algorithm>
+
+namespace holap {
+
+TableSchema::TableSchema(std::vector<Dimension> dims,
+                         std::vector<ColumnSpec> columns)
+    : dims_(std::move(dims)), columns_(std::move(columns)) {
+  HOLAP_REQUIRE(!dims_.empty(), "schema requires at least one dimension");
+  HOLAP_REQUIRE(!columns_.empty(), "schema requires at least one column");
+  dim_level_to_col_.resize(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    dim_level_to_col_[d].assign(
+        static_cast<std::size_t>(dims_[d].level_count()), -1);
+  }
+  for (int c = 0; c < column_count(); ++c) {
+    const ColumnSpec& spec = columns_[static_cast<std::size_t>(c)];
+    HOLAP_REQUIRE(!spec.name.empty(), "column name must not be empty");
+    if (spec.kind == ColumnKind::kDimensionLevel) {
+      HOLAP_REQUIRE(spec.dim >= 0 && spec.dim < dimension_count(),
+                    "dimension column references unknown dimension");
+      const Dimension& dim = dims_[static_cast<std::size_t>(spec.dim)];
+      HOLAP_REQUIRE(spec.level >= 0 && spec.level < dim.level_count(),
+                    "dimension column references unknown level");
+      int& slot = dim_level_to_col_[static_cast<std::size_t>(
+          spec.dim)][static_cast<std::size_t>(spec.level)];
+      HOLAP_REQUIRE(slot == -1, "duplicate column for (dimension, level)");
+      slot = c;
+      if (spec.encoding == ValueEncoding::kDictEncodedText) {
+        text_cols_.push_back(c);
+      }
+    } else {
+      HOLAP_REQUIRE(spec.encoding == ValueEncoding::kInteger,
+                    "measure columns cannot be dict-encoded");
+      measure_cols_.push_back(c);
+    }
+  }
+  const auto dup = [&] {
+    auto names = columns_;
+    std::sort(names.begin(), names.end(),
+              [](const auto& a, const auto& b) { return a.name < b.name; });
+    return std::adjacent_find(names.begin(), names.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.name == b.name;
+                              }) != names.end();
+  }();
+  HOLAP_REQUIRE(!dup, "column names must be unique");
+}
+
+const ColumnSpec& TableSchema::column(int i) const {
+  HOLAP_REQUIRE(i >= 0 && i < column_count(), "column index out of range");
+  return columns_[static_cast<std::size_t>(i)];
+}
+
+int TableSchema::dimension_column(int dim, int level) const {
+  HOLAP_REQUIRE(dim >= 0 && dim < dimension_count(),
+                "dimension index out of range");
+  const auto& row = dim_level_to_col_[static_cast<std::size_t>(dim)];
+  HOLAP_REQUIRE(level >= 0 && level < static_cast<int>(row.size()),
+                "level index out of range");
+  const int col = row[static_cast<std::size_t>(level)];
+  HOLAP_REQUIRE(col >= 0, "no column stored for this (dimension, level)");
+  return col;
+}
+
+std::optional<int> TableSchema::find_column(const std::string& name) const {
+  for (int c = 0; c < column_count(); ++c) {
+    if (columns_[static_cast<std::size_t>(c)].name == name) return c;
+  }
+  return std::nullopt;
+}
+
+std::size_t TableSchema::row_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& spec : columns_) {
+    bytes += spec.kind == ColumnKind::kMeasure ? 8 : 4;
+  }
+  return bytes;
+}
+
+TableSchema make_star_schema(
+    std::vector<Dimension> dims, const std::vector<std::string>& measure_names,
+    const std::vector<std::pair<int, int>>& text_levels) {
+  std::vector<ColumnSpec> cols;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    for (int l = 0; l < dims[d].level_count(); ++l) {
+      ColumnSpec spec;
+      spec.name = dims[d].name() + "." + dims[d].level(l).name;
+      spec.kind = ColumnKind::kDimensionLevel;
+      spec.dim = static_cast<int>(d);
+      spec.level = l;
+      const bool is_text =
+          std::find(text_levels.begin(), text_levels.end(),
+                    std::make_pair(static_cast<int>(d), l)) !=
+          text_levels.end();
+      spec.encoding = is_text ? ValueEncoding::kDictEncodedText
+                              : ValueEncoding::kInteger;
+      cols.push_back(std::move(spec));
+    }
+  }
+  for (const auto& m : measure_names) {
+    ColumnSpec spec;
+    spec.name = m;
+    spec.kind = ColumnKind::kMeasure;
+    cols.push_back(std::move(spec));
+  }
+  return TableSchema(std::move(dims), std::move(cols));
+}
+
+}  // namespace holap

@@ -1,0 +1,89 @@
+// Fact-table schema.
+//
+// Following Figure 6 of the paper, a fact table has two kinds of columns:
+//   - dimension columns, one per (dimension, level) pair, used for
+//     filtration — a query condition C_L(f, t, l_K) addresses exactly one
+//     such column; and
+//   - data (measure) columns, used for aggregation.
+// A dimension column is either natively integer-coded or *dict-encoded
+// text*: its source values are strings (city names, person names, ...) that
+// the dict module translates to integer codes when the database is built
+// (§III-F). The GPU memory never holds the strings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/dimensions.hpp"
+
+namespace holap {
+
+enum class ColumnKind : std::uint8_t {
+  kDimensionLevel,  ///< filtration column for one (dimension, level) pair
+  kMeasure,         ///< data column aggregated by queries
+};
+
+enum class ValueEncoding : std::uint8_t {
+  kInteger,          ///< values are natively integer member codes
+  kDictEncodedText,  ///< values are integer codes of strings via a dictionary
+};
+
+/// Description of one fact-table column.
+struct ColumnSpec {
+  std::string name;
+  ColumnKind kind = ColumnKind::kDimensionLevel;
+  ValueEncoding encoding = ValueEncoding::kInteger;
+  int dim = -1;    ///< dimension index, for kDimensionLevel columns
+  int level = -1;  ///< level index within the dimension
+};
+
+/// Schema of a fact table: the dimension hierarchy plus the column list.
+///
+/// The canonical layout (used by make_star_schema) places one column per
+/// (dimension, level) pair first — in dimension-major, coarse-to-fine
+/// order — followed by the measure columns, matching Figure 6.
+class TableSchema {
+ public:
+  TableSchema(std::vector<Dimension> dims, std::vector<ColumnSpec> columns);
+
+  const std::vector<Dimension>& dimensions() const { return dims_; }
+  int dimension_count() const { return static_cast<int>(dims_.size()); }
+
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+  int column_count() const { return static_cast<int>(columns_.size()); }
+  const ColumnSpec& column(int i) const;
+
+  /// Index of the dimension column holding (dim, level); throws if absent.
+  int dimension_column(int dim, int level) const;
+
+  /// Indices of all measure columns, in schema order.
+  const std::vector<int>& measure_columns() const { return measure_cols_; }
+
+  /// Indices of all dict-encoded text columns, in schema order.
+  const std::vector<int>& text_columns() const { return text_cols_; }
+
+  /// Look up a column index by name; nullopt when absent.
+  std::optional<int> find_column(const std::string& name) const;
+
+  /// Bytes per row: 4 for each dimension column, 8 for each measure.
+  std::size_t row_bytes() const;
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<ColumnSpec> columns_;
+  std::vector<std::vector<int>> dim_level_to_col_;  // [dim][level] -> index
+  std::vector<int> measure_cols_;
+  std::vector<int> text_cols_;
+};
+
+/// Build the canonical star schema of Figure 6: one dimension column per
+/// (dimension, level), then `measure_names` measure columns. Dimension
+/// columns whose (dim, level) appears in `text_levels` are marked
+/// dict-encoded text (their member values originate as strings).
+TableSchema make_star_schema(
+    std::vector<Dimension> dims, const std::vector<std::string>& measure_names,
+    const std::vector<std::pair<int, int>>& text_levels = {});
+
+}  // namespace holap

@@ -1,0 +1,57 @@
+#include "sched/baselines.hpp"
+
+#include "common/error.hpp"
+
+namespace holap {
+
+std::optional<QueueRef> MetScheduler::choose(
+    const std::vector<PartitionResponse>& candidates,
+    Seconds /*deadline*/) const {
+  const PartitionResponse* best = nullptr;
+  for (const auto& r : candidates) {
+    if (best == nullptr || r.processing < best->processing) best = &r;
+  }
+  return best->ref;
+}
+
+std::optional<QueueRef> MctScheduler::choose(
+    const std::vector<PartitionResponse>& candidates,
+    Seconds /*deadline*/) const {
+  const PartitionResponse* best = nullptr;
+  for (const auto& r : candidates) {
+    if (best == nullptr || r.response < best->response) best = &r;
+  }
+  return best->ref;
+}
+
+std::optional<QueueRef> RoundRobinScheduler::choose(
+    const std::vector<PartitionResponse>& candidates,
+    Seconds /*deadline*/) const {
+  const std::size_t pick = cursor_ % candidates.size();
+  ++cursor_;
+  return candidates[pick].ref;
+}
+
+std::unique_ptr<SchedulerPolicy> make_policy(const std::string& name,
+                                             SchedulerConfig config,
+                                             CostEstimator estimator) {
+  if (name == "figure10") {
+    return std::make_unique<FigureTenScheduler>(std::move(config),
+                                                std::move(estimator));
+  }
+  if (name == "MET") {
+    return std::make_unique<MetScheduler>(std::move(config),
+                                          std::move(estimator));
+  }
+  if (name == "MCT") {
+    return std::make_unique<MctScheduler>(std::move(config),
+                                          std::move(estimator));
+  }
+  if (name == "round-robin") {
+    return std::make_unique<RoundRobinScheduler>(std::move(config),
+                                                 std::move(estimator));
+  }
+  throw InvalidArgument("unknown scheduling policy: " + name);
+}
+
+}  // namespace holap

@@ -1,0 +1,64 @@
+// Baseline scheduling policies for comparison with Figure 10.
+//
+// MET and MCT are the fast heuristic co-schedulers the paper's related-work
+// section positions itself against (§II-D, citing Siegel & Ali [15] and
+// Braun et al. [2]):
+//   - MET (minimum execution time): place each query on the partition with
+//     the smallest processing time, ignoring queue load entirely;
+//   - MCT (minimum completion time): place each query on the partition
+//     with the earliest completion (response) time.
+// Round-robin is the no-information control. CPU-only and GPU-only system
+// modes are expressed through SchedulerConfig::enable_{cpu,gpu} rather
+// than separate policies.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace holap {
+
+/// MET [15]: minimal execution time, load-blind.
+class MetScheduler final : public QueueingScheduler {
+ public:
+  using QueueingScheduler::QueueingScheduler;
+  const char* name() const override { return "MET"; }
+
+ protected:
+  std::optional<QueueRef> choose(
+      const std::vector<PartitionResponse>& candidates,
+      Seconds deadline) const override;
+};
+
+/// MCT [2]: minimal completion time.
+class MctScheduler final : public QueueingScheduler {
+ public:
+  using QueueingScheduler::QueueingScheduler;
+  const char* name() const override { return "MCT"; }
+
+ protected:
+  std::optional<QueueRef> choose(
+      const std::vector<PartitionResponse>& candidates,
+      Seconds deadline) const override;
+};
+
+/// Round-robin over partition queues, skipping partitions that cannot
+/// process the query (e.g. the CPU when no cube covers the resolution).
+class RoundRobinScheduler final : public QueueingScheduler {
+ public:
+  using QueueingScheduler::QueueingScheduler;
+  const char* name() const override { return "round-robin"; }
+
+ protected:
+  std::optional<QueueRef> choose(
+      const std::vector<PartitionResponse>& candidates,
+      Seconds deadline) const override;
+
+ private:
+  mutable std::size_t cursor_ = 0;
+};
+
+/// Construct a policy by name: "figure10", "MET", "MCT", "round-robin".
+std::unique_ptr<SchedulerPolicy> make_policy(const std::string& name,
+                                             SchedulerConfig config,
+                                             CostEstimator estimator);
+
+}  // namespace holap

@@ -1,0 +1,99 @@
+#include "sched/catalog.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cube/dense_cube.hpp"
+#include "query/query.hpp"
+
+namespace holap {
+
+VirtualCubeCatalog::VirtualCubeCatalog(std::vector<Dimension> dims,
+                                       std::vector<int> levels,
+                                       std::size_t cell_bytes)
+    : dims_(std::move(dims)), levels_(std::move(levels)),
+      cell_bytes_(cell_bytes) {
+  HOLAP_REQUIRE(!dims_.empty(), "catalog requires dimensions");
+  HOLAP_REQUIRE(cell_bytes_ > 0, "cell size must be positive");
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+  for (int level : levels_) {
+    for (const auto& dim : dims_) {
+      HOLAP_REQUIRE(level >= 0 && level < dim.level_count(),
+                    "catalog level out of range for dimension");
+    }
+  }
+}
+
+std::optional<int> VirtualCubeCatalog::lowest_level_for(
+    const Query& q) const {
+  const int required = q.required_resolution();
+  for (int level : levels_) {
+    if (level >= required) return level;
+  }
+  return std::nullopt;
+}
+
+bool VirtualCubeCatalog::can_answer(const Query& q) const {
+  return lowest_level_for(q).has_value();
+}
+
+Megabytes VirtualCubeCatalog::answer_mb(const Query& q) const {
+  const auto level = lowest_level_for(q);
+  HOLAP_REQUIRE(level.has_value(), "catalog cannot answer this query");
+  return bytes_to_mb(subcube_bytes(q, dims_, *level, cell_bytes_));
+}
+
+std::size_t VirtualCubeCatalog::total_bytes() const {
+  std::size_t bytes = 0;
+  for (int level : levels_) bytes += cube_bytes(dims_, level, cell_bytes_);
+  return bytes;
+}
+
+VirtualTranslationModel::VirtualTranslationModel(TableSchema schema,
+                                                 double length_multiplier)
+    : schema_(std::move(schema)), multiplier_(length_multiplier) {
+  HOLAP_REQUIRE(multiplier_ > 0.0, "length multiplier must be positive");
+}
+
+std::size_t VirtualTranslationModel::column_length(const Condition& c) const {
+  const int col = schema_.dimension_column(c.dim, c.level);
+  if (schema_.column(col).encoding != ValueEncoding::kDictEncodedText) {
+    return 0;
+  }
+  const Dimension& dim =
+      schema_.dimensions()[static_cast<std::size_t>(c.dim)];
+  return static_cast<std::size_t>(
+      static_cast<double>(dim.level(c.level).cardinality) * multiplier_);
+}
+
+std::vector<std::size_t> VirtualTranslationModel::dictionary_lengths(
+    const Query& q) const {
+  std::vector<std::size_t> lengths;
+  for (const auto& c : q.conditions) {
+    if (!c.is_text()) continue;
+    const std::size_t len = column_length(c);
+    if (len == 0) continue;
+    for (std::size_t i = 0; i < c.text_values.size(); ++i) {
+      lengths.push_back(len);
+    }
+  }
+  return lengths;
+}
+
+std::vector<std::size_t> VirtualTranslationModel::unique_dictionary_lengths(
+    const Query& q) const {
+  std::map<int, std::size_t> by_column;
+  for (const auto& c : q.conditions) {
+    if (!c.is_text()) continue;
+    const std::size_t len = column_length(c);
+    if (len == 0) continue;
+    by_column[schema_.dimension_column(c.dim, c.level)] = len;
+  }
+  std::vector<std::size_t> lengths;
+  lengths.reserve(by_column.size());
+  for (const auto& [col, len] : by_column) lengths.push_back(len);
+  return lengths;
+}
+
+}  // namespace holap

@@ -1,0 +1,63 @@
+// Virtual catalogs: the simulation plane's work models.
+//
+// The paper's own evaluation runs against "a system model … based on
+// characteristics extracted from performance measurements" (§IV), i.e. the
+// cube ladder and dictionaries exist as *sizes*, not allocations. These
+// classes provide exactly that: a VirtualCubeCatalog says which resolutions
+// are pre-computed and how many bytes eq. (3) would touch — a 32 GB cube is
+// a number here, which is how the paper's Table 2 can include one — and a
+// VirtualTranslationModel supplies dictionary lengths per text column
+// (a column's dictionary length equals its level cardinality).
+#pragma once
+
+#include "relational/schema.hpp"
+#include "sched/interfaces.hpp"
+
+namespace holap {
+
+class VirtualCubeCatalog : public CpuWorkModel {
+ public:
+  /// `levels`: uniform resolutions pre-computed on the CPU (any order).
+  /// `cell_bytes` is E_size of eq. (3).
+  VirtualCubeCatalog(std::vector<Dimension> dims, std::vector<int> levels,
+                     std::size_t cell_bytes = sizeof(double));
+
+  bool can_answer(const Query& q) const override;
+  Megabytes answer_mb(const Query& q) const override;
+
+  /// Lowest pre-computed level that satisfies the query's resolution R.
+  std::optional<int> lowest_level_for(const Query& q) const;
+
+  const std::vector<int>& levels() const { return levels_; }
+  /// Total bytes the ladder would occupy (Figure 1's size axis).
+  std::size_t total_bytes() const;
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<int> levels_;  // sorted ascending
+  std::size_t cell_bytes_;
+};
+
+class VirtualTranslationModel : public TranslationWorkModel {
+ public:
+  /// Dictionary length of a text column is its level cardinality times
+  /// `length_multiplier`. The multiplier models real text dictionaries
+  /// (TPC-DS streets, customer names) holding far more distinct strings
+  /// than the hierarchy has members — the regime where Figure 9's
+  /// millisecond-scale searches and the ~7% GPU translation cost arise.
+  /// Owns a copy of the schema, so the catalog is freely movable.
+  explicit VirtualTranslationModel(TableSchema schema,
+                                   double length_multiplier = 1.0);
+
+  std::vector<std::size_t> dictionary_lengths(const Query& q) const override;
+  std::vector<std::size_t> unique_dictionary_lengths(
+      const Query& q) const override;
+
+ private:
+  TableSchema schema_;
+  double multiplier_;
+
+  std::size_t column_length(const Condition& c) const;
+};
+
+}  // namespace holap

@@ -1,0 +1,79 @@
+#include "sched/estimator.hpp"
+
+#include "common/error.hpp"
+
+namespace holap {
+
+CostEstimator::CostEstimator(CpuPerfModel cpu_model,
+                             std::vector<GpuPerfModel> gpu_by_queue,
+                             DictPerfModel dict_model,
+                             const CpuWorkModel* cpu_work,
+                             const TranslationWorkModel* translation_work,
+                             int gpu_total_columns)
+    : cpu_model_(std::move(cpu_model)),
+      gpu_models_(std::move(gpu_by_queue)),
+      dict_model_(dict_model),
+      cpu_work_(cpu_work),
+      translation_work_(translation_work),
+      gpu_total_columns_(gpu_total_columns) {
+  HOLAP_REQUIRE(cpu_work_ != nullptr, "estimator requires a CPU work model");
+  HOLAP_REQUIRE(translation_work_ != nullptr,
+                "estimator requires a translation work model");
+  HOLAP_REQUIRE(gpu_total_columns_ > 0, "C_TOTAL must be positive");
+}
+
+CostEstimate CostEstimator::estimate(const Query& q) const {
+  CostEstimate est;
+  if (cpu_work_->can_answer(q)) {
+    est.subcube_mb = cpu_work_->answer_mb(q);
+    est.cpu = cpu_model_.seconds(est.subcube_mb);
+  }
+  est.column_fraction =
+      std::min(1.0, static_cast<double>(q.gpu_columns_accessed()) /
+                        static_cast<double>(gpu_total_columns_));
+  est.gpu.reserve(gpu_models_.size());
+  for (const auto& model : gpu_models_) {
+    est.gpu.push_back(model.seconds(est.column_fraction));
+  }
+  const auto lengths = translation_work_->dictionary_lengths(q);
+  est.needs_translation = !lengths.empty();
+  switch (translation_costing_) {
+    case TranslationCosting::kPerParameter:
+      est.translation = dict_model_.translation_seconds(lengths);
+      break;
+    case TranslationCosting::kBatchPerColumn:
+      est.translation = dict_model_.translation_seconds(
+          translation_work_->unique_dictionary_lengths(q));
+      break;
+    case TranslationCosting::kHashed:
+      est.translation =
+          hashed_seconds_ * static_cast<double>(lengths.size());
+      break;
+  }
+  return est;
+}
+
+void CostEstimator::set_translation_costing(TranslationCosting costing,
+                                            Seconds hashed_seconds) {
+  HOLAP_REQUIRE(hashed_seconds > 0.0, "hashed lookup cost must be positive");
+  translation_costing_ = costing;
+  hashed_seconds_ = hashed_seconds;
+}
+
+CostEstimator make_paper_estimator(
+    const std::vector<int>& gpu_partitions, int cpu_threads,
+    Megabytes gpu_table_mb, int gpu_total_columns,
+    const CpuWorkModel* cpu_work,
+    const TranslationWorkModel* translation_work) {
+  std::vector<GpuPerfModel> gpu_models;
+  gpu_models.reserve(gpu_partitions.size());
+  for (int n_sms : gpu_partitions) {
+    gpu_models.push_back(
+        GpuPerfModel::paper_c2070_scaled(n_sms, gpu_table_mb));
+  }
+  return CostEstimator(CpuPerfModel::paper_for_threads(cpu_threads),
+                       std::move(gpu_models), DictPerfModel::paper(),
+                       cpu_work, translation_work, gpu_total_columns);
+}
+
+}  // namespace holap

@@ -1,0 +1,85 @@
+// Per-query cost estimation (Figure 10, step 2).
+//
+// For every incoming query the scheduler estimates:
+//   T_CPU      — eq. (7)/(10) applied to the eq.-(3) sub-cube size,
+//   T_GPUj     — eq. (14) applied to the eq.-(12) column fraction, one per
+//                GPU queue (its SM count selects the model),
+//   T_TRANS    — eq. (18) over the query's dictionary lengths.
+#pragma once
+
+#include <optional>
+
+#include "perfmodel/cpu_model.hpp"
+#include "perfmodel/dict_model.hpp"
+#include "perfmodel/gpu_model.hpp"
+#include "sched/interfaces.hpp"
+
+namespace holap {
+
+struct CostEstimate {
+  /// nullopt when no pre-computed cube can answer (query must go to GPU).
+  std::optional<Seconds> cpu;
+  /// Estimated processing time per GPU queue, in queue order.
+  std::vector<Seconds> gpu;
+  Seconds translation = 0.0;
+  bool needs_translation = false;
+  Megabytes subcube_mb = 0.0;    ///< eq. (3) input, when cpu has a value
+  double column_fraction = 0.0;  ///< eq. (12)/(13) input
+};
+
+/// How the translation partition's time is costed (§III-F and the
+/// future-work algorithms implemented in this library):
+///   kPerParameter — eq. (18): one full dictionary scan per parameter
+///                   (the paper's linear-scan implementation);
+///   kBatchPerColumn — the Aho–Corasick batch algorithm: one dictionary
+///                   pass per distinct text column;
+///   kHashed — hash-indexed lookup: a small constant per parameter.
+enum class TranslationCosting : std::uint8_t {
+  kPerParameter,
+  kBatchPerColumn,
+  kHashed,
+};
+
+class CostEstimator {
+ public:
+  /// `gpu_by_queue` holds one model per GPU queue (slow queues first, the
+  /// paper's {1,1,2,2,4,4}-SM order). `gpu_total_columns` is C_TOTAL.
+  CostEstimator(CpuPerfModel cpu_model, std::vector<GpuPerfModel> gpu_by_queue,
+                DictPerfModel dict_model, const CpuWorkModel* cpu_work,
+                const TranslationWorkModel* translation_work,
+                int gpu_total_columns);
+
+  CostEstimate estimate(const Query& q) const;
+
+  /// Select the translation algorithm being costed (default: the paper's
+  /// per-parameter linear scan). `hashed_seconds` is the per-lookup cost
+  /// used by kHashed.
+  void set_translation_costing(TranslationCosting costing,
+                               Seconds hashed_seconds = 2e-7);
+
+  int gpu_queue_count() const { return static_cast<int>(gpu_models_.size()); }
+  const CpuPerfModel& cpu_model() const { return cpu_model_; }
+  const DictPerfModel& dict_model() const { return dict_model_; }
+
+ private:
+  CpuPerfModel cpu_model_;
+  std::vector<GpuPerfModel> gpu_models_;
+  DictPerfModel dict_model_;
+  const CpuWorkModel* cpu_work_;
+  const TranslationWorkModel* translation_work_;
+  int gpu_total_columns_;
+  TranslationCosting translation_costing_ = TranslationCosting::kPerParameter;
+  Seconds hashed_seconds_ = 2e-7;
+};
+
+/// Estimator wired with the paper's published models: the CPU model for
+/// `cpu_threads` OpenMP threads, one C2070 model per entry of
+/// `gpu_partitions` (scaled to `gpu_table_mb`), and the eq.-(17) dictionary
+/// constant. The work models must outlive the estimator.
+CostEstimator make_paper_estimator(const std::vector<int>& gpu_partitions,
+                                   int cpu_threads, Megabytes gpu_table_mb,
+                                   int gpu_total_columns,
+                                   const CpuWorkModel* cpu_work,
+                                   const TranslationWorkModel* translation_work);
+
+}  // namespace holap

@@ -1,0 +1,67 @@
+// Scheduler-facing abstractions.
+//
+// The scheduler never touches cubes, tables or dictionaries directly — it
+// consumes three things per query: whether/at what cost the CPU partition
+// could answer it (CpuWorkModel), which dictionary lengths translation
+// would search (TranslationWorkModel), and the performance models that
+// turn those quantities into seconds. Both the native plane (real CubeSet,
+// real dictionaries) and the simulation plane (virtual catalogs) implement
+// these interfaces, so the scheduling code under test is byte-for-byte the
+// code that runs the real engines.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "query/query.hpp"
+
+namespace holap {
+
+/// What the CPU partition's pre-computed cubes can do for a query.
+class CpuWorkModel {
+ public:
+  virtual ~CpuWorkModel() = default;
+  /// Can any pre-computed cube answer `q` (resolution and bases)?
+  virtual bool can_answer(const Query& q) const = 0;
+  /// Eq. (3): MB the CPU would traverse; only called when can_answer.
+  virtual Megabytes answer_mb(const Query& q) const = 0;
+};
+
+/// What translating a query's text parameters would cost.
+class TranslationWorkModel {
+ public:
+  virtual ~TranslationWorkModel() = default;
+  /// Dictionary length per text parameter of `q` (eq. 16/18 inputs);
+  /// empty when the query needs no translation.
+  virtual std::vector<std::size_t> dictionary_lengths(
+      const Query& q) const = 0;
+  /// Dictionary length per DISTINCT text column of `q` — the batch
+  /// translation algorithm's cost input (one dictionary pass per column).
+  /// Defaults to the per-parameter lengths, which is conservative.
+  virtual std::vector<std::size_t> unique_dictionary_lengths(
+      const Query& q) const {
+    return dictionary_lengths(q);
+  }
+};
+
+/// Identity of a partition queue.
+struct QueueRef {
+  enum Kind : std::uint8_t { kCpu, kGpu } kind = kCpu;
+  int index = 0;  ///< GPU queue index (0-based); 0 for the CPU queue
+
+  friend bool operator==(const QueueRef&, const QueueRef&) = default;
+};
+
+/// Outcome of scheduling one query.
+struct Placement {
+  bool rejected = false;  ///< no partition can process the query at all
+  QueueRef queue;
+  bool translate = false;        ///< also enqueued on the translation queue
+  Seconds processing_est = 0.0;  ///< estimated processing time on `queue`
+  Seconds translation_est = 0.0;
+  Seconds response_est = 0.0;  ///< estimated absolute completion time T_R
+  bool before_deadline = false;  ///< T_R <= T_D at scheduling time
+};
+
+}  // namespace holap

@@ -1,0 +1,188 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace holap {
+
+QueueingScheduler::QueueingScheduler(SchedulerConfig config,
+                                     CostEstimator estimator)
+    : config_(std::move(config)), estimator_(std::move(estimator)) {
+  HOLAP_REQUIRE(config_.deadline > 0.0, "deadline T_C must be positive");
+  HOLAP_REQUIRE(config_.enable_cpu || config_.enable_gpu,
+                "at least one resource must be enabled");
+  if (config_.enable_gpu) {
+    HOLAP_REQUIRE(!config_.gpu_partitions.empty(),
+                  "GPU enabled but no partitions configured");
+    HOLAP_REQUIRE(estimator_.gpu_queue_count() ==
+                      static_cast<int>(config_.gpu_partitions.size()),
+                  "estimator must hold one GPU model per partition queue");
+  }
+  gpu_clocks_.assign(config_.gpu_partitions.size(), 0.0);
+  HOLAP_REQUIRE(config_.modeled_gpu_dispatch >= 0.0,
+                "modeled dispatch must be non-negative");
+  queue_device_ = config_.gpu_queue_device;
+  if (queue_device_.empty()) {
+    queue_device_.assign(gpu_clocks_.size(), 0);
+  }
+  HOLAP_REQUIRE(queue_device_.size() == gpu_clocks_.size(),
+                "gpu_queue_device must have one entry per GPU queue");
+  int devices = 1;
+  for (const int d : queue_device_) {
+    HOLAP_REQUIRE(d >= 0, "device ids must be non-negative");
+    devices = std::max(devices, d + 1);
+  }
+  dispatch_clocks_.assign(static_cast<std::size_t>(devices), 0.0);
+}
+
+Seconds QueueingScheduler::gpu_clock(int queue) const {
+  HOLAP_REQUIRE(queue >= 0 &&
+                    queue < static_cast<int>(gpu_clocks_.size()),
+                "GPU queue index out of range");
+  return gpu_clocks_[static_cast<std::size_t>(queue)];
+}
+
+Seconds& QueueingScheduler::clock_for(QueueRef ref) {
+  if (ref.kind == QueueRef::kCpu) return cpu_clock_;
+  HOLAP_REQUIRE(ref.index >= 0 &&
+                    ref.index < static_cast<int>(gpu_clocks_.size()),
+                "GPU queue index out of range");
+  return gpu_clocks_[static_cast<std::size_t>(ref.index)];
+}
+
+Placement QueueingScheduler::schedule(const Query& q, Seconds now) {
+  const CostEstimate est = estimator_.estimate(q);
+  const Seconds deadline = now + config_.deadline;  // T_D = T_Q + T_C
+
+  // Step 3: response times for every partition that can process the query.
+  std::vector<PartitionResponse> candidates;
+  if (config_.enable_cpu && est.cpu.has_value()) {
+    PartitionResponse r;
+    r.ref = {QueueRef::kCpu, 0};
+    r.processing = *est.cpu;
+    r.response = std::max(cpu_clock_, now) + r.processing;
+    r.before_deadline = deadline - r.response > 0.0;
+    candidates.push_back(r);
+  }
+  if (config_.enable_gpu) {
+    const Seconds trans_done = est.needs_translation
+                                   ? std::max(trans_clock_, now) +
+                                         est.translation
+                                   : 0.0;
+    for (std::size_t i = 0; i < gpu_clocks_.size(); ++i) {
+      PartitionResponse r;
+      r.ref = {QueueRef::kGpu, static_cast<int>(i)};
+      r.processing = est.gpu[i];
+      Seconds ready = std::max(gpu_clocks_[i], now);
+      if (est.needs_translation) ready = std::max(ready, trans_done);
+      if (config_.modeled_gpu_dispatch > 0.0) {
+        // The launch stage is a shared serial resource per device,
+        // handled exactly like the translation queue: cross it after
+        // translation, before the partition can start.
+        Seconds launch = std::max(
+            dispatch_clocks_[static_cast<std::size_t>(queue_device_[i])],
+            now);
+        if (est.needs_translation) launch = std::max(launch, trans_done);
+        r.dispatch_done = launch + config_.modeled_gpu_dispatch;
+        ready = std::max(ready, r.dispatch_done);
+      }
+      r.response = ready + r.processing;
+      r.before_deadline = deadline - r.response > 0.0;
+      candidates.push_back(r);
+    }
+  }
+
+  if (candidates.empty()) {
+    Placement p;
+    p.rejected = true;  // CPU cannot answer and the GPU is disabled
+    return p;
+  }
+
+  const auto choice = choose(candidates, deadline);
+  HOLAP_ASSERT(choice.has_value(), "policy failed to choose a queue");
+  const auto chosen = std::find_if(
+      candidates.begin(), candidates.end(),
+      [&](const PartitionResponse& r) { return r.ref == *choice; });
+  HOLAP_ASSERT(chosen != candidates.end(), "policy chose a non-candidate");
+
+  // Commit: advance the owning clocks to this query's completion.
+  Placement p;
+  p.queue = chosen->ref;
+  p.processing_est = chosen->processing;
+  p.response_est = chosen->response;
+  p.before_deadline = chosen->before_deadline;
+  if (chosen->ref.kind == QueueRef::kGpu && est.needs_translation) {
+    p.translate = true;
+    p.translation_est = est.translation;
+    trans_clock_ = std::max(trans_clock_, now) + est.translation;
+  }
+  if (chosen->ref.kind == QueueRef::kGpu &&
+      config_.modeled_gpu_dispatch > 0.0) {
+    dispatch_clocks_[static_cast<std::size_t>(
+        queue_device_[static_cast<std::size_t>(chosen->ref.index)])] =
+        chosen->dispatch_done;
+  }
+  clock_for(chosen->ref) = chosen->response;
+  return p;
+}
+
+void QueueingScheduler::on_completed(QueueRef ref, Seconds estimated,
+                                     Seconds actual) {
+  if (!config_.feedback) return;
+  // Estimation error shifts everything queued behind the finished query.
+  clock_for(ref) += actual - estimated;
+}
+
+std::optional<QueueRef> FigureTenScheduler::choose(
+    const std::vector<PartitionResponse>& candidates,
+    Seconds deadline) const {
+  const PartitionResponse* cpu = nullptr;
+  Seconds fastest_gpu_processing = std::numeric_limits<double>::infinity();
+  bool any_feasible = false;
+  for (const auto& r : candidates) {
+    if (r.ref.kind == QueueRef::kCpu) cpu = &r;
+    if (r.ref.kind == QueueRef::kGpu) {
+      fastest_gpu_processing = std::min(fastest_gpu_processing, r.processing);
+    }
+    any_feasible = any_feasible || r.before_deadline;
+  }
+
+  if (any_feasible) {
+    // Step 5. CPU preference: in P_BD and faster than the fastest GPU
+    // partition (T_CPU < T_GPU3).
+    if (cpu != nullptr && cpu->before_deadline &&
+        cpu->processing < fastest_gpu_processing) {
+      return cpu->ref;
+    }
+    // Slowest feasible GPU queue — queues are configured slow-first, so
+    // the first (or, under the ablation flag, last) feasible one wins.
+    const PartitionResponse* pick = nullptr;
+    for (const auto& r : candidates) {
+      if (r.ref.kind != QueueRef::kGpu || !r.before_deadline) continue;
+      pick = &r;
+      if (!config().prefer_fastest_feasible_gpu) break;
+    }
+    if (pick != nullptr) return pick->ref;
+    // P_BD held only the CPU but the CPU lost the speed comparison; the
+    // paper's FOR loop would fall through without placing the query, so we
+    // take the only feasible partition (the CPU) — the sane completion of
+    // Figure 10's step 5.
+    if (cpu != nullptr && cpu->before_deadline) return cpu->ref;
+  }
+
+  // Step 6: no partition meets the deadline; minimise |T_D − T_R|, i.e.
+  // answer as soon as possible.
+  const PartitionResponse* best = nullptr;
+  for (const auto& r : candidates) {
+    if (best == nullptr || std::abs(deadline - r.response) <
+                               std::abs(deadline - best->response)) {
+      best = &r;
+    }
+  }
+  return best->ref;
+}
+
+}  // namespace holap

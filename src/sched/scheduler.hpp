@@ -1,0 +1,137 @@
+// The scheduling algorithm of Figure 10, plus the queueing machinery every
+// policy shares.
+//
+// The machine is a set of partition queues: one CPU processing queue
+// (Q_CPU), one CPU translation queue (Q_TRANS) and one queue per GPU
+// partition (Q_G1..Q_G6 in the paper's {1,1,2,2,4,4}-SM configuration).
+// Each queue keeps a clock T_Q — the absolute time at which everything
+// already submitted to it will have finished. Scheduling a query:
+//
+//   1. deadline T_D = T_Q(arrival) + T_C;
+//   2. estimate T_CPU, T_GPU(per queue), T_TRANS (CostEstimator);
+//   3. per-partition response times — for a GPU queue with translation,
+//      T_R = max(T_Q|Gi, T_Q|TRANS + T_TRANS) + T_GPUj;
+//   4. P_BD = partitions with T_D − T_R > 0;
+//   5. if P_BD is non-empty: prefer the CPU when it is in P_BD and beats
+//      the fastest GPU partition; otherwise take the SLOWEST feasible GPU
+//      queue ("task the slower queues first so that GPU has resources
+//      available for the computationally expensive queries that might be
+//      submitted later");
+//   6. otherwise: the partition minimising |T_D − T_R| — miss the deadline
+//      by as little as possible.
+//
+// Completion feedback (§III-G, last paragraph): when a query finishes, the
+// difference between measured and estimated processing time adjusts the
+// owning queue's clock, so estimation error does not accumulate.
+#pragma once
+
+#include <memory>
+
+#include "sched/estimator.hpp"
+
+namespace holap {
+
+struct SchedulerConfig {
+  /// SM count per GPU queue, slow queues first. The paper's C2070 layout.
+  std::vector<int> gpu_partitions = {1, 1, 2, 2, 4, 4};
+  /// T_C: every query must be answered within this time of submission.
+  Seconds deadline = 0.1;
+  bool enable_cpu = true;
+  bool enable_gpu = true;
+  /// Apply measured-vs-estimated feedback to queue clocks.
+  bool feedback = true;
+  /// Ablation: pick the FASTEST feasible GPU queue in step 5 instead of
+  /// the paper's slowest-first rule (bench_ablation_queue_order).
+  bool prefer_fastest_feasible_gpu = false;
+  /// Extension: model the per-device serialised kernel-launch stage the
+  /// same way Figure 10 models the shared translation queue — a clock per
+  /// device; every GPU-bound query crosses it for this long before its
+  /// partition can start. 0 = unmodeled (the paper's behaviour).
+  Seconds modeled_gpu_dispatch = 0.0;
+  /// Device owning each GPU queue (for the dispatch clocks). Empty = one
+  /// device owns all queues.
+  std::vector<int> gpu_queue_device;
+};
+
+/// Step-3 output for one partition queue.
+struct PartitionResponse {
+  QueueRef ref;
+  Seconds processing = 0.0;  ///< T_CPU or T_GPUj for this query
+  Seconds response = 0.0;    ///< absolute T_R
+  Seconds dispatch_done = 0.0;  ///< launch-stage exit (modeled dispatch)
+  bool before_deadline = false;
+};
+
+/// Abstract scheduling policy over partition queues.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Place query `q` arriving at absolute time `now`; updates queue clocks.
+  virtual Placement schedule(const Query& q, Seconds now) = 0;
+
+  /// Completion feedback: `estimated`/`actual` processing time of a query
+  /// that ran on `ref`.
+  virtual void on_completed(QueueRef ref, Seconds estimated,
+                            Seconds actual) = 0;
+
+  /// T_C: the per-query time constraint this policy schedules against.
+  virtual Seconds deadline() const = 0;
+
+  /// Number of GPU partition queues the policy manages.
+  virtual int gpu_queue_count() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Shared queue-clock machinery; concrete policies implement choose().
+class QueueingScheduler : public SchedulerPolicy {
+ public:
+  QueueingScheduler(SchedulerConfig config, CostEstimator estimator);
+
+  Placement schedule(const Query& q, Seconds now) final;
+  void on_completed(QueueRef ref, Seconds estimated, Seconds actual) override;
+  Seconds deadline() const override { return config_.deadline; }
+  int gpu_queue_count() const override {
+    return static_cast<int>(gpu_clocks_.size());
+  }
+
+  const SchedulerConfig& config() const { return config_; }
+  Seconds cpu_clock() const { return cpu_clock_; }
+  Seconds translation_clock() const { return trans_clock_; }
+  Seconds gpu_clock(int queue) const;
+
+ protected:
+  /// Pick a queue among `candidates` (every partition that can process the
+  /// query). Never called with an empty list. `deadline` is T_D.
+  virtual std::optional<QueueRef> choose(
+      const std::vector<PartitionResponse>& candidates,
+      Seconds deadline) const = 0;
+
+  const CostEstimator& estimator() const { return estimator_; }
+
+ private:
+  SchedulerConfig config_;
+  CostEstimator estimator_;
+  Seconds cpu_clock_ = 0.0;
+  Seconds trans_clock_ = 0.0;
+  std::vector<Seconds> gpu_clocks_;
+  std::vector<Seconds> dispatch_clocks_;  // one per GPU device
+  std::vector<int> queue_device_;
+
+  Seconds& clock_for(QueueRef ref);
+};
+
+/// The paper's scheduler (Figure 10).
+class FigureTenScheduler final : public QueueingScheduler {
+ public:
+  using QueueingScheduler::QueueingScheduler;
+  const char* name() const override { return "figure10"; }
+
+ protected:
+  std::optional<QueueRef> choose(
+      const std::vector<PartitionResponse>& candidates,
+      Seconds deadline) const override;
+};
+
+}  // namespace holap

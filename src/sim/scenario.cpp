@@ -1,0 +1,76 @@
+#include "sim/scenario.hpp"
+
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+TableSchema make_paper_schema() {
+  // Mirrors generate_paper_model_table's schema: 3 dims × 4 levels, four
+  // measures, finest geography and product levels dict-encoded.
+  return make_star_schema(paper_model_dimensions(),
+                          {"measure_0", "measure_1", "measure_2",
+                           "measure_3"},
+                          {{1, 3}, {2, 3}});
+}
+
+}  // namespace
+
+PaperScenario::PaperScenario(ScenarioOptions options)
+    : options_(std::move(options)),
+      dims_(paper_model_dimensions()),
+      schema_(make_paper_schema()),
+      catalog_(dims_, options_.cube_levels),
+      translation_(schema_, options_.dict_length_multiplier) {}
+
+std::vector<int> PaperScenario::effective_gpu_partitions() const {
+  HOLAP_REQUIRE(options_.gpu_devices >= 1, "need at least one GPU device");
+  std::vector<int> queues;
+  for (int d = 0; d < options_.gpu_devices; ++d) {
+    queues.insert(queues.end(), options_.gpu_partitions.begin(),
+                  options_.gpu_partitions.end());
+  }
+  return queues;
+}
+
+std::vector<int> PaperScenario::gpu_queue_device_map() const {
+  std::vector<int> map;
+  for (int d = 0; d < options_.gpu_devices; ++d) {
+    map.insert(map.end(), options_.gpu_partitions.size(), d);
+  }
+  return map;
+}
+
+CostEstimator PaperScenario::make_estimator() const {
+  CostEstimator estimator = make_paper_estimator(
+      effective_gpu_partitions(), options_.cpu_threads, gpu_table_mb(),
+      gpu_total_columns(), &catalog_, &translation_);
+  estimator.set_translation_costing(options_.translation_costing);
+  return estimator;
+}
+
+std::unique_ptr<SchedulerPolicy> PaperScenario::make_policy(
+    const std::string& name) const {
+  SchedulerConfig config;
+  config.gpu_partitions = effective_gpu_partitions();
+  config.deadline = options_.deadline;
+  config.enable_cpu = options_.enable_cpu;
+  config.enable_gpu = options_.enable_gpu;
+  config.feedback = options_.feedback;
+  config.prefer_fastest_feasible_gpu = options_.prefer_fastest_feasible_gpu;
+  config.modeled_gpu_dispatch = options_.modeled_gpu_dispatch;
+  config.gpu_queue_device = gpu_queue_device_map();
+  return ::holap::make_policy(name, std::move(config), make_estimator());
+}
+
+std::vector<Query> PaperScenario::make_workload(std::size_t n) const {
+  WorkloadConfig wl;
+  wl.seed = options_.workload_seed;
+  wl.text_probability = options_.text_probability;
+  wl.mean_selectivity = options_.mean_selectivity;
+  wl.level_weights = options_.level_weights;
+  QueryGenerator gen(dims_, schema_, wl);
+  return gen.batch(n);
+}
+
+}  // namespace holap

@@ -1,0 +1,203 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace holap {
+
+SimResult run_simulation(SchedulerPolicy& policy,
+                         std::span<const Query> queries,
+                         const SimConfig& config) {
+  HOLAP_REQUIRE(!queries.empty(), "simulation requires queries");
+  HOLAP_REQUIRE(config.arrival_rate >= 0.0, "arrival rate must be >= 0");
+  HOLAP_REQUIRE(config.arrival_rate > 0.0 || config.closed_clients >= 1,
+                "closed loop requires at least one client");
+  HOLAP_REQUIRE(config.service_noise >= 0.0 && config.service_noise < 1.0,
+                "service noise must be in [0, 1)");
+  HOLAP_REQUIRE(config.gpu_queue_bias.empty() ||
+                    static_cast<int>(config.gpu_queue_bias.size()) ==
+                        policy.gpu_queue_count(),
+                "gpu_queue_bias must have one entry per GPU queue");
+
+  HOLAP_REQUIRE(config.translation_workers >= 1,
+                "translation partition requires at least one worker");
+  std::vector<int> queue_device = config.gpu_queue_device;
+  if (queue_device.empty()) {
+    queue_device.assign(static_cast<std::size_t>(policy.gpu_queue_count()),
+                        0);
+  }
+  HOLAP_REQUIRE(static_cast<int>(queue_device.size()) ==
+                    policy.gpu_queue_count(),
+                "gpu_queue_device must have one entry per GPU queue");
+  int device_count = 0;
+  for (const int d : queue_device) {
+    HOLAP_REQUIRE(d >= 0, "device ids must be non-negative");
+    device_count = std::max(device_count, d + 1);
+  }
+  device_count = std::max(device_count, 1);
+
+  EventQueue events;
+  FifoServer cpu(&events);
+  MultiFifoServer translation(&events, config.translation_workers);
+  std::vector<std::unique_ptr<FifoServer>> dispatchers;
+  for (int d = 0; d < device_count; ++d) {
+    dispatchers.push_back(std::make_unique<FifoServer>(&events));
+  }
+  std::vector<std::unique_ptr<FifoServer>> gpus;
+  for (int i = 0; i < policy.gpu_queue_count(); ++i) {
+    gpus.push_back(std::make_unique<FifoServer>(&events));
+  }
+
+  SplitMix64 noise_rng(config.seed);
+  auto noise = [&]() {
+    if (config.service_noise <= 0.0) return 1.0;
+    return noise_rng.uniform_real(1.0 - config.service_noise,
+                                  1.0 + config.service_noise);
+  };
+
+  SimResult result;
+  result.gpu_utilization.assign(gpus.size(), 0.0);
+  if (config.record_trace) result.trace.resize(queries.size());
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  Seconds makespan = 0.0;
+  const bool closed = config.arrival_rate <= 0.0;
+  std::size_t next_query = 0;
+
+  std::function<void(std::size_t)> start_query;
+
+  auto finish = [&](std::size_t idx, Seconds submit, Seconds done) {
+    ++result.completed;
+    const Seconds latency = done - submit;
+    latencies.push_back(latency);
+    const bool met = latency <= policy.deadline();
+    if (met) ++result.met_deadline;
+    if (config.record_trace) {
+      result.trace[idx].completed = done;
+      result.trace[idx].met_deadline = met;
+    }
+    makespan = std::max(makespan, done);
+    if (closed && next_query < queries.size()) {
+      const std::size_t next = next_query++;
+      events.schedule(done, [&, next]() { start_query(next); });
+    }
+  };
+
+  auto advance_closed = [&](Seconds at) {
+    // A rejected query frees its client immediately.
+    if (closed && next_query < queries.size()) {
+      const std::size_t idx = next_query++;
+      events.schedule(at, [&, idx]() { start_query(idx); });
+    }
+  };
+
+  start_query = [&](std::size_t idx) {
+    const Query& q = queries[idx];
+    const Seconds now = events.now();
+    const Placement p = policy.schedule(q, now);
+    if (config.record_trace) {
+      QueryTrace& t = result.trace[idx];
+      t.index = idx;
+      t.submitted = now;
+      t.response_est = p.response_est;
+      t.queue = p.queue;
+      t.translated = p.translate;
+      t.rejected = p.rejected;
+    }
+    if (p.rejected) {
+      ++result.rejected;
+      advance_closed(now);
+      return;
+    }
+    if (p.queue.kind == QueueRef::kCpu) {
+      ++result.cpu_queries;
+      const Seconds actual =
+          p.processing_est * noise() + config.cpu_overhead;
+      cpu.submit(actual,
+                 [&, idx, submit = now, est = p.processing_est,
+                  actual](Seconds done) {
+                   policy.on_completed({QueueRef::kCpu, 0}, est, actual);
+                   finish(idx, submit, done);
+                 });
+      return;
+    }
+    ++result.gpu_queries;
+    const int queue = p.queue.index;
+    const double bias =
+        config.gpu_queue_bias.empty()
+            ? 1.0
+            : config.gpu_queue_bias[static_cast<std::size_t>(queue)];
+    const Seconds actual_gpu = p.processing_est * noise() * bias;
+    const auto device = static_cast<std::size_t>(
+        queue_device[static_cast<std::size_t>(queue)]);
+    auto into_pipeline = [&, idx, queue, device, actual_gpu, submit = now,
+                          est = p.processing_est](Seconds) {
+      dispatchers[device]->submit(
+          config.gpu_dispatch_overhead,
+          [&, idx, queue, actual_gpu, submit, est](Seconds) {
+            gpus[static_cast<std::size_t>(queue)]->submit(
+                actual_gpu,
+                [&, idx, queue, submit, est, actual_gpu](Seconds done) {
+                  policy.on_completed(
+                      {QueueRef::kGpu, queue}, est,
+                      actual_gpu + config.gpu_dispatch_overhead);
+                  finish(idx, submit, done);
+                });
+          });
+    };
+    if (p.translate) {
+      ++result.translated_queries;
+      translation.submit(p.translation_est * noise(),
+                         std::move(into_pipeline));
+    } else {
+      into_pipeline(now);
+    }
+  };
+
+  if (closed) {
+    const auto clients = std::min<std::size_t>(
+        static_cast<std::size_t>(config.closed_clients), queries.size());
+    next_query = clients;
+    for (std::size_t c = 0; c < clients; ++c) {
+      events.schedule(0.0, [&, c]() { start_query(c); });
+    }
+  } else {
+    SplitMix64 arrivals(noise_rng.fork(17));
+    Seconds t = 0.0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      t += arrivals.exponential(config.arrival_rate);
+      events.schedule(t, [&, i]() { start_query(i); });
+    }
+  }
+
+  events.run_all();
+
+  result.makespan = makespan;
+  if (makespan > 0.0) {
+    result.throughput_qps =
+        static_cast<double>(result.completed) / makespan;
+  }
+  if (result.completed > 0) {
+    result.deadline_hit_rate = static_cast<double>(result.met_deadline) /
+                               static_cast<double>(result.completed);
+    result.mean_latency = summarize(latencies).mean;
+    result.p95_latency = percentile(latencies, 95.0);
+  }
+  if (makespan > 0.0) {
+    result.cpu_utilization = cpu.busy_time() / makespan;
+    double dispatch_busy = 0.0;
+    for (const auto& d : dispatchers) dispatch_busy += d->busy_time();
+    result.dispatcher_utilization =
+        dispatch_busy / makespan / static_cast<double>(dispatchers.size());
+    result.translation_utilization =
+        translation.busy_time() / makespan / translation.workers();
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      result.gpu_utilization[i] = gpus[i]->busy_time() / makespan;
+    }
+  }
+  return result;
+}
+
+}  // namespace holap

@@ -1,0 +1,88 @@
+#include "common/blocking_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace holap {
+namespace {
+
+TEST(BlockingQueue, FifoOrderSingleThread) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(BlockingQueue, CloseWakesConsumersWithNullopt) {
+  BlockingQueue<int> q;
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&] {
+    const auto item = q.pop();
+    got_nullopt = !item.has_value();
+  });
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(BlockingQueue, CloseDrainsRemainingItemsFirst) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, PushAfterCloseRejected) {
+  BlockingQueue<int> q;
+  q.close();
+  EXPECT_FALSE(q.push(7));
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 500;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (const auto item = q.pop()) {
+        const std::lock_guard lock(seen_mutex);
+        EXPECT_TRUE(seen.insert(*item).second) << "duplicate " << *item;
+      }
+    });
+  }
+  // Join producers (the first kProducers threads), then close.
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)]
+      .join();
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+TEST(BlockingQueue, MoveOnlyPayloads) {
+  BlockingQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(42));
+  const auto item = q.pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 42);
+}
+
+}  // namespace
+}  // namespace holap

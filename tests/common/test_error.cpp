@@ -1,0 +1,35 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(HOLAP_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(HOLAP_REQUIRE(false, "always fails"), InvalidArgument);
+}
+
+TEST(Error, RequireMessageContainsExpressionAndContext) {
+  try {
+    HOLAP_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected a throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw CapacityError("full"), Error);
+  EXPECT_THROW(throw InvalidArgument("bad"), Error);
+  EXPECT_THROW(throw Error("generic"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,122 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace holap {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, ForkProducesIndependentStreams) {
+  SplitMix64 master(7);
+  SplitMix64 s1(master.fork(1)), s2(master.fork(2));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += s1.next() == s2.next();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, UniformStaysInRange) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(SplitMix64, UniformRejectsZero) {
+  SplitMix64 rng(3);
+  EXPECT_THROW(rng.uniform(0), InvalidArgument);
+}
+
+TEST(SplitMix64, UniformIntCoversInclusiveRange) {
+  SplitMix64 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values should appear
+}
+
+TEST(SplitMix64, Uniform01InHalfOpenUnitInterval) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SplitMix64, Uniform01MeanNearHalf) {
+  SplitMix64 rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SplitMix64, ExponentialMeanMatchesRate) {
+  SplitMix64 rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(SplitMix64, ExponentialRejectsNonPositiveRate) {
+  SplitMix64 rng(1);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+  EXPECT_THROW(rng.exponential(-1.0), InvalidArgument);
+}
+
+TEST(SplitMix64, BernoulliExtremes) {
+  SplitMix64 rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), InvalidArgument);
+}
+
+TEST(Zipf, UnskewedIsUniformish) {
+  ZipfSampler zipf(10, 0.0);
+  SplitMix64 rng(23);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 50);
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  ZipfSampler zipf(100, 1.2);
+  SplitMix64 rng(29);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfSampler zipf(7, 0.9);
+  SplitMix64 rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf(rng), 7u);
+}
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,144 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace holap {
+namespace {
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs{42};
+  EXPECT_DOUBLE_EQ(percentile(xs, 95), 42.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), InvalidArgument);
+  const std::vector<double> xs{1};
+  EXPECT_THROW(percentile(xs, -1), InvalidArgument);
+  EXPECT_THROW(percentile(xs, 101), InvalidArgument);
+}
+
+TEST(FitLinear, RecoversExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x + 1.25);
+  const FitResult f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.a, 2.5, 1e-12);
+  EXPECT_NEAR(f.b, 1.25, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyDataStillClose) {
+  SplitMix64 rng(77);
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0 + rng.uniform_real(-0.5, 0.5));
+  }
+  const FitResult f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.a, 3.0, 0.05);
+  EXPECT_NEAR(f.b, 7.0, 1.0);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+TEST(FitLinear, RejectsDegenerateInput) {
+  const std::vector<double> one{1}, same{2, 2}, ys{3, 4};
+  EXPECT_THROW(fit_linear(one, one), InvalidArgument);
+  EXPECT_THROW(fit_linear(same, ys), InvalidArgument);
+}
+
+TEST(FitLinearOrigin, RecoversSlope) {
+  const std::vector<double> xs{1, 2, 4};
+  const std::vector<double> ys{0.5, 1.0, 2.0};
+  const FitResult f = fit_linear_origin(xs, ys);
+  EXPECT_NEAR(f.a, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(f.b, 0.0);
+}
+
+TEST(FitPowerLaw, RecoversExactPowerLaw) {
+  // The paper's eq. (5) coefficients: y = 1e-4 * x^0.9341.
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    xs.push_back(x);
+    ys.push_back(1e-4 * std::pow(x, 0.9341));
+  }
+  const FitResult f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.a, 1e-4, 1e-9);
+  EXPECT_NEAR(f.b, 0.9341, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  const std::vector<double> xs{1, -2}, ys{1, 2};
+  EXPECT_THROW(fit_power_law(xs, ys), InvalidArgument);
+}
+
+TEST(EvalHelpers, MatchClosedForms) {
+  const FitResult lin{2.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(eval_linear(lin, 5.0), 13.0);
+  const FitResult pw{2.0, 0.5, 1.0};
+  EXPECT_DOUBLE_EQ(eval_power_law(pw, 16.0), 8.0);
+}
+
+TEST(RunningStats, MatchesBatchSummary) {
+  SplitMix64 rng(99);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(-5, 5);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  const Summary s = summarize(xs);
+  EXPECT_EQ(rs.count(), s.count);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(4.0);
+  EXPECT_EQ(rs.mean(), 4.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,49 @@
+#include "common/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace holap {
+namespace {
+
+TEST(TablePrinter, RendersHeaderRuleAndRows) {
+  TablePrinter t({"threads", "rate [Q/s]"});
+  t.add_row({"1", "12"});
+  t.add_row({"8", "110"});
+  std::ostringstream os;
+  t.print(os, "Table 1");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Table 1"), std::string::npos);
+  EXPECT_NE(out.find("threads"), std::string::npos);
+  EXPECT_NE(out.find("110"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), InvalidArgument);
+}
+
+TEST(TablePrinter, FixedAndScientificFormatting) {
+  EXPECT_EQ(TablePrinter::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fixed(2.0, 0), "2");
+  const std::string sci = TablePrinter::scientific(0.000138, 3);
+  EXPECT_NE(sci.find("1.380e-04"), std::string::npos);
+}
+
+TEST(TablePrinter, HumanBytes) {
+  EXPECT_EQ(TablePrinter::human_bytes(512.0), "512.0 B");
+  EXPECT_EQ(TablePrinter::human_bytes(4.0 * 1024), "4.0 KB");
+  EXPECT_EQ(TablePrinter::human_bytes(512.0 * 1024 * 1024), "512.0 MB");
+  EXPECT_EQ(TablePrinter::human_bytes(32.0 * 1024 * 1024 * 1024), "32.0 GB");
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,152 @@
+#include "cube/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace holap {
+namespace {
+
+std::vector<Dimension> dims() { return tiny_model_dimensions(); }
+
+DenseCube filled_cube(int level, CubeBasis basis, std::uint64_t seed) {
+  DenseCube cube(dims(), level, basis, basis == CubeBasis::kCount ? -1 : 0);
+  SplitMix64 rng(seed);
+  for (auto& c : cube.cells()) c = rng.uniform_real(0.5, 2.0);
+  return cube;
+}
+
+// Brute-force oracle: visit every cell, test region membership per dim.
+double oracle(const DenseCube& cube, const CubeRegion& region) {
+  double acc = basis_identity(cube.basis());
+  std::vector<std::int32_t> coords(static_cast<std::size_t>(cube.dim_count()));
+  const std::size_t total = cube.cell_count();
+  for (std::size_t i = 0; i < total; ++i) {
+    std::size_t rest = i;
+    bool inside = true;
+    for (int d = cube.dim_count() - 1; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      coords[du] = static_cast<std::int32_t>(rest % cube.cardinality(d));
+      rest /= cube.cardinality(d);
+      bool in_dim = false;
+      for (const auto& iv : region.dims[du]) {
+        in_dim = in_dim || (coords[du] >= iv.lo && coords[du] <= iv.hi);
+      }
+      inside = inside && in_dim;
+    }
+    if (inside) acc = basis_combine(cube.basis(), acc, cube.cell(i));
+  }
+  return acc;
+}
+
+CubeRegion random_region(SplitMix64& rng, int level) {
+  CubeRegion region;
+  const auto ds = dims();
+  for (const auto& dim : ds) {
+    const auto card = static_cast<std::int32_t>(dim.level(level).cardinality);
+    std::vector<Interval> ivs;
+    const int n = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < n; ++i) {
+      const auto lo = static_cast<std::int32_t>(rng.uniform_int(0, card - 1));
+      const auto hi = static_cast<std::int32_t>(rng.uniform_int(lo, card - 1));
+      ivs.push_back({lo, hi});
+    }
+    region.dims.push_back(normalize_intervals(std::move(ivs)));
+  }
+  return region;
+}
+
+struct Case {
+  CubeBasis basis;
+  int threads;
+};
+
+class AggregateMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AggregateMatrix, MatchesBruteForceOracleOnRandomRegions) {
+  const auto [basis, threads] = GetParam();
+  const DenseCube cube = filled_cube(2, basis, 1234);
+  SplitMix64 rng(99 + static_cast<std::uint64_t>(threads));
+  for (int trial = 0; trial < 25; ++trial) {
+    const CubeRegion region = random_region(rng, 2);
+    const AggregateResult got = aggregate_region(cube, region, threads);
+    EXPECT_NEAR(got.value, oracle(cube, region), 1e-9)
+        << "basis=" << to_string(basis) << " trial=" << trial;
+    EXPECT_EQ(got.cells_scanned, region.cell_count());
+    EXPECT_EQ(got.bytes_scanned, region.cell_count() * 8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasesAndThreads, AggregateMatrix,
+    ::testing::Values(Case{CubeBasis::kSum, 0}, Case{CubeBasis::kSum, 1},
+                      Case{CubeBasis::kSum, 4}, Case{CubeBasis::kSum, 8},
+                      Case{CubeBasis::kCount, 0}, Case{CubeBasis::kCount, 4},
+                      Case{CubeBasis::kMin, 0}, Case{CubeBasis::kMin, 4},
+                      Case{CubeBasis::kMax, 0}, Case{CubeBasis::kMax, 8}),
+    [](const auto& suite_info) {
+      return std::string(to_string(suite_info.param.basis)) + "_t" +
+             std::to_string(suite_info.param.threads);
+    });
+
+TEST(Aggregate, SequentialAndParallelAgreeExactlyForSum) {
+  // Same association order (per-offset runs), so exact equality holds.
+  const DenseCube cube = filled_cube(3, CubeBasis::kSum, 5);
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CubeRegion region = random_region(rng, 3);
+    const double seq = aggregate_region(cube, region, 0).value;
+    for (int threads : {1, 2, 4, 8}) {
+      EXPECT_NEAR(aggregate_region(cube, region, threads).value, seq, 1e-9);
+    }
+  }
+}
+
+TEST(Aggregate, FullCubeEqualsTotalSum) {
+  const DenseCube cube = filled_cube(1, CubeBasis::kSum, 21);
+  double total = 0.0;
+  for (const double c : cube.cells()) total += c;
+  CubeRegion full;
+  for (int d = 0; d < 3; ++d) {
+    full.dims.push_back(
+        {{0, static_cast<std::int32_t>(cube.cardinality(d)) - 1}});
+  }
+  EXPECT_NEAR(aggregate_region(cube, full, 0).value, total, 1e-9);
+  EXPECT_EQ(aggregate_region(cube, full, 0).cells_scanned, cube.cell_count());
+}
+
+TEST(Aggregate, EmptyRegionReturnsIdentity) {
+  const DenseCube cube = filled_cube(1, CubeBasis::kSum, 3);
+  CubeRegion empty;
+  empty.dims = {{}, {{0, 1}}, {{0, 1}}};
+  const AggregateResult r = aggregate_region(cube, empty, 4);
+  EXPECT_EQ(r.value, 0.0);
+  EXPECT_EQ(r.cells_scanned, 0u);
+}
+
+TEST(Aggregate, SingleCellRegion) {
+  DenseCube cube(dims(), 1, CubeBasis::kSum, 0);
+  const std::vector<std::int32_t> coords{2, 3, 1};
+  cube.cell(cube.linear_index(coords)) = 42.0;
+  CubeRegion region;
+  region.dims = {{{2, 2}}, {{3, 3}}, {{1, 1}}};
+  EXPECT_EQ(aggregate_region(cube, region, 0).value, 42.0);
+  EXPECT_EQ(aggregate_region(cube, region, 0).cells_scanned, 1u);
+}
+
+TEST(Aggregate, RejectsRegionBeyondBounds) {
+  const DenseCube cube = filled_cube(1, CubeBasis::kSum, 3);
+  CubeRegion bad;
+  bad.dims = {{{0, 4}}, {{0, 3}}, {{0, 3}}};  // level-1 card is 4
+  EXPECT_THROW(aggregate_region(cube, bad, 0), InvalidArgument);
+}
+
+TEST(Aggregate, RejectsArityMismatch) {
+  const DenseCube cube = filled_cube(1, CubeBasis::kSum, 3);
+  CubeRegion bad;
+  bad.dims = {{{0, 1}}, {{0, 1}}};
+  EXPECT_THROW(aggregate_region(cube, bad, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

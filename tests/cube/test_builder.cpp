@@ -1,0 +1,120 @@
+#include "cube/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+FactTable make_table(std::size_t rows, std::uint64_t seed = 1) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = seed;
+  config.zipf_skew = 0.7;
+  return generate_fact_table(tiny_model_dimensions(), config);
+}
+
+// Row-by-row oracle.
+DenseCube oracle_cube(const FactTable& table, int level, CubeBasis basis,
+                      int measure) {
+  const auto& dims = table.schema().dimensions();
+  DenseCube cube(dims, level, basis, measure);
+  std::vector<std::int32_t> coords(dims.size());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      coords[d] = table.dim_level_column(static_cast<int>(d), level)[r];
+    }
+    const std::size_t idx = cube.linear_index(coords);
+    const double v =
+        basis == CubeBasis::kCount ? 1.0 : table.measure_column(measure)[r];
+    cube.cell(idx) = basis_combine(basis, cube.cell(idx), v);
+  }
+  return cube;
+}
+
+void expect_cubes_equal(const DenseCube& a, const DenseCube& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  for (std::size_t i = 0; i < a.cell_count(); ++i) {
+    if (std::isinf(b.cell(i))) {
+      // Empty min/max cells hold the ±inf identity.
+      EXPECT_EQ(a.cell(i), b.cell(i)) << "cell " << i;
+    } else {
+      EXPECT_NEAR(a.cell(i), b.cell(i), 1e-9) << "cell " << i;
+    }
+  }
+}
+
+struct Case {
+  CubeBasis basis;
+  int level;
+  int threads;
+};
+
+class BuilderMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BuilderMatrix, MatchesRowOracle) {
+  const auto [basis, level, threads] = GetParam();
+  const FactTable table = make_table(1500);
+  const int measure = basis == CubeBasis::kCount
+                          ? -1
+                          : table.schema().measure_columns()[0];
+  const DenseCube built = build_cube(table, level, basis, measure, threads);
+  const DenseCube expected = oracle_cube(table, level, basis, measure);
+  expect_cubes_equal(built, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasesLevelsThreads, BuilderMatrix,
+    ::testing::Values(Case{CubeBasis::kSum, 0, 0}, Case{CubeBasis::kSum, 3, 0},
+                      Case{CubeBasis::kSum, 2, 4}, Case{CubeBasis::kSum, 3, 8},
+                      Case{CubeBasis::kCount, 1, 0},
+                      Case{CubeBasis::kCount, 3, 4},
+                      Case{CubeBasis::kMin, 2, 0}, Case{CubeBasis::kMin, 3, 4},
+                      Case{CubeBasis::kMax, 0, 4},
+                      Case{CubeBasis::kMax, 3, 0}),
+    [](const auto& suite_info) {
+      return std::string(to_string(suite_info.param.basis)) + "_l" +
+             std::to_string(suite_info.param.level) + "_t" +
+             std::to_string(suite_info.param.threads);
+    });
+
+TEST(Builder, CountCubeTotalsRowCount) {
+  const FactTable table = make_table(800);
+  const DenseCube cube = build_cube(table, 2, CubeBasis::kCount, -1, 4);
+  double total = 0.0;
+  for (const double c : cube.cells()) total += c;
+  EXPECT_DOUBLE_EQ(total, 800.0);
+}
+
+TEST(Builder, SumCubeTotalsColumnSum) {
+  const FactTable table = make_table(600);
+  const int m = table.schema().measure_columns()[1];
+  const DenseCube cube = build_cube(table, 1, CubeBasis::kSum, m, 0);
+  double cube_total = 0.0;
+  for (const double c : cube.cells()) cube_total += c;
+  double col_total = 0.0;
+  for (const double v : table.measure_column(m)) col_total += v;
+  EXPECT_NEAR(cube_total, col_total, 1e-6);
+}
+
+TEST(Builder, EmptyTableGivesIdentityCube) {
+  const FactTable table = make_table(0);
+  const DenseCube cube = build_cube(table, 1, CubeBasis::kSum, 12, 4);
+  for (const double c : cube.cells()) EXPECT_EQ(c, 0.0);
+}
+
+TEST(Builder, SequentialAndParallelBuildsAgree) {
+  const FactTable table = make_table(2000, 9);
+  const int m = table.schema().measure_columns()[0];
+  const DenseCube seq = build_cube(table, 3, CubeBasis::kSum, m, 0);
+  for (int threads : {1, 2, 4, 8}) {
+    const DenseCube par = build_cube(table, 3, CubeBasis::kSum, m, threads);
+    expect_cubes_equal(par, seq);
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,153 @@
+#include "cube/chunked_cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "cube/builder.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+std::vector<Dimension> dims() { return tiny_model_dimensions(); }
+
+// A mostly-empty cube: few rows scattered over the finest level.
+DenseCube sparse_cube(std::size_t rows, CubeBasis basis = CubeBasis::kSum) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = 77;
+  const FactTable table = generate_fact_table(dims(), config);
+  return build_cube(table, 3, basis,
+                    basis == CubeBasis::kCount ? -1 : 12, 0);
+}
+
+CubeRegion random_region(SplitMix64& rng, const DenseCube& cube) {
+  CubeRegion region;
+  for (int d = 0; d < cube.dim_count(); ++d) {
+    const auto card = static_cast<std::int32_t>(cube.cardinality(d));
+    std::vector<Interval> ivs;
+    const int n = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < n; ++i) {
+      const auto lo = static_cast<std::int32_t>(rng.uniform_int(0, card - 1));
+      const auto hi = static_cast<std::int32_t>(rng.uniform_int(lo, card - 1));
+      ivs.push_back({lo, hi});
+    }
+    region.dims.push_back(normalize_intervals(std::move(ivs)));
+  }
+  return region;
+}
+
+class ChunkSides : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkSides, RoundTripPreservesEveryCell) {
+  const DenseCube dense = sparse_cube(200);
+  const ChunkedCube chunked = ChunkedCube::from_dense(dense, GetParam());
+  const DenseCube back = chunked.to_dense(dims());
+  ASSERT_EQ(back.cell_count(), dense.cell_count());
+  for (std::size_t i = 0; i < dense.cell_count(); ++i) {
+    EXPECT_EQ(back.cell(i), dense.cell(i)) << "cell " << i;
+  }
+}
+
+TEST_P(ChunkSides, AggregationMatchesDense) {
+  const DenseCube dense = sparse_cube(400);
+  const ChunkedCube chunked = ChunkedCube::from_dense(dense, GetParam());
+  SplitMix64 rng(31 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const CubeRegion region = random_region(rng, dense);
+    const AggregateResult expected = aggregate_region(dense, region, 0);
+    const AggregateResult got = chunked.aggregate(region);
+    EXPECT_NEAR(got.value, expected.value, 1e-9)
+        << "side=" << GetParam() << " trial=" << trial;
+    EXPECT_EQ(got.cells_scanned, expected.cells_scanned);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, ChunkSides, ::testing::Values(1, 3, 4, 16),
+                         [](const auto& suite_info) {
+                           return "side" + std::to_string(suite_info.param);
+                         });
+
+TEST(ChunkedCube, SparseDataCompressesHard) {
+  // 200 rows scattered over 4096 cells: nearly every chunk is sparse.
+  const DenseCube dense = sparse_cube(200);
+  const ChunkedCube chunked = ChunkedCube::from_dense(dense, 4);
+  EXPECT_LT(chunked.stored_value_count(), dense.cell_count() / 4);
+  EXPECT_LT(chunked.size_bytes(), dense.size_bytes());
+  EXPECT_GT(chunked.sparse_chunk_count(), 0u);
+  EXPECT_EQ(chunked.cell_count(), dense.cell_count());
+}
+
+TEST(ChunkedCube, DenseDataStaysDense) {
+  // Saturate the cube so fills exceed the 40% threshold everywhere.
+  const DenseCube dense = sparse_cube(100'000);
+  const ChunkedCube chunked = ChunkedCube::from_dense(dense, 4);
+  EXPECT_EQ(chunked.sparse_chunk_count(), 0u);
+  EXPECT_EQ(chunked.stored_value_count(), dense.cell_count());
+}
+
+TEST(ChunkedCube, ThresholdControlsCompression) {
+  const DenseCube dense = sparse_cube(2000);
+  const ChunkedCube never = ChunkedCube::from_dense(dense, 4, 0.0);
+  const ChunkedCube always = ChunkedCube::from_dense(dense, 4, 1.0);
+  EXPECT_EQ(never.sparse_chunk_count(), 0u);
+  // With threshold 1.0 every non-full chunk compresses.
+  EXPECT_GT(always.sparse_chunk_count(), 0u);
+  EXPECT_LE(always.stored_value_count(), never.stored_value_count());
+}
+
+TEST(ChunkedCube, CellAccessMatchesDense) {
+  const DenseCube dense = sparse_cube(600);
+  const ChunkedCube chunked = ChunkedCube::from_dense(dense, 5);
+  SplitMix64 rng(9);
+  std::vector<std::int32_t> coords(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (int d = 0; d < 3; ++d) {
+      coords[static_cast<std::size_t>(d)] = static_cast<std::int32_t>(
+          rng.uniform(dense.cardinality(d)));
+    }
+    EXPECT_EQ(chunked.cell(coords), dense.cell(dense.linear_index(coords)));
+  }
+}
+
+TEST(ChunkedCube, MinMaxBasisHandlesInfIdentity) {
+  const DenseCube dense = sparse_cube(150, CubeBasis::kMin);
+  const ChunkedCube chunked = ChunkedCube::from_dense(dense, 4);
+  // Empty cells (inf) must not be stored.
+  EXPECT_LT(chunked.stored_value_count(), dense.cell_count());
+  CubeRegion full;
+  for (int d = 0; d < 3; ++d) {
+    full.dims.push_back(
+        {{0, static_cast<std::int32_t>(dense.cardinality(d)) - 1}});
+  }
+  EXPECT_EQ(chunked.aggregate(full).value,
+            aggregate_region(dense, full, 0).value);
+}
+
+TEST(ChunkedCube, EmptyRegionAndValidation) {
+  const DenseCube dense = sparse_cube(50);
+  const ChunkedCube chunked = ChunkedCube::from_dense(dense, 4);
+  CubeRegion empty;
+  empty.dims = {{}, {{0, 1}}, {{0, 1}}};
+  EXPECT_EQ(chunked.aggregate(empty).value, 0.0);
+  CubeRegion bad;
+  bad.dims = {{{0, 99}}, {{0, 1}}, {{0, 1}}};
+  EXPECT_THROW(chunked.aggregate(bad), InvalidArgument);
+  EXPECT_THROW(ChunkedCube::from_dense(dense, 0), InvalidArgument);
+}
+
+TEST(ChunkedCube, NonDividingChunkSide) {
+  // Cardinality 16 with chunk side 5 leaves ragged edge chunks.
+  const DenseCube dense = sparse_cube(300);
+  const ChunkedCube chunked = ChunkedCube::from_dense(dense, 5);
+  EXPECT_EQ(chunked.chunk_count(), 4u * 4u * 4u);  // ceil(16/5) = 4 per dim
+  const DenseCube back = chunked.to_dense(dims());
+  for (std::size_t i = 0; i < dense.cell_count(); ++i) {
+    ASSERT_EQ(back.cell(i), dense.cell(i)) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,263 @@
+#include "cube/cube_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/workload.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+FactTable make_table(std::size_t rows = 1000) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = 17;
+  return generate_fact_table(tiny_model_dimensions(), config);
+}
+
+CubeSet full_ladder(const FactTable& table, bool minmax = false) {
+  CubeSet cubes(table.schema().dimensions());
+  cubes.add_level_from_table(table, 3, 4, minmax);
+  for (int level : {2, 1, 0}) cubes.add_level_by_rollup(level, 4);
+  return cubes;
+}
+
+Query range_query(int dim, int level, std::int32_t from, std::int32_t to,
+                  AggOp op = AggOp::kSum, std::vector<int> measures = {12}) {
+  Query q;
+  q.conditions.push_back({dim, level, from, to, {}, {}});
+  q.measures = std::move(measures);
+  q.op = op;
+  return q;
+}
+
+// Fact-table scan oracle for sum over one measure.
+double oracle_sum(const FactTable& t, const Query& q) {
+  double sum = 0.0;
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    bool match = true;
+    for (const auto& c : q.conditions) {
+      const auto v = t.dim_level_column(c.dim, c.level)[r];
+      match = match && v >= c.from && v <= c.to;
+    }
+    if (!match) continue;
+    for (int m : q.measures) sum += t.measure_column(m)[r];
+  }
+  return sum;
+}
+
+TEST(CubeSet, LevelsTrackAdditions) {
+  const FactTable table = make_table();
+  const CubeSet cubes = full_ladder(table);
+  EXPECT_EQ(cubes.levels(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(cubes.has_level(2));
+  EXPECT_FALSE(cubes.has_level(4));
+}
+
+TEST(CubeSet, LowestLevelSelection) {
+  // §III-C: answer on the lowest-resolution cube that suffices.
+  const FactTable table = make_table();
+  const CubeSet cubes = full_ladder(table);
+  EXPECT_EQ(cubes.lowest_level_for(range_query(0, 0, 0, 1)), 0);
+  EXPECT_EQ(cubes.lowest_level_for(range_query(0, 2, 0, 3)), 2);
+  EXPECT_EQ(cubes.lowest_level_for(range_query(0, 3, 0, 3)), 3);
+}
+
+TEST(CubeSet, PartialLadderFallsUpward) {
+  const FactTable table = make_table();
+  CubeSet cubes(table.schema().dimensions());
+  cubes.add_level_from_table(table, 2, 0);
+  // Level-0 query must use the level-2 cube (no coarser one exists).
+  EXPECT_EQ(cubes.lowest_level_for(range_query(0, 0, 0, 1)), 2);
+  // Level-3 query cannot be answered at all.
+  EXPECT_EQ(cubes.lowest_level_for(range_query(0, 3, 0, 1)), std::nullopt);
+  EXPECT_FALSE(cubes.can_answer(range_query(0, 3, 0, 1)));
+}
+
+TEST(CubeSet, SumMatchesFactTableOracle) {
+  const FactTable table = make_table(1500);
+  const CubeSet cubes = full_ladder(table);
+  WorkloadConfig wl;
+  wl.text_probability = 0.0;
+  wl.seed = 23;
+  QueryGenerator gen(table.schema().dimensions(), table.schema(), wl);
+  for (int i = 0; i < 40; ++i) {
+    Query q = gen.next();
+    q.op = AggOp::kSum;
+    if (q.measures.empty()) q.measures = {12};
+    const QueryAnswer a = cubes.answer(q, 4);
+    EXPECT_NEAR(a.value, oracle_sum(table, q), 1e-6) << "query " << i;
+  }
+}
+
+TEST(CubeSet, AnswerOnCoarseAndFineCubesAgree) {
+  // The same coarse query answered on any sufficient level must agree —
+  // the consistency property of the Figure-1 ladder.
+  const FactTable table = make_table();
+  const CubeSet full = full_ladder(table);
+  CubeSet only_fine(table.schema().dimensions());
+  only_fine.add_level_from_table(table, 3, 0);
+  const Query q = range_query(1, 1, 1, 2);
+  EXPECT_NEAR(full.answer(q, 0).value, only_fine.answer(q, 0).value, 1e-9);
+  EXPECT_EQ(full.answer(q, 0).row_count, only_fine.answer(q, 0).row_count);
+}
+
+TEST(CubeSet, CountAvgMinMax) {
+  const FactTable table = make_table(400);
+  const CubeSet cubes = full_ladder(table, /*minmax=*/true);
+  const Query count_q = range_query(0, 1, 0, 3, AggOp::kCount, {});
+  const QueryAnswer count = cubes.answer(count_q, 0);
+  EXPECT_DOUBLE_EQ(count.value, 400.0);  // full extent matches all rows
+
+  Query avg_q = range_query(2, 1, 0, 1, AggOp::kAvg);
+  const QueryAnswer avg = cubes.answer(avg_q, 0);
+  Query sum_q = avg_q;
+  sum_q.op = AggOp::kSum;
+  const QueryAnswer sum = cubes.answer(sum_q, 0);
+  EXPECT_NEAR(avg.value, sum.value / sum.row_count, 1e-9);
+
+  // Min/max against a direct row scan.
+  Query min_q = range_query(0, 2, 2, 5, AggOp::kMin);
+  Query max_q = min_q;
+  max_q.op = AggOp::kMax;
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    const auto v = table.dim_level_column(0, 2)[r];
+    if (v < 2 || v > 5) continue;
+    lo = std::min(lo, table.measure_column(12)[r]);
+    hi = std::max(hi, table.measure_column(12)[r]);
+  }
+  EXPECT_DOUBLE_EQ(cubes.answer(min_q, 0).value, lo);
+  EXPECT_DOUBLE_EQ(cubes.answer(max_q, 0).value, hi);
+}
+
+TEST(CubeSet, MinMaxUnavailableWithoutBasisCubes) {
+  const FactTable table = make_table(100);
+  const CubeSet cubes = full_ladder(table, /*minmax=*/false);
+  const Query q = range_query(0, 1, 0, 1, AggOp::kMin);
+  EXPECT_FALSE(cubes.can_answer(q));
+  EXPECT_THROW(cubes.answer(q, 0), InvalidArgument);
+}
+
+TEST(CubeSet, EmptyRegionAnswer) {
+  const FactTable table = make_table(100);
+  CubeSet cubes(table.schema().dimensions());
+  cubes.add_level_from_table(table, 1, 0);
+  Query q = range_query(0, 1, 0, 0);
+  // Force a contradiction: two disjoint ranges on the same dimension.
+  q.conditions.push_back({0, 1, 3, 3, {}, {}});
+  const QueryAnswer a = cubes.answer(q, 0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.value, 0.0);
+}
+
+TEST(CubeSet, AnswerBytesCountsBases) {
+  const FactTable table = make_table(100);
+  const CubeSet cubes = full_ladder(table);
+  const Query sum_q = range_query(0, 0, 0, 0);
+  // Sum query touches the count cube + one sum cube at level 0: the
+  // sub-cube is 1x2x2 cells of 8 bytes in each.
+  EXPECT_EQ(cubes.answer_bytes(sum_q), 2u * (1u * 2u * 2u * 8u));
+  Query count_q = range_query(0, 0, 0, 0, AggOp::kCount, {});
+  EXPECT_EQ(cubes.answer_bytes(count_q), 1u * 2u * 2u * 8u);
+}
+
+TEST(CubeSet, TotalBytesSumsAllCubes) {
+  const FactTable table = make_table(100);
+  CubeSet cubes(table.schema().dimensions());
+  cubes.add_level_from_table(table, 1, 0);  // count + 4 sum cubes of 64 cells
+  EXPECT_EQ(cubes.total_bytes(), 5u * 64u * 8u);
+}
+
+TEST(CubeSet, DuplicateCubeRejected) {
+  const FactTable table = make_table(50);
+  CubeSet cubes(table.schema().dimensions());
+  cubes.add_level_from_table(table, 1, 0);
+  EXPECT_THROW(cubes.add_cube(build_cube(table, 1, CubeBasis::kCount, -1, 0)),
+               InvalidArgument);
+}
+
+TEST(CubeSet, RollupWithoutParentRejected) {
+  const FactTable table = make_table(50);
+  CubeSet cubes(table.schema().dimensions());
+  EXPECT_THROW(cubes.add_level_by_rollup(0, 0), InvalidArgument);
+}
+
+TEST(CubeSet, TranslatedTextQueryAnswered) {
+  GeneratorConfig config;
+  config.rows = 500;
+  config.seed = 41;
+  config.text_levels = {{1, 3}};
+  const FactTable table =
+      generate_fact_table(tiny_model_dimensions(), config);
+  CubeSet cubes(table.schema().dimensions());
+  cubes.add_level_from_table(table, 3, 0);
+
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"member 2", "member 9"};
+  c.codes = {2, 9};  // as the Translator would fill
+  q.conditions.push_back(c);
+  q.measures = {12};
+  const QueryAnswer a = cubes.answer(q, 0);
+
+  double expected = 0.0;
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    const auto v = table.dim_level_column(1, 3)[r];
+    if (v == 2 || v == 9) expected += table.measure_column(12)[r];
+  }
+  EXPECT_NEAR(a.value, expected, 1e-9);
+}
+
+TEST(CubeSet, CompressedLevelsAnswerIdentically) {
+  // compress_level swaps storage, never answers: every operator and a
+  // random workload must agree bit-for-bit with the dense ladder.
+  const FactTable table = make_table(600);
+  CubeSet dense = full_ladder(table, /*minmax=*/true);
+  CubeSet compressed = full_ladder(table, /*minmax=*/true);
+  for (int level : {2, 3}) compressed.compress_level(level, 4);
+  EXPECT_TRUE(compressed.level_compressed(3));
+  EXPECT_FALSE(compressed.level_compressed(0));
+  EXPECT_LT(compressed.total_bytes(), dense.total_bytes());
+
+  WorkloadConfig wl;
+  wl.text_probability = 0.0;
+  wl.seed = 77;
+  QueryGenerator gen(table.schema().dimensions(), table.schema(), wl);
+  for (int i = 0; i < 30; ++i) {
+    Query q = gen.next();
+    const QueryAnswer a = dense.answer(q, 0);
+    const QueryAnswer b = compressed.answer(q, 2);
+    // Chunk-order summation associates differently; equality is to FP
+    // accumulation tolerance, not bitwise.
+    EXPECT_NEAR(a.value, b.value, 1e-7 * (1.0 + std::abs(a.value)))
+        << "query " << i;
+    EXPECT_EQ(a.row_count, b.row_count);
+  }
+}
+
+TEST(CubeSet, RollupFromCompressedParent) {
+  const FactTable table = make_table(400);
+  CubeSet cubes(table.schema().dimensions());
+  cubes.add_level_from_table(table, 3, 0);
+  cubes.compress_level(3, 4);
+  cubes.add_level_by_rollup(1, 0);  // must decompress transparently
+  Query q = range_query(0, 1, 0, 2);
+  CubeSet reference(table.schema().dimensions());
+  reference.add_level_from_table(table, 1, 0);
+  EXPECT_NEAR(cubes.answer(q, 0).value, reference.answer(q, 0).value, 1e-6);
+}
+
+TEST(CubeSet, CompressMissingLevelThrows) {
+  const FactTable table = make_table(50);
+  CubeSet cubes(table.schema().dimensions());
+  cubes.add_level_from_table(table, 1, 0);
+  EXPECT_THROW(cubes.compress_level(3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

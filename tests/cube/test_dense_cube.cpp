@@ -1,0 +1,91 @@
+#include "cube/dense_cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace holap {
+namespace {
+
+std::vector<Dimension> dims() { return tiny_model_dimensions(); }
+
+TEST(DenseCube, AllocatesFullExtent) {
+  const DenseCube cube(dims(), 1, CubeBasis::kSum, 0);
+  EXPECT_EQ(cube.cell_count(), 4u * 4u * 4u);
+  EXPECT_EQ(cube.size_bytes(), 64u * 8u);
+  EXPECT_EQ(cube.dim_count(), 3);
+  EXPECT_EQ(cube.cardinality(0), 4u);
+}
+
+TEST(DenseCube, LastDimensionContiguous) {
+  const DenseCube cube(dims(), 1, CubeBasis::kSum, 0);
+  EXPECT_EQ(cube.stride(2), 1u);
+  EXPECT_EQ(cube.stride(1), 4u);
+  EXPECT_EQ(cube.stride(0), 16u);
+}
+
+TEST(DenseCube, LinearIndexMatchesStrides) {
+  const DenseCube cube(dims(), 1, CubeBasis::kSum, 0);
+  const std::vector<std::int32_t> coords{2, 1, 3};
+  EXPECT_EQ(cube.linear_index(coords), 2u * 16u + 1u * 4u + 3u);
+}
+
+TEST(DenseCube, LinearIndexValidatesBounds) {
+  const DenseCube cube(dims(), 1, CubeBasis::kSum, 0);
+  const std::vector<std::int32_t> bad{4, 0, 0};
+  EXPECT_THROW(cube.linear_index(bad), InvalidArgument);
+  const std::vector<std::int32_t> wrong_arity{0, 0};
+  EXPECT_THROW(cube.linear_index(wrong_arity), InvalidArgument);
+}
+
+TEST(DenseCube, IdentityFillPerBasis) {
+  const DenseCube sum(dims(), 0, CubeBasis::kSum, 0);
+  EXPECT_EQ(sum.cell(0), 0.0);
+  const DenseCube cnt(dims(), 0, CubeBasis::kCount, -1);
+  EXPECT_EQ(cnt.cell(0), 0.0);
+  const DenseCube mn(dims(), 0, CubeBasis::kMin, 0);
+  EXPECT_TRUE(std::isinf(mn.cell(0)));
+  EXPECT_GT(mn.cell(0), 0.0);
+  const DenseCube mx(dims(), 0, CubeBasis::kMax, 0);
+  EXPECT_TRUE(std::isinf(mx.cell(0)));
+  EXPECT_LT(mx.cell(0), 0.0);
+}
+
+TEST(DenseCube, BasisMeasureInvariants) {
+  EXPECT_THROW(DenseCube(dims(), 0, CubeBasis::kCount, 0), InvalidArgument);
+  EXPECT_THROW(DenseCube(dims(), 0, CubeBasis::kSum, -1), InvalidArgument);
+  EXPECT_THROW(DenseCube(dims(), 9, CubeBasis::kSum, 0), InvalidArgument);
+}
+
+TEST(BasisAlgebra, CombineSemantics) {
+  EXPECT_EQ(basis_combine(CubeBasis::kSum, 2.0, 3.0), 5.0);
+  EXPECT_EQ(basis_combine(CubeBasis::kCount, 2.0, 3.0), 5.0);
+  EXPECT_EQ(basis_combine(CubeBasis::kMin, 2.0, 3.0), 2.0);
+  EXPECT_EQ(basis_combine(CubeBasis::kMax, 2.0, 3.0), 3.0);
+}
+
+TEST(BasisAlgebra, IdentityIsNeutral) {
+  for (const CubeBasis b : {CubeBasis::kSum, CubeBasis::kCount,
+                            CubeBasis::kMin, CubeBasis::kMax}) {
+    EXPECT_EQ(basis_combine(b, basis_identity(b), 7.0), 7.0);
+    EXPECT_EQ(basis_combine(b, 7.0, basis_identity(b)), 7.0);
+  }
+}
+
+TEST(CubeBytes, MatchesPaperLadder) {
+  const auto paper = paper_model_dimensions();
+  EXPECT_EQ(cube_bytes(paper, 0), 4u * 1024u);
+  EXPECT_EQ(cube_bytes(paper, 1), 500u * 1024u);
+  EXPECT_EQ(cube_bytes(paper, 2), 512'000'000u);
+  EXPECT_EQ(cube_bytes(paper, 3), 32'768'000'000u);
+}
+
+TEST(CubeBasisNames, Distinct) {
+  EXPECT_STREQ(to_string(CubeBasis::kSum), "sum");
+  EXPECT_STREQ(to_string(CubeBasis::kCount), "count");
+  EXPECT_STREQ(to_string(CubeBasis::kMin), "min");
+  EXPECT_STREQ(to_string(CubeBasis::kMax), "max");
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,136 @@
+#include "cube/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace holap {
+namespace {
+
+std::vector<Dimension> dims() { return tiny_model_dimensions(); }
+
+TEST(ViewId, DerivabilityRules) {
+  // time.month x geo.(all) x product.day-ish shapes.
+  const ViewId fine{{3, 3, 3}};
+  const ViewId mid{{1, 3, 2}};
+  const ViewId collapsed{{1, ViewId::kCollapsed, 2}};
+  EXPECT_TRUE(mid.derivable_from(fine));
+  EXPECT_TRUE(collapsed.derivable_from(fine));
+  EXPECT_TRUE(collapsed.derivable_from(mid));
+  EXPECT_FALSE(fine.derivable_from(mid));
+  // A collapsed dimension in the parent cannot be resurrected.
+  EXPECT_FALSE(mid.derivable_from(collapsed));
+  // Every view derives from itself (useful degenerate case).
+  EXPECT_TRUE(mid.derivable_from(mid));
+}
+
+TEST(ViewId, CellsMultiplyNonCollapsedCardinalities) {
+  // tiny dims: cardinalities 2/4/8/16 per level.
+  EXPECT_EQ((ViewId{{3, 3, 3}}.cells(dims())), 16u * 16u * 16u);
+  EXPECT_EQ((ViewId{{0, ViewId::kCollapsed, 2}}.cells(dims())), 2u * 8u);
+  EXPECT_EQ(apex_view(dims()).cells(dims()), 1u);
+}
+
+TEST(ViewId, Rendering) {
+  const std::string s = ViewId{{1, ViewId::kCollapsed, 3}}.to_string(dims());
+  EXPECT_NE(s.find("time.month"), std::string::npos);
+  EXPECT_NE(s.find("geography.(all)"), std::string::npos);
+  EXPECT_NE(s.find("product.item"), std::string::npos);
+}
+
+TEST(Lattice, EnumerationCountsAndUniqueness) {
+  const auto views = enumerate_lattice(dims());
+  // (4 levels + collapsed)^3 = 125 views.
+  EXPECT_EQ(views.size(), 125u);
+  std::set<std::vector<int>> distinct;
+  for (const auto& v : views) distinct.insert(v.levels);
+  EXPECT_EQ(distinct.size(), 125u);
+  // Sorted coarse-to-fine: first is the apex, last the base cuboid.
+  EXPECT_EQ(views.front(), apex_view(dims()));
+  EXPECT_EQ(views.back(), base_view(dims()));
+}
+
+TEST(Lattice, EverythingDerivesFromBase) {
+  const ViewId base = base_view(dims());
+  for (const auto& view : enumerate_lattice(dims())) {
+    EXPECT_TRUE(view.derivable_from(base));
+  }
+}
+
+TEST(ValidateView, RejectsBadShapes) {
+  EXPECT_THROW(validate_view(ViewId{{0, 0}}, dims()), InvalidArgument);
+  EXPECT_THROW(validate_view(ViewId{{0, 0, 4}}, dims()), InvalidArgument);
+  EXPECT_THROW(validate_view(ViewId{{0, 0, -2}}, dims()), InvalidArgument);
+}
+
+TEST(SmallestParent, PlanIsTopologicalAndDerivable) {
+  const auto views = enumerate_lattice(dims());
+  const MaterializationPlan plan =
+      plan_smallest_parent(dims(), views, 100'000);
+  ASSERT_EQ(plan.steps.size(), views.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    const auto& step = plan.steps[i];
+    if (!step.parent.has_value()) continue;
+    EXPECT_LT(*step.parent, i);  // parents precede children
+    EXPECT_TRUE(step.view.derivable_from(plan.steps[*step.parent].view));
+    EXPECT_EQ(step.scan_cost, plan.steps[*step.parent].view.cells(dims()));
+  }
+}
+
+TEST(SmallestParent, ParentIsTheSmallestPossible) {
+  const auto views = enumerate_lattice(dims());
+  const MaterializationPlan plan =
+      plan_smallest_parent(dims(), views, 1'000'000'000);
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    const auto& step = plan.steps[i];
+    if (!step.parent.has_value()) continue;
+    // No earlier step that subsumes this view may be smaller.
+    for (std::size_t p = 0; p < plan.steps.size(); ++p) {
+      if (p == i || !step.view.derivable_from(plan.steps[p].view)) continue;
+      if (plan.steps[p].view == step.view) continue;
+      EXPECT_GE(plan.steps[p].view.cells(dims()), step.scan_cost)
+          << "step " << i << " missed a smaller parent " << p;
+    }
+  }
+}
+
+TEST(SmallestParent, OnlyBaseScansTheFactTable) {
+  const auto views = enumerate_lattice(dims());
+  const MaterializationPlan plan =
+      plan_smallest_parent(dims(), views, 1'000'000);
+  int fact_scans = 0;
+  for (const auto& step : plan.steps) fact_scans += !step.parent.has_value();
+  EXPECT_EQ(fact_scans, 1);  // the base cuboid only
+  EXPECT_FALSE(plan.steps.front().parent.has_value());
+  EXPECT_EQ(plan.steps.front().view, base_view(dims()));
+}
+
+TEST(SmallestParent, FactTablePreferredWhenSmaller) {
+  // A minuscule fact table beats any materialized parent.
+  const std::vector<ViewId> views{base_view(dims()),
+                                  ViewId{{2, 2, 2}}};
+  const MaterializationPlan plan = plan_smallest_parent(dims(), views, 10);
+  for (const auto& step : plan.steps) {
+    EXPECT_FALSE(step.parent.has_value());
+    EXPECT_EQ(step.scan_cost, 10u);
+  }
+}
+
+TEST(SmallestParent, BeatsNaiveOnTheFullLattice) {
+  const auto views = enumerate_lattice(dims());
+  const std::size_t rows = 1'000'000;
+  const MaterializationPlan smart =
+      plan_smallest_parent(dims(), views, rows);
+  const MaterializationPlan naive = plan_naive(dims(), views, rows);
+  EXPECT_LT(smart.total_cost, naive.total_cost / 20);
+}
+
+TEST(SmallestParent, RejectsDuplicatesAndBadViews) {
+  std::vector<ViewId> dup{base_view(dims()), base_view(dims())};
+  EXPECT_THROW(plan_smallest_parent(dims(), dup, 10), InvalidArgument);
+  std::vector<ViewId> bad{ViewId{{9, 0, 0}}};
+  EXPECT_THROW(plan_smallest_parent(dims(), bad, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

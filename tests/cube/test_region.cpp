@@ -1,0 +1,152 @@
+#include "cube/region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+std::vector<Dimension> dims() { return tiny_model_dimensions(); }
+
+TEST(Intervals, NormalizeMergesOverlapsAndAdjacency) {
+  const auto out =
+      normalize_intervals({{5, 7}, {0, 2}, {3, 4}, {6, 9}});
+  // {0,2}+{3,4} adjacent -> {0,4}; {5,7}+{6,9} overlap -> {5,9};
+  // {0,4}+{5,9} adjacent -> {0,9}.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Interval{0, 9}));
+}
+
+TEST(Intervals, NormalizeKeepsDisjoint) {
+  const auto out = normalize_intervals({{8, 9}, {0, 1}, {4, 5}});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Interval{0, 1}));
+  EXPECT_EQ(out[2], (Interval{8, 9}));
+}
+
+TEST(Intervals, NormalizeRejectsInverted) {
+  EXPECT_THROW(normalize_intervals({{3, 1}}), InvalidArgument);
+}
+
+TEST(Intervals, IntersectBasics) {
+  const auto out = intersect_intervals({{0, 5}, {8, 12}}, {{4, 9}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Interval{4, 5}));
+  EXPECT_EQ(out[1], (Interval{8, 9}));
+}
+
+TEST(Intervals, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(intersect_intervals({{0, 2}}, {{5, 9}}).empty());
+}
+
+TEST(CubeRegion, CellCountMultipliesWidths) {
+  CubeRegion region;
+  region.dims = {{{0, 1}}, {{0, 3}}, {{0, 0}, {2, 3}}};
+  EXPECT_EQ(region.cell_count(), 2u * 4u * 3u);
+  EXPECT_FALSE(region.empty());
+}
+
+TEST(CubeRegion, EmptyWhenAnyDimensionEmpty) {
+  CubeRegion region;
+  region.dims = {{{0, 1}}, {}, {{0, 3}}};
+  EXPECT_TRUE(region.empty());
+  EXPECT_EQ(region.cell_count(), 0u);
+}
+
+TEST(RegionForQuery, UnconditionedDimensionsCoverFullExtent) {
+  Query q;
+  q.measures = {12};
+  const CubeRegion region = region_for_query(q, dims(), 1);
+  ASSERT_EQ(region.dims.size(), 3u);
+  for (const auto& d : region.dims) {
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0], (Interval{0, 3}));
+  }
+}
+
+TEST(RegionForQuery, SameLevelRangePassesThrough) {
+  Query q;
+  q.conditions.push_back({0, 1, 1, 2, {}, {}});
+  const CubeRegion region = region_for_query(q, dims(), 1);
+  EXPECT_EQ(region.dims[0], (std::vector<Interval>{{1, 2}}));
+}
+
+TEST(RegionForQuery, CoarserConditionWidensByFanout) {
+  Query q;
+  q.conditions.push_back({0, 0, 1, 1, {}, {}});  // member 1 of 2 at level 0
+  const CubeRegion region = region_for_query(q, dims(), 2);
+  // Level-2 cardinality 8, fanout 4: member 1 covers [4, 7].
+  EXPECT_EQ(region.dims[0], (std::vector<Interval>{{4, 7}}));
+}
+
+TEST(RegionForQuery, TranslatedTextConditionBecomesIntervals) {
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 2;
+  c.text_values = {"a", "b", "c"};
+  c.codes = {1, 6, -1};  // one string was absent
+  q.conditions.push_back(c);
+  const CubeRegion region = region_for_query(q, dims(), 3);
+  // Fanout level 2 -> 3 is 2: codes 1 and 6 map to [2,3] and [12,13].
+  EXPECT_EQ(region.dims[1],
+            (std::vector<Interval>{{2, 3}, {12, 13}}));
+}
+
+TEST(RegionForQuery, AdjacentTextCodesMerge) {
+  Query q;
+  Condition c;
+  c.dim = 0;
+  c.level = 3;
+  c.text_values = {"a", "b"};
+  c.codes = {4, 5};
+  q.conditions.push_back(c);
+  const CubeRegion region = region_for_query(q, dims(), 3);
+  EXPECT_EQ(region.dims[0], (std::vector<Interval>{{4, 5}}));
+}
+
+TEST(RegionForQuery, MultipleConditionsIntersectWithinDimension) {
+  Query q;
+  q.conditions.push_back({0, 2, 0, 5, {}, {}});
+  q.conditions.push_back({0, 2, 3, 7, {}, {}});
+  const CubeRegion region = region_for_query(q, dims(), 2);
+  EXPECT_EQ(region.dims[0], (std::vector<Interval>{{3, 5}}));
+}
+
+TEST(RegionForQuery, ContradictoryConditionsYieldEmptyRegion) {
+  Query q;
+  q.conditions.push_back({0, 2, 0, 1, {}, {}});
+  q.conditions.push_back({0, 2, 5, 7, {}, {}});
+  const CubeRegion region = region_for_query(q, dims(), 2);
+  EXPECT_TRUE(region.empty());
+}
+
+TEST(RegionForQuery, RejectsTooCoarseCube) {
+  Query q;
+  q.conditions.push_back({0, 3, 0, 1, {}, {}});
+  EXPECT_THROW(region_for_query(q, dims(), 2), InvalidArgument);
+}
+
+TEST(RegionForQuery, RejectsUntranslatedText) {
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"pending"};
+  q.conditions.push_back(c);
+  EXPECT_THROW(region_for_query(q, dims(), 3), InvalidArgument);
+}
+
+TEST(RegionForQuery, AllCodesAbsentYieldsEmpty) {
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"x"};
+  c.codes = {-1};
+  q.conditions.push_back(c);
+  const CubeRegion region = region_for_query(q, dims(), 3);
+  EXPECT_TRUE(region.empty());
+}
+
+}  // namespace
+}  // namespace holap

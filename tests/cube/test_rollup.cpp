@@ -1,0 +1,108 @@
+#include "cube/rollup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cube/builder.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+FactTable make_table(std::size_t rows) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = 31;
+  return generate_fact_table(tiny_model_dimensions(), config);
+}
+
+struct Case {
+  CubeBasis basis;
+  int threads;
+};
+
+class RollupMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RollupMatrix, RollupEqualsDirectBuildAtCoarseLevel) {
+  // The "smallest parent" correctness property: rolling the level-3 cube
+  // down to any coarser level must equal building that level from the
+  // fact table directly.
+  const auto [basis, threads] = GetParam();
+  const FactTable table = make_table(1200);
+  const auto& dims = table.schema().dimensions();
+  const int measure =
+      basis == CubeBasis::kCount ? -1 : table.schema().measure_columns()[0];
+  const DenseCube fine = build_cube(table, 3, basis, measure, 0);
+  for (int coarse = 0; coarse < 3; ++coarse) {
+    const DenseCube rolled = rollup(fine, dims, coarse, threads);
+    const DenseCube direct = build_cube(table, coarse, basis, measure, 0);
+    ASSERT_EQ(rolled.cell_count(), direct.cell_count());
+    for (std::size_t i = 0; i < rolled.cell_count(); ++i) {
+      if (std::isinf(direct.cell(i))) {
+        EXPECT_EQ(rolled.cell(i), direct.cell(i))
+            << "level " << coarse << " cell " << i;
+      } else {
+        EXPECT_NEAR(rolled.cell(i), direct.cell(i), 1e-9)
+            << "level " << coarse << " cell " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasesAndThreads, RollupMatrix,
+    ::testing::Values(Case{CubeBasis::kSum, 0}, Case{CubeBasis::kSum, 4},
+                      Case{CubeBasis::kCount, 0}, Case{CubeBasis::kCount, 8},
+                      Case{CubeBasis::kMin, 0}, Case{CubeBasis::kMin, 4},
+                      Case{CubeBasis::kMax, 0}, Case{CubeBasis::kMax, 4}),
+    [](const auto& suite_info) {
+      return std::string(to_string(suite_info.param.basis)) + "_t" +
+             std::to_string(suite_info.param.threads);
+    });
+
+TEST(Rollup, SameLevelIsCopy) {
+  const FactTable table = make_table(300);
+  const auto& dims = table.schema().dimensions();
+  const DenseCube fine = build_cube(table, 2, CubeBasis::kSum, 12, 0);
+  const DenseCube same = rollup(fine, dims, 2, 0);
+  ASSERT_EQ(same.cell_count(), fine.cell_count());
+  for (std::size_t i = 0; i < fine.cell_count(); ++i) {
+    EXPECT_EQ(same.cell(i), fine.cell(i));
+  }
+}
+
+TEST(Rollup, PreservesGrandTotalForSum) {
+  const FactTable table = make_table(900);
+  const auto& dims = table.schema().dimensions();
+  const DenseCube fine = build_cube(table, 3, CubeBasis::kSum, 12, 0);
+  const DenseCube coarse = rollup(fine, dims, 0, 4);
+  auto total = [](const DenseCube& c) {
+    double t = 0.0;
+    for (const double v : c.cells()) t += v;
+    return t;
+  };
+  EXPECT_NEAR(total(fine), total(coarse), 1e-6);
+}
+
+TEST(Rollup, RejectsFinerTarget) {
+  const FactTable table = make_table(10);
+  const auto& dims = table.schema().dimensions();
+  const DenseCube coarse = build_cube(table, 1, CubeBasis::kSum, 12, 0);
+  EXPECT_THROW(rollup(coarse, dims, 2, 0), InvalidArgument);
+}
+
+TEST(Rollup, ChainedRollupsEqualDirect) {
+  // 3 -> 2 -> 0 must equal 3 -> 0 (associativity through the hierarchy).
+  const FactTable table = make_table(700);
+  const auto& dims = table.schema().dimensions();
+  const DenseCube fine = build_cube(table, 3, CubeBasis::kMax, 13, 0);
+  const DenseCube two_step = rollup(rollup(fine, dims, 2, 0), dims, 0, 0);
+  const DenseCube one_step = rollup(fine, dims, 0, 0);
+  for (std::size_t i = 0; i < one_step.cell_count(); ++i) {
+    EXPECT_EQ(two_step.cell(i), one_step.cell(i));
+  }
+}
+
+}  // namespace
+}  // namespace holap

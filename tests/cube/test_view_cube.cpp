@@ -1,0 +1,150 @@
+#include "cube/view_cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cube/builder.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+FactTable make_table(std::size_t rows = 1000) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = 13;
+  config.zipf_skew = 0.6;
+  return generate_fact_table(tiny_model_dimensions(), config);
+}
+
+void expect_views_equal(const ViewCube& a, const ViewCube& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  for (std::size_t i = 0; i < a.cell_count(); ++i) {
+    if (std::isinf(b.cells()[i])) {
+      EXPECT_EQ(a.cells()[i], b.cells()[i]) << "cell " << i;
+    } else {
+      EXPECT_NEAR(a.cells()[i], b.cells()[i], 1e-9) << "cell " << i;
+    }
+  }
+}
+
+TEST(ViewCube, UniformViewMatchesDenseCube) {
+  // A uniform-level view must equal the DenseCube builder's output.
+  const FactTable table = make_table();
+  const ViewCube view =
+      build_view(table, ViewId{{2, 2, 2}}, CubeBasis::kSum, 12);
+  const DenseCube dense = build_cube(table, 2, CubeBasis::kSum, 12, 0);
+  ASSERT_EQ(view.cell_count(), dense.cell_count());
+  for (std::size_t i = 0; i < dense.cell_count(); ++i) {
+    EXPECT_NEAR(view.cells()[i], dense.cell(i), 1e-9);
+  }
+}
+
+TEST(ViewCube, CollapsedDimensionsAggregateOut) {
+  const FactTable table = make_table(500);
+  const ViewCube apex = build_view(table, apex_view(
+                                       table.schema().dimensions()),
+                                   CubeBasis::kSum, 12);
+  EXPECT_EQ(apex.cell_count(), 1u);
+  double expected = 0.0;
+  for (const double v : table.measure_column(12)) expected += v;
+  EXPECT_NEAR(apex.cells()[0], expected, 1e-9);
+}
+
+TEST(ViewCube, MixedLevelsGroupCorrectly) {
+  // geo collapsed, time at level 1, product at level 0: verify one cell
+  // against a direct row scan.
+  const FactTable table = make_table(800);
+  const ViewId id{{1, ViewId::kCollapsed, 0}};
+  const ViewCube view = build_view(table, id, CubeBasis::kSum, 13);
+  double expected = 0.0;
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    if (table.dim_level_column(0, 1)[r] == 2 &&
+        table.dim_level_column(2, 0)[r] == 1) {
+      expected += table.measure_column(13)[r];
+    }
+  }
+  const std::vector<std::int32_t> coords{2, 0, 1};
+  EXPECT_NEAR(view.cells()[view.linear_index(coords)], expected, 1e-9);
+}
+
+struct RollupCase {
+  ViewId parent;
+  ViewId child;
+};
+
+class ViewRollups : public ::testing::TestWithParam<RollupCase> {};
+
+TEST_P(ViewRollups, RollupEqualsDirectBuild) {
+  const FactTable table = make_table(1200);
+  const auto& dims = table.schema().dimensions();
+  for (const CubeBasis basis :
+       {CubeBasis::kSum, CubeBasis::kCount, CubeBasis::kMax}) {
+    const int measure = basis == CubeBasis::kCount ? -1 : 12;
+    const ViewCube parent =
+        build_view(table, GetParam().parent, basis, measure);
+    const ViewCube rolled = rollup_view(parent, dims, GetParam().child);
+    const ViewCube direct =
+        build_view(table, GetParam().child, basis, measure);
+    expect_views_equal(rolled, direct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ViewRollups,
+    ::testing::Values(
+        RollupCase{{{3, 3, 3}}, {{1, 2, 0}}},
+        RollupCase{{{3, 3, 3}}, {{ViewId::kCollapsed, 3, 3}}},
+        RollupCase{{{2, 3, 1}}, {{0, ViewId::kCollapsed, 1}}},
+        RollupCase{{{3, 3, 3}},
+                   {{ViewId::kCollapsed, ViewId::kCollapsed,
+                     ViewId::kCollapsed}}},
+        RollupCase{{{1, ViewId::kCollapsed, 2}},
+                   {{0, ViewId::kCollapsed, ViewId::kCollapsed}}}),
+    [](const auto& suite_info) {
+      std::string name = "case";
+      for (const int l : suite_info.param.child.levels) {
+        name += l == ViewId::kCollapsed ? "A" : std::to_string(l);
+      }
+      return name;
+    });
+
+TEST(ViewCube, RollupRejectsUnderivableChild) {
+  const FactTable table = make_table(50);
+  const auto& dims = table.schema().dimensions();
+  const ViewCube parent =
+      build_view(table, ViewId{{1, 1, 1}}, CubeBasis::kSum, 12);
+  // Finer than the parent: not derivable.
+  EXPECT_THROW(rollup_view(parent, dims, ViewId{{2, 1, 1}}),
+               InvalidArgument);
+  // Collapsing a dimension, by contrast, is always derivable.
+  EXPECT_NO_THROW(rollup_view(parent, dims,
+                              ViewId{{1, 1, ViewId::kCollapsed}}));
+}
+
+TEST(ExecutePlan, FullLatticeMatchesDirectBuilds) {
+  const FactTable table = make_table(600);
+  const auto& dims = table.schema().dimensions();
+  const auto views = enumerate_lattice(dims);
+  const MaterializationPlan plan =
+      plan_smallest_parent(dims, views, table.row_count());
+  const auto cubes = execute_plan(table, plan, CubeBasis::kSum, 12);
+  ASSERT_EQ(cubes.size(), plan.steps.size());
+  // Every cube preserves the grand total (sum basis invariant) ...
+  double grand = 0.0;
+  for (const double v : table.measure_column(12)) grand += v;
+  for (const auto& cube : cubes) {
+    EXPECT_NEAR(cube.combined_total(), grand, 1e-6);
+  }
+  // ... and a sample of views matches a direct fact-table build.
+  for (const std::size_t i : {std::size_t{0}, cubes.size() / 2,
+                              cubes.size() - 1}) {
+    const ViewCube direct =
+        build_view(table, plan.steps[i].view, CubeBasis::kSum, 12);
+    expect_views_equal(cubes[i], direct);
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,139 @@
+#include "dict/aho_corasick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "relational/names.hpp"
+
+namespace holap {
+namespace {
+
+std::vector<std::string_view> views(const std::vector<std::string>& ss) {
+  return {ss.begin(), ss.end()};
+}
+
+TEST(AhoCorasick, FindsAllOccurrences) {
+  const std::vector<std::string> patterns{"he", "she", "his", "hers"};
+  const AhoCorasick ac(views(patterns));
+  const auto hits = ac.match("ushers");
+  // "ushers": she@4, he@4, hers@6.
+  ASSERT_EQ(hits.size(), 3u);
+  std::set<std::pair<std::size_t, std::size_t>> got;
+  for (const auto& h : hits) got.insert({h.pattern, h.end});
+  EXPECT_TRUE(got.contains({1, 4}));  // she
+  EXPECT_TRUE(got.contains({0, 4}));  // he
+  EXPECT_TRUE(got.contains({3, 6}));  // hers
+}
+
+TEST(AhoCorasick, OverlappingAndNestedPatterns) {
+  const std::vector<std::string> patterns{"a", "aa", "aaa"};
+  const AhoCorasick ac(views(patterns));
+  const auto hits = ac.match("aaaa");
+  // a x4, aa x3, aaa x2 = 9 occurrences.
+  EXPECT_EQ(hits.size(), 9u);
+}
+
+TEST(AhoCorasick, NoMatches) {
+  const std::vector<std::string> patterns{"xyz"};
+  const AhoCorasick ac(views(patterns));
+  EXPECT_TRUE(ac.match("abcabcabc").empty());
+}
+
+TEST(AhoCorasick, MatchAgainstNaiveOracleOnRandomText) {
+  SplitMix64 rng(4242);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 12; ++i) {
+    std::string p;
+    const int len = static_cast<int>(rng.uniform_int(1, 4));
+    for (int j = 0; j < len; ++j) {
+      p += static_cast<char>('a' + rng.uniform(3));
+    }
+    patterns.push_back(std::move(p));
+  }
+  const AhoCorasick ac(views(patterns));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string text;
+    for (int j = 0; j < 60; ++j) {
+      text += static_cast<char>('a' + rng.uniform(3));
+    }
+    std::multiset<std::pair<std::size_t, std::size_t>> expected;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      for (std::size_t pos = 0;
+           (pos = text.find(patterns[p], pos)) != std::string::npos; ++pos) {
+        expected.insert({p, pos + patterns[p].size()});
+      }
+    }
+    std::multiset<std::pair<std::size_t, std::size_t>> got;
+    for (const auto& h : ac.match(text)) got.insert({h.pattern, h.end});
+    EXPECT_EQ(got, expected) << "trial " << trial << " text " << text;
+  }
+}
+
+TEST(AhoCorasick, MatchExactIdentifiesWholeStringOnly) {
+  const std::vector<std::string> patterns{"Marlo", "Marlowick",
+                                          "wick", "Denborough"};
+  const AhoCorasick ac(views(patterns));
+  const auto hits = ac.match_exact("Marlowick");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);  // only the full-length pattern
+  EXPECT_TRUE(ac.match_exact("Marlow").empty());
+  EXPECT_TRUE(ac.match_exact("").empty());
+  EXPECT_EQ(ac.match_exact("Denborough"),
+            (std::vector<std::size_t>{3}));
+}
+
+TEST(AhoCorasick, DuplicatePatternsBothReported) {
+  const std::vector<std::string> patterns{"same", "same"};
+  const AhoCorasick ac(views(patterns));
+  auto hits = ac.match_exact("same");
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(AhoCorasick, EmptyPatternRejected) {
+  const std::vector<std::string> patterns{""};
+  EXPECT_THROW(AhoCorasick(views(patterns)), InvalidArgument);
+}
+
+TEST(AhoCorasick, NoPatternsIsLegalAndMatchesNothing) {
+  const AhoCorasick ac({});
+  EXPECT_TRUE(ac.match("anything").empty());
+  EXPECT_TRUE(ac.match_exact("anything").empty());
+}
+
+TEST(AhoCorasick, ScanStreamsMatchesInOrder) {
+  const std::vector<std::string> patterns{"ab", "b"};
+  const AhoCorasick ac(views(patterns));
+  std::vector<std::size_t> ends;
+  ac.scan("abab", [&](std::size_t, std::size_t end) {
+    ends.push_back(end);
+  });
+  EXPECT_TRUE(std::is_sorted(ends.begin(), ends.end()));
+  EXPECT_EQ(ends.size(), 4u);  // ab@2, b@2, ab@4, b@4
+}
+
+TEST(AhoCorasick, SyntheticNameDictionarySweep) {
+  // Exactly the translation use case: patterns are query parameters,
+  // texts are dictionary entries.
+  std::vector<std::string> params;
+  for (std::uint64_t i : {3ull, 999ull, 5000ull}) {
+    params.push_back(synth_name(NameKind::kCity, i));
+  }
+  const AhoCorasick ac(views(params));
+  int found = 0;
+  for (std::uint64_t i = 0; i < 6000; ++i) {
+    const auto hits = ac.match_exact(synth_name(NameKind::kCity, i));
+    if (!hits.empty()) {
+      ++found;
+      EXPECT_EQ(params[hits[0]], synth_name(NameKind::kCity, i));
+    }
+  }
+  EXPECT_EQ(found, 3);
+}
+
+}  // namespace
+}  // namespace holap

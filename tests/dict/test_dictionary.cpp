@@ -1,0 +1,105 @@
+#include "dict/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "relational/names.hpp"
+
+namespace holap {
+namespace {
+
+TEST(Dictionary, EncodeAssignsDenseCodes) {
+  Dictionary d;
+  EXPECT_EQ(d.encode_or_add("alpha"), 0);
+  EXPECT_EQ(d.encode_or_add("beta"), 1);
+  EXPECT_EQ(d.encode_or_add("gamma"), 2);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(Dictionary, EncodeIsIdempotent) {
+  Dictionary d;
+  d.encode_or_add("alpha");
+  d.encode_or_add("beta");
+  EXPECT_EQ(d.encode_or_add("alpha"), 0);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Dictionary, DecodeRoundTrips) {
+  Dictionary d;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    d.encode_or_add(synth_name(NameKind::kCity, i));
+  }
+  for (std::int32_t code = 0; code < 500; ++code) {
+    EXPECT_EQ(d.decode(code),
+              synth_name(NameKind::kCity, static_cast<std::uint64_t>(code)));
+  }
+}
+
+TEST(Dictionary, DecodeRejectsOutOfRange) {
+  Dictionary d;
+  d.encode_or_add("only");
+  EXPECT_THROW(d.decode(-1), InvalidArgument);
+  EXPECT_THROW(d.decode(1), InvalidArgument);
+}
+
+class DictionarySearch : public ::testing::TestWithParam<DictSearch> {};
+
+TEST_P(DictionarySearch, FindsPresentStrings) {
+  Dictionary d;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    d.encode_or_add(synth_name(NameKind::kPerson, i));
+  }
+  for (std::uint64_t i = 0; i < 200; i += 13) {
+    const auto code = d.find(synth_name(NameKind::kPerson, i), GetParam());
+    ASSERT_TRUE(code.has_value());
+    EXPECT_EQ(*code, static_cast<std::int32_t>(i));
+  }
+}
+
+TEST_P(DictionarySearch, AbsentStringsReturnNullopt) {
+  Dictionary d;
+  d.encode_or_add("present");
+  EXPECT_EQ(d.find("absent", GetParam()), std::nullopt);
+}
+
+TEST_P(DictionarySearch, StrategiesAgree) {
+  Dictionary d;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    d.encode_or_add(synth_name(NameKind::kBrand, i));
+  }
+  for (std::uint64_t i = 0; i < 300; i += 7) {
+    const auto s = synth_name(NameKind::kBrand, i);
+    EXPECT_EQ(d.find(s, DictSearch::kLinearScan),
+              d.find(s, DictSearch::kHashed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, DictionarySearch,
+                         ::testing::Values(DictSearch::kLinearScan,
+                                           DictSearch::kHashed));
+
+TEST(Dictionary, ContainsUsesHashedPath) {
+  Dictionary d;
+  d.encode_or_add("x");
+  EXPECT_TRUE(d.contains("x"));
+  EXPECT_FALSE(d.contains("y"));
+}
+
+TEST(Dictionary, MemoryGrowsWithContent) {
+  Dictionary small, large;
+  small.encode_or_add("a");
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    large.encode_or_add(synth_name(NameKind::kCity, i));
+  }
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes());
+}
+
+TEST(Dictionary, EmptyDictionaryBehaviour) {
+  Dictionary d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.find("anything", DictSearch::kLinearScan), std::nullopt);
+  EXPECT_EQ(d.find("anything", DictSearch::kHashed), std::nullopt);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,90 @@
+#include "dict/dictionary_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+FactTable table_with_text() {
+  GeneratorConfig config;
+  config.rows = 400;
+  config.text_levels = {{1, 3}, {2, 2}};
+  return generate_fact_table(tiny_model_dimensions(), config);
+}
+
+TEST(DictionarySet, BuildsOneDictionaryPerTextColumn) {
+  const FactTable t = table_with_text();
+  const DictionarySet set = DictionarySet::build_from_table(t);
+  EXPECT_EQ(set.column_count(), 2u);
+  for (int col : t.schema().text_columns()) {
+    EXPECT_TRUE(set.has_column(col));
+  }
+}
+
+TEST(DictionarySet, DictionaryCodeEqualsMemberCode) {
+  // The core invariant of §III-F: a stored code decodes to the canonical
+  // member string, and encoding that string returns the same code.
+  const FactTable t = table_with_text();
+  const DictionarySet set = DictionarySet::build_from_table(t);
+  for (int col : t.schema().text_columns()) {
+    const Dictionary& dict = set.for_column(col);
+    const auto codes = t.dim_column(col);
+    for (std::size_t r = 0; r < t.row_count(); r += 17) {
+      const std::string& s = dict.decode(codes[r]);
+      EXPECT_EQ(dict.find(s, DictSearch::kHashed), codes[r]);
+    }
+  }
+}
+
+TEST(DictionarySet, DictionaryCoversCodePrefix) {
+  const FactTable t = table_with_text();
+  const DictionarySet set = DictionarySet::build_from_table(t);
+  for (int col : t.schema().text_columns()) {
+    const auto codes = t.dim_column(col);
+    const auto max_code = *std::max_element(codes.begin(), codes.end());
+    EXPECT_EQ(set.for_column(col).size(),
+              static_cast<std::size_t>(max_code) + 1);
+  }
+}
+
+TEST(DictionarySet, PerColumnDictionariesAreIndependent) {
+  // §III-F's design point: "a smaller dictionary for each text column …
+  // rather than one large dictionary for all text columns".
+  const FactTable t = table_with_text();
+  DictionarySet set = DictionarySet::build_from_table(t);
+  const auto cols = set.columns();
+  ASSERT_EQ(cols.size(), 2u);
+  // Adding to one dictionary does not affect the other.
+  const std::size_t before = set.for_column(cols[1]).size();
+  set.for_column(cols[0]).encode_or_add("brand new string");
+  EXPECT_EQ(set.for_column(cols[1]).size(), before);
+}
+
+TEST(DictionarySet, MissingColumnThrows) {
+  DictionarySet set;
+  EXPECT_THROW(set.for_column(3), InvalidArgument);
+}
+
+TEST(DictionarySet, NoTextColumnsYieldsEmptySet) {
+  GeneratorConfig config;
+  config.rows = 10;
+  const FactTable t =
+      generate_fact_table(tiny_model_dimensions(), config);
+  const DictionarySet set = DictionarySet::build_from_table(t);
+  EXPECT_EQ(set.column_count(), 0u);
+  EXPECT_EQ(set.memory_bytes(), 0u);
+}
+
+TEST(DictionarySet, MemoryAggregatesAcrossColumns) {
+  const FactTable t = table_with_text();
+  const DictionarySet set = DictionarySet::build_from_table(t);
+  std::size_t sum = 0;
+  for (int col : set.columns()) sum += set.for_column(col).memory_bytes();
+  EXPECT_EQ(set.memory_bytes(), sum);
+  EXPECT_GT(sum, 0u);
+}
+
+}  // namespace
+}  // namespace holap

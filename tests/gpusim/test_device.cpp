@@ -1,0 +1,222 @@
+#include "gpusim/gpu_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+FactTable make_table(std::size_t rows = 500) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = 77;
+  return generate_fact_table(tiny_model_dimensions(), config);
+}
+
+TEST(DeviceSpec, TeslaC2070Preset) {
+  const DeviceSpec spec = DeviceSpec::tesla_c2070();
+  EXPECT_EQ(spec.sm_count, 14);
+  EXPECT_EQ(spec.memory_bytes, std::size_t{6} * kGiB);
+  EXPECT_DOUBLE_EQ(spec.bandwidth_gbps, 144.0);
+}
+
+TEST(GpuDevice, UploadAccountsMemoryExactly) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  EXPECT_FALSE(dev.has_table());
+  EXPECT_EQ(dev.memory_used(), 0u);
+  const FactTable t = make_table();
+  dev.upload_table(t);
+  EXPECT_TRUE(dev.has_table());
+  EXPECT_EQ(dev.memory_used(), t.size_bytes());
+  EXPECT_EQ(dev.memory_free(),
+            DeviceSpec::tesla_c2070().memory_bytes - t.size_bytes());
+}
+
+TEST(GpuDevice, UploadBeyondCapacityThrows) {
+  DeviceSpec tiny = DeviceSpec::tesla_c2070();
+  tiny.memory_bytes = 1024;  // 1 KB device
+  GpuDevice dev(tiny);
+  EXPECT_THROW(dev.upload_table(make_table(1000)), CapacityError);
+  EXPECT_FALSE(dev.has_table());
+}
+
+TEST(GpuDevice, DefaultUnpartitioned) {
+  const GpuDevice dev(DeviceSpec::tesla_c2070());
+  EXPECT_EQ(dev.partitions(), (std::vector<int>{14}));
+}
+
+TEST(GpuDevice, PaperPartitioningAccepted) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  dev.set_partitions({1, 1, 2, 2, 4, 4});
+  EXPECT_EQ(dev.partition_count(), 6);
+}
+
+TEST(GpuDevice, PartitioningValidated) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  EXPECT_THROW(dev.set_partitions({}), InvalidArgument);
+  EXPECT_THROW(dev.set_partitions({0, 2}), InvalidArgument);
+  EXPECT_THROW(dev.set_partitions({8, 8}), InvalidArgument);  // > 14 SMs
+}
+
+TEST(GpuDevice, ExecuteAnswersAndModelsTime) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  const FactTable t = make_table();
+  dev.upload_table(t);
+  dev.set_partitions({1, 1, 2, 2, 4, 4});
+
+  Query q;
+  q.conditions.push_back({0, 1, 0, 2, {}, {}});
+  q.measures = {12};
+  const GpuExecution exec = dev.execute(3, q);
+  EXPECT_EQ(exec.columns_accessed, 2);
+  EXPECT_NEAR(exec.column_fraction, 2.0 / 16.0, 1e-12);
+  // Partition 3 has 2 SMs; model scaled to the (tiny) table size.
+  const auto model = dev.partition_model(2);
+  EXPECT_NEAR(exec.modeled_seconds, model.seconds(exec.column_fraction),
+              1e-15);
+  EXPECT_GT(exec.modeled_seconds, 0.0);
+}
+
+TEST(GpuDevice, BiggerPartitionsModelFaster) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  dev.upload_table(make_table());
+  dev.set_partitions({1, 2, 4});
+  Query q;
+  q.conditions.push_back({0, 0, 0, 1, {}, {}});
+  q.measures = {12};
+  const double t1 = dev.execute(0, q).modeled_seconds;
+  const double t2 = dev.execute(1, q).modeled_seconds;
+  const double t4 = dev.execute(2, q).modeled_seconds;
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+}
+
+TEST(GpuDevice, PartitionsAnswerIdentically) {
+  // §III-G: "any partition can answer any query".
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  dev.upload_table(make_table());
+  dev.set_partitions({1, 1, 2, 2, 4, 4});
+  Query q;
+  q.conditions.push_back({1, 2, 1, 5, {}, {}});
+  q.measures = {13};
+  const QueryAnswer first = dev.execute(0, q).answer;
+  for (int p = 1; p < 6; ++p) {
+    const QueryAnswer other = dev.execute(p, q).answer;
+    EXPECT_NEAR(other.value, first.value, 1e-9);
+    EXPECT_EQ(other.row_count, first.row_count);
+  }
+}
+
+TEST(GpuDevice, ExecuteValidatesPartitionIndex) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  dev.upload_table(make_table(10));
+  Query q;
+  q.measures = {12};
+  EXPECT_THROW(dev.execute(5, q), InvalidArgument);  // only 1 partition
+}
+
+TEST(GpuDevice, ExecuteWithoutTableThrows) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  Query q;
+  q.measures = {12};
+  EXPECT_THROW(dev.execute(0, q), InvalidArgument);
+}
+
+
+TEST(GpuDevice, MultipleTablesCoexist) {
+  // §III-G: "all partitions have access to ... all fact tables".
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  dev.upload_table(make_table(300), "sales");
+  dev.upload_table(make_table(200), "returns");
+  EXPECT_TRUE(dev.has_table("sales"));
+  EXPECT_TRUE(dev.has_table("returns"));
+  EXPECT_FALSE(dev.has_table("facts"));
+  EXPECT_EQ(dev.table_names(), (std::vector<std::string>{"returns",
+                                                         "sales"}));
+  EXPECT_EQ(dev.memory_used(), dev.table("sales").size_bytes() +
+                                   dev.table("returns").size_bytes());
+  // Queries address either table explicitly; answers reflect the table.
+  Query q;
+  q.measures = {12};
+  const QueryAnswer a = dev.execute(0, q, "sales").answer;
+  const QueryAnswer b = dev.execute(0, q, "returns").answer;
+  EXPECT_EQ(a.row_count, 300.0);
+  EXPECT_EQ(b.row_count, 200.0);
+}
+
+TEST(GpuDevice, DuplicateNameAndMissingTableRejected) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  dev.upload_table(make_table(10), "t");
+  EXPECT_THROW(dev.upload_table(make_table(10), "t"), InvalidArgument);
+  EXPECT_THROW(dev.table("missing"), InvalidArgument);
+  Query q;
+  q.measures = {12};
+  EXPECT_THROW(dev.execute(0, q, "missing"), InvalidArgument);
+}
+
+TEST(GpuDevice, DropTableFreesMemory) {
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  dev.upload_table(make_table(100), "t");
+  const std::size_t used = dev.memory_used();
+  EXPECT_GT(used, 0u);
+  dev.drop_table("t");
+  EXPECT_EQ(dev.memory_used(), 0u);
+  EXPECT_THROW(dev.drop_table("t"), InvalidArgument);
+}
+
+TEST(GpuDevice, CapacityAccountsAcrossTables) {
+  DeviceSpec small = DeviceSpec::tesla_c2070();
+  const FactTable t = make_table(100);
+  small.memory_bytes = t.size_bytes() + t.size_bytes() / 2;
+  GpuDevice dev(small);
+  dev.upload_table(t, "first");
+  EXPECT_THROW(dev.upload_table(t, "second"), CapacityError);
+  dev.drop_table("first");
+  EXPECT_NO_THROW(dev.upload_table(t, "second"));
+}
+
+
+TEST(GpuDevice, ModeledTimesRecoverPublishedCoefficients) {
+  // Drive the functional device across column counts and fit eq. (14)
+  // from its modeled times — the calibration loop a new device would use.
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  dev.upload_table(make_table(200));
+  dev.set_partitions({2});
+  std::vector<double> fractions, seconds;
+  for (int extra = 0; extra < 8; ++extra) {
+    Query q;
+    q.conditions.push_back({0, 0, 0, 1, {}, {}});
+    for (int e = 0; e < extra; ++e) {
+      q.conditions.push_back({e % 3, 1 + e / 3, 0, 0, {}, {}});
+    }
+    q.measures = {12};
+    const GpuExecution exec = dev.execute(0, q);
+    fractions.push_back(exec.column_fraction);
+    seconds.push_back(exec.modeled_seconds);
+  }
+  const GpuPerfModel fit = GpuPerfModel::fit(fractions, seconds);
+  const GpuPerfModel truth = dev.partition_model(2);
+  EXPECT_NEAR(fit.a(), truth.a(), 1e-9);
+  EXPECT_NEAR(fit.b(), truth.b(), 1e-9);
+}
+
+TEST(GpuDevice, OnDeviceCubeBuildMatchesHostBuilder) {
+  // §III-A task (1): building the cube from the device-resident table.
+  GpuDevice dev(DeviceSpec::tesla_c2070());
+  const FactTable t = make_table(600);
+  dev.upload_table(t);
+  const auto [cube, seconds] =
+      dev.build_cube_on_device(2, CubeBasis::kSum, 12);
+  const DenseCube host = build_cube(t, 2, CubeBasis::kSum, 12, 0);
+  ASSERT_EQ(cube.cell_count(), host.cell_count());
+  for (std::size_t i = 0; i < cube.cell_count(); ++i) {
+    EXPECT_DOUBLE_EQ(cube.cell(i), host.cell(i));
+  }
+  EXPECT_GT(seconds, 0.0);
+  // A C2070 streams this tiny table in well under a second.
+  EXPECT_LT(seconds, 0.1);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,167 @@
+#include "gpusim/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "query/workload.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+FactTable make_table(std::size_t rows = 800) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = 55;
+  config.text_levels = {{1, 3}};
+  return generate_fact_table(tiny_model_dimensions(), config);
+}
+
+Query range_query(AggOp op = AggOp::kSum) {
+  Query q;
+  q.conditions.push_back({0, 2, 1, 4, {}, {}});
+  q.conditions.push_back({2, 1, 0, 2, {}, {}});
+  q.measures = {12};
+  q.op = op;
+  return q;
+}
+
+double oracle(const FactTable& t, const Query& q) {
+  double sum = 0.0, count = 0.0;
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t r = 0; r < t.row_count(); ++r) {
+    bool match = true;
+    for (const auto& c : q.conditions) {
+      const auto v = t.dim_level_column(c.dim, c.level)[r];
+      if (c.is_text()) {
+        match = match && std::find(c.codes.begin(), c.codes.end(), v) !=
+                             c.codes.end();
+      } else {
+        match = match && v >= c.from && v <= c.to;
+      }
+    }
+    if (!match) continue;
+    count += 1.0;
+    for (int m : q.measures) {
+      const double v = t.measure_column(m)[r];
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  switch (q.op) {
+    case AggOp::kSum:
+      return sum;
+    case AggOp::kCount:
+      return count;
+    case AggOp::kAvg:
+      return count > 0 ? sum / count : 0.0;
+    case AggOp::kMin:
+      return lo;
+    case AggOp::kMax:
+      return hi;
+  }
+  return 0.0;
+}
+
+class ScanStripes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanStripes, MatchesOracleForAllOperators) {
+  const FactTable t = make_table();
+  for (const AggOp op : {AggOp::kSum, AggOp::kCount, AggOp::kAvg,
+                         AggOp::kMin, AggOp::kMax}) {
+    Query q = range_query(op);
+    if (op == AggOp::kCount) q.measures.clear();
+    const ScanResult r = gpu_scan(t, q, GetParam());
+    EXPECT_NEAR(r.answer.value, oracle(t, q), 1e-9)
+        << "op=" << to_string(op) << " stripes=" << GetParam();
+    EXPECT_EQ(r.rows_scanned, t.row_count());
+  }
+}
+
+TEST_P(ScanStripes, StripeCountNeverChangesAnswers) {
+  const FactTable t = make_table();
+  const Query q = range_query();
+  const ScanResult base = gpu_scan(t, q, 1);
+  const ScanResult striped = gpu_scan(t, q, GetParam());
+  EXPECT_NEAR(striped.answer.value, base.answer.value, 1e-9);
+  EXPECT_EQ(striped.answer.row_count, base.answer.row_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(StripeCounts, ScanStripes,
+                         ::testing::Values(1, 2, 4, 7, 14));
+
+TEST(Scan, TranslatedTextConditionFilters) {
+  const FactTable t = make_table();
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"a", "b"};
+  c.codes = {3, 11};
+  q.conditions.push_back(c);
+  q.measures = {13};
+  const ScanResult r = gpu_scan(t, q, 4);
+  EXPECT_NEAR(r.answer.value, oracle(t, q), 1e-9);
+}
+
+TEST(Scan, UntranslatedQueryRejected) {
+  // The invariant the translation partition exists to preserve.
+  const FactTable t = make_table();
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"pending"};
+  q.conditions.push_back(c);
+  q.measures = {12};
+  EXPECT_THROW(gpu_scan(t, q, 4), InvalidArgument);
+}
+
+TEST(Scan, AbsentCodeMatchesNothing) {
+  const FactTable t = make_table();
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"ghost"};
+  c.codes = {-1};
+  q.conditions.push_back(c);
+  q.measures = {12};
+  const ScanResult r = gpu_scan(t, q, 2);
+  EXPECT_TRUE(r.answer.empty());
+  EXPECT_EQ(r.answer.value, 0.0);
+}
+
+TEST(Scan, ColumnsAccessedMatchesEquation12) {
+  const FactTable t = make_table();
+  Query q = range_query();
+  q.measures = {12, 13};
+  const ScanResult r = gpu_scan(t, q, 1);
+  EXPECT_EQ(r.columns_accessed, 4);  // 2 conditions + 2 measures
+}
+
+TEST(Scan, EmptyTable) {
+  const FactTable t = make_table(0);
+  Query q = range_query();
+  const ScanResult r = gpu_scan(t, q, 4);
+  EXPECT_TRUE(r.answer.empty());
+}
+
+TEST(Scan, NoConditionsAggregatesEverything) {
+  const FactTable t = make_table(100);
+  Query q;
+  q.measures = {12};
+  const ScanResult r = gpu_scan(t, q, 3);
+  double total = 0.0;
+  for (const double v : t.measure_column(12)) total += v;
+  EXPECT_NEAR(r.answer.value, total, 1e-9);
+  EXPECT_EQ(r.answer.row_count, 100.0);
+}
+
+TEST(Scan, RejectsInvalidStripes) {
+  const FactTable t = make_table(10);
+  EXPECT_THROW(gpu_scan(t, range_query(), 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

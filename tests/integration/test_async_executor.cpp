@@ -1,0 +1,140 @@
+#include "olap/async_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "query/workload.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+HybridOlapSystem make_system(std::size_t rows = 800) {
+  GeneratorConfig gen;
+  gen.rows = rows;
+  gen.seed = 5;
+  gen.text_levels = {{1, 3}};
+  HybridSystemConfig config;
+  config.cpu_threads = 2;
+  config.cube_levels = {0, 1, 2};
+  return HybridOlapSystem(
+      generate_fact_table(tiny_model_dimensions(), gen), config);
+}
+
+TEST(AsyncExecutor, AllSubmissionsCompleteWithCorrectAnswers) {
+  HybridOlapSystem system = make_system();
+  WorkloadConfig wl;
+  wl.seed = 44;
+  wl.text_probability = 0.4;
+  QueryGenerator gen(system.schema().dimensions(), system.schema(), wl);
+  const auto queries = gen.batch(60);
+
+  AsyncHybridExecutor executor(system);
+  std::vector<std::future<ExecutionReport>> futures;
+  futures.reserve(queries.size());
+  for (const Query& q : queries) futures.push_back(executor.submit(q));
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const ExecutionReport report = futures[i].get();
+    ASSERT_FALSE(report.rejected) << "query " << i;
+    const QueryAnswer oracle = system.answer_on_gpu(queries[i]);
+    EXPECT_NEAR(report.answer.value, oracle.value, 1e-6) << "query " << i;
+    EXPECT_EQ(report.answer.row_count, oracle.row_count) << "query " << i;
+  }
+  executor.shutdown();
+  EXPECT_EQ(executor.completed(), queries.size());
+}
+
+TEST(AsyncExecutor, ConcurrentProducers) {
+  HybridOlapSystem system = make_system();
+  AsyncHybridExecutor executor(system);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> producers;
+  std::array<std::vector<std::pair<Query, std::future<ExecutionReport>>>,
+             kThreads>
+      submitted;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      WorkloadConfig wl;
+      wl.seed = 100 + static_cast<std::uint64_t>(t);
+      wl.text_probability = 0.3;
+      QueryGenerator gen(system.schema().dimensions(), system.schema(),
+                         wl);
+      for (int i = 0; i < kPerThread; ++i) {
+        Query q = gen.next();
+        auto future = executor.submit(q);
+        submitted[static_cast<std::size_t>(t)].emplace_back(
+            std::move(q), std::move(future));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+
+  for (auto& thread_batch : submitted) {
+    for (auto& [query, future] : thread_batch) {
+      const ExecutionReport report = future.get();
+      ASSERT_FALSE(report.rejected);
+      const QueryAnswer oracle = system.answer_on_gpu(query);
+      EXPECT_NEAR(report.answer.value, oracle.value, 1e-6);
+    }
+  }
+  EXPECT_EQ(executor.completed(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(AsyncExecutor, TextQueriesTranslatedBeforeGpuExecution) {
+  HybridOlapSystem system = make_system();
+  AsyncHybridExecutor executor(system);
+  const int col = system.schema().dimension_column(1, 3);
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {system.dictionaries().for_column(col).decode(1)};
+  q.conditions.push_back(c);
+  q.conditions.push_back({0, 3, 0, 15, {}, {}});  // GPU-only resolution
+  q.measures = {12};
+  const ExecutionReport report = executor.submit(q).get();
+  EXPECT_EQ(report.queue.kind, QueueRef::kGpu);
+  EXPECT_TRUE(report.translated);
+  EXPECT_FALSE(report.answer.empty());
+}
+
+TEST(AsyncExecutor, SubmitAfterShutdownThrows) {
+  HybridOlapSystem system = make_system(100);
+  AsyncHybridExecutor executor(system);
+  executor.shutdown();
+  Query q;
+  q.conditions.push_back({0, 0, 0, 0, {}, {}});
+  q.measures = {12};
+  EXPECT_THROW(executor.submit(q), InvalidArgument);
+}
+
+TEST(AsyncExecutor, ShutdownDrainsInFlightWork) {
+  HybridOlapSystem system = make_system();
+  std::vector<std::future<ExecutionReport>> futures;
+  {
+    AsyncHybridExecutor executor(system);
+    WorkloadConfig wl;
+    wl.seed = 9;
+    QueryGenerator gen(system.schema().dimensions(), system.schema(), wl);
+    for (int i = 0; i < 30; ++i) futures.push_back(executor.submit(gen.next()));
+    // Destructor shuts down; queued work must still complete.
+  }
+  for (auto& future : futures) {
+    EXPECT_FALSE(future.get().rejected);
+  }
+}
+
+TEST(AsyncExecutor, InvalidQueriesRejectedSynchronously) {
+  HybridOlapSystem system = make_system(100);
+  AsyncHybridExecutor executor(system);
+  Query bad;
+  bad.conditions.push_back({0, 9, 0, 0, {}, {}});
+  bad.measures = {12};
+  EXPECT_THROW(executor.submit(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

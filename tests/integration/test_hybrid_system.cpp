@@ -1,0 +1,235 @@
+#include "olap/hybrid_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "query/workload.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+HybridOlapSystem make_system(HybridSystemConfig config = {},
+                             std::size_t rows = 1000) {
+  GeneratorConfig gen;
+  gen.rows = rows;
+  gen.seed = 3;
+  gen.text_levels = {{1, 3}};
+  return HybridOlapSystem(
+      generate_fact_table(tiny_model_dimensions(), gen), std::move(config));
+}
+
+TEST(HybridSystem, ConstructionBuildsEverything) {
+  const HybridOlapSystem sys = make_system();
+  EXPECT_EQ(sys.table().row_count(), 1000u);
+  EXPECT_EQ(sys.cubes().levels(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(sys.dictionaries().column_count(), 1u);
+  EXPECT_TRUE(sys.device().has_table());
+  EXPECT_EQ(sys.device().partition_count(), 6);
+  EXPECT_STREQ(sys.scheduler().name(), "figure10");
+}
+
+TEST(HybridSystem, ExecuteAnswersMatchReferenceEngines) {
+  HybridOlapSystem sys = make_system();
+  WorkloadConfig wl;
+  wl.seed = 77;
+  QueryGenerator gen(sys.schema().dimensions(), sys.schema(), wl);
+  for (int i = 0; i < 25; ++i) {
+    const Query q = gen.next();
+    const ExecutionReport report = sys.execute(q);
+    ASSERT_FALSE(report.rejected);
+    const QueryAnswer reference = sys.answer_on_gpu(q);
+    EXPECT_NEAR(report.answer.value, reference.value, 1e-6) << "query " << i;
+    EXPECT_EQ(report.answer.row_count, reference.row_count);
+  }
+}
+
+TEST(HybridSystem, FineQueriesRouteToGpu) {
+  // Cube ladder stops at level 1; level-3 queries must use the GPU.
+  HybridOlapSystem sys = make_system();
+  Query q;
+  q.conditions.push_back({0, 3, 0, 7, {}, {}});
+  q.measures = {12};
+  const ExecutionReport report = sys.execute(q);
+  EXPECT_EQ(report.queue.kind, QueueRef::kGpu);
+}
+
+TEST(HybridSystem, CoarseQueriesRouteToCpu) {
+  HybridOlapSystem sys = make_system();
+  Query q;
+  q.conditions.push_back({0, 0, 0, 0, {}, {}});
+  q.conditions.push_back({1, 0, 0, 0, {}, {}});
+  q.measures = {12};
+  const ExecutionReport report = sys.execute(q);
+  EXPECT_EQ(report.queue.kind, QueueRef::kCpu);
+  EXPECT_GT(report.measured_processing, 0.0);
+}
+
+TEST(HybridSystem, TextQueryOnGpuPathGetsTranslated) {
+  HybridOlapSystem sys = make_system();
+  const int col = sys.schema().dimension_column(1, 3);
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {sys.dictionaries().for_column(col).decode(2)};
+  q.conditions.push_back(c);
+  q.conditions.push_back({0, 3, 0, 15, {}, {}});  // force fine resolution
+  q.measures = {12};
+  const ExecutionReport report = sys.execute(q);
+  EXPECT_EQ(report.queue.kind, QueueRef::kGpu);
+  EXPECT_TRUE(report.translated);
+  EXPECT_FALSE(report.answer.empty());
+  // Cross-check against the CPU oracle (build a fine cube on demand).
+  const QueryAnswer reference = sys.answer_on_gpu(q);
+  EXPECT_NEAR(report.answer.value, reference.value, 1e-9);
+}
+
+TEST(HybridSystem, RejectedWhenNoResourceFits) {
+  HybridSystemConfig config;
+  config.gpu_partitions = {1};
+  config.cube_levels = {0};
+  config.policy = "figure10";
+  // Disable the GPU by partition config? The system always has a GPU; use
+  // a level the cube cannot answer and verify it still executes via GPU.
+  HybridOlapSystem sys = make_system(std::move(config));
+  Query q;
+  q.conditions.push_back({0, 3, 0, 3, {}, {}});
+  q.measures = {12};
+  const ExecutionReport report = sys.execute(q);
+  EXPECT_FALSE(report.rejected);
+  EXPECT_EQ(report.queue.kind, QueueRef::kGpu);
+}
+
+TEST(HybridSystem, MinMaxRequiresConfiguredCubes) {
+  HybridSystemConfig with;
+  with.minmax_cubes = true;
+  HybridOlapSystem sys = make_system(std::move(with), 400);
+  Query q;
+  q.conditions.push_back({0, 1, 0, 2, {}, {}});
+  q.measures = {12};
+  q.op = AggOp::kMin;
+  const ExecutionReport report = sys.execute(q);
+  EXPECT_FALSE(report.rejected);
+  const QueryAnswer reference = sys.answer_on_gpu(q);
+  EXPECT_NEAR(report.answer.value, reference.value, 1e-9);
+}
+
+TEST(HybridSystem, AlternativePoliciesWork) {
+  for (const char* policy : {"MET", "MCT", "round-robin"}) {
+    HybridSystemConfig config;
+    config.policy = policy;
+    HybridOlapSystem sys = make_system(std::move(config), 300);
+    Query q;
+    q.conditions.push_back({0, 1, 0, 1, {}, {}});
+    q.measures = {12};
+    const ExecutionReport report = sys.execute(q);
+    EXPECT_FALSE(report.rejected) << policy;
+    const QueryAnswer reference = sys.answer_on_gpu(q);
+    EXPECT_NEAR(report.answer.value, reference.value, 1e-6) << policy;
+  }
+}
+
+
+TEST(HybridSystem, GpuDisabledCpuOnlyDeployment) {
+  HybridSystemConfig config;
+  config.enable_gpu = false;
+  config.cube_levels = {0, 1};
+  HybridOlapSystem sys = make_system(std::move(config), 400);
+  EXPECT_FALSE(sys.device().has_table());
+  // Cube-covered query runs on the CPU partition as usual.
+  Query coarse;
+  coarse.conditions.push_back({0, 1, 0, 2, {}, {}});
+  coarse.measures = {12};
+  const ExecutionReport r1 = sys.execute(coarse);
+  EXPECT_EQ(r1.queue.kind, QueueRef::kCpu);
+  EXPECT_FALSE(r1.via_table_scan);
+  // Finer than any cube: the hybrid fallback scans the relational table.
+  Query fine;
+  fine.conditions.push_back({0, 3, 0, 7, {}, {}});
+  fine.measures = {12};
+  const ExecutionReport r2 = sys.execute(fine);
+  EXPECT_FALSE(r2.rejected);
+  EXPECT_TRUE(r2.via_table_scan);
+  EXPECT_NEAR(r2.answer.value, sys.answer_on_gpu(fine).value, 1e-9);
+}
+
+TEST(HybridSystem, FallbackDisabledYieldsRejection) {
+  HybridSystemConfig config;
+  config.enable_gpu = false;
+  config.cube_levels = {0};
+  config.cpu_table_scan_fallback = false;
+  HybridOlapSystem sys = make_system(std::move(config), 100);
+  Query fine;
+  fine.conditions.push_back({2, 3, 0, 3, {}, {}});
+  fine.measures = {12};
+  const ExecutionReport r = sys.execute(fine);
+  EXPECT_TRUE(r.rejected);
+  EXPECT_TRUE(r.answer.empty());
+}
+
+TEST(HybridSystem, FallbackTranslatesTextQueries) {
+  HybridSystemConfig config;
+  config.enable_gpu = false;
+  config.cube_levels = {0};
+  HybridOlapSystem sys = make_system(std::move(config), 500);
+  const int col = sys.schema().dimension_column(1, 3);
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {sys.dictionaries().for_column(col).decode(4)};
+  q.conditions.push_back(c);
+  q.measures = {13};
+  const ExecutionReport r = sys.execute(q);
+  EXPECT_TRUE(r.via_table_scan);
+  EXPECT_NEAR(r.answer.value, sys.answer_on_gpu(q).value, 1e-9);
+}
+
+
+TEST(HybridSystem, TranslationAlgorithmsAgreeEndToEnd) {
+  for (const auto algorithm :
+       {HybridSystemConfig::TranslationAlgorithm::kLinearScan,
+        HybridSystemConfig::TranslationAlgorithm::kHashed,
+        HybridSystemConfig::TranslationAlgorithm::kBatchAhoCorasick}) {
+    HybridSystemConfig config;
+    config.translation = algorithm;
+    HybridOlapSystem sys = make_system(std::move(config), 400);
+    const int col = sys.schema().dimension_column(1, 3);
+    Query q;
+    Condition c;
+    c.dim = 1;
+    c.level = 3;
+    c.text_values = {sys.dictionaries().for_column(col).decode(3),
+                     sys.dictionaries().for_column(col).decode(8)};
+    q.conditions.push_back(c);
+    q.conditions.push_back({0, 3, 0, 15, {}, {}});
+    q.measures = {12};
+    const ExecutionReport r = sys.execute(q);
+    ASSERT_FALSE(r.rejected);
+    EXPECT_NEAR(r.answer.value, sys.answer_on_gpu(q).value, 1e-9)
+        << static_cast<int>(algorithm);
+  }
+}
+
+TEST(HybridSystem, InvalidQueryRejectedUpfront) {
+  HybridOlapSystem sys = make_system({}, 100);
+  Query bad;
+  bad.conditions.push_back({0, 9, 0, 0, {}, {}});
+  bad.measures = {12};
+  EXPECT_THROW(sys.execute(bad), InvalidArgument);
+}
+
+TEST(HybridSystem, SequentialCpuConfigWorks) {
+  HybridSystemConfig config;
+  config.cpu_threads = 0;
+  HybridOlapSystem sys = make_system(std::move(config), 200);
+  Query q;
+  q.conditions.push_back({1, 1, 0, 3, {}, {}});
+  q.measures = {13};
+  const ExecutionReport report = sys.execute(q);
+  EXPECT_FALSE(report.rejected);
+  EXPECT_NEAR(report.answer.value, sys.answer_on_gpu(q).value, 1e-6);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,84 @@
+#include "perfmodel/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace holap {
+namespace {
+
+TEST(CalibrateCpu, ProducesOrderedSamplesAndUsableModel) {
+  CpuCalibrationConfig config;
+  config.sizes_mb = {1, 2, 4, 8};
+  config.threads = 0;
+  config.repetitions = 2;
+  const CpuCalibrationResult result = calibrate_cpu(config);
+  ASSERT_EQ(result.samples.size(), 4u);
+  ASSERT_EQ(result.bandwidth_gbps.size(), 4u);
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    EXPECT_GT(result.samples[i].seconds, 0.0);
+    EXPECT_GT(result.bandwidth_gbps[i], 0.0);
+    if (i) {
+      EXPECT_GT(result.samples[i].x, result.samples[i - 1].x);
+    }
+  }
+  // The fitted model must predict within the measured ballpark.
+  const double mid = result.model.seconds(4.0);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);  // 4 MB can never take a second on any host
+}
+
+TEST(CalibrateCpu, TimeRoughlyScalesWithSize) {
+  CpuCalibrationConfig config;
+  config.sizes_mb = {2, 32};
+  config.repetitions = 3;
+  const CpuCalibrationResult result = calibrate_cpu(config);
+  // 16x the data should take clearly more time (allowing generous noise).
+  EXPECT_GT(result.samples[1].seconds, 3.0 * result.samples[0].seconds);
+}
+
+TEST(CalibrateCpu, ParallelConfigRuns) {
+  CpuCalibrationConfig config;
+  config.sizes_mb = {1, 4};
+  config.threads = 4;
+  config.repetitions = 1;
+  const CpuCalibrationResult result = calibrate_cpu(config);
+  EXPECT_EQ(result.samples.size(), 2u);
+  for (const auto& s : result.samples) EXPECT_GT(s.seconds, 0.0);
+}
+
+TEST(CalibrateCpu, RejectsBadConfig) {
+  CpuCalibrationConfig config;
+  config.sizes_mb = {};
+  EXPECT_THROW(calibrate_cpu(config), InvalidArgument);
+  config.sizes_mb = {8, 4};  // not ascending
+  EXPECT_THROW(calibrate_cpu(config), InvalidArgument);
+  config.sizes_mb = {1};
+  config.repetitions = 0;
+  EXPECT_THROW(calibrate_cpu(config), InvalidArgument);
+}
+
+TEST(CalibrateDict, LinearGrowthAndPositiveSlope) {
+  DictCalibrationConfig config;
+  config.lengths = {1'000, 10'000, 100'000};
+  config.searches = 20;
+  const DictCalibrationResult result = calibrate_dict(config);
+  ASSERT_EQ(result.samples.size(), 3u);
+  // 100x the dictionary should cost at least 20x the time (linear scan).
+  EXPECT_GT(result.samples[2].seconds, 20.0 * result.samples[0].seconds);
+  EXPECT_GT(result.model.seconds_per_entry(), 0.0);
+  // Sanity: per-entry cost under a microsecond on any modern host.
+  EXPECT_LT(result.model.seconds_per_entry(), 1e-6);
+}
+
+TEST(CalibrateDict, RejectsBadConfig) {
+  DictCalibrationConfig config;
+  config.lengths = {};
+  EXPECT_THROW(calibrate_dict(config), InvalidArgument);
+  config.lengths = {10};
+  config.searches = 0;
+  EXPECT_THROW(calibrate_dict(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

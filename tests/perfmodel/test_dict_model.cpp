@@ -1,0 +1,46 @@
+#include "perfmodel/dict_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace holap {
+namespace {
+
+TEST(DictModel, PaperConstantEquation17) {
+  const DictPerfModel m = DictPerfModel::paper();
+  EXPECT_DOUBLE_EQ(m.seconds_per_entry(), 0.0138e-6);
+  // A 1M-entry dictionary costs 13.8 ms per search.
+  EXPECT_NEAR(m.search_seconds(1'000'000), 0.0138, 1e-9);
+}
+
+TEST(DictModel, LinearInLength) {
+  const DictPerfModel m = DictPerfModel::paper();
+  EXPECT_DOUBLE_EQ(m.search_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.search_seconds(2000), 2.0 * m.search_seconds(1000));
+}
+
+TEST(DictModel, TranslationSumsOverParameters) {
+  // Eq. (18): the upper bound sums P_DICT over every text parameter.
+  const DictPerfModel m = DictPerfModel::paper();
+  const std::vector<std::size_t> lengths{1000, 5000, 1000};
+  EXPECT_NEAR(m.translation_seconds(lengths),
+              m.search_seconds(1000) * 2 + m.search_seconds(5000), 1e-15);
+  EXPECT_EQ(m.translation_seconds({}), 0.0);
+}
+
+TEST(DictModel, FitRecoversSlope) {
+  const std::vector<double> lengths{1e3, 1e4, 1e5, 1e6};
+  std::vector<double> times;
+  for (double l : lengths) times.push_back(0.02e-6 * l);
+  const DictPerfModel fitted = DictPerfModel::fit(lengths, times);
+  EXPECT_NEAR(fitted.seconds_per_entry(), 0.02e-6, 1e-12);
+}
+
+TEST(DictModel, RejectsNonPositiveSlope) {
+  EXPECT_THROW(DictPerfModel(0.0), InvalidArgument);
+  EXPECT_THROW(DictPerfModel(-1e-9), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

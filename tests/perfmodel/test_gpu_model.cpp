@@ -1,0 +1,84 @@
+#include "perfmodel/gpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace holap {
+namespace {
+
+TEST(GpuModel, PublishedConstantsEquation14And15) {
+  const GpuPerfModel m1 = GpuPerfModel::paper_c2070(1);
+  EXPECT_DOUBLE_EQ(m1.a(), 0.003);
+  EXPECT_DOUBLE_EQ(m1.b(), 0.0258);
+  const GpuPerfModel m2 = GpuPerfModel::paper_c2070(2);
+  EXPECT_DOUBLE_EQ(m2.a(), 0.0015);
+  EXPECT_DOUBLE_EQ(m2.b(), 0.013);
+  const GpuPerfModel m4 = GpuPerfModel::paper_c2070(4);
+  EXPECT_DOUBLE_EQ(m4.a(), 0.0008);
+  EXPECT_DOUBLE_EQ(m4.b(), 0.0065);
+  const GpuPerfModel m14 = GpuPerfModel::paper_c2070(14);
+  EXPECT_DOUBLE_EQ(m14.a(), 0.00021);
+  EXPECT_DOUBLE_EQ(m14.b(), 0.0020);
+}
+
+TEST(GpuModel, LinearInColumnFraction) {
+  const GpuPerfModel m = GpuPerfModel::paper_c2070(2);
+  EXPECT_DOUBLE_EQ(m.seconds(0.0), 0.013);
+  EXPECT_DOUBLE_EQ(m.seconds(1.0), 0.0145);
+  EXPECT_DOUBLE_EQ(m.seconds(0.5), 0.013 + 0.00075);
+}
+
+TEST(GpuModel, FractionOutOfRangeRejected) {
+  const GpuPerfModel m = GpuPerfModel::paper_c2070(1);
+  EXPECT_THROW(m.seconds(-0.1), InvalidArgument);
+  EXPECT_THROW(m.seconds(1.1), InvalidArgument);
+}
+
+TEST(GpuModel, MoreSMsAreFaster) {
+  double prev = GpuPerfModel::paper_c2070(1).seconds(0.5);
+  for (int sms : {2, 3, 4, 7, 14}) {
+    const double cur = GpuPerfModel::paper_c2070(sms).seconds(0.5);
+    EXPECT_LT(cur, prev) << sms << " SMs";
+    prev = cur;
+  }
+}
+
+TEST(GpuModel, UnpublishedSizesFollowInverseScaling) {
+  // The published rows scale almost exactly as 1/n; interpolated sizes
+  // must sit between their published neighbours.
+  const double t2 = GpuPerfModel::paper_c2070(2).seconds(0.5);
+  const double t3 = GpuPerfModel::paper_c2070(3).seconds(0.5);
+  const double t4 = GpuPerfModel::paper_c2070(4).seconds(0.5);
+  EXPECT_LT(t3, t2);
+  EXPECT_GT(t3, t4);
+}
+
+TEST(GpuModel, InvalidPartitionSizesRejected) {
+  EXPECT_THROW(GpuPerfModel::paper_c2070(0), InvalidArgument);
+  EXPECT_THROW(GpuPerfModel::paper_c2070(15), InvalidArgument);
+}
+
+TEST(GpuModel, TableSizeScalesBothCoefficients) {
+  // Half the table, half the scan time (the scan streams whole columns).
+  const GpuPerfModel base = GpuPerfModel::paper_c2070(4);
+  const GpuPerfModel half = GpuPerfModel::paper_c2070_scaled(4, 2048.0);
+  EXPECT_NEAR(half.seconds(0.6), base.seconds(0.6) / 2.0, 1e-12);
+  const GpuPerfModel same = GpuPerfModel::paper_c2070_scaled(4, 4096.0);
+  EXPECT_DOUBLE_EQ(same.seconds(0.3), base.seconds(0.3));
+}
+
+TEST(GpuModelFit, RecoversCoefficients) {
+  const GpuPerfModel truth = GpuPerfModel::paper_c2070(2);
+  std::vector<double> xs, ys;
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    xs.push_back(f);
+    ys.push_back(truth.seconds(f));
+  }
+  const GpuPerfModel fitted = GpuPerfModel::fit(xs, ys);
+  EXPECT_NEAR(fitted.a(), truth.a(), 1e-9);
+  EXPECT_NEAR(fitted.b(), truth.b(), 1e-9);
+}
+
+}  // namespace
+}  // namespace holap

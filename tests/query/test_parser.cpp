@@ -1,0 +1,137 @@
+#include "query/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+TableSchema schema() {
+  return make_star_schema(tiny_model_dimensions(), {"sales", "qty"},
+                          {{1, 3}, {2, 3}});
+}
+
+TEST(Parser, SimpleSum) {
+  const TableSchema s = schema();
+  const Query q = parse_query("sum(sales) where time.month in [1, 3]", s);
+  EXPECT_EQ(q.op, AggOp::kSum);
+  ASSERT_EQ(q.measures.size(), 1u);
+  EXPECT_EQ(s.column(q.measures[0]).name, "sales");
+  ASSERT_EQ(q.conditions.size(), 1u);
+  EXPECT_EQ(q.conditions[0].dim, 0);
+  EXPECT_EQ(q.conditions[0].level, 1);
+  EXPECT_EQ(q.conditions[0].from, 1);
+  EXPECT_EQ(q.conditions[0].to, 3);
+}
+
+TEST(Parser, MultipleMeasuresAndConditions) {
+  const Query q = parse_query(
+      "avg(sales, qty) where time.year in [0, 1] and product.class in "
+      "[2, 3]",
+      schema());
+  EXPECT_EQ(q.op, AggOp::kAvg);
+  EXPECT_EQ(q.measures.size(), 2u);
+  EXPECT_EQ(q.conditions.size(), 2u);
+  EXPECT_EQ(q.conditions[1].dim, 2);
+  EXPECT_EQ(q.conditions[1].level, 1);
+}
+
+TEST(Parser, CountWithoutMeasures) {
+  const Query q = parse_query("count() where geography.region in [0, 1]",
+                              schema());
+  EXPECT_EQ(q.op, AggOp::kCount);
+  EXPECT_TRUE(q.measures.empty());
+}
+
+TEST(Parser, TextConditionsWithBothQuoteStyles) {
+  const Query q = parse_query(
+      "sum(sales) where geography.store in {\"Marlowick\", 'Den \"x\"'}",
+      schema());
+  ASSERT_EQ(q.conditions.size(), 1u);
+  EXPECT_TRUE(q.conditions[0].is_text());
+  EXPECT_EQ(q.conditions[0].text_values,
+            (std::vector<std::string>{"Marlowick", "Den \"x\""}));
+  EXPECT_TRUE(q.needs_translation());
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  const Query a = parse_query("sum(sales)where time.day in[2,5]", schema());
+  const Query b = parse_query(
+      "  sum ( sales )   where   time.day   in [ 2 , 5 ]  ", schema());
+  EXPECT_EQ(a.conditions[0].from, b.conditions[0].from);
+  EXPECT_EQ(a.conditions[0].to, b.conditions[0].to);
+}
+
+TEST(Parser, MinMaxOperators) {
+  EXPECT_EQ(parse_query("min(sales)", schema()).op, AggOp::kMin);
+  EXPECT_EQ(parse_query("max(qty)", schema()).op, AggOp::kMax);
+}
+
+TEST(Parser, NoWhereClause) {
+  const Query q = parse_query("sum(sales)", schema());
+  EXPECT_TRUE(q.conditions.empty());
+}
+
+struct BadCase {
+  const char* text;
+  const char* reason;
+};
+
+class ParserErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ParserErrors, RejectedWithPosition) {
+  try {
+    parse_query(GetParam().text, schema());
+    FAIL() << "expected ParseError for: " << GetParam().text << " ("
+           << GetParam().reason << ")";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("parse error at position"),
+              std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrors,
+    ::testing::Values(
+        BadCase{"", "empty input"},
+        BadCase{"frobnicate(sales)", "unknown operator"},
+        BadCase{"sum(nonexistent)", "unknown measure"},
+        BadCase{"sum(time)", "dimension column as measure"},
+        BadCase{"sum(sales", "missing paren"},
+        BadCase{"sum(sales) where bogus.month in [0,1]",
+                "unknown dimension"},
+        BadCase{"sum(sales) where time.bogus in [0,1]", "unknown level"},
+        BadCase{"sum(sales) where time.month in [0,99]",
+                "range beyond cardinality"},
+        BadCase{"sum(sales) where time.month in [3,1]", "inverted range"},
+        BadCase{"sum(sales) where time.month in {\"text\"}",
+                "strings on a non-text column"},
+        BadCase{"sum(sales) where time.month in [a,b]", "non-integer"},
+        BadCase{"sum(sales) where time.month in [0,1] garbage",
+                "trailing input"},
+        BadCase{"sum(sales) where geography.store in {\"unterminated",
+                "unterminated string"},
+        BadCase{"count(sales) where", "dangling where"},
+        BadCase{"sum() where time.month in [0,1]",
+                "sum without measures"}),
+    [](const auto& suite_info) {
+      std::string name = suite_info.param.reason;
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Parser, RoundTripWithToString) {
+  // Parsed queries render back through to_string coherently.
+  const TableSchema s = schema();
+  const Query q = parse_query(
+      "sum(sales) where time.month in [1, 2] and geography.store in "
+      "{\"Marlowick\"}",
+      s);
+  const std::string rendered = to_string(q, s.dimensions());
+  EXPECT_NE(rendered.find("time.month in [1, 2]"), std::string::npos);
+  EXPECT_NE(rendered.find("\"Marlowick\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,193 @@
+#include "query/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace holap {
+namespace {
+
+std::vector<Dimension> dims() { return tiny_model_dimensions(); }
+TableSchema schema() {
+  return make_star_schema(dims(), {"m0", "m1"}, {{1, 3}});
+}
+
+Query simple_query() {
+  Query q;
+  q.conditions.push_back({0, 1, 1, 2, {}, {}});
+  q.conditions.push_back({1, 2, 0, 3, {}, {}});
+  q.measures = {12};  // m0
+  q.op = AggOp::kSum;
+  return q;
+}
+
+TEST(Query, RequiredResolutionIsMaxConditionLevel) {
+  Query q = simple_query();
+  EXPECT_EQ(q.required_resolution(), 2);
+  q.conditions.push_back({2, 3, 0, 0, {}, {}});
+  EXPECT_EQ(q.required_resolution(), 3);
+}
+
+TEST(Query, RequiredResolutionZeroWithoutConditions) {
+  Query q;
+  q.measures = {12};
+  EXPECT_EQ(q.required_resolution(), 0);
+}
+
+TEST(Query, GpuColumnsAccessedCountsConditionsAndMeasures) {
+  // Eq. (12): filtration conditions + data columns.
+  Query q = simple_query();
+  EXPECT_EQ(q.gpu_columns_accessed(), 3);
+  q.measures.push_back(13);
+  EXPECT_EQ(q.gpu_columns_accessed(), 4);
+}
+
+TEST(Query, TextConditionsCounted) {
+  Query q = simple_query();
+  EXPECT_EQ(q.text_conditions(), 0);
+  Condition text;
+  text.dim = 1;
+  text.level = 3;
+  text.text_values = {"Marlowick", "Denborough"};
+  q.conditions.push_back(text);
+  EXPECT_EQ(q.text_conditions(), 1);
+  EXPECT_TRUE(q.needs_translation());
+}
+
+TEST(Query, TranslationSatisfiedWhenCodesFilled) {
+  Condition text;
+  text.dim = 1;
+  text.level = 3;
+  text.text_values = {"a", "b"};
+  EXPECT_TRUE(text.needs_translation());
+  text.codes = {4, 7};
+  EXPECT_FALSE(text.needs_translation());
+  EXPECT_TRUE(text.is_text());
+}
+
+TEST(ValidateQuery, AcceptsWellFormed) {
+  EXPECT_NO_THROW(validate_query(simple_query(), dims(), schema()));
+}
+
+TEST(ValidateQuery, RejectsUnknownDimension) {
+  Query q = simple_query();
+  q.conditions[0].dim = 9;
+  EXPECT_THROW(validate_query(q, dims(), schema()), InvalidArgument);
+}
+
+TEST(ValidateQuery, RejectsUnknownLevel) {
+  Query q = simple_query();
+  q.conditions[0].level = 4;
+  EXPECT_THROW(validate_query(q, dims(), schema()), InvalidArgument);
+}
+
+TEST(ValidateQuery, RejectsRangeOutsideCardinality) {
+  Query q = simple_query();
+  q.conditions[0].to = 99;  // level-1 cardinality is 4
+  EXPECT_THROW(validate_query(q, dims(), schema()), InvalidArgument);
+  q = simple_query();
+  q.conditions[0].from = 3;
+  q.conditions[0].to = 1;
+  EXPECT_THROW(validate_query(q, dims(), schema()), InvalidArgument);
+}
+
+TEST(ValidateQuery, RejectsNonMeasureAggregation) {
+  Query q = simple_query();
+  q.measures = {0};  // a dimension column
+  EXPECT_THROW(validate_query(q, dims(), schema()), InvalidArgument);
+}
+
+TEST(ValidateQuery, CountNeedsNoMeasure) {
+  Query q = simple_query();
+  q.measures.clear();
+  q.op = AggOp::kCount;
+  EXPECT_NO_THROW(validate_query(q, dims(), schema()));
+  q.op = AggOp::kSum;
+  EXPECT_THROW(validate_query(q, dims(), schema()), InvalidArgument);
+}
+
+TEST(ValidateQuery, RejectsEntirelyEmptyQuery) {
+  Query q;
+  EXPECT_THROW(validate_query(q, dims(), schema()), InvalidArgument);
+}
+
+TEST(SubcubeBytes, FullCubeWithoutConditions) {
+  // Eq. (3): dimensions without conditions contribute their full extent.
+  Query q;
+  q.measures = {12};
+  // Level-0 cube is 2x2x2 cells.
+  EXPECT_EQ(subcube_bytes(q, dims(), 0, 8), 8u * 8u);
+}
+
+TEST(SubcubeBytes, RangeConditionNarrowsOneDimension) {
+  Query q;
+  q.measures = {12};
+  q.conditions.push_back({0, 1, 1, 2, {}, {}});  // 2 of 4 members at level 1
+  // Cube level 1: 4x4x4 cells; condition narrows dim 0 to 2 -> 2*4*4.
+  EXPECT_EQ(subcube_bytes(q, dims(), 1, 8), 2u * 4u * 4u * 8u);
+}
+
+TEST(SubcubeBytes, CoarserConditionWidensByFanout) {
+  Query q;
+  q.measures = {12};
+  q.conditions.push_back({0, 0, 0, 0, {}, {}});  // 1 of 2 members at level 0
+  // On a level-2 cube (8 per dim), fanout 0->2 is 4: width 4 of 8.
+  EXPECT_EQ(subcube_bytes(q, dims(), 2, 8), 4u * 8u * 8u * 8u);
+}
+
+TEST(SubcubeBytes, TextConditionUsesValueCount) {
+  Query q;
+  q.measures = {12};
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"a", "b"};
+  q.conditions.push_back(c);
+  // Level-3 cube: 16 per dim; 2 values at level 3 -> width 2.
+  EXPECT_EQ(subcube_bytes(q, dims(), 3, 8), 16u * 2u * 16u * 8u);
+}
+
+TEST(SubcubeBytes, RejectsTooCoarseCube) {
+  Query q = simple_query();  // requires level 2
+  EXPECT_THROW(subcube_bytes(q, dims(), 1, 8), InvalidArgument);
+}
+
+TEST(SubcubeBytes, MultipleConditionsSameDimensionUseNarrowest) {
+  Query q;
+  q.measures = {12};
+  q.conditions.push_back({0, 1, 0, 3, {}, {}});  // full extent at level 1
+  q.conditions.push_back({0, 2, 2, 3, {}, {}});  // 2 of 8 at level 2
+  EXPECT_EQ(subcube_bytes(q, dims(), 2, 8), 2u * 8u * 8u * 8u);
+}
+
+
+TEST(Query, DistinctColumnsDeduplicateWhileEq12CountsConditions) {
+  Query q = simple_query();           // conditions on (0,1) and (1,2)
+  q.conditions.push_back({0, 1, 0, 0, {}, {}});  // same column as the first
+  q.measures = {12, 13};
+  // Eq. (12): 3 conditions + 2 measures = 5 (paper semantics).
+  EXPECT_EQ(q.gpu_columns_accessed(), 5);
+  // Distinct: two dimension columns + two measures = 4.
+  const auto cols = distinct_columns_accessed(q, schema());
+  EXPECT_EQ(cols.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+  EXPECT_TRUE(std::count(cols.begin(), cols.end(), 12) == 1);
+}
+
+TEST(QueryToString, MentionsOperatorDimensionsAndRanges) {
+  const std::string s = to_string(simple_query(), dims());
+  EXPECT_NE(s.find("sum"), std::string::npos);
+  EXPECT_NE(s.find("time"), std::string::npos);
+  EXPECT_NE(s.find("[1, 2]"), std::string::npos);
+}
+
+TEST(AggOpNames, AllDistinct) {
+  EXPECT_STREQ(to_string(AggOp::kSum), "sum");
+  EXPECT_STREQ(to_string(AggOp::kCount), "count");
+  EXPECT_STREQ(to_string(AggOp::kMin), "min");
+  EXPECT_STREQ(to_string(AggOp::kMax), "max");
+  EXPECT_STREQ(to_string(AggOp::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,78 @@
+#include "query/query_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+TableSchema schema() {
+  return make_star_schema(tiny_model_dimensions(), {"sales", "qty"},
+                          {{1, 3}});
+}
+
+TEST(QueryBuilder, FluentConstruction) {
+  const TableSchema s = schema();
+  const Query q = QueryBuilder(s)
+                      .sum({"sales", "qty"})
+                      .where("time", "month", 1, 3)
+                      .where_equals("product", "category", 1)
+                      .build();
+  EXPECT_EQ(q.op, AggOp::kSum);
+  EXPECT_EQ(q.measures.size(), 2u);
+  ASSERT_EQ(q.conditions.size(), 2u);
+  EXPECT_EQ(q.conditions[0].dim, 0);
+  EXPECT_EQ(q.conditions[0].level, 1);
+  EXPECT_EQ(q.conditions[1].from, 1);
+  EXPECT_EQ(q.conditions[1].to, 1);
+}
+
+TEST(QueryBuilder, TextConditionMarksTranslationNeed) {
+  const TableSchema s = schema();
+  const Query q = QueryBuilder(s)
+                      .count()
+                      .where_text("geography", "store", {"A", "B"})
+                      .build();
+  EXPECT_EQ(q.op, AggOp::kCount);
+  EXPECT_TRUE(q.needs_translation());
+  EXPECT_EQ(q.conditions[0].text_values.size(), 2u);
+}
+
+TEST(QueryBuilder, AllOperators) {
+  const TableSchema s = schema();
+  EXPECT_EQ(QueryBuilder(s).avg({"sales"}).build().op, AggOp::kAvg);
+  EXPECT_EQ(QueryBuilder(s).min({"sales"}).build().op, AggOp::kMin);
+  EXPECT_EQ(QueryBuilder(s).max({"qty"}).build().op, AggOp::kMax);
+}
+
+TEST(QueryBuilder, NameResolutionErrors) {
+  const TableSchema s = schema();
+  EXPECT_THROW(QueryBuilder(s).sum({"nope"}), InvalidArgument);
+  EXPECT_THROW(QueryBuilder(s).sum({"time.year"}), InvalidArgument);
+  QueryBuilder b(s);
+  b.sum({"sales"});
+  EXPECT_THROW(b.where("bogus", "month", 0, 1), InvalidArgument);
+  EXPECT_THROW(b.where("time", "bogus", 0, 1), InvalidArgument);
+  EXPECT_THROW(b.where_text("time", "month", {"x"}), InvalidArgument);
+  EXPECT_THROW(b.where_text("geography", "store", {}), InvalidArgument);
+}
+
+TEST(QueryBuilder, BuildValidates) {
+  const TableSchema s = schema();
+  QueryBuilder b(s);
+  b.sum({"sales"}).where("time", "month", 0, 99);  // beyond cardinality
+  EXPECT_THROW(b.build(), InvalidArgument);
+}
+
+TEST(QueryBuilder, ReusableAfterBuild) {
+  const TableSchema s = schema();
+  QueryBuilder b(s);
+  b.sum({"sales"}).where("time", "year", 0, 1);
+  const Query first = b.build();
+  b.where("product", "class", 0, 2);
+  const Query second = b.build();
+  EXPECT_EQ(first.conditions.size(), 1u);
+  EXPECT_EQ(second.conditions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace holap

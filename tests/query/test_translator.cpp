@@ -1,0 +1,130 @@
+#include "query/translator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+struct Fixture {
+  FactTable table;
+  DictionarySet dicts;
+
+  Fixture()
+      : table([] {
+          GeneratorConfig config;
+          config.rows = 300;
+          config.text_levels = {{1, 3}};
+          return generate_fact_table(tiny_model_dimensions(), config);
+        }()),
+        dicts(DictionarySet::build_from_table(table)) {}
+};
+
+Query text_query(const std::vector<std::string>& values) {
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = values;
+  q.conditions.push_back(c);
+  q.measures = {12};
+  return q;
+}
+
+TEST(Translator, FillsCodesForKnownStrings) {
+  Fixture f;
+  const Translator tr(f.table.schema(), f.dicts);
+  const int col = f.table.schema().dimension_column(1, 3);
+  const Dictionary& dict = f.dicts.for_column(col);
+
+  Query q = text_query({dict.decode(3), dict.decode(7)});
+  ASSERT_TRUE(q.needs_translation());
+  const TranslationReport report = tr.translate(q);
+  EXPECT_FALSE(q.needs_translation());
+  EXPECT_TRUE(report.all_found);
+  EXPECT_EQ(report.parameters_translated, 2);
+  EXPECT_EQ(q.conditions[0].codes, (std::vector<std::int32_t>{3, 7}));
+}
+
+TEST(Translator, AbsentStringsYieldMinusOne) {
+  Fixture f;
+  const Translator tr(f.table.schema(), f.dicts);
+  Query q = text_query({"definitely not a member"});
+  const TranslationReport report = tr.translate(q);
+  EXPECT_FALSE(report.all_found);
+  EXPECT_EQ(q.conditions[0].codes, (std::vector<std::int32_t>{-1}));
+}
+
+TEST(Translator, ReportsEntriesScannedForLinearModel) {
+  Fixture f;
+  const Translator tr(f.table.schema(), f.dicts, DictSearch::kLinearScan);
+  const int col = f.table.schema().dimension_column(1, 3);
+  const std::size_t dict_len = f.dicts.for_column(col).size();
+  Query q = text_query({"a", "b", "c"});
+  const TranslationReport report = tr.translate(q);
+  // Eq. (18): one full dictionary per parameter in the upper bound.
+  EXPECT_EQ(report.dictionary_entries_scanned, 3 * dict_len);
+}
+
+TEST(Translator, IdempotentOnTranslatedQueries) {
+  Fixture f;
+  const Translator tr(f.table.schema(), f.dicts);
+  const int col = f.table.schema().dimension_column(1, 3);
+  Query q = text_query({f.dicts.for_column(col).decode(1)});
+  tr.translate(q);
+  const auto codes = q.conditions[0].codes;
+  const TranslationReport second = tr.translate(q);
+  EXPECT_EQ(second.parameters_translated, 0);
+  EXPECT_EQ(q.conditions[0].codes, codes);
+}
+
+TEST(Translator, NonTextQueriesUntouched) {
+  Fixture f;
+  const Translator tr(f.table.schema(), f.dicts);
+  Query q;
+  q.conditions.push_back({0, 1, 0, 1, {}, {}});
+  q.measures = {12};
+  const TranslationReport report = tr.translate(q);
+  EXPECT_EQ(report.parameters_translated, 0);
+  EXPECT_TRUE(report.all_found);
+}
+
+TEST(Translator, RejectsTextOnNonTextColumn) {
+  Fixture f;
+  const Translator tr(f.table.schema(), f.dicts);
+  Query q;
+  Condition c;
+  c.dim = 0;  // time dimension has no text columns
+  c.level = 3;
+  c.text_values = {"whatever"};
+  q.conditions.push_back(c);
+  EXPECT_THROW(tr.translate(q), InvalidArgument);
+}
+
+TEST(Translator, DictionaryLengthsPerParameter) {
+  Fixture f;
+  const Translator tr(f.table.schema(), f.dicts);
+  const int col = f.table.schema().dimension_column(1, 3);
+  const std::size_t len = f.dicts.for_column(col).size();
+  const Query q = text_query({"x", "y"});
+  const auto lengths = tr.dictionary_lengths(q);
+  EXPECT_EQ(lengths, (std::vector<std::size_t>{len, len}));
+}
+
+TEST(Translator, HashedAndLinearProduceSameCodes) {
+  Fixture f;
+  const Translator linear(f.table.schema(), f.dicts,
+                          DictSearch::kLinearScan);
+  const Translator hashed(f.table.schema(), f.dicts, DictSearch::kHashed);
+  const int col = f.table.schema().dimension_column(1, 3);
+  const Dictionary& dict = f.dicts.for_column(col);
+  Query a = text_query({dict.decode(2), "missing", dict.decode(9)});
+  Query b = a;
+  linear.translate(a);
+  hashed.translate(b);
+  EXPECT_EQ(a.conditions[0].codes, b.conditions[0].codes);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,135 @@
+#include "query/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+struct Fixture {
+  std::vector<Dimension> dims = tiny_model_dimensions();
+  TableSchema schema =
+      make_star_schema(tiny_model_dimensions(), {"m0", "m1"}, {{1, 3}});
+};
+
+TEST(Workload, AllGeneratedQueriesValidate) {
+  Fixture f;
+  WorkloadConfig config;
+  config.seed = 5;
+  QueryGenerator gen(f.dims, f.schema, config);
+  for (const Query& q : gen.batch(500)) {
+    EXPECT_NO_THROW(validate_query(q, f.dims, f.schema));
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  Fixture f;
+  WorkloadConfig config;
+  config.seed = 11;
+  QueryGenerator a(f.dims, f.schema, config);
+  QueryGenerator b(f.dims, f.schema, config);
+  for (int i = 0; i < 100; ++i) {
+    const Query qa = a.next();
+    const Query qb = b.next();
+    EXPECT_EQ(to_string(qa, f.dims), to_string(qb, f.dims));
+  }
+}
+
+TEST(Workload, TextProbabilityZeroMeansNoTranslation) {
+  Fixture f;
+  WorkloadConfig config;
+  config.text_probability = 0.0;
+  QueryGenerator gen(f.dims, f.schema, config);
+  for (const Query& q : gen.batch(300)) {
+    EXPECT_EQ(q.text_conditions(), 0);
+  }
+}
+
+TEST(Workload, TextProbabilityOneMakesTextConditionsOnTextColumns) {
+  Fixture f;
+  WorkloadConfig config;
+  config.text_probability = 1.0;
+  config.level_weights = {0, 0, 0, 1};  // force finest level
+  config.condition_probability = 1.0;
+  QueryGenerator gen(f.dims, f.schema, config);
+  int text = 0;
+  for (const Query& q : gen.batch(200)) text += q.text_conditions();
+  // Dimension 1 level 3 is the text column; one condition per query on it.
+  EXPECT_EQ(text, 200);
+}
+
+TEST(Workload, LevelWeightsRestrictResolutions) {
+  Fixture f;
+  WorkloadConfig config;
+  config.level_weights = {1, 1, 1, 0};  // never level 3
+  QueryGenerator gen(f.dims, f.schema, config);
+  for (const Query& q : gen.batch(300)) {
+    EXPECT_LE(q.required_resolution(), 2);
+  }
+}
+
+TEST(Workload, LevelWeightsMustMatchLevelCount) {
+  Fixture f;
+  WorkloadConfig config;
+  config.level_weights = {1, 1};  // dims have 4 levels
+  QueryGenerator gen(f.dims, f.schema, config);
+  EXPECT_THROW(gen.next(), InvalidArgument);
+}
+
+TEST(Workload, SelectivityBoundsRangeWidth) {
+  Fixture f;
+  WorkloadConfig config;
+  config.mean_selectivity = 0.1;
+  config.text_probability = 0.0;
+  config.level_weights = {0, 0, 0, 1};
+  config.condition_probability = 1.0;
+  QueryGenerator gen(f.dims, f.schema, config);
+  for (const Query& q : gen.batch(300)) {
+    for (const auto& c : q.conditions) {
+      // Selectivity drawn from (0, 0.2]; level-3 cardinality is 16.
+      EXPECT_LE(c.to - c.from + 1, 4);
+    }
+  }
+}
+
+TEST(Workload, MeasureCountWithinBounds) {
+  Fixture f;
+  WorkloadConfig config;
+  config.min_measures = 1;
+  config.max_measures = 2;
+  QueryGenerator gen(f.dims, f.schema, config);
+  for (const Query& q : gen.batch(200)) {
+    EXPECT_GE(q.measures.size(), 1u);
+    EXPECT_LE(q.measures.size(), 2u);
+    // Measures must be distinct.
+    if (q.measures.size() == 2) {
+      EXPECT_NE(q.measures[0], q.measures[1]);
+    }
+  }
+}
+
+TEST(Workload, AlwaysAtLeastOneCondition) {
+  Fixture f;
+  WorkloadConfig config;
+  config.condition_probability = 0.0;
+  QueryGenerator gen(f.dims, f.schema, config);
+  for (const Query& q : gen.batch(50)) {
+    EXPECT_GE(q.conditions.size(), 1u);
+  }
+}
+
+TEST(Workload, RejectsInvalidConfig) {
+  Fixture f;
+  WorkloadConfig bad;
+  bad.mean_selectivity = 0.0;
+  EXPECT_THROW(QueryGenerator(f.dims, f.schema, bad), InvalidArgument);
+  bad = {};
+  bad.text_probability = 1.5;
+  EXPECT_THROW(QueryGenerator(f.dims, f.schema, bad), InvalidArgument);
+  bad = {};
+  bad.min_measures = 3;
+  bad.max_measures = 1;
+  EXPECT_THROW(QueryGenerator(f.dims, f.schema, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

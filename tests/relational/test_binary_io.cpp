@@ -1,0 +1,104 @@
+#include "relational/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+FactTable sample_table(std::size_t rows = 300) {
+  GeneratorConfig config;
+  config.rows = rows;
+  config.seed = 23;
+  config.text_levels = {{1, 3}};
+  return generate_fact_table(tiny_model_dimensions(), config);
+}
+
+void expect_tables_equal(const FactTable& a, const FactTable& b) {
+  ASSERT_EQ(a.row_count(), b.row_count());
+  ASSERT_EQ(a.schema().column_count(), b.schema().column_count());
+  for (int c = 0; c < a.schema().column_count(); ++c) {
+    EXPECT_EQ(a.schema().column(c).name, b.schema().column(c).name);
+    EXPECT_EQ(a.schema().column(c).kind, b.schema().column(c).kind);
+    EXPECT_EQ(a.schema().column(c).encoding, b.schema().column(c).encoding);
+    if (a.schema().column(c).kind == ColumnKind::kMeasure) {
+      for (std::size_t r = 0; r < a.row_count(); ++r) {
+        ASSERT_EQ(a.measure_column(c)[r], b.measure_column(c)[r]);
+      }
+    } else {
+      for (std::size_t r = 0; r < a.row_count(); ++r) {
+        ASSERT_EQ(a.dim_column(c)[r], b.dim_column(c)[r]);
+      }
+    }
+  }
+}
+
+TEST(BinaryIo, RoundTripIsBitExact) {
+  const FactTable original = sample_table();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_fact_table(buffer, original);
+  const FactTable loaded = read_fact_table(buffer);
+  expect_tables_equal(original, loaded);
+  // Dimension hierarchy survives too.
+  EXPECT_EQ(loaded.schema().dimensions()[0].level(3).cardinality, 16u);
+  EXPECT_EQ(loaded.schema().text_columns(),
+            original.schema().text_columns());
+}
+
+TEST(BinaryIo, EmptyTableRoundTrips) {
+  const FactTable original = sample_table(0);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_fact_table(buffer, original);
+  const FactTable loaded = read_fact_table(buffer);
+  EXPECT_EQ(loaded.row_count(), 0u);
+}
+
+TEST(BinaryIo, BadMagicRejected) {
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  buffer << "NOTAFILE" << std::string(64, '\0');
+  EXPECT_THROW(read_fact_table(buffer), Error);
+}
+
+TEST(BinaryIo, TruncationRejected) {
+  const FactTable original = sample_table(100);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_fact_table(buffer, original);
+  const std::string whole = buffer.str();
+  for (const std::size_t keep :
+       {whole.size() / 4, whole.size() / 2, whole.size() - 5}) {
+    std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+    cut << whole.substr(0, keep);
+    EXPECT_THROW(read_fact_table(cut), Error) << "kept " << keep;
+  }
+}
+
+TEST(BinaryIo, CorruptSchemaRejected) {
+  const FactTable original = sample_table(10);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_fact_table(buffer, original);
+  std::string bytes = buffer.str();
+  // Stamp an absurd dimension count right after the magic.
+  bytes[8] = '\xff';
+  bytes[9] = '\xff';
+  std::stringstream corrupt(std::ios::in | std::ios::out |
+                            std::ios::binary);
+  corrupt << bytes;
+  EXPECT_THROW(read_fact_table(corrupt), Error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const FactTable original = sample_table(200);
+  const std::string path = "/tmp/holap_test_table.bin";
+  save_fact_table(path, original);
+  const FactTable loaded = load_fact_table(path);
+  expect_tables_equal(original, loaded);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_fact_table("/nonexistent/dir/table.bin"), Error);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,91 @@
+#include "relational/dimensions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+Dimension time_dim() {
+  return Dimension("time", {{"year", 4}, {"month", 48}, {"day", 1440}});
+}
+
+TEST(Dimension, BasicProperties) {
+  const Dimension d = time_dim();
+  EXPECT_EQ(d.name(), "time");
+  EXPECT_EQ(d.level_count(), 3);
+  EXPECT_EQ(d.finest_level(), 2);
+  EXPECT_EQ(d.level(0).name, "year");
+  EXPECT_EQ(d.level(2).cardinality, 1440u);
+}
+
+TEST(Dimension, FanoutBetweenLevels) {
+  const Dimension d = time_dim();
+  EXPECT_EQ(d.fanout(0, 0), 1u);
+  EXPECT_EQ(d.fanout(0, 1), 12u);
+  EXPECT_EQ(d.fanout(1, 2), 30u);
+  EXPECT_EQ(d.fanout(0, 2), 360u);
+}
+
+TEST(Dimension, CoarsenMapsToAncestor) {
+  const Dimension d = time_dim();
+  // Day 0 is in month 0, year 0; day 1439 is in month 47, year 3.
+  EXPECT_EQ(d.coarsen(0, 2, 0), 0);
+  EXPECT_EQ(d.coarsen(1439, 2, 1), 47);
+  EXPECT_EQ(d.coarsen(1439, 2, 0), 3);
+  // Month 13 belongs to year 1.
+  EXPECT_EQ(d.coarsen(13, 1, 0), 1);
+  // Identity at the same level.
+  EXPECT_EQ(d.coarsen(17, 1, 1), 17);
+}
+
+TEST(Dimension, CoarsenConsistentAcrossPaths) {
+  // coarsen(fine->coarse) == coarsen(coarsen(fine->mid), mid->coarse)
+  const Dimension d = time_dim();
+  for (std::int32_t day = 0; day < 1440; day += 97) {
+    const std::int32_t via_month = d.coarsen(d.coarsen(day, 2, 1), 1, 0);
+    EXPECT_EQ(d.coarsen(day, 2, 0), via_month);
+  }
+}
+
+TEST(Dimension, RejectsInvalidHierarchies) {
+  EXPECT_THROW(Dimension("x", {}), InvalidArgument);
+  EXPECT_THROW(Dimension("x", {{"a", 0}}), InvalidArgument);
+  // Non-increasing cardinality.
+  EXPECT_THROW(Dimension("x", {{"a", 8}, {"b", 8}}), InvalidArgument);
+  // Non-divisible cardinality (unbalanced hierarchy).
+  EXPECT_THROW(Dimension("x", {{"a", 8}, {"b", 12}}), InvalidArgument);
+}
+
+TEST(Dimension, RejectsOutOfRangeAccess) {
+  const Dimension d = time_dim();
+  EXPECT_THROW(d.level(3), InvalidArgument);
+  EXPECT_THROW(d.fanout(1, 0), InvalidArgument);
+  EXPECT_THROW(d.coarsen(1440, 2, 0), InvalidArgument);
+}
+
+TEST(PaperDimensions, MatchesSection4Configuration) {
+  const auto dims = paper_model_dimensions();
+  ASSERT_EQ(dims.size(), 3u);
+  for (const auto& d : dims) {
+    ASSERT_EQ(d.level_count(), 4);
+    EXPECT_EQ(d.level(0).cardinality, 8u);
+    EXPECT_EQ(d.level(3).cardinality, 1600u);
+  }
+}
+
+TEST(PaperDimensions, CubeSizesMatchThePaperLadder) {
+  // 8-byte cells: levels 0..3 must be ~4 KB, ~500 KB, ~512 MB, ~32 GB.
+  const auto dims = paper_model_dimensions();
+  auto cells = [&](int level) {
+    std::size_t n = 1;
+    for (const auto& d : dims) n *= d.level(level).cardinality;
+    return n * 8;
+  };
+  EXPECT_EQ(cells(0), 4096u);                          // 4 KB
+  EXPECT_EQ(cells(1), 512000u);                        // 500 KB
+  EXPECT_EQ(cells(2), 512000000u);                     // ~488 MB
+  EXPECT_EQ(cells(3), 32768000000u);                   // ~30.5 GB
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,76 @@
+#include "relational/fact_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+FactTable make_table() {
+  return FactTable(
+      make_star_schema(tiny_model_dimensions(), {"sales"}, {}));
+}
+
+TEST(FactTable, StartsEmpty) {
+  const FactTable t = make_table();
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_EQ(t.size_bytes(), 0u);
+}
+
+TEST(FactTable, AppendAndReadBack) {
+  FactTable t = make_table();
+  const std::vector<std::int32_t> codes{0, 1, 2, 3, 1, 2, 4, 8, 0, 0, 1, 2};
+  const std::vector<double> measures{42.5};
+  t.append_row(codes, measures);
+  ASSERT_EQ(t.row_count(), 1u);
+  for (int c = 0; c < 12; ++c) {
+    EXPECT_EQ(t.dim_column(c)[0], codes[static_cast<std::size_t>(c)]);
+  }
+  EXPECT_DOUBLE_EQ(t.measure_column(12)[0], 42.5);
+}
+
+TEST(FactTable, SizeBytesCountsColumnsExactly) {
+  FactTable t = make_table();
+  const std::vector<std::int32_t> codes(12, 0);
+  const std::vector<double> measures{1.0};
+  for (int i = 0; i < 10; ++i) t.append_row(codes, measures);
+  // 12 dim columns * 4 B + 1 measure * 8 B = 56 B per row.
+  EXPECT_EQ(t.size_bytes(), 10u * 56u);
+  EXPECT_EQ(t.schema().row_bytes(), 56u);
+}
+
+TEST(FactTable, AppendRejectsWrongArity) {
+  FactTable t = make_table();
+  const std::vector<std::int32_t> short_codes(3, 0);
+  const std::vector<double> measures{1.0};
+  EXPECT_THROW(t.append_row(short_codes, measures), InvalidArgument);
+  const std::vector<std::int32_t> codes(12, 0);
+  const std::vector<double> no_measures;
+  EXPECT_THROW(t.append_row(codes, no_measures), InvalidArgument);
+}
+
+TEST(FactTable, DimLevelColumnConvenience) {
+  FactTable t = make_table();
+  std::vector<std::int32_t> codes(12, 0);
+  codes[static_cast<std::size_t>(t.schema().dimension_column(1, 2))] = 5;
+  t.append_row(codes, std::vector<double>{1.0});
+  EXPECT_EQ(t.dim_level_column(1, 2)[0], 5);
+}
+
+TEST(FactTable, ColumnKindAccessorsEnforced) {
+  FactTable t = make_table();
+  EXPECT_THROW(t.dim_column(12), InvalidArgument);      // 12 is the measure
+  EXPECT_THROW(t.measure_column(0), InvalidArgument);   // 0 is a dim column
+}
+
+TEST(FactTable, BulkLoadValidatesRaggedColumns) {
+  FactTable t = make_table();
+  t.mutable_dim_column(0).push_back(1);
+  EXPECT_THROW(t.finalize_bulk_load(), InvalidArgument);
+  for (int c = 1; c < 12; ++c) t.mutable_dim_column(c).push_back(1);
+  t.mutable_measure_column(12).push_back(2.0);
+  t.finalize_bulk_load();
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,51 @@
+#include "relational/names.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace holap {
+namespace {
+
+class NamesBijectivity : public ::testing::TestWithParam<NameKind> {};
+
+TEST_P(NamesBijectivity, FirstTenThousandAreDistinct) {
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    const auto [it, inserted] = seen.insert(synth_name(GetParam(), i));
+    EXPECT_TRUE(inserted) << "collision at i=" << i << ": " << *it;
+  }
+}
+
+TEST_P(NamesBijectivity, Deterministic) {
+  for (std::uint64_t i : {0ull, 1ull, 17ull, 9999ull, 123456ull}) {
+    EXPECT_EQ(synth_name(GetParam(), i), synth_name(GetParam(), i));
+  }
+}
+
+TEST_P(NamesBijectivity, NonEmpty) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(synth_name(GetParam(), i).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, NamesBijectivity,
+                         ::testing::Values(NameKind::kCity, NameKind::kStreet,
+                                           NameKind::kPerson,
+                                           NameKind::kBrand));
+
+TEST(Names, KindsProduceDistinctStyles) {
+  // Spot-check that kinds do not collide on the same index.
+  EXPECT_NE(synth_name(NameKind::kCity, 5), synth_name(NameKind::kPerson, 5));
+  EXPECT_NE(synth_name(NameKind::kBrand, 5), synth_name(NameKind::kStreet, 5));
+}
+
+TEST(Names, LargeIndicesStillDistinct) {
+  std::set<std::string> seen;
+  for (std::uint64_t i = 1'000'000; i < 1'002'000; ++i) {
+    EXPECT_TRUE(seen.insert(synth_name(NameKind::kCity, i)).second);
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,116 @@
+#include "relational/schema.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+TableSchema tiny_schema() {
+  return make_star_schema(tiny_model_dimensions(), {"sales", "qty"},
+                          {{1, 3}});
+}
+
+TEST(StarSchema, ColumnLayoutMatchesFigure6) {
+  const TableSchema s = tiny_schema();
+  // 3 dims x 4 levels + 2 measures.
+  EXPECT_EQ(s.column_count(), 14);
+  EXPECT_EQ(s.dimension_count(), 3);
+  // Dimension columns come first, dimension-major coarse-to-fine.
+  EXPECT_EQ(s.column(0).name, "time.year");
+  EXPECT_EQ(s.column(3).name, "time.hour");
+  EXPECT_EQ(s.column(4).name, "geography.region");
+  // Measures last.
+  EXPECT_EQ(s.column(12).name, "sales");
+  EXPECT_EQ(s.column(13).kind, ColumnKind::kMeasure);
+}
+
+TEST(StarSchema, DimensionColumnLookup) {
+  const TableSchema s = tiny_schema();
+  for (int d = 0; d < 3; ++d) {
+    for (int l = 0; l < 4; ++l) {
+      const int col = s.dimension_column(d, l);
+      EXPECT_EQ(s.column(col).dim, d);
+      EXPECT_EQ(s.column(col).level, l);
+    }
+  }
+  EXPECT_THROW(s.dimension_column(3, 0), InvalidArgument);
+  EXPECT_THROW(s.dimension_column(0, 4), InvalidArgument);
+}
+
+TEST(StarSchema, TextColumnsMarked) {
+  const TableSchema s = tiny_schema();
+  ASSERT_EQ(s.text_columns().size(), 1u);
+  const ColumnSpec& spec = s.column(s.text_columns()[0]);
+  EXPECT_EQ(spec.dim, 1);
+  EXPECT_EQ(spec.level, 3);
+  EXPECT_EQ(spec.encoding, ValueEncoding::kDictEncodedText);
+}
+
+TEST(StarSchema, MeasureColumnsListed) {
+  const TableSchema s = tiny_schema();
+  ASSERT_EQ(s.measure_columns().size(), 2u);
+  EXPECT_EQ(s.column(s.measure_columns()[0]).name, "sales");
+}
+
+TEST(StarSchema, FindColumnByName) {
+  const TableSchema s = tiny_schema();
+  EXPECT_TRUE(s.find_column("time.day").has_value());
+  EXPECT_EQ(s.find_column("nonexistent"), std::nullopt);
+}
+
+TEST(StarSchema, RowBytes) {
+  // 12 dimension columns * 4 B + 2 measures * 8 B = 64 B.
+  EXPECT_EQ(tiny_schema().row_bytes(), 64u);
+}
+
+TEST(TableSchema, RejectsDuplicateColumnNames) {
+  auto dims = tiny_model_dimensions();
+  std::vector<ColumnSpec> cols;
+  ColumnSpec a;
+  a.name = "dup";
+  a.kind = ColumnKind::kDimensionLevel;
+  a.dim = 0;
+  a.level = 0;
+  ColumnSpec b = a;
+  b.level = 1;
+  cols.push_back(a);
+  cols.push_back(b);
+  EXPECT_THROW(TableSchema(dims, cols), InvalidArgument);
+}
+
+TEST(TableSchema, RejectsDuplicateDimLevelColumns) {
+  auto dims = tiny_model_dimensions();
+  std::vector<ColumnSpec> cols;
+  ColumnSpec a;
+  a.name = "x";
+  a.kind = ColumnKind::kDimensionLevel;
+  a.dim = 0;
+  a.level = 0;
+  ColumnSpec b = a;
+  b.name = "y";
+  cols.push_back(a);
+  cols.push_back(b);
+  EXPECT_THROW(TableSchema(dims, cols), InvalidArgument);
+}
+
+TEST(TableSchema, RejectsDictEncodedMeasure) {
+  auto dims = tiny_model_dimensions();
+  ColumnSpec m;
+  m.name = "m";
+  m.kind = ColumnKind::kMeasure;
+  m.encoding = ValueEncoding::kDictEncodedText;
+  EXPECT_THROW(TableSchema(dims, {m}), InvalidArgument);
+}
+
+TEST(TableSchema, RejectsUnknownDimOrLevel) {
+  auto dims = tiny_model_dimensions();
+  ColumnSpec c;
+  c.name = "c";
+  c.kind = ColumnKind::kDimensionLevel;
+  c.dim = 7;
+  c.level = 0;
+  EXPECT_THROW(TableSchema(dims, {c}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

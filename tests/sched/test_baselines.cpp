@@ -1,0 +1,142 @@
+#include "sched/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/catalog.hpp"
+
+namespace holap {
+namespace {
+
+struct Fixture {
+  std::vector<Dimension> dims = paper_model_dimensions();
+  TableSchema schema = make_star_schema(paper_model_dimensions(),
+                                        {"m0", "m1", "m2", "m3"},
+                                        {{1, 3}, {2, 3}});
+  VirtualCubeCatalog catalog{paper_model_dimensions(), {0, 1, 2, 3}};
+  VirtualTranslationModel translation{schema, 1.0};
+  SchedulerConfig config;
+
+  CostEstimator estimator() const {
+    return make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+                                &catalog, &translation);
+  }
+  std::unique_ptr<SchedulerPolicy> policy(const std::string& name) const {
+    return make_policy(name, config, estimator());
+  }
+};
+
+Query cheap_query() {
+  Query q;
+  q.conditions.push_back({0, 0, 0, 0, {}, {}});
+  q.conditions.push_back({1, 0, 0, 0, {}, {}});
+  q.conditions.push_back({2, 0, 0, 0, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+Query gpu_heavy_query() {
+  Query q;
+  q.conditions.push_back({0, 3, 0, 1599, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+TEST(Met, AlwaysPicksMinimalExecutionTimeIgnoringLoad) {
+  Fixture f;
+  auto met = f.policy("MET");
+  // Cheap query: CPU is fastest. MET keeps hammering the same partition
+  // regardless of its backlog — the policy's defining flaw.
+  std::set<int> kinds;
+  for (int i = 0; i < 50; ++i) {
+    const Placement p = met->schedule(cheap_query(), 0.0);
+    kinds.insert(p.queue.kind == QueueRef::kCpu ? -1 : p.queue.index);
+  }
+  EXPECT_EQ(kinds.size(), 1u);
+  EXPECT_TRUE(kinds.contains(-1));
+}
+
+TEST(Met, GpuHeavyQueryGoesToFastestPartition) {
+  Fixture f;
+  auto met = f.policy("MET");
+  const Placement p = met->schedule(gpu_heavy_query(), 0.0);
+  ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
+  EXPECT_GE(p.queue.index, 4);  // a 4-SM queue
+}
+
+TEST(Mct, SpreadsLoadAcrossEquivalentQueues) {
+  Fixture f;
+  auto mct = f.policy("MCT");
+  std::set<int> used;
+  for (int i = 0; i < 12; ++i) {
+    const Placement p = mct->schedule(gpu_heavy_query(), 0.0);
+    ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
+    used.insert(p.queue.index);
+  }
+  // Completion-time awareness must engage more than one queue.
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(Mct, PicksEarliestCompletion) {
+  Fixture f;
+  auto mct = f.policy("MCT");
+  const Placement first = mct->schedule(gpu_heavy_query(), 0.0);
+  const Placement second = mct->schedule(gpu_heavy_query(), 0.0);
+  // Two equal queries: the second must not queue behind the first when an
+  // equally fast empty queue exists.
+  EXPECT_NE(first.queue.index, second.queue.index);
+}
+
+TEST(RoundRobin, CyclesThroughCandidates) {
+  Fixture f;
+  auto rr = f.policy("round-robin");
+  std::vector<int> order;
+  for (int i = 0; i < 14; ++i) {
+    const Placement p = rr->schedule(cheap_query(), 0.0);
+    order.push_back(p.queue.kind == QueueRef::kCpu ? -1 : p.queue.index);
+  }
+  // 7 candidates (CPU + 6 GPU queues): a full cycle repeats.
+  std::set<int> first_cycle(order.begin(), order.begin() + 7);
+  EXPECT_EQ(first_cycle.size(), 7u);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(order[i], order[i + 7]);
+}
+
+TEST(RoundRobin, SkipsCpuWhenItCannotAnswer) {
+  Fixture f;
+  VirtualCubeCatalog small(f.dims, {0});
+  auto rr = make_policy("round-robin", f.config,
+                        make_paper_estimator(f.config.gpu_partitions, 8,
+                                             4096.0, 16, &small,
+                                             &f.translation));
+  for (int i = 0; i < 12; ++i) {
+    const Placement p = rr->schedule(gpu_heavy_query(), 0.0);
+    EXPECT_EQ(p.queue.kind, QueueRef::kGpu);
+  }
+}
+
+TEST(PolicyFactory, KnownNamesAndUnknownRejected) {
+  Fixture f;
+  for (const char* name : {"figure10", "MET", "MCT", "round-robin"}) {
+    const auto p = f.policy(name);
+    EXPECT_STREQ(p->name(), name);
+    EXPECT_EQ(p->gpu_queue_count(), 6);
+    EXPECT_DOUBLE_EQ(p->deadline(), f.config.deadline);
+  }
+  EXPECT_THROW(f.policy("nonsense"), InvalidArgument);
+}
+
+TEST(Policies, AllPlaceEveryQuerySomewhere) {
+  Fixture f;
+  for (const char* name : {"figure10", "MET", "MCT", "round-robin"}) {
+    auto policy = f.policy(name);
+    for (int i = 0; i < 30; ++i) {
+      const Placement p = policy->schedule(
+          i % 2 ? cheap_query() : gpu_heavy_query(), 0.01 * i);
+      EXPECT_FALSE(p.rejected) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,100 @@
+#include "sched/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cube/dense_cube.hpp"
+
+namespace holap {
+namespace {
+
+std::vector<Dimension> dims() { return paper_model_dimensions(); }
+
+Query level_query(int level, std::int32_t from = 0, std::int32_t to = 0) {
+  Query q;
+  q.conditions.push_back({0, level, from, to, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+TEST(VirtualCatalog, LowestLevelSelection) {
+  const VirtualCubeCatalog cat(dims(), {0, 1, 2});
+  EXPECT_EQ(cat.lowest_level_for(level_query(0)), 0);
+  EXPECT_EQ(cat.lowest_level_for(level_query(1)), 1);
+  EXPECT_EQ(cat.lowest_level_for(level_query(3)), std::nullopt);
+  EXPECT_TRUE(cat.can_answer(level_query(2)));
+  EXPECT_FALSE(cat.can_answer(level_query(3)));
+}
+
+TEST(VirtualCatalog, LevelsDeduplicatedAndSorted) {
+  const VirtualCubeCatalog cat(dims(), {2, 0, 2, 1});
+  EXPECT_EQ(cat.levels(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(VirtualCatalog, AnswerMbMatchesSubcubeBytes) {
+  const VirtualCubeCatalog cat(dims(), {0, 1, 2, 3});
+  const Query q = level_query(2, 0, 99);  // 100 of 400 members at level 2
+  const double expected_bytes =
+      static_cast<double>(subcube_bytes(q, dims(), 2, 8));
+  EXPECT_NEAR(cat.answer_mb(q), expected_bytes / (1024.0 * 1024.0), 1e-9);
+}
+
+TEST(VirtualCatalog, ThirtyTwoGigabyteCubeIsJustANumber) {
+  // The whole point of the virtual plane: Table 2's 32 GB cube without
+  // allocating it. A full-extent level-3 query touches the entire cube.
+  const VirtualCubeCatalog cat(dims(), {3});
+  const Query q = level_query(3, 0, 1599);
+  EXPECT_NEAR(cat.answer_mb(q), 32768.0 * 0.953674, 40.0);  // ~31.25 GiB
+  EXPECT_EQ(cat.total_bytes(), 32'768'000'000u);
+}
+
+TEST(VirtualCatalog, AnswerMbThrowsWhenUnanswerable) {
+  const VirtualCubeCatalog cat(dims(), {0});
+  EXPECT_THROW(cat.answer_mb(level_query(2)), InvalidArgument);
+}
+
+TEST(VirtualCatalog, RejectsInvalidLevels) {
+  EXPECT_THROW(VirtualCubeCatalog(dims(), {4}), InvalidArgument);
+  EXPECT_THROW(VirtualCubeCatalog({}, {0}), InvalidArgument);
+}
+
+TEST(VirtualTranslation, LengthsForTextConditions) {
+  const TableSchema schema =
+      make_star_schema(dims(), {"m"}, {{1, 3}, {2, 3}});
+  const VirtualTranslationModel model(schema, 1.0);
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"a", "b"};
+  q.conditions.push_back(c);
+  // Level-3 cardinality is 1600; two parameters.
+  EXPECT_EQ(model.dictionary_lengths(q),
+            (std::vector<std::size_t>{1600, 1600}));
+}
+
+TEST(VirtualTranslation, MultiplierScalesLengths) {
+  const TableSchema schema = make_star_schema(dims(), {"m"}, {{1, 3}});
+  const VirtualTranslationModel model(schema, 250.0);
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"x"};
+  q.conditions.push_back(c);
+  EXPECT_EQ(model.dictionary_lengths(q),
+            (std::vector<std::size_t>{400'000}));
+}
+
+TEST(VirtualTranslation, NonTextQueriesEmpty) {
+  const TableSchema schema = make_star_schema(dims(), {"m"}, {{1, 3}});
+  const VirtualTranslationModel model(schema);
+  EXPECT_TRUE(model.dictionary_lengths(level_query(2)).empty());
+}
+
+TEST(VirtualTranslation, RejectsNonPositiveMultiplier) {
+  const TableSchema schema = make_star_schema(dims(), {"m"}, {});
+  EXPECT_THROW(VirtualTranslationModel(schema, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

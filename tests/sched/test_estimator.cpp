@@ -1,0 +1,160 @@
+#include "sched/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/catalog.hpp"
+
+namespace holap {
+namespace {
+
+struct Fixture {
+  std::vector<Dimension> dims = paper_model_dimensions();
+  TableSchema schema =
+      make_star_schema(paper_model_dimensions(),
+                       {"m0", "m1", "m2", "m3"}, {{1, 3}, {2, 3}});
+  VirtualCubeCatalog catalog{paper_model_dimensions(), {0, 1, 2, 3}};
+  VirtualTranslationModel translation{schema, 1.0};
+
+  CostEstimator estimator(int threads = 8) const {
+    return make_paper_estimator({1, 1, 2, 2, 4, 4}, threads, 4096.0, 16,
+                                &catalog, &translation);
+  }
+};
+
+Query level_query(int level, std::int32_t from, std::int32_t to) {
+  Query q;
+  q.conditions.push_back({0, level, from, to, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+TEST(Estimator, CpuEstimateUsesPaperModel) {
+  Fixture f;
+  const CostEstimator est = f.estimator(8);
+  const Query q = level_query(2, 0, 199);  // half of level 2 in dim 0
+  const CostEstimate e = est.estimate(q);
+  ASSERT_TRUE(e.cpu.has_value());
+  EXPECT_NEAR(*e.cpu, CpuPerfModel::paper_8t().seconds(e.subcube_mb), 1e-15);
+  EXPECT_GT(e.subcube_mb, 0.0);
+}
+
+TEST(Estimator, CpuAbsentWhenNoCubeCovers) {
+  Fixture f;
+  VirtualCubeCatalog small(f.dims, {0, 1});
+  const CostEstimator est = make_paper_estimator(
+      {1, 1, 2, 2, 4, 4}, 8, 4096.0, 16, &small, &f.translation);
+  const CostEstimate e = est.estimate(level_query(3, 0, 10));
+  EXPECT_FALSE(e.cpu.has_value());
+}
+
+TEST(Estimator, GpuEstimatesPerQueueFollowEquation14) {
+  Fixture f;
+  const CostEstimator est = f.estimator();
+  const Query q = level_query(1, 0, 9);
+  const CostEstimate e = est.estimate(q);
+  ASSERT_EQ(e.gpu.size(), 6u);
+  // Column fraction: 1 condition + 1 measure of 16 columns.
+  EXPECT_NEAR(e.column_fraction, 2.0 / 16.0, 1e-12);
+  EXPECT_NEAR(e.gpu[0],
+              GpuPerfModel::paper_c2070(1).seconds(e.column_fraction),
+              1e-15);
+  EXPECT_NEAR(e.gpu[5],
+              GpuPerfModel::paper_c2070(4).seconds(e.column_fraction),
+              1e-15);
+  // Queue pairs share a model class: the paper's j = ceil(i/2) mapping.
+  EXPECT_DOUBLE_EQ(e.gpu[0], e.gpu[1]);
+  EXPECT_DOUBLE_EQ(e.gpu[2], e.gpu[3]);
+  EXPECT_DOUBLE_EQ(e.gpu[4], e.gpu[5]);
+  EXPECT_GT(e.gpu[0], e.gpu[2]);
+  EXPECT_GT(e.gpu[2], e.gpu[4]);
+}
+
+TEST(Estimator, TranslationTimeFollowsEquation18) {
+  Fixture f;
+  const CostEstimator est = f.estimator();
+  Query q = level_query(1, 0, 3);
+  Condition text;
+  text.dim = 1;
+  text.level = 3;
+  text.text_values = {"a", "b", "c"};
+  q.conditions.push_back(text);
+  const CostEstimate e = est.estimate(q);
+  EXPECT_TRUE(e.needs_translation);
+  EXPECT_NEAR(e.translation, 3 * 0.0138e-6 * 1600.0, 1e-12);
+}
+
+TEST(Estimator, NoTextMeansNoTranslation) {
+  Fixture f;
+  const CostEstimate e = f.estimator().estimate(level_query(0, 0, 1));
+  EXPECT_FALSE(e.needs_translation);
+  EXPECT_EQ(e.translation, 0.0);
+}
+
+TEST(Estimator, ColumnFractionCapsAtOne) {
+  Fixture f;
+  const CostEstimator est = make_paper_estimator(
+      {1}, 8, 4096.0, 2 /* tiny C_TOTAL */, &f.catalog, &f.translation);
+  Query q = level_query(1, 0, 3);
+  q.conditions.push_back({1, 1, 0, 3, {}, {}});
+  q.measures = {12, 13};
+  const CostEstimate e = est.estimate(q);
+  EXPECT_DOUBLE_EQ(e.column_fraction, 1.0);
+}
+
+TEST(Estimator, MoreColumnsCostMoreOnGpu) {
+  Fixture f;
+  const CostEstimator est = f.estimator();
+  Query narrow = level_query(1, 0, 3);
+  Query wide = narrow;
+  wide.conditions.push_back({1, 1, 0, 3, {}, {}});
+  wide.conditions.push_back({2, 1, 0, 3, {}, {}});
+  wide.measures = {12, 13, 14};
+  EXPECT_GT(est.estimate(wide).gpu[0], est.estimate(narrow).gpu[0]);
+}
+
+
+TEST(Estimator, TranslationCostingModes) {
+  Fixture f;
+  CostEstimator est = f.estimator();
+  Query q = level_query(1, 0, 3);
+  Condition a;
+  a.dim = 1;
+  a.level = 3;
+  a.text_values = {"x", "y"};          // two params, one column
+  Condition b;
+  b.dim = 2;
+  b.level = 3;
+  b.text_values = {"z"};               // one param, second column
+  q.conditions.push_back(a);
+  q.conditions.push_back(b);
+
+  // Paper semantics: one full scan per parameter (3 scans of 1600).
+  const double per_param = est.estimate(q).translation;
+  EXPECT_NEAR(per_param, 3 * 0.0138e-6 * 1600.0, 1e-12);
+
+  // Batch: one pass per DISTINCT column (2 scans of 1600).
+  est.set_translation_costing(TranslationCosting::kBatchPerColumn);
+  EXPECT_NEAR(est.estimate(q).translation, 2 * 0.0138e-6 * 1600.0, 1e-12);
+
+  // Hashed: a constant per parameter, independent of dictionary size.
+  est.set_translation_costing(TranslationCosting::kHashed, 1e-7);
+  EXPECT_NEAR(est.estimate(q).translation, 3e-7, 1e-15);
+
+  EXPECT_THROW(est.set_translation_costing(TranslationCosting::kHashed, 0.0),
+               InvalidArgument);
+}
+
+TEST(Estimator, ValidatesConstruction) {
+  Fixture f;
+  EXPECT_THROW(make_paper_estimator({1}, 8, 4096.0, 16, nullptr,
+                                    &f.translation),
+               InvalidArgument);
+  EXPECT_THROW(make_paper_estimator({1}, 8, 4096.0, 16, &f.catalog, nullptr),
+               InvalidArgument);
+  EXPECT_THROW(make_paper_estimator({1}, 8, 4096.0, 0, &f.catalog,
+                                    &f.translation),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace holap

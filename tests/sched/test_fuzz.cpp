@@ -1,0 +1,160 @@
+// Randomised property sweep over the scheduling machinery: many random
+// (config, workload) pairs, each checked against invariants that must hold
+// for EVERY policy and load:
+//   - placements always name a real, enabled partition;
+//   - queue clocks never run backwards;
+//   - response estimates are never before the query's arrival, and always
+//     at least the processing estimate away;
+//   - before_deadline flags are consistent with T_D;
+//   - the translation queue engages exactly for GPU-bound text queries.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "query/workload.hpp"
+#include "sched/baselines.hpp"
+#include "sched/catalog.hpp"
+
+namespace holap {
+namespace {
+
+struct FuzzWorld {
+  std::vector<Dimension> dims = paper_model_dimensions();
+  TableSchema schema =
+      make_star_schema(paper_model_dimensions(),
+                       {"m0", "m1", "m2", "m3"}, {{1, 3}, {2, 3}});
+  VirtualCubeCatalog catalog;
+  VirtualTranslationModel translation;
+  SchedulerConfig config;
+  WorkloadConfig workload;
+
+  explicit FuzzWorld(std::uint64_t seed)
+      : catalog(paper_model_dimensions(), pick_levels(seed)),
+        translation(schema, 1.0 + static_cast<double>(seed % 7) * 300.0) {
+    SplitMix64 rng(seed);
+    // Random but valid partitioning of <= 14 SMs.
+    config.gpu_partitions.clear();
+    int budget = 14;
+    while (budget > 0 && config.gpu_partitions.size() < 8) {
+      const int sms = static_cast<int>(
+          rng.uniform_int(1, std::min<std::int64_t>(4, budget)));
+      config.gpu_partitions.push_back(sms);
+      budget -= sms;
+      if (rng.bernoulli(0.25)) break;
+    }
+    config.deadline = rng.uniform_real(0.01, 0.5);
+    config.enable_cpu = rng.bernoulli(0.8);
+    config.enable_gpu = !config.enable_cpu || rng.bernoulli(0.8);
+    if (!config.enable_gpu) config.gpu_partitions.clear();
+    config.feedback = rng.bernoulli(0.5);
+    config.prefer_fastest_feasible_gpu = rng.bernoulli(0.2);
+    if (rng.bernoulli(0.3)) {
+      config.modeled_gpu_dispatch = rng.uniform_real(0.001, 0.02);
+    }
+
+    workload.seed = rng.next();
+    workload.text_probability = rng.uniform_real(0.0, 1.0);
+    workload.mean_selectivity = rng.uniform_real(0.05, 0.9);
+  }
+
+  static std::vector<int> pick_levels(std::uint64_t seed) {
+    SplitMix64 rng(seed * 77 + 1);
+    std::vector<int> levels;
+    for (int l = 0; l < 4; ++l) {
+      if (rng.bernoulli(0.6)) levels.push_back(l);
+    }
+    if (levels.empty()) levels.push_back(1);
+    return levels;
+  }
+
+  CostEstimator estimator() const {
+    return make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+                                &catalog, &translation);
+  }
+};
+
+class SchedulerFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 const char*>> {};
+
+TEST_P(SchedulerFuzz, InvariantsHoldOnRandomWorkloads) {
+  const auto [seed, policy_name] = GetParam();
+  FuzzWorld world(seed);
+  auto policy = make_policy(policy_name, world.config, world.estimator());
+  QueryGenerator gen(world.dims, world.schema, world.workload);
+
+  SplitMix64 arrivals(seed + 5);
+  Seconds now = 0.0;
+  Seconds prev_cpu = 0.0, prev_trans = 0.0;
+  std::vector<Seconds> prev_gpu(world.config.gpu_partitions.size(), 0.0);
+  auto* queueing = dynamic_cast<QueueingScheduler*>(policy.get());
+  ASSERT_NE(queueing, nullptr);
+
+  for (int i = 0; i < 120; ++i) {
+    now += arrivals.exponential(100.0);
+    const Query q = gen.next();
+    const Placement p = policy->schedule(q, now);
+
+    if (p.rejected) {
+      // Rejection is only legal when the GPU is off and no cube covers.
+      EXPECT_FALSE(world.config.enable_gpu);
+      EXPECT_FALSE(world.catalog.can_answer(q));
+      continue;
+    }
+    // Placement names an enabled partition.
+    if (p.queue.kind == QueueRef::kCpu) {
+      EXPECT_TRUE(world.config.enable_cpu);
+      EXPECT_TRUE(world.catalog.can_answer(q));
+      EXPECT_FALSE(p.translate);  // translation is GPU-side only
+    } else {
+      EXPECT_TRUE(world.config.enable_gpu);
+      EXPECT_GE(p.queue.index, 0);
+      EXPECT_LT(p.queue.index,
+                static_cast<int>(world.config.gpu_partitions.size()));
+      EXPECT_EQ(p.translate, q.needs_translation());
+    }
+    // Response geometry.
+    EXPECT_GE(p.processing_est, 0.0);
+    EXPECT_GE(p.response_est, now + p.processing_est - 1e-12);
+    EXPECT_EQ(p.before_deadline,
+              now + world.config.deadline - p.response_est > 0.0);
+
+    // Clocks never run backwards.
+    EXPECT_GE(queueing->cpu_clock(), prev_cpu - 1e-12);
+    EXPECT_GE(queueing->translation_clock(), prev_trans - 1e-12);
+    prev_cpu = queueing->cpu_clock();
+    prev_trans = queueing->translation_clock();
+    for (std::size_t g = 0; g < prev_gpu.size(); ++g) {
+      const Seconds clock = queueing->gpu_clock(static_cast<int>(g));
+      EXPECT_GE(clock, prev_gpu[g] - 1e-12) << "gpu queue " << g;
+      prev_gpu[g] = clock;
+    }
+
+    // Positive-error feedback must never rewind a clock either.
+    if (i % 7 == 0) {
+      policy->on_completed(p.queue, p.processing_est,
+                           p.processing_est * 1.1);
+      EXPECT_GE(queueing->cpu_clock(), prev_cpu - 1e-12);
+      prev_cpu = queueing->cpu_clock();
+      for (std::size_t g = 0; g < prev_gpu.size(); ++g) {
+        prev_gpu[g] = std::min(prev_gpu[g],
+                               queueing->gpu_clock(static_cast<int>(g)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, SchedulerFuzz,
+    ::testing::Combine(::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                         6ull, 7ull, 8ull),
+                       ::testing::Values("figure10", "MCT", "MET",
+                                         "round-robin")),
+    [](const auto& suite_info) {
+      return std::string(std::get<1>(suite_info.param)) == "round-robin"
+                 ? "rr_s" + std::to_string(std::get<0>(suite_info.param))
+                 : std::string(std::get<1>(suite_info.param)) + "_s" +
+                       std::to_string(std::get<0>(suite_info.param));
+    });
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,303 @@
+// Behavioural tests of the Figure-10 algorithm, driven through a fully
+// controlled virtual scenario so every branch of steps 3–6 is exercised
+// deterministically.
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/catalog.hpp"
+
+namespace holap {
+namespace {
+
+struct Fixture {
+  std::vector<Dimension> dims = paper_model_dimensions();
+  TableSchema schema =
+      make_star_schema(paper_model_dimensions(),
+                       {"m0", "m1", "m2", "m3"}, {{1, 3}, {2, 3}});
+  VirtualCubeCatalog catalog{paper_model_dimensions(), {0, 1, 2, 3}};
+  /// Ladder without the 32 GB cube: level-3 queries become GPU-only.
+  VirtualCubeCatalog catalog_no32{paper_model_dimensions(), {0, 1, 2}};
+  VirtualTranslationModel translation{schema, 1000.0};
+
+  SchedulerConfig config;
+
+  Fixture() {
+    config.deadline = 0.25;
+  }
+
+  FigureTenScheduler scheduler() const {
+    return FigureTenScheduler(
+        config, make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+                                     &catalog, &translation));
+  }
+
+  FigureTenScheduler scheduler_no32() const {
+    return FigureTenScheduler(
+        config, make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+                                     &catalog_no32, &translation));
+  }
+};
+
+// A tiny coarse query: microseconds on the CPU, far cheaper than any GPU
+// partition's fixed cost.
+Query cheap_cpu_query() {
+  Query q;
+  q.conditions.push_back({0, 0, 0, 0, {}, {}});
+  q.conditions.push_back({1, 0, 0, 0, {}, {}});
+  q.conditions.push_back({2, 0, 0, 0, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+// A fine full-extent query: level 3, whole 32 GB cube -> seconds on the
+// CPU, milliseconds on the GPU.
+Query expensive_cpu_query() {
+  Query q;
+  q.conditions.push_back({0, 3, 0, 1599, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+// Needs level 3 but no level-3 cube exists -> CPU cannot answer.
+Query gpu_only_query(const Fixture&) {
+  Query q;
+  q.conditions.push_back({0, 3, 0, 99, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+Query text_query() {
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"Marlowick"};
+  q.conditions.push_back(c);
+  q.conditions.push_back({0, 3, 0, 1599, {}, {}});  // force expensive CPU
+  q.measures = {12};
+  return q;
+}
+
+TEST(Figure10, CheapQueriesPreferTheCpu) {
+  // Step 5 first branch: CPU in P_BD and T_CPU < T_GPU3.
+  Fixture f;
+  auto sched = f.scheduler();
+  const Placement p = sched.schedule(cheap_cpu_query(), 0.0);
+  EXPECT_FALSE(p.rejected);
+  EXPECT_EQ(p.queue.kind, QueueRef::kCpu);
+  EXPECT_TRUE(p.before_deadline);
+  EXPECT_FALSE(p.translate);
+  EXPECT_GT(sched.cpu_clock(), 0.0);
+}
+
+TEST(Figure10, ExpensiveQueriesGoToTheSlowestFeasibleGpuQueue) {
+  // Step 5 ELSE branch: iterate slow -> fast, take the first feasible.
+  Fixture f;
+  auto sched = f.scheduler();
+  const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+  EXPECT_EQ(p.queue.kind, QueueRef::kGpu);
+  EXPECT_EQ(p.queue.index, 0);  // empty queues: the slowest is feasible
+  EXPECT_TRUE(p.before_deadline);
+  EXPECT_NEAR(sched.gpu_clock(0), p.response_est, 1e-15);
+  EXPECT_EQ(sched.gpu_clock(1), 0.0);
+}
+
+TEST(Figure10, BackloggedSlowQueuesPushWorkDownTheLadder) {
+  // Fill queue 0 until it can no longer meet deadlines; the scheduler must
+  // move to queue 1, then 2, ...
+  Fixture f;
+  auto sched = f.scheduler();
+  std::vector<int> used;
+  for (int i = 0; i < 24; ++i) {
+    const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+    ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
+    used.push_back(p.queue.index);
+  }
+  // Queue indices must be non-decreasing while feasibility erodes.
+  for (std::size_t i = 1; i < used.size(); ++i) {
+    EXPECT_GE(used[i], used[i - 1]);
+  }
+  EXPECT_GT(used.back(), 0);  // the ladder was actually descended
+}
+
+TEST(Figure10, CpuChosenWhenOnlyFeasiblePartition) {
+  // P_BD = {CPU} but T_CPU >= T_GPU3: the pseudocode's fall-through case;
+  // we take the CPU (the only way to meet the deadline).
+  Fixture f;
+  auto sched = f.scheduler_no32();
+  // Choke every GPU queue beyond the deadline with GPU-only queries
+  // (level 3 is not pre-computed in this scheduler's catalog).
+  for (int i = 0; i < 200; ++i) {
+    const Placement choke = sched.schedule(gpu_only_query(f), 0.0);
+    ASSERT_EQ(choke.queue.kind, QueueRef::kGpu);
+  }
+  // A mid-size query: CPU slower than a free 4-SM partition would be, but
+  // all GPU queues are now hopeless and the CPU is idle.
+  Query q;
+  q.conditions.push_back({0, 2, 0, 399, {}, {}});
+  q.conditions.push_back({1, 2, 0, 79, {}, {}});
+  q.measures = {12};
+  const Placement p = sched.schedule(q, 0.0);
+  EXPECT_EQ(p.queue.kind, QueueRef::kCpu);
+  EXPECT_TRUE(p.before_deadline);
+}
+
+TEST(Figure10, Step6PicksFastestResponseWhenDeadlineUnreachable) {
+  Fixture f;
+  f.config.deadline = 1e-6;  // nothing can meet this
+  auto sched = f.scheduler();
+  const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+  EXPECT_FALSE(p.before_deadline);
+  EXPECT_FALSE(p.rejected);
+  // min |T_D - T_R| with all responses late = fastest responder: a 4-SM
+  // queue (GPU), never the saturated CPU for this query.
+  EXPECT_EQ(p.queue.kind, QueueRef::kGpu);
+  EXPECT_GE(p.queue.index, 4);
+}
+
+TEST(Figure10, UnanswerableQueryRejectedWhenGpuDisabled) {
+  Fixture f;
+  f.config.enable_gpu = false;
+  f.config.gpu_partitions.clear();
+  FigureTenScheduler sched(
+      f.config, make_paper_estimator({}, 8, 4096.0, 16, &f.catalog_no32,
+                                     &f.translation));
+  const Placement p = sched.schedule(gpu_only_query(f), 0.0);
+  EXPECT_TRUE(p.rejected);
+}
+
+TEST(Figure10, TextQueryToGpuEnqueuesTranslation) {
+  // Use the no-32GB ladder so the level-3 text query is GPU-only.
+  Fixture f;
+  auto sched = f.scheduler_no32();
+  const Placement p = sched.schedule(text_query(), 0.0);
+  ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
+  EXPECT_TRUE(p.translate);
+  EXPECT_GT(p.translation_est, 0.0);
+  EXPECT_GT(sched.translation_clock(), 0.0);
+  // Response includes the translation stall: T_R >= T_TRANS + T_GPU.
+  EXPECT_GE(p.response_est, p.translation_est + p.processing_est - 1e-12);
+}
+
+TEST(Figure10, TextQueryToCpuSkipsTranslationQueue) {
+  // Translation "is necessary only for the GPU side of the system".
+  Fixture f;
+  auto sched = f.scheduler();
+  Query q = cheap_cpu_query();
+  Condition c;
+  c.dim = 2;
+  c.level = 3;
+  c.text_values = {"Nortek #1"};
+  q.conditions.push_back(c);
+  const Placement p = sched.schedule(q, 0.0);
+  ASSERT_EQ(p.queue.kind, QueueRef::kCpu);
+  EXPECT_FALSE(p.translate);
+  EXPECT_EQ(sched.translation_clock(), 0.0);
+}
+
+TEST(Figure10, TranslationQueueSerializesAcrossQueries) {
+  Fixture f;
+  auto sched = f.scheduler_no32();
+  const Placement p1 = sched.schedule(text_query(), 0.0);
+  const Seconds trans_after_one = sched.translation_clock();
+  const Placement p2 = sched.schedule(text_query(), 0.0);
+  EXPECT_NEAR(sched.translation_clock(),
+              trans_after_one + p2.translation_est, 1e-12);
+  // The second query's GPU start waits for its own translation.
+  EXPECT_GE(p2.response_est, sched.translation_clock() - 1e-12);
+  (void)p1;
+}
+
+TEST(Figure10, QueueClocksAdvanceByProcessingEstimates) {
+  Fixture f;
+  auto sched = f.scheduler();
+  const Placement p1 = sched.schedule(cheap_cpu_query(), 0.0);
+  const Placement p2 = sched.schedule(cheap_cpu_query(), 0.0);
+  EXPECT_NEAR(sched.cpu_clock(), p1.processing_est + p2.processing_est,
+              1e-12);
+  EXPECT_NEAR(p2.response_est, p1.response_est + p2.processing_est, 1e-12);
+}
+
+TEST(Figure10, ArrivalTimeFloorsQueueClocks) {
+  Fixture f;
+  auto sched = f.scheduler();
+  sched.schedule(cheap_cpu_query(), 0.0);
+  // Arrive long after the queue drained: response starts at `now`.
+  const Placement p = sched.schedule(cheap_cpu_query(), 100.0);
+  EXPECT_NEAR(p.response_est, 100.0 + p.processing_est, 1e-12);
+}
+
+TEST(Figure10, FeedbackShiftsQueueClock) {
+  Fixture f;
+  auto sched = f.scheduler();
+  const Placement p = sched.schedule(cheap_cpu_query(), 0.0);
+  const Seconds before = sched.cpu_clock();
+  sched.on_completed({QueueRef::kCpu, 0}, p.processing_est,
+                     p.processing_est + 0.010);
+  EXPECT_NEAR(sched.cpu_clock(), before + 0.010, 1e-12);
+  // Under-run pulls the clock back.
+  sched.on_completed({QueueRef::kCpu, 0}, 0.005, 0.001);
+  EXPECT_NEAR(sched.cpu_clock(), before + 0.010 - 0.004, 1e-12);
+}
+
+TEST(Figure10, FeedbackDisabledLeavesClocksUntouched) {
+  Fixture f;
+  f.config.feedback = false;
+  auto sched = f.scheduler();
+  sched.schedule(cheap_cpu_query(), 0.0);
+  const Seconds before = sched.cpu_clock();
+  sched.on_completed({QueueRef::kCpu, 0}, 0.001, 0.5);
+  EXPECT_EQ(sched.cpu_clock(), before);
+}
+
+TEST(Figure10, FastestFeasibleAblationFlipsQueueOrder) {
+  Fixture f;
+  f.config.prefer_fastest_feasible_gpu = true;
+  auto sched = f.scheduler();
+  const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+  ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
+  EXPECT_EQ(p.queue.index, 5);  // last feasible = fastest class
+}
+
+TEST(Figure10, ConfigValidation) {
+  Fixture f;
+  f.config.deadline = 0.0;
+  EXPECT_THROW(f.scheduler(), InvalidArgument);
+  f = Fixture();
+  f.config.enable_cpu = false;
+  f.config.enable_gpu = false;
+  EXPECT_THROW(f.scheduler(), InvalidArgument);
+  f = Fixture();
+  // Estimator models must match the configured partition queues.
+  EXPECT_THROW(FigureTenScheduler(
+                   f.config, make_paper_estimator({1, 2}, 8, 4096.0, 16,
+                                                  &f.catalog, &f.translation)),
+               InvalidArgument);
+}
+
+TEST(Figure10, GpuDisabledRoutesEverythingAnswerableToCpu) {
+  Fixture f;
+  f.config.enable_gpu = false;
+  f.config.gpu_partitions.clear();
+  FigureTenScheduler sched(
+      f.config, make_paper_estimator({}, 8, 4096.0, 16, &f.catalog,
+                                     &f.translation));
+  for (int i = 0; i < 10; ++i) {
+    const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+    EXPECT_EQ(p.queue.kind, QueueRef::kCpu);
+  }
+}
+
+TEST(Figure10, CpuDisabledRoutesEverythingToGpu) {
+  Fixture f;
+  f.config.enable_cpu = false;
+  auto sched = f.scheduler();
+  for (int i = 0; i < 10; ++i) {
+    const Placement p = sched.schedule(cheap_cpu_query(), 0.0);
+    EXPECT_EQ(p.queue.kind, QueueRef::kGpu);
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,112 @@
+// Multi-device extension: per-device dispatch stages in the simulator and
+// the scheduler's modeled launch clock.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace holap {
+namespace {
+
+SimResult run_gpu_only(int devices, Seconds modeled_dispatch,
+                       int clients = 64) {
+  ScenarioOptions o;
+  o.enable_cpu = false;
+  o.text_probability = 0.0;
+  o.cube_levels = {0, 1, 2, 3};
+  o.gpu_devices = devices;
+  o.modeled_gpu_dispatch = modeled_dispatch;
+  const PaperScenario s{o};
+  const auto queries = s.make_workload(2000);
+  const auto p = s.make_policy();
+  SimConfig c;
+  c.closed_clients = clients;
+  c.gpu_dispatch_overhead = 0.0145;
+  c.gpu_queue_device = s.gpu_queue_device_map();
+  return run_simulation(*p, queries, c);
+}
+
+TEST(MultiGpu, ScenarioExpandsQueuesPerDevice) {
+  ScenarioOptions o;
+  o.gpu_devices = 3;
+  const PaperScenario s{std::move(o)};
+  EXPECT_EQ(s.effective_gpu_partitions().size(), 18u);
+  const auto map = s.gpu_queue_device_map();
+  ASSERT_EQ(map.size(), 18u);
+  EXPECT_EQ(map[0], 0);
+  EXPECT_EQ(map[6], 1);
+  EXPECT_EQ(map[17], 2);
+  EXPECT_EQ(s.make_policy()->gpu_queue_count(), 18);
+}
+
+TEST(MultiGpu, DispatchAwareSchedulerScalesAcrossDevices) {
+  const double one = run_gpu_only(1, 0.0145).throughput_qps;
+  const double two = run_gpu_only(2, 0.0145).throughput_qps;
+  EXPECT_GT(two, one * 1.8);
+}
+
+TEST(MultiGpu, DispatchBlindSchedulerDoesNot) {
+  // The paper's dispatch-blind clocks keep stuffing the first device's
+  // slow queues; extra devices buy nothing (the motivation for modeling
+  // the launch stage).
+  const double one = run_gpu_only(1, 0.0).throughput_qps;
+  const double two = run_gpu_only(2, 0.0).throughput_qps;
+  EXPECT_LT(two, one * 1.2);
+}
+
+TEST(MultiGpu, ModeledDispatchImprovesDeadlineAwareness) {
+  // Even on one device, modeling the launch stage makes estimates honest:
+  // at saturation the blind scheduler believes queues are feasible when
+  // they are not.
+  const SimResult blind = run_gpu_only(1, 0.0);
+  const SimResult aware = run_gpu_only(1, 0.0145);
+  EXPECT_GE(aware.deadline_hit_rate, blind.deadline_hit_rate);
+}
+
+TEST(MultiGpu, QueueDeviceValidation) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(10);
+  auto policy = s.make_policy();
+  SimConfig c;
+  c.gpu_queue_device = {0, 1};  // 6 queues need 6 entries
+  EXPECT_THROW(run_simulation(*policy, queries, c), InvalidArgument);
+
+  SchedulerConfig config;
+  config.gpu_queue_device = {0, 0, 0};  // 6 partitions need 6 entries
+  EXPECT_THROW(FigureTenScheduler(config, s.make_estimator()),
+               InvalidArgument);
+}
+
+TEST(MultiGpu, TraceCoherenceHoldsWithModeledDispatch) {
+  // With the scheduler and the simulator agreeing on the launch stage and
+  // a SINGLE device, completion must equal the estimate exactly. (With
+  // several devices the DES's one global-FIFO-per-device dispatcher can
+  // reorder relative to per-queue clocks, so exactness is single-device.)
+  ScenarioOptions o;
+  o.enable_cpu = false;
+  o.text_probability = 0.0;
+  o.cube_levels = {0, 1, 2, 3};
+  o.gpu_devices = 1;
+  o.modeled_gpu_dispatch = 0.0145;
+  o.feedback = false;
+  const PaperScenario s{o};
+  const auto queries = s.make_workload(300);
+  const auto p = s.make_policy();
+  SimConfig c;
+  c.closed_clients = 4;
+  c.gpu_dispatch_overhead = 0.0145;
+  c.cpu_overhead = 0.0;
+  c.record_trace = true;
+  c.gpu_queue_device = s.gpu_queue_device_map();
+  const SimResult r = run_simulation(*p, queries, c);
+  std::size_t coherent = 0;
+  for (const QueryTrace& t : r.trace) {
+    if (std::abs(t.completed - t.response_est) < 1e-9) ++coherent;
+  }
+  // The scheduler assumes dispatch in scheduling order; the DES dispatches
+  // in arrival order at the stage. With few clients these coincide for
+  // the overwhelming majority of queries.
+  EXPECT_GT(coherent, r.trace.size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,72 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace holap {
+namespace {
+
+TEST(Scenario, DefaultsMatchSection4Configuration) {
+  const PaperScenario s{ScenarioOptions{}};
+  EXPECT_EQ(s.dimensions().size(), 3u);
+  EXPECT_EQ(s.schema().column_count(), 16);
+  EXPECT_EQ(s.gpu_total_columns(), 16);
+  EXPECT_DOUBLE_EQ(s.gpu_table_mb(), 4096.0);
+  EXPECT_EQ(s.catalog().levels(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Scenario, WorkloadIsDeterministicAndValid) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto a = s.make_workload(50);
+  const auto b = s.make_workload(50);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NO_THROW(validate_query(a[i], s.dimensions(), s.schema()));
+    EXPECT_EQ(to_string(a[i], s.dimensions()),
+              to_string(b[i], s.dimensions()));
+  }
+}
+
+TEST(Scenario, PolicyWiredToScenario) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto policy = s.make_policy();
+  EXPECT_STREQ(policy->name(), "figure10");
+  EXPECT_EQ(policy->gpu_queue_count(), 6);
+}
+
+TEST(Scenario, TextDisabledProducesNoTranslatableQueries) {
+  ScenarioOptions opts;
+  opts.text_probability = 0.0;
+  const PaperScenario s{std::move(opts)};
+  for (const auto& q : s.make_workload(200)) {
+    EXPECT_FALSE(q.needs_translation());
+  }
+}
+
+TEST(Scenario, Table1LevelsRestrictResolution) {
+  ScenarioOptions opts;
+  opts.cube_levels = {0, 1, 2};
+  opts.level_weights = {0.1, 0.2, 0.7, 0.0};
+  const PaperScenario s{std::move(opts)};
+  for (const auto& q : s.make_workload(200)) {
+    EXPECT_LE(q.required_resolution(), 2);
+    EXPECT_TRUE(s.catalog().can_answer(q));
+  }
+}
+
+TEST(Scenario, EstimatorSeesScenarioCubes) {
+  ScenarioOptions opts;
+  opts.cube_levels = {0, 1};
+  const PaperScenario s{std::move(opts)};
+  const CostEstimator est = s.make_estimator();
+  Query fine;
+  fine.conditions.push_back({0, 3, 0, 9, {}, {}});
+  fine.measures = {12};
+  EXPECT_FALSE(est.estimate(fine).cpu.has_value());
+  Query coarse;
+  coarse.conditions.push_back({0, 1, 0, 9, {}, {}});
+  coarse.measures = {12};
+  EXPECT_TRUE(est.estimate(coarse).cpu.has_value());
+}
+
+}  // namespace
+}  // namespace holap

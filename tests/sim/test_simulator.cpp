@@ -1,0 +1,168 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace holap {
+namespace {
+
+SimConfig quiet_config() {
+  SimConfig config;
+  config.closed_clients = 8;
+  config.cpu_overhead = 0.0;
+  config.gpu_dispatch_overhead = 0.0;
+  return config;
+}
+
+TEST(Simulator, CompletesEveryQueryClosedLoop) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(300);
+  auto policy = s.make_policy();
+  const SimResult r = run_simulation(*policy, queries, quiet_config());
+  EXPECT_EQ(r.completed, 300u);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.cpu_queries + r.gpu_queries, 300u);
+  EXPECT_GT(r.throughput_qps, 0.0);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(200);
+  auto p1 = s.make_policy();
+  auto p2 = s.make_policy();
+  const SimResult a = run_simulation(*p1, queries, quiet_config());
+  const SimResult b = run_simulation(*p2, queries, quiet_config());
+  EXPECT_DOUBLE_EQ(a.throughput_qps, b.throughput_qps);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.cpu_queries, b.cpu_queries);
+  EXPECT_EQ(a.met_deadline, b.met_deadline);
+}
+
+TEST(Simulator, OpenLoopCompletesEverything) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(200);
+  auto policy = s.make_policy();
+  SimConfig config = quiet_config();
+  config.arrival_rate = 50.0;
+  const SimResult r = run_simulation(*policy, queries, config);
+  EXPECT_EQ(r.completed, 200u);
+  // At 50 Q/s the makespan must span roughly queries/rate seconds.
+  EXPECT_GT(r.makespan, 2.0);
+}
+
+TEST(Simulator, LowArrivalRateMeetsDeadlines) {
+  // An almost idle system should meet essentially every deadline.
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(100);
+  auto policy = s.make_policy();
+  SimConfig config = quiet_config();
+  config.arrival_rate = 5.0;
+  const SimResult r = run_simulation(*policy, queries, config);
+  EXPECT_GT(r.deadline_hit_rate, 0.95);
+  EXPECT_LT(r.mean_latency, 0.25);
+}
+
+TEST(Simulator, GpuDispatchOverheadCapsThroughput) {
+  ScenarioOptions opts;
+  opts.enable_cpu = false;  // GPU-only
+  const PaperScenario s{std::move(opts)};
+  const auto queries = s.make_workload(400);
+  auto policy = s.make_policy();
+  SimConfig config = quiet_config();
+  config.closed_clients = 32;
+  config.gpu_dispatch_overhead = 0.014;
+  const SimResult r = run_simulation(*policy, queries, config);
+  // The serial dispatcher bounds the system near 1/0.014 = 71 Q/s.
+  EXPECT_LT(r.throughput_qps, 72.0);
+  EXPECT_GT(r.dispatcher_utilization, 0.8);
+}
+
+TEST(Simulator, CpuOverheadSlowsCpuOnlySystem) {
+  ScenarioOptions opts;
+  opts.enable_gpu = false;
+  opts.gpu_partitions.clear();
+  opts.cube_levels = {0, 1, 2, 3};
+  const PaperScenario s{std::move(opts)};
+  const auto queries = s.make_workload(200);
+  SimConfig fast = quiet_config();
+  SimConfig slow = quiet_config();
+  slow.cpu_overhead = 0.05;
+  auto p1 = s.make_policy();
+  auto p2 = s.make_policy();
+  const SimResult rf = run_simulation(*p1, queries, fast);
+  const SimResult rs = run_simulation(*p2, queries, slow);
+  EXPECT_GT(rf.throughput_qps, rs.throughput_qps);
+}
+
+TEST(Simulator, ServiceNoiseKeepsCompletionsAndChangesTiming) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(150);
+  SimConfig noisy = quiet_config();
+  noisy.service_noise = 0.3;
+  auto p1 = s.make_policy();
+  auto p2 = s.make_policy();
+  const SimResult clean = run_simulation(*p1, queries, quiet_config());
+  const SimResult jittered = run_simulation(*p2, queries, noisy);
+  EXPECT_EQ(jittered.completed, 150u);
+  EXPECT_NE(clean.makespan, jittered.makespan);
+}
+
+TEST(Simulator, TranslationCounted) {
+  ScenarioOptions opts;
+  opts.text_probability = 1.0;
+  opts.enable_cpu = false;  // force everything through the GPU path
+  const PaperScenario s{std::move(opts)};
+  const auto queries = s.make_workload(100);
+  auto policy = s.make_policy();
+  const SimResult r = run_simulation(*policy, queries, quiet_config());
+  EXPECT_GT(r.translated_queries, 0u);
+  EXPECT_GT(r.translation_utilization, 0.0);
+}
+
+TEST(Simulator, UtilizationsBounded) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(200);
+  auto policy = s.make_policy();
+  const SimResult r = run_simulation(*policy, queries, quiet_config());
+  EXPECT_GE(r.cpu_utilization, 0.0);
+  EXPECT_LE(r.cpu_utilization, 1.0 + 1e-9);
+  ASSERT_EQ(r.gpu_utilization.size(), 6u);
+  for (double u : r.gpu_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(Simulator, RejectsEmptyWorkloadAndBadConfig) {
+  const PaperScenario s{ScenarioOptions{}};
+  auto policy = s.make_policy();
+  EXPECT_THROW(run_simulation(*policy, {}, quiet_config()),
+               InvalidArgument);
+  const auto queries = s.make_workload(5);
+  SimConfig bad = quiet_config();
+  bad.service_noise = 1.5;
+  EXPECT_THROW(run_simulation(*policy, queries, bad), InvalidArgument);
+  bad = quiet_config();
+  bad.closed_clients = 0;
+  EXPECT_THROW(run_simulation(*policy, queries, bad), InvalidArgument);
+}
+
+TEST(Simulator, RejectedQueriesDoNotStallClosedLoop) {
+  // CPU-only system with level-3 queries in the mix: those are rejected
+  // but the loop must still finish the rest.
+  ScenarioOptions opts;
+  opts.enable_gpu = false;
+  opts.gpu_partitions.clear();
+  opts.cube_levels = {0, 1};  // level>=2 queries unanswerable
+  const PaperScenario s{std::move(opts)};
+  const auto queries = s.make_workload(200);
+  auto policy = s.make_policy();
+  const SimResult r = run_simulation(*policy, queries, quiet_config());
+  EXPECT_GT(r.rejected, 0u);
+  EXPECT_EQ(r.completed + r.rejected, 200u);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,98 @@
+// The estimate-coherence property: under a perfect model (no noise, no
+// unmodeled overheads), the scheduler's queue-clock arithmetic and the
+// discrete-event simulation are two formulations of the same system — so
+// every query's DES completion time must EXACTLY equal the response time
+// T_R the scheduler estimated when placing it (Figure 10, step 3).
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace holap {
+namespace {
+
+SimConfig perfect_config() {
+  SimConfig config;
+  config.cpu_overhead = 0.0;
+  config.gpu_dispatch_overhead = 0.0;
+  config.service_noise = 0.0;
+  config.record_trace = true;
+  return config;
+}
+
+class TraceCoherence : public ::testing::TestWithParam<double> {};
+
+TEST_P(TraceCoherence, CompletionEqualsEstimateUnderPerfectModel) {
+  ScenarioOptions opts;
+  opts.feedback = false;  // no-op here anyway; isolate the pure clocks
+  const PaperScenario s{std::move(opts)};
+  const auto queries = s.make_workload(500);
+  auto policy = s.make_policy();
+  SimConfig config = perfect_config();
+  config.arrival_rate = GetParam();  // 0 = closed loop
+  const SimResult r = run_simulation(*policy, queries, config);
+  ASSERT_EQ(r.trace.size(), queries.size());
+  for (const QueryTrace& t : r.trace) {
+    ASSERT_FALSE(t.rejected);
+    EXPECT_NEAR(t.completed, t.response_est, 1e-9)
+        << "query " << t.index << " queue kind " << t.queue.kind;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, TraceCoherence,
+                         ::testing::Values(0.0, 50.0, 200.0),
+                         [](const auto& suite_info) {
+                           return suite_info.param == 0.0
+                                      ? std::string("closed")
+                                      : "open" + std::to_string(static_cast<
+                                                 int>(suite_info.param));
+                         });
+
+TEST(Trace, RecordsRoutingAndDeadlines) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(300);
+  auto policy = s.make_policy();
+  SimConfig config = perfect_config();
+  config.closed_clients = 8;
+  const SimResult r = run_simulation(*policy, queries, config);
+  std::size_t cpu = 0, gpu = 0, translated = 0, met = 0;
+  for (const QueryTrace& t : r.trace) {
+    cpu += t.queue.kind == QueueRef::kCpu;
+    gpu += t.queue.kind == QueueRef::kGpu;
+    translated += t.translated;
+    met += t.met_deadline;
+    EXPECT_GE(t.completed, t.submitted);
+  }
+  EXPECT_EQ(cpu, r.cpu_queries);
+  EXPECT_EQ(gpu, r.gpu_queries);
+  EXPECT_EQ(translated, r.translated_queries);
+  EXPECT_EQ(met, r.met_deadline);
+}
+
+TEST(Trace, DisabledByDefault) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(10);
+  auto policy = s.make_policy();
+  SimConfig config;
+  const SimResult r = run_simulation(*policy, queries, config);
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Trace, OverheadsBreakCoherencePreciselyWhereExpected) {
+  // With an unmodeled dispatch overhead, GPU queries complete LATER than
+  // estimated while CPU queries stay exact — the trace localises the
+  // model error to the right partition class.
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(300);
+  auto policy = s.make_policy();
+  SimConfig config = perfect_config();
+  config.gpu_dispatch_overhead = 0.02;
+  const SimResult r = run_simulation(*policy, queries, config);
+  for (const QueryTrace& t : r.trace) {
+    if (t.queue.kind == QueueRef::kGpu) {
+      EXPECT_GT(t.completed, t.response_est - 1e-12) << t.index;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dictionaries.dir/bench_ablation_dictionaries.cpp.o"
+  "CMakeFiles/bench_ablation_dictionaries.dir/bench_ablation_dictionaries.cpp.o.d"
+  "bench_ablation_dictionaries"
+  "bench_ablation_dictionaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dictionaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

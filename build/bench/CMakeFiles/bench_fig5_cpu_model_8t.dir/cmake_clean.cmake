@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cpu_model_8t.dir/bench_fig5_cpu_model_8t.cpp.o"
+  "CMakeFiles/bench_fig5_cpu_model_8t.dir/bench_fig5_cpu_model_8t.cpp.o.d"
+  "bench_fig5_cpu_model_8t"
+  "bench_fig5_cpu_model_8t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cpu_model_8t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

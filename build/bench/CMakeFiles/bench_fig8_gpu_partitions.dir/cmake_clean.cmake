@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gpu_partitions.dir/bench_fig8_gpu_partitions.cpp.o"
+  "CMakeFiles/bench_fig8_gpu_partitions.dir/bench_fig8_gpu_partitions.cpp.o.d"
+  "bench_fig8_gpu_partitions"
+  "bench_fig8_gpu_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gpu_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dictionary.dir/bench_fig9_dictionary.cpp.o"
+  "CMakeFiles/bench_fig9_dictionary.dir/bench_fig9_dictionary.cpp.o.d"
+  "bench_fig9_dictionary"
+  "bench_fig9_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

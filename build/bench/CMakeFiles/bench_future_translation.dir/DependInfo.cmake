@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_future_translation.cpp" "bench/CMakeFiles/bench_future_translation.dir/bench_future_translation.cpp.o" "gcc" "bench/CMakeFiles/bench_future_translation.dir/bench_future_translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/olap/CMakeFiles/olap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/olap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/olap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/olap_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/olap_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/olap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/olap_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/olap_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/olap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_translation.dir/bench_future_translation.cpp.o"
+  "CMakeFiles/bench_future_translation.dir/bench_future_translation.cpp.o.d"
+  "bench_future_translation"
+  "bench_future_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cpu_rate.dir/bench_table1_cpu_rate.cpp.o"
+  "CMakeFiles/bench_table1_cpu_rate.dir/bench_table1_cpu_rate.cpp.o.d"
+  "bench_table1_cpu_rate"
+  "bench_table1_cpu_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cpu_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

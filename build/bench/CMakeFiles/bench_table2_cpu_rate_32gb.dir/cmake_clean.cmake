@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cpu_rate_32gb.dir/bench_table2_cpu_rate_32gb.cpp.o"
+  "CMakeFiles/bench_table2_cpu_rate_32gb.dir/bench_table2_cpu_rate_32gb.cpp.o.d"
+  "bench_table2_cpu_rate_32gb"
+  "bench_table2_cpu_rate_32gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cpu_rate_32gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_translation_overhead.dir/bench_translation_overhead.cpp.o"
+  "CMakeFiles/bench_translation_overhead.dir/bench_translation_overhead.cpp.o.d"
+  "bench_translation_overhead"
+  "bench_translation_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translation_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

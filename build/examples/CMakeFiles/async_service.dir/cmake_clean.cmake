@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_service.dir/async_service.cpp.o"
+  "CMakeFiles/async_service.dir/async_service.cpp.o.d"
+  "async_service"
+  "async_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

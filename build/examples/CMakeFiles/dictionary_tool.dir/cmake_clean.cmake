@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dictionary_tool.dir/dictionary_tool.cpp.o"
+  "CMakeFiles/dictionary_tool.dir/dictionary_tool.cpp.o.d"
+  "dictionary_tool"
+  "dictionary_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dictionary_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_common.dir/stats.cpp.o"
+  "CMakeFiles/olap_common.dir/stats.cpp.o.d"
+  "CMakeFiles/olap_common.dir/table_printer.cpp.o"
+  "CMakeFiles/olap_common.dir/table_printer.cpp.o.d"
+  "libolap_common.a"
+  "libolap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

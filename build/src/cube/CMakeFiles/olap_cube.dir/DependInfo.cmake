@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/aggregate.cpp" "src/cube/CMakeFiles/olap_cube.dir/aggregate.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/aggregate.cpp.o.d"
+  "/root/repo/src/cube/builder.cpp" "src/cube/CMakeFiles/olap_cube.dir/builder.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/builder.cpp.o.d"
+  "/root/repo/src/cube/chunked_cube.cpp" "src/cube/CMakeFiles/olap_cube.dir/chunked_cube.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/chunked_cube.cpp.o.d"
+  "/root/repo/src/cube/cube_set.cpp" "src/cube/CMakeFiles/olap_cube.dir/cube_set.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/cube_set.cpp.o.d"
+  "/root/repo/src/cube/dense_cube.cpp" "src/cube/CMakeFiles/olap_cube.dir/dense_cube.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/dense_cube.cpp.o.d"
+  "/root/repo/src/cube/lattice.cpp" "src/cube/CMakeFiles/olap_cube.dir/lattice.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/lattice.cpp.o.d"
+  "/root/repo/src/cube/region.cpp" "src/cube/CMakeFiles/olap_cube.dir/region.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/region.cpp.o.d"
+  "/root/repo/src/cube/rollup.cpp" "src/cube/CMakeFiles/olap_cube.dir/rollup.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/rollup.cpp.o.d"
+  "/root/repo/src/cube/view_cube.cpp" "src/cube/CMakeFiles/olap_cube.dir/view_cube.cpp.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/view_cube.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/olap_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/olap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/olap_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

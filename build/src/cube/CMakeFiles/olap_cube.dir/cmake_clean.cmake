@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_cube.dir/aggregate.cpp.o"
+  "CMakeFiles/olap_cube.dir/aggregate.cpp.o.d"
+  "CMakeFiles/olap_cube.dir/builder.cpp.o"
+  "CMakeFiles/olap_cube.dir/builder.cpp.o.d"
+  "CMakeFiles/olap_cube.dir/chunked_cube.cpp.o"
+  "CMakeFiles/olap_cube.dir/chunked_cube.cpp.o.d"
+  "CMakeFiles/olap_cube.dir/cube_set.cpp.o"
+  "CMakeFiles/olap_cube.dir/cube_set.cpp.o.d"
+  "CMakeFiles/olap_cube.dir/dense_cube.cpp.o"
+  "CMakeFiles/olap_cube.dir/dense_cube.cpp.o.d"
+  "CMakeFiles/olap_cube.dir/lattice.cpp.o"
+  "CMakeFiles/olap_cube.dir/lattice.cpp.o.d"
+  "CMakeFiles/olap_cube.dir/region.cpp.o"
+  "CMakeFiles/olap_cube.dir/region.cpp.o.d"
+  "CMakeFiles/olap_cube.dir/rollup.cpp.o"
+  "CMakeFiles/olap_cube.dir/rollup.cpp.o.d"
+  "CMakeFiles/olap_cube.dir/view_cube.cpp.o"
+  "CMakeFiles/olap_cube.dir/view_cube.cpp.o.d"
+  "libolap_cube.a"
+  "libolap_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

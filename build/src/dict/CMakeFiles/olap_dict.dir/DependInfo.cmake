@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dict/aho_corasick.cpp" "src/dict/CMakeFiles/olap_dict.dir/aho_corasick.cpp.o" "gcc" "src/dict/CMakeFiles/olap_dict.dir/aho_corasick.cpp.o.d"
+  "/root/repo/src/dict/dictionary.cpp" "src/dict/CMakeFiles/olap_dict.dir/dictionary.cpp.o" "gcc" "src/dict/CMakeFiles/olap_dict.dir/dictionary.cpp.o.d"
+  "/root/repo/src/dict/dictionary_set.cpp" "src/dict/CMakeFiles/olap_dict.dir/dictionary_set.cpp.o" "gcc" "src/dict/CMakeFiles/olap_dict.dir/dictionary_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/olap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_dict.dir/aho_corasick.cpp.o"
+  "CMakeFiles/olap_dict.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/olap_dict.dir/dictionary.cpp.o"
+  "CMakeFiles/olap_dict.dir/dictionary.cpp.o.d"
+  "CMakeFiles/olap_dict.dir/dictionary_set.cpp.o"
+  "CMakeFiles/olap_dict.dir/dictionary_set.cpp.o.d"
+  "libolap_dict.a"
+  "libolap_dict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_gpusim.dir/device.cpp.o"
+  "CMakeFiles/olap_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/olap_gpusim.dir/gpu_device.cpp.o"
+  "CMakeFiles/olap_gpusim.dir/gpu_device.cpp.o.d"
+  "CMakeFiles/olap_gpusim.dir/scan.cpp.o"
+  "CMakeFiles/olap_gpusim.dir/scan.cpp.o.d"
+  "libolap_gpusim.a"
+  "libolap_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

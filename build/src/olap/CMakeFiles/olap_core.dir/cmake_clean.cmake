@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_core.dir/async_executor.cpp.o"
+  "CMakeFiles/olap_core.dir/async_executor.cpp.o.d"
+  "CMakeFiles/olap_core.dir/hybrid_system.cpp.o"
+  "CMakeFiles/olap_core.dir/hybrid_system.cpp.o.d"
+  "libolap_core.a"
+  "libolap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

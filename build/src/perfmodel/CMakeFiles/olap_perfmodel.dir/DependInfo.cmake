@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/calibrate.cpp" "src/perfmodel/CMakeFiles/olap_perfmodel.dir/calibrate.cpp.o" "gcc" "src/perfmodel/CMakeFiles/olap_perfmodel.dir/calibrate.cpp.o.d"
+  "/root/repo/src/perfmodel/cpu_model.cpp" "src/perfmodel/CMakeFiles/olap_perfmodel.dir/cpu_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/olap_perfmodel.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/perfmodel/dict_model.cpp" "src/perfmodel/CMakeFiles/olap_perfmodel.dir/dict_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/olap_perfmodel.dir/dict_model.cpp.o.d"
+  "/root/repo/src/perfmodel/gpu_model.cpp" "src/perfmodel/CMakeFiles/olap_perfmodel.dir/gpu_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/olap_perfmodel.dir/gpu_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/olap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/olap_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/olap_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/olap_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_perfmodel.dir/calibrate.cpp.o"
+  "CMakeFiles/olap_perfmodel.dir/calibrate.cpp.o.d"
+  "CMakeFiles/olap_perfmodel.dir/cpu_model.cpp.o"
+  "CMakeFiles/olap_perfmodel.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/olap_perfmodel.dir/dict_model.cpp.o"
+  "CMakeFiles/olap_perfmodel.dir/dict_model.cpp.o.d"
+  "CMakeFiles/olap_perfmodel.dir/gpu_model.cpp.o"
+  "CMakeFiles/olap_perfmodel.dir/gpu_model.cpp.o.d"
+  "libolap_perfmodel.a"
+  "libolap_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/batch_translator.cpp" "src/query/CMakeFiles/olap_query.dir/batch_translator.cpp.o" "gcc" "src/query/CMakeFiles/olap_query.dir/batch_translator.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/query/CMakeFiles/olap_query.dir/parser.cpp.o" "gcc" "src/query/CMakeFiles/olap_query.dir/parser.cpp.o.d"
+  "/root/repo/src/query/query.cpp" "src/query/CMakeFiles/olap_query.dir/query.cpp.o" "gcc" "src/query/CMakeFiles/olap_query.dir/query.cpp.o.d"
+  "/root/repo/src/query/query_builder.cpp" "src/query/CMakeFiles/olap_query.dir/query_builder.cpp.o" "gcc" "src/query/CMakeFiles/olap_query.dir/query_builder.cpp.o.d"
+  "/root/repo/src/query/translator.cpp" "src/query/CMakeFiles/olap_query.dir/translator.cpp.o" "gcc" "src/query/CMakeFiles/olap_query.dir/translator.cpp.o.d"
+  "/root/repo/src/query/workload.cpp" "src/query/CMakeFiles/olap_query.dir/workload.cpp.o" "gcc" "src/query/CMakeFiles/olap_query.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dict/CMakeFiles/olap_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/olap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

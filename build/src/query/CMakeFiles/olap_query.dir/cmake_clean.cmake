@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_query.dir/batch_translator.cpp.o"
+  "CMakeFiles/olap_query.dir/batch_translator.cpp.o.d"
+  "CMakeFiles/olap_query.dir/parser.cpp.o"
+  "CMakeFiles/olap_query.dir/parser.cpp.o.d"
+  "CMakeFiles/olap_query.dir/query.cpp.o"
+  "CMakeFiles/olap_query.dir/query.cpp.o.d"
+  "CMakeFiles/olap_query.dir/query_builder.cpp.o"
+  "CMakeFiles/olap_query.dir/query_builder.cpp.o.d"
+  "CMakeFiles/olap_query.dir/translator.cpp.o"
+  "CMakeFiles/olap_query.dir/translator.cpp.o.d"
+  "CMakeFiles/olap_query.dir/workload.cpp.o"
+  "CMakeFiles/olap_query.dir/workload.cpp.o.d"
+  "libolap_query.a"
+  "libolap_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/binary_io.cpp" "src/relational/CMakeFiles/olap_relational.dir/binary_io.cpp.o" "gcc" "src/relational/CMakeFiles/olap_relational.dir/binary_io.cpp.o.d"
+  "/root/repo/src/relational/csv.cpp" "src/relational/CMakeFiles/olap_relational.dir/csv.cpp.o" "gcc" "src/relational/CMakeFiles/olap_relational.dir/csv.cpp.o.d"
+  "/root/repo/src/relational/dimensions.cpp" "src/relational/CMakeFiles/olap_relational.dir/dimensions.cpp.o" "gcc" "src/relational/CMakeFiles/olap_relational.dir/dimensions.cpp.o.d"
+  "/root/repo/src/relational/fact_table.cpp" "src/relational/CMakeFiles/olap_relational.dir/fact_table.cpp.o" "gcc" "src/relational/CMakeFiles/olap_relational.dir/fact_table.cpp.o.d"
+  "/root/repo/src/relational/generator.cpp" "src/relational/CMakeFiles/olap_relational.dir/generator.cpp.o" "gcc" "src/relational/CMakeFiles/olap_relational.dir/generator.cpp.o.d"
+  "/root/repo/src/relational/names.cpp" "src/relational/CMakeFiles/olap_relational.dir/names.cpp.o" "gcc" "src/relational/CMakeFiles/olap_relational.dir/names.cpp.o.d"
+  "/root/repo/src/relational/schema.cpp" "src/relational/CMakeFiles/olap_relational.dir/schema.cpp.o" "gcc" "src/relational/CMakeFiles/olap_relational.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

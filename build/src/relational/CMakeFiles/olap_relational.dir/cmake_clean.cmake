@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_relational.dir/binary_io.cpp.o"
+  "CMakeFiles/olap_relational.dir/binary_io.cpp.o.d"
+  "CMakeFiles/olap_relational.dir/csv.cpp.o"
+  "CMakeFiles/olap_relational.dir/csv.cpp.o.d"
+  "CMakeFiles/olap_relational.dir/dimensions.cpp.o"
+  "CMakeFiles/olap_relational.dir/dimensions.cpp.o.d"
+  "CMakeFiles/olap_relational.dir/fact_table.cpp.o"
+  "CMakeFiles/olap_relational.dir/fact_table.cpp.o.d"
+  "CMakeFiles/olap_relational.dir/generator.cpp.o"
+  "CMakeFiles/olap_relational.dir/generator.cpp.o.d"
+  "CMakeFiles/olap_relational.dir/names.cpp.o"
+  "CMakeFiles/olap_relational.dir/names.cpp.o.d"
+  "CMakeFiles/olap_relational.dir/schema.cpp.o"
+  "CMakeFiles/olap_relational.dir/schema.cpp.o.d"
+  "libolap_relational.a"
+  "libolap_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baselines.cpp" "src/sched/CMakeFiles/olap_sched.dir/baselines.cpp.o" "gcc" "src/sched/CMakeFiles/olap_sched.dir/baselines.cpp.o.d"
+  "/root/repo/src/sched/catalog.cpp" "src/sched/CMakeFiles/olap_sched.dir/catalog.cpp.o" "gcc" "src/sched/CMakeFiles/olap_sched.dir/catalog.cpp.o.d"
+  "/root/repo/src/sched/estimator.cpp" "src/sched/CMakeFiles/olap_sched.dir/estimator.cpp.o" "gcc" "src/sched/CMakeFiles/olap_sched.dir/estimator.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/olap_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/olap_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/olap_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/olap_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/olap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/olap_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/olap_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

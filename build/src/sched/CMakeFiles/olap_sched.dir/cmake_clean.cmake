@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_sched.dir/baselines.cpp.o"
+  "CMakeFiles/olap_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/olap_sched.dir/catalog.cpp.o"
+  "CMakeFiles/olap_sched.dir/catalog.cpp.o.d"
+  "CMakeFiles/olap_sched.dir/estimator.cpp.o"
+  "CMakeFiles/olap_sched.dir/estimator.cpp.o.d"
+  "CMakeFiles/olap_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/olap_sched.dir/scheduler.cpp.o.d"
+  "libolap_sched.a"
+  "libolap_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_sim.dir/scenario.cpp.o"
+  "CMakeFiles/olap_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/olap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/olap_sim.dir/simulator.cpp.o.d"
+  "libolap_sim.a"
+  "libolap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

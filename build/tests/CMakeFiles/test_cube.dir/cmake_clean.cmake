@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube.dir/cube/test_aggregate.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_aggregate.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_builder.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_builder.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_chunked_cube.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_chunked_cube.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_cube_set.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_cube_set.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_dense_cube.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_dense_cube.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_lattice.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_lattice.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_region.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_region.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_rollup.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_rollup.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_view_cube.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_view_cube.cpp.o.d"
+  "test_cube"
+  "test_cube.pdb"
+  "test_cube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

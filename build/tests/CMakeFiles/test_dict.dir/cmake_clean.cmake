@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dict.dir/dict/test_aho_corasick.cpp.o"
+  "CMakeFiles/test_dict.dir/dict/test_aho_corasick.cpp.o.d"
+  "CMakeFiles/test_dict.dir/dict/test_dictionary.cpp.o"
+  "CMakeFiles/test_dict.dir/dict/test_dictionary.cpp.o.d"
+  "CMakeFiles/test_dict.dir/dict/test_dictionary_set.cpp.o"
+  "CMakeFiles/test_dict.dir/dict/test_dictionary_set.cpp.o.d"
+  "test_dict"
+  "test_dict.pdb"
+  "test_dict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

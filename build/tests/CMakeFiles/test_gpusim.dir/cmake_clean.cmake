@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim.dir/gpusim/test_device.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/test_device.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/gpusim/test_scan.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/test_scan.cpp.o.d"
+  "test_gpusim"
+  "test_gpusim.pdb"
+  "test_gpusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

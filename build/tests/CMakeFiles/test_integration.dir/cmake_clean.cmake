@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_async_executor.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_async_executor.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_cpu_gpu_agreement.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_cpu_gpu_agreement.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_hybrid_system.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_hybrid_system.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query.dir/query/test_batch_translator.cpp.o"
+  "CMakeFiles/test_query.dir/query/test_batch_translator.cpp.o.d"
+  "CMakeFiles/test_query.dir/query/test_parser.cpp.o"
+  "CMakeFiles/test_query.dir/query/test_parser.cpp.o.d"
+  "CMakeFiles/test_query.dir/query/test_query.cpp.o"
+  "CMakeFiles/test_query.dir/query/test_query.cpp.o.d"
+  "CMakeFiles/test_query.dir/query/test_query_builder.cpp.o"
+  "CMakeFiles/test_query.dir/query/test_query_builder.cpp.o.d"
+  "CMakeFiles/test_query.dir/query/test_translator.cpp.o"
+  "CMakeFiles/test_query.dir/query/test_translator.cpp.o.d"
+  "CMakeFiles/test_query.dir/query/test_workload.cpp.o"
+  "CMakeFiles/test_query.dir/query/test_workload.cpp.o.d"
+  "test_query"
+  "test_query.pdb"
+  "test_query[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relational.dir/relational/test_binary_io.cpp.o"
+  "CMakeFiles/test_relational.dir/relational/test_binary_io.cpp.o.d"
+  "CMakeFiles/test_relational.dir/relational/test_csv.cpp.o"
+  "CMakeFiles/test_relational.dir/relational/test_csv.cpp.o.d"
+  "CMakeFiles/test_relational.dir/relational/test_dimensions.cpp.o"
+  "CMakeFiles/test_relational.dir/relational/test_dimensions.cpp.o.d"
+  "CMakeFiles/test_relational.dir/relational/test_fact_table.cpp.o"
+  "CMakeFiles/test_relational.dir/relational/test_fact_table.cpp.o.d"
+  "CMakeFiles/test_relational.dir/relational/test_generator.cpp.o"
+  "CMakeFiles/test_relational.dir/relational/test_generator.cpp.o.d"
+  "CMakeFiles/test_relational.dir/relational/test_names.cpp.o"
+  "CMakeFiles/test_relational.dir/relational/test_names.cpp.o.d"
+  "CMakeFiles/test_relational.dir/relational/test_schema.cpp.o"
+  "CMakeFiles/test_relational.dir/relational/test_schema.cpp.o.d"
+  "test_relational"
+  "test_relational.pdb"
+  "test_relational[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_baselines.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_catalog.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_catalog.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_estimator.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_estimator.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_fuzz.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_scheduler.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,12 +3,18 @@
 // partitioning, and watch throughput / deadline adherence / utilisation.
 //
 //   ./scheduler_playground [policy] [arrival_qps] [deadline_ms] [queries]
+//                          [trace.jsonl]
 //   e.g. ./scheduler_playground figure10 120 250 3000
 //        ./scheduler_playground MET 250 100 3000
 //        ./scheduler_playground figure10 0 250 3000   (0 = closed loop)
+//        ./scheduler_playground figure10 120 250 3000 trace.jsonl
+//   A fifth argument dumps the run's span trace as JSON lines (one span
+//   per query lifecycle stage) and prints the observability summary.
+#include <fstream>
 #include <iostream>
 
 #include "common/table_printer.hpp"
+#include "obs/export.hpp"
 #include "sim/scenario.hpp"
 
 using namespace holap;
@@ -18,6 +24,7 @@ int main(int argc, char** argv) {
   const double arrival = argc > 2 ? std::stod(argv[2]) : 120.0;
   const double deadline_ms = argc > 3 ? std::stod(argv[3]) : 250.0;
   const std::size_t queries = argc > 4 ? std::stoul(argv[4]) : 3000;
+  const std::string trace_path = argc > 5 ? argv[5] : "";
 
   ScenarioOptions options;
   options.deadline = deadline_ms / 1000.0;
@@ -41,6 +48,8 @@ int main(int argc, char** argv) {
   config.closed_clients = 16;
   config.cpu_overhead = 0.005;
   config.gpu_dispatch_overhead = 0.0145;
+  TraceRecorder recorder;
+  config.recorder = &recorder;
   const SimResult r = run_simulation(*p, workload, config);
 
   TablePrinter t({"metric", "value"});
@@ -69,5 +78,20 @@ int main(int argc, char** argv) {
                TablePrinter::fixed(100.0 * r.gpu_utilization[i], 1) + "%"});
   }
   t.print(std::cout, "simulation result");
+
+  std::cout << '\n';
+  const auto spans = recorder.snapshot();
+  print_trace_summary(std::cout, spans, r.latency_histogram, r.partitions,
+                      r.makespan);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return 1;
+    }
+    write_jsonl(out, spans);
+    std::cout << "\nwrote " << spans.size() << " spans to " << trace_path
+              << '\n';
+  }
   return 0;
 }

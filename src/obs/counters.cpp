@@ -1,0 +1,21 @@
+#include "obs/counters.hpp"
+
+#include "common/table_printer.hpp"
+
+namespace holap {
+
+TablePrinter counters_table(const std::vector<PartitionCounters>& counters,
+                            Seconds makespan) {
+  TablePrinter t({"partition", "enqueued", "completed", "max depth",
+                  "busy [s]", "utilization"});
+  for (const PartitionCounters& c : counters) {
+    t.add_row({c.name, std::to_string(c.enqueued),
+               std::to_string(c.completed), std::to_string(c.max_depth),
+               TablePrinter::fixed(c.busy, 3),
+               TablePrinter::fixed(100.0 * c.utilization(makespan), 1) +
+                   "%"});
+  }
+  return t;
+}
+
+}  // namespace holap

@@ -1,0 +1,53 @@
+// Per-partition utilization and queue-depth counters.
+//
+// The scheduler balances partition queues it can only model; these counters
+// report what each partition actually did: queries enqueued/completed, the
+// in-flight depth high-water mark, and cumulative busy time, from which
+// utilization over a run's makespan follows. One counter per stage — the
+// CPU partition, the translation partition, each per-device dispatch stage
+// and each GPU partition queue — in a fixed, deterministic order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace holap {
+
+class TablePrinter;
+
+/// Counters of one partition/stage. Not thread-safe; callers that share a
+/// counter across threads (the async executor) serialise their updates.
+struct PartitionCounters {
+  std::string name;           ///< "cpu", "translation", "dispatch0", "gpu0"…
+  std::size_t enqueued = 0;   ///< queries handed to this stage
+  std::size_t completed = 0;  ///< queries the stage finished
+  std::size_t depth = 0;      ///< currently in flight (enqueued − completed)
+  std::size_t max_depth = 0;  ///< high-water mark of `depth`
+  Seconds busy = 0.0;         ///< cumulative service time
+
+  void on_enqueue() {
+    ++enqueued;
+    ++depth;
+    max_depth = std::max(max_depth, depth);
+  }
+  void on_complete(Seconds service) {
+    ++completed;
+    if (depth > 0) --depth;
+    busy += service;
+  }
+  /// Busy fraction of `makespan` (0 when the run is empty).
+  double utilization(Seconds makespan) const {
+    return makespan > 0.0 ? busy / makespan : 0.0;
+  }
+};
+
+/// Render a counter set as an aligned table ("partition", "enqueued",
+/// "completed", "max depth", "busy [s]", "utilization") over `makespan`.
+TablePrinter counters_table(const std::vector<PartitionCounters>& counters,
+                            Seconds makespan);
+
+}  // namespace holap

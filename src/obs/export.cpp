@@ -1,0 +1,175 @@
+#include "obs/export.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table_printer.hpp"
+
+namespace holap {
+namespace {
+
+// Shortest representation that round-trips exactly.
+std::string format_double(double v) {
+  std::array<char, 64> buf;
+  const auto [ptr, ec] = std::to_chars(buf.data(),
+                                       buf.data() + buf.size(), v);
+  HOLAP_ASSERT(ec == std::errc{}, "double formatting failed");
+  return std::string(buf.data(), ptr);
+}
+
+std::string queue_name(QueueRef ref) {
+  if (ref.kind == QueueRef::kCpu) return "cpu";
+  return "gpu" + std::to_string(ref.index);
+}
+
+QueueRef queue_from_name(const std::string& name) {
+  if (name == "cpu") return {QueueRef::kCpu, 0};
+  HOLAP_REQUIRE(name.size() > 3 && name.compare(0, 3, "gpu") == 0,
+                "unknown queue name: " + name);
+  return {QueueRef::kGpu, std::stoi(name.substr(3))};
+}
+
+SpanKind kind_from_name(const std::string& name) {
+  for (const SpanKind k :
+       {SpanKind::kEnqueue, SpanKind::kTranslate, SpanKind::kDispatch,
+        SpanKind::kExecute, SpanKind::kComplete}) {
+    if (name == to_string(k)) return k;
+  }
+  throw InvalidArgument("unknown span kind: " + name);
+}
+
+/// Value of `"key":` in `line` as raw text (up to the next ',' or '}').
+std::string raw_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  HOLAP_REQUIRE(at != std::string::npos,
+                "span line missing field '" + key + "': " + line);
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  bool quoted = begin < line.size() && line[begin] == '"';
+  if (quoted) {
+    ++begin;
+    end = line.find('"', begin);
+    HOLAP_REQUIRE(end != std::string::npos, "unterminated string: " + line);
+  } else {
+    end = line.find_first_of(",}", begin);
+    HOLAP_REQUIRE(end != std::string::npos, "unterminated value: " + line);
+  }
+  return line.substr(begin, end - begin);
+}
+
+double double_field(const std::string& line, const std::string& key) {
+  const std::string raw = raw_field(line, key);
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), v);
+  HOLAP_REQUIRE(ec == std::errc{} && ptr == raw.data() + raw.size(),
+                "bad number in field '" + key + "': " + raw);
+  return v;
+}
+
+}  // namespace
+
+std::string to_jsonl(const TraceSpan& span) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"query\":" + std::to_string(span.query_id);
+  out += ",\"span\":\"" + std::string(to_string(span.kind)) + "\"";
+  out += ",\"queue\":\"" + queue_name(span.queue) + "\"";
+  out += ",\"start\":" + format_double(span.start);
+  out += ",\"end\":" + format_double(span.end);
+  out += ",\"est_response\":" + format_double(span.estimated_response);
+  out += ",\"measured_response\":" + format_double(span.measured_response);
+  out += ",\"deadline_slack\":" + format_double(span.deadline_slack);
+  out += "}";
+  return out;
+}
+
+void write_jsonl(std::ostream& os, std::span<const TraceSpan> spans) {
+  for (const TraceSpan& span : spans) {
+    os << to_jsonl(span) << '\n';
+  }
+}
+
+TraceSpan span_from_jsonl(const std::string& line) {
+  TraceSpan span;
+  span.query_id = static_cast<std::uint64_t>(
+      std::stoull(raw_field(line, "query")));
+  span.kind = kind_from_name(raw_field(line, "span"));
+  span.queue = queue_from_name(raw_field(line, "queue"));
+  span.start = double_field(line, "start");
+  span.end = double_field(line, "end");
+  span.estimated_response = double_field(line, "est_response");
+  span.measured_response = double_field(line, "measured_response");
+  span.deadline_slack = double_field(line, "deadline_slack");
+  return span;
+}
+
+std::vector<TraceSpan> read_jsonl(std::istream& is) {
+  std::vector<TraceSpan> spans;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    spans.push_back(span_from_jsonl(line));
+  }
+  return spans;
+}
+
+bool is_complete_span_chain(std::span<const TraceSpan> spans) {
+  if (spans.empty()) return false;
+  // Expected kinds in order; kTranslate is optional.
+  std::size_t at = 0;
+  const QueueRef queue = spans.front().queue;
+  auto take = [&](SpanKind kind, bool optional) {
+    if (at < spans.size() && spans[at].kind == kind &&
+        spans[at].queue == queue) {
+      ++at;
+      return true;
+    }
+    return optional;
+  };
+  if (!take(SpanKind::kEnqueue, false)) return false;
+  if (!take(SpanKind::kTranslate, true)) return false;
+  if (!take(SpanKind::kDispatch, false)) return false;
+  if (!take(SpanKind::kExecute, false)) return false;
+  if (!take(SpanKind::kComplete, false)) return false;
+  return at == spans.size();
+}
+
+void print_trace_summary(std::ostream& os,
+                         std::span<const TraceSpan> spans,
+                         const LatencyHistogram& latencies,
+                         const std::vector<PartitionCounters>& counters,
+                         Seconds makespan) {
+  std::array<std::size_t, 5> by_kind{};
+  for (const TraceSpan& span : spans) {
+    ++by_kind[static_cast<std::size_t>(span.kind)];
+  }
+  TablePrinter kinds({"span", "count"});
+  for (const SpanKind k :
+       {SpanKind::kEnqueue, SpanKind::kTranslate, SpanKind::kDispatch,
+        SpanKind::kExecute, SpanKind::kComplete}) {
+    kinds.add_row({to_string(k),
+                   std::to_string(by_kind[static_cast<std::size_t>(k)])});
+  }
+  kinds.print(os, "trace spans");
+
+  TablePrinter lat({"metric", "value [ms]"});
+  lat.add_row({"count", std::to_string(latencies.count())});
+  lat.add_row({"mean", TablePrinter::fixed(latencies.mean() * 1e3, 2)});
+  lat.add_row({"p50", TablePrinter::fixed(latencies.p50() * 1e3, 2)});
+  lat.add_row({"p95", TablePrinter::fixed(latencies.p95() * 1e3, 2)});
+  lat.add_row({"p99", TablePrinter::fixed(latencies.p99() * 1e3, 2)});
+  lat.add_row({"max", TablePrinter::fixed(latencies.max() * 1e3, 2)});
+  lat.print(os, "latency");
+
+  counters_table(counters, makespan).print(os, "partitions");
+}
+
+}  // namespace holap

@@ -1,0 +1,55 @@
+// Trace export: JSON-lines serialisation and human-readable summaries.
+//
+// One span per line, a flat JSON object per span — the format every trace
+// tool ingests and a shell pipeline can slice (`grep '"span":"complete"'`).
+// Doubles are printed with max_digits10 precision, so write → read is an
+// exact round trip (the integration tests assert it). The reader accepts
+// exactly what the writer emits; it is a line-oriented schema parser, not
+// a general JSON parser.
+//
+// Schema (field order fixed):
+//   {"query":N,"span":"enqueue|translate|dispatch|execute|complete",
+//    "queue":"cpu|gpuK","start":S,"end":S,"est_response":S,
+//    "measured_response":S,"deadline_slack":S}
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
+
+namespace holap {
+
+/// Serialise one span as a single JSON line (no trailing newline).
+std::string to_jsonl(const TraceSpan& span);
+
+/// Write `spans` to `os`, one JSON object per line.
+void write_jsonl(std::ostream& os, std::span<const TraceSpan> spans);
+
+/// Parse one JSON line produced by to_jsonl. Throws InvalidArgument on a
+/// malformed line.
+TraceSpan span_from_jsonl(const std::string& line);
+
+/// Read every non-empty line of `is` as a span.
+std::vector<TraceSpan> read_jsonl(std::istream& is);
+
+/// Group check: the canonical lifecycle chain of one query's spans.
+/// A completed query's spans must contain, in record order, kEnqueue →
+/// [kTranslate] → kDispatch → kExecute → kComplete, all with the same
+/// queue. Returns true when `spans` (one query's spans, record order)
+/// form such a chain.
+bool is_complete_span_chain(std::span<const TraceSpan> spans);
+
+/// Print a run summary: span counts per kind, the latency percentile
+/// table and the per-partition counter table.
+void print_trace_summary(std::ostream& os,
+                         std::span<const TraceSpan> spans,
+                         const LatencyHistogram& latencies,
+                         const std::vector<PartitionCounters>& counters,
+                         Seconds makespan);
+
+}  // namespace holap

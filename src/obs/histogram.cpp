@@ -1,0 +1,87 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace holap {
+
+Seconds LatencyHistogram::bucket_lower(std::size_t i) {
+  HOLAP_REQUIRE(i < kBucketCount, "bucket index out of range");
+  if (i == 0) return 0.0;
+  return kMinSeconds *
+         std::pow(10.0, static_cast<double>(i - 1) / kBucketsPerDecade);
+}
+
+Seconds LatencyHistogram::bucket_upper(std::size_t i) {
+  HOLAP_REQUIRE(i < kBucketCount, "bucket index out of range");
+  if (i + 1 == kBucketCount) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return kMinSeconds *
+         std::pow(10.0, static_cast<double>(i) / kBucketsPerDecade);
+}
+
+std::size_t LatencyHistogram::bucket_index(Seconds latency) {
+  if (!(latency >= kMinSeconds)) return 0;  // also catches NaN
+  const double decades = std::log10(latency / kMinSeconds);
+  const auto i = static_cast<std::size_t>(
+      1 + static_cast<long long>(decades * kBucketsPerDecade));
+  return std::min(i, kBucketCount - 1);
+}
+
+void LatencyHistogram::add(Seconds latency) {
+  latency = std::max(latency, 0.0);
+  ++buckets_[bucket_index(latency)];
+  if (count_ == 0) {
+    min_ = max_ = latency;
+  } else {
+    min_ = std::min(min_, latency);
+    max_ = std::max(max_, latency);
+  }
+  ++count_;
+  sum_ += latency;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Seconds LatencyHistogram::percentile(double p) const {
+  HOLAP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (count_ == 0) return 0.0;
+  // Rank of the requested percentile (1-based, nearest-rank with ceil).
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] >= target) {
+      // Interpolate within the covering bucket; the unbounded top bucket
+      // interpolates toward the exact observed maximum.
+      const double lower = bucket_lower(i);
+      const double upper =
+          std::isinf(bucket_upper(i)) ? max_ : bucket_upper(i);
+      const double fraction =
+          static_cast<double>(target - cumulative) /
+          static_cast<double>(buckets_[i]);
+      const double value = lower + fraction * (upper - lower);
+      return std::clamp(value, min_, max_);
+    }
+    cumulative += buckets_[i];
+  }
+  return max_;
+}
+
+}  // namespace holap

@@ -1,0 +1,74 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace holap {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kEnqueue:
+      return "enqueue";
+    case SpanKind::kTranslate:
+      return "translate";
+    case SpanKind::kDispatch:
+      return "dispatch";
+    case SpanKind::kExecute:
+      return "execute";
+    case SpanKind::kComplete:
+      return "complete";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::record(TraceSpan span) {
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[std::hash<std::thread::id>{}(
+                             std::this_thread::get_id()) %
+                         kShards];
+  const std::lock_guard lock(shard.mutex);
+  shard.spans.push_back({seq, std::move(span)});
+}
+
+std::vector<TraceSpan> TraceRecorder::snapshot() const {
+  std::vector<Stamped> merged;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    merged.insert(merged.end(), shard.spans.begin(), shard.spans.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Stamped& a, const Stamped& b) { return a.seq < b.seq; });
+  std::vector<TraceSpan> out;
+  out.reserve(merged.size());
+  for (Stamped& s : merged) out.push_back(std::move(s.span));
+  return out;
+}
+
+std::vector<TraceSpan> TraceRecorder::spans_for(
+    std::uint64_t query_id) const {
+  std::vector<TraceSpan> out;
+  for (TraceSpan& span : snapshot()) {
+    if (span.query_id == query_id) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    n += shard.spans.size();
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    shard.spans.clear();
+  }
+}
+
+}  // namespace holap

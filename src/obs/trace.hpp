@@ -1,0 +1,99 @@
+// Query-lifecycle tracing (the observability layer's span model).
+//
+// The Figure-10 scheduler's whole premise is a feedback loop between
+// *estimated* and *measured* response times (§III-G): the queue clocks are
+// only as good as the estimates, and the estimates are only trustworthy if
+// someone can see how far they drift. A TraceSpan pins down one lifecycle
+// stage of one query — enqueue (the scheduling decision itself), translate
+// (the text-to-integer partition), dispatch (kernel-launch / queue handoff),
+// execute (the partition's service time) and complete (end-to-end) — with
+// the partition it ran on, the scheduler's estimated absolute response time
+// T_R, the measured completion and the deadline slack T_D − T_R.
+//
+// Timestamps come from whichever clock drives the caller: the discrete-event
+// simulator records sim time (deterministic — tests assert exact span
+// contents), the native planes record wall time. The recorder never reads a
+// clock itself.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/interfaces.hpp"
+
+namespace holap {
+
+/// Lifecycle stage a span covers, in canonical chain order.
+enum class SpanKind : std::uint8_t {
+  kEnqueue,    ///< scheduling decision (zero duration)
+  kTranslate,  ///< text-to-integer translation partition
+  kDispatch,   ///< kernel-launch stage (GPU) / queue handoff (CPU)
+  kExecute,    ///< service on the chosen partition
+  kComplete,   ///< end-to-end completion marker (zero duration)
+};
+
+const char* to_string(SpanKind kind);
+
+/// One lifecycle stage of one query.
+struct TraceSpan {
+  std::uint64_t query_id = 0;  ///< caller-assigned (workload index)
+  SpanKind kind = SpanKind::kEnqueue;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  QueueRef queue;  ///< partition the query was placed on
+  /// Scheduler's absolute T_R at placement time (all kinds carry it).
+  Seconds estimated_response = 0.0;
+  /// Measured absolute completion time; only kComplete fills it.
+  Seconds measured_response = 0.0;
+  /// T_D − T_R at placement (kEnqueue) or T_D − completion (kComplete);
+  /// positive means the deadline is (expected to be) met.
+  Seconds deadline_slack = 0.0;
+
+  friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
+};
+
+/// Append-only span sink shared by every instrumented component.
+///
+/// Lock-cheap by sharding: a recording thread hashes onto one of a fixed
+/// number of independently-locked buffers, so concurrent recorders (the
+/// async executor's partition workers) rarely contend. A global sequence
+/// number stamps every span so snapshot() can restore exact record order —
+/// under the single-threaded simulator this order is fully deterministic.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Append one span (the recorder stamps its sequence number).
+  void record(TraceSpan span);
+
+  /// All spans recorded so far, in record order.
+  std::vector<TraceSpan> snapshot() const;
+
+  /// Spans of one query, in record order.
+  std::vector<TraceSpan> spans_for(std::uint64_t query_id) const;
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct Stamped {
+    std::uint64_t seq;
+    TraceSpan span;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Stamped> spans;
+  };
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace holap

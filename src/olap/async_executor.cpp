@@ -32,18 +32,50 @@ void AsyncHybridExecutor::shutdown() {
   }
 }
 
+void AsyncHybridExecutor::set_trace_recorder(TraceRecorder* recorder) {
+  recorder_.store(recorder);
+  const std::lock_guard lock(scheduler_mutex_);
+  system_->scheduler_mutable().set_trace_recorder(recorder);
+}
+
+LatencyHistogram AsyncHybridExecutor::latency_histogram() const {
+  const std::lock_guard lock(histogram_mutex_);
+  return latencies_;
+}
+
+void AsyncHybridExecutor::record_span(std::uint64_t id, SpanKind kind,
+                                      Seconds start, Seconds end,
+                                      QueueRef queue, Seconds resp_est,
+                                      Seconds measured, Seconds slack) {
+  TraceRecorder* rec = recorder_.load();
+  if (rec == nullptr) return;
+  TraceSpan span;
+  span.query_id = id;
+  span.kind = kind;
+  span.start = start;
+  span.end = end;
+  span.queue = queue;
+  span.estimated_response = resp_est;
+  span.measured_response = measured;
+  span.deadline_slack = slack;
+  rec->record(span);
+}
+
 std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
   HOLAP_REQUIRE(!down_.load(), "executor is shut down");
   validate_query(q, system_->schema().dimensions(), system_->schema());
 
   Job job;
   job.query = std::move(q);
+  job.id = next_id_.fetch_add(1);
   std::future<ExecutionReport> future = job.promise.get_future();
   {
     const std::lock_guard lock(scheduler_mutex_);
-    job.placement = system_->scheduler_mutable().schedule(job.query,
-                                                          clock_.seconds());
+    job.submitted_at = clock_.seconds();
+    job.placement = system_->scheduler_mutable().schedule(
+        job.query, job.submitted_at, job.id);
   }
+  job.stage_enqueued_at = job.submitted_at;
   if (job.placement.rejected) {
     ExecutionReport report;
     report.rejected = true;
@@ -71,6 +103,14 @@ void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {
         job.placement.queue, report.estimated_processing,
         report.measured_processing);
   }
+  const Seconds done = clock_.seconds();
+  record_span(job.id, SpanKind::kComplete, done, done, job.placement.queue,
+              job.placement.response_est, done,
+              job.submitted_at + system_->scheduler().deadline() - done);
+  {
+    const std::lock_guard lock(histogram_mutex_);
+    latencies_.add(done - job.submitted_at);
+  }
   ++completed_;
   job.promise.set_value(std::move(report));
 }
@@ -81,27 +121,40 @@ void AsyncHybridExecutor::cpu_worker() {
     report.queue = job->placement.queue;
     report.estimated_processing = job->placement.processing_est;
     report.before_deadline_estimate = job->placement.before_deadline;
+    // Queue wait between placement and the partition picking the job up.
+    record_span(job->id, SpanKind::kDispatch, job->stage_enqueued_at,
+                clock_.seconds(), job->placement.queue,
+                job->placement.response_est, 0.0, 0.0);
     // CPU-path text parameters translate inline (hashed path), outside
     // the translation partition — §III-F: translation is a GPU-side need.
     if (job->query.needs_translation()) {
       system_->translate(job->query);
     }
+    const Seconds exec_start = clock_.seconds();
     WallTimer timer;
     report.answer = system_->cubes().answer(job->query,
                                             system_->config().cpu_threads);
     report.measured_processing = timer.seconds();
+    record_span(job->id, SpanKind::kExecute, exec_start, clock_.seconds(),
+                job->placement.queue, job->placement.response_est, 0.0,
+                0.0);
     finish(std::move(*job), std::move(report));
   }
 }
 
 void AsyncHybridExecutor::translation_worker() {
   while (auto job = translation_queue_.pop()) {
+    const Seconds trans_start = clock_.seconds();
     WallTimer timer;
     system_->translate(job->query);
     const Seconds took = timer.seconds();
+    record_span(job->id, SpanKind::kTranslate, trans_start,
+                clock_.seconds(), job->placement.queue,
+                job->placement.response_est, 0.0, 0.0);
     const int queue = job->placement.queue.index;
     Job forwarded = std::move(*job);
     forwarded.placement.translation_est = took;  // measured, for reports
+    forwarded.stage_enqueued_at = clock_.seconds();
     if (!gpu_queues_[static_cast<std::size_t>(queue)]->push(
             std::move(forwarded))) {
       // Shutdown raced us; the job's promise is abandoned deliberately
@@ -123,9 +176,16 @@ void AsyncHybridExecutor::gpu_worker(int queue) {
     report.translation_time = job->placement.translate
                                   ? job->placement.translation_est
                                   : 0.0;
+    record_span(job->id, SpanKind::kDispatch, job->stage_enqueued_at,
+                clock_.seconds(), job->placement.queue,
+                job->placement.response_est, 0.0, 0.0);
+    const Seconds exec_start = clock_.seconds();
     const GpuExecution exec = system_->device().execute(queue, job->query);
     report.answer = exec.answer;
     report.measured_processing = exec.modeled_seconds;
+    record_span(job->id, SpanKind::kExecute, exec_start, clock_.seconds(),
+                job->placement.queue, job->placement.response_est, 0.0,
+                0.0);
     finish(std::move(*job), std::move(report));
   }
 }

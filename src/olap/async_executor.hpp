@@ -18,6 +18,8 @@
 #include <thread>
 
 #include "common/blocking_queue.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "olap/hybrid_system.hpp"
 
 namespace holap {
@@ -47,11 +49,22 @@ class AsyncHybridExecutor {
   /// Completed query count (for monitoring/tests).
   std::size_t completed() const { return completed_.load(); }
 
+  /// Attach a span sink: the scheduler records kEnqueue at placement, the
+  /// workers record translate/dispatch/execute/complete on the executor's
+  /// wall clock. Call before submitting; nullptr detaches.
+  void set_trace_recorder(TraceRecorder* recorder);
+
+  /// End-to-end latency distribution of completed queries (mergeable).
+  LatencyHistogram latency_histogram() const;
+
  private:
   struct Job {
     Query query;
     Placement placement;
     std::promise<ExecutionReport> promise;
+    std::uint64_t id = 0;            ///< trace query id (submission order)
+    Seconds submitted_at = 0.0;      ///< executor-clock submission time
+    Seconds stage_enqueued_at = 0.0; ///< entry time of the current queue
   };
 
   void cpu_worker();
@@ -59,11 +72,19 @@ class AsyncHybridExecutor {
   void gpu_worker(int queue);
   void finish(Job job, ExecutionReport report);
 
+  void record_span(std::uint64_t id, SpanKind kind, Seconds start,
+                   Seconds end, QueueRef queue, Seconds resp_est,
+                   Seconds measured, Seconds slack);
+
   HybridOlapSystem* system_;
   std::mutex scheduler_mutex_;
   WallTimer clock_;
   std::atomic<bool> down_{false};
   std::atomic<std::size_t> completed_{0};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<TraceRecorder*> recorder_{nullptr};
+  mutable std::mutex histogram_mutex_;
+  LatencyHistogram latencies_;
 
   BlockingQueue<Job> cpu_queue_;
   BlockingQueue<Job> translation_queue_;

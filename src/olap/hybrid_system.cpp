@@ -58,11 +58,21 @@ HybridOlapSystem::HybridOlapSystem(FactTable table, HybridSystemConfig config)
                            bytes_to_mb(table_.size_bytes()),
                            table_.schema().column_count(), &cpu_work_,
                            &translation_work_));
+  if (config_.record_trace) policy_->set_trace_recorder(&recorder_);
 }
 
 ExecutionReport HybridOlapSystem::execute(const Query& q) {
   validate_query(q, table_.schema().dimensions(), table_.schema());
   const Seconds now = clock_.seconds();
+  const std::uint64_t query_id = next_query_id_++;
+  const bool tracing = config_.record_trace;
+  auto record = [&](SpanKind kind, Seconds start, Seconds end,
+                    QueueRef queue, Seconds resp_est, Seconds measured,
+                    Seconds slack) {
+    if (!tracing) return;
+    recorder_.record({query_id, kind, start, end, queue, resp_est,
+                      measured, slack});
+  };
   Query working = q;
 
   // Untranslated queries cannot be estimated against the cube region until
@@ -70,7 +80,7 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
   // dictionary lengths, not codes). Text queries bound for the CPU also
   // get translated — the cube engine needs codes too, but via the fast
   // hashed path outside the translation partition's accounting.
-  const Placement placement = policy_->schedule(working, now);
+  const Placement placement = policy_->schedule(working, now, query_id);
   ExecutionReport report;
   report.rejected = placement.rejected;
   if (placement.rejected) {
@@ -96,12 +106,20 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
   report.before_deadline_estimate = placement.before_deadline;
 
   if (working.needs_translation()) {
+    const Seconds trans_start = clock_.seconds();
     WallTimer t;
     translate(working);
     report.translation_time = t.seconds();
     report.translated = placement.translate;
+    record(SpanKind::kTranslate, trans_start, clock_.seconds(),
+           placement.queue, placement.response_est, 0.0, 0.0);
   }
 
+  // The synchronous plane hands the query straight to its partition; the
+  // dispatch span is the zero-duration handoff marker.
+  const Seconds exec_start = clock_.seconds();
+  record(SpanKind::kDispatch, exec_start, exec_start, placement.queue,
+         placement.response_est, 0.0, 0.0);
   if (placement.queue.kind == QueueRef::kCpu) {
     WallTimer t;
     report.answer = cubes_.answer(working, config_.cpu_threads);
@@ -112,8 +130,14 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
     report.answer = exec.answer;
     report.measured_processing = exec.modeled_seconds;
   }
+  record(SpanKind::kExecute, exec_start, clock_.seconds(),
+         placement.queue, placement.response_est, 0.0, 0.0);
   policy_->on_completed(placement.queue, report.estimated_processing,
                         report.measured_processing);
+  const Seconds done = clock_.seconds();
+  record(SpanKind::kComplete, done, done, placement.queue,
+         placement.response_est, done,
+         now + config_.deadline - done);
   return report;
 }
 

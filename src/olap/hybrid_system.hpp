@@ -17,6 +17,7 @@
 
 #include "common/timer.hpp"
 #include "gpusim/gpu_device.hpp"
+#include "obs/trace.hpp"
 #include "olap/adapters.hpp"
 #include "query/batch_translator.hpp"
 #include "sched/baselines.hpp"
@@ -53,6 +54,10 @@ struct HybridSystemConfig {
   /// Scheduling policy name (see make_policy).
   std::string policy = "figure10";
   bool feedback = true;
+  /// Record per-query lifecycle spans (enqueue/translate/dispatch/execute/
+  /// complete) into the system's TraceRecorder, timestamped on the
+  /// system's wall clock.
+  bool record_trace = false;
 };
 
 /// Where and how one query was processed.
@@ -97,6 +102,12 @@ class HybridOlapSystem {
   SchedulerPolicy& scheduler_mutable() { return *policy_; }
   const HybridSystemConfig& config() const { return config_; }
 
+  /// Span sink of the observability layer. Filled by execute() when
+  /// `config.record_trace` is set (or by an AsyncHybridExecutor pointed at
+  /// it); always accessible so callers can snapshot/clear.
+  TraceRecorder& recorder() { return recorder_; }
+  const TraceRecorder& recorder() const { return recorder_; }
+
  private:
   HybridSystemConfig config_;
   FactTable table_;
@@ -109,6 +120,8 @@ class HybridOlapSystem {
   DictionaryTranslationModel translation_work_;
   std::unique_ptr<SchedulerPolicy> policy_;
   WallTimer clock_;  ///< system time: "now" for the scheduler
+  TraceRecorder recorder_;
+  std::uint64_t next_query_id_ = 0;  ///< trace ids, execute() order
 };
 
 }  // namespace holap

@@ -36,6 +36,7 @@ QueueingScheduler::QueueingScheduler(SchedulerConfig config,
     devices = std::max(devices, d + 1);
   }
   dispatch_clocks_.assign(static_cast<std::size_t>(devices), 0.0);
+  counters_.gpu_placements.assign(gpu_clocks_.size(), 0);
 }
 
 Seconds QueueingScheduler::gpu_clock(int queue) const {
@@ -53,7 +54,8 @@ Seconds& QueueingScheduler::clock_for(QueueRef ref) {
   return gpu_clocks_[static_cast<std::size_t>(ref.index)];
 }
 
-Placement QueueingScheduler::schedule(const Query& q, Seconds now) {
+Placement QueueingScheduler::schedule(const Query& q, Seconds now,
+                                      std::uint64_t query_id) {
   const CostEstimate est = estimator_.estimate(q);
   const Seconds deadline = now + config_.deadline;  // T_D = T_Q + T_C
 
@@ -98,6 +100,7 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now) {
   if (candidates.empty()) {
     Placement p;
     p.rejected = true;  // CPU cannot answer and the GPU is disabled
+    ++counters_.rejected;
     return p;
   }
 
@@ -126,11 +129,33 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now) {
         chosen->dispatch_done;
   }
   clock_for(chosen->ref) = chosen->response;
+
+  ++counters_.scheduled;
+  if (!p.before_deadline) ++counters_.missed_at_placement;
+  if (p.translate) ++counters_.translations;
+  if (p.queue.kind == QueueRef::kCpu) {
+    ++counters_.cpu_placements;
+  } else {
+    ++counters_.gpu_placements[static_cast<std::size_t>(p.queue.index)];
+  }
+  if (recorder_ != nullptr) {
+    TraceSpan span;
+    span.query_id = query_id;
+    span.kind = SpanKind::kEnqueue;
+    span.start = now;
+    span.end = now;  // the decision itself is instantaneous
+    span.queue = p.queue;
+    span.estimated_response = p.response_est;
+    span.deadline_slack = deadline - p.response_est;
+    recorder_->record(span);
+  }
   return p;
 }
 
 void QueueingScheduler::on_completed(QueueRef ref, Seconds estimated,
                                      Seconds actual) {
+  ++counters_.feedback_events;
+  counters_.feedback_abs_error += std::abs(actual - estimated);
   if (!config_.feedback) return;
   // Estimation error shifts everything queued behind the finished query.
   clock_for(ref) += actual - estimated;

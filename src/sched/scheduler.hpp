@@ -27,6 +27,7 @@
 
 #include <memory>
 
+#include "obs/trace.hpp"
 #include "sched/estimator.hpp"
 
 namespace holap {
@@ -62,13 +63,36 @@ struct PartitionResponse {
   bool before_deadline = false;
 };
 
+/// What a policy did, counted per partition queue — the observability
+/// layer's view of the decision loop (placements, deadline misses already
+/// known at placement time, and how hard §III-G feedback had to correct
+/// the clocks).
+struct SchedulerCounters {
+  std::size_t scheduled = 0;   ///< accepted placements
+  std::size_t rejected = 0;    ///< no partition could process the query
+  std::size_t missed_at_placement = 0;  ///< placed past the deadline (step 6)
+  std::size_t translations = 0;         ///< placements routed via Q_TRANS
+  std::size_t cpu_placements = 0;
+  std::vector<std::size_t> gpu_placements;  ///< one entry per GPU queue
+  std::size_t feedback_events = 0;
+  /// Σ|actual − estimated| over feedback events: cumulative model error
+  /// the queue clocks absorbed.
+  Seconds feedback_abs_error = 0.0;
+};
+
 /// Abstract scheduling policy over partition queues.
 class SchedulerPolicy {
  public:
   virtual ~SchedulerPolicy() = default;
 
   /// Place query `q` arriving at absolute time `now`; updates queue clocks.
-  virtual Placement schedule(const Query& q, Seconds now) = 0;
+  /// `query_id` only labels the trace span (0 when untraced).
+  virtual Placement schedule(const Query& q, Seconds now,
+                             std::uint64_t query_id = 0) = 0;
+
+  /// Attach a span sink; the policy records one kEnqueue span per accepted
+  /// placement. nullptr (the default) disables tracing.
+  virtual void set_trace_recorder(TraceRecorder*) {}
 
   /// Completion feedback: `estimated`/`actual` processing time of a query
   /// that ran on `ref`.
@@ -89,17 +113,23 @@ class QueueingScheduler : public SchedulerPolicy {
  public:
   QueueingScheduler(SchedulerConfig config, CostEstimator estimator);
 
-  Placement schedule(const Query& q, Seconds now) final;
+  Placement schedule(const Query& q, Seconds now,
+                     std::uint64_t query_id = 0) final;
   void on_completed(QueueRef ref, Seconds estimated, Seconds actual) override;
   Seconds deadline() const override { return config_.deadline; }
   int gpu_queue_count() const override {
     return static_cast<int>(gpu_clocks_.size());
+  }
+  void set_trace_recorder(TraceRecorder* recorder) override {
+    recorder_ = recorder;
   }
 
   const SchedulerConfig& config() const { return config_; }
   Seconds cpu_clock() const { return cpu_clock_; }
   Seconds translation_clock() const { return trans_clock_; }
   Seconds gpu_clock(int queue) const;
+  /// Decision/feedback counters since construction.
+  const SchedulerCounters& counters() const { return counters_; }
 
  protected:
   /// Pick a queue among `candidates` (every partition that can process the
@@ -118,6 +148,8 @@ class QueueingScheduler : public SchedulerPolicy {
   std::vector<Seconds> gpu_clocks_;
   std::vector<Seconds> dispatch_clocks_;  // one per GPU device
   std::vector<int> queue_device_;
+  TraceRecorder* recorder_ = nullptr;
+  SchedulerCounters counters_;
 
   Seconds& clock_for(QueueRef ref);
 };

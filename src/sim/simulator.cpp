@@ -60,6 +60,49 @@ SimResult run_simulation(SchedulerPolicy& policy,
   SimResult result;
   result.gpu_utilization.assign(gpus.size(), 0.0);
   if (config.record_trace) result.trace.resize(queries.size());
+
+  // Per-stage counters in fixed layout: cpu, translation, one dispatch
+  // stage per device, one per GPU partition queue.
+  result.partitions.push_back({.name = "cpu"});
+  result.partitions.push_back({.name = "translation"});
+  for (int d = 0; d < device_count; ++d) {
+    result.partitions.push_back(
+        {.name = "dispatch" + std::to_string(d)});
+  }
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    result.partitions.push_back({.name = "gpu" + std::to_string(i)});
+  }
+  PartitionCounters& cpu_ctr = result.partitions[0];
+  PartitionCounters& trans_ctr = result.partitions[1];
+  auto dispatch_ctr = [&](std::size_t device) -> PartitionCounters& {
+    return result.partitions[2 + device];
+  };
+  auto gpu_ctr = [&](std::size_t queue) -> PartitionCounters& {
+    return result.partitions[2 + static_cast<std::size_t>(device_count) +
+                             queue];
+  };
+
+  // The observability layer: the policy records the kEnqueue span at each
+  // placement; the servers below record translate/dispatch/execute/
+  // complete. Everything is stamped on the sim clock — deterministic.
+  TraceRecorder* const rec = config.recorder;
+  if (rec != nullptr) policy.set_trace_recorder(rec);
+  auto record = [&](std::size_t idx, SpanKind kind, Seconds start,
+                    Seconds end, QueueRef queue, Seconds resp_est,
+                    Seconds measured, Seconds slack) {
+    if (rec == nullptr) return;
+    TraceSpan span;
+    span.query_id = idx;
+    span.kind = kind;
+    span.start = start;
+    span.end = end;
+    span.queue = queue;
+    span.estimated_response = resp_est;
+    span.measured_response = measured;
+    span.deadline_slack = slack;
+    rec->record(span);
+  };
+
   std::vector<double> latencies;
   latencies.reserve(queries.size());
   Seconds makespan = 0.0;
@@ -68,16 +111,21 @@ SimResult run_simulation(SchedulerPolicy& policy,
 
   std::function<void(std::size_t)> start_query;
 
-  auto finish = [&](std::size_t idx, Seconds submit, Seconds done) {
+  auto finish = [&](std::size_t idx, Seconds submit, Seconds done,
+                    QueueRef queue, Seconds resp_est) {
     ++result.completed;
     const Seconds latency = done - submit;
     latencies.push_back(latency);
+    result.latency_histogram.add(latency);
     const bool met = latency <= policy.deadline();
     if (met) ++result.met_deadline;
     if (config.record_trace) {
       result.trace[idx].completed = done;
+      result.trace[idx].latency = latency;
       result.trace[idx].met_deadline = met;
     }
+    record(idx, SpanKind::kComplete, done, done, queue, resp_est, done,
+           submit + policy.deadline() - done);
     makespan = std::max(makespan, done);
     if (closed && next_query < queries.size()) {
       const std::size_t next = next_query++;
@@ -96,12 +144,13 @@ SimResult run_simulation(SchedulerPolicy& policy,
   start_query = [&](std::size_t idx) {
     const Query& q = queries[idx];
     const Seconds now = events.now();
-    const Placement p = policy.schedule(q, now);
+    const Placement p = policy.schedule(q, now, idx);
     if (config.record_trace) {
       QueryTrace& t = result.trace[idx];
       t.index = idx;
       t.submitted = now;
       t.response_est = p.response_est;
+      t.slack_est = now + policy.deadline() - p.response_est;
       t.queue = p.queue;
       t.translated = p.translate;
       t.rejected = p.rejected;
@@ -113,13 +162,22 @@ SimResult run_simulation(SchedulerPolicy& policy,
     }
     if (p.queue.kind == QueueRef::kCpu) {
       ++result.cpu_queries;
+      cpu_ctr.on_enqueue();
+      // The CPU path has no launch stage; record the queue handoff as a
+      // zero-duration dispatch span so every query's chain is uniform.
+      record(idx, SpanKind::kDispatch, now, now, p.queue, p.response_est,
+             0.0, 0.0);
       const Seconds actual =
           p.processing_est * noise() + config.cpu_overhead;
       cpu.submit(actual,
                  [&, idx, submit = now, est = p.processing_est,
-                  actual](Seconds done) {
+                  resp_est = p.response_est, actual](Seconds done) {
+                   cpu_ctr.on_complete(actual);
+                   record(idx, SpanKind::kExecute, done - actual, done,
+                          {QueueRef::kCpu, 0}, resp_est, 0.0, 0.0);
                    policy.on_completed({QueueRef::kCpu, 0}, est, actual);
-                   finish(idx, submit, done);
+                   finish(idx, submit, done, {QueueRef::kCpu, 0},
+                          resp_est);
                  });
       return;
     }
@@ -133,24 +191,47 @@ SimResult run_simulation(SchedulerPolicy& policy,
     const auto device = static_cast<std::size_t>(
         queue_device[static_cast<std::size_t>(queue)]);
     auto into_pipeline = [&, idx, queue, device, actual_gpu, submit = now,
-                          est = p.processing_est](Seconds) {
+                          est = p.processing_est,
+                          resp_est = p.response_est](Seconds) {
+      dispatch_ctr(device).on_enqueue();
       dispatchers[device]->submit(
           config.gpu_dispatch_overhead,
-          [&, idx, queue, actual_gpu, submit, est](Seconds) {
+          [&, idx, queue, device, actual_gpu, submit, est,
+           resp_est](Seconds ddone) {
+            dispatch_ctr(device).on_complete(config.gpu_dispatch_overhead);
+            record(idx, SpanKind::kDispatch,
+                   ddone - config.gpu_dispatch_overhead, ddone,
+                   {QueueRef::kGpu, queue}, resp_est, 0.0, 0.0);
+            gpu_ctr(static_cast<std::size_t>(queue)).on_enqueue();
             gpus[static_cast<std::size_t>(queue)]->submit(
                 actual_gpu,
-                [&, idx, queue, submit, est, actual_gpu](Seconds done) {
+                [&, idx, queue, actual_gpu, submit, est,
+                 resp_est](Seconds done) {
+                  gpu_ctr(static_cast<std::size_t>(queue))
+                      .on_complete(actual_gpu);
+                  record(idx, SpanKind::kExecute, done - actual_gpu, done,
+                         {QueueRef::kGpu, queue}, resp_est, 0.0, 0.0);
                   policy.on_completed(
                       {QueueRef::kGpu, queue}, est,
                       actual_gpu + config.gpu_dispatch_overhead);
-                  finish(idx, submit, done);
+                  finish(idx, submit, done, {QueueRef::kGpu, queue},
+                         resp_est);
                 });
           });
     };
     if (p.translate) {
       ++result.translated_queries;
-      translation.submit(p.translation_est * noise(),
-                         std::move(into_pipeline));
+      trans_ctr.on_enqueue();
+      const Seconds trans_service = p.translation_est * noise();
+      translation.submit(
+          trans_service,
+          [&, idx, queue, trans_service, resp_est = p.response_est,
+           into_pipeline = std::move(into_pipeline)](Seconds tdone) {
+            trans_ctr.on_complete(trans_service);
+            record(idx, SpanKind::kTranslate, tdone - trans_service, tdone,
+                   {QueueRef::kGpu, queue}, resp_est, 0.0, 0.0);
+            into_pipeline(tdone);
+          });
     } else {
       into_pipeline(now);
     }
@@ -173,6 +254,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
   }
 
   events.run_all();
+  if (rec != nullptr) policy.set_trace_recorder(nullptr);
 
   result.makespan = makespan;
   if (makespan > 0.0) {
@@ -183,7 +265,9 @@ SimResult run_simulation(SchedulerPolicy& policy,
     result.deadline_hit_rate = static_cast<double>(result.met_deadline) /
                                static_cast<double>(result.completed);
     result.mean_latency = summarize(latencies).mean;
+    result.p50_latency = percentile(latencies, 50.0);
     result.p95_latency = percentile(latencies, 95.0);
+    result.p99_latency = percentile(latencies, 99.0);
   }
   if (makespan > 0.0) {
     result.cpu_utilization = cpu.busy_time() / makespan;

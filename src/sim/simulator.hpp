@@ -24,6 +24,9 @@
 
 #include <memory>
 
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "query/query.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
@@ -63,6 +66,12 @@ struct SimConfig {
   /// Record a per-query trace in SimResult::trace (costs memory; off by
   /// default).
   bool record_trace = false;
+  /// Span sink for the observability layer: when set, the run records one
+  /// span per lifecycle stage per query (enqueue/translate/dispatch/
+  /// execute/complete), timestamped on the *sim* clock — fully
+  /// deterministic for a given (queries, config). Caller owns the
+  /// recorder; the policy's recorder is overridden for the run.
+  TraceRecorder* recorder = nullptr;
   std::uint64_t seed = 99;
 };
 
@@ -72,6 +81,8 @@ struct QueryTrace {
   Seconds submitted = 0.0;
   Seconds completed = 0.0;     ///< 0 when rejected
   Seconds response_est = 0.0;  ///< the scheduler's T_R at placement time
+  Seconds slack_est = 0.0;     ///< T_D − T_R at placement time
+  Seconds latency = 0.0;       ///< completed − submitted (0 when rejected)
   QueueRef queue;
   bool translated = false;
   bool rejected = false;
@@ -89,12 +100,19 @@ struct SimResult {
   double throughput_qps = 0.0;      ///< completed / makespan
   double deadline_hit_rate = 0.0;   ///< met_deadline / completed
   double mean_latency = 0.0;
+  double p50_latency = 0.0;
   double p95_latency = 0.0;
+  double p99_latency = 0.0;
   double cpu_utilization = 0.0;     ///< CPU server busy fraction
   double dispatcher_utilization = 0.0;
   double translation_utilization = 0.0;
   std::vector<double> gpu_utilization;  ///< per partition queue
   std::vector<QueryTrace> trace;        ///< per query, when recorded
+  /// Mergeable latency distribution of completed queries.
+  LatencyHistogram latency_histogram;
+  /// Per-stage counters in fixed order: cpu, translation, dispatch per
+  /// device, then one per GPU partition queue.
+  std::vector<PartitionCounters> partitions;
 };
 
 /// Run `queries` through `policy` under `config`. The policy's queue

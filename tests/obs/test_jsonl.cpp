@@ -1,0 +1,128 @@
+// JSONL export: exact round-trip, schema fields, chain validation.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace holap {
+namespace {
+
+TraceSpan sample_span() {
+  TraceSpan s;
+  s.query_id = 42;
+  s.kind = SpanKind::kExecute;
+  s.start = 0.1234567890123456789;  // exercises full double precision
+  s.end = 0.2;
+  s.queue = {QueueRef::kGpu, 3};
+  s.estimated_response = 0.19999999999;
+  s.measured_response = 0.2;
+  s.deadline_slack = -0.05;
+  return s;
+}
+
+TEST(Jsonl, SingleSpanRoundTripsExactly) {
+  const TraceSpan s = sample_span();
+  const TraceSpan back = span_from_jsonl(to_jsonl(s));
+  EXPECT_EQ(back, s);  // bit-exact doubles included
+}
+
+TEST(Jsonl, StreamRoundTripPreservesOrderAndValues) {
+  std::vector<TraceSpan> spans;
+  for (int i = 0; i < 50; ++i) {
+    TraceSpan s = sample_span();
+    s.query_id = static_cast<std::uint64_t>(i);
+    s.kind = static_cast<SpanKind>(i % 5);
+    s.queue = i % 2 == 0 ? QueueRef{QueueRef::kCpu, 0}
+                         : QueueRef{QueueRef::kGpu, i % 6};
+    s.start = 1e-9 * i;
+    spans.push_back(s);
+  }
+  std::stringstream ss;
+  write_jsonl(ss, spans);
+  const auto back = read_jsonl(ss);
+  ASSERT_EQ(back.size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(back[i], spans[i]) << "span " << i;
+  }
+}
+
+TEST(Jsonl, LinesAreSelfContainedJsonObjects) {
+  const std::string line = to_jsonl(sample_span());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  for (const char* field :
+       {"\"query\":", "\"span\":", "\"queue\":", "\"start\":", "\"end\":",
+        "\"est_response\":", "\"measured_response\":",
+        "\"deadline_slack\":"}) {
+    EXPECT_NE(line.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(Jsonl, MalformedLinesThrow) {
+  EXPECT_THROW(span_from_jsonl("{}"), InvalidArgument);
+  EXPECT_THROW(span_from_jsonl("not json"), InvalidArgument);
+  EXPECT_THROW(
+      span_from_jsonl(
+          "{\"query\":1,\"span\":\"warp\",\"queue\":\"cpu\",\"start\":0,"
+          "\"end\":0,\"est_response\":0,\"measured_response\":0,"
+          "\"deadline_slack\":0}"),
+      Error);  // unknown span kind
+  EXPECT_THROW(
+      span_from_jsonl(
+          "{\"query\":1,\"span\":\"execute\",\"queue\":\"tpu0\","
+          "\"start\":0,\"end\":0,\"est_response\":0,"
+          "\"measured_response\":0,\"deadline_slack\":0}"),
+      Error);  // unknown queue
+}
+
+TEST(Jsonl, ReadSkipsBlankLines) {
+  std::stringstream ss;
+  ss << to_jsonl(sample_span()) << "\n\n" << to_jsonl(sample_span())
+     << "\n";
+  EXPECT_EQ(read_jsonl(ss).size(), 2u);
+}
+
+std::vector<TraceSpan> chain(bool with_translate, QueueRef queue) {
+  std::vector<TraceSpan> spans;
+  auto push = [&](SpanKind kind) {
+    TraceSpan s;
+    s.query_id = 7;
+    s.kind = kind;
+    s.queue = queue;
+    spans.push_back(s);
+  };
+  push(SpanKind::kEnqueue);
+  if (with_translate) push(SpanKind::kTranslate);
+  push(SpanKind::kDispatch);
+  push(SpanKind::kExecute);
+  push(SpanKind::kComplete);
+  return spans;
+}
+
+TEST(SpanChain, AcceptsCanonicalChains) {
+  EXPECT_TRUE(is_complete_span_chain(chain(false, {QueueRef::kCpu, 0})));
+  EXPECT_TRUE(is_complete_span_chain(chain(true, {QueueRef::kGpu, 2})));
+}
+
+TEST(SpanChain, RejectsBrokenChains) {
+  EXPECT_FALSE(is_complete_span_chain({}));
+  auto missing_complete = chain(false, {QueueRef::kCpu, 0});
+  missing_complete.pop_back();
+  EXPECT_FALSE(is_complete_span_chain(missing_complete));
+  auto out_of_order = chain(false, {QueueRef::kCpu, 0});
+  std::swap(out_of_order[1], out_of_order[2]);  // execute before dispatch
+  EXPECT_FALSE(is_complete_span_chain(out_of_order));
+  auto queue_mismatch = chain(true, {QueueRef::kGpu, 1});
+  queue_mismatch[3].queue = {QueueRef::kGpu, 2};
+  EXPECT_FALSE(is_complete_span_chain(queue_mismatch));
+  auto extra = chain(false, {QueueRef::kCpu, 0});
+  extra.push_back(extra.back());  // duplicate trailing span
+  EXPECT_FALSE(is_complete_span_chain(extra));
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,93 @@
+// TraceRecorder: record order, per-query extraction, concurrent appends.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace holap {
+namespace {
+
+TraceSpan make_span(std::uint64_t id, SpanKind kind, Seconds at) {
+  TraceSpan s;
+  s.query_id = id;
+  s.kind = kind;
+  s.start = at;
+  s.end = at;
+  return s;
+}
+
+TEST(TraceRecorder, SnapshotPreservesRecordOrder) {
+  TraceRecorder rec;
+  rec.record(make_span(0, SpanKind::kEnqueue, 0.0));
+  rec.record(make_span(1, SpanKind::kEnqueue, 0.1));
+  rec.record(make_span(0, SpanKind::kExecute, 0.2));
+  rec.record(make_span(0, SpanKind::kComplete, 0.3));
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].query_id, 0u);
+  EXPECT_EQ(spans[1].query_id, 1u);
+  EXPECT_EQ(spans[2].kind, SpanKind::kExecute);
+  EXPECT_EQ(spans[3].kind, SpanKind::kComplete);
+}
+
+TEST(TraceRecorder, SpansForFiltersOneQueryInOrder) {
+  TraceRecorder rec;
+  for (int i = 0; i < 10; ++i) {
+    rec.record(make_span(static_cast<std::uint64_t>(i % 2),
+                         SpanKind::kEnqueue, 0.01 * i));
+  }
+  const auto zero = rec.spans_for(0);
+  ASSERT_EQ(zero.size(), 5u);
+  for (std::size_t i = 1; i < zero.size(); ++i) {
+    EXPECT_GT(zero[i].start, zero[i - 1].start);  // record order kept
+  }
+  EXPECT_TRUE(rec.spans_for(99).empty());
+}
+
+TEST(TraceRecorder, SizeAndClear) {
+  TraceRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  rec.record(make_span(0, SpanKind::kEnqueue, 0.0));
+  rec.record(make_span(0, SpanKind::kComplete, 1.0));
+  EXPECT_EQ(rec.size(), 2u);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(TraceRecorder, ConcurrentRecordersLoseNothing) {
+  // The async executor's partition workers all record into one sink.
+  TraceRecorder rec;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.record(make_span(static_cast<std::uint64_t>(t),
+                             SpanKind::kExecute, 0.001 * i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(rec.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(rec.spans_for(static_cast<std::uint64_t>(t)).size(),
+              static_cast<std::size_t>(kPerThread));
+  }
+}
+
+TEST(SpanKind, NamesAreStableSchema) {
+  // The JSONL schema documents these exact names; renaming breaks every
+  // consumer of exported traces.
+  EXPECT_STREQ(to_string(SpanKind::kEnqueue), "enqueue");
+  EXPECT_STREQ(to_string(SpanKind::kTranslate), "translate");
+  EXPECT_STREQ(to_string(SpanKind::kDispatch), "dispatch");
+  EXPECT_STREQ(to_string(SpanKind::kExecute), "execute");
+  EXPECT_STREQ(to_string(SpanKind::kComplete), "complete");
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,94 @@
+// Piecewise continuity of the eq.-(4) CPU model at the 512 MB Range-A /
+// Range-B crossover. The published coefficient pairs (eqs. 7 and 10) were
+// fitted independently per range, so they meet only approximately — a few
+// percent of mismatch is the paper's own fitting residue, but a LARGE gap
+// would mean a transcription error in the preset coefficients. Models the
+// library constructs itself (bandwidth_model, fit() with single-side
+// coverage) must be continuous to machine precision.
+#include "perfmodel/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace holap {
+namespace {
+
+// Relative jump |t(split) - t(split-eps)| / t(split).
+double relative_jump_at_split(const CpuPerfModel& m) {
+  const double split = m.split_mb();
+  const double below = m.seconds(std::nextafter(split, 0.0));
+  const double at = m.seconds(split);
+  return std::abs(at - below) / at;
+}
+
+TEST(CpuModelContinuity, PaperPresetsNearlyMeetAt512MB) {
+  // eq. 7:  1e-4*512^0.9341 = 0.03390.. vs 5e-5*512 + 0.0096 = 0.03520..
+  // eq. 10: 6e-5*512^0.984  = 0.02787.. vs 4e-5*512 + 0.0146 = 0.03508..
+  // Published residue is ~4% (4T) and ~20% (8T); alert on anything worse.
+  EXPECT_LT(relative_jump_at_split(CpuPerfModel::paper_4t()), 0.10);
+  EXPECT_LT(relative_jump_at_split(CpuPerfModel::paper_8t()), 0.30);
+  // Both ranges evaluate to the same order of magnitude either way.
+  for (const CpuPerfModel& m :
+       {CpuPerfModel::paper_4t(), CpuPerfModel::paper_8t()}) {
+    const double below = m.seconds(511.0);
+    const double above = m.seconds(513.0);
+    EXPECT_GT(above, 0.5 * below);
+    EXPECT_LT(above, 2.0 * below);
+  }
+}
+
+TEST(CpuModelContinuity, InterpolatedThreadCountsStayBounded) {
+  // paper_for_threads() mixes the anchors; mixing must not amplify the
+  // crossover jump beyond what the anchors themselves carry.
+  for (int threads = 1; threads <= 8; ++threads) {
+    EXPECT_LT(relative_jump_at_split(CpuPerfModel::paper_for_threads(threads)),
+              0.30)
+        << "threads=" << threads;
+  }
+}
+
+TEST(CpuModelContinuity, BandwidthModelIsExactlyContinuous) {
+  for (const double gb : {1.0, 5.5, 24.4}) {
+    const CpuPerfModel m = CpuPerfModel::bandwidth_model(gb);
+    const double below = m.seconds(std::nextafter(m.split_mb(), 0.0));
+    const double at = m.seconds(m.split_mb());
+    // The only difference is Range B's fixed overhead intercept.
+    EXPECT_NEAR(at - below, 0.002, 1e-9) << "gb=" << gb;
+    const CpuPerfModel flat = CpuPerfModel::bandwidth_model(gb, 0.0);
+    EXPECT_NEAR(relative_jump_at_split(flat), 0.0, 1e-12) << "gb=" << gb;
+  }
+}
+
+TEST(CpuModelContinuity, FitSingleSideInheritanceIsContinuous) {
+  // fit() with coverage on only one side of 512 MB constructs the other
+  // side by continuation — value-continuous by construction, eps-exact.
+  const CpuPerfModel truth = CpuPerfModel::paper_8t();
+  std::vector<double> ax, ay, bx, by;
+  for (double sc = 2.0; sc <= 256.0; sc *= 2.0) {
+    ax.push_back(sc);
+    ay.push_back(truth.seconds(sc));
+  }
+  for (double sc = 1024.0; sc <= 32768.0; sc *= 2.0) {
+    bx.push_back(sc);
+    by.push_back(truth.seconds(sc));
+  }
+  for (const CpuPerfModel& fitted :
+       {CpuPerfModel::fit(ax, ay), CpuPerfModel::fit(bx, by)}) {
+    EXPECT_LT(relative_jump_at_split(fitted), 1e-9);
+  }
+}
+
+TEST(CpuModelContinuity, CustomSplitMovesTheCrossover) {
+  // The crossover is a parameter, not a constant baked into seconds().
+  const CpuPerfModel m({1e-4, 1.0, 1.0}, {1e-4, 0.0, 1.0}, 128.0);
+  EXPECT_EQ(m.split_mb(), 128.0);
+  // With identical laws either side, every point is continuous.
+  EXPECT_NEAR(relative_jump_at_split(m), 0.0, 1e-12);
+  EXPECT_NEAR(m.seconds(127.9), 1e-4 * 127.9, 1e-12);
+  EXPECT_NEAR(m.seconds(128.1), 1e-4 * 128.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,161 @@
+// Property test for the Figure-10 placement rule: whenever at least one
+// partition could still answer within the deadline (P_BD non-empty), the
+// scheduler must place the query on a feasible partition — step 6's
+// best-effort fallback is ONLY legal when P_BD is empty.
+//
+// An independent oracle recomputes every partition's response time from
+// the scheduler's exposed queue clocks and the same cost estimator, so
+// the test never trusts the code path it is checking.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "query/workload.hpp"
+#include "sched/catalog.hpp"
+#include "sched/scheduler.hpp"
+
+namespace holap {
+namespace {
+
+struct PropertyWorld {
+  std::vector<Dimension> dims = paper_model_dimensions();
+  TableSchema schema =
+      make_star_schema(paper_model_dimensions(),
+                       {"m0", "m1", "m2", "m3"}, {{1, 3}, {2, 3}});
+  VirtualCubeCatalog catalog{paper_model_dimensions(), {0, 1, 2}};
+  VirtualTranslationModel translation{schema, 400.0};
+  SchedulerConfig config;
+  WorkloadConfig workload;
+
+  explicit PropertyWorld(std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    // Deadlines spanning "everything feasible" to "almost nothing is":
+    // the property only bites when feasibility is actually contested.
+    config.deadline = rng.uniform_real(0.005, 0.2);
+    config.feedback = rng.bernoulli(0.5);
+    // Keep dispatch unmodeled so the oracle can be rebuilt from the
+    // exposed cpu/translation/gpu clocks alone.
+    config.modeled_gpu_dispatch = 0.0;
+    workload.seed = rng.next();
+    workload.text_probability = rng.uniform_real(0.0, 1.0);
+    workload.mean_selectivity = rng.uniform_real(0.05, 0.9);
+  }
+
+  CostEstimator estimator() const {
+    return make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+                                &catalog, &translation);
+  }
+};
+
+struct OracleResponse {
+  QueueRef ref;
+  Seconds response = 0.0;
+  bool feasible = false;
+};
+
+// Step-3 responses recomputed from the scheduler's public clocks.
+std::vector<OracleResponse> oracle_responses(const QueueingScheduler& sched,
+                                             const CostEstimate& est,
+                                             Seconds now, Seconds deadline) {
+  std::vector<OracleResponse> out;
+  if (sched.config().enable_cpu && est.cpu.has_value()) {
+    OracleResponse r;
+    r.ref = {QueueRef::kCpu, 0};
+    r.response = std::max(sched.cpu_clock(), now) + *est.cpu;
+    r.feasible = deadline - r.response > 0.0;
+    out.push_back(r);
+  }
+  if (sched.config().enable_gpu) {
+    const Seconds trans_done =
+        est.needs_translation
+            ? std::max(sched.translation_clock(), now) + est.translation
+            : 0.0;
+    for (int g = 0; g < sched.gpu_queue_count(); ++g) {
+      OracleResponse r;
+      r.ref = {QueueRef::kGpu, g};
+      Seconds ready = std::max(sched.gpu_clock(g), now);
+      if (est.needs_translation) ready = std::max(ready, trans_done);
+      r.response = ready + est.gpu[static_cast<std::size_t>(g)];
+      r.feasible = deadline - r.response > 0.0;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+class FigureTenProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FigureTenProperty, NeverMissesWhenAFeasiblePartitionExists) {
+  const std::uint64_t seed = GetParam();
+  PropertyWorld world(seed);
+  FigureTenScheduler sched(world.config, world.estimator());
+  const CostEstimator oracle_est = world.estimator();
+  QueryGenerator gen(world.dims, world.schema, world.workload);
+
+  SplitMix64 arrivals(seed * 31 + 7);
+  Seconds now = 0.0;
+  int contested = 0;  // steps where feasibility was neither all nor none
+  for (int i = 0; i < 200; ++i) {
+    now += arrivals.exponential(150.0);
+    const Query q = gen.next();
+    const CostEstimate est = oracle_est.estimate(q);
+    const Seconds deadline = now + world.config.deadline;
+    const auto oracle = oracle_responses(sched, est, now, deadline);
+
+    const Placement p = sched.schedule(q, now);
+    ASSERT_FALSE(p.rejected);  // CPU+GPU enabled: always placeable
+
+    const auto chosen = std::find_if(
+        oracle.begin(), oracle.end(),
+        [&](const OracleResponse& r) { return r.ref == p.queue; });
+    ASSERT_NE(chosen, oracle.end());
+    EXPECT_NEAR(chosen->response, p.response_est, 1e-9);
+
+    const bool any_feasible = std::any_of(
+        oracle.begin(), oracle.end(),
+        [](const OracleResponse& r) { return r.feasible; });
+    const bool all_feasible = std::all_of(
+        oracle.begin(), oracle.end(),
+        [](const OracleResponse& r) { return r.feasible; });
+    if (any_feasible && !all_feasible) ++contested;
+
+    // THE property: a feasible partition exists => the placement is
+    // feasible. (p.before_deadline must agree with the oracle too.)
+    EXPECT_EQ(p.before_deadline, chosen->feasible) << "query " << i;
+    if (any_feasible) {
+      EXPECT_TRUE(p.before_deadline)
+          << "query " << i << ": placed on a missing partition while a "
+          << "feasible one existed (T_D=" << deadline << ")";
+    } else {
+      // Step 6: among an all-miss field, the pick minimises |T_D - T_R|.
+      for (const auto& r : oracle) {
+        EXPECT_LE(std::abs(deadline - chosen->response),
+                  std::abs(deadline - r.response) + 1e-9)
+            << "query " << i;
+      }
+    }
+
+    // Perturb the clocks the way real completions do, so later queries
+    // see contended queues (with feedback on, clocks shift both ways).
+    if (i % 3 == 0) {
+      const double skew = arrivals.uniform_real(0.5, 1.5);
+      sched.on_completed(p.queue, p.processing_est,
+                         p.processing_est * skew);
+    }
+  }
+  // The sweep must actually exercise contested feasibility, not just
+  // trivially-feasible or trivially-hopeless regimes.
+  if (world.config.deadline < 0.1) {
+    EXPECT_GT(contested, 0) << "deadline=" << world.config.deadline;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FigureTenProperty,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{13}));
+
+}  // namespace
+}  // namespace holap

@@ -22,7 +22,7 @@ SimResult run(bool feedback, std::vector<double> bias, double rate) {
   const auto p = s.make_policy();
   SimConfig c = paper_sim_config();
   c.arrival_rate = rate;
-  c.gpu_dispatch_overhead = 0.0;
+  c.gpu_dispatch_overhead = Seconds{0.0};
   c.gpu_queue_bias = std::move(bias);
   return run_simulation(*p, queries, c);
 }
@@ -57,7 +57,7 @@ int main() {
       t.add_row({c.name, fb ? "on" : "off",
                  TablePrinter::fixed(r.throughput_qps, 1),
                  TablePrinter::fixed(100.0 * r.deadline_hit_rate, 1) + "%",
-                 TablePrinter::fixed(r.p95_latency * 1000.0, 1)});
+                 TablePrinter::fixed(r.p95_latency.value() * 1000.0, 1)});
     }
   }
   t.print(std::cout, "Feedback ablation (GPU-only, 220 Q/s arrivals)");

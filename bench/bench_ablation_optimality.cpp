@@ -80,7 +80,7 @@ int main() {
   ScenarioOptions opts = table3_options(8);
   opts.gpu_partitions = {1, 2, 4};
   opts.text_probability = 0.0;
-  opts.deadline = 0.03;
+  opts.deadline = Seconds{0.03};
   const PaperScenario s{opts};
   const CostEstimator estimator = s.make_estimator();
 
@@ -99,12 +99,12 @@ int main() {
     }();
 
     Costs costs;
-    costs.deadline = opts.deadline;
+    costs.deadline = opts.deadline.value();
     for (const Query& q : queries) {
       const CostEstimate est = estimator.estimate(q);
       std::vector<double> row;
-      row.push_back(est.cpu ? *est.cpu : 1e300);
-      for (const double g : est.gpu) row.push_back(g);
+      row.push_back(est.cpu ? est.cpu->value() : 1e300);
+      for (const Seconds g : est.gpu) row.push_back(g.value());
       costs.processing.push_back(std::move(row));
     }
 
@@ -115,7 +115,7 @@ int main() {
       auto policy = s.make_policy(name);
       std::vector<int> assignment;
       for (const Query& q : queries) {
-        const Placement p = policy->schedule(q, 0.0);
+        const Placement p = policy->schedule(q, Seconds{});
         assignment.push_back(p.queue.kind == QueueRef::kCpu
                                  ? 0
                                  : 1 + p.queue.index);

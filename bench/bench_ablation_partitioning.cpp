@@ -45,17 +45,17 @@ int main() {
       {"coarse {4,4,4,2}", {4, 4, 4, 2}},
   };
 
-  for (const Seconds dispatch : {0.0145, 0.0}) {
+  for (const Seconds dispatch : {Seconds{0.0145}, Seconds{0.0}}) {
     TablePrinter t({"partitioning", "rate [Q/s]", "deadline hit",
                     "p95 latency [ms]"});
     for (const auto& config : configs) {
       const SimResult r = run(config.partitions, dispatch);
       t.add_row({config.name, TablePrinter::fixed(r.throughput_qps, 1),
                  TablePrinter::fixed(100.0 * r.deadline_hit_rate, 1) + "%",
-                 TablePrinter::fixed(r.p95_latency * 1000.0, 1)});
+                 TablePrinter::fixed(r.p95_latency.value() * 1000.0, 1)});
     }
     t.print(std::cout,
-            dispatch > 0.0
+            dispatch > Seconds{0.0}
                 ? "With the 14.5 ms serialised dispatch (testbed regime)"
                 : "With zero dispatch overhead (pure scheduling effect)");
     note("");

@@ -23,7 +23,7 @@ SimResult run(bool fastest_first, double rate, Seconds deadline) {
   const auto p = s.make_policy();
   SimConfig c = paper_sim_config();
   c.arrival_rate = rate;
-  c.gpu_dispatch_overhead = 0.0;  // expose pure placement effects
+  c.gpu_dispatch_overhead = Seconds{0.0};  // expose pure placement effects
   return run_simulation(*p, queries, c);
 }
 
@@ -34,7 +34,7 @@ int main() {
           "Slowest-feasible-first (the paper's rule) vs fastest-feasible-"
           "first, GPU-only, no dispatch ceiling.");
 
-  for (const Seconds deadline : {0.05, 0.1}) {
+  for (const Seconds deadline : {Seconds{0.05}, Seconds{0.1}}) {
     TablePrinter t({"arrival [Q/s]", "slowest-first hit", "fastest-first hit",
                     "slowest-first p95 [ms]", "fastest-first p95 [ms]"});
     for (const double rate : {100.0, 200.0, 300.0, 400.0}) {
@@ -43,11 +43,11 @@ int main() {
       t.add_row({TablePrinter::fixed(rate, 0),
                  TablePrinter::fixed(100.0 * slow.deadline_hit_rate, 1) + "%",
                  TablePrinter::fixed(100.0 * fast.deadline_hit_rate, 1) + "%",
-                 TablePrinter::fixed(slow.p95_latency * 1000.0, 1),
-                 TablePrinter::fixed(fast.p95_latency * 1000.0, 1)});
+                 TablePrinter::fixed(slow.p95_latency.value() * 1000.0, 1),
+                 TablePrinter::fixed(fast.p95_latency.value() * 1000.0, 1)});
     }
     t.print(std::cout, "Deadline T_C = " +
-                           TablePrinter::fixed(deadline * 1000.0, 0) + " ms");
+                           TablePrinter::fixed(deadline.value() * 1000.0, 0) + " ms");
     note("");
   }
   note("shape check: fastest-first wins on raw p95 at light load (every "

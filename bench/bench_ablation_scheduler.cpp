@@ -26,7 +26,7 @@ SimResult run_gpu_stress(const std::string& policy) {
   const auto p = s.make_policy(policy);
   SimConfig c = paper_sim_config();
   c.arrival_rate = 250.0;
-  c.gpu_dispatch_overhead = 0.0;
+  c.gpu_dispatch_overhead = Seconds{0.0};
   return run_simulation(*p, queries, c);
 }
 
@@ -45,7 +45,7 @@ int main() {
       const SimResult r = run(policy, rate);
       t.add_row({policy, TablePrinter::fixed(r.throughput_qps, 1),
                  TablePrinter::fixed(100.0 * r.deadline_hit_rate, 1) + "%",
-                 TablePrinter::fixed(r.p95_latency * 1000.0, 1),
+                 TablePrinter::fixed(r.p95_latency.value() * 1000.0, 1),
                  std::to_string(r.cpu_queries) + "/" +
                      std::to_string(r.gpu_queries)});
     }
@@ -61,7 +61,7 @@ int main() {
     stress.add_row({policy, TablePrinter::fixed(r.throughput_qps, 1),
                     TablePrinter::fixed(100.0 * r.deadline_hit_rate, 1) +
                         "%",
-                    TablePrinter::fixed(r.p95_latency * 1000.0, 1)});
+                    TablePrinter::fixed(r.p95_latency.value() * 1000.0, 1)});
   }
   stress.print(std::cout,
                "Load-blindness stress: GPU-only, 250 Q/s arrivals, no "

@@ -35,7 +35,8 @@ int main() {
                     std::to_string(dims[0].level(level).cardinality),
                     std::to_string(bytes / 8), TablePrinter::human_bytes(
                         static_cast<double>(bytes)),
-                    TablePrinter::fixed(t_cpu * 1000.0, 2) + " ms", role});
+                    TablePrinter::fixed(t_cpu.value() * 1000.0, 2) + " ms",
+                    role});
   }
   ladder.print(std::cout, "Figure 1: the pre-computed cube ladder");
   note("paper's §IV ladder: ~4KB, ~500KB, ~500MB, ~32GB — reproduced "

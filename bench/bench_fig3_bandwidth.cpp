@@ -18,7 +18,10 @@ int main() {
           "Memory bandwidth [GB/s] for multithreaded OLAP cube processing "
           "by the CPU.");
 
-  const std::vector<Megabytes> sizes = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const std::vector<Megabytes> sizes = {
+      Megabytes{1},  Megabytes{2},  Megabytes{4},   Megabytes{8},
+      Megabytes{16}, Megabytes{32}, Megabytes{64},  Megabytes{128},
+      Megabytes{256}};
   const int thread_counts[] = {1, 4, 8};
 
   std::vector<CpuCalibrationResult> native;
@@ -33,17 +36,17 @@ int main() {
   TablePrinter t({"sub-cube", "native 1T", "native 4T", "native 8T",
                   "paper 1T", "paper 4T", "paper 8T"});
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const Megabytes mb = native[0].samples[i].x;
+    const double mb = native[0].samples[i].x;
     t.add_row({TablePrinter::human_bytes(mb * 1024 * 1024),
                TablePrinter::fixed(native[0].bandwidth_gbps[i], 2),
                TablePrinter::fixed(native[1].bandwidth_gbps[i], 2),
                TablePrinter::fixed(native[2].bandwidth_gbps[i], 2),
                TablePrinter::fixed(
-                   CpuPerfModel::paper_for_threads(1).gb_per_second(mb), 2),
+                   CpuPerfModel::paper_for_threads(1).gb_per_second(Megabytes{mb}), 2),
                TablePrinter::fixed(
-                   CpuPerfModel::paper_4t().gb_per_second(mb), 2),
+                   CpuPerfModel::paper_4t().gb_per_second(Megabytes{mb}), 2),
                TablePrinter::fixed(
-                   CpuPerfModel::paper_8t().gb_per_second(mb), 2)});
+                   CpuPerfModel::paper_8t().gb_per_second(Megabytes{mb}), 2)});
   }
   t.print(std::cout, "Figure 3: aggregation bandwidth [GB/s]");
 

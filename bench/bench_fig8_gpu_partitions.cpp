@@ -39,12 +39,13 @@ int main() {
                                  TablePrinter::fixed(f, 3)};
     int i = 0;
     for (const int sms : {1, 2, 4}) {
-      const double s = GpuPerfModel::paper_c2070(sms).seconds(f);
+      const double s = GpuPerfModel::paper_c2070(sms).seconds(f).value();
       times[i++].push_back(s);
       row.push_back(TablePrinter::fixed(s * 1000.0, 2));
     }
     row.push_back(
-        TablePrinter::fixed(GpuPerfModel::paper_c2070(14).seconds(f) * 1000.0,
+        TablePrinter::fixed(
+            GpuPerfModel::paper_c2070(14).seconds(f).value() * 1000.0,
                             2));
     t.add_row(std::move(row));
   }

@@ -47,10 +47,10 @@ int main() {
     if (sink < 0) return 1;  // defeat optimisation; never taken
 
     t.add_row({std::to_string(len),
-               TablePrinter::fixed(sample.seconds * 1e6, 1),
+               TablePrinter::fixed(sample.seconds.value() * 1e6, 1),
                TablePrinter::fixed(
-                   result.model.search_seconds(len) * 1e6, 1),
-               TablePrinter::fixed(paper.search_seconds(len) * 1e6, 1),
+                   result.model.search_seconds(len).value() * 1e6, 1),
+               TablePrinter::fixed(paper.search_seconds(len).value() * 1e6, 1),
                TablePrinter::fixed(hashed_us, 3)});
   }
   t.print(std::cout, "Figure 9: dictionary search performance");

@@ -87,16 +87,16 @@ void BM_SchedulerDecision(benchmark::State& state) {
   const VirtualTranslationModel translation(schema, 1000.0);
   SchedulerConfig config;
   FigureTenScheduler scheduler(
-      config, make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+      config, make_paper_estimator(config.gpu_partitions, 8, Megabytes{4096.0}, 16,
                                    &catalog, &translation));
   Query q;
   q.conditions.push_back({0, 2, 0, 99, {}, {}});
   q.conditions.push_back({1, 3, 0, 511, {}, {}});
   q.measures = {12, 13};
-  double now = 0.0;
+  Seconds now{};
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheduler.schedule(q, now));
-    now += 1.0;  // keep queues from growing unboundedly backlogged
+    now += Seconds{1.0};  // keep queues from growing unboundedly backlogged
   }
 }
 BENCHMARK(BM_SchedulerDecision);

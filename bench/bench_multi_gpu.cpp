@@ -24,7 +24,7 @@ SimResult run(int devices, bool enable_cpu, double text,
   // The scheduler must know about the launch stage, or it parks all work
   // on one device's slow queues (its clocks never see the real
   // bottleneck) — see SchedulerConfig::modeled_gpu_dispatch.
-  o.modeled_gpu_dispatch = 0.0145;
+  o.modeled_gpu_dispatch = Seconds{0.0145};
   const PaperScenario s{o};
   const auto queries = s.make_workload(4000);
   const auto p = s.make_policy();

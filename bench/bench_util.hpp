@@ -25,8 +25,8 @@ inline void note(const std::string& text) { std::cout << text << "\n"; }
 inline SimConfig paper_sim_config() {
   SimConfig config;
   config.closed_clients = 16;
-  config.cpu_overhead = 0.005;
-  config.gpu_dispatch_overhead = 0.0145;
+  config.cpu_overhead = Seconds{0.005};
+  config.gpu_dispatch_overhead = Seconds{0.0145};
   return config;
 }
 

@@ -20,7 +20,10 @@ inline void run_figure(const char* figure, int threads, const CpuPerfModel& pape
                       paper_eq + ".");
 
   CpuCalibrationConfig config;
-  config.sizes_mb = {1, 2, 4, 8, 16, 32, 64, 128, 256, 384, 640, 768};
+  config.sizes_mb = {Megabytes{1},   Megabytes{2},   Megabytes{4},
+                     Megabytes{8},   Megabytes{16},  Megabytes{32},
+                     Megabytes{64},  Megabytes{128}, Megabytes{256},
+                     Megabytes{384}, Megabytes{640}, Megabytes{768}};
   config.threads = threads;
   config.repetitions = 3;
   const CpuCalibrationResult result = calibrate_cpu(config);
@@ -29,10 +32,12 @@ inline void run_figure(const char* figure, int threads, const CpuPerfModel& pape
                   "paper model [ms]"});
   for (const auto& sample : result.samples) {
     t.add_row({TablePrinter::fixed(sample.x, 1),
-               TablePrinter::fixed(sample.seconds * 1000.0, 3),
-               TablePrinter::fixed(result.model.seconds(sample.x) * 1000.0,
+               TablePrinter::fixed(sample.seconds.value() * 1000.0, 3),
+               TablePrinter::fixed(
+                   result.model.seconds(Megabytes{sample.x}).value() * 1000.0,
                                    3),
-               TablePrinter::fixed(paper.seconds(sample.x) * 1000.0, 3)});
+               TablePrinter::fixed(
+                   paper.seconds(Megabytes{sample.x}).value() * 1000.0, 3)});
   }
   t.print(std::cout, "Processing time vs sub-cube size");
 

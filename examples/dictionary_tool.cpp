@@ -92,10 +92,10 @@ int main(int argc, char** argv) {
             << " s/entry (paper's eq. 17: 1.380e-08 s/entry)\n";
   std::cout << "predicted upper-bound search in a 1M-entry dictionary: "
             << TablePrinter::fixed(
-                   fitted.model.search_seconds(1'000'000) * 1e3, 2)
+                   fitted.model.search_seconds(1'000'000).value() * 1e3, 2)
             << " ms here vs "
             << TablePrinter::fixed(
-                   DictPerfModel::paper().search_seconds(1'000'000) * 1e3, 2)
+                   DictPerfModel::paper().search_seconds(1'000'000).value() * 1e3, 2)
             << " ms on the paper's Xeon.\n";
   return 0;
 }

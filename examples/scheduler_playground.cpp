@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const std::string trace_path = argc > 5 ? argv[5] : "";
 
   ScenarioOptions options;
-  options.deadline = deadline_ms / 1000.0;
+  options.deadline = Seconds{deadline_ms / 1000.0};
   options.cube_levels = {0, 1, 2, 3};
   options.level_weights = {0.2, 0.25, 0.35, 0.2};
   options.mean_selectivity = 0.5;
@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
   SimConfig config;
   config.arrival_rate = arrival;
   config.closed_clients = 16;
-  config.cpu_overhead = 0.005;
-  config.gpu_dispatch_overhead = 0.0145;
+  config.cpu_overhead = Seconds{0.005};
+  config.gpu_dispatch_overhead = Seconds{0.0145};
   TraceRecorder recorder;
   config.recorder = &recorder;
   const SimResult r = run_simulation(*p, workload, config);
@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
   t.add_row({"deadline hit rate",
              TablePrinter::fixed(100.0 * r.deadline_hit_rate, 1) + "%"});
   t.add_row({"mean / p95 latency",
-             TablePrinter::fixed(r.mean_latency * 1e3, 1) + " / " +
-                 TablePrinter::fixed(r.p95_latency * 1e3, 1) + " ms"});
+             TablePrinter::fixed(r.mean_latency.value() * 1e3, 1) + " / " +
+                 TablePrinter::fixed(r.p95_latency.value() * 1e3, 1) + " ms"});
   t.add_row({"CPU : GPU routing", std::to_string(r.cpu_queries) + " : " +
                                       std::to_string(r.gpu_queries)});
   t.add_row({"translated queries", std::to_string(r.translated_queries)});

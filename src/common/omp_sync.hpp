@@ -1,0 +1,86 @@
+// TSan-visible synchronization edges around OpenMP parallel regions.
+//
+// libgomp's own synchronization is invisible to ThreadSanitizer: the
+// runtime is not TSan-instrumented, so neither the implicit barrier at a
+// parallel region's end nor the futex hand-off that wakes pooled worker
+// threads at its start establishes a happens-before edge in TSan's model.
+// Every region in this codebase is genuinely race-free under those
+// barriers, but TSan would report each main-thread access before/after a
+// region as racing with worker accesses inside it.
+//
+// OmpRegionSync re-derives the same edges with C++ atomics, which TSan
+// models exactly:
+//
+//   OmpRegionSync sync;
+//   sync.publish();                 // main, immediately before the region
+//   #pragma omp parallel ...
+//   {
+//     sync.acquire_published();     // worker, first statement
+//     ... region body ...
+//     sync.arrive();                // worker, last statement
+//   }
+//   sync.complete();                // main, immediately after the region
+//
+// publish/acquire_published order everything main wrote before the fork
+// with the workers' reads; arrive/complete order the workers' writes with
+// main's reads after the join. `arrive` is a release RMW, so all arrivals
+// form one release sequence and the single acquire in `complete`
+// synchronizes with every worker. Transitivity also covers worker-to-
+// worker edges across consecutive regions (worker A's region-1 writes
+// happen-before main's complete(), which happens-before the next
+// publish() and so region-2 reads).
+//
+// The invariant each call site must uphold: the OpenMP barrier already
+// guarantees the ordering — these atomics only make it visible. They never
+// substitute for missing synchronization (the loads don't spin; they rely
+// on the barrier having completed). Cost: two uncontended atomic ops per
+// thread per region, noise next to any cube scan.
+// One edge cannot be expressed from user code: libgomp wakes *pooled*
+// worker threads over a futex, so on every region after a pool thread's
+// first, the compiler-written closure struct (the `._omp_fn` argument
+// block on main's stack) is read by workers with no TSan-visible ordering
+// after main wrote it. Under TSan we therefore hard-pause the OpenMP
+// runtime after each region (`complete()`): the next region re-creates
+// its threads with pthread_create, which TSan intercepts, restoring the
+// fork edge. This is compiled only under `__SANITIZE_THREAD__` — regular
+// builds keep the pool and pay nothing.
+#pragma once
+
+#include <atomic>
+
+#if defined(__SANITIZE_THREAD__) && defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace holap {
+
+class OmpRegionSync {
+ public:
+  /// Main thread, immediately before the parallel region: releases all
+  /// prior writes to the workers.
+  void publish() { epoch_.fetch_add(1, std::memory_order_release); }
+
+  /// Worker, first statement inside the region: acquires main's writes.
+  void acquire_published() const {
+    (void)epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Worker, last statement inside the region: releases its writes.
+  void arrive() { epoch_.fetch_add(1, std::memory_order_release); }
+
+  /// Main thread, immediately after the region: acquires every worker's
+  /// writes (all `arrive` RMWs form one release sequence).
+  void complete() const {
+    (void)epoch_.load(std::memory_order_acquire);
+#if defined(__SANITIZE_THREAD__) && defined(_OPENMP)
+    // Tear down the worker pool so the next region's fork is a
+    // TSan-visible pthread_create (see the header comment).
+    (void)omp_pause_resource_all(omp_pause_hard);
+#endif
+  }
+
+ private:
+  std::atomic<int> epoch_{0};
+};
+
+}  // namespace holap

@@ -3,6 +3,8 @@
 
 #include <chrono>
 
+#include "common/units.hpp"
+
 namespace holap {
 
 /// Monotonic wall-clock stopwatch. Construction starts it.
@@ -16,6 +18,9 @@ class WallTimer {
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
+
+  /// Typed elapsed time, for code on the unit-checked planes.
+  Seconds elapsed() const { return Seconds{seconds()}; }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,12 +1,26 @@
 // Size and time units used across the hybrid OLAP system.
 //
 // The paper's performance models (eqs. 3, 7, 10) are expressed in MB, so the
-// canonical unit for model inputs is `Megabytes` (a double), while storage
-// code uses exact `std::size_t` byte counts. Conversions are centralised here
-// so the 1024-vs-1000 choice is made exactly once: the paper uses binary
-// prefixes (eq. 3 multiplies by 1024^2), and so do we.
+// canonical unit for model inputs is `Megabytes`, while storage code uses
+// exact `std::size_t` byte counts. Conversions are centralised here so the
+// 1024-vs-1000 choice is made exactly once: the paper uses binary prefixes
+// (eq. 3 multiplies by 1024^2), and so do we.
+//
+// `Seconds`, `Megabytes` and `MbPerSec` are strong types, not aliases for
+// `double`: each is a tagged wrapper exposing only the arithmetic that makes
+// dimensional sense. Same-unit addition, scaling by dimensionless factors
+// and same-unit ratios are defined on every quantity; the cross-unit
+// operations (`Megabytes / MbPerSec -> Seconds`, `Megabytes / Seconds ->
+// MbPerSec`, `MbPerSec * Seconds -> Megabytes`) are defined explicitly
+// below. Anything else — `Seconds + Megabytes`, comparing a duration to a
+// size — is a compile error, which turns the cost-model arithmetic of
+// eqs. 5–18 from a naming convention into a checked property
+// (tests/compile_fail guards this). All wrappers hold a plain `double` and
+// every operation is the corresponding IEEE double operation, so retyped
+// code is bit-identical to the old alias-based arithmetic.
 #pragma once
 
+#include <compare>
 #include <cstddef>
 #include <cstdint>
 
@@ -16,18 +30,115 @@ inline constexpr std::size_t kKiB = 1024;
 inline constexpr std::size_t kMiB = 1024 * kKiB;
 inline constexpr std::size_t kGiB = 1024 * kMiB;
 
-/// Size expressed in binary megabytes, the unit of the paper's models.
-using Megabytes = double;
+namespace detail {
+
+/// Dimensioned scalar: a `double` tagged with its unit. Only dimensionally
+/// meaningful operations are defined — same-unit sum/difference, scaling by
+/// a dimensionless factor, and the same-unit ratio (which is dimensionless).
+template <class Tag>
+struct Quantity {
+  double v = 0.0;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : v(value) {}
+
+  /// The raw magnitude, for I/O boundaries (formatting, JSON, fitting).
+  constexpr double value() const { return v; }
+
+  constexpr Quantity operator-() const { return Quantity{-v}; }
+  constexpr Quantity& operator+=(Quantity o) {
+    v += o.v;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v -= o.v;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    v *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.v + b.v};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.v - b.v};
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.v * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{s * a.v};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.v / s};
+  }
+  /// Ratio of like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.v / b.v;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  /// Streaming prints the bare magnitude (tests, tables, JSON emitters).
+  template <class Os>
+  friend Os& operator<<(Os& os, Quantity q) {
+    os << q.v;
+    return os;
+  }
+
+  /// Magnitude; found by ADL so call sites read like std::abs.
+  friend constexpr Quantity abs(Quantity a) {
+    return Quantity{a.v < 0.0 ? -a.v : a.v};
+  }
+  friend constexpr Quantity min(Quantity a, Quantity b) {
+    return b.v < a.v ? b : a;
+  }
+  friend constexpr Quantity max(Quantity a, Quantity b) {
+    return a.v < b.v ? b : a;
+  }
+};
+
+struct SecondsTag {};
+struct MegabytesTag {};
+struct MbPerSecTag {};
+
+}  // namespace detail
 
 /// Time expressed in seconds; all performance models emit seconds.
-using Seconds = double;
+using Seconds = detail::Quantity<detail::SecondsTag>;
+
+/// Size expressed in binary megabytes, the unit of the paper's models.
+using Megabytes = detail::Quantity<detail::MegabytesTag>;
+
+/// Throughput/bandwidth in binary megabytes per second.
+using MbPerSec = detail::Quantity<detail::MbPerSecTag>;
+
+// The cross-unit operations that make dimensional sense. Each is the plain
+// IEEE double operation on the magnitudes.
+constexpr Seconds operator/(Megabytes size, MbPerSec rate) {
+  return Seconds{size.value() / rate.value()};
+}
+constexpr MbPerSec operator/(Megabytes size, Seconds time) {
+  return MbPerSec{size.value() / time.value()};
+}
+constexpr Megabytes operator*(MbPerSec rate, Seconds time) {
+  return Megabytes{rate.value() * time.value()};
+}
+constexpr Megabytes operator*(Seconds time, MbPerSec rate) {
+  return Megabytes{time.value() * rate.value()};
+}
 
 constexpr Megabytes bytes_to_mb(std::size_t bytes) {
-  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+  return Megabytes{static_cast<double>(bytes) / static_cast<double>(kMiB)};
 }
 
 constexpr std::size_t mb_to_bytes(Megabytes mb) {
-  return static_cast<std::size_t>(mb * static_cast<double>(kMiB));
+  return static_cast<std::size_t>(mb.value() * static_cast<double>(kMiB));
 }
 
 }  // namespace holap

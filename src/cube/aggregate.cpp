@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "common/omp_sync.hpp"
+
 namespace holap {
 namespace {
 
@@ -75,8 +77,14 @@ AggregateResult scan(const DenseCube& cube, const CubeRegion& region,
 
   std::vector<double> partial(static_cast<std::size_t>(threads),
                               basis_identity(B));
+  // Invariant: `offsets`/`partial` are ordered with the workers by the
+  // region's fork and exit barrier; OmpRegionSync only makes those edges
+  // visible to TSan (see common/omp_sync.hpp).
+  OmpRegionSync sync;
+  sync.publish();
 #pragma omp parallel num_threads(threads)
   {
+    sync.acquire_published();
     const int tid = omp_get_thread_num();
     double acc = basis_identity(B);
 #pragma omp for schedule(static) nowait
@@ -89,7 +97,9 @@ AggregateResult scan(const DenseCube& cube, const CubeRegion& region,
       }
     }
     partial[static_cast<std::size_t>(tid)] = acc;
+    sync.arrive();
   }
+  sync.complete();
   double acc = basis_identity(B);
   for (double p : partial) acc = basis_combine(B, acc, p);
   result.value = acc;

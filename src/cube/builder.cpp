@@ -2,6 +2,8 @@
 
 #include <omp.h>
 
+#include "common/omp_sync.hpp"
+
 namespace holap {
 namespace {
 
@@ -59,8 +61,16 @@ void scatter_private_cubes(const FactTable& table, DenseCube& cube,
   const std::size_t n_cells = cube.cell_count();
   std::vector<std::vector<double>> partials(
       static_cast<std::size_t>(threads));
+  // Invariant: both regions are race-free under OpenMP's fork/exit
+  // barriers (thread-private partials, disjoint static merge ranges);
+  // OmpRegionSync only surfaces those edges to TSan, including the
+  // worker-to-worker edge between region one's writes to `partials` and
+  // region two's reads (see common/omp_sync.hpp).
+  OmpRegionSync scatter_sync;
+  scatter_sync.publish();
 #pragma omp parallel num_threads(threads)
   {
+    scatter_sync.acquire_published();
     const int tid = omp_get_thread_num();
     auto& local = partials[static_cast<std::size_t>(tid)];
     local.assign(n_cells, basis_identity(basis));
@@ -71,16 +81,27 @@ void scatter_private_cubes(const FactTable& table, DenseCube& cube,
       local[idx] = basis_combine(basis, local[idx],
                                  row_value(table, basis, cube.measure(), row));
     }
+    scatter_sync.arrive();
   }
+  scatter_sync.complete();
   double* cells = cube.cells().data();
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n_cells); ++i) {
-    double v = cells[i];
-    for (const auto& local : partials) {
-      v = basis_combine(basis, v, local[static_cast<std::size_t>(i)]);
+  OmpRegionSync merge_sync;
+  merge_sync.publish();
+#pragma omp parallel num_threads(threads)
+  {
+    merge_sync.acquire_published();
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n_cells);
+         ++i) {
+      double v = cells[i];
+      for (const auto& local : partials) {
+        v = basis_combine(basis, v, local[static_cast<std::size_t>(i)]);
+      }
+      cells[i] = v;
     }
-    cells[i] = v;
+    merge_sync.arrive();
   }
+  merge_sync.complete();
 }
 
 void scatter_atomic(const FactTable& table, DenseCube& cube,
@@ -89,14 +110,25 @@ void scatter_atomic(const FactTable& table, DenseCube& cube,
   double* cells = cube.cells().data();
   const int measure = cube.measure();
   const bool count = cube.basis() == CubeBasis::kCount;
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
-    const auto row = static_cast<std::size_t>(r);
-    const std::size_t idx = addr.cell_of(row);
-    const double v = count ? 1.0 : table.measure_column(measure)[row];
+  // Invariant: cell updates are `omp atomic` (TSan-visible); the region's
+  // barriers order the table/cube against the workers, surfaced via
+  // OmpRegionSync (see common/omp_sync.hpp).
+  OmpRegionSync sync;
+  sync.publish();
+#pragma omp parallel num_threads(threads)
+  {
+    sync.acquire_published();
+#pragma omp for schedule(static) nowait
+    for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+      const auto row = static_cast<std::size_t>(r);
+      const std::size_t idx = addr.cell_of(row);
+      const double v = count ? 1.0 : table.measure_column(measure)[row];
 #pragma omp atomic
-    cells[idx] += v;
+      cells[idx] += v;
+    }
+    sync.arrive();
   }
+  sync.complete();
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <omp.h>
 
+#include "common/omp_sync.hpp"
+
 namespace holap {
 namespace {
 
@@ -59,8 +61,14 @@ DenseCube rollup(const DenseCube& fine, const std::vector<Dimension>& dims,
   const std::size_t coarse_cells = coarse.cell_count();
   std::vector<std::vector<double>> partials(
       static_cast<std::size_t>(threads));
+  // Invariant: thread-private partials + the region's fork/exit barriers
+  // make this race-free; OmpRegionSync only surfaces those edges to TSan
+  // (see common/omp_sync.hpp).
+  OmpRegionSync sync;
+  sync.publish();
 #pragma omp parallel num_threads(threads)
   {
+    sync.acquire_published();
     auto& local = partials[static_cast<std::size_t>(omp_get_thread_num())];
     local.assign(coarse_cells, basis_identity(basis));
 #pragma omp for schedule(static) nowait
@@ -69,7 +77,9 @@ DenseCube rollup(const DenseCube& fine, const std::vector<Dimension>& dims,
       local[c] = basis_combine(basis, local[c],
                                src[static_cast<std::size_t>(i)]);
     }
+    sync.arrive();
   }
+  sync.complete();
   double* dst = coarse.cells().data();
   for (const auto& local : partials) {
     for (std::size_t c = 0; c < coarse_cells; ++c) {

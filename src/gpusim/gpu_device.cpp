@@ -105,8 +105,7 @@ std::pair<DenseCube, Seconds> GpuDevice::build_cube_on_device(
   DenseCube cube = build_cube(facts, level, basis, measure, /*threads=*/0);
   const double bytes = static_cast<double>(facts.size_bytes()) +
                        static_cast<double>(cube.size_bytes());
-  const Seconds t =
-      bytes / (spec_.bandwidth_gbps * static_cast<double>(kGiB));
+  const Seconds t{bytes / (spec_.bandwidth_gbps * static_cast<double>(kGiB))};
   return {std::move(cube), t};
 }
 

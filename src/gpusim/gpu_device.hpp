@@ -29,7 +29,7 @@ struct GpuExecution {
   QueryAnswer answer;
   int columns_accessed = 0;
   double column_fraction = 0.0;   ///< C / C_TOT of eq. (13)
-  Seconds modeled_seconds = 0.0;  ///< from the partition's GpuPerfModel
+  Seconds modeled_seconds{};      ///< from the partition's GpuPerfModel
 };
 
 class GpuDevice {

@@ -11,7 +11,7 @@ TablePrinter counters_table(const std::vector<PartitionCounters>& counters,
   for (const PartitionCounters& c : counters) {
     t.add_row({c.name, std::to_string(c.enqueued),
                std::to_string(c.completed), std::to_string(c.max_depth),
-               TablePrinter::fixed(c.busy, 3),
+               TablePrinter::fixed(c.busy.value(), 3),
                TablePrinter::fixed(100.0 * c.utilization(makespan), 1) +
                    "%"});
   }

@@ -27,7 +27,7 @@ struct PartitionCounters {
   std::size_t completed = 0;  ///< queries the stage finished
   std::size_t depth = 0;      ///< currently in flight (enqueued − completed)
   std::size_t max_depth = 0;  ///< high-water mark of `depth`
-  Seconds busy = 0.0;         ///< cumulative service time
+  Seconds busy{};             ///< cumulative service time
 
   void on_enqueue() {
     ++enqueued;
@@ -41,7 +41,7 @@ struct PartitionCounters {
   }
   /// Busy fraction of `makespan` (0 when the run is empty).
   double utilization(Seconds makespan) const {
-    return makespan > 0.0 ? busy / makespan : 0.0;
+    return makespan > Seconds{0.0} ? busy / makespan : 0.0;
   }
 };
 

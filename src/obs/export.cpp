@@ -82,11 +82,11 @@ std::string to_jsonl(const TraceSpan& span) {
   out += "{\"query\":" + std::to_string(span.query_id);
   out += ",\"span\":\"" + std::string(to_string(span.kind)) + "\"";
   out += ",\"queue\":\"" + queue_name(span.queue) + "\"";
-  out += ",\"start\":" + format_double(span.start);
-  out += ",\"end\":" + format_double(span.end);
-  out += ",\"est_response\":" + format_double(span.estimated_response);
-  out += ",\"measured_response\":" + format_double(span.measured_response);
-  out += ",\"deadline_slack\":" + format_double(span.deadline_slack);
+  out += ",\"start\":" + format_double(span.start.value());
+  out += ",\"end\":" + format_double(span.end.value());
+  out += ",\"est_response\":" + format_double(span.estimated_response.value());
+  out += ",\"measured_response\":" + format_double(span.measured_response.value());
+  out += ",\"deadline_slack\":" + format_double(span.deadline_slack.value());
   out += "}";
   return out;
 }
@@ -103,11 +103,13 @@ TraceSpan span_from_jsonl(const std::string& line) {
       std::stoull(raw_field(line, "query")));
   span.kind = kind_from_name(raw_field(line, "span"));
   span.queue = queue_from_name(raw_field(line, "queue"));
-  span.start = double_field(line, "start");
-  span.end = double_field(line, "end");
-  span.estimated_response = double_field(line, "est_response");
-  span.measured_response = double_field(line, "measured_response");
-  span.deadline_slack = double_field(line, "deadline_slack");
+  span.start = Seconds{double_field(line, "start")};
+  span.end = Seconds{double_field(line, "end")};
+  span.estimated_response =
+      Seconds{double_field(line, "est_response")};
+  span.measured_response =
+      Seconds{double_field(line, "measured_response")};
+  span.deadline_slack = Seconds{double_field(line, "deadline_slack")};
   return span;
 }
 
@@ -162,11 +164,11 @@ void print_trace_summary(std::ostream& os,
 
   TablePrinter lat({"metric", "value [ms]"});
   lat.add_row({"count", std::to_string(latencies.count())});
-  lat.add_row({"mean", TablePrinter::fixed(latencies.mean() * 1e3, 2)});
-  lat.add_row({"p50", TablePrinter::fixed(latencies.p50() * 1e3, 2)});
-  lat.add_row({"p95", TablePrinter::fixed(latencies.p95() * 1e3, 2)});
-  lat.add_row({"p99", TablePrinter::fixed(latencies.p99() * 1e3, 2)});
-  lat.add_row({"max", TablePrinter::fixed(latencies.max() * 1e3, 2)});
+  lat.add_row({"mean", TablePrinter::fixed(latencies.mean().value() * 1e3, 2)});
+  lat.add_row({"p50", TablePrinter::fixed(latencies.p50().value() * 1e3, 2)});
+  lat.add_row({"p95", TablePrinter::fixed(latencies.p95().value() * 1e3, 2)});
+  lat.add_row({"p99", TablePrinter::fixed(latencies.p99().value() * 1e3, 2)});
+  lat.add_row({"max", TablePrinter::fixed(latencies.max().value() * 1e3, 2)});
   lat.print(os, "latency");
 
   counters_table(counters, makespan).print(os, "partitions");

@@ -10,39 +10,40 @@ namespace holap {
 
 Seconds LatencyHistogram::bucket_lower(std::size_t i) {
   HOLAP_REQUIRE(i < kBucketCount, "bucket index out of range");
-  if (i == 0) return 0.0;
-  return kMinSeconds *
-         std::pow(10.0, static_cast<double>(i - 1) / kBucketsPerDecade);
+  if (i == 0) return Seconds{0.0};
+  return Seconds{kMinSeconds *
+                 std::pow(10.0, static_cast<double>(i - 1) /
+                                    kBucketsPerDecade)};
 }
 
 Seconds LatencyHistogram::bucket_upper(std::size_t i) {
   HOLAP_REQUIRE(i < kBucketCount, "bucket index out of range");
   if (i + 1 == kBucketCount) {
-    return std::numeric_limits<double>::infinity();
+    return Seconds{std::numeric_limits<double>::infinity()};
   }
-  return kMinSeconds *
-         std::pow(10.0, static_cast<double>(i) / kBucketsPerDecade);
+  return Seconds{kMinSeconds *
+                 std::pow(10.0, static_cast<double>(i) / kBucketsPerDecade)};
 }
 
 std::size_t LatencyHistogram::bucket_index(Seconds latency) {
-  if (!(latency >= kMinSeconds)) return 0;  // also catches NaN
-  const double decades = std::log10(latency / kMinSeconds);
+  if (!(latency.value() >= kMinSeconds)) return 0;  // also catches NaN
+  const double decades = std::log10(latency.value() / kMinSeconds);
   const auto i = static_cast<std::size_t>(
       1 + static_cast<long long>(decades * kBucketsPerDecade));
   return std::min(i, kBucketCount - 1);
 }
 
 void LatencyHistogram::add(Seconds latency) {
-  latency = std::max(latency, 0.0);
-  ++buckets_[bucket_index(latency)];
+  const double v = std::max(latency.value(), 0.0);
+  ++buckets_[bucket_index(Seconds{v})];
   if (count_ == 0) {
-    min_ = max_ = latency;
+    min_ = max_ = v;
   } else {
-    min_ = std::min(min_, latency);
-    max_ = std::max(max_, latency);
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
   }
   ++count_;
-  sum_ += latency;
+  sum_ += v;
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
@@ -59,7 +60,7 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
 
 Seconds LatencyHistogram::percentile(double p) const {
   HOLAP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return Seconds{0.0};
   // Rank of the requested percentile (1-based, nearest-rank with ceil).
   const auto target = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(
@@ -70,18 +71,18 @@ Seconds LatencyHistogram::percentile(double p) const {
     if (cumulative + buckets_[i] >= target) {
       // Interpolate within the covering bucket; the unbounded top bucket
       // interpolates toward the exact observed maximum.
-      const double lower = bucket_lower(i);
+      const double lower = bucket_lower(i).value();
       const double upper =
-          std::isinf(bucket_upper(i)) ? max_ : bucket_upper(i);
+          std::isinf(bucket_upper(i).value()) ? max_ : bucket_upper(i).value();
       const double fraction =
           static_cast<double>(target - cumulative) /
           static_cast<double>(buckets_[i]);
       const double value = lower + fraction * (upper - lower);
-      return std::clamp(value, min_, max_);
+      return Seconds{std::clamp(value, min_, max_)};
     }
     cumulative += buckets_[i];
   }
-  return max_;
+  return Seconds{max_};
 }
 
 }  // namespace holap

@@ -35,11 +35,13 @@ class LatencyHistogram {
 
   std::size_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
-  Seconds total() const { return sum_; }
+  Seconds total() const { return Seconds{sum_}; }
   /// Exact mean of the recorded samples (the sum is kept exactly).
-  Seconds mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
-  Seconds min() const { return count_ ? min_ : 0.0; }
-  Seconds max() const { return count_ ? max_ : 0.0; }
+  Seconds mean() const {
+    return Seconds{count_ ? sum_ / static_cast<double>(count_) : 0.0};
+  }
+  Seconds min() const { return Seconds{count_ ? min_ : 0.0}; }
+  Seconds max() const { return Seconds{count_ ? max_ : 0.0}; }
 
   /// Percentile estimate, `p` in [0, 100]; 0 when empty. Monotone in `p`
   /// and clamped to the exact [min, max] of the recorded samples.

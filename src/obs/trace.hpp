@@ -42,16 +42,16 @@ const char* to_string(SpanKind kind);
 struct TraceSpan {
   std::uint64_t query_id = 0;  ///< caller-assigned (workload index)
   SpanKind kind = SpanKind::kEnqueue;
-  Seconds start = 0.0;
-  Seconds end = 0.0;
+  Seconds start{};
+  Seconds end{};
   QueueRef queue;  ///< partition the query was placed on
   /// Scheduler's absolute T_R at placement time (all kinds carry it).
-  Seconds estimated_response = 0.0;
+  Seconds estimated_response{};
   /// Measured absolute completion time; only kComplete fills it.
-  Seconds measured_response = 0.0;
+  Seconds measured_response{};
   /// T_D − T_R at placement (kEnqueue) or T_D − completion (kComplete);
   /// positive means the deadline is (expected to be) met.
-  Seconds deadline_slack = 0.0;
+  Seconds deadline_slack{};
 
   friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
 };

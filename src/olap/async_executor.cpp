@@ -71,7 +71,7 @@ std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
   std::future<ExecutionReport> future = job.promise.get_future();
   {
     const std::lock_guard lock(scheduler_mutex_);
-    job.submitted_at = clock_.seconds();
+    job.submitted_at = clock_.elapsed();
     job.placement = system_->scheduler_mutable().schedule(
         job.query, job.submitted_at, job.id);
   }
@@ -103,7 +103,7 @@ void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {
         job.placement.queue, report.estimated_processing,
         report.measured_processing);
   }
-  const Seconds done = clock_.seconds();
+  const Seconds done = clock_.elapsed();
   record_span(job.id, SpanKind::kComplete, done, done, job.placement.queue,
               job.placement.response_est, done,
               job.submitted_at + system_->scheduler().deadline() - done);
@@ -123,38 +123,38 @@ void AsyncHybridExecutor::cpu_worker() {
     report.before_deadline_estimate = job->placement.before_deadline;
     // Queue wait between placement and the partition picking the job up.
     record_span(job->id, SpanKind::kDispatch, job->stage_enqueued_at,
-                clock_.seconds(), job->placement.queue,
-                job->placement.response_est, 0.0, 0.0);
+                clock_.elapsed(), job->placement.queue,
+                job->placement.response_est, Seconds{}, Seconds{});
     // CPU-path text parameters translate inline (hashed path), outside
     // the translation partition — §III-F: translation is a GPU-side need.
     if (job->query.needs_translation()) {
       system_->translate(job->query);
     }
-    const Seconds exec_start = clock_.seconds();
+    const Seconds exec_start = clock_.elapsed();
     WallTimer timer;
     report.answer = system_->cubes().answer(job->query,
                                             system_->config().cpu_threads);
-    report.measured_processing = timer.seconds();
-    record_span(job->id, SpanKind::kExecute, exec_start, clock_.seconds(),
-                job->placement.queue, job->placement.response_est, 0.0,
-                0.0);
+    report.measured_processing = timer.elapsed();
+    record_span(job->id, SpanKind::kExecute, exec_start, clock_.elapsed(),
+                job->placement.queue, job->placement.response_est, Seconds{},
+                Seconds{});
     finish(std::move(*job), std::move(report));
   }
 }
 
 void AsyncHybridExecutor::translation_worker() {
   while (auto job = translation_queue_.pop()) {
-    const Seconds trans_start = clock_.seconds();
+    const Seconds trans_start = clock_.elapsed();
     WallTimer timer;
     system_->translate(job->query);
-    const Seconds took = timer.seconds();
+    const Seconds took = timer.elapsed();
     record_span(job->id, SpanKind::kTranslate, trans_start,
-                clock_.seconds(), job->placement.queue,
-                job->placement.response_est, 0.0, 0.0);
+                clock_.elapsed(), job->placement.queue,
+                job->placement.response_est, Seconds{}, Seconds{});
     const int queue = job->placement.queue.index;
     Job forwarded = std::move(*job);
     forwarded.placement.translation_est = took;  // measured, for reports
-    forwarded.stage_enqueued_at = clock_.seconds();
+    forwarded.stage_enqueued_at = clock_.elapsed();
     if (!gpu_queues_[static_cast<std::size_t>(queue)]->push(
             std::move(forwarded))) {
       // Shutdown raced us; the job's promise is abandoned deliberately
@@ -175,17 +175,17 @@ void AsyncHybridExecutor::gpu_worker(int queue) {
     report.translated = job->placement.translate;
     report.translation_time = job->placement.translate
                                   ? job->placement.translation_est
-                                  : 0.0;
+                                  : Seconds{};
     record_span(job->id, SpanKind::kDispatch, job->stage_enqueued_at,
-                clock_.seconds(), job->placement.queue,
-                job->placement.response_est, 0.0, 0.0);
-    const Seconds exec_start = clock_.seconds();
+                clock_.elapsed(), job->placement.queue,
+                job->placement.response_est, Seconds{}, Seconds{});
+    const Seconds exec_start = clock_.elapsed();
     const GpuExecution exec = system_->device().execute(queue, job->query);
     report.answer = exec.answer;
     report.measured_processing = exec.modeled_seconds;
-    record_span(job->id, SpanKind::kExecute, exec_start, clock_.seconds(),
-                job->placement.queue, job->placement.response_est, 0.0,
-                0.0);
+    record_span(job->id, SpanKind::kExecute, exec_start, clock_.elapsed(),
+                job->placement.queue, job->placement.response_est, Seconds{},
+                Seconds{});
     finish(std::move(*job), std::move(report));
   }
 }

@@ -63,8 +63,8 @@ class AsyncHybridExecutor {
     Placement placement;
     std::promise<ExecutionReport> promise;
     std::uint64_t id = 0;            ///< trace query id (submission order)
-    Seconds submitted_at = 0.0;      ///< executor-clock submission time
-    Seconds stage_enqueued_at = 0.0; ///< entry time of the current queue
+    Seconds submitted_at{};       ///< executor-clock submission time
+    Seconds stage_enqueued_at{};  ///< entry time of the current queue
   };
 
   void cpu_worker();

@@ -63,7 +63,7 @@ HybridOlapSystem::HybridOlapSystem(FactTable table, HybridSystemConfig config)
 
 ExecutionReport HybridOlapSystem::execute(const Query& q) {
   validate_query(q, table_.schema().dimensions(), table_.schema());
-  const Seconds now = clock_.seconds();
+  const Seconds now = clock_.elapsed();
   const std::uint64_t query_id = next_query_id_++;
   const bool tracing = config_.record_trace;
   auto record = [&](SpanKind kind, Seconds start, Seconds end,
@@ -93,12 +93,12 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
     if (working.needs_translation()) {
       WallTimer t;
       translate(working);
-      report.translation_time = t.seconds();
+      report.translation_time = t.elapsed();
     }
     WallTimer t;
     report.answer =
         gpu_scan(table_, working, std::max(1, config_.cpu_threads)).answer;
-    report.measured_processing = t.seconds();
+    report.measured_processing = t.elapsed();
     return report;
   }
   report.queue = placement.queue;
@@ -106,35 +106,35 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
   report.before_deadline_estimate = placement.before_deadline;
 
   if (working.needs_translation()) {
-    const Seconds trans_start = clock_.seconds();
+    const Seconds trans_start = clock_.elapsed();
     WallTimer t;
     translate(working);
-    report.translation_time = t.seconds();
+    report.translation_time = t.elapsed();
     report.translated = placement.translate;
-    record(SpanKind::kTranslate, trans_start, clock_.seconds(),
-           placement.queue, placement.response_est, 0.0, 0.0);
+    record(SpanKind::kTranslate, trans_start, clock_.elapsed(),
+           placement.queue, placement.response_est, Seconds{}, Seconds{});
   }
 
   // The synchronous plane hands the query straight to its partition; the
   // dispatch span is the zero-duration handoff marker.
-  const Seconds exec_start = clock_.seconds();
+  const Seconds exec_start = clock_.elapsed();
   record(SpanKind::kDispatch, exec_start, exec_start, placement.queue,
-         placement.response_est, 0.0, 0.0);
+         placement.response_est, Seconds{}, Seconds{});
   if (placement.queue.kind == QueueRef::kCpu) {
     WallTimer t;
     report.answer = cubes_.answer(working, config_.cpu_threads);
-    report.measured_processing = t.seconds();
+    report.measured_processing = t.elapsed();
   } else {
     const GpuExecution exec =
         device_.execute(placement.queue.index, working);
     report.answer = exec.answer;
     report.measured_processing = exec.modeled_seconds;
   }
-  record(SpanKind::kExecute, exec_start, clock_.seconds(),
-         placement.queue, placement.response_est, 0.0, 0.0);
+  record(SpanKind::kExecute, exec_start, clock_.elapsed(),
+         placement.queue, placement.response_est, Seconds{}, Seconds{});
   policy_->on_completed(placement.queue, report.estimated_processing,
                         report.measured_processing);
-  const Seconds done = clock_.seconds();
+  const Seconds done = clock_.elapsed();
   record(SpanKind::kComplete, done, done, placement.queue,
          placement.response_est, done,
          now + config_.deadline - done);

@@ -42,7 +42,7 @@ struct HybridSystemConfig {
   bool cpu_table_scan_fallback = true;
   DeviceSpec device = DeviceSpec::tesla_c2070();
   /// T_C per-query deadline for the scheduler.
-  Seconds deadline = 0.25;
+  Seconds deadline{0.25};
   /// Live translation algorithm: the paper's per-parameter linear scan,
   /// the hashed fast path, or the Aho–Corasick batch pass (future work).
   enum class TranslationAlgorithm : std::uint8_t {
@@ -67,9 +67,9 @@ struct ExecutionReport {
   bool rejected = false;
   bool via_table_scan = false;  ///< answered by the CPU relational fallback
   bool translated = false;
-  Seconds estimated_processing = 0.0;  ///< scheduler's model estimate
-  Seconds measured_processing = 0.0;   ///< wall time (CPU) / modeled (GPU)
-  Seconds translation_time = 0.0;      ///< measured translation wall time
+  Seconds estimated_processing{};  ///< scheduler's model estimate
+  Seconds measured_processing{};   ///< wall time (CPU) / modeled (GPU)
+  Seconds translation_time{};      ///< measured translation wall time
   bool before_deadline_estimate = false;
 };
 

@@ -14,14 +14,15 @@ CpuCalibrationResult calibrate_cpu(const CpuCalibrationConfig& config) {
   HOLAP_REQUIRE(!config.sizes_mb.empty(), "calibration requires sizes");
   HOLAP_REQUIRE(std::is_sorted(config.sizes_mb.begin(), config.sizes_mb.end()),
                 "sizes must be ascending");
-  HOLAP_REQUIRE(config.sizes_mb.front() > 0.0, "sizes must be positive");
+  HOLAP_REQUIRE(config.sizes_mb.front() > Megabytes{0.0},
+                "sizes must be positive");
   HOLAP_REQUIRE(config.repetitions >= 1, "repetitions must be >= 1");
 
   // One 2-d cube sized to the largest request. Rows of 0.5 MB each keep
   // the outer dimension wide enough for OpenMP to spread across threads
   // while inner runs stay long contiguous streams.
   constexpr std::uint32_t kRunCells = 65'536;  // 0.5 MB of doubles
-  const double max_mb = config.sizes_mb.back();
+  const double max_mb = config.sizes_mb.back().value();
   const auto outer = static_cast<std::uint32_t>(
       std::max(1.0, max_mb * 2.0 + 0.5));
   const std::vector<Dimension> dims = {
@@ -37,19 +38,19 @@ CpuCalibrationResult calibrate_cpu(const CpuCalibrationConfig& config) {
   CpuCalibrationResult result{
       {}, CpuPerfModel::paper_4t(), {}};  // model replaced below
   for (const Megabytes size_mb : config.sizes_mb) {
-    auto rows = static_cast<std::int32_t>(size_mb * 2.0 + 0.5);
+    auto rows = static_cast<std::int32_t>(size_mb.value() * 2.0 + 0.5);
     rows = std::clamp<std::int32_t>(rows, 1,
                                     static_cast<std::int32_t>(outer));
     CubeRegion region;
     region.dims = {{{0, rows - 1}},
                    {{0, static_cast<std::int32_t>(kRunCells) - 1}}};
-    Seconds best = 0.0;
+    Seconds best{};
     double checksum = 0.0;
     for (int rep = 0; rep < config.repetitions; ++rep) {
       WallTimer timer;
       const AggregateResult agg =
           aggregate_region(cube, region, config.threads);
-      const Seconds t = timer.seconds();
+      const Seconds t = timer.elapsed();
       checksum += agg.value;  // defeat dead-code elimination
       if (rep == 0 || t < best) best = t;
     }
@@ -58,15 +59,14 @@ CpuCalibrationResult calibrate_cpu(const CpuCalibrationConfig& config) {
         static_cast<double>(rows) * kRunCells * sizeof(double) /
         static_cast<double>(kMiB);
     result.samples.push_back({actual_mb, best});
-    result.bandwidth_gbps.push_back(best > 0.0
-                                        ? actual_mb / 1024.0 / best
-                                        : 0.0);
+    result.bandwidth_gbps.push_back(
+        best > Seconds{0.0} ? actual_mb / 1024.0 / best.value() : 0.0);
   }
 
   std::vector<double> xs, ys;
   for (const auto& s : result.samples) {
     xs.push_back(s.x);
-    ys.push_back(s.seconds);
+    ys.push_back(s.seconds.value());
   }
   result.model = CpuPerfModel::fit(xs, ys, config.split_mb);
   return result;
@@ -92,7 +92,7 @@ DictCalibrationResult calibrate_dict(const DictCalibrationConfig& config) {
       sink = sink + (found ? *found : -1);
     }
     const Seconds per_search =
-        timer.seconds() / static_cast<double>(config.searches);
+        timer.elapsed() / static_cast<double>(config.searches);
     HOLAP_ASSERT(sink < 0, "absent key unexpectedly found");
     result.samples.push_back({static_cast<double>(length), per_search});
   }
@@ -100,7 +100,7 @@ DictCalibrationResult calibrate_dict(const DictCalibrationConfig& config) {
   std::vector<double> xs, ys;
   for (const auto& s : result.samples) {
     xs.push_back(s.x);
-    ys.push_back(s.seconds);
+    ys.push_back(s.seconds.value());
   }
   result.model = DictPerfModel::fit(xs, ys);
   return result;

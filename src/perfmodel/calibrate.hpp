@@ -20,13 +20,15 @@ namespace holap {
 
 /// One measured point of a sweep.
 struct CalibrationSample {
-  double x = 0.0;        ///< sub-cube MB, or dictionary length
-  Seconds seconds = 0.0;  ///< best-of-repetitions wall time
+  double x = 0.0;     ///< sub-cube MB, or dictionary length
+  Seconds seconds{};  ///< best-of-repetitions wall time
 };
 
 struct CpuCalibrationConfig {
   /// Sub-cube sizes to measure, in MB. Must be positive and ascending.
-  std::vector<Megabytes> sizes_mb = {1, 2, 4, 8, 16, 32, 64, 128};
+  std::vector<Megabytes> sizes_mb = {
+      Megabytes{1},  Megabytes{2},  Megabytes{4},  Megabytes{8},
+      Megabytes{16}, Megabytes{32}, Megabytes{64}, Megabytes{128}};
   /// 0 = sequential engine; n >= 1 = OpenMP engine with n threads.
   int threads = 0;
   /// Wall time is the best of this many repetitions (noise floor).

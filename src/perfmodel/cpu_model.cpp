@@ -10,22 +10,22 @@ namespace holap {
 CpuPerfModel::CpuPerfModel(FitResult power, FitResult linear,
                            Megabytes split_mb)
     : power_(power), linear_(linear), split_mb_(split_mb) {
-  HOLAP_REQUIRE(split_mb_ > 0.0, "split must be positive");
+  HOLAP_REQUIRE(split_mb_ > Megabytes{0.0}, "split must be positive");
   HOLAP_REQUIRE(power_.a > 0.0, "Range A scale must be positive");
   HOLAP_REQUIRE(linear_.a > 0.0, "Range B slope must be positive");
 }
 
 Seconds CpuPerfModel::seconds(Megabytes sc_mb) const {
-  HOLAP_REQUIRE(sc_mb >= 0.0, "sub-cube size must be non-negative");
-  if (sc_mb <= 0.0) return 0.0;
-  if (sc_mb < split_mb_) return eval_power_law(power_, sc_mb);
-  return eval_linear(linear_, sc_mb);
+  HOLAP_REQUIRE(sc_mb >= Megabytes{0.0}, "sub-cube size must be non-negative");
+  if (sc_mb <= Megabytes{0.0}) return Seconds{0.0};
+  if (sc_mb < split_mb_) return Seconds{eval_power_law(power_, sc_mb.value())};
+  return Seconds{eval_linear(linear_, sc_mb.value())};
 }
 
 double CpuPerfModel::gb_per_second(Megabytes sc_mb) const {
   const Seconds t = seconds(sc_mb);
-  if (t <= 0.0) return 0.0;
-  return sc_mb / 1024.0 / t;
+  if (t <= Seconds{0.0}) return 0.0;
+  return sc_mb.value() / 1024.0 / t.value();
 }
 
 CpuPerfModel CpuPerfModel::paper_4t() {
@@ -44,7 +44,7 @@ CpuPerfModel CpuPerfModel::bandwidth_model(double gb_per_s, Seconds overhead) {
   // model continuous. The fixed overhead lands in Range B's intercept and
   // Range A's additive floor is folded in by shifting the scale slightly —
   // for simplicity both ranges use the same linear law via exponent 1.
-  return CpuPerfModel({s_per_mb, 1.0, 1.0}, {s_per_mb, overhead, 1.0});
+  return CpuPerfModel({s_per_mb, 1.0, 1.0}, {s_per_mb, overhead.value(), 1.0});
 }
 
 CpuPerfModel CpuPerfModel::paper_for_threads(int threads) {
@@ -82,7 +82,7 @@ CpuPerfModel CpuPerfModel::fit(std::span<const double> sizes_mb,
                 "fit requires equal-length samples");
   std::vector<double> ax, ay, bx, by;
   for (std::size_t i = 0; i < sizes_mb.size(); ++i) {
-    if (sizes_mb[i] < split_mb) {
+    if (sizes_mb[i] < split_mb.value()) {
       ax.push_back(sizes_mb[i]);
       ay.push_back(seconds[i]);
     } else {
@@ -107,19 +107,20 @@ CpuPerfModel CpuPerfModel::fit(std::span<const double> sizes_mb,
   if (ax.size() < 2) {
     // No Range-A coverage: continue the linear law as an exponent-1 power
     // law anchored to be continuous at the split.
-    const double t_split = eval_linear(linear, split_mb);
-    power = {t_split / split_mb, 1.0, linear.r2};
+    const double t_split = eval_linear(linear, split_mb.value());
+    power = {t_split / split_mb.value(), 1.0, linear.r2};
   }
   if (bx.size() < 2) {
     // No Range-B coverage: continue the power law linearly, matching value
     // and slope at the split. A noisy sweep can fit a non-increasing power
     // law (negative exponent); fall back to the secant through the origin
     // so the model stays monotone.
-    const double t_split = eval_power_law(power, split_mb);
-    double slope = power.a * power.b * std::pow(split_mb, power.b - 1.0);
-    double intercept = t_split - slope * split_mb;
+    const double t_split = eval_power_law(power, split_mb.value());
+    double slope =
+        power.a * power.b * std::pow(split_mb.value(), power.b - 1.0);
+    double intercept = t_split - slope * split_mb.value();
     if (slope <= 0.0) {
-      slope = t_split / split_mb;
+      slope = t_split / split_mb.value();
       intercept = 0.0;
     }
     linear = {slope, intercept, power.r2};

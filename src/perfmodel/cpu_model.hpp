@@ -20,7 +20,7 @@
 namespace holap {
 
 /// The 512 MB Range-A/Range-B crossover of eq. (4).
-inline constexpr Megabytes kCpuModelSplitMb = 512.0;
+inline constexpr Megabytes kCpuModelSplitMb{512.0};
 
 class CpuPerfModel {
  public:
@@ -46,7 +46,7 @@ class CpuPerfModel {
   /// Sequential engine: pure streaming at `gb_per_s` with a fixed
   /// per-query overhead. Both ranges collapse to the same linear law.
   static CpuPerfModel bandwidth_model(double gb_per_s,
-                                      Seconds overhead = 0.002);
+                                      Seconds overhead = Seconds{0.002});
   /// Published model for a thread count, as the scheduler configures it:
   /// 1 → bandwidth_model(1.0) (the original single-threaded engine),
   /// 4 → paper_4t(), 8 → paper_8t(). Other counts interpolate bandwidth

@@ -10,12 +10,12 @@ DictPerfModel::DictPerfModel(double seconds_per_entry)
 }
 
 Seconds DictPerfModel::search_seconds(std::size_t entries) const {
-  return k_ * static_cast<double>(entries);
+  return Seconds{k_ * static_cast<double>(entries)};
 }
 
 Seconds DictPerfModel::translation_seconds(
     std::span<const std::size_t> dictionary_lengths) const {
-  Seconds total = 0.0;
+  Seconds total{};
   for (std::size_t len : dictionary_lengths) total += search_seconds(len);
   return total;
 }

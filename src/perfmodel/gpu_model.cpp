@@ -12,7 +12,7 @@ GpuPerfModel::GpuPerfModel(double a, double b) : a_(a), b_(b) {
 Seconds GpuPerfModel::seconds(double col_fraction) const {
   HOLAP_REQUIRE(col_fraction >= 0.0 && col_fraction <= 1.0,
                 "column fraction must be in [0,1]");
-  return a_ * col_fraction + b_;
+  return Seconds{a_ * col_fraction + b_};
 }
 
 GpuPerfModel GpuPerfModel::paper_c2070(int n_sms) {
@@ -36,7 +36,7 @@ GpuPerfModel GpuPerfModel::paper_c2070(int n_sms) {
 
 GpuPerfModel GpuPerfModel::paper_c2070_scaled(int n_sms, Megabytes table_mb,
                                               Megabytes reference_mb) {
-  HOLAP_REQUIRE(table_mb > 0.0 && reference_mb > 0.0,
+  HOLAP_REQUIRE(table_mb > Megabytes{0.0} && reference_mb > Megabytes{0.0},
                 "table sizes must be positive");
   const GpuPerfModel base = paper_c2070(n_sms);
   const double scale = table_mb / reference_mb;

@@ -39,8 +39,9 @@ class GpuPerfModel {
 
   /// Same model rescaled to a different table size (both coefficients
   /// scale with the bytes streamed).
-  static GpuPerfModel paper_c2070_scaled(int n_sms, Megabytes table_mb,
-                                         Megabytes reference_mb = 4096.0);
+  static GpuPerfModel paper_c2070_scaled(
+      int n_sms, Megabytes table_mb,
+      Megabytes reference_mb = Megabytes{4096.0});
 
   /// Re-fit from measured (col_fraction, seconds) samples.
   static GpuPerfModel fit(std::span<const double> fractions,

@@ -55,7 +55,8 @@ CostEstimate CostEstimator::estimate(const Query& q) const {
 
 void CostEstimator::set_translation_costing(TranslationCosting costing,
                                             Seconds hashed_seconds) {
-  HOLAP_REQUIRE(hashed_seconds > 0.0, "hashed lookup cost must be positive");
+  HOLAP_REQUIRE(hashed_seconds > Seconds{0.0},
+                "hashed lookup cost must be positive");
   translation_costing_ = costing;
   hashed_seconds_ = hashed_seconds;
 }

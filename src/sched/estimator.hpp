@@ -21,9 +21,9 @@ struct CostEstimate {
   std::optional<Seconds> cpu;
   /// Estimated processing time per GPU queue, in queue order.
   std::vector<Seconds> gpu;
-  Seconds translation = 0.0;
+  Seconds translation{};
   bool needs_translation = false;
-  Megabytes subcube_mb = 0.0;    ///< eq. (3) input, when cpu has a value
+  Megabytes subcube_mb{};        ///< eq. (3) input, when cpu has a value
   double column_fraction = 0.0;  ///< eq. (12)/(13) input
 };
 
@@ -55,7 +55,7 @@ class CostEstimator {
   /// per-parameter linear scan). `hashed_seconds` is the per-lookup cost
   /// used by kHashed.
   void set_translation_costing(TranslationCosting costing,
-                               Seconds hashed_seconds = 2e-7);
+                               Seconds hashed_seconds = Seconds{2e-7});
 
   int gpu_queue_count() const { return static_cast<int>(gpu_models_.size()); }
   const CpuPerfModel& cpu_model() const { return cpu_model_; }
@@ -69,7 +69,7 @@ class CostEstimator {
   const TranslationWorkModel* translation_work_;
   int gpu_total_columns_;
   TranslationCosting translation_costing_ = TranslationCosting::kPerParameter;
-  Seconds hashed_seconds_ = 2e-7;
+  Seconds hashed_seconds_{2e-7};
 };
 
 /// Estimator wired with the paper's published models: the CPU model for

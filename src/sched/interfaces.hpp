@@ -58,9 +58,9 @@ struct Placement {
   bool rejected = false;  ///< no partition can process the query at all
   QueueRef queue;
   bool translate = false;        ///< also enqueued on the translation queue
-  Seconds processing_est = 0.0;  ///< estimated processing time on `queue`
-  Seconds translation_est = 0.0;
-  Seconds response_est = 0.0;  ///< estimated absolute completion time T_R
+  Seconds processing_est{};  ///< estimated processing time on `queue`
+  Seconds translation_est{};
+  Seconds response_est{};  ///< estimated absolute completion time T_R
   bool before_deadline = false;  ///< T_R <= T_D at scheduling time
 };
 

@@ -11,7 +11,8 @@ namespace holap {
 QueueingScheduler::QueueingScheduler(SchedulerConfig config,
                                      CostEstimator estimator)
     : config_(std::move(config)), estimator_(std::move(estimator)) {
-  HOLAP_REQUIRE(config_.deadline > 0.0, "deadline T_C must be positive");
+  HOLAP_REQUIRE(config_.deadline > Seconds{0.0},
+                "deadline T_C must be positive");
   HOLAP_REQUIRE(config_.enable_cpu || config_.enable_gpu,
                 "at least one resource must be enabled");
   if (config_.enable_gpu) {
@@ -21,8 +22,8 @@ QueueingScheduler::QueueingScheduler(SchedulerConfig config,
                       static_cast<int>(config_.gpu_partitions.size()),
                   "estimator must hold one GPU model per partition queue");
   }
-  gpu_clocks_.assign(config_.gpu_partitions.size(), 0.0);
-  HOLAP_REQUIRE(config_.modeled_gpu_dispatch >= 0.0,
+  gpu_clocks_.assign(config_.gpu_partitions.size(), Seconds{});
+  HOLAP_REQUIRE(config_.modeled_gpu_dispatch >= Seconds{0.0},
                 "modeled dispatch must be non-negative");
   queue_device_ = config_.gpu_queue_device;
   if (queue_device_.empty()) {
@@ -35,7 +36,7 @@ QueueingScheduler::QueueingScheduler(SchedulerConfig config,
     HOLAP_REQUIRE(d >= 0, "device ids must be non-negative");
     devices = std::max(devices, d + 1);
   }
-  dispatch_clocks_.assign(static_cast<std::size_t>(devices), 0.0);
+  dispatch_clocks_.assign(static_cast<std::size_t>(devices), Seconds{});
   counters_.gpu_placements.assign(gpu_clocks_.size(), 0);
 }
 
@@ -66,21 +67,21 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
     r.ref = {QueueRef::kCpu, 0};
     r.processing = *est.cpu;
     r.response = std::max(cpu_clock_, now) + r.processing;
-    r.before_deadline = deadline - r.response > 0.0;
+    r.before_deadline = deadline - r.response > Seconds{0.0};
     candidates.push_back(r);
   }
   if (config_.enable_gpu) {
     const Seconds trans_done = est.needs_translation
                                    ? std::max(trans_clock_, now) +
                                          est.translation
-                                   : 0.0;
+                                   : Seconds{};
     for (std::size_t i = 0; i < gpu_clocks_.size(); ++i) {
       PartitionResponse r;
       r.ref = {QueueRef::kGpu, static_cast<int>(i)};
       r.processing = est.gpu[i];
       Seconds ready = std::max(gpu_clocks_[i], now);
       if (est.needs_translation) ready = std::max(ready, trans_done);
-      if (config_.modeled_gpu_dispatch > 0.0) {
+      if (config_.modeled_gpu_dispatch > Seconds{0.0}) {
         // The launch stage is a shared serial resource per device,
         // handled exactly like the translation queue: cross it after
         // translation, before the partition can start.
@@ -92,7 +93,7 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
         ready = std::max(ready, r.dispatch_done);
       }
       r.response = ready + r.processing;
-      r.before_deadline = deadline - r.response > 0.0;
+      r.before_deadline = deadline - r.response > Seconds{0.0};
       candidates.push_back(r);
     }
   }
@@ -123,7 +124,7 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
     trans_clock_ = std::max(trans_clock_, now) + est.translation;
   }
   if (chosen->ref.kind == QueueRef::kGpu &&
-      config_.modeled_gpu_dispatch > 0.0) {
+      config_.modeled_gpu_dispatch > Seconds{0.0}) {
     dispatch_clocks_[static_cast<std::size_t>(
         queue_device_[static_cast<std::size_t>(chosen->ref.index)])] =
         chosen->dispatch_done;
@@ -155,7 +156,7 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
 void QueueingScheduler::on_completed(QueueRef ref, Seconds estimated,
                                      Seconds actual) {
   ++counters_.feedback_events;
-  counters_.feedback_abs_error += std::abs(actual - estimated);
+  counters_.feedback_abs_error += abs(actual - estimated);
   if (!config_.feedback) return;
   // Estimation error shifts everything queued behind the finished query.
   clock_for(ref) += actual - estimated;
@@ -165,7 +166,7 @@ std::optional<QueueRef> FigureTenScheduler::choose(
     const std::vector<PartitionResponse>& candidates,
     Seconds deadline) const {
   const PartitionResponse* cpu = nullptr;
-  Seconds fastest_gpu_processing = std::numeric_limits<double>::infinity();
+  Seconds fastest_gpu_processing{std::numeric_limits<double>::infinity()};
   bool any_feasible = false;
   for (const auto& r : candidates) {
     if (r.ref.kind == QueueRef::kCpu) cpu = &r;
@@ -202,8 +203,8 @@ std::optional<QueueRef> FigureTenScheduler::choose(
   // answer as soon as possible.
   const PartitionResponse* best = nullptr;
   for (const auto& r : candidates) {
-    if (best == nullptr || std::abs(deadline - r.response) <
-                               std::abs(deadline - best->response)) {
+    if (best == nullptr || abs(deadline - r.response) <
+                               abs(deadline - best->response)) {
       best = &r;
     }
   }

@@ -36,7 +36,7 @@ struct SchedulerConfig {
   /// SM count per GPU queue, slow queues first. The paper's C2070 layout.
   std::vector<int> gpu_partitions = {1, 1, 2, 2, 4, 4};
   /// T_C: every query must be answered within this time of submission.
-  Seconds deadline = 0.1;
+  Seconds deadline{0.1};
   bool enable_cpu = true;
   bool enable_gpu = true;
   /// Apply measured-vs-estimated feedback to queue clocks.
@@ -48,7 +48,7 @@ struct SchedulerConfig {
   /// same way Figure 10 models the shared translation queue — a clock per
   /// device; every GPU-bound query crosses it for this long before its
   /// partition can start. 0 = unmodeled (the paper's behaviour).
-  Seconds modeled_gpu_dispatch = 0.0;
+  Seconds modeled_gpu_dispatch{};
   /// Device owning each GPU queue (for the dispatch clocks). Empty = one
   /// device owns all queues.
   std::vector<int> gpu_queue_device;
@@ -57,9 +57,9 @@ struct SchedulerConfig {
 /// Step-3 output for one partition queue.
 struct PartitionResponse {
   QueueRef ref;
-  Seconds processing = 0.0;  ///< T_CPU or T_GPUj for this query
-  Seconds response = 0.0;    ///< absolute T_R
-  Seconds dispatch_done = 0.0;  ///< launch-stage exit (modeled dispatch)
+  Seconds processing{};     ///< T_CPU or T_GPUj for this query
+  Seconds response{};       ///< absolute T_R
+  Seconds dispatch_done{};  ///< launch-stage exit (modeled dispatch)
   bool before_deadline = false;
 };
 
@@ -77,7 +77,7 @@ struct SchedulerCounters {
   std::size_t feedback_events = 0;
   /// Σ|actual − estimated| over feedback events: cumulative model error
   /// the queue clocks absorbed.
-  Seconds feedback_abs_error = 0.0;
+  Seconds feedback_abs_error{};
 };
 
 /// Abstract scheduling policy over partition queues.
@@ -143,8 +143,8 @@ class QueueingScheduler : public SchedulerPolicy {
  private:
   SchedulerConfig config_;
   CostEstimator estimator_;
-  Seconds cpu_clock_ = 0.0;
-  Seconds trans_clock_ = 0.0;
+  Seconds cpu_clock_{};
+  Seconds trans_clock_{};
   std::vector<Seconds> gpu_clocks_;
   std::vector<Seconds> dispatch_clocks_;  // one per GPU device
   std::vector<int> queue_device_;

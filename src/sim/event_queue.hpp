@@ -58,7 +58,7 @@ class EventQueue {
     }
   };
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  Seconds now_ = 0.0;
+  Seconds now_{};
   std::uint64_t seq_ = 0;
 };
 
@@ -73,7 +73,8 @@ class FifoServer {
   /// Enqueue a job taking `service` seconds; `on_done(t)` fires at its
   /// completion time t. Jobs run in submission order.
   void submit(Seconds service, std::function<void(Seconds)> on_done) {
-    HOLAP_REQUIRE(service >= 0.0, "service time must be non-negative");
+    HOLAP_REQUIRE(service >= Seconds{0.0},
+                  "service time must be non-negative");
     const Seconds start = std::max(free_at_, events_->now());
     free_at_ = start + service;
     busy_ += service;
@@ -89,8 +90,8 @@ class FifoServer {
 
  private:
   EventQueue* events_;
-  Seconds free_at_ = 0.0;
-  Seconds busy_ = 0.0;
+  Seconds free_at_{};
+  Seconds busy_{};
   std::size_t jobs_ = 0;
 };
 
@@ -103,11 +104,12 @@ class MultiFifoServer {
   MultiFifoServer(EventQueue* events, int workers) : events_(events) {
     HOLAP_REQUIRE(events != nullptr, "server requires an event queue");
     HOLAP_REQUIRE(workers >= 1, "server pool requires at least one worker");
-    free_at_.assign(static_cast<std::size_t>(workers), 0.0);
+    free_at_.assign(static_cast<std::size_t>(workers), Seconds{});
   }
 
   void submit(Seconds service, std::function<void(Seconds)> on_done) {
-    HOLAP_REQUIRE(service >= 0.0, "service time must be non-negative");
+    HOLAP_REQUIRE(service >= Seconds{0.0},
+                  "service time must be non-negative");
     // FIFO: the job at the queue head takes the earliest-free worker.
     auto earliest = free_at_.begin();
     for (auto it = free_at_.begin() + 1; it != free_at_.end(); ++it) {
@@ -129,7 +131,7 @@ class MultiFifoServer {
  private:
   EventQueue* events_;
   std::vector<Seconds> free_at_;
-  Seconds busy_ = 0.0;
+  Seconds busy_{};
   std::size_t jobs_ = 0;
 };
 

@@ -40,9 +40,9 @@ struct ScenarioOptions {
   /// SchedulerConfig::modeled_gpu_dispatch). 0 keeps the paper's
   /// dispatch-blind clocks; multi-GPU experiments set it to the
   /// simulator's overhead so load actually spreads across devices.
-  Seconds modeled_gpu_dispatch = 0.0;
+  Seconds modeled_gpu_dispatch{};
   /// T_C, the per-query deadline.
-  Seconds deadline = 0.25;
+  Seconds deadline{0.25};
   /// Virtual dictionary length = cardinality × this (see catalog.hpp).
   /// 1000 gives 1.6M-entry dictionaries for the finest text levels —
   /// TPC-DS-like cardinalities where eq. (17) predicts ~22 ms per search,
@@ -79,7 +79,7 @@ class PaperScenario {
   /// C_TOTAL of eq. (12): all fact-table columns.
   int gpu_total_columns() const { return schema_.column_count(); }
   /// The §IV GPU table is ~4 GB.
-  Megabytes gpu_table_mb() const { return 4096.0; }
+  Megabytes gpu_table_mb() const { return Megabytes{4096.0}; }
 
   /// GPU queue list across all devices (gpu_partitions x gpu_devices).
   std::vector<int> effective_gpu_partitions() const;

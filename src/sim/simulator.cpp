@@ -105,7 +105,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
 
   std::vector<double> latencies;
   latencies.reserve(queries.size());
-  Seconds makespan = 0.0;
+  Seconds makespan{};
   const bool closed = config.arrival_rate <= 0.0;
   std::size_t next_query = 0;
 
@@ -115,7 +115,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
                     QueueRef queue, Seconds resp_est) {
     ++result.completed;
     const Seconds latency = done - submit;
-    latencies.push_back(latency);
+    latencies.push_back(latency.value());
     result.latency_histogram.add(latency);
     const bool met = latency <= policy.deadline();
     if (met) ++result.met_deadline;
@@ -166,7 +166,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
       // The CPU path has no launch stage; record the queue handoff as a
       // zero-duration dispatch span so every query's chain is uniform.
       record(idx, SpanKind::kDispatch, now, now, p.queue, p.response_est,
-             0.0, 0.0);
+             Seconds{}, Seconds{});
       const Seconds actual =
           p.processing_est * noise() + config.cpu_overhead;
       cpu.submit(actual,
@@ -174,7 +174,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
                   resp_est = p.response_est, actual](Seconds done) {
                    cpu_ctr.on_complete(actual);
                    record(idx, SpanKind::kExecute, done - actual, done,
-                          {QueueRef::kCpu, 0}, resp_est, 0.0, 0.0);
+                          {QueueRef::kCpu, 0}, resp_est, Seconds{}, Seconds{});
                    policy.on_completed({QueueRef::kCpu, 0}, est, actual);
                    finish(idx, submit, done, {QueueRef::kCpu, 0},
                           resp_est);
@@ -201,7 +201,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
             dispatch_ctr(device).on_complete(config.gpu_dispatch_overhead);
             record(idx, SpanKind::kDispatch,
                    ddone - config.gpu_dispatch_overhead, ddone,
-                   {QueueRef::kGpu, queue}, resp_est, 0.0, 0.0);
+                   {QueueRef::kGpu, queue}, resp_est, Seconds{}, Seconds{});
             gpu_ctr(static_cast<std::size_t>(queue)).on_enqueue();
             gpus[static_cast<std::size_t>(queue)]->submit(
                 actual_gpu,
@@ -210,7 +210,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
                   gpu_ctr(static_cast<std::size_t>(queue))
                       .on_complete(actual_gpu);
                   record(idx, SpanKind::kExecute, done - actual_gpu, done,
-                         {QueueRef::kGpu, queue}, resp_est, 0.0, 0.0);
+                         {QueueRef::kGpu, queue}, resp_est, Seconds{}, Seconds{});
                   policy.on_completed(
                       {QueueRef::kGpu, queue}, est,
                       actual_gpu + config.gpu_dispatch_overhead);
@@ -229,7 +229,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
            into_pipeline = std::move(into_pipeline)](Seconds tdone) {
             trans_ctr.on_complete(trans_service);
             record(idx, SpanKind::kTranslate, tdone - trans_service, tdone,
-                   {QueueRef::kGpu, queue}, resp_est, 0.0, 0.0);
+                   {QueueRef::kGpu, queue}, resp_est, Seconds{}, Seconds{});
             into_pipeline(tdone);
           });
     } else {
@@ -242,13 +242,13 @@ SimResult run_simulation(SchedulerPolicy& policy,
         static_cast<std::size_t>(config.closed_clients), queries.size());
     next_query = clients;
     for (std::size_t c = 0; c < clients; ++c) {
-      events.schedule(0.0, [&, c]() { start_query(c); });
+      events.schedule(Seconds{}, [&, c]() { start_query(c); });
     }
   } else {
     SplitMix64 arrivals(noise_rng.fork(17));
-    Seconds t = 0.0;
+    Seconds t{};
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      t += arrivals.exponential(config.arrival_rate);
+      t += Seconds{arrivals.exponential(config.arrival_rate)};
       events.schedule(t, [&, i]() { start_query(i); });
     }
   }
@@ -257,21 +257,21 @@ SimResult run_simulation(SchedulerPolicy& policy,
   if (rec != nullptr) policy.set_trace_recorder(nullptr);
 
   result.makespan = makespan;
-  if (makespan > 0.0) {
+  if (makespan > Seconds{0.0}) {
     result.throughput_qps =
-        static_cast<double>(result.completed) / makespan;
+        static_cast<double>(result.completed) / makespan.value();
   }
   if (result.completed > 0) {
     result.deadline_hit_rate = static_cast<double>(result.met_deadline) /
                                static_cast<double>(result.completed);
-    result.mean_latency = summarize(latencies).mean;
-    result.p50_latency = percentile(latencies, 50.0);
-    result.p95_latency = percentile(latencies, 95.0);
-    result.p99_latency = percentile(latencies, 99.0);
+    result.mean_latency = Seconds{summarize(latencies).mean};
+    result.p50_latency = Seconds{percentile(latencies, 50.0)};
+    result.p95_latency = Seconds{percentile(latencies, 95.0)};
+    result.p99_latency = Seconds{percentile(latencies, 99.0)};
   }
-  if (makespan > 0.0) {
+  if (makespan > Seconds{0.0}) {
     result.cpu_utilization = cpu.busy_time() / makespan;
-    double dispatch_busy = 0.0;
+    Seconds dispatch_busy{};
     for (const auto& d : dispatchers) dispatch_busy += d->busy_time();
     result.dispatcher_utilization =
         dispatch_busy / makespan / static_cast<double>(dispatchers.size());

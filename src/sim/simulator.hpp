@@ -43,10 +43,10 @@ struct SimConfig {
   /// Fixed per-query CPU-side cost outside the cube scan itself (query
   /// parsing, result assembly, scheduler bookkeeping). Calibrated at 5 ms:
   /// reconciles eq. (7)/(10) with Table 1's published 12/87/110 Q/s.
-  Seconds cpu_overhead = 0.005;
+  Seconds cpu_overhead{0.005};
   /// Serialised kernel-launch + parameter-copy cost per GPU query.
   /// Calibrated at 14 ms: reproduces the published GPU-only ~69 Q/s cap.
-  Seconds gpu_dispatch_overhead = 0.014;
+  Seconds gpu_dispatch_overhead{0.014};
   /// Threads of the translation partition. 1 is the paper's design; more
   /// workers model a parallelised translation stage (future work).
   int translation_workers = 1;
@@ -78,11 +78,11 @@ struct SimConfig {
 /// Per-query record (only when SimConfig::record_trace).
 struct QueryTrace {
   std::size_t index = 0;       ///< position in the input workload
-  Seconds submitted = 0.0;
-  Seconds completed = 0.0;     ///< 0 when rejected
-  Seconds response_est = 0.0;  ///< the scheduler's T_R at placement time
-  Seconds slack_est = 0.0;     ///< T_D − T_R at placement time
-  Seconds latency = 0.0;       ///< completed − submitted (0 when rejected)
+  Seconds submitted{};
+  Seconds completed{};     ///< 0 when rejected
+  Seconds response_est{};  ///< the scheduler's T_R at placement time
+  Seconds slack_est{};     ///< T_D − T_R at placement time
+  Seconds latency{};       ///< completed − submitted (0 when rejected)
   QueueRef queue;
   bool translated = false;
   bool rejected = false;
@@ -96,13 +96,13 @@ struct SimResult {
   std::size_t cpu_queries = 0;
   std::size_t gpu_queries = 0;
   std::size_t translated_queries = 0;
-  Seconds makespan = 0.0;           ///< last completion time
+  Seconds makespan{};               ///< last completion time
   double throughput_qps = 0.0;      ///< completed / makespan
   double deadline_hit_rate = 0.0;   ///< met_deadline / completed
-  double mean_latency = 0.0;
-  double p50_latency = 0.0;
-  double p95_latency = 0.0;
-  double p99_latency = 0.0;
+  Seconds mean_latency{};
+  Seconds p50_latency{};
+  Seconds p95_latency{};
+  Seconds p99_latency{};
   double cpu_utilization = 0.0;     ///< CPU server busy fraction
   double dispatcher_utilization = 0.0;
   double translation_utilization = 0.0;

@@ -1,0 +1,139 @@
+// Strong-typed units: dimensional safety (compile-time), arithmetic
+// exactness (every wrapper op must be the underlying IEEE double op),
+// and the cross-unit operations of the cost model.
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+
+namespace holap {
+namespace {
+
+// ---------------------------------------------------------------------
+// Compile-time dimensional safety. Each `requires` probe asks whether the
+// expression would compile; mixing units must not. The build-level twin of
+// these checks is tests/compile_fail/ (a ctest entry proves a whole TU
+// mixing units fails to build).
+
+template <class A, class B>
+concept Addable = requires(A a, B b) { a + b; };
+template <class A, class B>
+concept Subtractable = requires(A a, B b) { a - b; };
+template <class A, class B>
+concept Comparable = requires(A a, B b) { a < b; };
+template <class A, class B>
+concept Multipliable = requires(A a, B b) { a * b; };
+
+static_assert(Addable<Seconds, Seconds>);
+static_assert(!Addable<Seconds, Megabytes>);
+static_assert(!Addable<Megabytes, Seconds>);
+static_assert(!Addable<Seconds, double>);
+static_assert(!Addable<double, Seconds>);
+
+static_assert(Subtractable<Megabytes, Megabytes>);
+static_assert(!Subtractable<Megabytes, Seconds>);
+
+static_assert(Comparable<Seconds, Seconds>);
+static_assert(!Comparable<Seconds, Megabytes>);
+static_assert(!Comparable<Seconds, double>);
+
+// Seconds * Seconds would be seconds^2 — not a unit we model.
+static_assert(!Multipliable<Seconds, Seconds>);
+static_assert(Multipliable<Seconds, double>);
+static_assert(Multipliable<MbPerSec, Seconds>);
+
+// No implicit conversions in either direction: a raw double entering or
+// leaving a dimensioned quantity must be spelled out.
+static_assert(!std::is_convertible_v<double, Seconds>);
+static_assert(!std::is_convertible_v<Seconds, double>);
+static_assert(std::is_constructible_v<Seconds, double>);
+
+// The wrappers stay trivially copyable doubles: passing them by value is
+// exactly as cheap as the aliases they replaced.
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(sizeof(Seconds) == sizeof(double));
+
+// ---------------------------------------------------------------------
+// Arithmetic is the underlying double op, bit for bit.
+
+TEST(Units, SameUnitArithmeticMatchesRawDoubles) {
+  const double a = 0.1, b = 0.2;  // 0.1 + 0.2 != 0.3: exactness matters
+  EXPECT_EQ((Seconds{a} + Seconds{b}).value(), a + b);
+  EXPECT_EQ((Seconds{a} - Seconds{b}).value(), a - b);
+  EXPECT_EQ((Seconds{a} * 3.0).value(), a * 3.0);
+  EXPECT_EQ((3.0 * Seconds{a}).value(), 3.0 * a);
+  EXPECT_EQ((Seconds{a} / 7.0).value(), a / 7.0);
+  EXPECT_EQ(Seconds{a} / Seconds{b}, a / b);  // ratio is dimensionless
+}
+
+TEST(Units, CompoundAssignmentMatchesRawDoubles) {
+  double raw = 1.5;
+  Seconds s{1.5};
+  raw += 0.25;
+  s += Seconds{0.25};
+  EXPECT_EQ(s.value(), raw);
+  raw *= 1.1;
+  s *= 1.1;
+  EXPECT_EQ(s.value(), raw);
+  raw /= 3.0;
+  s /= 3.0;
+  EXPECT_EQ(s.value(), raw);
+  raw -= 0.125;
+  s -= Seconds{0.125};
+  EXPECT_EQ(s.value(), raw);
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_EQ(Seconds{}.value(), 0.0);
+  EXPECT_EQ(Megabytes{}.value(), 0.0);
+  EXPECT_EQ(MbPerSec{}.value(), 0.0);
+}
+
+TEST(Units, ComparisonsAndNegation) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_GE(Megabytes{4.0}, Megabytes{4.0});
+  EXPECT_EQ((-Seconds{3.0}).value(), -3.0);
+}
+
+TEST(Units, AdlAbsMinMax) {
+  EXPECT_EQ(abs(Seconds{-0.5}), Seconds{0.5});
+  EXPECT_EQ(abs(Seconds{0.5}), Seconds{0.5});
+  EXPECT_EQ(min(Megabytes{1.0}, Megabytes{2.0}), Megabytes{1.0});
+  EXPECT_EQ(max(Megabytes{1.0}, Megabytes{2.0}), Megabytes{2.0});
+}
+
+// ---------------------------------------------------------------------
+// The cross-unit operations used by the cost model (eqs. 5-18).
+
+TEST(Units, SizeOverRateIsTime) {
+  const Seconds t = Megabytes{1024.0} / MbPerSec{512.0};
+  EXPECT_EQ(t.value(), 1024.0 / 512.0);
+}
+
+TEST(Units, SizeOverTimeIsRate) {
+  const MbPerSec r = Megabytes{100.0} / Seconds{4.0};
+  EXPECT_EQ(r.value(), 25.0);
+}
+
+TEST(Units, RateTimesTimeIsSizeBothOrders) {
+  EXPECT_EQ((MbPerSec{3.0} * Seconds{2.0}).value(), 6.0);
+  EXPECT_EQ((Seconds{2.0} * MbPerSec{3.0}).value(), 6.0);
+}
+
+TEST(Units, ByteConversionsRoundTrip) {
+  EXPECT_EQ(bytes_to_mb(kMiB).value(), 1.0);
+  EXPECT_EQ(bytes_to_mb(512 * kKiB).value(), 0.5);
+  EXPECT_EQ(mb_to_bytes(Megabytes{2.0}), 2 * kMiB);
+  EXPECT_EQ(mb_to_bytes(bytes_to_mb(40 * kMiB)), 40 * kMiB);
+}
+
+TEST(Units, StreamingPrintsBareMagnitude) {
+  std::ostringstream os;
+  os << Seconds{0.25} << " " << Megabytes{7.0};
+  EXPECT_EQ(os.str(), "0.25 7");
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE. Adding a duration to a size is dimensionally
+// meaningless; the strong-typed units in common/units.hpp only define
+// same-unit sums. The `compile_fail.units_mixed_add` ctest entry builds
+// this file and asserts the build FAILS — if it ever succeeds, the units
+// have silently decayed back into interchangeable doubles.
+#include "common/units.hpp"
+
+int main() {
+  const holap::Seconds t{1.0};
+  const holap::Megabytes size{2.0};
+  const auto nonsense = t + size;  // dimensional error: s + MB
+  return static_cast<int>(nonsense.value());
+}

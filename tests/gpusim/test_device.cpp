@@ -73,9 +73,10 @@ TEST(GpuDevice, ExecuteAnswersAndModelsTime) {
   EXPECT_NEAR(exec.column_fraction, 2.0 / 16.0, 1e-12);
   // Partition 3 has 2 SMs; model scaled to the (tiny) table size.
   const auto model = dev.partition_model(2);
-  EXPECT_NEAR(exec.modeled_seconds, model.seconds(exec.column_fraction),
+  EXPECT_NEAR(exec.modeled_seconds.value(),
+              model.seconds(exec.column_fraction).value(),
               1e-15);
-  EXPECT_GT(exec.modeled_seconds, 0.0);
+  EXPECT_GT(exec.modeled_seconds, Seconds{});
 }
 
 TEST(GpuDevice, BiggerPartitionsModelFaster) {
@@ -85,9 +86,9 @@ TEST(GpuDevice, BiggerPartitionsModelFaster) {
   Query q;
   q.conditions.push_back({0, 0, 0, 1, {}, {}});
   q.measures = {12};
-  const double t1 = dev.execute(0, q).modeled_seconds;
-  const double t2 = dev.execute(1, q).modeled_seconds;
-  const double t4 = dev.execute(2, q).modeled_seconds;
+  const double t1 = dev.execute(0, q).modeled_seconds.value();
+  const double t2 = dev.execute(1, q).modeled_seconds.value();
+  const double t4 = dev.execute(2, q).modeled_seconds.value();
   EXPECT_GT(t1, t2);
   EXPECT_GT(t2, t4);
 }
@@ -193,7 +194,7 @@ TEST(GpuDevice, ModeledTimesRecoverPublishedCoefficients) {
     q.measures = {12};
     const GpuExecution exec = dev.execute(0, q);
     fractions.push_back(exec.column_fraction);
-    seconds.push_back(exec.modeled_seconds);
+    seconds.push_back(exec.modeled_seconds.value());
   }
   const GpuPerfModel fit = GpuPerfModel::fit(fractions, seconds);
   const GpuPerfModel truth = dev.partition_model(2);
@@ -213,9 +214,9 @@ TEST(GpuDevice, OnDeviceCubeBuildMatchesHostBuilder) {
   for (std::size_t i = 0; i < cube.cell_count(); ++i) {
     EXPECT_DOUBLE_EQ(cube.cell(i), host.cell(i));
   }
-  EXPECT_GT(seconds, 0.0);
+  EXPECT_GT(seconds, Seconds{});
   // A C2070 streams this tiny table in well under a second.
-  EXPECT_LT(seconds, 0.1);
+  EXPECT_LT(seconds, Seconds{0.1});
 }
 
 }  // namespace

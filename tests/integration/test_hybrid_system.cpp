@@ -61,7 +61,7 @@ TEST(HybridSystem, CoarseQueriesRouteToCpu) {
   q.measures = {12};
   const ExecutionReport report = sys.execute(q);
   EXPECT_EQ(report.queue.kind, QueueRef::kCpu);
-  EXPECT_GT(report.measured_processing, 0.0);
+  EXPECT_GT(report.measured_processing, Seconds{});
 }
 
 TEST(HybridSystem, TextQueryOnGpuPathGetsTranslated) {

@@ -65,18 +65,19 @@ TEST(Observability, EveryCompletedQueryHasAFullSpanChain) {
     EXPECT_EQ(chain.back().kind, SpanKind::kComplete);
     // Stage times are causally ordered on the sim clock and every span is
     // inside the run.
-    Seconds prev_end = 0.0;
+    Seconds prev_end{};
     for (const TraceSpan& s : chain) {
       EXPECT_LE(s.start, s.end) << "query " << id;
-      EXPECT_GE(s.start, prev_end - 1e-12) << "query " << id;
-      EXPECT_LE(s.end, run.result.makespan + 1e-9) << "query " << id;
+      EXPECT_GE(s.start.value(), prev_end.value() - 1e-12) << "query " << id;
+      EXPECT_LE(s.end.value(), run.result.makespan.value() + 1e-9)
+          << "query " << id;
       prev_end = std::max(prev_end, s.end);
     }
     // The terminal span carries the feedback signal: measured completion
     // and the realised deadline slack.
     const TraceSpan& done = chain.back();
-    EXPECT_DOUBLE_EQ(done.end, done.measured_response);
-    EXPECT_GT(done.estimated_response, 0.0);
+    EXPECT_DOUBLE_EQ(done.end.value(), done.measured_response.value());
+    EXPECT_GT(done.estimated_response, Seconds{});
     if (chain.size() == 5) {
       EXPECT_EQ(chain[1].kind, SpanKind::kTranslate);
       EXPECT_EQ(chain.front().queue.kind, QueueRef::kGpu);
@@ -92,7 +93,8 @@ TEST(Observability, CountersAndHistogramReconcileWithSimResult) {
 
   // Histogram holds exactly the completed latencies.
   EXPECT_EQ(r.latency_histogram.count(), r.completed);
-  EXPECT_NEAR(r.latency_histogram.mean(), r.mean_latency, 1e-9);
+  EXPECT_NEAR(r.latency_histogram.mean().value(), r.mean_latency.value(),
+              1e-9);
   EXPECT_LE(r.p50_latency, r.p95_latency);
   EXPECT_LE(r.p95_latency, r.p99_latency);
   // p50/p99 report exact sample percentiles; the histogram's estimate

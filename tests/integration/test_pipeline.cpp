@@ -98,7 +98,7 @@ TEST(Pipeline, Figure10BeatsLoadBlindMetAtHighGpuLoad) {
   auto met = s.make_policy("MET");
   SimConfig config;
   config.arrival_rate = 250.0;
-  config.gpu_dispatch_overhead = 0.0;
+  config.gpu_dispatch_overhead = Seconds{0.0};
   const SimResult r10 = run_simulation(*fig10, queries, config);
   const SimResult rmet = run_simulation(*met, queries, config);
   EXPECT_GT(r10.throughput_qps, rmet.throughput_qps * 1.2);
@@ -135,7 +135,7 @@ TEST(Pipeline, FeedbackAbsorbsAsymmetricMiscalibration) {
     auto policy = s.make_policy();
     SimConfig config;
     config.arrival_rate = 220.0;
-    config.gpu_dispatch_overhead = 0.0;
+    config.gpu_dispatch_overhead = Seconds{0.0};
     config.gpu_queue_bias = {4.0, 4.0, 4.0, 4.0, 1.0, 1.0};
     return run_simulation(*policy, queries, config).deadline_hit_rate;
   };
@@ -152,7 +152,7 @@ TEST(Pipeline, DeadlineTightnessTradesHitRate) {
     return run_simulation(*policy, queries, paper_overheads())
         .deadline_hit_rate;
   };
-  EXPECT_GE(hit_rate(1.0), hit_rate(0.05));
+  EXPECT_GE(hit_rate(Seconds{1.0}), hit_rate(Seconds{0.05}));
 }
 
 }  // namespace

@@ -17,8 +17,8 @@ TEST(PartitionCounters, DepthTracksInFlightWork) {
   c.on_enqueue();
   EXPECT_EQ(c.depth, 3u);
   EXPECT_EQ(c.max_depth, 3u);
-  c.on_complete(0.010);
-  c.on_complete(0.020);
+  c.on_complete(Seconds{0.010});
+  c.on_complete(Seconds{0.020});
   EXPECT_EQ(c.depth, 1u);
   EXPECT_EQ(c.max_depth, 3u);  // high-water mark survives drain
   c.on_enqueue();
@@ -26,17 +26,17 @@ TEST(PartitionCounters, DepthTracksInFlightWork) {
   EXPECT_EQ(c.max_depth, 3u);
   EXPECT_EQ(c.enqueued, 4u);
   EXPECT_EQ(c.completed, 2u);
-  EXPECT_DOUBLE_EQ(c.busy, 0.030);
+  EXPECT_DOUBLE_EQ(c.busy.value(), 0.030);
 }
 
 TEST(PartitionCounters, UtilizationIsBusyOverMakespan) {
   PartitionCounters c{.name = "cpu"};
   c.on_enqueue();
-  c.on_complete(0.5);
-  EXPECT_DOUBLE_EQ(c.utilization(2.0), 0.25);
-  EXPECT_DOUBLE_EQ(c.utilization(0.0), 0.0);  // empty run guards
+  c.on_complete(Seconds{0.5});
+  EXPECT_DOUBLE_EQ(c.utilization(Seconds{2.0}), 0.25);
+  EXPECT_DOUBLE_EQ(c.utilization(Seconds{0.0}), 0.0);  // empty run guards
   // A serial server can never exceed 100% of the span it ran within.
-  EXPECT_LE(c.utilization(0.5), 1.0);
+  EXPECT_LE(c.utilization(Seconds{0.5}), 1.0);
 }
 
 TEST(PartitionCounters, CountersTableRendersEveryPartition) {
@@ -44,9 +44,9 @@ TEST(PartitionCounters, CountersTableRendersEveryPartition) {
   counters.push_back({.name = "cpu"});
   counters.push_back({.name = "translation"});
   counters[0].on_enqueue();
-  counters[0].on_complete(0.25);
+  counters[0].on_complete(Seconds{0.25});
   std::ostringstream os;
-  counters_table(counters, 1.0).print(os, "partitions");
+  counters_table(counters, Seconds{1.0}).print(os, "partitions");
   const std::string out = os.str();
   EXPECT_NE(out.find("cpu"), std::string::npos);
   EXPECT_NE(out.find("translation"), std::string::npos);

@@ -18,36 +18,37 @@ TEST(LatencyHistogram, EmptyHistogramIsZeroEverywhere) {
   LatencyHistogram h;
   EXPECT_TRUE(h.empty());
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_EQ(h.mean(), 0.0);
-  EXPECT_EQ(h.percentile(50.0), 0.0);
-  EXPECT_EQ(h.min(), 0.0);
-  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), Seconds{});
+  EXPECT_EQ(h.percentile(50.0), Seconds{});
+  EXPECT_EQ(h.min(), Seconds{});
+  EXPECT_EQ(h.max(), Seconds{});
 }
 
 TEST(LatencyHistogram, BucketLayoutIsContiguousAndMonotone) {
   // Every bucket's upper edge is the next bucket's lower edge and edges
   // grow strictly — the fixed layout any two histograms share.
   for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
-    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper(i),
-                     LatencyHistogram::bucket_lower(i + 1));
+    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper(i).value(),
+                     LatencyHistogram::bucket_lower(i + 1).value());
     EXPECT_LT(LatencyHistogram::bucket_lower(i),
               LatencyHistogram::bucket_upper(i));
   }
-  EXPECT_EQ(LatencyHistogram::bucket_lower(0), 0.0);
+  EXPECT_EQ(LatencyHistogram::bucket_lower(0), Seconds{});
   EXPECT_TRUE(std::isinf(LatencyHistogram::bucket_upper(
-      LatencyHistogram::kBucketCount - 1)));
+                         LatencyHistogram::kBucketCount - 1)
+                         .value()));
 }
 
 TEST(LatencyHistogram, BucketIndexCoversItsValue) {
   SplitMix64 rng(7);
   for (int i = 0; i < 2000; ++i) {
     const double v = rng.uniform_real(0.0, 2000.0);
-    const std::size_t b = LatencyHistogram::bucket_index(v);
-    EXPECT_GE(v, LatencyHistogram::bucket_lower(b));
-    EXPECT_LT(v, LatencyHistogram::bucket_upper(b));
+    const std::size_t b = LatencyHistogram::bucket_index(Seconds{v});
+    EXPECT_GE(v, LatencyHistogram::bucket_lower(b).value());
+    EXPECT_LT(v, LatencyHistogram::bucket_upper(b).value());
   }
-  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0u);
-  EXPECT_EQ(LatencyHistogram::bucket_index(1e12),
+  EXPECT_EQ(LatencyHistogram::bucket_index(Seconds{}), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(Seconds{1e12}),
             LatencyHistogram::kBucketCount - 1);
 }
 
@@ -55,11 +56,11 @@ TEST(LatencyHistogram, PercentilesAreMonotoneInP) {
   SplitMix64 rng(42);
   LatencyHistogram h;
   for (int i = 0; i < 5000; ++i) {
-    h.add(rng.exponential(100.0));  // mean 10 ms
+    h.add(Seconds{rng.exponential(100.0)});  // mean 10 ms
   }
   double last = 0.0;
   for (double p = 0.0; p <= 100.0; p += 0.5) {
-    const double v = h.percentile(p);
+    const double v = h.percentile(p).value();
     EXPECT_GE(v, last) << "p=" << p;
     last = v;
   }
@@ -76,12 +77,12 @@ TEST(LatencyHistogram, PercentileEstimateWithinBucketResolution) {
   for (int i = 0; i < 20000; ++i) {
     const double v = rng.exponential(50.0);
     samples.push_back(v);
-    h.add(v);
+    h.add(Seconds{v});
   }
   const double width = std::pow(10.0, 1.0 / LatencyHistogram::kBucketsPerDecade);
   for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
     const double exact = percentile(samples, p);
-    const double est = h.percentile(p);
+    const double est = h.percentile(p).value();
     EXPECT_LE(est, exact * width * 1.01) << "p=" << p;
     EXPECT_GE(est, exact / width / 1.01) << "p=" << p;
   }
@@ -92,12 +93,12 @@ TEST(LatencyHistogram, MeanAndExtremaAreExact) {
   const std::vector<double> xs = {0.001, 0.020, 0.3, 0.0005};
   double sum = 0.0;
   for (const double x : xs) {
-    h.add(x);
+    h.add(Seconds{x});
     sum += x;
   }
-  EXPECT_DOUBLE_EQ(h.mean(), sum / static_cast<double>(xs.size()));
-  EXPECT_DOUBLE_EQ(h.min(), 0.0005);
-  EXPECT_DOUBLE_EQ(h.max(), 0.3);
+  EXPECT_DOUBLE_EQ(h.mean().value(), sum / static_cast<double>(xs.size()));
+  EXPECT_DOUBLE_EQ(h.min().value(), 0.0005);
+  EXPECT_DOUBLE_EQ(h.max().value(), 0.3);
 }
 
 TEST(LatencyHistogram, MergeEqualsAddingAllSamples) {
@@ -105,41 +106,43 @@ TEST(LatencyHistogram, MergeEqualsAddingAllSamples) {
   LatencyHistogram a, b, all;
   for (int i = 0; i < 3000; ++i) {
     const double v = rng.exponential(200.0);
-    all.add(v);
-    (i % 2 == 0 ? a : b).add(v);
+    all.add(Seconds{v});
+    (i % 2 == 0 ? a : b).add(Seconds{v});
   }
   a.merge(b);
   EXPECT_EQ(a.count(), all.count());
   // Totals are the same sum in different association order.
-  EXPECT_NEAR(a.total(), all.total(), 1e-12 * all.total());
-  EXPECT_DOUBLE_EQ(a.min(), all.min());
-  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.total().value(), all.total().value(),
+              1e-12 * all.total().value());
+  EXPECT_DOUBLE_EQ(a.min().value(), all.min().value());
+  EXPECT_DOUBLE_EQ(a.max().value(), all.max().value());
   for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
     EXPECT_EQ(a.bucket(i), all.bucket(i)) << "bucket " << i;
   }
   for (const double p : {1.0, 25.0, 50.0, 95.0, 99.9}) {
-    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+    EXPECT_DOUBLE_EQ(a.percentile(p).value(), all.percentile(p).value())
+        << "p=" << p;
   }
 }
 
 TEST(LatencyHistogram, MergeIntoEmptyAndWithEmpty) {
   LatencyHistogram empty, h;
-  h.add(0.010);
-  h.add(0.030);
+  h.add(Seconds{0.010});
+  h.add(Seconds{0.030});
   LatencyHistogram target;
   target.merge(h);  // into empty
   EXPECT_EQ(target.count(), 2u);
-  EXPECT_DOUBLE_EQ(target.min(), 0.010);
+  EXPECT_DOUBLE_EQ(target.min().value(), 0.010);
   target.merge(empty);  // with empty: unchanged
   EXPECT_EQ(target.count(), 2u);
-  EXPECT_DOUBLE_EQ(target.max(), 0.030);
+  EXPECT_DOUBLE_EQ(target.max().value(), 0.030);
 }
 
 TEST(LatencyHistogram, NegativeClampedAndOutOfRangeThrows) {
   LatencyHistogram h;
-  h.add(-1.0);  // clamps to 0
+  h.add(Seconds{-1.0});  // clamps to 0
   EXPECT_EQ(h.count(), 1u);
-  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.min(), Seconds{});
   EXPECT_THROW(h.percentile(-1.0), InvalidArgument);
   EXPECT_THROW(h.percentile(101.0), InvalidArgument);
 }

@@ -14,12 +14,12 @@ TraceSpan sample_span() {
   TraceSpan s;
   s.query_id = 42;
   s.kind = SpanKind::kExecute;
-  s.start = 0.1234567890123456789;  // exercises full double precision
-  s.end = 0.2;
+  s.start = Seconds{0.1234567890123456789};  // exercises full double precision
+  s.end = Seconds{0.2};
   s.queue = {QueueRef::kGpu, 3};
-  s.estimated_response = 0.19999999999;
-  s.measured_response = 0.2;
-  s.deadline_slack = -0.05;
+  s.estimated_response = Seconds{0.19999999999};
+  s.measured_response = Seconds{0.2};
+  s.deadline_slack = Seconds{-0.05};
   return s;
 }
 
@@ -37,7 +37,7 @@ TEST(Jsonl, StreamRoundTripPreservesOrderAndValues) {
     s.kind = static_cast<SpanKind>(i % 5);
     s.queue = i % 2 == 0 ? QueueRef{QueueRef::kCpu, 0}
                          : QueueRef{QueueRef::kGpu, i % 6};
-    s.start = 1e-9 * i;
+    s.start = Seconds{1e-9 * i};
     spans.push_back(s);
   }
   std::stringstream ss;

@@ -19,10 +19,10 @@ TraceSpan make_span(std::uint64_t id, SpanKind kind, Seconds at) {
 
 TEST(TraceRecorder, SnapshotPreservesRecordOrder) {
   TraceRecorder rec;
-  rec.record(make_span(0, SpanKind::kEnqueue, 0.0));
-  rec.record(make_span(1, SpanKind::kEnqueue, 0.1));
-  rec.record(make_span(0, SpanKind::kExecute, 0.2));
-  rec.record(make_span(0, SpanKind::kComplete, 0.3));
+  rec.record(make_span(0, SpanKind::kEnqueue, Seconds{0.0}));
+  rec.record(make_span(1, SpanKind::kEnqueue, Seconds{0.1}));
+  rec.record(make_span(0, SpanKind::kExecute, Seconds{0.2}));
+  rec.record(make_span(0, SpanKind::kComplete, Seconds{0.3}));
   const auto spans = rec.snapshot();
   ASSERT_EQ(spans.size(), 4u);
   EXPECT_EQ(spans[0].query_id, 0u);
@@ -35,7 +35,7 @@ TEST(TraceRecorder, SpansForFiltersOneQueryInOrder) {
   TraceRecorder rec;
   for (int i = 0; i < 10; ++i) {
     rec.record(make_span(static_cast<std::uint64_t>(i % 2),
-                         SpanKind::kEnqueue, 0.01 * i));
+                         SpanKind::kEnqueue, Seconds{0.01 * i}));
   }
   const auto zero = rec.spans_for(0);
   ASSERT_EQ(zero.size(), 5u);
@@ -48,8 +48,8 @@ TEST(TraceRecorder, SpansForFiltersOneQueryInOrder) {
 TEST(TraceRecorder, SizeAndClear) {
   TraceRecorder rec;
   EXPECT_TRUE(rec.empty());
-  rec.record(make_span(0, SpanKind::kEnqueue, 0.0));
-  rec.record(make_span(0, SpanKind::kComplete, 1.0));
+  rec.record(make_span(0, SpanKind::kEnqueue, Seconds{0.0}));
+  rec.record(make_span(0, SpanKind::kComplete, Seconds{1.0}));
   EXPECT_EQ(rec.size(), 2u);
   rec.clear();
   EXPECT_TRUE(rec.empty());
@@ -66,7 +66,7 @@ TEST(TraceRecorder, ConcurrentRecordersLoseNothing) {
     threads.emplace_back([&rec, t] {
       for (int i = 0; i < kPerThread; ++i) {
         rec.record(make_span(static_cast<std::uint64_t>(t),
-                             SpanKind::kExecute, 0.001 * i));
+                             SpanKind::kExecute, Seconds{0.001 * i}));
       }
     });
   }

@@ -9,28 +9,28 @@ namespace {
 
 TEST(CalibrateCpu, ProducesOrderedSamplesAndUsableModel) {
   CpuCalibrationConfig config;
-  config.sizes_mb = {1, 2, 4, 8};
+  config.sizes_mb = {Megabytes{1}, Megabytes{2}, Megabytes{4}, Megabytes{8}};
   config.threads = 0;
   config.repetitions = 2;
   const CpuCalibrationResult result = calibrate_cpu(config);
   ASSERT_EQ(result.samples.size(), 4u);
   ASSERT_EQ(result.bandwidth_gbps.size(), 4u);
   for (std::size_t i = 0; i < result.samples.size(); ++i) {
-    EXPECT_GT(result.samples[i].seconds, 0.0);
+    EXPECT_GT(result.samples[i].seconds, Seconds{});
     EXPECT_GT(result.bandwidth_gbps[i], 0.0);
     if (i) {
       EXPECT_GT(result.samples[i].x, result.samples[i - 1].x);
     }
   }
   // The fitted model must predict within the measured ballpark.
-  const double mid = result.model.seconds(4.0);
+  const double mid = result.model.seconds(Megabytes{4.0}).value();
   EXPECT_GT(mid, 0.0);
   EXPECT_LT(mid, 1.0);  // 4 MB can never take a second on any host
 }
 
 TEST(CalibrateCpu, TimeRoughlyScalesWithSize) {
   CpuCalibrationConfig config;
-  config.sizes_mb = {2, 32};
+  config.sizes_mb = {Megabytes{2}, Megabytes{32}};
   config.repetitions = 3;
   const CpuCalibrationResult result = calibrate_cpu(config);
   // 16x the data should take clearly more time (allowing generous noise).
@@ -39,21 +39,21 @@ TEST(CalibrateCpu, TimeRoughlyScalesWithSize) {
 
 TEST(CalibrateCpu, ParallelConfigRuns) {
   CpuCalibrationConfig config;
-  config.sizes_mb = {1, 4};
+  config.sizes_mb = {Megabytes{1}, Megabytes{4}};
   config.threads = 4;
   config.repetitions = 1;
   const CpuCalibrationResult result = calibrate_cpu(config);
   EXPECT_EQ(result.samples.size(), 2u);
-  for (const auto& s : result.samples) EXPECT_GT(s.seconds, 0.0);
+  for (const auto& s : result.samples) EXPECT_GT(s.seconds, Seconds{});
 }
 
 TEST(CalibrateCpu, RejectsBadConfig) {
   CpuCalibrationConfig config;
   config.sizes_mb = {};
   EXPECT_THROW(calibrate_cpu(config), InvalidArgument);
-  config.sizes_mb = {8, 4};  // not ascending
+  config.sizes_mb = {Megabytes{8}, Megabytes{4}};  // not ascending
   EXPECT_THROW(calibrate_cpu(config), InvalidArgument);
-  config.sizes_mb = {1};
+  config.sizes_mb = {Megabytes{1}};
   config.repetitions = 0;
   EXPECT_THROW(calibrate_cpu(config), InvalidArgument);
 }

@@ -17,9 +17,9 @@ namespace {
 
 // Relative jump |t(split) - t(split-eps)| / t(split).
 double relative_jump_at_split(const CpuPerfModel& m) {
-  const double split = m.split_mb();
-  const double below = m.seconds(std::nextafter(split, 0.0));
-  const double at = m.seconds(split);
+  const double split = m.split_mb().value();
+  const double below = m.seconds(Megabytes{std::nextafter(split, 0.0)}).value();
+  const double at = m.seconds(Megabytes{split}).value();
   return std::abs(at - below) / at;
 }
 
@@ -32,8 +32,8 @@ TEST(CpuModelContinuity, PaperPresetsNearlyMeetAt512MB) {
   // Both ranges evaluate to the same order of magnitude either way.
   for (const CpuPerfModel& m :
        {CpuPerfModel::paper_4t(), CpuPerfModel::paper_8t()}) {
-    const double below = m.seconds(511.0);
-    const double above = m.seconds(513.0);
+    const double below = m.seconds(Megabytes{511.0}).value();
+    const double above = m.seconds(Megabytes{513.0}).value();
     EXPECT_GT(above, 0.5 * below);
     EXPECT_LT(above, 2.0 * below);
   }
@@ -52,11 +52,12 @@ TEST(CpuModelContinuity, InterpolatedThreadCountsStayBounded) {
 TEST(CpuModelContinuity, BandwidthModelIsExactlyContinuous) {
   for (const double gb : {1.0, 5.5, 24.4}) {
     const CpuPerfModel m = CpuPerfModel::bandwidth_model(gb);
-    const double below = m.seconds(std::nextafter(m.split_mb(), 0.0));
-    const double at = m.seconds(m.split_mb());
+    const double below =
+        m.seconds(Megabytes{std::nextafter(m.split_mb().value(), 0.0)}).value();
+    const double at = m.seconds(m.split_mb()).value();
     // The only difference is Range B's fixed overhead intercept.
     EXPECT_NEAR(at - below, 0.002, 1e-9) << "gb=" << gb;
-    const CpuPerfModel flat = CpuPerfModel::bandwidth_model(gb, 0.0);
+    const CpuPerfModel flat = CpuPerfModel::bandwidth_model(gb, Seconds{0.0});
     EXPECT_NEAR(relative_jump_at_split(flat), 0.0, 1e-12) << "gb=" << gb;
   }
 }
@@ -68,11 +69,11 @@ TEST(CpuModelContinuity, FitSingleSideInheritanceIsContinuous) {
   std::vector<double> ax, ay, bx, by;
   for (double sc = 2.0; sc <= 256.0; sc *= 2.0) {
     ax.push_back(sc);
-    ay.push_back(truth.seconds(sc));
+    ay.push_back(truth.seconds(Megabytes{sc}).value());
   }
   for (double sc = 1024.0; sc <= 32768.0; sc *= 2.0) {
     bx.push_back(sc);
-    by.push_back(truth.seconds(sc));
+    by.push_back(truth.seconds(Megabytes{sc}).value());
   }
   for (const CpuPerfModel& fitted :
        {CpuPerfModel::fit(ax, ay), CpuPerfModel::fit(bx, by)}) {
@@ -82,12 +83,12 @@ TEST(CpuModelContinuity, FitSingleSideInheritanceIsContinuous) {
 
 TEST(CpuModelContinuity, CustomSplitMovesTheCrossover) {
   // The crossover is a parameter, not a constant baked into seconds().
-  const CpuPerfModel m({1e-4, 1.0, 1.0}, {1e-4, 0.0, 1.0}, 128.0);
-  EXPECT_EQ(m.split_mb(), 128.0);
+  const CpuPerfModel m({1e-4, 1.0, 1.0}, {1e-4, 0.0, 1.0}, Megabytes{128.0});
+  EXPECT_EQ(m.split_mb(), Megabytes{128.0});
   // With identical laws either side, every point is continuous.
   EXPECT_NEAR(relative_jump_at_split(m), 0.0, 1e-12);
-  EXPECT_NEAR(m.seconds(127.9), 1e-4 * 127.9, 1e-12);
-  EXPECT_NEAR(m.seconds(128.1), 1e-4 * 128.1, 1e-12);
+  EXPECT_NEAR(m.seconds(Megabytes{127.9}).value(), 1e-4 * 127.9, 1e-12);
+  EXPECT_NEAR(m.seconds(Megabytes{128.1}).value(), 1e-4 * 128.1, 1e-12);
 }
 
 }  // namespace

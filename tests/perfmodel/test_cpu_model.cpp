@@ -12,30 +12,30 @@ namespace {
 TEST(CpuModel, Paper4tMatchesEquation7) {
   const CpuPerfModel m = CpuPerfModel::paper_4t();
   // Range A: 1e-4 * SC^0.9341.
-  EXPECT_NEAR(m.seconds(100.0), 1e-4 * std::pow(100.0, 0.9341), 1e-12);
+  EXPECT_NEAR(m.seconds(Megabytes{100.0}).value(), 1e-4 * std::pow(100.0, 0.9341), 1e-12);
   // Range B: 5e-5 * SC + 0.0096.
-  EXPECT_NEAR(m.seconds(1024.0), 5e-5 * 1024.0 + 0.0096, 1e-12);
+  EXPECT_NEAR(m.seconds(Megabytes{1024.0}).value(), 5e-5 * 1024.0 + 0.0096, 1e-12);
 }
 
 TEST(CpuModel, Paper8tMatchesEquation10) {
   const CpuPerfModel m = CpuPerfModel::paper_8t();
-  EXPECT_NEAR(m.seconds(64.0), 6e-5 * std::pow(64.0, 0.984), 1e-12);
-  EXPECT_NEAR(m.seconds(8192.0), 4e-5 * 8192.0 + 0.0146, 1e-12);
+  EXPECT_NEAR(m.seconds(Megabytes{64.0}).value(), 6e-5 * std::pow(64.0, 0.984), 1e-12);
+  EXPECT_NEAR(m.seconds(Megabytes{8192.0}).value(), 4e-5 * 8192.0 + 0.0146, 1e-12);
 }
 
 TEST(CpuModel, SplitAt512MB) {
   const CpuPerfModel m = CpuPerfModel::paper_4t();
-  EXPECT_EQ(m.split_mb(), 512.0);
+  EXPECT_EQ(m.split_mb(), Megabytes{512.0});
   // Just below the split uses Range A; at/above uses Range B.
-  EXPECT_NEAR(m.seconds(511.9), 1e-4 * std::pow(511.9, 0.9341), 1e-12);
-  EXPECT_NEAR(m.seconds(512.0), 5e-5 * 512.0 + 0.0096, 1e-12);
+  EXPECT_NEAR(m.seconds(Megabytes{511.9}).value(), 1e-4 * std::pow(511.9, 0.9341), 1e-12);
+  EXPECT_NEAR(m.seconds(Megabytes{512.0}).value(), 5e-5 * 512.0 + 0.0096, 1e-12);
 }
 
 TEST(CpuModel, EightThreadsFasterThanFourAtLargeSizes) {
   const CpuPerfModel m4 = CpuPerfModel::paper_4t();
   const CpuPerfModel m8 = CpuPerfModel::paper_8t();
   for (double sc : {1024.0, 4096.0, 32768.0}) {
-    EXPECT_LT(m8.seconds(sc), m4.seconds(sc));
+    EXPECT_LT(m8.seconds(Megabytes{sc}).value(), m4.seconds(Megabytes{sc}).value());
   }
 }
 
@@ -45,7 +45,7 @@ TEST(CpuModel, MonotoneInSize) {
         CpuPerfModel::bandwidth_model(1.0)}) {
     double prev = 0.0;
     for (double sc = 1.0; sc < 40000.0; sc *= 2.0) {
-      const double t = m.seconds(sc);
+      const double t = m.seconds(Megabytes{sc}).value();
       EXPECT_GT(t, prev);
       prev = t;
     }
@@ -53,41 +53,41 @@ TEST(CpuModel, MonotoneInSize) {
 }
 
 TEST(CpuModel, ZeroSizeCostsNothing) {
-  EXPECT_EQ(CpuPerfModel::paper_4t().seconds(0.0), 0.0);
-  EXPECT_THROW(CpuPerfModel::paper_4t().seconds(-1.0), InvalidArgument);
+  EXPECT_EQ(CpuPerfModel::paper_4t().seconds(Megabytes{0.0}).value(), 0.0);
+  EXPECT_THROW(CpuPerfModel::paper_4t().seconds(Megabytes{-1.0}).value(), InvalidArgument);
 }
 
 TEST(CpuModel, BandwidthModelStreamsAtConfiguredRate) {
-  const CpuPerfModel m = CpuPerfModel::bandwidth_model(1.0, 0.0);
+  const CpuPerfModel m = CpuPerfModel::bandwidth_model(1.0, Seconds{0.0});
   // 1 GB/s: 1024 MB takes 1 s.
-  EXPECT_NEAR(m.seconds(1024.0), 1.0, 1e-9);
-  EXPECT_NEAR(m.gb_per_second(2048.0), 1.0, 1e-6);
+  EXPECT_NEAR(m.seconds(Megabytes{1024.0}).value(), 1.0, 1e-9);
+  EXPECT_NEAR(m.gb_per_second(Megabytes{2048.0}), 1.0, 1e-6);
 }
 
 TEST(CpuModel, ImpliedBandwidthMatchesFigure3Regime) {
   // §III-D: the parallel engine reaches 15-20+ GB/s for cubes >= 128 MB.
   const CpuPerfModel m8 = CpuPerfModel::paper_8t();
-  const double bw = m8.gb_per_second(1024.0);
+  const double bw = m8.gb_per_second(Megabytes{1024.0});
   EXPECT_GT(bw, 15.0);
   EXPECT_LT(bw, 30.0);
 }
 
 TEST(CpuModel, PaperForThreadsAnchors) {
-  EXPECT_NEAR(CpuPerfModel::paper_for_threads(4).seconds(100.0),
-              CpuPerfModel::paper_4t().seconds(100.0), 1e-15);
-  EXPECT_NEAR(CpuPerfModel::paper_for_threads(8).seconds(100.0),
-              CpuPerfModel::paper_8t().seconds(100.0), 1e-15);
+  EXPECT_NEAR(CpuPerfModel::paper_for_threads(4).seconds(Megabytes{100.0}).value(),
+              CpuPerfModel::paper_4t().seconds(Megabytes{100.0}).value(), 1e-15);
+  EXPECT_NEAR(CpuPerfModel::paper_for_threads(8).seconds(Megabytes{100.0}).value(),
+              CpuPerfModel::paper_8t().seconds(Megabytes{100.0}).value(), 1e-15);
   // 1 thread: the original ~1 GB/s engine.
-  EXPECT_NEAR(CpuPerfModel::paper_for_threads(1).gb_per_second(4096.0), 1.0,
+  EXPECT_NEAR(CpuPerfModel::paper_for_threads(1).gb_per_second(Megabytes{4096.0}), 1.0,
               0.05);
   EXPECT_THROW(CpuPerfModel::paper_for_threads(0), InvalidArgument);
 }
 
 TEST(CpuModel, InterpolatedThreadCountsBetweenAnchors) {
   // Monotone improvement with threads at a large size.
-  double prev = CpuPerfModel::paper_for_threads(1).seconds(4096.0);
+  double prev = CpuPerfModel::paper_for_threads(1).seconds(Megabytes{4096.0}).value();
   for (int t = 2; t <= 8; ++t) {
-    const double cur = CpuPerfModel::paper_for_threads(t).seconds(4096.0);
+    const double cur = CpuPerfModel::paper_for_threads(t).seconds(Megabytes{4096.0}).value();
     EXPECT_LT(cur, prev) << "threads " << t;
     prev = cur;
   }
@@ -98,12 +98,12 @@ TEST(CpuModelFit, RecoversPaperCoefficientsFromSyntheticSamples) {
   std::vector<double> xs, ys;
   for (double sc = 1.0; sc <= 32768.0; sc *= 2.0) {
     xs.push_back(sc);
-    ys.push_back(truth.seconds(sc));
+    ys.push_back(truth.seconds(Megabytes{sc}).value());
   }
   const CpuPerfModel fitted = CpuPerfModel::fit(xs, ys);
   for (double sc : {3.0, 100.0, 511.0, 600.0, 20000.0}) {
-    EXPECT_NEAR(fitted.seconds(sc), truth.seconds(sc),
-                0.02 * truth.seconds(sc))
+    EXPECT_NEAR(fitted.seconds(Megabytes{sc}).value(), truth.seconds(Megabytes{sc}).value(),
+                0.02 * truth.seconds(Megabytes{sc}).value())
         << "sc=" << sc;
   }
 }
@@ -113,18 +113,18 @@ TEST(CpuModelFit, RangeAOnlySamplesExtendContinuously) {
   std::vector<double> xs, ys;
   for (double sc = 1.0; sc <= 256.0; sc *= 2.0) {
     xs.push_back(sc);
-    ys.push_back(truth.seconds(sc));
+    ys.push_back(truth.seconds(Megabytes{sc}).value());
   }
   const CpuPerfModel fitted = CpuPerfModel::fit(xs, ys);
   // Range A reproduced...
-  EXPECT_NEAR(fitted.seconds(100.0), truth.seconds(100.0),
-              0.01 * truth.seconds(100.0));
+  EXPECT_NEAR(fitted.seconds(Megabytes{100.0}).value(), truth.seconds(Megabytes{100.0}).value(),
+              0.01 * truth.seconds(Megabytes{100.0}).value());
   // ...and Range B extrapolates continuously (no jump at the split).
-  EXPECT_NEAR(fitted.seconds(512.0), fitted.seconds(511.999), 1e-6);
-  double prev = fitted.seconds(512.0);
+  EXPECT_NEAR(fitted.seconds(Megabytes{512.0}).value(), fitted.seconds(Megabytes{511.999}).value(), 1e-6);
+  double prev = fitted.seconds(Megabytes{512.0}).value();
   for (double sc = 1024.0; sc <= 8192.0; sc *= 2.0) {
-    EXPECT_GT(fitted.seconds(sc), prev);
-    prev = fitted.seconds(sc);
+    EXPECT_GT(fitted.seconds(Megabytes{sc}).value(), prev);
+    prev = fitted.seconds(Megabytes{sc}).value();
   }
 }
 
@@ -133,12 +133,12 @@ TEST(CpuModelFit, RangeBOnlySamplesExtendContinuously) {
   std::vector<double> xs, ys;
   for (double sc = 1024.0; sc <= 32768.0; sc *= 2.0) {
     xs.push_back(sc);
-    ys.push_back(truth.seconds(sc));
+    ys.push_back(truth.seconds(Megabytes{sc}).value());
   }
   const CpuPerfModel fitted = CpuPerfModel::fit(xs, ys);
-  EXPECT_NEAR(fitted.seconds(2048.0), truth.seconds(2048.0),
-              0.01 * truth.seconds(2048.0));
-  EXPECT_GT(fitted.seconds(100.0), 0.0);
+  EXPECT_NEAR(fitted.seconds(Megabytes{2048.0}).value(), truth.seconds(Megabytes{2048.0}).value(),
+              0.01 * truth.seconds(Megabytes{2048.0}).value());
+  EXPECT_GT(fitted.seconds(Megabytes{100.0}).value(), 0.0);
 }
 
 TEST(CpuModelFit, RejectsInsufficientSamples) {

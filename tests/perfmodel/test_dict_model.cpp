@@ -11,22 +11,24 @@ TEST(DictModel, PaperConstantEquation17) {
   const DictPerfModel m = DictPerfModel::paper();
   EXPECT_DOUBLE_EQ(m.seconds_per_entry(), 0.0138e-6);
   // A 1M-entry dictionary costs 13.8 ms per search.
-  EXPECT_NEAR(m.search_seconds(1'000'000), 0.0138, 1e-9);
+  EXPECT_NEAR(m.search_seconds(1'000'000).value(), 0.0138, 1e-9);
 }
 
 TEST(DictModel, LinearInLength) {
   const DictPerfModel m = DictPerfModel::paper();
-  EXPECT_DOUBLE_EQ(m.search_seconds(0), 0.0);
-  EXPECT_DOUBLE_EQ(m.search_seconds(2000), 2.0 * m.search_seconds(1000));
+  EXPECT_DOUBLE_EQ(m.search_seconds(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.search_seconds(2000).value(),
+                   2.0 * m.search_seconds(1000).value());
 }
 
 TEST(DictModel, TranslationSumsOverParameters) {
   // Eq. (18): the upper bound sums P_DICT over every text parameter.
   const DictPerfModel m = DictPerfModel::paper();
   const std::vector<std::size_t> lengths{1000, 5000, 1000};
-  EXPECT_NEAR(m.translation_seconds(lengths),
-              m.search_seconds(1000) * 2 + m.search_seconds(5000), 1e-15);
-  EXPECT_EQ(m.translation_seconds({}), 0.0);
+  EXPECT_NEAR(m.translation_seconds(lengths).value(),
+              (m.search_seconds(1000) * 2.0 + m.search_seconds(5000)).value(),
+              1e-15);
+  EXPECT_EQ(m.translation_seconds({}), Seconds{});
 }
 
 TEST(DictModel, FitRecoversSlope) {

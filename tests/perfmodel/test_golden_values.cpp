@@ -1,0 +1,51 @@
+// Bit-exact goldens for the published CPU cost model (eqs. 7 and 10).
+//
+// These values were captured (as hexfloats, so the doubles round-trip
+// exactly) from the model when `Seconds`/`Megabytes` were still plain
+// double aliases. The strong-typed wrappers must reproduce them bit for
+// bit: every Quantity operation is defined as the corresponding IEEE
+// double operation, so the retype is purely a compile-time change. Any
+// drift here means an arithmetic path was reordered, not just retyped.
+#include <gtest/gtest.h>
+
+#include "perfmodel/cpu_model.hpp"
+
+namespace holap {
+namespace {
+
+struct Golden {
+  double size_mb;
+  double paper_4t_seconds;  // eq. 7 family (4-thread published law)
+  double paper_8t_seconds;  // eq. 10 family (8-thread published law)
+};
+
+// Sizes straddle both power-law regimes and the 512 MB crossover itself
+// (511/512/513), where a reordered branch would show first.
+constexpr Golden kGoldens[] = {
+    {0x1p-2, 0x1.cb8d950c1135bp-16, 0x1.014d74dea0464p-16},
+    {0x1p+0, 0x1.a36e2eb1c432dp-14, 0x1.f75104d551d69p-15},
+    {0x1.ep+2, 0x1.585267ea1e6a4p-11, 0x1.c8e3c8d89f592p-12},
+    {0x1p+6, 0x1.3ee249bef24cdp-8, 0x1.d6ea2b73dc6f7p-9},
+    {0x1.9p+6, 0x1.e3d0cfc5047f3p-8, 0x1.6d48d18077306p-8},
+    {0x1.ffp+8, 0x1.158a4af24dc5p-5, 0x1.c6a11540f1927p-6},
+    {0x1p+9, 0x1.205bc01a36e2fp-5, 0x1.1f601797cc3ap-5},
+    {0x1.008p+9, 0x1.20c49ba5e354p-5, 0x1.1fb3fa6defc7ap-5},
+    {0x1p+10, 0x1.f212d77318fc5p-5, 0x1.c725c3dee7819p-5},
+    {0x1p+12, 0x1.b71758e219653p-3, 0x1.6d71f36262cbbp-3},
+    {0x1p+14, 0x1.a858793dd97f7p-1, 0x1.5704ff43419e3p-1},
+};
+
+TEST(CpuModelGoldens, Equation7And10OutputsAreBitIdentical) {
+  const CpuPerfModel m4 = CpuPerfModel::paper_4t();
+  const CpuPerfModel m8 = CpuPerfModel::paper_8t();
+  for (const Golden& g : kGoldens) {
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: zero ULPs of tolerance.
+    EXPECT_EQ(m4.seconds(Megabytes{g.size_mb}).value(), g.paper_4t_seconds)
+        << "paper_4t at " << g.size_mb << " MB";
+    EXPECT_EQ(m8.seconds(Megabytes{g.size_mb}).value(), g.paper_8t_seconds)
+        << "paper_8t at " << g.size_mb << " MB";
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -24,21 +24,21 @@ TEST(GpuModel, PublishedConstantsEquation14And15) {
 
 TEST(GpuModel, LinearInColumnFraction) {
   const GpuPerfModel m = GpuPerfModel::paper_c2070(2);
-  EXPECT_DOUBLE_EQ(m.seconds(0.0), 0.013);
-  EXPECT_DOUBLE_EQ(m.seconds(1.0), 0.0145);
-  EXPECT_DOUBLE_EQ(m.seconds(0.5), 0.013 + 0.00075);
+  EXPECT_DOUBLE_EQ(m.seconds(0.0).value(), 0.013);
+  EXPECT_DOUBLE_EQ(m.seconds(1.0).value(), 0.0145);
+  EXPECT_DOUBLE_EQ(m.seconds(0.5).value(), 0.013 + 0.00075);
 }
 
 TEST(GpuModel, FractionOutOfRangeRejected) {
   const GpuPerfModel m = GpuPerfModel::paper_c2070(1);
-  EXPECT_THROW(m.seconds(-0.1), InvalidArgument);
-  EXPECT_THROW(m.seconds(1.1), InvalidArgument);
+  EXPECT_THROW(m.seconds(-0.1).value(), InvalidArgument);
+  EXPECT_THROW(m.seconds(1.1).value(), InvalidArgument);
 }
 
 TEST(GpuModel, MoreSMsAreFaster) {
-  double prev = GpuPerfModel::paper_c2070(1).seconds(0.5);
+  double prev = GpuPerfModel::paper_c2070(1).seconds(0.5).value();
   for (int sms : {2, 3, 4, 7, 14}) {
-    const double cur = GpuPerfModel::paper_c2070(sms).seconds(0.5);
+    const double cur = GpuPerfModel::paper_c2070(sms).seconds(0.5).value();
     EXPECT_LT(cur, prev) << sms << " SMs";
     prev = cur;
   }
@@ -47,9 +47,9 @@ TEST(GpuModel, MoreSMsAreFaster) {
 TEST(GpuModel, UnpublishedSizesFollowInverseScaling) {
   // The published rows scale almost exactly as 1/n; interpolated sizes
   // must sit between their published neighbours.
-  const double t2 = GpuPerfModel::paper_c2070(2).seconds(0.5);
-  const double t3 = GpuPerfModel::paper_c2070(3).seconds(0.5);
-  const double t4 = GpuPerfModel::paper_c2070(4).seconds(0.5);
+  const double t2 = GpuPerfModel::paper_c2070(2).seconds(0.5).value();
+  const double t3 = GpuPerfModel::paper_c2070(3).seconds(0.5).value();
+  const double t4 = GpuPerfModel::paper_c2070(4).seconds(0.5).value();
   EXPECT_LT(t3, t2);
   EXPECT_GT(t3, t4);
 }
@@ -62,10 +62,10 @@ TEST(GpuModel, InvalidPartitionSizesRejected) {
 TEST(GpuModel, TableSizeScalesBothCoefficients) {
   // Half the table, half the scan time (the scan streams whole columns).
   const GpuPerfModel base = GpuPerfModel::paper_c2070(4);
-  const GpuPerfModel half = GpuPerfModel::paper_c2070_scaled(4, 2048.0);
-  EXPECT_NEAR(half.seconds(0.6), base.seconds(0.6) / 2.0, 1e-12);
-  const GpuPerfModel same = GpuPerfModel::paper_c2070_scaled(4, 4096.0);
-  EXPECT_DOUBLE_EQ(same.seconds(0.3), base.seconds(0.3));
+  const GpuPerfModel half = GpuPerfModel::paper_c2070_scaled(4, Megabytes{2048.0});
+  EXPECT_NEAR(half.seconds(0.6).value(), base.seconds(0.6).value() / 2.0, 1e-12);
+  const GpuPerfModel same = GpuPerfModel::paper_c2070_scaled(4, Megabytes{4096.0});
+  EXPECT_DOUBLE_EQ(same.seconds(0.3).value(), base.seconds(0.3).value());
 }
 
 TEST(GpuModelFit, RecoversCoefficients) {
@@ -73,7 +73,7 @@ TEST(GpuModelFit, RecoversCoefficients) {
   std::vector<double> xs, ys;
   for (double f = 0.1; f <= 1.0; f += 0.1) {
     xs.push_back(f);
-    ys.push_back(truth.seconds(f));
+    ys.push_back(truth.seconds(f).value());
   }
   const GpuPerfModel fitted = GpuPerfModel::fit(xs, ys);
   EXPECT_NEAR(fitted.a(), truth.a(), 1e-9);

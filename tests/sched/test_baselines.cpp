@@ -19,7 +19,7 @@ struct Fixture {
   SchedulerConfig config;
 
   CostEstimator estimator() const {
-    return make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+    return make_paper_estimator(config.gpu_partitions, 8, Megabytes{4096.0}, 16,
                                 &catalog, &translation);
   }
   std::unique_ptr<SchedulerPolicy> policy(const std::string& name) const {
@@ -50,7 +50,7 @@ TEST(Met, AlwaysPicksMinimalExecutionTimeIgnoringLoad) {
   // regardless of its backlog — the policy's defining flaw.
   std::set<int> kinds;
   for (int i = 0; i < 50; ++i) {
-    const Placement p = met->schedule(cheap_query(), 0.0);
+    const Placement p = met->schedule(cheap_query(), Seconds{});
     kinds.insert(p.queue.kind == QueueRef::kCpu ? -1 : p.queue.index);
   }
   EXPECT_EQ(kinds.size(), 1u);
@@ -60,7 +60,7 @@ TEST(Met, AlwaysPicksMinimalExecutionTimeIgnoringLoad) {
 TEST(Met, GpuHeavyQueryGoesToFastestPartition) {
   Fixture f;
   auto met = f.policy("MET");
-  const Placement p = met->schedule(gpu_heavy_query(), 0.0);
+  const Placement p = met->schedule(gpu_heavy_query(), Seconds{});
   ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
   EXPECT_GE(p.queue.index, 4);  // a 4-SM queue
 }
@@ -70,7 +70,7 @@ TEST(Mct, SpreadsLoadAcrossEquivalentQueues) {
   auto mct = f.policy("MCT");
   std::set<int> used;
   for (int i = 0; i < 12; ++i) {
-    const Placement p = mct->schedule(gpu_heavy_query(), 0.0);
+    const Placement p = mct->schedule(gpu_heavy_query(), Seconds{});
     ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
     used.insert(p.queue.index);
   }
@@ -81,8 +81,8 @@ TEST(Mct, SpreadsLoadAcrossEquivalentQueues) {
 TEST(Mct, PicksEarliestCompletion) {
   Fixture f;
   auto mct = f.policy("MCT");
-  const Placement first = mct->schedule(gpu_heavy_query(), 0.0);
-  const Placement second = mct->schedule(gpu_heavy_query(), 0.0);
+  const Placement first = mct->schedule(gpu_heavy_query(), Seconds{});
+  const Placement second = mct->schedule(gpu_heavy_query(), Seconds{});
   // Two equal queries: the second must not queue behind the first when an
   // equally fast empty queue exists.
   EXPECT_NE(first.queue.index, second.queue.index);
@@ -93,7 +93,7 @@ TEST(RoundRobin, CyclesThroughCandidates) {
   auto rr = f.policy("round-robin");
   std::vector<int> order;
   for (int i = 0; i < 14; ++i) {
-    const Placement p = rr->schedule(cheap_query(), 0.0);
+    const Placement p = rr->schedule(cheap_query(), Seconds{});
     order.push_back(p.queue.kind == QueueRef::kCpu ? -1 : p.queue.index);
   }
   // 7 candidates (CPU + 6 GPU queues): a full cycle repeats.
@@ -107,10 +107,10 @@ TEST(RoundRobin, SkipsCpuWhenItCannotAnswer) {
   VirtualCubeCatalog small(f.dims, {0});
   auto rr = make_policy("round-robin", f.config,
                         make_paper_estimator(f.config.gpu_partitions, 8,
-                                             4096.0, 16, &small,
+                                             Megabytes{4096.0}, 16, &small,
                                              &f.translation));
   for (int i = 0; i < 12; ++i) {
-    const Placement p = rr->schedule(gpu_heavy_query(), 0.0);
+    const Placement p = rr->schedule(gpu_heavy_query(), Seconds{});
     EXPECT_EQ(p.queue.kind, QueueRef::kGpu);
   }
 }
@@ -121,7 +121,7 @@ TEST(PolicyFactory, KnownNamesAndUnknownRejected) {
     const auto p = f.policy(name);
     EXPECT_STREQ(p->name(), name);
     EXPECT_EQ(p->gpu_queue_count(), 6);
-    EXPECT_DOUBLE_EQ(p->deadline(), f.config.deadline);
+    EXPECT_DOUBLE_EQ(p->deadline().value(), f.config.deadline.value());
   }
   EXPECT_THROW(f.policy("nonsense"), InvalidArgument);
 }
@@ -132,7 +132,7 @@ TEST(Policies, AllPlaceEveryQuerySomewhere) {
     auto policy = f.policy(name);
     for (int i = 0; i < 30; ++i) {
       const Placement p = policy->schedule(
-          i % 2 ? cheap_query() : gpu_heavy_query(), 0.01 * i);
+          i % 2 ? cheap_query() : gpu_heavy_query(), Seconds{0.01 * i});
       EXPECT_FALSE(p.rejected) << name;
     }
   }

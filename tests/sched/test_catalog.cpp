@@ -35,7 +35,8 @@ TEST(VirtualCatalog, AnswerMbMatchesSubcubeBytes) {
   const Query q = level_query(2, 0, 99);  // 100 of 400 members at level 2
   const double expected_bytes =
       static_cast<double>(subcube_bytes(q, dims(), 2, 8));
-  EXPECT_NEAR(cat.answer_mb(q), expected_bytes / (1024.0 * 1024.0), 1e-9);
+  EXPECT_NEAR(cat.answer_mb(q).value(), expected_bytes / (1024.0 * 1024.0),
+              1e-9);
 }
 
 TEST(VirtualCatalog, ThirtyTwoGigabyteCubeIsJustANumber) {
@@ -43,7 +44,7 @@ TEST(VirtualCatalog, ThirtyTwoGigabyteCubeIsJustANumber) {
   // allocating it. A full-extent level-3 query touches the entire cube.
   const VirtualCubeCatalog cat(dims(), {3});
   const Query q = level_query(3, 0, 1599);
-  EXPECT_NEAR(cat.answer_mb(q), 32768.0 * 0.953674, 40.0);  // ~31.25 GiB
+  EXPECT_NEAR(cat.answer_mb(q).value(), 32768.0 * 0.953674, 40.0);  // ~31.25 GiB
   EXPECT_EQ(cat.total_bytes(), 32'768'000'000u);
 }
 

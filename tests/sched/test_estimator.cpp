@@ -16,7 +16,7 @@ struct Fixture {
   VirtualTranslationModel translation{schema, 1.0};
 
   CostEstimator estimator(int threads = 8) const {
-    return make_paper_estimator({1, 1, 2, 2, 4, 4}, threads, 4096.0, 16,
+    return make_paper_estimator({1, 1, 2, 2, 4, 4}, threads, Megabytes{4096.0}, 16,
                                 &catalog, &translation);
   }
 };
@@ -34,15 +34,16 @@ TEST(Estimator, CpuEstimateUsesPaperModel) {
   const Query q = level_query(2, 0, 199);  // half of level 2 in dim 0
   const CostEstimate e = est.estimate(q);
   ASSERT_TRUE(e.cpu.has_value());
-  EXPECT_NEAR(*e.cpu, CpuPerfModel::paper_8t().seconds(e.subcube_mb), 1e-15);
-  EXPECT_GT(e.subcube_mb, 0.0);
+  EXPECT_NEAR(e.cpu->value(),
+              CpuPerfModel::paper_8t().seconds(e.subcube_mb).value(), 1e-15);
+  EXPECT_GT(e.subcube_mb, Megabytes{});
 }
 
 TEST(Estimator, CpuAbsentWhenNoCubeCovers) {
   Fixture f;
   VirtualCubeCatalog small(f.dims, {0, 1});
   const CostEstimator est = make_paper_estimator(
-      {1, 1, 2, 2, 4, 4}, 8, 4096.0, 16, &small, &f.translation);
+      {1, 1, 2, 2, 4, 4}, 8, Megabytes{4096.0}, 16, &small, &f.translation);
   const CostEstimate e = est.estimate(level_query(3, 0, 10));
   EXPECT_FALSE(e.cpu.has_value());
 }
@@ -55,16 +56,16 @@ TEST(Estimator, GpuEstimatesPerQueueFollowEquation14) {
   ASSERT_EQ(e.gpu.size(), 6u);
   // Column fraction: 1 condition + 1 measure of 16 columns.
   EXPECT_NEAR(e.column_fraction, 2.0 / 16.0, 1e-12);
-  EXPECT_NEAR(e.gpu[0],
-              GpuPerfModel::paper_c2070(1).seconds(e.column_fraction),
+  EXPECT_NEAR(e.gpu[0].value(),
+              GpuPerfModel::paper_c2070(1).seconds(e.column_fraction).value(),
               1e-15);
-  EXPECT_NEAR(e.gpu[5],
-              GpuPerfModel::paper_c2070(4).seconds(e.column_fraction),
+  EXPECT_NEAR(e.gpu[5].value(),
+              GpuPerfModel::paper_c2070(4).seconds(e.column_fraction).value(),
               1e-15);
   // Queue pairs share a model class: the paper's j = ceil(i/2) mapping.
-  EXPECT_DOUBLE_EQ(e.gpu[0], e.gpu[1]);
-  EXPECT_DOUBLE_EQ(e.gpu[2], e.gpu[3]);
-  EXPECT_DOUBLE_EQ(e.gpu[4], e.gpu[5]);
+  EXPECT_DOUBLE_EQ(e.gpu[0].value(), e.gpu[1].value());
+  EXPECT_DOUBLE_EQ(e.gpu[2].value(), e.gpu[3].value());
+  EXPECT_DOUBLE_EQ(e.gpu[4].value(), e.gpu[5].value());
   EXPECT_GT(e.gpu[0], e.gpu[2]);
   EXPECT_GT(e.gpu[2], e.gpu[4]);
 }
@@ -80,20 +81,20 @@ TEST(Estimator, TranslationTimeFollowsEquation18) {
   q.conditions.push_back(text);
   const CostEstimate e = est.estimate(q);
   EXPECT_TRUE(e.needs_translation);
-  EXPECT_NEAR(e.translation, 3 * 0.0138e-6 * 1600.0, 1e-12);
+  EXPECT_NEAR(e.translation.value(), 3 * 0.0138e-6 * 1600.0, 1e-12);
 }
 
 TEST(Estimator, NoTextMeansNoTranslation) {
   Fixture f;
   const CostEstimate e = f.estimator().estimate(level_query(0, 0, 1));
   EXPECT_FALSE(e.needs_translation);
-  EXPECT_EQ(e.translation, 0.0);
+  EXPECT_EQ(e.translation, Seconds{});
 }
 
 TEST(Estimator, ColumnFractionCapsAtOne) {
   Fixture f;
   const CostEstimator est = make_paper_estimator(
-      {1}, 8, 4096.0, 2 /* tiny C_TOTAL */, &f.catalog, &f.translation);
+      {1}, 8, Megabytes{4096.0}, 2 /* tiny C_TOTAL */, &f.catalog, &f.translation);
   Query q = level_query(1, 0, 3);
   q.conditions.push_back({1, 1, 0, 3, {}, {}});
   q.measures = {12, 13};
@@ -129,29 +130,30 @@ TEST(Estimator, TranslationCostingModes) {
   q.conditions.push_back(b);
 
   // Paper semantics: one full scan per parameter (3 scans of 1600).
-  const double per_param = est.estimate(q).translation;
+  const double per_param = est.estimate(q).translation.value();
   EXPECT_NEAR(per_param, 3 * 0.0138e-6 * 1600.0, 1e-12);
 
   // Batch: one pass per DISTINCT column (2 scans of 1600).
   est.set_translation_costing(TranslationCosting::kBatchPerColumn);
-  EXPECT_NEAR(est.estimate(q).translation, 2 * 0.0138e-6 * 1600.0, 1e-12);
+  EXPECT_NEAR(est.estimate(q).translation.value(),
+              2 * 0.0138e-6 * 1600.0, 1e-12);
 
   // Hashed: a constant per parameter, independent of dictionary size.
-  est.set_translation_costing(TranslationCosting::kHashed, 1e-7);
-  EXPECT_NEAR(est.estimate(q).translation, 3e-7, 1e-15);
+  est.set_translation_costing(TranslationCosting::kHashed, Seconds{1e-7});
+  EXPECT_NEAR(est.estimate(q).translation.value(), 3e-7, 1e-15);
 
-  EXPECT_THROW(est.set_translation_costing(TranslationCosting::kHashed, 0.0),
+  EXPECT_THROW(est.set_translation_costing(TranslationCosting::kHashed, Seconds{0.0}),
                InvalidArgument);
 }
 
 TEST(Estimator, ValidatesConstruction) {
   Fixture f;
-  EXPECT_THROW(make_paper_estimator({1}, 8, 4096.0, 16, nullptr,
+  EXPECT_THROW(make_paper_estimator({1}, 8, Megabytes{4096.0}, 16, nullptr,
                                     &f.translation),
                InvalidArgument);
-  EXPECT_THROW(make_paper_estimator({1}, 8, 4096.0, 16, &f.catalog, nullptr),
+  EXPECT_THROW(make_paper_estimator({1}, 8, Megabytes{4096.0}, 16, &f.catalog, nullptr),
                InvalidArgument);
-  EXPECT_THROW(make_paper_estimator({1}, 8, 4096.0, 0, &f.catalog,
+  EXPECT_THROW(make_paper_estimator({1}, 8, Megabytes{4096.0}, 0, &f.catalog,
                                     &f.translation),
                InvalidArgument);
 }

@@ -34,25 +34,25 @@ struct PropertyWorld {
     SplitMix64 rng(seed);
     // Deadlines spanning "everything feasible" to "almost nothing is":
     // the property only bites when feasibility is actually contested.
-    config.deadline = rng.uniform_real(0.005, 0.2);
+    config.deadline = Seconds{rng.uniform_real(0.005, 0.2)};
     config.feedback = rng.bernoulli(0.5);
     // Keep dispatch unmodeled so the oracle can be rebuilt from the
     // exposed cpu/translation/gpu clocks alone.
-    config.modeled_gpu_dispatch = 0.0;
+    config.modeled_gpu_dispatch = Seconds{0.0};
     workload.seed = rng.next();
     workload.text_probability = rng.uniform_real(0.0, 1.0);
     workload.mean_selectivity = rng.uniform_real(0.05, 0.9);
   }
 
   CostEstimator estimator() const {
-    return make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+    return make_paper_estimator(config.gpu_partitions, 8, Megabytes{4096.0}, 16,
                                 &catalog, &translation);
   }
 };
 
 struct OracleResponse {
   QueueRef ref;
-  Seconds response = 0.0;
+  Seconds response{};
   bool feasible = false;
 };
 
@@ -65,21 +65,21 @@ std::vector<OracleResponse> oracle_responses(const QueueingScheduler& sched,
     OracleResponse r;
     r.ref = {QueueRef::kCpu, 0};
     r.response = std::max(sched.cpu_clock(), now) + *est.cpu;
-    r.feasible = deadline - r.response > 0.0;
+    r.feasible = (deadline - r.response).value() > 0.0;
     out.push_back(r);
   }
   if (sched.config().enable_gpu) {
     const Seconds trans_done =
         est.needs_translation
-            ? std::max(sched.translation_clock(), now) + est.translation
-            : 0.0;
+            ? max(sched.translation_clock(), now) + est.translation
+            : Seconds{};
     for (int g = 0; g < sched.gpu_queue_count(); ++g) {
       OracleResponse r;
       r.ref = {QueueRef::kGpu, g};
       Seconds ready = std::max(sched.gpu_clock(g), now);
       if (est.needs_translation) ready = std::max(ready, trans_done);
       r.response = ready + est.gpu[static_cast<std::size_t>(g)];
-      r.feasible = deadline - r.response > 0.0;
+      r.feasible = (deadline - r.response).value() > 0.0;
       out.push_back(r);
     }
   }
@@ -96,10 +96,10 @@ TEST_P(FigureTenProperty, NeverMissesWhenAFeasiblePartitionExists) {
   QueryGenerator gen(world.dims, world.schema, world.workload);
 
   SplitMix64 arrivals(seed * 31 + 7);
-  Seconds now = 0.0;
+  Seconds now{};
   int contested = 0;  // steps where feasibility was neither all nor none
   for (int i = 0; i < 200; ++i) {
-    now += arrivals.exponential(150.0);
+    now += Seconds{arrivals.exponential(150.0)};
     const Query q = gen.next();
     const CostEstimate est = oracle_est.estimate(q);
     const Seconds deadline = now + world.config.deadline;
@@ -112,7 +112,7 @@ TEST_P(FigureTenProperty, NeverMissesWhenAFeasiblePartitionExists) {
         oracle.begin(), oracle.end(),
         [&](const OracleResponse& r) { return r.ref == p.queue; });
     ASSERT_NE(chosen, oracle.end());
-    EXPECT_NEAR(chosen->response, p.response_est, 1e-9);
+    EXPECT_NEAR(chosen->response.value(), p.response_est.value(), 1e-9);
 
     const bool any_feasible = std::any_of(
         oracle.begin(), oracle.end(),
@@ -132,8 +132,8 @@ TEST_P(FigureTenProperty, NeverMissesWhenAFeasiblePartitionExists) {
     } else {
       // Step 6: among an all-miss field, the pick minimises |T_D - T_R|.
       for (const auto& r : oracle) {
-        EXPECT_LE(std::abs(deadline - chosen->response),
-                  std::abs(deadline - r.response) + 1e-9)
+        EXPECT_LE(abs(deadline - chosen->response).value(),
+                  abs(deadline - r.response).value() + 1e-9)
             << "query " << i;
       }
     }
@@ -148,7 +148,7 @@ TEST_P(FigureTenProperty, NeverMissesWhenAFeasiblePartitionExists) {
   }
   // The sweep must actually exercise contested feasibility, not just
   // trivially-feasible or trivially-hopeless regimes.
-  if (world.config.deadline < 0.1) {
+  if (world.config.deadline < Seconds{0.1}) {
     EXPECT_GT(contested, 0) << "deadline=" << world.config.deadline;
   }
 }

@@ -41,14 +41,14 @@ struct FuzzWorld {
       budget -= sms;
       if (rng.bernoulli(0.25)) break;
     }
-    config.deadline = rng.uniform_real(0.01, 0.5);
+    config.deadline = Seconds{rng.uniform_real(0.01, 0.5)};
     config.enable_cpu = rng.bernoulli(0.8);
     config.enable_gpu = !config.enable_cpu || rng.bernoulli(0.8);
     if (!config.enable_gpu) config.gpu_partitions.clear();
     config.feedback = rng.bernoulli(0.5);
     config.prefer_fastest_feasible_gpu = rng.bernoulli(0.2);
     if (rng.bernoulli(0.3)) {
-      config.modeled_gpu_dispatch = rng.uniform_real(0.001, 0.02);
+      config.modeled_gpu_dispatch = Seconds{rng.uniform_real(0.001, 0.02)};
     }
 
     workload.seed = rng.next();
@@ -67,7 +67,7 @@ struct FuzzWorld {
   }
 
   CostEstimator estimator() const {
-    return make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+    return make_paper_estimator(config.gpu_partitions, 8, Megabytes{4096.0}, 16,
                                 &catalog, &translation);
   }
 };
@@ -83,14 +83,14 @@ TEST_P(SchedulerFuzz, InvariantsHoldOnRandomWorkloads) {
   QueryGenerator gen(world.dims, world.schema, world.workload);
 
   SplitMix64 arrivals(seed + 5);
-  Seconds now = 0.0;
-  Seconds prev_cpu = 0.0, prev_trans = 0.0;
-  std::vector<Seconds> prev_gpu(world.config.gpu_partitions.size(), 0.0);
+  Seconds now{};
+  Seconds prev_cpu{}, prev_trans{};
+  std::vector<Seconds> prev_gpu(world.config.gpu_partitions.size(), Seconds{});
   auto* queueing = dynamic_cast<QueueingScheduler*>(policy.get());
   ASSERT_NE(queueing, nullptr);
 
   for (int i = 0; i < 120; ++i) {
-    now += arrivals.exponential(100.0);
+    now += Seconds{arrivals.exponential(100.0)};
     const Query q = gen.next();
     const Placement p = policy->schedule(q, now);
 
@@ -113,19 +113,22 @@ TEST_P(SchedulerFuzz, InvariantsHoldOnRandomWorkloads) {
       EXPECT_EQ(p.translate, q.needs_translation());
     }
     // Response geometry.
-    EXPECT_GE(p.processing_est, 0.0);
-    EXPECT_GE(p.response_est, now + p.processing_est - 1e-12);
+    EXPECT_GE(p.processing_est, Seconds{});
+    EXPECT_GE(p.response_est.value(),
+              (now + p.processing_est).value() - 1e-12);
     EXPECT_EQ(p.before_deadline,
-              now + world.config.deadline - p.response_est > 0.0);
+              (now + world.config.deadline - p.response_est).value() > 0.0);
 
     // Clocks never run backwards.
-    EXPECT_GE(queueing->cpu_clock(), prev_cpu - 1e-12);
-    EXPECT_GE(queueing->translation_clock(), prev_trans - 1e-12);
+    EXPECT_GE(queueing->cpu_clock().value(), prev_cpu.value() - 1e-12);
+    EXPECT_GE(queueing->translation_clock().value(),
+              prev_trans.value() - 1e-12);
     prev_cpu = queueing->cpu_clock();
     prev_trans = queueing->translation_clock();
     for (std::size_t g = 0; g < prev_gpu.size(); ++g) {
       const Seconds clock = queueing->gpu_clock(static_cast<int>(g));
-      EXPECT_GE(clock, prev_gpu[g] - 1e-12) << "gpu queue " << g;
+      EXPECT_GE(clock.value(), prev_gpu[g].value() - 1e-12)
+          << "gpu queue " << g;
       prev_gpu[g] = clock;
     }
 
@@ -133,7 +136,7 @@ TEST_P(SchedulerFuzz, InvariantsHoldOnRandomWorkloads) {
     if (i % 7 == 0) {
       policy->on_completed(p.queue, p.processing_est,
                            p.processing_est * 1.1);
-      EXPECT_GE(queueing->cpu_clock(), prev_cpu - 1e-12);
+      EXPECT_GE(queueing->cpu_clock().value(), prev_cpu.value() - 1e-12);
       prev_cpu = queueing->cpu_clock();
       for (std::size_t g = 0; g < prev_gpu.size(); ++g) {
         prev_gpu[g] = std::min(prev_gpu[g],

@@ -23,18 +23,18 @@ struct Fixture {
   SchedulerConfig config;
 
   Fixture() {
-    config.deadline = 0.25;
+    config.deadline = Seconds{0.25};
   }
 
   FigureTenScheduler scheduler() const {
     return FigureTenScheduler(
-        config, make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+        config, make_paper_estimator(config.gpu_partitions, 8, Megabytes{4096.0}, 16,
                                      &catalog, &translation));
   }
 
   FigureTenScheduler scheduler_no32() const {
     return FigureTenScheduler(
-        config, make_paper_estimator(config.gpu_partitions, 8, 4096.0, 16,
+        config, make_paper_estimator(config.gpu_partitions, 8, Megabytes{4096.0}, 16,
                                      &catalog_no32, &translation));
   }
 };
@@ -83,24 +83,24 @@ TEST(Figure10, CheapQueriesPreferTheCpu) {
   // Step 5 first branch: CPU in P_BD and T_CPU < T_GPU3.
   Fixture f;
   auto sched = f.scheduler();
-  const Placement p = sched.schedule(cheap_cpu_query(), 0.0);
+  const Placement p = sched.schedule(cheap_cpu_query(), Seconds{});
   EXPECT_FALSE(p.rejected);
   EXPECT_EQ(p.queue.kind, QueueRef::kCpu);
   EXPECT_TRUE(p.before_deadline);
   EXPECT_FALSE(p.translate);
-  EXPECT_GT(sched.cpu_clock(), 0.0);
+  EXPECT_GT(sched.cpu_clock(), Seconds{});
 }
 
 TEST(Figure10, ExpensiveQueriesGoToTheSlowestFeasibleGpuQueue) {
   // Step 5 ELSE branch: iterate slow -> fast, take the first feasible.
   Fixture f;
   auto sched = f.scheduler();
-  const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+  const Placement p = sched.schedule(expensive_cpu_query(), Seconds{});
   EXPECT_EQ(p.queue.kind, QueueRef::kGpu);
   EXPECT_EQ(p.queue.index, 0);  // empty queues: the slowest is feasible
   EXPECT_TRUE(p.before_deadline);
-  EXPECT_NEAR(sched.gpu_clock(0), p.response_est, 1e-15);
-  EXPECT_EQ(sched.gpu_clock(1), 0.0);
+  EXPECT_NEAR(sched.gpu_clock(0).value(), p.response_est.value(), 1e-15);
+  EXPECT_EQ(sched.gpu_clock(1), Seconds{});
 }
 
 TEST(Figure10, BackloggedSlowQueuesPushWorkDownTheLadder) {
@@ -110,7 +110,7 @@ TEST(Figure10, BackloggedSlowQueuesPushWorkDownTheLadder) {
   auto sched = f.scheduler();
   std::vector<int> used;
   for (int i = 0; i < 24; ++i) {
-    const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+    const Placement p = sched.schedule(expensive_cpu_query(), Seconds{});
     ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
     used.push_back(p.queue.index);
   }
@@ -129,7 +129,7 @@ TEST(Figure10, CpuChosenWhenOnlyFeasiblePartition) {
   // Choke every GPU queue beyond the deadline with GPU-only queries
   // (level 3 is not pre-computed in this scheduler's catalog).
   for (int i = 0; i < 200; ++i) {
-    const Placement choke = sched.schedule(gpu_only_query(f), 0.0);
+    const Placement choke = sched.schedule(gpu_only_query(f), Seconds{});
     ASSERT_EQ(choke.queue.kind, QueueRef::kGpu);
   }
   // A mid-size query: CPU slower than a free 4-SM partition would be, but
@@ -138,16 +138,16 @@ TEST(Figure10, CpuChosenWhenOnlyFeasiblePartition) {
   q.conditions.push_back({0, 2, 0, 399, {}, {}});
   q.conditions.push_back({1, 2, 0, 79, {}, {}});
   q.measures = {12};
-  const Placement p = sched.schedule(q, 0.0);
+  const Placement p = sched.schedule(q, Seconds{});
   EXPECT_EQ(p.queue.kind, QueueRef::kCpu);
   EXPECT_TRUE(p.before_deadline);
 }
 
 TEST(Figure10, Step6PicksFastestResponseWhenDeadlineUnreachable) {
   Fixture f;
-  f.config.deadline = 1e-6;  // nothing can meet this
+  f.config.deadline = Seconds{1e-6};  // nothing can meet this
   auto sched = f.scheduler();
-  const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+  const Placement p = sched.schedule(expensive_cpu_query(), Seconds{});
   EXPECT_FALSE(p.before_deadline);
   EXPECT_FALSE(p.rejected);
   // min |T_D - T_R| with all responses late = fastest responder: a 4-SM
@@ -161,9 +161,9 @@ TEST(Figure10, UnanswerableQueryRejectedWhenGpuDisabled) {
   f.config.enable_gpu = false;
   f.config.gpu_partitions.clear();
   FigureTenScheduler sched(
-      f.config, make_paper_estimator({}, 8, 4096.0, 16, &f.catalog_no32,
+      f.config, make_paper_estimator({}, 8, Megabytes{4096.0}, 16, &f.catalog_no32,
                                      &f.translation));
-  const Placement p = sched.schedule(gpu_only_query(f), 0.0);
+  const Placement p = sched.schedule(gpu_only_query(f), Seconds{});
   EXPECT_TRUE(p.rejected);
 }
 
@@ -171,13 +171,14 @@ TEST(Figure10, TextQueryToGpuEnqueuesTranslation) {
   // Use the no-32GB ladder so the level-3 text query is GPU-only.
   Fixture f;
   auto sched = f.scheduler_no32();
-  const Placement p = sched.schedule(text_query(), 0.0);
+  const Placement p = sched.schedule(text_query(), Seconds{});
   ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
   EXPECT_TRUE(p.translate);
-  EXPECT_GT(p.translation_est, 0.0);
-  EXPECT_GT(sched.translation_clock(), 0.0);
+  EXPECT_GT(p.translation_est, Seconds{});
+  EXPECT_GT(sched.translation_clock(), Seconds{});
   // Response includes the translation stall: T_R >= T_TRANS + T_GPU.
-  EXPECT_GE(p.response_est, p.translation_est + p.processing_est - 1e-12);
+  EXPECT_GE(p.response_est.value(),
+            (p.translation_est + p.processing_est).value() - 1e-12);
 }
 
 TEST(Figure10, TextQueryToCpuSkipsTranslationQueue) {
@@ -190,64 +191,66 @@ TEST(Figure10, TextQueryToCpuSkipsTranslationQueue) {
   c.level = 3;
   c.text_values = {"Nortek #1"};
   q.conditions.push_back(c);
-  const Placement p = sched.schedule(q, 0.0);
+  const Placement p = sched.schedule(q, Seconds{});
   ASSERT_EQ(p.queue.kind, QueueRef::kCpu);
   EXPECT_FALSE(p.translate);
-  EXPECT_EQ(sched.translation_clock(), 0.0);
+  EXPECT_EQ(sched.translation_clock(), Seconds{});
 }
 
 TEST(Figure10, TranslationQueueSerializesAcrossQueries) {
   Fixture f;
   auto sched = f.scheduler_no32();
-  const Placement p1 = sched.schedule(text_query(), 0.0);
+  const Placement p1 = sched.schedule(text_query(), Seconds{});
   const Seconds trans_after_one = sched.translation_clock();
-  const Placement p2 = sched.schedule(text_query(), 0.0);
-  EXPECT_NEAR(sched.translation_clock(),
-              trans_after_one + p2.translation_est, 1e-12);
+  const Placement p2 = sched.schedule(text_query(), Seconds{});
+  EXPECT_NEAR(sched.translation_clock().value(),
+              (trans_after_one + p2.translation_est).value(), 1e-12);
   // The second query's GPU start waits for its own translation.
-  EXPECT_GE(p2.response_est, sched.translation_clock() - 1e-12);
+  EXPECT_GE(p2.response_est.value(), sched.translation_clock().value() - 1e-12);
   (void)p1;
 }
 
 TEST(Figure10, QueueClocksAdvanceByProcessingEstimates) {
   Fixture f;
   auto sched = f.scheduler();
-  const Placement p1 = sched.schedule(cheap_cpu_query(), 0.0);
-  const Placement p2 = sched.schedule(cheap_cpu_query(), 0.0);
-  EXPECT_NEAR(sched.cpu_clock(), p1.processing_est + p2.processing_est,
-              1e-12);
-  EXPECT_NEAR(p2.response_est, p1.response_est + p2.processing_est, 1e-12);
+  const Placement p1 = sched.schedule(cheap_cpu_query(), Seconds{});
+  const Placement p2 = sched.schedule(cheap_cpu_query(), Seconds{});
+  EXPECT_NEAR(sched.cpu_clock().value(),
+              (p1.processing_est + p2.processing_est).value(), 1e-12);
+  EXPECT_NEAR(p2.response_est.value(),
+              (p1.response_est + p2.processing_est).value(), 1e-12);
 }
 
 TEST(Figure10, ArrivalTimeFloorsQueueClocks) {
   Fixture f;
   auto sched = f.scheduler();
-  sched.schedule(cheap_cpu_query(), 0.0);
+  sched.schedule(cheap_cpu_query(), Seconds{});
   // Arrive long after the queue drained: response starts at `now`.
-  const Placement p = sched.schedule(cheap_cpu_query(), 100.0);
-  EXPECT_NEAR(p.response_est, 100.0 + p.processing_est, 1e-12);
+  const Placement p = sched.schedule(cheap_cpu_query(), Seconds{100.0});
+  EXPECT_NEAR(p.response_est.value(), 100.0 + p.processing_est.value(), 1e-12);
 }
 
 TEST(Figure10, FeedbackShiftsQueueClock) {
   Fixture f;
   auto sched = f.scheduler();
-  const Placement p = sched.schedule(cheap_cpu_query(), 0.0);
+  const Placement p = sched.schedule(cheap_cpu_query(), Seconds{});
   const Seconds before = sched.cpu_clock();
   sched.on_completed({QueueRef::kCpu, 0}, p.processing_est,
-                     p.processing_est + 0.010);
-  EXPECT_NEAR(sched.cpu_clock(), before + 0.010, 1e-12);
+                     p.processing_est + Seconds{0.010});
+  EXPECT_NEAR(sched.cpu_clock().value(), before.value() + 0.010, 1e-12);
   // Under-run pulls the clock back.
-  sched.on_completed({QueueRef::kCpu, 0}, 0.005, 0.001);
-  EXPECT_NEAR(sched.cpu_clock(), before + 0.010 - 0.004, 1e-12);
+  sched.on_completed({QueueRef::kCpu, 0}, Seconds{0.005}, Seconds{0.001});
+  EXPECT_NEAR(sched.cpu_clock().value(), before.value() + 0.010 - 0.004,
+              1e-12);
 }
 
 TEST(Figure10, FeedbackDisabledLeavesClocksUntouched) {
   Fixture f;
   f.config.feedback = false;
   auto sched = f.scheduler();
-  sched.schedule(cheap_cpu_query(), 0.0);
+  sched.schedule(cheap_cpu_query(), Seconds{});
   const Seconds before = sched.cpu_clock();
-  sched.on_completed({QueueRef::kCpu, 0}, 0.001, 0.5);
+  sched.on_completed({QueueRef::kCpu, 0}, Seconds{0.001}, Seconds{0.5});
   EXPECT_EQ(sched.cpu_clock(), before);
 }
 
@@ -255,14 +258,14 @@ TEST(Figure10, FastestFeasibleAblationFlipsQueueOrder) {
   Fixture f;
   f.config.prefer_fastest_feasible_gpu = true;
   auto sched = f.scheduler();
-  const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+  const Placement p = sched.schedule(expensive_cpu_query(), Seconds{});
   ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
   EXPECT_EQ(p.queue.index, 5);  // last feasible = fastest class
 }
 
 TEST(Figure10, ConfigValidation) {
   Fixture f;
-  f.config.deadline = 0.0;
+  f.config.deadline = Seconds{0.0};
   EXPECT_THROW(f.scheduler(), InvalidArgument);
   f = Fixture();
   f.config.enable_cpu = false;
@@ -271,7 +274,7 @@ TEST(Figure10, ConfigValidation) {
   f = Fixture();
   // Estimator models must match the configured partition queues.
   EXPECT_THROW(FigureTenScheduler(
-                   f.config, make_paper_estimator({1, 2}, 8, 4096.0, 16,
+                   f.config, make_paper_estimator({1, 2}, 8, Megabytes{4096.0}, 16,
                                                   &f.catalog, &f.translation)),
                InvalidArgument);
 }
@@ -281,10 +284,10 @@ TEST(Figure10, GpuDisabledRoutesEverythingAnswerableToCpu) {
   f.config.enable_gpu = false;
   f.config.gpu_partitions.clear();
   FigureTenScheduler sched(
-      f.config, make_paper_estimator({}, 8, 4096.0, 16, &f.catalog,
+      f.config, make_paper_estimator({}, 8, Megabytes{4096.0}, 16, &f.catalog,
                                      &f.translation));
   for (int i = 0; i < 10; ++i) {
-    const Placement p = sched.schedule(expensive_cpu_query(), 0.0);
+    const Placement p = sched.schedule(expensive_cpu_query(), Seconds{});
     EXPECT_EQ(p.queue.kind, QueueRef::kCpu);
   }
 }
@@ -294,7 +297,7 @@ TEST(Figure10, CpuDisabledRoutesEverythingToGpu) {
   f.config.enable_cpu = false;
   auto sched = f.scheduler();
   for (int i = 0; i < 10; ++i) {
-    const Placement p = sched.schedule(cheap_cpu_query(), 0.0);
+    const Placement p = sched.schedule(cheap_cpu_query(), Seconds{});
     EXPECT_EQ(p.queue.kind, QueueRef::kGpu);
   }
 }

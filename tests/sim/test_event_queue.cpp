@@ -12,19 +12,19 @@ namespace {
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue eq;
   std::vector<int> order;
-  eq.schedule(3.0, [&] { order.push_back(3); });
-  eq.schedule(1.0, [&] { order.push_back(1); });
-  eq.schedule(2.0, [&] { order.push_back(2); });
+  eq.schedule(Seconds{3.0}, [&] { order.push_back(3); });
+  eq.schedule(Seconds{1.0}, [&] { order.push_back(1); });
+  eq.schedule(Seconds{2.0}, [&] { order.push_back(2); });
   eq.run_all();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(eq.now(), 3.0);
+  EXPECT_EQ(eq.now(), Seconds{3.0});
 }
 
 TEST(EventQueue, TiesBreakBySubmissionOrder) {
   EventQueue eq;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    eq.schedule(1.0, [&, i] { order.push_back(i); });
+    eq.schedule(Seconds{1.0}, [&, i] { order.push_back(i); });
   }
   eq.run_all();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -34,18 +34,18 @@ TEST(EventQueue, EventsMayScheduleMoreEvents) {
   EventQueue eq;
   std::vector<double> fire_times;
   std::function<void()> chain = [&] {
-    fire_times.push_back(eq.now());
-    if (fire_times.size() < 4) eq.schedule(eq.now() + 1.0, chain);
+    fire_times.push_back(eq.now().value());
+    if (fire_times.size() < 4) eq.schedule(eq.now() + Seconds{1.0}, chain);
   };
-  eq.schedule(0.5, chain);
+  eq.schedule(Seconds{0.5}, chain);
   eq.run_all();
   EXPECT_EQ(fire_times, (std::vector<double>{0.5, 1.5, 2.5, 3.5}));
 }
 
 TEST(EventQueue, PastSchedulingRejected) {
   EventQueue eq;
-  eq.schedule(2.0, [&] {
-    EXPECT_THROW(eq.schedule(1.0, [] {}), InvalidArgument);
+  eq.schedule(Seconds{2.0}, [&] {
+    EXPECT_THROW(eq.schedule(Seconds{1.0}, [] {}), InvalidArgument);
   });
   eq.run_all();
 }
@@ -60,36 +60,36 @@ TEST(FifoServer, JobsRunBackToBack) {
   EventQueue eq;
   FifoServer server(&eq);
   std::vector<double> completions;
-  auto record = [&](Seconds t) { completions.push_back(t); };
-  server.submit(2.0, record);
-  server.submit(3.0, record);
-  server.submit(1.0, record);
+  auto record = [&](Seconds t) { completions.push_back(t.value()); };
+  server.submit(Seconds{2.0}, record);
+  server.submit(Seconds{3.0}, record);
+  server.submit(Seconds{1.0}, record);
   eq.run_all();
   EXPECT_EQ(completions, (std::vector<double>{2.0, 5.0, 6.0}));
   EXPECT_EQ(server.jobs(), 3u);
-  EXPECT_DOUBLE_EQ(server.busy_time(), 6.0);
+  EXPECT_DOUBLE_EQ(server.busy_time().value(), 6.0);
 }
 
 TEST(FifoServer, IdleGapResetsStart) {
   EventQueue eq;
   FifoServer server(&eq);
   std::vector<double> completions;
-  server.submit(1.0, [&](Seconds t) { completions.push_back(t); });
+  server.submit(Seconds{1.0}, [&](Seconds t) { completions.push_back(t.value()); });
   // A later arrival (scheduled at t=5) starts at 5, not at 1.
-  eq.schedule(5.0, [&] {
-    server.submit(2.0, [&](Seconds t) { completions.push_back(t); });
+  eq.schedule(Seconds{5.0}, [&] {
+    server.submit(Seconds{2.0}, [&](Seconds t) { completions.push_back(t.value()); });
   });
   eq.run_all();
   EXPECT_EQ(completions, (std::vector<double>{1.0, 7.0}));
-  EXPECT_DOUBLE_EQ(server.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(server.busy_time().value(), 3.0);
 }
 
 TEST(FifoServer, ZeroServiceAllowedNegativeRejected) {
   EventQueue eq;
   FifoServer server(&eq);
   bool ran = false;
-  server.submit(0.0, [&](Seconds) { ran = true; });
-  EXPECT_THROW(server.submit(-1.0, [](Seconds) {}), InvalidArgument);
+  server.submit(Seconds{0.0}, [&](Seconds) { ran = true; });
+  EXPECT_THROW(server.submit(Seconds{-1.0}, [](Seconds) {}), InvalidArgument);
   eq.run_all();
   EXPECT_TRUE(ran);
 }
@@ -98,8 +98,8 @@ TEST(FifoServer, TwoServersIndependent) {
   EventQueue eq;
   FifoServer a(&eq), b(&eq);
   std::vector<std::pair<char, double>> log;
-  a.submit(2.0, [&](Seconds t) { log.emplace_back('a', t); });
-  b.submit(1.0, [&](Seconds t) { log.emplace_back('b', t); });
+  a.submit(Seconds{2.0}, [&](Seconds t) { log.emplace_back('a', t.value()); });
+  b.submit(Seconds{1.0}, [&](Seconds t) { log.emplace_back('b', t.value()); });
   eq.run_all();
   ASSERT_EQ(log.size(), 2u);
   EXPECT_EQ(log[0], std::make_pair('b', 1.0));
@@ -122,9 +122,9 @@ TEST(FifoServer, MD1MeanWaitMatchesQueueingTheory) {
   double total_wait = 0.0;
   for (int i = 0; i < kJobs; ++i) {
     arrival += rng.exponential(kRate);
-    eq.schedule(arrival, [&, arrival] {
-      server.submit(kService, [&, arrival](Seconds done) {
-        total_wait += done - arrival - kService;
+    eq.schedule(Seconds{arrival}, [&, arrival] {
+      server.submit(Seconds{kService}, [&, arrival](Seconds done) {
+        total_wait += done.value() - arrival - kService;
       });
     });
   }
@@ -142,8 +142,8 @@ TEST(MultiFifoServer, SingleWorkerEquivalentToFifoServer) {
   SplitMix64 rng(5);
   for (int i = 0; i < 50; ++i) {
     const double service = rng.uniform_real(0.001, 0.02);
-    single.submit(service, [&](Seconds t) { a.push_back(t); });
-    pool.submit(service, [&](Seconds t) { b.push_back(t); });
+    single.submit(Seconds{service}, [&](Seconds t) { a.push_back(t.value()); });
+    pool.submit(Seconds{service}, [&](Seconds t) { b.push_back(t.value()); });
   }
   eq.run_all();
   EXPECT_EQ(a, b);
@@ -154,12 +154,12 @@ TEST(MultiFifoServer, WorkersRunInParallel) {
   MultiFifoServer pool(&eq, 3);
   std::vector<double> completions;
   for (int i = 0; i < 3; ++i) {
-    pool.submit(1.0, [&](Seconds t) { completions.push_back(t); });
+    pool.submit(Seconds{1.0}, [&](Seconds t) { completions.push_back(t.value()); });
   }
   eq.run_all();
   // Three equal jobs on three workers all finish at t=1.
   EXPECT_EQ(completions, (std::vector<double>{1.0, 1.0, 1.0}));
-  EXPECT_DOUBLE_EQ(pool.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(pool.busy_time().value(), 3.0);
   EXPECT_EQ(pool.workers(), 3);
 }
 
@@ -169,9 +169,9 @@ TEST(MultiFifoServer, KWorkersKeepFifoStartOrder) {
   std::vector<int> finish_order;
   // Job 0 long, job 1 short, job 2 short: with 2 workers, job 1 finishes
   // first, then job 2 (started on the worker job 1 freed), then job 0.
-  pool.submit(1.0, [&](Seconds) { finish_order.push_back(0); });
-  pool.submit(0.2, [&](Seconds) { finish_order.push_back(1); });
-  pool.submit(0.2, [&](Seconds) { finish_order.push_back(2); });
+  pool.submit(Seconds{1.0}, [&](Seconds) { finish_order.push_back(0); });
+  pool.submit(Seconds{0.2}, [&](Seconds) { finish_order.push_back(1); });
+  pool.submit(Seconds{0.2}, [&](Seconds) { finish_order.push_back(2); });
   eq.run_all();
   EXPECT_EQ(finish_order, (std::vector<int>{1, 2, 0}));
 }

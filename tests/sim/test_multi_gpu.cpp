@@ -20,7 +20,7 @@ SimResult run_gpu_only(int devices, Seconds modeled_dispatch,
   const auto p = s.make_policy();
   SimConfig c;
   c.closed_clients = clients;
-  c.gpu_dispatch_overhead = 0.0145;
+  c.gpu_dispatch_overhead = Seconds{0.0145};
   c.gpu_queue_device = s.gpu_queue_device_map();
   return run_simulation(*p, queries, c);
 }
@@ -39,8 +39,8 @@ TEST(MultiGpu, ScenarioExpandsQueuesPerDevice) {
 }
 
 TEST(MultiGpu, DispatchAwareSchedulerScalesAcrossDevices) {
-  const double one = run_gpu_only(1, 0.0145).throughput_qps;
-  const double two = run_gpu_only(2, 0.0145).throughput_qps;
+  const double one = run_gpu_only(1, Seconds{0.0145}).throughput_qps;
+  const double two = run_gpu_only(2, Seconds{0.0145}).throughput_qps;
   EXPECT_GT(two, one * 1.8);
 }
 
@@ -48,8 +48,8 @@ TEST(MultiGpu, DispatchBlindSchedulerDoesNot) {
   // The paper's dispatch-blind clocks keep stuffing the first device's
   // slow queues; extra devices buy nothing (the motivation for modeling
   // the launch stage).
-  const double one = run_gpu_only(1, 0.0).throughput_qps;
-  const double two = run_gpu_only(2, 0.0).throughput_qps;
+  const double one = run_gpu_only(1, Seconds{0.0}).throughput_qps;
+  const double two = run_gpu_only(2, Seconds{0.0}).throughput_qps;
   EXPECT_LT(two, one * 1.2);
 }
 
@@ -57,8 +57,8 @@ TEST(MultiGpu, ModeledDispatchImprovesDeadlineAwareness) {
   // Even on one device, modeling the launch stage makes estimates honest:
   // at saturation the blind scheduler believes queues are feasible when
   // they are not.
-  const SimResult blind = run_gpu_only(1, 0.0);
-  const SimResult aware = run_gpu_only(1, 0.0145);
+  const SimResult blind = run_gpu_only(1, Seconds{0.0});
+  const SimResult aware = run_gpu_only(1, Seconds{0.0145});
   EXPECT_GE(aware.deadline_hit_rate, blind.deadline_hit_rate);
 }
 
@@ -86,21 +86,21 @@ TEST(MultiGpu, TraceCoherenceHoldsWithModeledDispatch) {
   o.text_probability = 0.0;
   o.cube_levels = {0, 1, 2, 3};
   o.gpu_devices = 1;
-  o.modeled_gpu_dispatch = 0.0145;
+  o.modeled_gpu_dispatch = Seconds{0.0145};
   o.feedback = false;
   const PaperScenario s{o};
   const auto queries = s.make_workload(300);
   const auto p = s.make_policy();
   SimConfig c;
   c.closed_clients = 4;
-  c.gpu_dispatch_overhead = 0.0145;
-  c.cpu_overhead = 0.0;
+  c.gpu_dispatch_overhead = Seconds{0.0145};
+  c.cpu_overhead = Seconds{0.0};
   c.record_trace = true;
   c.gpu_queue_device = s.gpu_queue_device_map();
   const SimResult r = run_simulation(*p, queries, c);
   std::size_t coherent = 0;
   for (const QueryTrace& t : r.trace) {
-    if (std::abs(t.completed - t.response_est) < 1e-9) ++coherent;
+    if (abs(t.completed - t.response_est).value() < 1e-9) ++coherent;
   }
   // The scheduler assumes dispatch in scheduling order; the DES dispatches
   // in arrival order at the stage. With few clients these coincide for

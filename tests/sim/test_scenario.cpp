@@ -10,7 +10,7 @@ TEST(Scenario, DefaultsMatchSection4Configuration) {
   EXPECT_EQ(s.dimensions().size(), 3u);
   EXPECT_EQ(s.schema().column_count(), 16);
   EXPECT_EQ(s.gpu_total_columns(), 16);
-  EXPECT_DOUBLE_EQ(s.gpu_table_mb(), 4096.0);
+  EXPECT_DOUBLE_EQ(s.gpu_table_mb().value(), 4096.0);
   EXPECT_EQ(s.catalog().levels(), (std::vector<int>{0, 1, 2, 3}));
 }
 

@@ -10,8 +10,8 @@ namespace {
 SimConfig quiet_config() {
   SimConfig config;
   config.closed_clients = 8;
-  config.cpu_overhead = 0.0;
-  config.gpu_dispatch_overhead = 0.0;
+  config.cpu_overhead = Seconds{0.0};
+  config.gpu_dispatch_overhead = Seconds{0.0};
   return config;
 }
 
@@ -24,7 +24,7 @@ TEST(Simulator, CompletesEveryQueryClosedLoop) {
   EXPECT_EQ(r.rejected, 0u);
   EXPECT_EQ(r.cpu_queries + r.gpu_queries, 300u);
   EXPECT_GT(r.throughput_qps, 0.0);
-  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.makespan, Seconds{});
 }
 
 TEST(Simulator, DeterministicAcrossRuns) {
@@ -35,7 +35,7 @@ TEST(Simulator, DeterministicAcrossRuns) {
   const SimResult a = run_simulation(*p1, queries, quiet_config());
   const SimResult b = run_simulation(*p2, queries, quiet_config());
   EXPECT_DOUBLE_EQ(a.throughput_qps, b.throughput_qps);
-  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
   EXPECT_EQ(a.cpu_queries, b.cpu_queries);
   EXPECT_EQ(a.met_deadline, b.met_deadline);
 }
@@ -49,7 +49,7 @@ TEST(Simulator, OpenLoopCompletesEverything) {
   const SimResult r = run_simulation(*policy, queries, config);
   EXPECT_EQ(r.completed, 200u);
   // At 50 Q/s the makespan must span roughly queries/rate seconds.
-  EXPECT_GT(r.makespan, 2.0);
+  EXPECT_GT(r.makespan, Seconds{2.0});
 }
 
 TEST(Simulator, LowArrivalRateMeetsDeadlines) {
@@ -61,7 +61,7 @@ TEST(Simulator, LowArrivalRateMeetsDeadlines) {
   config.arrival_rate = 5.0;
   const SimResult r = run_simulation(*policy, queries, config);
   EXPECT_GT(r.deadline_hit_rate, 0.95);
-  EXPECT_LT(r.mean_latency, 0.25);
+  EXPECT_LT(r.mean_latency, Seconds{0.25});
 }
 
 TEST(Simulator, GpuDispatchOverheadCapsThroughput) {
@@ -72,7 +72,7 @@ TEST(Simulator, GpuDispatchOverheadCapsThroughput) {
   auto policy = s.make_policy();
   SimConfig config = quiet_config();
   config.closed_clients = 32;
-  config.gpu_dispatch_overhead = 0.014;
+  config.gpu_dispatch_overhead = Seconds{0.014};
   const SimResult r = run_simulation(*policy, queries, config);
   // The serial dispatcher bounds the system near 1/0.014 = 71 Q/s.
   EXPECT_LT(r.throughput_qps, 72.0);
@@ -88,7 +88,7 @@ TEST(Simulator, CpuOverheadSlowsCpuOnlySystem) {
   const auto queries = s.make_workload(200);
   SimConfig fast = quiet_config();
   SimConfig slow = quiet_config();
-  slow.cpu_overhead = 0.05;
+  slow.cpu_overhead = Seconds{0.05};
   auto p1 = s.make_policy();
   auto p2 = s.make_policy();
   const SimResult rf = run_simulation(*p1, queries, fast);

@@ -12,8 +12,8 @@ namespace {
 
 SimConfig perfect_config() {
   SimConfig config;
-  config.cpu_overhead = 0.0;
-  config.gpu_dispatch_overhead = 0.0;
+  config.cpu_overhead = Seconds{0.0};
+  config.gpu_dispatch_overhead = Seconds{0.0};
   config.service_noise = 0.0;
   config.record_trace = true;
   return config;
@@ -33,7 +33,7 @@ TEST_P(TraceCoherence, CompletionEqualsEstimateUnderPerfectModel) {
   ASSERT_EQ(r.trace.size(), queries.size());
   for (const QueryTrace& t : r.trace) {
     ASSERT_FALSE(t.rejected);
-    EXPECT_NEAR(t.completed, t.response_est, 1e-9)
+    EXPECT_NEAR(t.completed.value(), t.response_est.value(), 1e-9)
         << "query " << t.index << " queue kind " << t.queue.kind;
   }
 }
@@ -85,11 +85,11 @@ TEST(Trace, OverheadsBreakCoherencePreciselyWhereExpected) {
   const auto queries = s.make_workload(300);
   auto policy = s.make_policy();
   SimConfig config = perfect_config();
-  config.gpu_dispatch_overhead = 0.02;
+  config.gpu_dispatch_overhead = Seconds{0.02};
   const SimResult r = run_simulation(*policy, queries, config);
   for (const QueryTrace& t : r.trace) {
     if (t.queue.kind == QueueRef::kGpu) {
-      EXPECT_GT(t.completed, t.response_est - 1e-12) << t.index;
+      EXPECT_GT(t.completed.value(), t.response_est.value() - 1e-12) << t.index;
     }
   }
 }

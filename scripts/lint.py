@@ -44,6 +44,12 @@ SRC = REPO / "src"
 # Determinism-critical roots: every TU here, plus everything it includes.
 DETERMINISTIC_DIRS = ("sim", "sched")
 
+# Individually pinned roots, checked even if they move out of the
+# directories above: FaultInjector drives the overload/robustness tests,
+# and a seeded fault scenario must replay bit-identically — every knob is
+# an explicit flag, counter or gate, never a clock or a random source.
+DETERMINISTIC_EXTRA_ROOTS = ("sim/fault_injector.hpp",)
+
 # (regex, human name, suggested fix) for the determinism rule.
 NONDETERMINISM = [
     (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
@@ -131,6 +137,16 @@ class Linter:
         roots = [
             p for d in DETERMINISTIC_DIRS for p in project_sources(SRC / d)
         ]
+        for rel in DETERMINISTIC_EXTRA_ROOTS:
+            path = SRC / rel
+            if path not in roots:
+                if not path.exists():
+                    self.report(path, 1, "determinism",
+                                "pinned deterministic root is missing",
+                                "restore the file or update "
+                                "DETERMINISTIC_EXTRA_ROOTS")
+                    continue
+                roots.append(path)
         for f in sorted(self.include_closure(roots)):
             text = strip_comments_and_strings(f.read_text(encoding="utf-8"))
             for lineno, line in enumerate(text.splitlines(), 1):

@@ -5,22 +5,46 @@
 // remaining items, then pop() returns nullopt. Intentionally tiny — the
 // executor's queues carry a handful of in-flight jobs, so a mutex +
 // condition variable is the right tool (no lock-free heroics).
+//
+// Overload robustness: a queue may be constructed with a capacity bound.
+// Bounded queues give producers three disciplines — block until space
+// (push), fail fast (try_push), or displace the least-useful queued item
+// (push_displacing) — which is what lets the executor shed load instead
+// of buffering an unbounded backlog past every deadline.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 namespace holap {
+
+/// Outcome of a non-blocking enqueue attempt on a BlockingQueue.
+enum class QueuePush : std::uint8_t {
+  kAccepted,  ///< item enqueued
+  kFull,      ///< bounded queue at capacity; item not enqueued
+  kClosed,    ///< queue closed; item not enqueued
+};
 
 template <typename T>
 class BlockingQueue {
  public:
-  /// Enqueue an item. Returns false (dropping the item) when closed.
+  /// Unbounded queue (the legacy behaviour).
+  BlockingQueue() = default;
+
+  /// Bounded queue: at most `capacity` items buffered (0 = unbounded).
+  explicit BlockingQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue an item; on a bounded queue, block until space is available.
+  /// Returns false (dropping the item) when closed.
   bool push(T item) {
     {
-      const std::lock_guard lock(mutex_);
+      std::unique_lock lock(mutex_);
+      space_.wait(lock, [&] { return closed_ || !full_locked(); });
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -28,24 +52,87 @@ class BlockingQueue {
     return true;
   }
 
+  /// Non-blocking enqueue. On kFull/kClosed, `item` is left untouched so
+  /// the caller can resolve it (shed, reroute, report).
+  QueuePush try_push(T& item) {
+    {
+      const std::lock_guard lock(mutex_);
+      if (closed_) return QueuePush::kClosed;
+      if (full_locked()) return QueuePush::kFull;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return QueuePush::kAccepted;
+  }
+
+  /// Load-shedding enqueue for bounded queues: when full, the item that
+  /// `worse(a, b)` ranks worst — among the queued items AND the arrival —
+  /// makes room for the rest.
+  ///
+  /// Returns {kAccepted, nullopt}        pushed, nothing displaced;
+  ///         {kAccepted, displaced}      pushed, a queued item evicted;
+  ///         {kFull,     arrival}        the arrival itself ranked worst;
+  ///         {kClosed,   arrival}        queue closed.
+  /// The caller owns whatever comes back and must resolve it.
+  template <typename WorseThan>
+  std::pair<QueuePush, std::optional<T>> push_displacing(T item,
+                                                         WorseThan worse) {
+    std::optional<T> displaced;
+    {
+      const std::lock_guard lock(mutex_);
+      if (closed_) return {QueuePush::kClosed, std::move(item)};
+      if (full_locked()) {
+        auto worst = items_.end();
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+          if (worst == items_.end() || worse(*it, *worst)) worst = it;
+        }
+        // Queued items win ties: the arrival must be strictly more
+        // feasible than the worst queued item to displace it.
+        if (worst == items_.end() || !worse(*worst, item)) {
+          return {QueuePush::kFull, std::move(item)};
+        }
+        displaced = std::move(*worst);
+        items_.erase(worst);
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return {QueuePush::kAccepted, std::move(displaced)};
+  }
+
   /// Block until an item is available or the queue is closed and drained;
   /// nullopt means shutdown.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
     ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    return pop_locked(lock);
   }
 
-  /// Reject future pushes and wake all waiting consumers.
+  /// Timed pop for drain diagnostics: wait at most `timeout`. nullopt
+  /// means timeout, or closed-and-drained (distinguish via closed()).
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!ready_.wait_for(lock, timeout,
+                         [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    return pop_locked(lock);
+  }
+
+  /// Reject future pushes and wake all waiting producers and consumers.
   void close() {
     {
       const std::lock_guard lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
+    space_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard lock(mutex_);
+    return closed_;
   }
 
   std::size_t size() const {
@@ -53,10 +140,28 @@ class BlockingQueue {
     return items_.size();
   }
 
+  /// Configured bound; 0 means unbounded.
+  std::size_t capacity() const { return capacity_; }
+
  private:
+  bool full_locked() const {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
+
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return item;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable ready_;
+  std::condition_variable space_;
   std::deque<T> items_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
   bool closed_ = false;
 };
 

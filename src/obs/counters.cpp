@@ -6,11 +6,12 @@ namespace holap {
 
 TablePrinter counters_table(const std::vector<PartitionCounters>& counters,
                             Seconds makespan) {
-  TablePrinter t({"partition", "enqueued", "completed", "max depth",
+  TablePrinter t({"partition", "enqueued", "completed", "shed", "max depth",
                   "busy [s]", "utilization"});
   for (const PartitionCounters& c : counters) {
     t.add_row({c.name, std::to_string(c.enqueued),
-               std::to_string(c.completed), std::to_string(c.max_depth),
+               std::to_string(c.completed), std::to_string(c.shed),
+               std::to_string(c.max_depth),
                TablePrinter::fixed(c.busy.value(), 3),
                TablePrinter::fixed(100.0 * c.utilization(makespan), 1) +
                    "%"});

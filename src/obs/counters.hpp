@@ -25,6 +25,7 @@ struct PartitionCounters {
   std::string name;           ///< "cpu", "translation", "dispatch0", "gpu0"…
   std::size_t enqueued = 0;   ///< queries handed to this stage
   std::size_t completed = 0;  ///< queries the stage finished
+  std::size_t shed = 0;       ///< queries evicted from this stage unserved
   std::size_t depth = 0;      ///< currently in flight (enqueued − completed)
   std::size_t max_depth = 0;  ///< high-water mark of `depth`
   Seconds busy{};             ///< cumulative service time
@@ -38,6 +39,11 @@ struct PartitionCounters {
     ++completed;
     if (depth > 0) --depth;
     busy += service;
+  }
+  /// A queued item left without being served (load shedding).
+  void on_shed() {
+    ++shed;
+    if (depth > 0) --depth;
   }
   /// Busy fraction of `makespan` (0 when the run is empty).
   double utilization(Seconds makespan) const {

@@ -125,7 +125,9 @@ std::vector<TraceSpan> read_jsonl(std::istream& is) {
 
 bool is_complete_span_chain(std::span<const TraceSpan> spans) {
   if (spans.empty()) return false;
-  // Expected kinds in order; kTranslate is optional.
+  // Expected kinds in order; kTranslate is optional and may sit either
+  // before kDispatch (GPU path: the translation partition runs first) or
+  // after it (CPU path: inline translation once the worker dequeues).
   std::size_t at = 0;
   const QueueRef queue = spans.front().queue;
   auto take = [&](SpanKind kind, bool optional) {
@@ -137,11 +139,50 @@ bool is_complete_span_chain(std::span<const TraceSpan> spans) {
     return optional;
   };
   if (!take(SpanKind::kEnqueue, false)) return false;
+  const bool translated_before = at < spans.size() &&
+                                 spans[at].kind == SpanKind::kTranslate;
   if (!take(SpanKind::kTranslate, true)) return false;
   if (!take(SpanKind::kDispatch, false)) return false;
+  if (!translated_before && !take(SpanKind::kTranslate, true)) return false;
   if (!take(SpanKind::kExecute, false)) return false;
   if (!take(SpanKind::kComplete, false)) return false;
   return at == spans.size();
+}
+
+std::string to_jsonl(const PartitionCounters& counters) {
+  std::string out;
+  out.reserve(128);
+  out += "{\"partition\":\"" + counters.name + "\"";
+  out += ",\"enqueued\":" + std::to_string(counters.enqueued);
+  out += ",\"completed\":" + std::to_string(counters.completed);
+  out += ",\"shed\":" + std::to_string(counters.shed);
+  out += ",\"depth\":" + std::to_string(counters.depth);
+  out += ",\"max_depth\":" + std::to_string(counters.max_depth);
+  out += ",\"busy\":" + format_double(counters.busy.value());
+  out += "}";
+  return out;
+}
+
+void write_counters_jsonl(std::ostream& os,
+                          std::span<const PartitionCounters> counters) {
+  for (const PartitionCounters& c : counters) {
+    os << to_jsonl(c) << '\n';
+  }
+}
+
+PartitionCounters counters_from_jsonl(const std::string& line) {
+  PartitionCounters c;
+  c.name = raw_field(line, "partition");
+  c.enqueued = static_cast<std::size_t>(
+      std::stoull(raw_field(line, "enqueued")));
+  c.completed = static_cast<std::size_t>(
+      std::stoull(raw_field(line, "completed")));
+  c.shed = static_cast<std::size_t>(std::stoull(raw_field(line, "shed")));
+  c.depth = static_cast<std::size_t>(std::stoull(raw_field(line, "depth")));
+  c.max_depth = static_cast<std::size_t>(
+      std::stoull(raw_field(line, "max_depth")));
+  c.busy = Seconds{double_field(line, "busy")};
+  return c;
 }
 
 void print_trace_summary(std::ostream& os,

@@ -39,10 +39,28 @@ std::vector<TraceSpan> read_jsonl(std::istream& is);
 
 /// Group check: the canonical lifecycle chain of one query's spans.
 /// A completed query's spans must contain, in record order, kEnqueue →
-/// [kTranslate] → kDispatch → kExecute → kComplete, all with the same
-/// queue. Returns true when `spans` (one query's spans, record order)
-/// form such a chain.
+/// [kTranslate] → kDispatch → [kTranslate] → kExecute → kComplete, all
+/// with the same queue and at most one kTranslate. Translation sits
+/// before dispatch on the GPU path (the dedicated translation partition
+/// runs first) and after it on the CPU path (inline translation happens
+/// once the CPU worker picks the job up). Returns true when `spans` (one
+/// query's spans, record order) form such a chain.
 bool is_complete_span_chain(std::span<const TraceSpan> spans);
+
+/// Serialise one partition's counters as a single JSON line — the
+/// queue-depth/shed gauge feed next to the span stream. Schema (field
+/// order fixed):
+///   {"partition":"cpu","enqueued":N,"completed":N,"shed":N,"depth":N,
+///    "max_depth":N,"busy":S}
+std::string to_jsonl(const PartitionCounters& counters);
+
+/// Write one gauge line per partition.
+void write_counters_jsonl(std::ostream& os,
+                          std::span<const PartitionCounters> counters);
+
+/// Parse one gauge line produced by to_jsonl(PartitionCounters). Throws
+/// InvalidArgument on a malformed line.
+PartitionCounters counters_from_jsonl(const std::string& line);
 
 /// Print a run summary: span counts per kind, the latency percentile
 /// table and the per-partition counter table.

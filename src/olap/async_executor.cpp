@@ -1,11 +1,31 @@
 #include "olap/async_executor.hpp"
 
 namespace holap {
+namespace {
 
-AsyncHybridExecutor::AsyncHybridExecutor(HybridOlapSystem& system)
-    : system_(&system) {
+/// Counter slot of a job that never reached a queue.
+constexpr std::size_t kNoCounter = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+AsyncHybridExecutor::AsyncHybridExecutor(HybridOlapSystem& system,
+                                         AsyncExecutorConfig config)
+    : system_(&system),
+      config_(config),
+      cpu_queue_(config.queue_capacity),
+      translation_queue_(config.queue_capacity) {
+  PartitionCounters cpu;
+  cpu.name = "cpu";
+  counters_.push_back(std::move(cpu));
+  PartitionCounters trans;
+  trans.name = "translation";
+  counters_.push_back(std::move(trans));
   for (int i = 0; i < system.device().partition_count(); ++i) {
-    gpu_queues_.push_back(std::make_unique<BlockingQueue<Job>>());
+    gpu_queues_.push_back(
+        std::make_unique<BlockingQueue<Job>>(config.queue_capacity));
+    PartitionCounters gpu;
+    gpu.name = "gpu" + std::to_string(i);
+    counters_.push_back(std::move(gpu));
   }
   workers_.emplace_back([this] { cpu_worker(); });
   workers_.emplace_back([this] { translation_worker(); });
@@ -38,9 +58,33 @@ void AsyncHybridExecutor::set_trace_recorder(TraceRecorder* recorder) {
   system_->scheduler_mutable().set_trace_recorder(recorder);
 }
 
+void AsyncHybridExecutor::set_fault_injector(FaultInjector* injector) {
+  fault_.store(injector);
+}
+
 LatencyHistogram AsyncHybridExecutor::latency_histogram() const {
   const std::lock_guard lock(histogram_mutex_);
   return latencies_;
+}
+
+std::vector<PartitionCounters> AsyncHybridExecutor::partition_counters()
+    const {
+  const std::lock_guard lock(counters_mutex_);
+  return counters_;
+}
+
+std::size_t AsyncHybridExecutor::counter_slot(QueueRef ref,
+                                              bool in_translation_queue) {
+  if (in_translation_queue) return 1;
+  if (ref.kind == QueueRef::kCpu) return 0;
+  return 2 + static_cast<std::size_t>(ref.index);
+}
+
+Seconds AsyncHybridExecutor::slack_of(const Job& job) const {
+  // T_D − T_R with absolute times: how much deadline headroom the
+  // placement-time estimate left this job.
+  return job.submitted_at + system_->scheduler().deadline() -
+         job.placement.response_est;
 }
 
 void AsyncHybridExecutor::record_span(std::uint64_t id, SpanKind kind,
@@ -61,6 +105,98 @@ void AsyncHybridExecutor::record_span(std::uint64_t id, SpanKind kind,
   rec->record(span);
 }
 
+void AsyncHybridExecutor::resolve_unrun(Job job, ExecutionOutcome outcome,
+                                        std::size_t counter_index) {
+  {
+    // The placement advanced the queue clocks by its estimates; a job that
+    // never runs must roll that back or later estimates carry phantom load.
+    const std::lock_guard lock(scheduler_mutex_);
+    const Seconds pending_translation =
+        (!job.translated && job.placement.translate)
+            ? job.placement.translation_est
+            : Seconds{};
+    system_->scheduler_mutable().on_shed(
+        job.placement.queue, job.placement.processing_est,
+        pending_translation);
+  }
+  const bool is_shed = outcome == ExecutionOutcome::kShedAtAdmission ||
+                       outcome == ExecutionOutcome::kShedInQueue;
+  if (is_shed) ++shed_;
+  if (is_shed && counter_index != kNoCounter) {
+    const std::lock_guard lock(counters_mutex_);
+    if (outcome == ExecutionOutcome::kShedInQueue) {
+      counters_[counter_index].on_shed();
+    } else {
+      // Turned away at the queue's door: shed work bound for this
+      // partition, but it never contributed to the depth gauge.
+      ++counters_[counter_index].shed;
+    }
+  }
+  ExecutionReport report;
+  report.outcome = outcome;
+  report.queue = job.placement.queue;
+  report.estimated_processing = job.placement.processing_est;
+  report.before_deadline_estimate = job.placement.before_deadline;
+  job.promise.set_value(std::move(report));
+}
+
+void AsyncHybridExecutor::enqueue(BlockingQueue<Job>& queue, Job job,
+                                  std::size_t counter_index,
+                                  ExecutionOutcome arrival_shed_outcome) {
+  FaultInjector* fault = fault_.load();
+  if (fault != nullptr && fault->queue_full()) {
+    // Injected capacity exhaustion: behave exactly as a full queue under
+    // the reject-newest policy would.
+    resolve_unrun(std::move(job), arrival_shed_outcome, counter_index);
+    return;
+  }
+  if (config_.queue_capacity != 0 &&
+      config_.overflow == AsyncExecutorConfig::OverflowPolicy::
+                              kShedLeastFeasible) {
+    auto [result, ejected] = queue.push_displacing(
+        std::move(job), [this](const Job& a, const Job& b) {
+          return slack_of(a) < slack_of(b);
+        });
+    switch (result) {
+      case QueuePush::kAccepted:
+        {
+          const std::lock_guard lock(counters_mutex_);
+          counters_[counter_index].on_enqueue();
+        }
+        if (ejected.has_value()) {
+          resolve_unrun(std::move(*ejected),
+                        ExecutionOutcome::kShedInQueue, counter_index);
+        }
+        return;
+      case QueuePush::kFull:
+        resolve_unrun(std::move(*ejected), arrival_shed_outcome,
+                      counter_index);
+        return;
+      case QueuePush::kClosed:
+        resolve_unrun(std::move(*ejected), ExecutionOutcome::kFailed,
+                      kNoCounter);
+        return;
+    }
+    return;
+  }
+  // Unbounded, or bounded with reject-newest: never block the submitter.
+  switch (queue.try_push(job)) {
+    case QueuePush::kAccepted: {
+      const std::lock_guard lock(counters_mutex_);
+      counters_[counter_index].on_enqueue();
+      return;
+    }
+    case QueuePush::kFull:
+      resolve_unrun(std::move(job), arrival_shed_outcome, counter_index);
+      return;
+    case QueuePush::kClosed:
+      // Shutdown raced the submission between scheduling and enqueue; the
+      // promise still resolves, typed, instead of being abandoned.
+      resolve_unrun(std::move(job), ExecutionOutcome::kFailed, kNoCounter);
+      return;
+  }
+}
+
 std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
   HOLAP_REQUIRE(!down_.load(), "executor is shut down");
   validate_query(q, system_->schema().dimensions(), system_->schema());
@@ -76,23 +212,38 @@ std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
         job.query, job.submitted_at, job.id);
   }
   job.stage_enqueued_at = job.submitted_at;
-  if (job.placement.rejected) {
+  if (job.placement.shed_at_admission) {
+    // Admission control turned the query away before the clocks committed;
+    // nothing to roll back, just a typed resolution.
+    ++shed_;
     ExecutionReport report;
-    report.rejected = true;
-    job.promise.set_value(report);
+    report.outcome = ExecutionOutcome::kShedAtAdmission;
+    report.queue = job.placement.queue;
+    report.estimated_processing = job.placement.processing_est;
+    job.promise.set_value(std::move(report));
     return future;
   }
-  bool accepted = false;
-  if (job.placement.queue.kind == QueueRef::kCpu) {
-    accepted = cpu_queue_.push(std::move(job));
-  } else if (job.placement.translate) {
-    accepted = translation_queue_.push(std::move(job));
-  } else {
-    accepted = gpu_queues_[static_cast<std::size_t>(
-                               job.placement.queue.index)]
-                   ->push(std::move(job));
+  if (job.placement.rejected) {
+    ExecutionReport report;
+    report.outcome = ExecutionOutcome::kRejected;
+    report.rejected = true;
+    job.promise.set_value(std::move(report));
+    return future;
   }
-  HOLAP_REQUIRE(accepted, "executor is shut down");
+  if (FaultInjector* fault = fault_.load()) {
+    // The shutdown-race window: after scheduling, before the enqueue.
+    fault->run_submit_hook();
+  }
+  if (job.placement.queue.kind == QueueRef::kCpu) {
+    enqueue(cpu_queue_, std::move(job), 0);
+  } else if (job.placement.translate) {
+    enqueue(translation_queue_, std::move(job), 1);
+  } else {
+    const std::size_t slot = counter_slot(job.placement.queue, false);
+    auto& queue = *gpu_queues_[static_cast<std::size_t>(
+        job.placement.queue.index)];
+    enqueue(queue, std::move(job), slot);
+  }
   return future;
 }
 
@@ -111,12 +262,20 @@ void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {
     const std::lock_guard lock(histogram_mutex_);
     latencies_.add(done - job.submitted_at);
   }
+  {
+    const std::lock_guard lock(counters_mutex_);
+    counters_[counter_slot(job.placement.queue, false)].on_complete(
+        report.measured_processing);
+  }
   ++completed_;
   job.promise.set_value(std::move(report));
 }
 
 void AsyncHybridExecutor::cpu_worker() {
   while (auto job = cpu_queue_.pop()) {
+    if (FaultInjector* fault = fault_.load()) {
+      fault->at_worker({QueueRef::kCpu, 0});
+    }
     ExecutionReport report;
     report.queue = job->placement.queue;
     report.estimated_processing = job->placement.processing_est;
@@ -127,8 +286,16 @@ void AsyncHybridExecutor::cpu_worker() {
                 job->placement.response_est, Seconds{}, Seconds{});
     // CPU-path text parameters translate inline (hashed path), outside
     // the translation partition — §III-F: translation is a GPU-side need.
+    // It still costs wall time, so it is timed and traced like any other
+    // translation, just after the dispatch span instead of before it.
     if (job->query.needs_translation()) {
+      const Seconds trans_start = clock_.elapsed();
+      WallTimer trans_timer;
       system_->translate(job->query);
+      report.translation_time = trans_timer.elapsed();
+      record_span(job->id, SpanKind::kTranslate, trans_start,
+                  clock_.elapsed(), job->placement.queue,
+                  job->placement.response_est, Seconds{}, Seconds{});
     }
     const Seconds exec_start = clock_.elapsed();
     WallTimer timer;
@@ -144,6 +311,10 @@ void AsyncHybridExecutor::cpu_worker() {
 
 void AsyncHybridExecutor::translation_worker() {
   while (auto job = translation_queue_.pop()) {
+    if (FaultInjector* fault = fault_.load()) {
+      fault->at_worker({QueueRef::kCpu, 1});
+    }
+    const Seconds estimated = job->placement.translation_est;
     const Seconds trans_start = clock_.elapsed();
     WallTimer timer;
     system_->translate(job->query);
@@ -151,23 +322,35 @@ void AsyncHybridExecutor::translation_worker() {
     record_span(job->id, SpanKind::kTranslate, trans_start,
                 clock_.elapsed(), job->placement.queue,
                 job->placement.response_est, Seconds{}, Seconds{});
+    {
+      // §III-G feedback for the translation clock, mirroring the
+      // measured-vs-estimated correction every processing queue gets.
+      const std::lock_guard lock(scheduler_mutex_);
+      system_->scheduler_mutable().on_translation_completed(estimated, took);
+    }
+    {
+      const std::lock_guard lock(counters_mutex_);
+      counters_[1].on_complete(took);
+    }
     const int queue = job->placement.queue.index;
+    const std::size_t slot = counter_slot({QueueRef::kGpu, queue}, false);
     Job forwarded = std::move(*job);
+    forwarded.translated = true;
     forwarded.placement.translation_est = took;  // measured, for reports
     forwarded.stage_enqueued_at = clock_.elapsed();
-    if (!gpu_queues_[static_cast<std::size_t>(queue)]->push(
-            std::move(forwarded))) {
-      // Shutdown raced us; the job's promise is abandoned deliberately
-      // only during teardown after shutdown() — which joins us first, so
-      // this cannot happen in practice. Keep the invariant explicit:
-      HOLAP_ASSERT(false, "GPU queue closed while translation ran");
-    }
+    // The GPU intake is bounded by the same policy; a job displaced here
+    // was already queued once, so a turned-away forward is shed_in_queue.
+    enqueue(*gpu_queues_[static_cast<std::size_t>(queue)],
+            std::move(forwarded), slot, ExecutionOutcome::kShedInQueue);
   }
 }
 
 void AsyncHybridExecutor::gpu_worker(int queue) {
   auto& jobs = *gpu_queues_[static_cast<std::size_t>(queue)];
   while (auto job = jobs.pop()) {
+    if (FaultInjector* fault = fault_.load()) {
+      fault->at_worker({QueueRef::kGpu, queue});
+    }
     ExecutionReport report;
     report.queue = job->placement.queue;
     report.estimated_processing = job->placement.processing_est;

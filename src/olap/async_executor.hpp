@@ -12,24 +12,53 @@
 //
 // GPU-bound text queries flow translation-worker -> partition-worker,
 // preserving the system invariant that the device never sees text.
+//
+// Overload robustness: intake queues may be bounded
+// (AsyncExecutorConfig::queue_capacity) and admission control may gate
+// submissions (HybridSystemConfig::admission). Every submitted promise
+// resolves with a typed ExecutionOutcome — completed, rejected,
+// shed_at_admission, shed_in_queue or failed — never abandoned, never an
+// assert. When a bounded queue overflows, the overflow policy either
+// turns the arrival away or evicts the least-feasible queued job (the
+// one with the smallest deadline slack), and the scheduler's queue clocks
+// are rolled back for whatever was shed so later estimates do not carry
+// phantom load.
 #pragma once
 
 #include <future>
 #include <thread>
 
 #include "common/blocking_queue.hpp"
+#include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "olap/hybrid_system.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace holap {
+
+/// Overload-robustness knobs of the async executor.
+struct AsyncExecutorConfig {
+  /// Per-partition intake queue bound; 0 = unbounded (legacy behaviour).
+  std::size_t queue_capacity = 0;
+  enum class OverflowPolicy : std::uint8_t {
+    /// Full queue: the arriving job is shed (typed shed_at_admission).
+    kRejectNewest,
+    /// Full queue: the least-feasible job — smallest deadline slack,
+    /// counting the arrival itself — is shed (typed shed_in_queue for
+    /// evicted queued work).
+    kShedLeastFeasible,
+  };
+  OverflowPolicy overflow = OverflowPolicy::kRejectNewest;
+};
 
 class AsyncHybridExecutor {
  public:
   /// Spawns the worker threads over `system`'s components. The system
   /// must outlive the executor. The executor drives `system`'s scheduler
   /// through its own mutex; do not call system.execute() concurrently.
-  explicit AsyncHybridExecutor(HybridOlapSystem& system);
+  explicit AsyncHybridExecutor(HybridOlapSystem& system,
+                               AsyncExecutorConfig config = {});
 
   /// Drains queues and joins all workers.
   ~AsyncHybridExecutor();
@@ -37,9 +66,11 @@ class AsyncHybridExecutor {
   AsyncHybridExecutor(const AsyncHybridExecutor&) = delete;
   AsyncHybridExecutor& operator=(const AsyncHybridExecutor&) = delete;
 
-  /// Schedule `q` and enqueue it on its partition. The future resolves
-  /// when the partition finishes (with ExecutionReport::rejected set when
-  /// no partition can process the query). Throws after shutdown().
+  /// Schedule `q` and enqueue it on its partition. The future always
+  /// resolves with a typed ExecutionReport::outcome (completed, rejected,
+  /// shed_at_admission, shed_in_queue or failed — a submission racing
+  /// shutdown resolves kFailed rather than abandoning the promise).
+  /// Throws after shutdown() has been observed.
   std::future<ExecutionReport> submit(Query q);
 
   /// Stop accepting work, finish everything in flight, join workers.
@@ -49,13 +80,28 @@ class AsyncHybridExecutor {
   /// Completed query count (for monitoring/tests).
   std::size_t completed() const { return completed_.load(); }
 
+  /// Jobs resolved with a shed outcome (admission, queue-full or
+  /// eviction) since construction.
+  std::size_t shed() const { return shed_.load(); }
+
   /// Attach a span sink: the scheduler records kEnqueue at placement, the
   /// workers record translate/dispatch/execute/complete on the executor's
   /// wall clock. Call before submitting; nullptr detaches.
   void set_trace_recorder(TraceRecorder* recorder);
 
+  /// Test-only fault injection (queue-full overrides, worker gates, the
+  /// shutdown-race submit hook). Call before submitting; nullptr
+  /// detaches. The injector must outlive the executor.
+  void set_fault_injector(FaultInjector* injector);
+
   /// End-to-end latency distribution of completed queries (mergeable).
   LatencyHistogram latency_histogram() const;
+
+  /// Per-partition intake gauges in fixed order: cpu, translation,
+  /// gpu0..gpuN (enqueued/completed/shed/depth high-water marks).
+  std::vector<PartitionCounters> partition_counters() const;
+
+  const AsyncExecutorConfig& config() const { return config_; }
 
  private:
   struct Job {
@@ -65,6 +111,7 @@ class AsyncHybridExecutor {
     std::uint64_t id = 0;            ///< trace query id (submission order)
     Seconds submitted_at{};       ///< executor-clock submission time
     Seconds stage_enqueued_at{};  ///< entry time of the current queue
+    bool translated = false;  ///< passed the translation partition already
   };
 
   void cpu_worker();
@@ -72,19 +119,45 @@ class AsyncHybridExecutor {
   void gpu_worker(int queue);
   void finish(Job job, ExecutionReport report);
 
+  /// Resolve a job that will never run: roll the scheduler clocks back
+  /// and fulfil the promise with `outcome`. `counter_index` is the
+  /// partition-counter slot to debit, or npos when it never enqueued.
+  void resolve_unrun(Job job, ExecutionOutcome outcome,
+                     std::size_t counter_index);
+
+  /// Enqueue under the configured capacity/overflow policy; resolves the
+  /// displaced or rejected job itself. `counter_index` is the counter
+  /// slot of `queue`; `arrival_shed_outcome` types a turned-away arrival
+  /// (shed_at_admission at intake, shed_in_queue when the translation
+  /// worker forwards a job that was already queued once).
+  void enqueue(BlockingQueue<Job>& queue, Job job, std::size_t counter_index,
+               ExecutionOutcome arrival_shed_outcome =
+                   ExecutionOutcome::kShedAtAdmission);
+
+  /// Deadline slack of a queued job: submitted_at + T_C − T_R estimate.
+  Seconds slack_of(const Job& job) const;
+
   void record_span(std::uint64_t id, SpanKind kind, Seconds start,
                    Seconds end, QueueRef queue, Seconds resp_est,
                    Seconds measured, Seconds slack);
 
+  /// Counter slot for a queue: 0 = cpu, 1 = translation, 2 + i = gpu i.
+  static std::size_t counter_slot(QueueRef ref, bool in_translation_queue);
+
   HybridOlapSystem* system_;
+  AsyncExecutorConfig config_;
   std::mutex scheduler_mutex_;
   WallTimer clock_;
   std::atomic<bool> down_{false};
   std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> shed_{0};
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<TraceRecorder*> recorder_{nullptr};
+  std::atomic<FaultInjector*> fault_{nullptr};
   mutable std::mutex histogram_mutex_;
   LatencyHistogram latencies_;
+  mutable std::mutex counters_mutex_;
+  std::vector<PartitionCounters> counters_;
 
   BlockingQueue<Job> cpu_queue_;
   BlockingQueue<Job> translation_queue_;

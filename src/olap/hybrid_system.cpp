@@ -24,6 +24,22 @@ CubeSet build_cube_ladder(const FactTable& table,
 
 }  // namespace
 
+const char* to_string(ExecutionOutcome outcome) {
+  switch (outcome) {
+    case ExecutionOutcome::kCompleted:
+      return "completed";
+    case ExecutionOutcome::kRejected:
+      return "rejected";
+    case ExecutionOutcome::kShedAtAdmission:
+      return "shed_at_admission";
+    case ExecutionOutcome::kShedInQueue:
+      return "shed_in_queue";
+    case ExecutionOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
 HybridOlapSystem::HybridOlapSystem(FactTable table, HybridSystemConfig config)
     : config_(std::move(config)),
       table_(std::move(table)),
@@ -51,6 +67,7 @@ HybridOlapSystem::HybridOlapSystem(FactTable table, HybridSystemConfig config)
   sched.enable_gpu = config_.enable_gpu;
   sched.deadline = config_.deadline;
   sched.feedback = config_.feedback;
+  sched.admission = config_.admission;
   policy_ = make_policy(
       config_.policy, sched,
       make_paper_estimator(config_.gpu_partitions,
@@ -83,11 +100,21 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
   const Placement placement = policy_->schedule(working, now, query_id);
   ExecutionReport report;
   report.rejected = placement.rejected;
+  if (placement.shed_at_admission) {
+    // Admission control turned the query away: a deliberate, typed shed —
+    // the hybrid fallback is for *unanswerable* queries, not overload.
+    report.outcome = ExecutionOutcome::kShedAtAdmission;
+    report.queue = placement.queue;
+    report.estimated_processing = placement.processing_est;
+    return report;
+  }
   if (placement.rejected) {
+    report.outcome = ExecutionOutcome::kRejected;
     if (!config_.cpu_table_scan_fallback) return report;
     // Hybrid fallback: no cube covers the resolution and no GPU can take
     // it — answer from the relational fact table on the host.
     report.rejected = false;
+    report.outcome = ExecutionOutcome::kCompleted;
     report.via_table_scan = true;
     report.queue = {QueueRef::kCpu, 0};
     if (working.needs_translation()) {

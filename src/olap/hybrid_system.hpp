@@ -54,17 +54,35 @@ struct HybridSystemConfig {
   /// Scheduling policy name (see make_policy).
   std::string policy = "figure10";
   bool feedback = true;
+  /// Overload robustness: admission control over the scheduler's own
+  /// feasibility signal (kNone = the paper's always-place behaviour).
+  AdmissionControl admission{};
   /// Record per-query lifecycle spans (enqueue/translate/dispatch/execute/
   /// complete) into the system's TraceRecorder, timestamped on the
   /// system's wall clock.
   bool record_trace = false;
 };
 
+/// How one submission ended. Every submitted query resolves to exactly
+/// one of these — overloaded executors shed with a typed outcome instead
+/// of hanging a promise or asserting.
+enum class ExecutionOutcome : std::uint8_t {
+  kCompleted,        ///< processed; `answer` is valid
+  kRejected,         ///< no partition can process the query at all
+  kShedAtAdmission,  ///< turned away before queueing (admission control
+                     ///< or a full intake queue)
+  kShedInQueue,      ///< queued, then evicted by load shedding
+  kFailed,           ///< executor could not run it (shutdown race)
+};
+
+const char* to_string(ExecutionOutcome outcome);
+
 /// Where and how one query was processed.
 struct ExecutionReport {
   QueryAnswer answer;
   QueueRef queue;               ///< partition that processed the query
-  bool rejected = false;
+  ExecutionOutcome outcome = ExecutionOutcome::kCompleted;
+  bool rejected = false;        ///< outcome == kRejected (kept for callers)
   bool via_table_scan = false;  ///< answered by the CPU relational fallback
   bool translated = false;
   Seconds estimated_processing{};  ///< scheduler's model estimate

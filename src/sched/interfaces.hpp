@@ -56,6 +56,10 @@ struct QueueRef {
 /// Outcome of scheduling one query.
 struct Placement {
   bool rejected = false;  ///< no partition can process the query at all
+  /// Admission control turned the query away: the best response estimate
+  /// exceeded the deadline by more than the configured slack. The queue
+  /// fields below still describe the best (rejected) candidate.
+  bool shed_at_admission = false;
   QueueRef queue;
   bool translate = false;        ///< also enqueued on the translation queue
   Seconds processing_est{};  ///< estimated processing time on `queue`

@@ -25,6 +25,8 @@ QueueingScheduler::QueueingScheduler(SchedulerConfig config,
   gpu_clocks_.assign(config_.gpu_partitions.size(), Seconds{});
   HOLAP_REQUIRE(config_.modeled_gpu_dispatch >= Seconds{0.0},
                 "modeled dispatch must be non-negative");
+  HOLAP_REQUIRE(config_.admission.slack_factor >= 0.0,
+                "admission slack factor must be non-negative");
   queue_device_ = config_.gpu_queue_device;
   if (queue_device_.empty()) {
     queue_device_.assign(gpu_clocks_.size(), 0);
@@ -67,7 +69,9 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
     r.ref = {QueueRef::kCpu, 0};
     r.processing = *est.cpu;
     r.response = std::max(cpu_clock_, now) + r.processing;
-    r.before_deadline = deadline - r.response > Seconds{0.0};
+    // The paper's feasible set is T_R <= T_D: a response landing exactly
+    // on the deadline is met, not missed.
+    r.before_deadline = r.response <= deadline;
     candidates.push_back(r);
   }
   if (config_.enable_gpu) {
@@ -93,7 +97,7 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
         ready = std::max(ready, r.dispatch_done);
       }
       r.response = ready + r.processing;
-      r.before_deadline = deadline - r.response > Seconds{0.0};
+      r.before_deadline = r.response <= deadline;  // T_R <= T_D
       candidates.push_back(r);
     }
   }
@@ -111,6 +115,22 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
       candidates.begin(), candidates.end(),
       [&](const PartitionResponse& r) { return r.ref == *choice; });
   HOLAP_ASSERT(chosen != candidates.end(), "policy chose a non-candidate");
+
+  // Admission control: when even the chosen partition's response estimate
+  // is beyond the deadline plus the tolerated slack, shed the query now —
+  // no clock advances, no queue absorbs doomed work.
+  if (config_.admission.mode == AdmissionControl::Mode::kReject &&
+      chosen->response >
+          deadline + config_.deadline * config_.admission.slack_factor) {
+    Placement p;
+    p.shed_at_admission = true;
+    p.queue = chosen->ref;
+    p.processing_est = chosen->processing;
+    p.response_est = chosen->response;
+    p.before_deadline = false;
+    ++counters_.shed_at_admission;
+    return p;
+  }
 
   // Commit: advance the owning clocks to this query's completion.
   Placement p;
@@ -160,6 +180,24 @@ void QueueingScheduler::on_completed(QueueRef ref, Seconds estimated,
   if (!config_.feedback) return;
   // Estimation error shifts everything queued behind the finished query.
   clock_for(ref) += actual - estimated;
+}
+
+void QueueingScheduler::on_shed(QueueRef ref, Seconds processing_est,
+                                Seconds pending_translation_est) {
+  ++counters_.shed_in_queue;
+  // schedule() advanced the clocks unconditionally, so the rollback is
+  // unconditional too (independent of the feedback flag): the queue will
+  // never do this work.
+  clock_for(ref) -= processing_est;
+  trans_clock_ -= pending_translation_est;
+}
+
+void QueueingScheduler::on_translation_completed(Seconds estimated,
+                                                 Seconds actual) {
+  ++counters_.translation_feedback_events;
+  counters_.feedback_abs_error += abs(actual - estimated);
+  if (!config_.feedback) return;
+  trans_clock_ += actual - estimated;
 }
 
 std::optional<QueueRef> FigureTenScheduler::choose(

@@ -32,6 +32,23 @@
 
 namespace holap {
 
+/// Admission control over the paper's own feasibility signal (Figure 10,
+/// step 6): instead of best-effort-placing a query whose every response
+/// estimate is past the deadline, an overloaded system can turn it away
+/// at submission — shedding load while the estimate is still cheap to
+/// give up, rather than after it has clogged a queue.
+struct AdmissionControl {
+  enum class Mode : std::uint8_t {
+    kNone,    ///< the paper's behaviour: always place (step 6 fallback)
+    kReject,  ///< shed at admission when T_R > T_D + slack_factor * T_C
+  };
+  Mode mode = Mode::kNone;
+  /// Tolerated lateness as a fraction of the deadline T_C: a query is
+  /// admitted while its best T_R <= T_D + slack_factor * T_C. 0 admits
+  /// only feasible queries; 0.5 tolerates misses up to half a deadline.
+  double slack_factor = 0.0;
+};
+
 struct SchedulerConfig {
   /// SM count per GPU queue, slow queues first. The paper's C2070 layout.
   std::vector<int> gpu_partitions = {1, 1, 2, 2, 4, 4};
@@ -52,6 +69,9 @@ struct SchedulerConfig {
   /// Device owning each GPU queue (for the dispatch clocks). Empty = one
   /// device owns all queues.
   std::vector<int> gpu_queue_device;
+  /// Overload robustness: reject queries whose best response estimate is
+  /// beyond the deadline plus slack (kNone keeps the paper's behaviour).
+  AdmissionControl admission;
 };
 
 /// Step-3 output for one partition queue.
@@ -78,6 +98,12 @@ struct SchedulerCounters {
   /// Σ|actual − estimated| over feedback events: cumulative model error
   /// the queue clocks absorbed.
   Seconds feedback_abs_error{};
+  /// Queries turned away by admission control (AdmissionControl::kReject).
+  std::size_t shed_at_admission = 0;
+  /// Queued placements later evicted by load shedding (on_shed feedback).
+  std::size_t shed_in_queue = 0;
+  /// Translation-clock feedback events (on_translation_completed).
+  std::size_t translation_feedback_events = 0;
 };
 
 /// Abstract scheduling policy over partition queues.
@@ -99,6 +125,27 @@ class SchedulerPolicy {
   virtual void on_completed(QueueRef ref, Seconds estimated,
                             Seconds actual) = 0;
 
+  /// Shed feedback: a query previously placed on `ref` was evicted before
+  /// running (executor load shedding). The placement advanced the queue
+  /// clocks by its estimates; shedding must roll that work back out, or
+  /// every later estimate inherits phantom load. `pending_translation_est`
+  /// is the translation estimate still outstanding (0 once translated).
+  virtual void on_shed(QueueRef ref, Seconds processing_est,
+                       Seconds pending_translation_est) {
+    (void)ref;
+    (void)processing_est;
+    (void)pending_translation_est;
+  }
+
+  /// Translation feedback (mirror of on_completed for Q_TRANS): measured
+  /// vs estimated translation time of a query that crossed the
+  /// translation partition, so the translation clock does not drift under
+  /// sustained load while every processing clock self-corrects.
+  virtual void on_translation_completed(Seconds estimated, Seconds actual) {
+    (void)estimated;
+    (void)actual;
+  }
+
   /// T_C: the per-query time constraint this policy schedules against.
   virtual Seconds deadline() const = 0;
 
@@ -116,6 +163,9 @@ class QueueingScheduler : public SchedulerPolicy {
   Placement schedule(const Query& q, Seconds now,
                      std::uint64_t query_id = 0) final;
   void on_completed(QueueRef ref, Seconds estimated, Seconds actual) override;
+  void on_shed(QueueRef ref, Seconds processing_est,
+               Seconds pending_translation_est) override;
+  void on_translation_completed(Seconds estimated, Seconds actual) override;
   Seconds deadline() const override { return config_.deadline; }
   int gpu_queue_count() const override {
     return static_cast<int>(gpu_clocks_.size());

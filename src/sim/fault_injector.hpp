@@ -1,0 +1,152 @@
+// Deterministic fault injection for overload and robustness tests.
+//
+// The overload paths worth testing — a partition queue filling up, one
+// partition running far slower than its model, a shutdown racing a
+// submission — are exactly the paths that are hard to hit on a quiet test
+// machine. FaultInjector forces them on demand, deterministically: every
+// knob is an explicit flag, counter or gate the test flips; nothing here
+// reads a clock or a random source (this header is inside the determinism
+// lint's include closure — see scripts/lint.py).
+//
+// Two planes consume it:
+//   - the discrete-event simulator (SimConfig::fault) applies the
+//     per-queue service multipliers, modelling a slow partition;
+//   - AsyncHybridExecutor (set_fault_injector) consults the queue-full
+//     override before every enqueue, runs the submit hook inside submit()
+//     (the shutdown-race window), and parks its workers on the gate so a
+//     test can pile up a backlog and release it at a chosen instant.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/interfaces.hpp"
+
+namespace holap {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// QueueRef conventions for the non-GPU stages (QueueRef has no
+  /// translation kind; index 1 on the CPU kind names it here).
+  static constexpr QueueRef cpu_ref() { return {QueueRef::kCpu, 0}; }
+  static constexpr QueueRef translation_ref() { return {QueueRef::kCpu, 1}; }
+
+  // --- queue-full ----------------------------------------------------
+  /// Force every subsequent enqueue attempt to see a full queue.
+  void force_queue_full(bool on) {
+    const std::lock_guard lock(mutex_);
+    force_full_ = on;
+  }
+
+  /// Let the next `n` enqueue attempts through, then report full.
+  void fail_pushes_after(std::uint64_t n) {
+    const std::lock_guard lock(mutex_);
+    pushes_left_ = n;
+    count_pushes_ = true;
+  }
+
+  /// Consulted by the executor before each enqueue; counts down the
+  /// fail_pushes_after budget.
+  bool queue_full() {
+    const std::lock_guard lock(mutex_);
+    if (force_full_) return true;
+    if (!count_pushes_) return false;
+    if (pushes_left_ == 0) return true;
+    --pushes_left_;
+    return false;
+  }
+
+  // --- slow partition (worker gate) ----------------------------------
+  /// Park every worker that reaches at_worker() until release_workers().
+  void hold_workers() {
+    const std::lock_guard lock(mutex_);
+    hold_ = true;
+  }
+
+  void release_workers() {
+    {
+      const std::lock_guard lock(mutex_);
+      hold_ = false;
+    }
+    gate_.notify_all();
+  }
+
+  /// Called by executor workers after dequeuing a job; blocks while held.
+  void at_worker(QueueRef ref) {
+    (void)ref;
+    std::unique_lock lock(mutex_);
+    ++waiting_;
+    gate_.wait(lock, [&] { return !hold_; });
+    --waiting_;
+  }
+
+  /// Workers currently parked at the gate — lets a test wait until a
+  /// backlog-building scenario is actually in the intended state instead
+  /// of sleeping and hoping.
+  int workers_waiting() const {
+    const std::lock_guard lock(mutex_);
+    return waiting_;
+  }
+
+  // --- slow partition (sim plane) ------------------------------------
+  /// Inflate the modeled service time of `ref` by `factor` (>= 0).
+  void set_service_multiplier(QueueRef ref, double factor) {
+    const std::lock_guard lock(mutex_);
+    for (auto& [queue, mult] : multipliers_) {
+      if (queue == ref) {
+        mult = factor;
+        return;
+      }
+    }
+    multipliers_.emplace_back(ref, factor);
+  }
+
+  double service_multiplier(QueueRef ref) const {
+    const std::lock_guard lock(mutex_);
+    for (const auto& [queue, mult] : multipliers_) {
+      if (queue == ref) return mult;
+    }
+    return 1.0;
+  }
+
+  // --- shutdown race --------------------------------------------------
+  /// Runs inside AsyncHybridExecutor::submit(), after scheduling but
+  /// before the enqueue — the exact window where a concurrent shutdown
+  /// can close the queues under a submitter. Tests install e.g. a
+  /// one-shot executor.shutdown() here to make the race a certainty.
+  void set_submit_hook(std::function<void()> hook) {
+    const std::lock_guard lock(mutex_);
+    submit_hook_ = std::move(hook);
+  }
+
+  void run_submit_hook() {
+    std::function<void()> hook;
+    {
+      const std::lock_guard lock(mutex_);
+      hook = submit_hook_;
+    }
+    if (hook) hook();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable gate_;
+  bool force_full_ = false;
+  bool count_pushes_ = false;
+  std::uint64_t pushes_left_ = 0;
+  bool hold_ = false;
+  int waiting_ = 0;
+  std::vector<std::pair<QueueRef, double>> multipliers_;
+  std::function<void()> submit_hook_;
+};
+
+}  // namespace holap

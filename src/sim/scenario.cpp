@@ -60,6 +60,7 @@ std::unique_ptr<SchedulerPolicy> PaperScenario::make_policy(
   config.prefer_fastest_feasible_gpu = options_.prefer_fastest_feasible_gpu;
   config.modeled_gpu_dispatch = options_.modeled_gpu_dispatch;
   config.gpu_queue_device = gpu_queue_device_map();
+  config.admission = options_.admission;
   return ::holap::make_policy(name, std::move(config), make_estimator());
 }
 

@@ -50,6 +50,9 @@ struct ScenarioOptions {
   double dict_length_multiplier = 1000.0;
   bool feedback = true;
   bool prefer_fastest_feasible_gpu = false;
+  /// Overload robustness: admission control over the scheduler's
+  /// feasibility signal (kNone keeps the paper's always-place behaviour).
+  AdmissionControl admission{};
   /// Share of text-capable conditions arriving as strings; 0 disables
   /// translation entirely (the paper's "original implementation").
   double text_probability = 0.5;

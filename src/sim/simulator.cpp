@@ -56,6 +56,10 @@ SimResult run_simulation(SchedulerPolicy& policy,
     return noise_rng.uniform_real(1.0 - config.service_noise,
                                   1.0 + config.service_noise);
   };
+  auto fault_mult = [&](QueueRef ref) {
+    return config.fault != nullptr ? config.fault->service_multiplier(ref)
+                                   : 1.0;
+  };
 
   SimResult result;
   result.gpu_utilization.assign(gpus.size(), 0.0);
@@ -154,6 +158,14 @@ SimResult run_simulation(SchedulerPolicy& policy,
       t.queue = p.queue;
       t.translated = p.translate;
       t.rejected = p.rejected;
+      t.shed = p.shed_at_admission;
+    }
+    if (p.shed_at_admission) {
+      // Admission control turned the query away; the client is free
+      // immediately, exactly like a rejection.
+      ++result.shed_at_admission;
+      advance_closed(now);
+      return;
     }
     if (p.rejected) {
       ++result.rejected;
@@ -168,7 +180,8 @@ SimResult run_simulation(SchedulerPolicy& policy,
       record(idx, SpanKind::kDispatch, now, now, p.queue, p.response_est,
              Seconds{}, Seconds{});
       const Seconds actual =
-          p.processing_est * noise() + config.cpu_overhead;
+          p.processing_est * noise() * fault_mult(FaultInjector::cpu_ref()) +
+          config.cpu_overhead;
       cpu.submit(actual,
                  [&, idx, submit = now, est = p.processing_est,
                   resp_est = p.response_est, actual](Seconds done) {
@@ -187,7 +200,8 @@ SimResult run_simulation(SchedulerPolicy& policy,
         config.gpu_queue_bias.empty()
             ? 1.0
             : config.gpu_queue_bias[static_cast<std::size_t>(queue)];
-    const Seconds actual_gpu = p.processing_est * noise() * bias;
+    const Seconds actual_gpu = p.processing_est * noise() * bias *
+                               fault_mult({QueueRef::kGpu, queue});
     const auto device = static_cast<std::size_t>(
         queue_device[static_cast<std::size_t>(queue)]);
     auto into_pipeline = [&, idx, queue, device, actual_gpu, submit = now,
@@ -222,7 +236,9 @@ SimResult run_simulation(SchedulerPolicy& policy,
     if (p.translate) {
       ++result.translated_queries;
       trans_ctr.on_enqueue();
-      const Seconds trans_service = p.translation_est * noise();
+      const Seconds trans_service =
+          p.translation_est * noise() *
+          fault_mult(FaultInjector::translation_ref());
       translation.submit(
           trans_service,
           [&, idx, queue, trans_service, resp_est = p.response_est,

@@ -30,6 +30,7 @@
 #include "query/query.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace holap {
 
@@ -72,6 +73,10 @@ struct SimConfig {
   /// deterministic for a given (queries, config). Caller owns the
   /// recorder; the policy's recorder is overridden for the run.
   TraceRecorder* recorder = nullptr;
+  /// Deterministic fault injection: per-queue service multipliers inflate
+  /// the modeled service times (FaultInjector::translation_ref() names the
+  /// translation stage). Caller owns the injector; nullptr = no faults.
+  FaultInjector* fault = nullptr;
   std::uint64_t seed = 99;
 };
 
@@ -86,12 +91,15 @@ struct QueryTrace {
   QueueRef queue;
   bool translated = false;
   bool rejected = false;
+  bool shed = false;  ///< turned away by admission control
   bool met_deadline = false;
 };
 
 struct SimResult {
   std::size_t completed = 0;
   std::size_t rejected = 0;
+  /// Queries turned away by admission control (AdmissionControl::kReject).
+  std::size_t shed_at_admission = 0;
   std::size_t met_deadline = 0;
   std::size_t cpu_queries = 0;
   std::size_t gpu_queries = 0;

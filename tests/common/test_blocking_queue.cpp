@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -82,6 +84,157 @@ TEST(BlockingQueue, MoveOnlyPayloads) {
   const auto item = q.pop();
   ASSERT_TRUE(item.has_value());
   EXPECT_EQ(**item, 42);
+}
+
+TEST(BoundedQueue, ZeroCapacityMeansUnbounded) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.capacity(), 0u);
+  int item = 1;
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(q.try_push(item), QueuePush::kAccepted);
+  }
+  EXPECT_EQ(q.size(), 10'000u);
+}
+
+TEST(BoundedQueue, TryPushFailsFastAtCapacityAndKeepsTheItem) {
+  BlockingQueue<std::unique_ptr<int>> q(2);
+  auto a = std::make_unique<int>(1), b = std::make_unique<int>(2);
+  EXPECT_EQ(q.try_push(a), QueuePush::kAccepted);
+  EXPECT_EQ(q.try_push(b), QueuePush::kAccepted);
+  auto c = std::make_unique<int>(3);
+  EXPECT_EQ(q.try_push(c), QueuePush::kFull);
+  // kFull must leave the item with the caller so it can be shed/reported.
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(*c, 3);
+  // A pop frees a slot and the same item now goes through.
+  (void)q.pop();
+  EXPECT_EQ(q.try_push(c), QueuePush::kAccepted);
+  EXPECT_EQ(c, nullptr);
+}
+
+TEST(BoundedQueue, TryPushAfterCloseKeepsTheItem) {
+  BlockingQueue<std::unique_ptr<int>> q(4);
+  q.close();
+  auto item = std::make_unique<int>(9);
+  EXPECT_EQ(q.try_push(item), QueuePush::kClosed);
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(*item, 9);
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // blocks until the consumer makes room
+    second_pushed = true;
+  });
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, CloseWakesProducerBlockedOnSpace) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> push_rejected{false};
+  std::thread producer([&] { push_rejected = !q.push(2); });
+  q.close();
+  producer.join();
+  EXPECT_TRUE(push_rejected);
+  // The item that was already in flight still drains.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BlockingQueue, PopForTimesOutOnEmptyOpenQueue) {
+  BlockingQueue<int> q;
+  const auto item = q.pop_for(std::chrono::milliseconds{5});
+  EXPECT_EQ(item, std::nullopt);
+  EXPECT_FALSE(q.closed());  // timeout, not shutdown
+}
+
+TEST(BlockingQueue, PopForReturnsAvailableItemImmediately) {
+  BlockingQueue<int> q;
+  q.push(11);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds{0}), 11);
+}
+
+TEST(BlockingQueue, PopForSeesClosedAndDrained) {
+  BlockingQueue<int> q;
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds{5}), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+// Ranking for push_displacing tests: smaller value = less feasible.
+constexpr auto kSmallerIsWorse = [](const int& a, const int& b) {
+  return a < b;
+};
+
+TEST(DisplacingQueue, PushesWithoutDisplacingWhileSpaceRemains) {
+  BlockingQueue<int> q(2);
+  const auto [status, displaced] = q.push_displacing(5, kSmallerIsWorse);
+  EXPECT_EQ(status, QueuePush::kAccepted);
+  EXPECT_EQ(displaced, std::nullopt);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(DisplacingQueue, EvictsTheWorstQueuedItemWhenFull) {
+  BlockingQueue<int> q(3);
+  int a = 4, b = 2, c = 7;
+  q.try_push(a);
+  q.try_push(b);
+  q.try_push(c);
+  const auto [status, displaced] = q.push_displacing(6, kSmallerIsWorse);
+  EXPECT_EQ(status, QueuePush::kAccepted);
+  EXPECT_EQ(displaced, 2);  // the least-feasible queued item made room
+  // FIFO order of the survivors is preserved; the arrival joins the tail.
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), 6);
+}
+
+TEST(DisplacingQueue, ArrivalWorseThanAllQueuedBouncesBack) {
+  BlockingQueue<int> q(2);
+  int a = 5, b = 8;
+  q.try_push(a);
+  q.try_push(b);
+  const auto [status, displaced] = q.push_displacing(3, kSmallerIsWorse);
+  EXPECT_EQ(status, QueuePush::kFull);
+  EXPECT_EQ(displaced, 3);  // the arrival itself comes back to the caller
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(DisplacingQueue, QueuedItemsWinTies) {
+  // The arrival must be STRICTLY better to displace: on a tie the queued
+  // item keeps its slot, so back-to-back equal jobs don't churn the queue.
+  BlockingQueue<int> q(1);
+  int queued = 5;
+  q.try_push(queued);
+  const auto [status, displaced] = q.push_displacing(5, kSmallerIsWorse);
+  EXPECT_EQ(status, QueuePush::kFull);
+  EXPECT_EQ(displaced, 5);
+  EXPECT_EQ(q.pop(), 5);
+}
+
+TEST(DisplacingQueue, ClosedQueueReturnsTheArrival) {
+  BlockingQueue<int> q(2);
+  q.close();
+  const auto [status, displaced] = q.push_displacing(1, kSmallerIsWorse);
+  EXPECT_EQ(status, QueuePush::kClosed);
+  EXPECT_EQ(displaced, 1);
+}
+
+TEST(DisplacingQueue, UnboundedQueueNeverDisplaces) {
+  BlockingQueue<int> q;  // capacity 0
+  for (int i = 0; i < 100; ++i) {
+    const auto [status, displaced] = q.push_displacing(i, kSmallerIsWorse);
+    ASSERT_EQ(status, QueuePush::kAccepted);
+    ASSERT_EQ(displaced, std::nullopt);
+  }
+  EXPECT_EQ(q.size(), 100u);
 }
 
 }  // namespace

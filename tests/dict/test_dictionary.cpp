@@ -94,6 +94,38 @@ TEST(Dictionary, MemoryGrowsWithContent) {
   EXPECT_GT(large.memory_bytes(), small.memory_bytes());
 }
 
+TEST(Dictionary, IndexViewsSurviveHeavyGrowth) {
+  // Regression: the hashed index keys are string_views into the stored
+  // strings. Short keys sit in the string objects themselves (SSO), so if
+  // the backing container relocated its elements while growing, every
+  // previously-indexed view would dangle — a bug ASan catches the moment
+  // the index is probed after enough growth. The store must therefore
+  // have stable element addresses (std::deque, never std::vector).
+  Dictionary d;
+  constexpr std::uint64_t kKeys = 4096;  // far past any growth threshold
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    // "k0".."k4095": all well inside SSO capacity.
+    d.encode_or_add("k" + std::to_string(i));
+  }
+  ASSERT_EQ(d.size(), kKeys);
+  // Probe every key through the hashed index: each lookup hashes and
+  // compares the stored view, so a dangling view cannot go unnoticed.
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const auto code = d.find(key, DictSearch::kHashed);
+    ASSERT_TRUE(code.has_value()) << key;
+    EXPECT_EQ(*code, static_cast<std::int32_t>(i));
+    EXPECT_EQ(d.decode(*code), key);
+  }
+  // Growth after probing must not invalidate earlier entries either.
+  for (std::uint64_t i = kKeys; i < 2 * kKeys; ++i) {
+    d.encode_or_add("k" + std::to_string(i));
+  }
+  EXPECT_EQ(d.find("k0", DictSearch::kHashed), 0);
+  EXPECT_EQ(d.find("k" + std::to_string(kKeys - 1), DictSearch::kHashed),
+            static_cast<std::int32_t>(kKeys - 1));
+}
+
 TEST(Dictionary, EmptyDictionaryBehaviour) {
   Dictionary d;
   EXPECT_EQ(d.size(), 0u);

@@ -108,6 +108,22 @@ TEST(SpanChain, AcceptsCanonicalChains) {
   EXPECT_TRUE(is_complete_span_chain(chain(true, {QueueRef::kGpu, 2})));
 }
 
+TEST(SpanChain, AcceptsCpuInlineTranslationAfterDispatch) {
+  // On the CPU path translation happens inline after the worker picks the
+  // job up, so kTranslate legitimately follows kDispatch.
+  auto spans = chain(false, {QueueRef::kCpu, 0});
+  TraceSpan translate;
+  translate.query_id = 7;
+  translate.kind = SpanKind::kTranslate;
+  translate.queue = {QueueRef::kCpu, 0};
+  spans.insert(spans.begin() + 2, translate);  // enqueue, dispatch, translate
+  EXPECT_TRUE(is_complete_span_chain(spans));
+  // ... but at most one translate per query.
+  auto twice = spans;
+  twice.insert(twice.begin() + 1, translate);
+  EXPECT_FALSE(is_complete_span_chain(twice));
+}
+
 TEST(SpanChain, RejectsBrokenChains) {
   EXPECT_FALSE(is_complete_span_chain({}));
   auto missing_complete = chain(false, {QueueRef::kCpu, 0});
@@ -122,6 +138,65 @@ TEST(SpanChain, RejectsBrokenChains) {
   auto extra = chain(false, {QueueRef::kCpu, 0});
   extra.push_back(extra.back());  // duplicate trailing span
   EXPECT_FALSE(is_complete_span_chain(extra));
+}
+
+PartitionCounters sample_counters() {
+  PartitionCounters c;
+  c.name = "gpu3";
+  c.enqueued = 120;
+  c.completed = 97;
+  c.shed = 15;
+  c.depth = 8;
+  c.max_depth = 31;
+  c.busy = Seconds{0.1234567890123456789};  // full double precision
+  return c;
+}
+
+TEST(CountersJsonl, RoundTripsExactly) {
+  const PartitionCounters c = sample_counters();
+  const PartitionCounters back = counters_from_jsonl(to_jsonl(c));
+  EXPECT_EQ(back.name, c.name);
+  EXPECT_EQ(back.enqueued, c.enqueued);
+  EXPECT_EQ(back.completed, c.completed);
+  EXPECT_EQ(back.shed, c.shed);
+  EXPECT_EQ(back.depth, c.depth);
+  EXPECT_EQ(back.max_depth, c.max_depth);
+  EXPECT_EQ(back.busy.value(), c.busy.value());  // bit-exact
+}
+
+TEST(CountersJsonl, LinesAreSelfContainedJsonObjects) {
+  const std::string line = to_jsonl(sample_counters());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  for (const char* field :
+       {"\"partition\":", "\"enqueued\":", "\"completed\":", "\"shed\":",
+        "\"depth\":", "\"max_depth\":", "\"busy\":"}) {
+    EXPECT_NE(line.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(CountersJsonl, WritesOneLinePerPartition) {
+  std::vector<PartitionCounters> counters(3, sample_counters());
+  counters[0].name = "cpu";
+  counters[1].name = "translation";
+  counters[2].name = "gpu0";
+  std::stringstream ss;
+  write_counters_jsonl(ss, counters);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    const PartitionCounters back = counters_from_jsonl(line);
+    EXPECT_EQ(back.name, counters[lines].name);
+    ++lines;
+  }
+  EXPECT_EQ(lines, counters.size());
+}
+
+TEST(CountersJsonl, MalformedLinesThrow) {
+  EXPECT_THROW(counters_from_jsonl("{}"), InvalidArgument);
+  EXPECT_THROW(counters_from_jsonl("not json"), InvalidArgument);
 }
 
 }  // namespace

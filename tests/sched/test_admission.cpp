@@ -1,0 +1,296 @@
+// Admission control, the deadline boundary, and the shed/translation
+// feedback paths of the queueing scheduler — the overload-robustness
+// surface added on top of Figure 10.
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/catalog.hpp"
+
+namespace holap {
+namespace {
+
+struct Fixture {
+  std::vector<Dimension> dims = paper_model_dimensions();
+  TableSchema schema =
+      make_star_schema(paper_model_dimensions(),
+                       {"m0", "m1", "m2", "m3"}, {{1, 3}, {2, 3}});
+  VirtualCubeCatalog catalog{paper_model_dimensions(), {0, 1, 2, 3}};
+  /// Ladder without the 32 GB cube: level-3 queries become GPU-only.
+  VirtualCubeCatalog catalog_no32{paper_model_dimensions(), {0, 1, 2}};
+  VirtualTranslationModel translation{schema, 1000.0};
+
+  SchedulerConfig config;
+
+  Fixture() { config.deadline = Seconds{0.25}; }
+
+  FigureTenScheduler scheduler() const {
+    return FigureTenScheduler(
+        config, make_paper_estimator(config.gpu_partitions, 8,
+                                     Megabytes{4096.0}, 16, &catalog,
+                                     &translation));
+  }
+
+  FigureTenScheduler scheduler_no32() const {
+    return FigureTenScheduler(
+        config, make_paper_estimator(config.gpu_partitions, 8,
+                                     Megabytes{4096.0}, 16, &catalog_no32,
+                                     &translation));
+  }
+};
+
+Query cheap_cpu_query() {
+  Query q;
+  q.conditions.push_back({0, 0, 0, 0, {}, {}});
+  q.conditions.push_back({1, 0, 0, 0, {}, {}});
+  q.conditions.push_back({2, 0, 0, 0, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+Query expensive_cpu_query() {
+  Query q;
+  q.conditions.push_back({0, 3, 0, 1599, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+Query text_query() {
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {"Marlowick"};
+  q.conditions.push_back(c);
+  q.conditions.push_back({0, 3, 0, 1599, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+// --- deadline boundary ----------------------------------------------------
+
+TEST(DeadlineBoundary, ResponseExactlyOnDeadlineIsMet) {
+  // The paper's feasible set is T_R <= T_D. Measure the exact response a
+  // query gets from empty queues, then make the deadline exactly that:
+  // identical double arithmetic on both sides, so equality is exact.
+  Fixture probe;
+  const Placement measured =
+      probe.scheduler().schedule(cheap_cpu_query(), Seconds{});
+  ASSERT_FALSE(measured.rejected);
+
+  Fixture f;
+  f.config.deadline = measured.response_est;
+  const Placement p = f.scheduler().schedule(cheap_cpu_query(), Seconds{});
+  EXPECT_EQ(p.response_est, measured.response_est);
+  EXPECT_TRUE(p.before_deadline)
+      << "T_R == T_D must count as met (boundary is inclusive)";
+}
+
+TEST(DeadlineBoundary, BoundaryQueryAdmittedUnderZeroSlack) {
+  // The same boundary case must also pass a zero-slack admission gate:
+  // admit while T_R <= T_D.
+  Fixture probe;
+  const Placement measured =
+      probe.scheduler().schedule(cheap_cpu_query(), Seconds{});
+
+  Fixture f;
+  f.config.deadline = measured.response_est;
+  f.config.admission.mode = AdmissionControl::Mode::kReject;
+  f.config.admission.slack_factor = 0.0;
+  auto sched = f.scheduler();
+  const Placement p = sched.schedule(cheap_cpu_query(), Seconds{});
+  EXPECT_FALSE(p.shed_at_admission);
+  EXPECT_TRUE(p.before_deadline);
+  EXPECT_EQ(sched.counters().shed_at_admission, 0u);
+}
+
+// --- admission control ----------------------------------------------------
+
+TEST(Admission, InfeasibleQueryShedWithoutTouchingClocks) {
+  Fixture f;
+  f.config.deadline = Seconds{1e-6};  // nothing can meet this
+  f.config.admission.mode = AdmissionControl::Mode::kReject;
+  auto sched = f.scheduler();
+  const Placement p = sched.schedule(expensive_cpu_query(), Seconds{});
+  EXPECT_TRUE(p.shed_at_admission);
+  EXPECT_FALSE(p.rejected);
+  EXPECT_FALSE(p.before_deadline);
+  // The shed carries the best candidate's estimates for the report...
+  EXPECT_GT(p.processing_est, Seconds{});
+  EXPECT_GT(p.response_est, Seconds{});
+  // ...but commits nothing: no clock advanced, no phantom load.
+  EXPECT_EQ(sched.cpu_clock(), Seconds{});
+  EXPECT_EQ(sched.translation_clock(), Seconds{});
+  for (int i = 0; i < sched.gpu_queue_count(); ++i) {
+    EXPECT_EQ(sched.gpu_clock(i), Seconds{});
+  }
+  EXPECT_EQ(sched.counters().shed_at_admission, 1u);
+  EXPECT_EQ(sched.counters().scheduled, 0u);
+}
+
+TEST(Admission, SlackFactorToleratesBoundedLateness) {
+  // A deadline the query misses: zero slack sheds it, a slack factor big
+  // enough that T_D + slack*T_C covers T_R admits it (step 6 placement).
+  Fixture strict;
+  strict.config.deadline = Seconds{1e-6};
+  strict.config.admission.mode = AdmissionControl::Mode::kReject;
+  strict.config.admission.slack_factor = 0.0;
+  const Placement shed =
+      strict.scheduler().schedule(expensive_cpu_query(), Seconds{});
+  EXPECT_TRUE(shed.shed_at_admission);
+
+  Fixture lax;
+  lax.config.deadline = Seconds{1e-6};
+  lax.config.admission.mode = AdmissionControl::Mode::kReject;
+  lax.config.admission.slack_factor =
+      2.0 * shed.response_est.value() / 1e-6;
+  const Placement admitted =
+      lax.scheduler().schedule(expensive_cpu_query(), Seconds{});
+  EXPECT_FALSE(admitted.shed_at_admission);
+  EXPECT_FALSE(admitted.before_deadline);  // still late, just tolerated
+}
+
+TEST(Admission, DisabledModeNeverSheds) {
+  // kNone keeps the paper's behaviour: step 6 places even hopeless work.
+  Fixture f;
+  f.config.deadline = Seconds{1e-6};
+  auto sched = f.scheduler();
+  for (int i = 0; i < 20; ++i) {
+    const Placement p = sched.schedule(expensive_cpu_query(), Seconds{});
+    EXPECT_FALSE(p.shed_at_admission);
+    EXPECT_FALSE(p.rejected);
+  }
+  EXPECT_EQ(sched.counters().shed_at_admission, 0u);
+  EXPECT_EQ(sched.counters().scheduled, 20u);
+}
+
+TEST(Admission, RecoversOnceBacklogDrains) {
+  // Overload sheds; feedback-driven drain (queries finishing early) makes
+  // later arrivals admissible again.
+  Fixture f;
+  f.config.admission.mode = AdmissionControl::Mode::kReject;
+  auto sched = f.scheduler();
+  // Pile on work until the scheduler starts shedding.
+  int placed = 0;
+  while (sched.counters().shed_at_admission == 0 && placed < 10000) {
+    sched.schedule(expensive_cpu_query(), Seconds{});
+    ++placed;
+  }
+  ASSERT_GT(sched.counters().shed_at_admission, 0u);
+  // Arrive much later, after every queue has long drained.
+  const Placement p =
+      sched.schedule(expensive_cpu_query(), Seconds{1e6});
+  EXPECT_FALSE(p.shed_at_admission);
+  EXPECT_TRUE(p.before_deadline);
+}
+
+TEST(Admission, NegativeSlackFactorThrows) {
+  Fixture f;
+  f.config.admission.slack_factor = -0.1;
+  EXPECT_THROW(f.scheduler(), InvalidArgument);
+}
+
+TEST(Admission, DecisionsDeterministicAcrossInstances) {
+  // Two schedulers built from the same config replay the same admission
+  // decisions for the same arrival sequence — the property the seeded
+  // overload scenarios rely on.
+  Fixture f;
+  f.config.deadline = Seconds{0.02};
+  f.config.admission.mode = AdmissionControl::Mode::kReject;
+  f.config.admission.slack_factor = 0.25;
+  auto a = f.scheduler_no32();
+  auto b = f.scheduler_no32();
+  const std::vector<Query> sequence = {
+      expensive_cpu_query(), text_query(),     cheap_cpu_query(),
+      expensive_cpu_query(), expensive_cpu_query(), text_query(),
+      cheap_cpu_query(),     expensive_cpu_query()};
+  for (int round = 0; round < 40; ++round) {
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      const Seconds now{0.001 * static_cast<double>(i + 8u * round)};
+      const Placement pa = a.schedule(sequence[i], now);
+      const Placement pb = b.schedule(sequence[i], now);
+      ASSERT_EQ(pa.shed_at_admission, pb.shed_at_admission)
+          << "round " << round << " query " << i;
+      ASSERT_EQ(pa.queue.kind, pb.queue.kind);
+      ASSERT_EQ(pa.queue.index, pb.queue.index);
+      ASSERT_EQ(pa.response_est, pb.response_est);
+    }
+  }
+  EXPECT_EQ(a.counters().shed_at_admission,
+            b.counters().shed_at_admission);
+  EXPECT_GT(a.counters().shed_at_admission, 0u);  // the gate actually bit
+  EXPECT_GT(a.counters().scheduled, 0u);          // and let work through
+}
+
+// --- shed feedback (clock rollback) --------------------------------------
+
+TEST(ShedFeedback, RollsProcessingOutOfTheQueueClock) {
+  Fixture f;
+  auto sched = f.scheduler();
+  const Placement p1 = sched.schedule(cheap_cpu_query(), Seconds{});
+  const Placement p2 = sched.schedule(cheap_cpu_query(), Seconds{});
+  const Seconds before = sched.cpu_clock();
+  sched.on_shed(p2.queue, p2.processing_est, Seconds{});
+  EXPECT_NEAR(sched.cpu_clock().value(),
+              (before - p2.processing_est).value(), 1e-15);
+  EXPECT_NEAR(sched.cpu_clock().value(), p1.response_est.value(), 1e-15);
+  EXPECT_EQ(sched.counters().shed_in_queue, 1u);
+}
+
+TEST(ShedFeedback, RollsPendingTranslationOutOfTheTranslationClock) {
+  Fixture f;
+  auto sched = f.scheduler_no32();
+  const Placement p = sched.schedule(text_query(), Seconds{});
+  ASSERT_TRUE(p.translate);
+  const Seconds gpu_before = sched.gpu_clock(p.queue.index);
+  const Seconds trans_before = sched.translation_clock();
+  sched.on_shed(p.queue, p.processing_est, p.translation_est);
+  EXPECT_NEAR(sched.gpu_clock(p.queue.index).value(),
+              (gpu_before - p.processing_est).value(), 1e-15);
+  EXPECT_NEAR(sched.translation_clock().value(),
+              (trans_before - p.translation_est).value(), 1e-15);
+}
+
+TEST(ShedFeedback, RollbackIsIndependentOfTheFeedbackFlag) {
+  // schedule() advances clocks unconditionally, so the rollback must be
+  // unconditional too — even with §III-G feedback disabled.
+  Fixture f;
+  f.config.feedback = false;
+  auto sched = f.scheduler();
+  const Placement p = sched.schedule(cheap_cpu_query(), Seconds{});
+  sched.on_shed(p.queue, p.processing_est, Seconds{});
+  EXPECT_NEAR(sched.cpu_clock().value(), 0.0, 1e-15);
+}
+
+// --- translation feedback -------------------------------------------------
+
+TEST(TranslationFeedback, MeasuredOverrunShiftsTranslationClock) {
+  Fixture f;
+  auto sched = f.scheduler_no32();
+  const Placement p = sched.schedule(text_query(), Seconds{});
+  ASSERT_TRUE(p.translate);
+  const Seconds before = sched.translation_clock();
+  sched.on_translation_completed(p.translation_est,
+                                 p.translation_est + Seconds{0.010});
+  EXPECT_NEAR(sched.translation_clock().value(), before.value() + 0.010,
+              1e-12);
+  // Under-run pulls it back.
+  sched.on_translation_completed(Seconds{0.005}, Seconds{0.001});
+  EXPECT_NEAR(sched.translation_clock().value(),
+              before.value() + 0.010 - 0.004, 1e-12);
+  EXPECT_EQ(sched.counters().translation_feedback_events, 2u);
+}
+
+TEST(TranslationFeedback, DisabledFeedbackCountsButDoesNotShift) {
+  Fixture f;
+  f.config.feedback = false;
+  auto sched = f.scheduler_no32();
+  sched.schedule(text_query(), Seconds{});
+  const Seconds before = sched.translation_clock();
+  sched.on_translation_completed(Seconds{0.001}, Seconds{0.5});
+  EXPECT_EQ(sched.translation_clock(), before);
+  EXPECT_EQ(sched.counters().translation_feedback_events, 1u);
+}
+
+}  // namespace
+}  // namespace holap

@@ -1,0 +1,136 @@
+// Overload scenarios in the discrete-event plane: a seeded arrival burst
+// far past the sustainable rate, admission control shedding the overflow
+// deterministically, and FaultInjector's slow-partition multipliers.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace holap {
+namespace {
+
+ScenarioOptions overload_options() {
+  ScenarioOptions opts;
+  opts.admission.mode = AdmissionControl::Mode::kReject;
+  opts.admission.slack_factor = 0.0;
+  // Tighter than the paper's 0.25 s: the scheduler's clocks only model
+  // partition service, not the serialised dispatch stage, so the modeled
+  // backlog climbs slower than the real one. 0.1 s makes the estimated
+  // backlog itself cross T_D within the burst.
+  opts.deadline = Seconds{0.1};
+  return opts;
+}
+
+SimConfig burst_config() {
+  SimConfig config;
+  // A sustained burst roughly 10x the published hybrid rate (~110 Q/s):
+  // the backlog must grow past every deadline within a few hundred
+  // arrivals, so admission control has real work to do.
+  config.arrival_rate = 1100.0;
+  config.record_trace = true;
+  return config;
+}
+
+std::vector<std::size_t> shed_indices(const SimResult& r) {
+  std::vector<std::size_t> shed;
+  for (const QueryTrace& t : r.trace) {
+    if (t.shed) shed.push_back(t.index);
+  }
+  return shed;
+}
+
+TEST(OverloadSim, BurstShedsAndEveryQueryIsAccountedFor) {
+  const PaperScenario s{overload_options()};
+  const auto queries = s.make_workload(800);
+  auto policy = s.make_policy();
+  const SimResult r = run_simulation(*policy, queries, burst_config());
+  EXPECT_GT(r.shed_at_admission, 0u) << "a 10x burst must shed";
+  EXPECT_GT(r.completed, 0u) << "admission must not shed everything";
+  // Conservation: every query either completed, was rejected outright, or
+  // was shed at admission — nothing lost, nothing double-counted.
+  EXPECT_EQ(r.completed + r.rejected + r.shed_at_admission, queries.size());
+}
+
+TEST(OverloadSim, ShedSetIsDeterministicAcrossRuns) {
+  const PaperScenario s{overload_options()};
+  const auto queries = s.make_workload(800);
+  auto p1 = s.make_policy();
+  auto p2 = s.make_policy();
+  const SimResult a = run_simulation(*p1, queries, burst_config());
+  const SimResult b = run_simulation(*p2, queries, burst_config());
+  EXPECT_EQ(a.shed_at_admission, b.shed_at_admission);
+  EXPECT_EQ(a.completed, b.completed);
+  // Not just the same count — the same queries.
+  EXPECT_EQ(shed_indices(a), shed_indices(b));
+  EXPECT_GT(a.shed_at_admission, 0u);
+}
+
+TEST(OverloadSim, AdmissionKeepsLatencyBoundedUnderBurst) {
+  // The point of shedding: whoever is admitted still gets a bounded
+  // response, instead of everyone queueing toward infinity.
+  const PaperScenario strict{overload_options()};
+  ScenarioOptions open_opts;  // admission off: the paper's behaviour
+  open_opts.deadline = Seconds{0.1};  // same T_D, only the gate differs
+  const PaperScenario open{std::move(open_opts)};
+  const auto queries = strict.make_workload(800);
+  auto strict_policy = strict.make_policy();
+  auto open_policy = open.make_policy();
+  SimConfig config = burst_config();
+  config.record_trace = false;
+  const SimResult gated = run_simulation(*strict_policy, queries, config);
+  const SimResult ungated = run_simulation(*open_policy, queries, config);
+  EXPECT_EQ(ungated.shed_at_admission, 0u);
+  // With zero slack, every admitted query was estimated to meet T_D; the
+  // ungated system's tail blows far past it under the same burst.
+  EXPECT_LT(gated.p99_latency, ungated.p99_latency);
+  EXPECT_GT(gated.deadline_hit_rate, ungated.deadline_hit_rate);
+}
+
+TEST(OverloadSim, SlowPartitionFaultInflatesServiceTimes) {
+  ScenarioOptions opts;
+  opts.enable_gpu = false;  // isolate the CPU server
+  const PaperScenario s{std::move(opts)};
+  const auto queries = s.make_workload(150);
+  SimConfig config;
+  config.closed_clients = 4;
+  config.cpu_overhead = Seconds{0.0};
+  config.gpu_dispatch_overhead = Seconds{0.0};
+
+  auto clean_policy = s.make_policy();
+  const SimResult clean = run_simulation(*clean_policy, queries, config);
+
+  FaultInjector fault;
+  fault.set_service_multiplier(FaultInjector::cpu_ref(), 5.0);
+  config.fault = &fault;
+  auto slow_policy = s.make_policy();
+  const SimResult slow = run_simulation(*slow_policy, queries, config);
+
+  EXPECT_EQ(slow.completed, clean.completed);
+  // Every CPU service took 5x longer; the makespan must reflect it.
+  EXPECT_GT(slow.makespan.value(), clean.makespan.value() * 4.0);
+  EXPECT_NEAR(slow.partitions[0].busy.value(),
+              clean.partitions[0].busy.value() * 5.0,
+              clean.partitions[0].busy.value() * 0.01);
+}
+
+TEST(OverloadSim, FaultedRunsStayDeterministic) {
+  const PaperScenario s{ScenarioOptions{}};
+  const auto queries = s.make_workload(200);
+  SimConfig config;
+  config.closed_clients = 8;
+  FaultInjector fault;
+  fault.set_service_multiplier({QueueRef::kGpu, 0}, 3.0);
+  fault.set_service_multiplier(FaultInjector::translation_ref(), 2.0);
+  config.fault = &fault;
+  auto p1 = s.make_policy();
+  auto p2 = s.make_policy();
+  const SimResult a = run_simulation(*p1, queries, config);
+  const SimResult b = run_simulation(*p2, queries, config);
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_EQ(a.met_deadline, b.met_deadline);
+  EXPECT_EQ(a.cpu_queries, b.cpu_queries);
+}
+
+}  // namespace
+}  // namespace holap

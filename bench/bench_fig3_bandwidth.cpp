@@ -42,11 +42,14 @@ int main() {
                TablePrinter::fixed(native[1].bandwidth_gbps[i], 2),
                TablePrinter::fixed(native[2].bandwidth_gbps[i], 2),
                TablePrinter::fixed(
-                   CpuPerfModel::paper_for_threads(1).gb_per_second(Megabytes{mb}), 2),
+                   CpuPerfModel::paper_for_threads(1)
+                       .gb_per_second(Megabytes{mb}).value(), 2),
                TablePrinter::fixed(
-                   CpuPerfModel::paper_4t().gb_per_second(Megabytes{mb}), 2),
+                   CpuPerfModel::paper_4t().gb_per_second(Megabytes{mb})
+                       .value(), 2),
                TablePrinter::fixed(
-                   CpuPerfModel::paper_8t().gb_per_second(Megabytes{mb}), 2)});
+                   CpuPerfModel::paper_8t().gb_per_second(Megabytes{mb})
+                       .value(), 2)});
   }
   t.print(std::cout, "Figure 3: aggregation bandwidth [GB/s]");
 

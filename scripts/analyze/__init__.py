@@ -1,0 +1,22 @@
+"""Repo-specific static analysis for the hybrid OLAP codebase.
+
+Two rule families, one CLI (``analyze.py``):
+
+* ``lint`` rules — the original textual hygiene checks (determinism
+  include-closure, raw new/delete, include hygiene), ported verbatim from
+  the old ``scripts/lint.py`` (now a forwarding shim).
+
+* ``ast`` rules — invariants of this codebase's design, checked
+  structurally: clock-ledger pairing in the Figure-10 scheduler, enum
+  switch exhaustiveness, bounded-queue construction on the serving path,
+  strong-unit escapes in the model/scheduling planes, and the TraceSpan
+  lifecycle.
+
+The ``ast`` rules run on one of two engines: a precise libclang engine
+(``libclang_engine.py``, used when the ``clang`` Python bindings are
+importable — CI installs them) and a self-contained text/token engine
+(``rules_ast.py``) that needs nothing beyond the standard library. Both
+report the same rule ids so baselines and CI wiring are engine-agnostic.
+"""
+
+__all__ = ["cppmodel", "findings", "rules_ast", "rules_lint"]

@@ -1,0 +1,7 @@
+"""``python3 -m`` entry point (run from scripts/: ``python3 -m analyze``)."""
+
+import sys
+
+from .analyze import run
+
+sys.exit(run())

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Repo-specific static analysis: hygiene lint + invariant rules.
+
+Rule families (select with --rules; each violation prints as
+``file:line: [rule] message``):
+
+  lint   determinism, raw-new-delete, include-hygiene — the original
+         scripts/lint.py rules (that script now forwards here).
+  ast    clock-ledger, enum-exhaustive, bounded-queue, unit-escape,
+         span-lifecycle — structural invariants of this codebase; see
+         DESIGN.md "Invariants as machine-checked rules".
+
+Engines for the ast family (--engine):
+
+  text      self-contained token/brace engine, no dependencies (default
+            fallback; what ctest runs).
+  libclang  precise AST engine on the clang Python bindings + a
+            compile_commands.json (CI installs the bindings).
+  auto      libclang when importable, else text.
+
+Usage:
+  scripts/analyze/analyze.py                       # all rules, text/auto
+  scripts/analyze/analyze.py --rules lint          # old lint.py behaviour
+  scripts/analyze/analyze.py --rules clock-ledger,unit-escape
+  scripts/analyze/analyze.py --fix-dry-run         # show suggested fixes
+  scripts/analyze/analyze.py --json findings.json  # machine-readable dump
+
+Exit codes: 0 clean (all findings baselined), 1 findings or stale
+baseline entries, 2 bad invocation.
+
+Baseline: scripts/analyze/baseline.json suppresses accepted findings by
+(rule, file, line-substring). Stale entries — suppressing nothing — fail
+the run so suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+try:
+    from .findings import Baseline, Finding
+    from .rules_ast import AST_RULES, run_text_engine
+    from .rules_lint import LINT_RULES
+    from . import libclang_engine
+except ImportError:  # executed as a plain script
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from findings import Baseline, Finding
+    from rules_ast import AST_RULES, run_text_engine
+    from rules_lint import LINT_RULES
+    import libclang_engine
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+def resolve_rules(spec: str) -> tuple[list[str], list[str]]:
+    """--rules value -> (lint rule ids, ast rule ids)."""
+    lint: list[str] = []
+    ast: list[str] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if token == "all":
+            lint = list(LINT_RULES)
+            ast = list(AST_RULES)
+        elif token == "lint":
+            lint = list(LINT_RULES)
+        elif token == "ast":
+            ast = list(AST_RULES)
+        elif token in LINT_RULES:
+            lint.append(token)
+        elif token in AST_RULES:
+            ast.append(token)
+        else:
+            known = ", ".join(["all", "lint", "ast", *LINT_RULES,
+                               *AST_RULES])
+            raise SystemExit(
+                f"analyze: unknown rule '{token}' (known: {known})")
+    return lint, ast
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--rules", default="all",
+                        help="comma list: all, lint, ast, or rule ids "
+                             "(default: all)")
+    parser.add_argument("--engine", default="text",
+                        choices=("auto", "text", "libclang"),
+                        help="engine for the ast rules (default: text)")
+    parser.add_argument("--root", type=pathlib.Path, default=REPO,
+                        help="tree to analyze (default: the repo)")
+    parser.add_argument("-p", "--build-dir", type=pathlib.Path,
+                        default=REPO / "build",
+                        help="compile_commands.json dir for --engine "
+                             "libclang (default: build/)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline file, or 'none' (default: "
+                             "scripts/analyze/baseline.json; only applied "
+                             "when analyzing the repo itself)")
+    parser.add_argument("--json", dest="json_out",
+                        help="write findings as JSON to this path "
+                             "('-' = stdout)")
+    parser.add_argument("--fix-dry-run", action="store_true",
+                        help="print the suggested fix next to each "
+                             "violation (no files are modified); exit "
+                             "code still reflects violations")
+    args = parser.parse_args(argv)
+
+    lint_rules, ast_rules = resolve_rules(args.rules)
+    root = args.root.resolve()
+
+    findings: list[Finding] = []
+    for rule in lint_rules:
+        findings.extend(LINT_RULES[rule](root))
+
+    engine_used = "text"
+    if ast_rules:
+        engine = args.engine
+        if engine in ("auto", "libclang"):
+            try:
+                findings.extend(libclang_engine.run_libclang_engine(
+                    root, ast_rules, args.build_dir.resolve()))
+                engine_used = "libclang"
+            except libclang_engine.EngineUnavailable as e:
+                if engine == "libclang":
+                    print(f"analyze: libclang engine unavailable: {e}",
+                          file=sys.stderr)
+                    return 2
+                engine = "text"
+        if engine == "text":
+            findings.extend(run_text_engine(root, ast_rules))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    baseline = Baseline.empty()
+    if args.baseline != "none" and root == REPO.resolve():
+        baseline_path = pathlib.Path(args.baseline)
+        if baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+            baseline.restrict(set(lint_rules) | set(ast_rules))
+
+    live = [f for f in findings if not baseline.suppresses(f)]
+
+    for f in live:
+        print(f.format())
+        if args.fix_dry_run and f.fix:
+            print(f"{f.path}:{f.line}: [{f.rule}] would fix: {f.fix}")
+
+    stale = baseline.stale_entries()
+    for e in stale:
+        print(f"{e['path']}: [baseline] stale suppression for "
+              f"{e['rule']} (matched nothing): {e['contains']!r}",
+              file=sys.stderr)
+
+    if args.json_out:
+        payload = json.dumps({
+            "engine": engine_used,
+            "rules": lint_rules + ast_rules,
+            "root": str(root),
+            "findings": [f.to_json() for f in live],
+            "suppressed": len(findings) - len(live),
+            "stale_baseline_entries": len(stale),
+        }, indent=2)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            pathlib.Path(args.json_out).write_text(payload + "\n",
+                                                   encoding="utf-8")
+
+    if live or stale:
+        print(f"\n{len(live)} violation(s), {len(stale)} stale baseline "
+              "entr(y/ies).", file=sys.stderr)
+        return 1
+    suppressed = len(findings)
+    suffix = f", {suppressed} baselined" if suppressed else ""
+    print(f"analyze: OK ({len(lint_rules) + len(ast_rules)} rules, "
+          f"engine={engine_used}{suffix})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,239 @@
+"""A lightweight structural model of the C++ tree for the text engine.
+
+Not a parser: comments and literals are blanked (preserving line
+numbers), then brace/paren matching recovers just enough structure for
+the invariant rules — function extents, switch statements, enum
+definitions. The libclang engine supersedes this when available; the
+rules are written so that the constructs this model cannot see (macro
+tricks, brace-initialised constructor init-lists around a function body)
+do not occur in this codebase, and the fixture tests pin the behaviour
+on representative shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+
+INCLUDE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines so
+    line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+@dataclasses.dataclass
+class SourceFile:
+    path: pathlib.Path
+    rel: str  # root-relative posix path
+    text: str  # raw contents
+    stripped: str  # comments/strings blanked, same line numbering
+
+    def line_of(self, offset: int) -> int:
+        return self.stripped.count("\n", 0, offset) + 1
+
+    def line_text(self, lineno: int) -> str:
+        lines = self.stripped.splitlines()
+        return lines[lineno - 1].strip() if lineno <= len(lines) else ""
+
+
+class SourceTree:
+    """All .hpp/.cpp files under a root, loaded and stripped once."""
+
+    def __init__(self, root: pathlib.Path,
+                 exclude: tuple[str, ...] = ()) -> None:
+        self.root = root
+        self._files: dict[str, SourceFile] = {}
+        for ext in ("*.hpp", "*.cpp"):
+            for p in sorted(root.rglob(ext)):
+                rel = p.relative_to(root).as_posix()
+                if any(rel.startswith(e) for e in exclude):
+                    continue
+                text = p.read_text(encoding="utf-8")
+                self._files[rel] = SourceFile(
+                    p, rel, text, strip_comments_and_strings(text))
+
+    def files(self, *prefixes: str) -> list[SourceFile]:
+        """Files whose root-relative path starts with any prefix (all
+        files when no prefix is given)."""
+        if not prefixes:
+            return list(self._files.values())
+        return [
+            f for rel, f in self._files.items()
+            if any(rel.startswith(p) for p in prefixes)
+        ]
+
+    def get(self, rel: str) -> SourceFile | None:
+        return self._files.get(rel)
+
+
+def match_brace(text: str, open_pos: int) -> int:
+    """Offset of the '}' matching the '{' at open_pos (-1 if unbalanced).
+    `text` must already be comment/string-stripped."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def body_start(text: str, sig_end: int) -> int:
+    """Offset of the '{' opening the function body whose signature's
+    closing ')' is at sig_end. Skips over constructor init-lists written
+    with parentheses; stops at ';' (declaration, no body)."""
+    i = sig_end + 1
+    depth = 0
+    while i < len(text):
+        c = text[i]
+        if depth == 0 and c == ";":
+            return -1
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif c == "{" and depth == 0:
+            return i
+        i += 1
+    return -1
+
+
+@dataclasses.dataclass
+class FunctionExtent:
+    name: str  # unqualified member/function name
+    start: int  # offset of the opening '{'
+    end: int  # offset of the matching '}'
+
+
+def member_extents(sf: SourceFile, class_name: str) -> list[FunctionExtent]:
+    """Extents of out-of-line members ``Class::name(...) { ... }`` plus
+    in-class bodies are not needed by the current rules."""
+    extents = []
+    for m in re.finditer(rf"\b{class_name}::(~?\w+)\s*\(", sf.stripped):
+        sig_open = m.end() - 1
+        depth = 0
+        sig_close = -1
+        for i in range(sig_open, len(sf.stripped)):
+            if sf.stripped[i] == "(":
+                depth += 1
+            elif sf.stripped[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    sig_close = i
+                    break
+        if sig_close == -1:
+            continue
+        start = body_start(sf.stripped, sig_close)
+        if start == -1:
+            continue
+        end = match_brace(sf.stripped, start)
+        if end == -1:
+            continue
+        extents.append(FunctionExtent(m.group(1), start, end))
+    return extents
+
+
+@dataclasses.dataclass
+class SwitchStmt:
+    cond: str  # text inside switch (...)
+    body: str  # text between the braces, nested switch bodies blanked
+    body_offset: int  # offset of the '{' in the file
+    line: int
+
+
+def find_switches(sf: SourceFile) -> list[SwitchStmt]:
+    out = []
+    for m in re.finditer(r"\bswitch\s*\(", sf.stripped):
+        open_paren = m.end() - 1
+        depth = 0
+        close_paren = -1
+        for i in range(open_paren, len(sf.stripped)):
+            if sf.stripped[i] == "(":
+                depth += 1
+            elif sf.stripped[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    close_paren = i
+                    break
+        if close_paren == -1:
+            continue
+        brace = sf.stripped.find("{", close_paren)
+        if brace == -1:
+            continue
+        end = match_brace(sf.stripped, brace)
+        if end == -1:
+            continue
+        body = sf.stripped[brace + 1:end]
+        # Blank nested switches so their labels don't leak into ours.
+        body = _blank_nested_switches(body)
+        out.append(SwitchStmt(
+            cond=sf.stripped[open_paren + 1:close_paren].strip(),
+            body=body, body_offset=brace, line=sf.line_of(m.start())))
+    return out
+
+
+def _blank_nested_switches(body: str) -> str:
+    while True:
+        m = re.search(r"\bswitch\s*\(", body)
+        if m is None:
+            return body
+        brace = body.find("{", m.start())
+        if brace == -1:
+            return body
+        end = match_brace(body, brace)
+        if end == -1:
+            return body
+        blanked = re.sub(r"\S", " ", body[m.start():end + 1])
+        body = body[:m.start()] + blanked + body[end + 1:]
+
+
+ENUM_DEF = re.compile(r"\benum\s+(?:class|struct)\s+(\w+)[^;{]*\{")
+
+
+def enum_definitions(tree: SourceTree) -> dict[str, set[str]]:
+    """Map from scoped-enum name to its enumerator set, across the tree."""
+    enums: dict[str, set[str]] = {}
+    for sf in tree.files():
+        for m in ENUM_DEF.finditer(sf.stripped):
+            brace = m.end() - 1
+            end = match_brace(sf.stripped, brace)
+            if end == -1:
+                continue
+            body = sf.stripped[brace + 1:end]
+            names = set()
+            for part in body.split(","):
+                ident = part.split("=")[0].strip()
+                if re.fullmatch(r"\w+", ident):
+                    names.add(ident)
+            if names:
+                enums[m.group(1)] = names
+    return enums

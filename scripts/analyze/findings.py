@@ -1,0 +1,70 @@
+"""Finding and baseline types shared by every rule and engine."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+
+@dataclasses.dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int  # 1-based
+    message: str
+    text: str = ""  # the (stripped) source line, for baseline matching
+    fix: str = ""  # suggested fix, shown under --fix-dry-run
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class Baseline:
+    """Accepted findings that do not fail the build.
+
+    Entries match on (rule, path, substring-of-line) rather than line
+    numbers, so unrelated edits to a file do not invalidate the baseline.
+    An entry that matches nothing is itself an error — stale suppressions
+    must be deleted, not accumulated.
+    """
+
+    def __init__(self, entries: list[dict]) -> None:
+        self.entries = entries
+        self.hits = [0] * len(entries)
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = data["suppressions"]
+        for e in entries:
+            if not {"rule", "path", "contains", "reason"} <= set(e):
+                raise ValueError(
+                    f"baseline entry missing keys: {json.dumps(e)}")
+        return cls(entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    def restrict(self, rules: set[str]) -> None:
+        """Keep only entries for rules that ran — an entry for a rule
+        outside this run is neither applied nor reported stale."""
+        self.entries = [e for e in self.entries if e["rule"] in rules]
+        self.hits = [0] * len(self.entries)
+
+    def suppresses(self, finding: Finding) -> bool:
+        for i, e in enumerate(self.entries):
+            if (e["rule"] == finding.rule and e["path"] == finding.path
+                    and e["contains"] in finding.text):
+                self.hits[i] += 1
+                return True
+        return False
+
+    def stale_entries(self) -> list[dict]:
+        return [e for e, h in zip(self.entries, self.hits) if h == 0]

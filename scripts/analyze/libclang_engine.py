@@ -1,0 +1,245 @@
+"""AST engine for the invariant rules, on the clang Python bindings.
+
+Preferred over the text engine when ``import clang.cindex`` succeeds and
+a ``compile_commands.json`` is available (CI installs the bindings; the
+default dev container does not ship them). Emits the same rule ids and
+equivalent messages as rules_ast.py so baselines and golden files apply
+to either engine.
+
+Everything here is defensive: any failure — missing bindings, missing
+compilation database, a TU that fails to parse — raises
+EngineUnavailable and the caller falls back to the text engine rather
+than silently passing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+try:
+    from .findings import Finding
+    from . import rules_ast
+except ImportError:  # executed as a flat script directory
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from findings import Finding
+    import rules_ast
+
+
+class EngineUnavailable(RuntimeError):
+    pass
+
+
+def _import_cindex():
+    try:
+        from clang import cindex  # noqa: PLC0415
+        return cindex
+    except ImportError as e:
+        raise EngineUnavailable(f"clang bindings not importable: {e}") from e
+
+
+def _compile_args(build_dir: pathlib.Path) -> dict[str, list[str]]:
+    db = build_dir / "compile_commands.json"
+    if not db.exists():
+        raise EngineUnavailable(f"no compilation database at {db}")
+    args_by_file: dict[str, list[str]] = {}
+    for entry in json.loads(db.read_text(encoding="utf-8")):
+        cmd = entry.get("command", "").split() or entry.get("arguments", [])
+        # Drop the compiler, the -o pair and the input file; keep flags.
+        args = []
+        skip = False
+        for tok in cmd[1:]:
+            if skip:
+                skip = False
+                continue
+            if tok in ("-o", "-c"):
+                skip = tok == "-o"
+                continue
+            if tok.endswith((".cpp", ".cc", ".o")):
+                continue
+            args.append(tok)
+        args_by_file[entry["file"]] = args
+    return args_by_file
+
+
+def _rel(root: pathlib.Path, location) -> str | None:
+    if location.file is None:
+        return None
+    try:
+        return pathlib.Path(location.file.name).resolve() \
+            .relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return None
+
+
+def run_libclang_engine(root: pathlib.Path, rules: list[str],
+                        build_dir: pathlib.Path) -> list[Finding]:
+    cindex = _import_cindex()
+    args_by_file = _compile_args(build_dir)
+    try:
+        index = cindex.Index.create()
+    except Exception as e:  # libclang.so missing/unloadable
+        raise EngineUnavailable(f"libclang unavailable: {e}") from e
+
+    findings: list[Finding] = []
+    ck = cindex.CursorKind
+
+    def want(rel: str | None, *prefixes: str) -> bool:
+        return rel is not None and rel.startswith(prefixes)
+
+    def line_text(rel: str, line: int) -> str:
+        try:
+            return (root / rel).read_text(
+                encoding="utf-8").splitlines()[line - 1].strip()
+        except (OSError, IndexError):
+            return ""
+
+    def add(rule: str, rel: str, line: int, message: str, fix: str) -> None:
+        findings.append(Finding(rule, rel, line, message,
+                                text=line_text(rel, line), fix=fix))
+
+    def enum_decl_of(type_obj):
+        decl = type_obj.get_declaration()
+        if decl.kind == ck.ENUM_DECL:
+            return decl
+        return None
+
+    def visit(cursor, mutated_members: dict[str, set[str]],
+              current_member: list[str]):
+        rel = _rel(root, cursor.location)
+
+        if cursor.kind in (ck.CXX_METHOD, ck.CONSTRUCTOR):
+            parent = cursor.semantic_parent
+            if parent is not None and parent.spelling == \
+                    rules_ast.SCHEDULER_CLASS:
+                current_member = [cursor.spelling]
+
+        if "enum-exhaustive" in rules and cursor.kind == ck.SWITCH_STMT \
+                and want(rel, "src/"):
+            children = list(cursor.get_children())
+            cases, has_default, named = [], False, set()
+            stack = children[1:] if len(children) > 1 else []
+            while stack:
+                c = stack.pop()
+                if c.kind == ck.SWITCH_STMT:
+                    continue  # nested switch owns its own labels
+                if c.kind == ck.DEFAULT_STMT:
+                    has_default = True
+                if c.kind == ck.CASE_STMT:
+                    cases.append(c)
+                    for ref in c.get_children():
+                        for tok in ref.get_tokens():
+                            if tok.spelling.startswith("k"):
+                                named.add(tok.spelling)
+                            break
+                stack.extend(c.get_children())
+            if has_default:
+                add("enum-exhaustive", rel, cursor.location.line,
+                    "`default:` label hides future enumerators/anchors "
+                    "from the compiler and this check",
+                    "name every case; for open int domains use an "
+                    "if-chain with an explicit fallthrough value")
+            cond = children[0] if children else None
+            decl = enum_decl_of(cond.type) if cond is not None else None
+            if decl is not None and decl.is_scoped_enum():
+                enumerators = {c.spelling for c in decl.get_children()
+                               if c.kind == ck.ENUM_CONSTANT_DECL}
+                missing = sorted(enumerators - named)
+                if missing and not has_default:
+                    add("enum-exhaustive", rel, cursor.location.line,
+                        f"switch over {decl.spelling} misses "
+                        f"{', '.join(missing)}",
+                        "add the missing case(s); never add `default:`")
+
+        if "span-lifecycle" in rules and want(rel, "src/") \
+                and not want(rel, "src/obs/"):
+            if cursor.kind in (ck.TYPE_REF, ck.CXX_CONSTRUCT_EXPR,
+                               ck.VAR_DECL, ck.FIELD_DECL, ck.PARM_DECL):
+                tname = cursor.type.spelling if cursor.type else ""
+                if "TraceSpan" in tname or \
+                        cursor.spelling == "TraceSpan":
+                    add("span-lifecycle", rel, cursor.location.line,
+                        "TraceSpan is src/obs-internal; other planes must "
+                        "not construct or handle spans directly",
+                        "record via TraceRecorder::span()/span_into() and "
+                        "the SpanBuilder setters")
+
+        if "bounded-queue" in rules and cursor.kind == ck.CXX_CONSTRUCT_EXPR \
+                and want(rel, "src/olap/", "examples/"):
+            if "BlockingQueue<" in (cursor.type.spelling or "") and \
+                    len(list(cursor.get_arguments())) == 0:
+                add("bounded-queue", rel, cursor.location.line,
+                    "unbounded BlockingQueue on the serving path "
+                    "(no capacity argument)",
+                    "construct with a capacity; shed or reroute on kFull")
+
+        if "unit-escape" in rules and cursor.kind == ck.PARM_DECL \
+                and want(rel, "src/perfmodel/", "src/sched/", "src/sim/"):
+            if cursor.type.spelling == "double" and \
+                    rules_ast._unit_named(cursor.spelling):
+                add("unit-escape", rel, cursor.location.line,
+                    f"raw double parameter `{cursor.spelling}` carries a "
+                    "unit in its name",
+                    "take Seconds/Megabytes/MbPerSec/GbPerSec "
+                    "(common/units.hpp) instead")
+
+        if "clock-ledger" in rules and cursor.kind == ck.BINARY_OPERATOR \
+                and want(rel, "src/"):
+            toks = [t.spelling for t in cursor.get_tokens()]
+            if any(op in toks for op in ("=", "+=", "-=")):
+                hit = [m for m in rules_ast.LEDGER_FAMILIES
+                       if m in toks] + \
+                      (["clock_for"] if "clock_for" in toks else [])
+                if hit:
+                    member = current_member[0] if current_member else None
+                    if rel != rules_ast.SCHEDULER_FILE or \
+                            member not in rules_ast.BLESSED:
+                        add("clock-ledger", rel, cursor.location.line,
+                            "queue clock mutated outside the blessed "
+                            f"{rules_ast.SCHEDULER_CLASS} members",
+                            "route the update through schedule()/on_*() "
+                            "feedback")
+                    elif member is not None:
+                        for m in hit:
+                            fams = rules_ast.CLOCK_FOR_FAMILIES \
+                                if m == "clock_for" \
+                                else (rules_ast.LEDGER_FAMILIES[m],)
+                            for fam in fams:
+                                mutated_members.setdefault(
+                                    member, set()).add(fam)
+
+        for child in cursor.get_children():
+            visit(child, mutated_members, current_member)
+
+    mutated: dict[str, set[str]] = {}
+    parsed = 0
+    for path, args in args_by_file.items():
+        if not path.endswith(".cpp") or "/src/" not in path.replace(
+                str(root), str(root) + "/"):
+            pass  # parse everything under the database; scoping is per-node
+        try:
+            tu = index.parse(path, args=args)
+        except Exception:
+            continue
+        if any(d.severity >= cindex.Diagnostic.Error
+               for d in tu.diagnostics):
+            continue
+        parsed += 1
+        visit(tu.cursor, mutated, [])
+    if parsed == 0:
+        raise EngineUnavailable("no translation unit parsed cleanly")
+
+    if "clock-ledger" in rules:
+        committed = mutated.get("schedule", set())
+        rolled = set()
+        for m in rules_ast.ROLLBACK_MEMBERS:
+            rolled |= mutated.get(m, set())
+        for fam in sorted(committed - rolled):
+            add("clock-ledger", rules_ast.SCHEDULER_FILE, 1,
+                f"schedule() commits the {fam} clock but no feedback hook "
+                f"({', '.join(rules_ast.ROLLBACK_MEMBERS)}) ever rolls it "
+                "back — a shed query would inflate the clock forever",
+                "subtract the committed estimate in on_shed()")
+
+    return findings

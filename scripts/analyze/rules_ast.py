@@ -1,0 +1,397 @@
+"""Repo-specific invariant rules — the self-contained text/token engine.
+
+Five rules, each encoding a design invariant of this codebase (see
+DESIGN.md, "Invariants as machine-checked rules"):
+
+  clock-ledger      Only the Figure-10 scheduler's blessed members may
+                    mutate the queue-clock ledger, and every clock family
+                    schedule() commits must be rolled back or corrected
+                    by on_shed()/on_completed()/on_translation_completed().
+  enum-exhaustive   No `default:` labels; a switch over a scoped enum
+                    must name every enumerator.
+  bounded-queue     The serving path (src/olap, examples/) never
+                    constructs an unbounded BlockingQueue.
+  unit-escape       Public signatures in the model/scheduling planes
+                    (src/perfmodel, src/sched, src/sim) do not smuggle
+                    units through raw doubles, and strong units are not
+                    unwrapped-then-rewrapped.
+  span-lifecycle    TraceSpan is an src/obs-internal type; everything
+                    else records through TraceRecorder's builder.
+
+The libclang engine (libclang_engine.py) checks the same invariants from
+the AST when the bindings are available; rule ids and messages match so
+baselines apply to either engine.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+try:
+    from .cppmodel import (SourceFile, SourceTree, enum_definitions,
+                           find_switches, member_extents)
+    from .findings import Finding
+except ImportError:  # executed as a flat script directory
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from cppmodel import (SourceFile, SourceTree, enum_definitions,
+                          find_switches, member_extents)
+    from findings import Finding
+
+
+class Context:
+    """Lazily-built source trees shared by the rules."""
+
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = root
+        self._trees: dict[str, SourceTree] = {}
+
+    def tree(self, sub: str) -> SourceTree:
+        if sub not in self._trees:
+            self._trees[sub] = SourceTree(self.root / sub)
+        return self._trees[sub]
+
+    def files(self, *prefixed: str) -> list[tuple[str, SourceFile]]:
+        """(repo-relative path, file) pairs for e.g. 'src/olap'."""
+        out = []
+        for pref in prefixed:
+            top, _, rest = pref.partition("/")
+            tree = self.tree(top)
+            if not (self.root / top).exists():
+                continue
+            for sf in tree.files(rest) if rest else tree.files():
+                out.append((f"{top}/{sf.rel}", sf))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# clock-ledger
+
+
+LEDGER_FAMILIES = {
+    "cpu_clock_": "cpu",
+    "trans_clock_": "translation",
+    "gpu_clocks_": "gpu",
+    "dispatch_clocks_": "dispatch",
+}
+# clock_for() returns a reference into the cpu/gpu clocks; writing
+# through it touches either family.
+CLOCK_FOR_FAMILIES = ("cpu", "gpu")
+
+SCHEDULER_FILE = "src/sched/scheduler.cpp"
+SCHEDULER_CLASS = "QueueingScheduler"
+# The only members allowed to mutate the ledger. schedule() is the
+# committer; the three feedback hooks roll back or correct; clock_for is
+# the accessor; the constructor sizes the vectors.
+BLESSED = {
+    "QueueingScheduler", "schedule", "on_completed", "on_shed",
+    "on_translation_completed", "clock_for",
+}
+ROLLBACK_MEMBERS = ("on_shed", "on_completed", "on_translation_completed")
+
+_MUTATING_OPS = ("=", "+=", "-=")
+
+
+def _skip_brackets(text: str, i: int, open_c: str, close_c: str) -> int:
+    depth = 0
+    while i < len(text):
+        if text[i] == open_c:
+            depth += 1
+        elif text[i] == close_c:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return i
+
+
+def _mutation_op_at(text: str, i: int) -> str | None:
+    """The mutating operator starting at offset i, if any."""
+    while i < len(text) and text[i].isspace():
+        i += 1
+    if text.startswith("+=", i) or text.startswith("-=", i):
+        return text[i:i + 2]
+    if text.startswith("=", i) and not text.startswith("==", i):
+        return "="
+    if text.startswith(".assign", i):
+        return ".assign"
+    return None
+
+
+def _ledger_mutations(text: str) -> list[tuple[int, str, str]]:
+    """(offset, family, op) for every write to a ledger clock."""
+    out = []
+    for m in re.finditer(
+            r"\b(cpu_clock_|trans_clock_|gpu_clocks_|dispatch_clocks_)\b",
+            text):
+        i = m.end()
+        while i < len(text) and text[i].isspace():
+            i += 1
+        if i < len(text) and text[i] == "[":
+            i = _skip_brackets(text, i, "[", "]")
+        op = _mutation_op_at(text, i)
+        if op is not None:
+            out.append((m.start(), LEDGER_FAMILIES[m.group(1)], op))
+    for m in re.finditer(r"\bclock_for\s*\(", text):
+        i = _skip_brackets(text, m.end() - 1, "(", ")")
+        op = _mutation_op_at(text, i)
+        if op is not None:
+            for fam in CLOCK_FOR_FAMILIES:
+                out.append((m.start(), fam, op))
+    return out
+
+
+def check_clock_ledger(ctx: Context) -> list[Finding]:
+    out: list[Finding] = []
+    scheduler: SourceFile | None = None
+    for rel, sf in ctx.files("src"):
+        muts = _ledger_mutations(sf.stripped)
+        if rel == SCHEDULER_FILE:
+            scheduler = sf
+            continue
+        for off, family, op in muts:
+            line = sf.line_of(off)
+            out.append(Finding(
+                "clock-ledger", rel, line,
+                f"{family} queue clock mutated outside "
+                f"{SCHEDULER_FILE} — the ledger belongs to "
+                f"{SCHEDULER_CLASS}",
+                text=sf.line_text(line),
+                fix="route the update through schedule()/on_*() feedback"))
+    if scheduler is None:
+        return out
+
+    extents = member_extents(scheduler, SCHEDULER_CLASS)
+
+    def owner(off: int) -> str | None:
+        for e in extents:
+            if e.start <= off <= e.end:
+                return e.name
+        return None
+
+    committed: dict[str, int] = {}  # family -> offset of the commit
+    rolled_back: set[str] = set()
+    for off, family, op in _ledger_mutations(scheduler.stripped):
+        member = owner(off)
+        line = scheduler.line_of(off)
+        if member is None or member not in BLESSED:
+            where = member or "file scope"
+            out.append(Finding(
+                "clock-ledger", SCHEDULER_FILE, line,
+                f"{family} queue clock mutated in {where}(); only "
+                f"{sorted(BLESSED)} may touch the ledger",
+                text=scheduler.line_text(line),
+                fix="move the mutation into schedule() or a feedback hook"))
+            continue
+        if member == "schedule":
+            committed.setdefault(family, off)
+        elif member in ROLLBACK_MEMBERS:
+            rolled_back.add(family)
+
+    for family, off in sorted(committed.items(), key=lambda kv: kv[1]):
+        if family not in rolled_back:
+            line = scheduler.line_of(off)
+            out.append(Finding(
+                "clock-ledger", SCHEDULER_FILE, line,
+                f"schedule() commits the {family} clock but no feedback "
+                f"hook ({', '.join(ROLLBACK_MEMBERS)}) ever rolls it back "
+                "— a shed query would inflate the clock forever",
+                text=scheduler.line_text(line),
+                fix=f"subtract the committed estimate in on_shed()"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# enum-exhaustive
+
+
+def check_enum_exhaustive(ctx: Context) -> list[Finding]:
+    out: list[Finding] = []
+    enums = enum_definitions(ctx.tree("src"))
+    for rel, sf in ctx.files("src"):
+        for sw in find_switches(sf):
+            dflt = re.search(r"\bdefault\s*:", sw.body)
+            if dflt:
+                line = sf.line_of(sw.body_offset + 1 + dflt.start())
+                out.append(Finding(
+                    "enum-exhaustive", rel, line,
+                    "`default:` label hides future enumerators/anchors "
+                    "from the compiler and this check",
+                    text=sf.line_text(line),
+                    fix="name every case; for open int domains use an "
+                        "if-chain with an explicit fallthrough value"))
+            labels = re.findall(r"\bcase\s+((?:\w+::)*\w+)", sw.body)
+            scoped = [l for l in labels if "::k" in l]
+            if not scoped:
+                continue
+            enum_name = scoped[0].split("::")[-2]
+            if enum_name not in enums:
+                continue  # plain enum or out-of-tree type
+            named = {l.split("::")[-1] for l in scoped}
+            missing = sorted(enums[enum_name] - named)
+            # With a default: the gap is already reported above (and the
+            # libclang engine behaves the same way).
+            if missing and not dflt:
+                out.append(Finding(
+                    "enum-exhaustive", rel, sw.line,
+                    f"switch over {enum_name} misses "
+                    f"{', '.join(missing)}",
+                    text=sf.line_text(sw.line),
+                    fix="add the missing case(s); never add `default:`"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# bounded-queue
+
+
+_QUEUE_SCOPES = ("src/olap", "examples")
+
+
+def _angle_end(text: str, i: int) -> int:
+    """i at '<'; index after the matching '>'."""
+    depth = 0
+    while i < len(text):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return i
+
+
+def check_bounded_queue(ctx: Context) -> list[Finding]:
+    out: list[Finding] = []
+    files = ctx.files(*_QUEUE_SCOPES)
+    all_text = {rel: sf.stripped for rel, sf in files}
+    for rel, sf in files:
+        text = sf.stripped
+        for m in re.finditer(r"\bBlockingQueue\s*<", text):
+            after = _angle_end(text, text.find("<", m.start()))
+            # make_unique<BlockingQueue<T>>() — empty constructor args.
+            before = text[:m.start()].rstrip()
+            if before.endswith("<"):  # ...make_unique< BlockingQueue<T> >
+                close = text[after:].lstrip()
+                if close.startswith(">"):
+                    paren = after + len(text[after:]) - len(close) + 1
+                    rest = text[paren:].lstrip()
+                    if rest.startswith("(") and rest[1:].lstrip().startswith(")"):
+                        line = sf.line_of(m.start())
+                        out.append(Finding(
+                            "bounded-queue", rel, line,
+                            "unbounded BlockingQueue on the serving path "
+                            "(no capacity argument)",
+                            text=sf.line_text(line),
+                            fix="pass a capacity; shed or reroute on kFull"))
+                continue
+            # Declaration: BlockingQueue<T> name;   (or ...name{} / ())
+            decl = re.match(r"\s*&?\s*(\w+)\s*([;({]?)", text[after:])
+            if decl is None or decl.group(1) in ("operator",):
+                continue
+            name, punct = decl.group(1), decl.group(2)
+            if punct in ("(", "{"):
+                args_at = after + decl.end(2) - 1
+                inner = text[args_at + 1:].lstrip()
+                if not inner.startswith((")", "}")):
+                    continue  # constructed with arguments
+            elif punct != ";":
+                continue  # reference/parameter or other usage
+            # A member declaration is fine if some constructor init-list
+            # in this file or its header/source twin passes a capacity.
+            twin = (rel[:-4] + ".cpp") if rel.endswith(".hpp") \
+                else (rel[:-4] + ".hpp")
+            init = re.compile(rf"[:,]\s*{name}\s*[({{]\s*[^)}}\s]")
+            if any(init.search(all_text.get(r, ""))
+                   for r in (rel, twin)):
+                continue
+            line = sf.line_of(m.start())
+            out.append(Finding(
+                "bounded-queue", rel, line,
+                f"BlockingQueue `{name}` is unbounded on the serving "
+                "path (no capacity at construction)",
+                text=sf.line_text(line),
+                fix="construct with a capacity; shed or reroute on kFull"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# unit-escape
+
+
+_UNIT_SCOPES = ("src/perfmodel", "src/sched", "src/sim")
+_UNIT_SUFFIXES = ("_s", "_sec", "_secs", "_seconds", "_ms", "_mb",
+                  "_megabytes", "_mbps", "_gb", "_gbps")
+_PARAM = re.compile(r"[(,]\s*(?:const\s+)?double\s+([a-z_]\w*)")
+_REWRAP = re.compile(
+    r"\b(Seconds|Megabytes|MbPerSec|GbPerSec)\s*\{[^{}]*\.value\(\)[^{}]*\}")
+
+
+def _unit_named(name: str) -> bool:
+    return name.endswith(_UNIT_SUFFIXES) or "per_s" in name
+
+
+def check_unit_escape(ctx: Context) -> list[Finding]:
+    out: list[Finding] = []
+    for rel, sf in ctx.files(*_UNIT_SCOPES):
+        if rel.endswith(".hpp"):
+            for m in _PARAM.finditer(sf.stripped):
+                if _unit_named(m.group(1)):
+                    line = sf.line_of(m.start(1))
+                    out.append(Finding(
+                        "unit-escape", rel, line,
+                        f"raw double parameter `{m.group(1)}` carries a "
+                        "unit in its name",
+                        text=sf.line_text(line),
+                        fix="take Seconds/Megabytes/MbPerSec/GbPerSec "
+                            "(common/units.hpp) instead"))
+        for m in _REWRAP.finditer(sf.stripped):
+            line = sf.line_of(m.start())
+            out.append(Finding(
+                "unit-escape", rel, line,
+                f"unwrap-then-rewrap into {m.group(1)} defeats the "
+                "dimension check",
+                text=sf.line_text(line),
+                fix="express the arithmetic on the strong types (the "
+                    "cross-unit operators in common/units.hpp)"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# span-lifecycle
+
+
+def check_span_lifecycle(ctx: Context) -> list[Finding]:
+    out: list[Finding] = []
+    for rel, sf in ctx.files("src"):
+        if rel.startswith("src/obs/"):
+            continue
+        for m in re.finditer(r"\bTraceSpan\b", sf.stripped):
+            line = sf.line_of(m.start())
+            out.append(Finding(
+                "span-lifecycle", rel, line,
+                "TraceSpan is src/obs-internal; other planes must not "
+                "construct or handle spans directly",
+                text=sf.line_text(line),
+                fix="record via TraceRecorder::span()/span_into() and "
+                    "the SpanBuilder setters"))
+    return out
+
+
+AST_RULES = {
+    "clock-ledger": check_clock_ledger,
+    "enum-exhaustive": check_enum_exhaustive,
+    "bounded-queue": check_bounded_queue,
+    "unit-escape": check_unit_escape,
+    "span-lifecycle": check_span_lifecycle,
+}
+
+
+def run_text_engine(root: pathlib.Path, rules: list[str]) -> list[Finding]:
+    ctx = Context(root)
+    out: list[Finding] = []
+    for rule in rules:
+        out.extend(AST_RULES[rule](ctx))
+    return out

@@ -1,0 +1,175 @@
+"""The textual hygiene rules (the original scripts/lint.py, as a library).
+
+Rule ids: ``determinism``, ``raw-new-delete``, ``include-hygiene``. The
+behaviour is unchanged from the standalone linter; only the reporting
+moved to the shared Finding type so one CLI, one baseline and one CI job
+cover both rule families.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+try:
+    from .cppmodel import INCLUDE, SourceTree, strip_comments_and_strings
+    from .findings import Finding
+except ImportError:  # executed as a flat script directory
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from cppmodel import INCLUDE, SourceTree, strip_comments_and_strings
+    from findings import Finding
+
+# Determinism-critical roots: every TU here, plus everything it includes.
+DETERMINISTIC_DIRS = ("sim", "sched")
+
+# Individually pinned roots, checked even if they move out of the
+# directories above: FaultInjector drives the overload/robustness tests,
+# and a seeded fault scenario must replay bit-identically — every knob is
+# an explicit flag, counter or gate, never a clock or a random source.
+DETERMINISTIC_EXTRA_ROOTS = ("sim/fault_injector.hpp",)
+
+# (regex, human name, suggested fix) for the determinism rule.
+NONDETERMINISM = [
+    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
+     "wall-clock read",
+     "thread simulated time (Seconds) through the call instead"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("),
+     "C rand()/srand()",
+     "use the seeded SplitMix64 from common/rng.hpp"),
+    (re.compile(r"std::random_device"),
+     "std::random_device",
+     "use the seeded SplitMix64 from common/rng.hpp"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "C time()",
+     "thread simulated time (Seconds) through the call instead"),
+]
+
+RAW_NEW = re.compile(r"(?<![\w_])new\s+[A-Za-z_(:<]")
+RAW_DELETE = re.compile(r"(?<![\w_=>])delete(\s*\[\s*\])?\s+[A-Za-z_(*]")
+
+
+def _project_sources(root: pathlib.Path) -> list[pathlib.Path]:
+    return sorted(p for ext in ("*.hpp", "*.cpp") for p in root.rglob(ext))
+
+
+def _include_closure(src: pathlib.Path,
+                     roots: list[pathlib.Path]) -> set[pathlib.Path]:
+    """Transitive closure of project includes, resolved against src/."""
+    seen: set[pathlib.Path] = set()
+    stack = list(roots)
+    while stack:
+        f = stack.pop()
+        if f in seen or not f.exists():
+            continue
+        seen.add(f)
+        for line in f.read_text(encoding="utf-8").splitlines():
+            m = INCLUDE.match(line)
+            if m and m.group(1) == '"':
+                stack.append(src / m.group(2))
+    return {f for f in seen if f.exists()}
+
+
+def _rel(root: pathlib.Path, path: pathlib.Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+def check_determinism(root: pathlib.Path) -> list[Finding]:
+    src = root / "src"
+    out: list[Finding] = []
+    roots = [
+        p for d in DETERMINISTIC_DIRS for p in _project_sources(src / d)
+    ]
+    for rel in DETERMINISTIC_EXTRA_ROOTS:
+        path = src / rel
+        if path not in roots:
+            if not path.exists():
+                out.append(Finding(
+                    "determinism", _rel(root, path), 1,
+                    "pinned deterministic root is missing",
+                    fix="restore the file or update "
+                        "DETERMINISTIC_EXTRA_ROOTS"))
+                continue
+            roots.append(path)
+    for f in sorted(_include_closure(src, roots)):
+        text = strip_comments_and_strings(f.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for rx, what, fix in NONDETERMINISM:
+                if rx.search(line):
+                    out.append(Finding(
+                        "determinism", _rel(root, f), lineno,
+                        f"{what} reachable from src/sim//src/sched "
+                        "(simulations must be seeded and reproducible)",
+                        text=line.strip(), fix=fix))
+    return out
+
+
+def check_raw_new_delete(root: pathlib.Path) -> list[Finding]:
+    out: list[Finding] = []
+    tree = SourceTree(root / "src")
+    for sf in tree.files():
+        for lineno, line in enumerate(sf.stripped.splitlines(), 1):
+            if RAW_NEW.search(line):
+                out.append(Finding(
+                    "raw-new-delete", f"src/{sf.rel}", lineno,
+                    "raw `new` in src/", text=line.strip(),
+                    fix="use std::make_unique / a container"))
+            if RAW_DELETE.search(line):
+                out.append(Finding(
+                    "raw-new-delete", f"src/{sf.rel}", lineno,
+                    "raw `delete` in src/", text=line.strip(),
+                    fix="let std::unique_ptr own the object"))
+    return out
+
+
+def check_include_hygiene(root: pathlib.Path) -> list[Finding]:
+    src = root / "src"
+    out: list[Finding] = []
+    project_header_names = {
+        str(p.relative_to(src)) for p in _project_sources(src)
+        if p.suffix == ".hpp"
+    }
+    scan_roots = [src, root / "tests", root / "bench", root / "examples"]
+    # Fixture trees under *this* root violate rules on purpose; a fixture
+    # tree being analyzed AS the root is scanned normally.
+    fixture_prefix = (root / "tests" / "analyze" / "fixtures").as_posix()
+    for scan in scan_roots:
+        if not scan.exists():
+            continue
+        for f in _project_sources(scan):
+            if f.as_posix().startswith(fixture_prefix):
+                continue
+            for lineno, line in enumerate(
+                    f.read_text(encoding="utf-8").splitlines(), 1):
+                m = INCLUDE.match(line)
+                if not m:
+                    continue
+                style, target = m.group(1), m.group(2)
+                if style == '"':
+                    if target.startswith(".."):
+                        out.append(Finding(
+                            "include-hygiene", _rel(root, f), lineno,
+                            f'relative include "{target}" escapes the '
+                            "include root", text=line.strip(),
+                            fix='include as "subdir/file.hpp" from src/'))
+                    elif not (src / target).exists() and not (
+                            f.parent / target).exists():
+                        out.append(Finding(
+                            "include-hygiene", _rel(root, f), lineno,
+                            f'quoted include "{target}" resolves to no '
+                            "file under src/", text=line.strip(),
+                            fix="fix the path or add the header"))
+                elif target in project_header_names:
+                    out.append(Finding(
+                        "include-hygiene", _rel(root, f), lineno,
+                        f"project header <{target}> included with "
+                        "angle brackets", text=line.strip(),
+                        fix=f'use #include "{target}"'))
+    return out
+
+
+LINT_RULES = {
+    "determinism": check_determinism,
+    "raw-new-delete": check_raw_new_delete,
+    "include-hygiene": check_include_hygiene,
+}

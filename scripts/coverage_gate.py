@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the scheduler and simulator.
+
+The paper's claims live in src/sched (Figure-10 queueing scheduler) and
+src/sim (discrete-event simulator), so those two directories carry a
+recorded coverage floor; the rest of the tree is exercised but not gated.
+
+Usage (from the repo root):
+
+  cmake -S . -B build-cov -DHOLAP_COVERAGE=ON -DHOLAP_BUILD_BENCH=OFF \\
+        -DHOLAP_BUILD_EXAMPLES=OFF
+  cmake --build build-cov -j && ctest --test-dir build-cov
+  scripts/coverage_gate.py -p build-cov            # gate
+  scripts/coverage_gate.py -p build-cov --record   # refresh the floors
+
+Backends: ``gcovr`` when installed (CI), else raw ``gcov --json-format``
+over the .gcda files (what the container has). Both produce the same
+per-line counts; only the plumbing differs.
+
+The floor file (scripts/coverage_thresholds.json) records the measured
+percentage minus a 2-point slack, so compiler line-table drift does not
+flake the gate while a real coverage regression still fails it.
+
+Exit codes: 0 gate met, 1 a directory is below its floor, 2 no coverage
+data / bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+THRESHOLD_FILE = REPO / "scripts" / "coverage_thresholds.json"
+GATED_DIRS = ("src/sched", "src/sim")
+RECORD_SLACK = 2.0  # points of headroom written below the measured value
+
+
+def _repo_rel(path: str) -> str | None:
+    """Map a gcov/gcovr file path to a repo-relative posix path."""
+    p = pathlib.Path(path)
+    if not p.is_absolute():
+        p = (REPO / p).resolve()
+    try:
+        return p.resolve().relative_to(REPO).as_posix()
+    except ValueError:
+        return None  # system or third-party header
+
+
+class LineTable:
+    """rel-path -> line -> max execution count across TUs."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, dict[int, int]] = {}
+
+    def add(self, rel: str, line: int, count: int) -> None:
+        lines = self.files.setdefault(rel, {})
+        lines[line] = max(lines.get(line, 0), count)
+
+    def percent(self, prefix: str) -> tuple[float, int, int] | None:
+        covered = total = 0
+        for rel, lines in self.files.items():
+            if not rel.startswith(prefix + "/"):
+                continue
+            total += len(lines)
+            covered += sum(1 for c in lines.values() if c > 0)
+        if total == 0:
+            return None
+        return 100.0 * covered / total, covered, total
+
+
+def collect_gcovr(build_dir: pathlib.Path) -> LineTable | None:
+    if shutil.which("gcovr") is None:
+        return None
+    proc = subprocess.run(
+        ["gcovr", "--root", str(REPO), "--object-directory", str(build_dir),
+         "--json", "-"],
+        capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        print(f"coverage: gcovr failed, falling back to gcov:\n"
+              f"{proc.stderr}", file=sys.stderr)
+        return None
+    table = LineTable()
+    for f in json.loads(proc.stdout).get("files", []):
+        rel = _repo_rel(f["file"])
+        if rel is None:
+            continue
+        for ln in f.get("lines", []):
+            table.add(rel, ln["line_number"], ln["count"])
+    return table
+
+
+def collect_gcov(build_dir: pathlib.Path) -> LineTable | None:
+    gcda = sorted(build_dir.rglob("*.gcda"))
+    if not gcda:
+        return None
+    table = LineTable()
+    for chunk_start in range(0, len(gcda), 32):
+        chunk = gcda[chunk_start:chunk_start + 32]
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout",
+             *[str(p) for p in chunk]],
+            capture_output=True, text=True, check=False,
+            cwd=build_dir)
+        if proc.returncode != 0:
+            print(f"coverage: gcov failed on {chunk[0].name}...:\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            return None
+        # --stdout emits one JSON document per input file, one per line.
+        for doc in proc.stdout.splitlines():
+            if not doc.strip():
+                continue
+            for f in json.loads(doc).get("files", []):
+                rel = _repo_rel(f["file"])
+                if rel is None:
+                    continue
+                for ln in f.get("lines", []):
+                    table.add(rel, ln["line_number"], ln["count"])
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-p", "--build-dir", type=pathlib.Path,
+                        default=REPO / "build-cov",
+                        help="instrumented build tree (default: build-cov/)")
+    parser.add_argument("--thresholds", type=pathlib.Path,
+                        default=THRESHOLD_FILE,
+                        help="recorded floor file (default: "
+                             "scripts/coverage_thresholds.json)")
+    parser.add_argument("--record", action="store_true",
+                        help="rewrite the floor file from this run "
+                             f"(measured minus {RECORD_SLACK} points)")
+    args = parser.parse_args(argv)
+
+    build_dir = args.build_dir.resolve()
+    if not build_dir.exists():
+        print(f"coverage: build dir {build_dir} does not exist — configure "
+              "with -DHOLAP_COVERAGE=ON and run ctest first",
+              file=sys.stderr)
+        return 2
+
+    table = collect_gcovr(build_dir) or collect_gcov(build_dir)
+    if table is None:
+        print("coverage: no .gcda counters found — run ctest in the "
+              "instrumented tree first", file=sys.stderr)
+        return 2
+
+    measured: dict[str, float] = {}
+    for prefix in GATED_DIRS:
+        stats = table.percent(prefix)
+        if stats is None:
+            print(f"coverage: no instrumented lines under {prefix}/ — was "
+                  "the tree built with -DHOLAP_COVERAGE=ON?",
+                  file=sys.stderr)
+            return 2
+        pct, covered, total = stats
+        measured[prefix] = pct
+        print(f"coverage: {prefix:<12} {pct:6.2f}%  "
+              f"({covered}/{total} lines)")
+
+    if args.record:
+        floors = {d: round(measured[d] - RECORD_SLACK, 1)
+                  for d in GATED_DIRS}
+        args.thresholds.write_text(json.dumps({
+            "comment": "Line-coverage floors enforced by "
+                       "scripts/coverage_gate.py; refresh with --record "
+                       "after intentionally adding uncovered code.",
+            "floors": floors,
+        }, indent=2) + "\n", encoding="utf-8")
+        print(f"coverage: recorded floors {floors} -> {args.thresholds}")
+        return 0
+
+    if not args.thresholds.exists():
+        print(f"coverage: floor file {args.thresholds} missing — run with "
+              "--record once to establish it", file=sys.stderr)
+        return 2
+    floors = json.loads(args.thresholds.read_text(encoding="utf-8"))["floors"]
+
+    failed = False
+    for prefix, floor in floors.items():
+        pct = measured.get(prefix)
+        if pct is None:
+            print(f"coverage: floor recorded for {prefix} but nothing "
+                  "measured there", file=sys.stderr)
+            failed = True
+        elif pct < floor:
+            print(f"coverage: {prefix} at {pct:.2f}% is below the "
+                  f"recorded floor of {floor}%", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+    print("coverage: OK (all gated directories at or above their floors)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

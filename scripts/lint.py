@@ -1,235 +1,22 @@
 #!/usr/bin/env python3
-"""Repo-specific lint: determinism, ownership, and include hygiene.
+"""Forwarding shim: the lint rules moved into scripts/analyze/.
 
-Rules (each violation prints as ``file:line: [rule] message``):
-
-  determinism      The simulation and scheduling planes (src/sim, src/sched)
-                   must be bit-reproducible: a seeded run is the experiment
-                   record. No wall-clock reads (std::chrono::*_clock::now),
-                   C time(), rand()/srand(), or std::random_device may be
-                   reachable from them — neither directly nor through any
-                   transitively included project header. Measurement planes
-                   (perfmodel calibration, olap wall timing) may use the
-                   clock; they are outside the reachability set.
-
-  raw-new-delete   No raw `new` / `delete` anywhere under src/. Containers
-                   and std::unique_ptr own everything; `= delete;` of
-                   special members is of course allowed.
-
-  include-hygiene  Project includes use the quoted "subdir/file.hpp" form
-                   rooted at src/ (no "../" escapes, no <> for project
-                   headers), and every quoted include resolves to a file
-                   that exists in the tree.
-
-Usage:
-  scripts/lint.py                 # check src/ (+ tests/bench/examples for
-                                  # include hygiene); exit 1 on violation
-  scripts/lint.py --fix-dry-run   # additionally print the suggested fix
-                                  # for each violation; same exit code
-
-CI runs this as its own step and ctest registers it as `lint.repo_rules`,
-so a violation fails both the lint job and the test suite.
+``scripts/lint.py [--fix-dry-run]`` behaves exactly as before —
+determinism, raw-new-delete and include-hygiene over the same scopes,
+same output format, same exit codes — by invoking the combined analyzer
+with ``--rules lint``. New invariant rules and the engine selection live
+in ``scripts/analyze/analyze.py``; use that CLI directly for anything
+beyond the historical lint behaviour.
 """
 
 from __future__ import annotations
 
-import argparse
 import pathlib
-import re
 import sys
 
-REPO = pathlib.Path(__file__).resolve().parent.parent
-SRC = REPO / "src"
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent / "analyze"))
 
-# Determinism-critical roots: every TU here, plus everything it includes.
-DETERMINISTIC_DIRS = ("sim", "sched")
-
-# Individually pinned roots, checked even if they move out of the
-# directories above: FaultInjector drives the overload/robustness tests,
-# and a seeded fault scenario must replay bit-identically — every knob is
-# an explicit flag, counter or gate, never a clock or a random source.
-DETERMINISTIC_EXTRA_ROOTS = ("sim/fault_injector.hpp",)
-
-# (regex, human name, suggested fix) for the determinism rule.
-NONDETERMINISM = [
-    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
-     "wall-clock read",
-     "thread simulated time (Seconds) through the call instead"),
-    (re.compile(r"(?<![\w:])s?rand\s*\("),
-     "C rand()/srand()",
-     "use the seeded SplitMix64 from common/rng.hpp"),
-    (re.compile(r"std::random_device"),
-     "std::random_device",
-     "use the seeded SplitMix64 from common/rng.hpp"),
-    (re.compile(r"(?<![\w:])time\s*\(\s*(nullptr|NULL|0)\s*\)"),
-     "C time()",
-     "thread simulated time (Seconds) through the call instead"),
-]
-
-RAW_NEW = re.compile(r"(?<![\w_])new\s+[A-Za-z_(:<]")
-RAW_DELETE = re.compile(r"(?<![\w_=>])delete(\s*\[\s*\])?\s+[A-Za-z_(*]")
-INCLUDE = re.compile(r'^\s*#\s*include\s+([<"])([^>"]+)[>"]')
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving newlines so
-    line numbers survive."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            out.append("\n" * text.count("\n", i, j + 2))
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def project_sources(root: pathlib.Path) -> list[pathlib.Path]:
-    return sorted(p for ext in ("*.hpp", "*.cpp") for p in root.rglob(ext))
-
-
-class Linter:
-    def __init__(self, fix_dry_run: bool) -> None:
-        self.fix_dry_run = fix_dry_run
-        self.violations = 0
-
-    def report(self, path: pathlib.Path, line: int, rule: str, msg: str,
-               fix: str | None = None) -> None:
-        self.violations += 1
-        rel = path.relative_to(REPO)
-        print(f"{rel}:{line}: [{rule}] {msg}")
-        if self.fix_dry_run and fix:
-            print(f"{rel}:{line}: [{rule}] would fix: {fix}")
-
-    # -- determinism -----------------------------------------------------
-    def include_closure(self, roots: list[pathlib.Path]) -> set[pathlib.Path]:
-        """Transitive closure of project includes, resolved against src/."""
-        seen: set[pathlib.Path] = set()
-        stack = list(roots)
-        while stack:
-            f = stack.pop()
-            if f in seen or not f.exists():
-                continue
-            seen.add(f)
-            for line in f.read_text(encoding="utf-8").splitlines():
-                m = INCLUDE.match(line)
-                if m and m.group(1) == '"':
-                    stack.append(SRC / m.group(2))
-        return {f for f in seen if f.exists()}
-
-    def check_determinism(self) -> None:
-        roots = [
-            p for d in DETERMINISTIC_DIRS for p in project_sources(SRC / d)
-        ]
-        for rel in DETERMINISTIC_EXTRA_ROOTS:
-            path = SRC / rel
-            if path not in roots:
-                if not path.exists():
-                    self.report(path, 1, "determinism",
-                                "pinned deterministic root is missing",
-                                "restore the file or update "
-                                "DETERMINISTIC_EXTRA_ROOTS")
-                    continue
-                roots.append(path)
-        for f in sorted(self.include_closure(roots)):
-            text = strip_comments_and_strings(f.read_text(encoding="utf-8"))
-            for lineno, line in enumerate(text.splitlines(), 1):
-                for rx, what, fix in NONDETERMINISM:
-                    if rx.search(line):
-                        self.report(
-                            f, lineno, "determinism",
-                            f"{what} reachable from src/sim//src/sched "
-                            "(simulations must be seeded and reproducible)",
-                            fix)
-
-    # -- raw new/delete --------------------------------------------------
-    def check_raw_new_delete(self) -> None:
-        for f in project_sources(SRC):
-            text = strip_comments_and_strings(f.read_text(encoding="utf-8"))
-            for lineno, line in enumerate(text.splitlines(), 1):
-                if RAW_NEW.search(line):
-                    self.report(f, lineno, "raw-new-delete",
-                                "raw `new` in src/",
-                                "use std::make_unique / a container")
-                if RAW_DELETE.search(line):
-                    self.report(f, lineno, "raw-new-delete",
-                                "raw `delete` in src/",
-                                "let std::unique_ptr own the object")
-
-    # -- include hygiene -------------------------------------------------
-    def check_include_hygiene(self) -> None:
-        project_header_names = {
-            str(p.relative_to(SRC)) for p in project_sources(SRC)
-            if p.suffix == ".hpp"
-        }
-        scan_roots = [SRC, REPO / "tests", REPO / "bench", REPO / "examples"]
-        for root in scan_roots:
-            if not root.exists():
-                continue
-            for f in project_sources(root):
-                for lineno, line in enumerate(
-                        f.read_text(encoding="utf-8").splitlines(), 1):
-                    m = INCLUDE.match(line)
-                    if not m:
-                        continue
-                    style, target = m.group(1), m.group(2)
-                    if style == '"':
-                        if target.startswith(".."):
-                            self.report(
-                                f, lineno, "include-hygiene",
-                                f'relative include "{target}" escapes the '
-                                "include root",
-                                'include as "subdir/file.hpp" from src/')
-                        elif not (SRC / target).exists() and not (
-                                f.parent / target).exists():
-                            self.report(
-                                f, lineno, "include-hygiene",
-                                f'quoted include "{target}" resolves to no '
-                                "file under src/",
-                                "fix the path or add the header")
-                    elif target in project_header_names:
-                        self.report(
-                            f, lineno, "include-hygiene",
-                            f"project header <{target}> included with "
-                            "angle brackets",
-                            f'use #include "{target}"')
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--fix-dry-run", action="store_true",
-        help="print the suggested fix next to each violation "
-             "(no files are modified); exit code still reflects violations")
-    args = parser.parse_args()
-
-    linter = Linter(args.fix_dry_run)
-    linter.check_determinism()
-    linter.check_raw_new_delete()
-    linter.check_include_hygiene()
-
-    if linter.violations:
-        print(f"\n{linter.violations} violation(s).", file=sys.stderr)
-        return 1
-    print("lint: OK")
-    return 0
-
+from analyze import run  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(run(["--rules", "lint", *sys.argv[1:]]))

@@ -11,15 +11,19 @@
 // (push), fail fast (try_push), or displace the least-useful queued item
 // (push_displacing) — which is what lets the executor shed load instead
 // of buffering an unbounded backlog past every deadline.
+//
+// The locking discipline is annotated for Clang Thread Safety Analysis
+// (common/mutex.hpp): every field below is GUARDED_BY(mutex_) and a clang
+// build fails if an access slips outside the lock.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.hpp"
 
 namespace holap {
 
@@ -43,8 +47,8 @@ class BlockingQueue {
   /// Returns false (dropping the item) when closed.
   bool push(T item) {
     {
-      std::unique_lock lock(mutex_);
-      space_.wait(lock, [&] { return closed_ || !full_locked(); });
+      MutexLock lock(mutex_);
+      while (!closed_ && full_locked()) space_.wait(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -56,7 +60,7 @@ class BlockingQueue {
   /// the caller can resolve it (shed, reroute, report).
   QueuePush try_push(T& item) {
     {
-      const std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return QueuePush::kClosed;
       if (full_locked()) return QueuePush::kFull;
       items_.push_back(std::move(item));
@@ -79,7 +83,7 @@ class BlockingQueue {
                                                          WorseThan worse) {
     std::optional<T> displaced;
     {
-      const std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return {QueuePush::kClosed, std::move(item)};
       if (full_locked()) {
         auto worst = items_.end();
@@ -103,27 +107,40 @@ class BlockingQueue {
   /// Block until an item is available or the queue is closed and drained;
   /// nullopt means shutdown.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    return pop_locked(lock);
+    std::optional<T> item;
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) ready_.wait(mutex_);
+      item = take_locked();
+    }
+    if (item.has_value()) space_.notify_one();
+    return item;
   }
 
   /// Timed pop for drain diagnostics: wait at most `timeout`. nullopt
   /// means timeout, or closed-and-drained (distinguish via closed()).
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
-    if (!ready_.wait_for(lock, timeout,
-                         [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::optional<T> item;
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) {
+        if (ready_.wait_until(mutex_, deadline) == std::cv_status::timeout &&
+            !closed_ && items_.empty()) {
+          return std::nullopt;
+        }
+      }
+      item = take_locked();
     }
-    return pop_locked(lock);
+    if (item.has_value()) space_.notify_one();
+    return item;
   }
 
   /// Reject future pushes and wake all waiting producers and consumers.
   void close() {
     {
-      const std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
@@ -131,12 +148,12 @@ class BlockingQueue {
   }
 
   bool closed() const {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -144,25 +161,25 @@ class BlockingQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
-  bool full_locked() const {
+  bool full_locked() const HOLAP_REQUIRES(mutex_) {
     return capacity_ != 0 && items_.size() >= capacity_;
   }
 
-  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+  /// Pops the head under the caller's lock; the caller notifies `space_`
+  /// after unlocking (never signal with the lock held).
+  std::optional<T> take_locked() HOLAP_REQUIRES(mutex_) {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    space_.notify_one();
     return item;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::condition_variable space_;
-  std::deque<T> items_;
-  std::size_t capacity_ = 0;  ///< 0 = unbounded
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  CondVar space_;
+  std::deque<T> items_ HOLAP_GUARDED_BY(mutex_);
+  const std::size_t capacity_ = 0;  ///< 0 = unbounded (set at construction)
+  bool closed_ HOLAP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace holap

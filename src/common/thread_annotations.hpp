@@ -1,0 +1,56 @@
+// Clang Thread Safety Analysis annotation macros (no-ops elsewhere).
+//
+// The concurrent classes of the serving path — BlockingQueue, the async
+// executor, the trace recorder's shards, FaultInjector — document their
+// locking discipline with these macros, and a clang build compiles with
+// -Wthread-safety (promoted to an error by HOLAP_THREAD_SAFETY_WERROR),
+// so "field X is only touched under mutex M" is a checked property, not a
+// comment. See Hutchins et al., "C/C++ Thread Safety Analysis" (the
+// -Wthread-safety paper) for the capability model. GCC does not implement
+// the attributes; there every macro expands to nothing and the same code
+// compiles unchanged.
+#pragma once
+
+#if defined(__clang__)
+#define HOLAP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define HOLAP_THREAD_ANNOTATION__(x)
+#endif
+
+/// Class-level: instances of this type are capabilities (e.g. a mutex).
+#define HOLAP_CAPABILITY(x) HOLAP_THREAD_ANNOTATION__(capability(x))
+
+/// Class-level: RAII object acquiring a capability for its lifetime.
+#define HOLAP_SCOPED_CAPABILITY HOLAP_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Member: may only be read/written while holding `x`.
+#define HOLAP_GUARDED_BY(x) HOLAP_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Member (pointer): the pointee is guarded by `x`.
+#define HOLAP_PT_GUARDED_BY(x) HOLAP_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function: acquires the listed capabilities exclusively.
+#define HOLAP_ACQUIRE(...) \
+  HOLAP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function: releases the listed capabilities.
+#define HOLAP_RELEASE(...) \
+  HOLAP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function: acquires the capability when returning `b`.
+#define HOLAP_TRY_ACQUIRE(b, ...) \
+  HOLAP_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function: callable only while holding the listed capabilities.
+#define HOLAP_REQUIRES(...) \
+  HOLAP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function: must NOT be called while holding the listed capabilities.
+#define HOLAP_EXCLUDES(...) HOLAP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function: returns a reference to the named capability.
+#define HOLAP_RETURN_CAPABILITY(x) HOLAP_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct but inexpressible.
+#define HOLAP_NO_THREAD_SAFETY_ANALYSIS \
+  HOLAP_THREAD_ANNOTATION__(no_thread_safety_analysis)

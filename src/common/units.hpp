@@ -106,6 +106,7 @@ struct Quantity {
 struct SecondsTag {};
 struct MegabytesTag {};
 struct MbPerSecTag {};
+struct GbPerSecTag {};
 
 }  // namespace detail
 
@@ -117,6 +118,11 @@ using Megabytes = detail::Quantity<detail::MegabytesTag>;
 
 /// Throughput/bandwidth in binary megabytes per second.
 using MbPerSec = detail::Quantity<detail::MbPerSecTag>;
+
+/// Bandwidth in binary gigabytes per second — the unit hardware specs and
+/// the paper's prose use (§III-D's "1 GB per second"). Models compute in
+/// MbPerSec; convert at the boundary with to_mb_per_sec/to_gb_per_sec.
+using GbPerSec = detail::Quantity<detail::GbPerSecTag>;
 
 // The cross-unit operations that make dimensional sense. Each is the plain
 // IEEE double operation on the magnitudes.
@@ -131,6 +137,15 @@ constexpr Megabytes operator*(MbPerSec rate, Seconds time) {
 }
 constexpr Megabytes operator*(Seconds time, MbPerSec rate) {
   return Megabytes{time.value() * rate.value()};
+}
+
+// GB/s <-> MB/s: scaling by 1024 (a power of two) is exact in IEEE
+// doubles, so round-tripping loses nothing.
+constexpr MbPerSec to_mb_per_sec(GbPerSec rate) {
+  return MbPerSec{rate.value() * 1024.0};
+}
+constexpr GbPerSec to_gb_per_sec(MbPerSec rate) {
+  return GbPerSec{rate.value() / 1024.0};
 }
 
 constexpr Megabytes bytes_to_mb(std::size_t bytes) {

@@ -22,20 +22,25 @@ const char* to_string(SpanKind kind) {
   return "unknown";
 }
 
+void SpanBuilder::commit() {
+  if (recorder_ == nullptr) return;
+  recorder_->record(span_);
+}
+
 void TraceRecorder::record(TraceSpan span) {
   const std::uint64_t seq =
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shards_[std::hash<std::thread::id>{}(
                              std::this_thread::get_id()) %
                          kShards];
-  const std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.spans.push_back({seq, std::move(span)});
 }
 
 std::vector<TraceSpan> TraceRecorder::snapshot() const {
   std::vector<Stamped> merged;
   for (const Shard& shard : shards_) {
-    const std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     merged.insert(merged.end(), shard.spans.begin(), shard.spans.end());
   }
   std::sort(merged.begin(), merged.end(),
@@ -58,7 +63,7 @@ std::vector<TraceSpan> TraceRecorder::spans_for(
 std::size_t TraceRecorder::size() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     n += shard.spans.size();
   }
   return n;
@@ -66,7 +71,7 @@ std::size_t TraceRecorder::size() const {
 
 void TraceRecorder::clear() {
   for (Shard& shard : shards_) {
-    const std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.spans.clear();
   }
 }

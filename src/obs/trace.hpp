@@ -19,9 +19,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/units.hpp"
 #include "sched/interfaces.hpp"
 
@@ -56,6 +56,52 @@ struct TraceSpan {
   friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
 };
 
+class TraceRecorder;
+
+/// Fluent construction of one span. This is the only way code outside
+/// `src/obs` creates spans — the span-lifecycle analyzer rule
+/// (scripts/analyze/) flags direct `TraceSpan` construction elsewhere, so
+/// every producer goes through the recorder and cannot forget the
+/// sequence-stamping or shard discipline. A builder over a null recorder
+/// is inert: setters work, commit() is a no-op — callers do not need a
+/// null check per span.
+class SpanBuilder {
+ public:
+  SpanBuilder& window(Seconds start, Seconds end) {
+    span_.start = start;
+    span_.end = end;
+    return *this;
+  }
+  SpanBuilder& queue(QueueRef queue) {
+    span_.queue = queue;
+    return *this;
+  }
+  SpanBuilder& estimated_response(Seconds t) {
+    span_.estimated_response = t;
+    return *this;
+  }
+  SpanBuilder& measured_response(Seconds t) {
+    span_.measured_response = t;
+    return *this;
+  }
+  SpanBuilder& deadline_slack(Seconds t) {
+    span_.deadline_slack = t;
+    return *this;
+  }
+  /// Record the built span (no-op when the builder is detached).
+  void commit();
+
+ private:
+  friend class TraceRecorder;
+  SpanBuilder(TraceRecorder* recorder, std::uint64_t query_id, SpanKind kind)
+      : recorder_(recorder) {
+    span_.query_id = query_id;
+    span_.kind = kind;
+  }
+  TraceRecorder* recorder_;
+  TraceSpan span_;
+};
+
 /// Append-only span sink shared by every instrumented component.
 ///
 /// Lock-cheap by sharding: a recording thread hashes onto one of a fixed
@@ -71,6 +117,18 @@ class TraceRecorder {
 
   /// Append one span (the recorder stamps its sequence number).
   void record(TraceSpan span);
+
+  /// Start building a span bound to this recorder.
+  SpanBuilder span(std::uint64_t query_id, SpanKind kind) {
+    return SpanBuilder(this, query_id, kind);
+  }
+
+  /// Null-tolerant builder: `recorder` may be nullptr (span discarded at
+  /// commit). Lets call sites with an optional recorder stay branch-free.
+  static SpanBuilder span_into(TraceRecorder* recorder,
+                               std::uint64_t query_id, SpanKind kind) {
+    return SpanBuilder(recorder, query_id, kind);
+  }
 
   /// All spans recorded so far, in record order.
   std::vector<TraceSpan> snapshot() const;
@@ -89,8 +147,8 @@ class TraceRecorder {
     TraceSpan span;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::vector<Stamped> spans;
+    mutable Mutex mutex;
+    std::vector<Stamped> spans HOLAP_GUARDED_BY(mutex);
   };
   std::atomic<std::uint64_t> next_seq_{0};
   std::array<Shard, kShards> shards_;

@@ -54,8 +54,8 @@ void AsyncHybridExecutor::shutdown() {
 
 void AsyncHybridExecutor::set_trace_recorder(TraceRecorder* recorder) {
   recorder_.store(recorder);
-  const std::lock_guard lock(scheduler_mutex_);
-  system_->scheduler_mutable().set_trace_recorder(recorder);
+  MutexLock lock(scheduler_mutex_);
+  scheduler_locked().set_trace_recorder(recorder);
 }
 
 void AsyncHybridExecutor::set_fault_injector(FaultInjector* injector) {
@@ -63,13 +63,13 @@ void AsyncHybridExecutor::set_fault_injector(FaultInjector* injector) {
 }
 
 LatencyHistogram AsyncHybridExecutor::latency_histogram() const {
-  const std::lock_guard lock(histogram_mutex_);
+  MutexLock lock(histogram_mutex_);
   return latencies_;
 }
 
 std::vector<PartitionCounters> AsyncHybridExecutor::partition_counters()
     const {
-  const std::lock_guard lock(counters_mutex_);
+  MutexLock lock(counters_mutex_);
   return counters_;
 }
 
@@ -91,18 +91,13 @@ void AsyncHybridExecutor::record_span(std::uint64_t id, SpanKind kind,
                                       Seconds start, Seconds end,
                                       QueueRef queue, Seconds resp_est,
                                       Seconds measured, Seconds slack) {
-  TraceRecorder* rec = recorder_.load();
-  if (rec == nullptr) return;
-  TraceSpan span;
-  span.query_id = id;
-  span.kind = kind;
-  span.start = start;
-  span.end = end;
-  span.queue = queue;
-  span.estimated_response = resp_est;
-  span.measured_response = measured;
-  span.deadline_slack = slack;
-  rec->record(span);
+  TraceRecorder::span_into(recorder_.load(), id, kind)
+      .window(start, end)
+      .queue(queue)
+      .estimated_response(resp_est)
+      .measured_response(measured)
+      .deadline_slack(slack)
+      .commit();
 }
 
 void AsyncHybridExecutor::resolve_unrun(Job job, ExecutionOutcome outcome,
@@ -110,20 +105,20 @@ void AsyncHybridExecutor::resolve_unrun(Job job, ExecutionOutcome outcome,
   {
     // The placement advanced the queue clocks by its estimates; a job that
     // never runs must roll that back or later estimates carry phantom load.
-    const std::lock_guard lock(scheduler_mutex_);
+    MutexLock lock(scheduler_mutex_);
     const Seconds pending_translation =
         (!job.translated && job.placement.translate)
             ? job.placement.translation_est
             : Seconds{};
-    system_->scheduler_mutable().on_shed(
-        job.placement.queue, job.placement.processing_est,
-        pending_translation);
+    scheduler_locked().on_shed(job.placement.queue,
+                               job.placement.processing_est,
+                               pending_translation);
   }
   const bool is_shed = outcome == ExecutionOutcome::kShedAtAdmission ||
                        outcome == ExecutionOutcome::kShedInQueue;
   if (is_shed) ++shed_;
   if (is_shed && counter_index != kNoCounter) {
-    const std::lock_guard lock(counters_mutex_);
+    MutexLock lock(counters_mutex_);
     if (outcome == ExecutionOutcome::kShedInQueue) {
       counters_[counter_index].on_shed();
     } else {
@@ -160,7 +155,7 @@ void AsyncHybridExecutor::enqueue(BlockingQueue<Job>& queue, Job job,
     switch (result) {
       case QueuePush::kAccepted:
         {
-          const std::lock_guard lock(counters_mutex_);
+          MutexLock lock(counters_mutex_);
           counters_[counter_index].on_enqueue();
         }
         if (ejected.has_value()) {
@@ -182,7 +177,7 @@ void AsyncHybridExecutor::enqueue(BlockingQueue<Job>& queue, Job job,
   // Unbounded, or bounded with reject-newest: never block the submitter.
   switch (queue.try_push(job)) {
     case QueuePush::kAccepted: {
-      const std::lock_guard lock(counters_mutex_);
+      MutexLock lock(counters_mutex_);
       counters_[counter_index].on_enqueue();
       return;
     }
@@ -206,10 +201,10 @@ std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
   job.id = next_id_.fetch_add(1);
   std::future<ExecutionReport> future = job.promise.get_future();
   {
-    const std::lock_guard lock(scheduler_mutex_);
+    MutexLock lock(scheduler_mutex_);
     job.submitted_at = clock_.elapsed();
-    job.placement = system_->scheduler_mutable().schedule(
-        job.query, job.submitted_at, job.id);
+    job.placement =
+        scheduler_locked().schedule(job.query, job.submitted_at, job.id);
   }
   job.stage_enqueued_at = job.submitted_at;
   if (job.placement.shed_at_admission) {
@@ -249,21 +244,21 @@ std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
 
 void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {
   {
-    const std::lock_guard lock(scheduler_mutex_);
-    system_->scheduler_mutable().on_completed(
-        job.placement.queue, report.estimated_processing,
-        report.measured_processing);
+    MutexLock lock(scheduler_mutex_);
+    scheduler_locked().on_completed(job.placement.queue,
+                                    report.estimated_processing,
+                                    report.measured_processing);
   }
   const Seconds done = clock_.elapsed();
   record_span(job.id, SpanKind::kComplete, done, done, job.placement.queue,
               job.placement.response_est, done,
               job.submitted_at + system_->scheduler().deadline() - done);
   {
-    const std::lock_guard lock(histogram_mutex_);
+    MutexLock lock(histogram_mutex_);
     latencies_.add(done - job.submitted_at);
   }
   {
-    const std::lock_guard lock(counters_mutex_);
+    MutexLock lock(counters_mutex_);
     counters_[counter_slot(job.placement.queue, false)].on_complete(
         report.measured_processing);
   }
@@ -325,11 +320,11 @@ void AsyncHybridExecutor::translation_worker() {
     {
       // §III-G feedback for the translation clock, mirroring the
       // measured-vs-estimated correction every processing queue gets.
-      const std::lock_guard lock(scheduler_mutex_);
-      system_->scheduler_mutable().on_translation_completed(estimated, took);
+      MutexLock lock(scheduler_mutex_);
+      scheduler_locked().on_translation_completed(estimated, took);
     }
     {
-      const std::lock_guard lock(counters_mutex_);
+      MutexLock lock(counters_mutex_);
       counters_[1].on_complete(took);
     }
     const int queue = job->placement.queue.index;

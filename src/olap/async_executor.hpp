@@ -29,6 +29,7 @@
 #include <thread>
 
 #include "common/blocking_queue.hpp"
+#include "common/mutex.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
@@ -144,9 +145,15 @@ class AsyncHybridExecutor {
   /// Counter slot for a queue: 0 = cpu, 1 = translation, 2 + i = gpu i.
   static std::size_t counter_slot(QueueRef ref, bool in_translation_queue);
 
+  /// The scheduler shared with the synchronous plane; every call crosses
+  /// scheduler_mutex_, which the analysis enforces via this accessor.
+  SchedulerPolicy& scheduler_locked() HOLAP_REQUIRES(scheduler_mutex_) {
+    return system_->scheduler_mutable();
+  }
+
   HybridOlapSystem* system_;
   AsyncExecutorConfig config_;
-  std::mutex scheduler_mutex_;
+  Mutex scheduler_mutex_;
   WallTimer clock_;
   std::atomic<bool> down_{false};
   std::atomic<std::size_t> completed_{0};
@@ -154,10 +161,10 @@ class AsyncHybridExecutor {
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<TraceRecorder*> recorder_{nullptr};
   std::atomic<FaultInjector*> fault_{nullptr};
-  mutable std::mutex histogram_mutex_;
-  LatencyHistogram latencies_;
-  mutable std::mutex counters_mutex_;
-  std::vector<PartitionCounters> counters_;
+  mutable Mutex histogram_mutex_;
+  LatencyHistogram latencies_ HOLAP_GUARDED_BY(histogram_mutex_);
+  mutable Mutex counters_mutex_;
+  std::vector<PartitionCounters> counters_ HOLAP_GUARDED_BY(counters_mutex_);
 
   BlockingQueue<Job> cpu_queue_;
   BlockingQueue<Job> translation_queue_;

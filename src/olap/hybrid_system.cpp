@@ -86,9 +86,13 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
   auto record = [&](SpanKind kind, Seconds start, Seconds end,
                     QueueRef queue, Seconds resp_est, Seconds measured,
                     Seconds slack) {
-    if (!tracing) return;
-    recorder_.record({query_id, kind, start, end, queue, resp_est,
-                      measured, slack});
+    TraceRecorder::span_into(tracing ? &recorder_ : nullptr, query_id, kind)
+        .window(start, end)
+        .queue(queue)
+        .estimated_response(resp_est)
+        .measured_response(measured)
+        .deadline_slack(slack)
+        .commit();
   };
   Query working = q;
 

@@ -22,10 +22,10 @@ Seconds CpuPerfModel::seconds(Megabytes sc_mb) const {
   return Seconds{eval_linear(linear_, sc_mb.value())};
 }
 
-double CpuPerfModel::gb_per_second(Megabytes sc_mb) const {
+GbPerSec CpuPerfModel::gb_per_second(Megabytes sc_mb) const {
   const Seconds t = seconds(sc_mb);
-  if (t <= Seconds{0.0}) return 0.0;
-  return sc_mb.value() / 1024.0 / t.value();
+  if (t <= Seconds{0.0}) return GbPerSec{0.0};
+  return to_gb_per_sec(sc_mb / t);
 }
 
 CpuPerfModel CpuPerfModel::paper_4t() {
@@ -36,9 +36,10 @@ CpuPerfModel CpuPerfModel::paper_8t() {
   return CpuPerfModel({6e-5, 0.984, 1.0}, {4e-5, 0.0146, 1.0});
 }
 
-CpuPerfModel CpuPerfModel::bandwidth_model(double gb_per_s, Seconds overhead) {
-  HOLAP_REQUIRE(gb_per_s > 0.0, "bandwidth must be positive");
-  const double s_per_mb = 1.0 / (gb_per_s * 1024.0);
+CpuPerfModel CpuPerfModel::bandwidth_model(GbPerSec bandwidth,
+                                           Seconds overhead) {
+  HOLAP_REQUIRE(bandwidth > GbPerSec{0.0}, "bandwidth must be positive");
+  const double s_per_mb = 1.0 / to_mb_per_sec(bandwidth).value();
   // Pure streaming is linear in SC on both sides of the crossover; a
   // power law with exponent 1 expresses Range A identically, keeping the
   // model continuous. The fixed overhead lands in Range B's intercept and
@@ -49,7 +50,7 @@ CpuPerfModel CpuPerfModel::bandwidth_model(double gb_per_s, Seconds overhead) {
 
 CpuPerfModel CpuPerfModel::paper_for_threads(int threads) {
   HOLAP_REQUIRE(threads >= 1, "thread count must be >= 1");
-  if (threads == 1) return bandwidth_model(1.0);
+  if (threads == 1) return bandwidth_model(GbPerSec{1.0});
   if (threads == 4) return paper_4t();
   if (threads >= 8) return paper_8t();
   // Interpolate effective large-SC bandwidth between the published anchors
@@ -57,7 +58,8 @@ CpuPerfModel CpuPerfModel::paper_for_threads(int threads) {
   // anchor's fixed costs. Scheduling only needs a monotone, roughly-right
   // model for non-anchor counts.
   auto bw_of = [](const CpuPerfModel& m) { return 1.0 / (m.range_b().a * 1024.0); };
-  const CpuPerfModel lo = threads < 4 ? bandwidth_model(1.0) : paper_4t();
+  const CpuPerfModel lo =
+      threads < 4 ? bandwidth_model(GbPerSec{1.0}) : paper_4t();
   const CpuPerfModel hi = threads < 4 ? paper_4t() : paper_8t();
   const int lo_t = threads < 4 ? 1 : 4;
   const int hi_t = threads < 4 ? 4 : 8;

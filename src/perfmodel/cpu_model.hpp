@@ -33,7 +33,7 @@ class CpuPerfModel {
   Seconds seconds(Megabytes sc_mb) const;
 
   /// Effective bandwidth implied by the model at a given sub-cube size.
-  double gb_per_second(Megabytes sc_mb) const;
+  GbPerSec gb_per_second(Megabytes sc_mb) const;
 
   const FitResult& range_a() const { return power_; }
   const FitResult& range_b() const { return linear_; }
@@ -43,14 +43,14 @@ class CpuPerfModel {
   static CpuPerfModel paper_4t();
   /// Eq. (10): the published 8-thread model.
   static CpuPerfModel paper_8t();
-  /// Sequential engine: pure streaming at `gb_per_s` with a fixed
+  /// Sequential engine: pure streaming at `bandwidth` with a fixed
   /// per-query overhead. Both ranges collapse to the same linear law.
-  static CpuPerfModel bandwidth_model(double gb_per_s,
+  static CpuPerfModel bandwidth_model(GbPerSec bandwidth,
                                       Seconds overhead = Seconds{0.002});
   /// Published model for a thread count, as the scheduler configures it:
-  /// 1 → bandwidth_model(1.0) (the original single-threaded engine),
-  /// 4 → paper_4t(), 8 → paper_8t(). Other counts interpolate bandwidth
-  /// between the published anchors.
+  /// 1 → bandwidth_model(GbPerSec{1.0}) (the original single-threaded
+  /// engine), 4 → paper_4t(), 8 → paper_8t(). Other counts interpolate
+  /// bandwidth between the published anchors.
   static CpuPerfModel paper_for_threads(int threads);
 
   /// Re-fit the paper's functional form from measured (size MB, seconds)

@@ -159,17 +159,12 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
   } else {
     ++counters_.gpu_placements[static_cast<std::size_t>(p.queue.index)];
   }
-  if (recorder_ != nullptr) {
-    TraceSpan span;
-    span.query_id = query_id;
-    span.kind = SpanKind::kEnqueue;
-    span.start = now;
-    span.end = now;  // the decision itself is instantaneous
-    span.queue = p.queue;
-    span.estimated_response = p.response_est;
-    span.deadline_slack = deadline - p.response_est;
-    recorder_->record(span);
-  }
+  TraceRecorder::span_into(recorder_, query_id, SpanKind::kEnqueue)
+      .window(now, now)  // the decision itself is instantaneous
+      .queue(p.queue)
+      .estimated_response(p.response_est)
+      .deadline_slack(deadline - p.response_est)
+      .commit();
   return p;
 }
 
@@ -190,6 +185,17 @@ void QueueingScheduler::on_shed(QueueRef ref, Seconds processing_est,
   // never do this work.
   clock_for(ref) -= processing_est;
   trans_clock_ -= pending_translation_est;
+  if (ref.kind == QueueRef::kGpu &&
+      config_.modeled_gpu_dispatch > Seconds{0.0}) {
+    // The commit also crossed the device's launch stage; a shed query
+    // never launches, so its dispatch share rolls back under the same
+    // subtract-the-estimate approximation the translation clock uses.
+    // (Surfaced by the clock-ledger pairing rule in scripts/analyze/:
+    // every clock schedule() commits must be reachable from a rollback.)
+    dispatch_clocks_[static_cast<std::size_t>(
+        queue_device_[static_cast<std::size_t>(ref.index)])] -=
+        config_.modeled_gpu_dispatch;
+  }
 }
 
 void QueueingScheduler::on_translation_completed(Seconds estimated,

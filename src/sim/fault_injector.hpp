@@ -6,7 +6,7 @@
 // machine. FaultInjector forces them on demand, deterministically: every
 // knob is an explicit flag, counter or gate the test flips; nothing here
 // reads a clock or a random source (this header is inside the determinism
-// lint's include closure — see scripts/lint.py).
+// lint's include closure — see scripts/analyze/).
 //
 // Two planes consume it:
 //   - the discrete-event simulator (SimConfig::fault) applies the
@@ -17,13 +17,12 @@
 //     test can pile up a backlog and release it at a chosen instant.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/units.hpp"
 #include "sched/interfaces.hpp"
 
@@ -43,13 +42,13 @@ class FaultInjector {
   // --- queue-full ----------------------------------------------------
   /// Force every subsequent enqueue attempt to see a full queue.
   void force_queue_full(bool on) {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     force_full_ = on;
   }
 
   /// Let the next `n` enqueue attempts through, then report full.
   void fail_pushes_after(std::uint64_t n) {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     pushes_left_ = n;
     count_pushes_ = true;
   }
@@ -57,7 +56,7 @@ class FaultInjector {
   /// Consulted by the executor before each enqueue; counts down the
   /// fail_pushes_after budget.
   bool queue_full() {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (force_full_) return true;
     if (!count_pushes_) return false;
     if (pushes_left_ == 0) return true;
@@ -68,13 +67,13 @@ class FaultInjector {
   // --- slow partition (worker gate) ----------------------------------
   /// Park every worker that reaches at_worker() until release_workers().
   void hold_workers() {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     hold_ = true;
   }
 
   void release_workers() {
     {
-      const std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       hold_ = false;
     }
     gate_.notify_all();
@@ -83,9 +82,9 @@ class FaultInjector {
   /// Called by executor workers after dequeuing a job; blocks while held.
   void at_worker(QueueRef ref) {
     (void)ref;
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     ++waiting_;
-    gate_.wait(lock, [&] { return !hold_; });
+    while (hold_) gate_.wait(mutex_);
     --waiting_;
   }
 
@@ -93,14 +92,14 @@ class FaultInjector {
   /// backlog-building scenario is actually in the intended state instead
   /// of sleeping and hoping.
   int workers_waiting() const {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return waiting_;
   }
 
   // --- slow partition (sim plane) ------------------------------------
   /// Inflate the modeled service time of `ref` by `factor` (>= 0).
   void set_service_multiplier(QueueRef ref, double factor) {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& [queue, mult] : multipliers_) {
       if (queue == ref) {
         mult = factor;
@@ -111,7 +110,7 @@ class FaultInjector {
   }
 
   double service_multiplier(QueueRef ref) const {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [queue, mult] : multipliers_) {
       if (queue == ref) return mult;
     }
@@ -124,29 +123,30 @@ class FaultInjector {
   /// can close the queues under a submitter. Tests install e.g. a
   /// one-shot executor.shutdown() here to make the race a certainty.
   void set_submit_hook(std::function<void()> hook) {
-    const std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     submit_hook_ = std::move(hook);
   }
 
   void run_submit_hook() {
     std::function<void()> hook;
     {
-      const std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       hook = submit_hook_;
     }
     if (hook) hook();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable gate_;
-  bool force_full_ = false;
-  bool count_pushes_ = false;
-  std::uint64_t pushes_left_ = 0;
-  bool hold_ = false;
-  int waiting_ = 0;
-  std::vector<std::pair<QueueRef, double>> multipliers_;
-  std::function<void()> submit_hook_;
+  mutable Mutex mutex_;
+  CondVar gate_;
+  bool force_full_ HOLAP_GUARDED_BY(mutex_) = false;
+  bool count_pushes_ HOLAP_GUARDED_BY(mutex_) = false;
+  std::uint64_t pushes_left_ HOLAP_GUARDED_BY(mutex_) = 0;
+  bool hold_ HOLAP_GUARDED_BY(mutex_) = false;
+  int waiting_ HOLAP_GUARDED_BY(mutex_) = 0;
+  std::vector<std::pair<QueueRef, double>> multipliers_
+      HOLAP_GUARDED_BY(mutex_);
+  std::function<void()> submit_hook_ HOLAP_GUARDED_BY(mutex_);
 };
 
 }  // namespace holap

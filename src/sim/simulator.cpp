@@ -94,17 +94,13 @@ SimResult run_simulation(SchedulerPolicy& policy,
   auto record = [&](std::size_t idx, SpanKind kind, Seconds start,
                     Seconds end, QueueRef queue, Seconds resp_est,
                     Seconds measured, Seconds slack) {
-    if (rec == nullptr) return;
-    TraceSpan span;
-    span.query_id = idx;
-    span.kind = kind;
-    span.start = start;
-    span.end = end;
-    span.queue = queue;
-    span.estimated_response = resp_est;
-    span.measured_response = measured;
-    span.deadline_slack = slack;
-    rec->record(span);
+    TraceRecorder::span_into(rec, idx, kind)
+        .window(start, end)
+        .queue(queue)
+        .estimated_response(resp_est)
+        .measured_response(measured)
+        .deadline_slack(slack)
+        .commit();
   };
 
   std::vector<double> latencies;

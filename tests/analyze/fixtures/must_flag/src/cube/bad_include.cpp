@@ -1,0 +1,7 @@
+// Fixture: include-hygiene violations.
+#include "nope/missing.hpp"
+#include <query/kinds.hpp>
+
+namespace holap {
+void unused() {}
+}  // namespace holap

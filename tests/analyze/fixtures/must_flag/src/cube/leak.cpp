@@ -1,0 +1,10 @@
+// Fixture: raw-new-delete violations.
+namespace holap {
+
+int* make_leak() {
+  int* p = new int(7);  // containers / unique_ptr own everything
+  delete p;             // and nothing deletes by hand
+  return nullptr;
+}
+
+}  // namespace holap

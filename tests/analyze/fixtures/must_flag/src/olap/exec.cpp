@@ -1,0 +1,19 @@
+// Fixture: bounded-queue violations — unbounded construction on the
+// serving path, and a span handled outside src/obs.
+#include <memory>
+
+namespace holap {
+
+void serve() {
+  BlockingQueue<int> backlog;  // no capacity: unbounded backlog
+  auto overflow = std::make_unique<BlockingQueue<int>>();  // ditto
+  backlog.push(1);
+  overflow->close();
+}
+
+void emit_span() {
+  TraceSpan span;  // spans are recorded via TraceRecorder, never built here
+  (void)span;
+}
+
+}  // namespace holap

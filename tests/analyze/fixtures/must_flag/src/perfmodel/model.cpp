@@ -1,0 +1,11 @@
+// Fixture: unit-escape violation — unwrap-then-rewrap.
+#include "perfmodel/model.hpp"
+
+namespace holap {
+
+Seconds TinyModel::seconds(double sc_mb, double gb_per_s) const {
+  const Seconds base{sc_mb / gb_per_s / 1024.0};
+  return Seconds{base.value() * 2.0};  // defeats the dimension check
+}
+
+}  // namespace holap

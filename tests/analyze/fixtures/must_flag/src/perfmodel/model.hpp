@@ -1,0 +1,11 @@
+// Fixture: unit-escape violations — raw doubles whose names carry units.
+#pragma once
+
+namespace holap {
+
+class TinyModel {
+ public:
+  Seconds seconds(double sc_mb, double gb_per_s) const;
+};
+
+}  // namespace holap

@@ -1,0 +1,28 @@
+// Fixture: enum-exhaustive violations — a default: label and a switch
+// that silently misses an enumerator.
+#include "query/kinds.hpp"
+
+namespace holap {
+
+const char* name(Color c) {
+  switch (c) {
+    case Color::kRed:
+      return "red";
+    case Color::kGreen:
+      return "green";
+    default:  // hides kBlue and every future enumerator
+      return "?";
+  }
+}
+
+int rank(Color c) {
+  switch (c) {
+    case Color::kRed:
+      return 0;
+    case Color::kGreen:
+      return 1;  // kBlue is missing and nothing says so
+  }
+  return 2;
+}
+
+}  // namespace holap

@@ -1,0 +1,15 @@
+// Fixture: a scoped enum for the exhaustiveness rule.
+#pragma once
+
+namespace holap {
+
+enum class Color {
+  kRed,
+  kGreen,
+  kBlue,
+};
+
+const char* name(Color c);
+int rank(Color c);
+
+}  // namespace holap

@@ -1,0 +1,8 @@
+// Fixture: a ledger clock mutated outside the scheduler's own TU.
+namespace holap {
+
+void poke_translation_backlog() {
+  trans_clock_ -= Seconds{1.0};  // the ledger belongs to QueueingScheduler
+}
+
+}  // namespace holap

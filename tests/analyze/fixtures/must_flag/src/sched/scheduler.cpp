@@ -1,0 +1,27 @@
+// Fixture: clock-ledger violations. A miniature QueueingScheduler whose
+// schedule() commits the dispatch clock without any rollback (the exact
+// bug class the rule exists for), plus a mutation in an unblessed member.
+namespace holap {
+
+Seconds& QueueingScheduler::clock_for(QueueRef ref) {
+  if (ref.kind == QueueRef::kCpu) return cpu_clock_;
+  return gpu_clocks_[static_cast<std::size_t>(ref.index)];
+}
+
+Placement QueueingScheduler::schedule(const Query& q, Seconds now) {
+  trans_clock_ = now + est_;          // commit: translation
+  dispatch_clocks_[0] += kDispatch;   // commit: dispatch (never rolled back)
+  clock_for(ref_) = now + est_;       // commit: cpu/gpu
+  return {};
+}
+
+void QueueingScheduler::on_shed(QueueRef ref, Seconds est) {
+  clock_for(ref) -= est;   // rollback: cpu/gpu
+  trans_clock_ -= est;     // rollback: translation — dispatch is missing
+}
+
+void QueueingScheduler::reset_for_tests() {
+  cpu_clock_ = Seconds{};  // unblessed member touching the ledger
+}
+
+}  // namespace holap

@@ -1,0 +1,12 @@
+// Fixture: determinism violation — an unseeded entropy source in the
+// simulation plane.
+#include <random>
+
+namespace holap {
+
+int weird_seed() {
+  std::random_device rd;  // seeded runs must replay bit-identically
+  return static_cast<int>(rd());
+}
+
+}  // namespace holap

@@ -1,0 +1,10 @@
+// Fixture: TraceSpan handled inside src/obs — the one place it may be.
+namespace holap {
+
+void record_locally() {
+  TraceSpan span;
+  span.query_id = 1;
+  (void)span;
+}
+
+}  // namespace holap

@@ -1,0 +1,15 @@
+// Fixture: bounded constructions the rule must accept.
+#include "olap/exec.hpp"
+
+namespace holap {
+
+Exec::Exec(std::size_t capacity) : queue_(capacity) {
+  gpu_queues_.push_back(std::make_unique<BlockingQueue<int>>(capacity));
+}
+
+void drain(BlockingQueue<int>& queue) {
+  BlockingQueue<int> scratch(4);
+  while (auto item = queue.pop()) scratch.push(*item);
+}
+
+}  // namespace holap

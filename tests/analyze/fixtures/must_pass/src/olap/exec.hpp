@@ -1,0 +1,21 @@
+// Fixture: a bounded member queue whose capacity comes from the
+// constructor init-list in exec.cpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace holap {
+
+class Exec {
+ public:
+  explicit Exec(std::size_t capacity);
+
+ private:
+  BlockingQueue<int> queue_;
+  std::vector<std::unique_ptr<BlockingQueue<int>>> gpu_queues_;
+};
+
+void drain(BlockingQueue<int>& queue);
+
+}  // namespace holap

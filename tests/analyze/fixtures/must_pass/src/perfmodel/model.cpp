@@ -1,0 +1,14 @@
+// Fixture: unit arithmetic without escapes.
+#include "perfmodel/model.hpp"
+
+namespace holap {
+
+Seconds TinyModel::seconds(Megabytes sc_mb) const {
+  const Seconds t = sc_mb / MbPerSec{1024.0};
+  const double raw = t.value();  // unwrap at an I/O boundary is fine
+  return t + Seconds{0.5} * raw;
+}
+
+double TinyModel::scale(double fraction) const { return fraction * 2.0; }
+
+}  // namespace holap

@@ -1,0 +1,13 @@
+// Fixture: signatures the unit-escape rule must accept — strong types
+// may carry unit-suffixed names; raw doubles may not carry units.
+#pragma once
+
+namespace holap {
+
+class TinyModel {
+ public:
+  Seconds seconds(Megabytes sc_mb) const;
+  double scale(double fraction) const;
+};
+
+}  // namespace holap

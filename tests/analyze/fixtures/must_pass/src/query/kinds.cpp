@@ -1,0 +1,35 @@
+// Fixture: exhaustive switch (no default), an int if-chain with an
+// explicit fallthrough, and an int switch without a default label.
+#include "query/kinds.hpp"
+
+namespace holap {
+
+const char* name(Color c) {
+  switch (c) {
+    case Color::kRed:
+      return "red";
+    case Color::kGreen:
+      return "green";
+    case Color::kBlue:
+      return "blue";
+  }
+  return "unknown";
+}
+
+int cheap_rank(int dim) {
+  if (dim == 1) return 10;
+  if (dim == 2) return 20;
+  return 0;
+}
+
+int named_rank(int dim) {
+  switch (dim) {
+    case 1:
+      return 10;
+    case 2:
+      return 20;
+  }
+  return 0;
+}
+
+}  // namespace holap

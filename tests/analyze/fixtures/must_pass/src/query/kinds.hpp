@@ -1,0 +1,15 @@
+// Fixture: scoped enum handled exhaustively.
+#pragma once
+
+namespace holap {
+
+enum class Color {
+  kRed,
+  kGreen,
+  kBlue,
+};
+
+const char* name(Color c);
+int cheap_rank(int dim);
+
+}  // namespace holap

@@ -1,0 +1,42 @@
+// Fixture: a correctly paired clock ledger — every family schedule()
+// commits is rolled back or corrected by a feedback hook, reads in
+// unblessed members are fine, and comparisons are not mutations.
+namespace holap {
+
+Seconds& QueueingScheduler::clock_for(QueueRef ref) {
+  if (ref.kind == QueueRef::kCpu) return cpu_clock_;
+  return gpu_clocks_[static_cast<std::size_t>(ref.index)];
+}
+
+Placement QueueingScheduler::schedule(const Query& q, Seconds now) {
+  trans_clock_ = now + est_;
+  dispatch_clocks_[0] += kDispatch;
+  clock_for(ref_) = now + est_;
+  return {};
+}
+
+void QueueingScheduler::on_completed(QueueRef ref, Seconds est,
+                                     Seconds actual) {
+  clock_for(ref) += actual - est;
+}
+
+void QueueingScheduler::on_shed(QueueRef ref, Seconds est, Seconds trans) {
+  clock_for(ref) -= est;
+  trans_clock_ -= trans;
+  dispatch_clocks_[0] -= kDispatch;
+}
+
+void QueueingScheduler::on_translation_completed(Seconds est,
+                                                 Seconds actual) {
+  trans_clock_ += actual - est;
+}
+
+Seconds QueueingScheduler::gpu_clock(int queue) const {
+  return gpu_clocks_[static_cast<std::size_t>(queue)];  // read-only access
+}
+
+bool QueueingScheduler::idle() const {
+  return cpu_clock_ == Seconds{};  // comparison, not assignment
+}
+
+}  // namespace holap

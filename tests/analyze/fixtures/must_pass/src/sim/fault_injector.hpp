@@ -1,0 +1,6 @@
+// Fixture stub: the pinned deterministic root must exist in the tree.
+#pragma once
+
+namespace holap {
+struct FaultInjector {};
+}  // namespace holap

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Golden tests for scripts/analyze/: every must-flag fixture is flagged
+at the expected location, the must-pass fixtures stay silent, rule
+selection works, and the lint shim keeps its contract."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+ANALYZE = REPO / "scripts" / "analyze" / "analyze.py"
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+GOLDEN = pathlib.Path(__file__).resolve().parent / "golden_findings.json"
+
+
+def run_analyze(*args: str) -> tuple[int, dict, str]:
+    """(exit code, parsed --json payload, stdout+stderr)."""
+    with tempfile.NamedTemporaryFile(suffix=".json", mode="r") as out:
+        proc = subprocess.run(
+            [sys.executable, str(ANALYZE), "--json", out.name, *args],
+            capture_output=True, text=True, cwd=REPO, check=False)
+        payload = json.loads(pathlib.Path(out.name).read_text() or "{}")
+    return proc.returncode, payload, proc.stdout + proc.stderr
+
+
+class MustFlagFixtures(unittest.TestCase):
+    def test_findings_match_golden(self):
+        code, payload, output = run_analyze(
+            "--root", str(FIXTURES / "must_flag"), "--baseline", "none")
+        self.assertEqual(code, 1, output)
+        got = [{"rule": f["rule"], "path": f["path"], "line": f["line"]}
+               for f in payload["findings"]]
+        want = json.loads(GOLDEN.read_text())["findings"]
+        self.assertEqual(got, want)
+
+    def test_every_rule_fires(self):
+        _, payload, _ = run_analyze(
+            "--root", str(FIXTURES / "must_flag"), "--baseline", "none")
+        fired = {f["rule"] for f in payload["findings"]}
+        self.assertEqual(fired, {
+            "determinism", "raw-new-delete", "include-hygiene",
+            "clock-ledger", "enum-exhaustive", "bounded-queue",
+            "unit-escape", "span-lifecycle",
+        })
+
+    def test_rule_selection_restricts_output(self):
+        code, payload, _ = run_analyze(
+            "--root", str(FIXTURES / "must_flag"), "--baseline", "none",
+            "--rules", "clock-ledger")
+        self.assertEqual(code, 1)
+        rules = {f["rule"] for f in payload["findings"]}
+        self.assertEqual(rules, {"clock-ledger"})
+
+    def test_ledger_pairing_names_the_unrolled_family(self):
+        _, payload, _ = run_analyze(
+            "--root", str(FIXTURES / "must_flag"), "--baseline", "none",
+            "--rules", "clock-ledger")
+        pairing = [f for f in payload["findings"]
+                   if "ever rolls it back" in f["message"]]
+        self.assertEqual(len(pairing), 1)
+        self.assertIn("dispatch", pairing[0]["message"])
+
+
+class MustPassFixtures(unittest.TestCase):
+    def test_clean(self):
+        code, payload, output = run_analyze(
+            "--root", str(FIXTURES / "must_pass"), "--baseline", "none")
+        self.assertEqual(code, 0, output)
+        self.assertEqual(payload["findings"], [])
+
+
+class RepoIsClean(unittest.TestCase):
+    def test_all_rules_with_baseline(self):
+        code, payload, output = run_analyze()
+        self.assertEqual(code, 0, output)
+        self.assertEqual(payload["findings"], [])
+        # The baseline must be live, not a graveyard of stale entries.
+        self.assertEqual(payload["stale_baseline_entries"], 0)
+
+
+class LintShim(unittest.TestCase):
+    def test_forwards_to_lint_rules(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "lint.py")],
+            capture_output=True, text=True, cwd=REPO, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_fix_dry_run_flag_still_accepted(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "lint.py"),
+             "--fix-dry-run"],
+            capture_output=True, text=True, cwd=REPO, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

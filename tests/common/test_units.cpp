@@ -122,6 +122,23 @@ TEST(Units, RateTimesTimeIsSizeBothOrders) {
   EXPECT_EQ((Seconds{2.0} * MbPerSec{3.0}).value(), 6.0);
 }
 
+TEST(Units, GbPerSecIsItsOwnDimension) {
+  static_assert(!Addable<GbPerSec, MbPerSec>);
+  static_assert(!Comparable<GbPerSec, MbPerSec>);
+  static_assert(Addable<GbPerSec, GbPerSec>);
+  EXPECT_LT(GbPerSec{1.0}, GbPerSec{19.5});
+}
+
+TEST(Units, GbPerSecConversionsAreExact) {
+  // 1024 is a power of two: the scaling is exact, so round-trips are too.
+  EXPECT_EQ(to_mb_per_sec(GbPerSec{1.0}).value(), 1024.0);
+  EXPECT_EQ(to_gb_per_sec(MbPerSec{512.0}).value(), 0.5);
+  const GbPerSec odd{19.47};
+  EXPECT_EQ(to_gb_per_sec(to_mb_per_sec(odd)), odd);
+  const MbPerSec back{3.14159};
+  EXPECT_EQ(to_mb_per_sec(to_gb_per_sec(back)), back);
+}
+
 TEST(Units, ByteConversionsRoundTrip) {
   EXPECT_EQ(bytes_to_mb(kMiB).value(), 1.0);
   EXPECT_EQ(bytes_to_mb(512 * kKiB).value(), 0.5);

@@ -51,13 +51,14 @@ TEST(CpuModelContinuity, InterpolatedThreadCountsStayBounded) {
 
 TEST(CpuModelContinuity, BandwidthModelIsExactlyContinuous) {
   for (const double gb : {1.0, 5.5, 24.4}) {
-    const CpuPerfModel m = CpuPerfModel::bandwidth_model(gb);
+    const CpuPerfModel m = CpuPerfModel::bandwidth_model(GbPerSec{gb});
     const double below =
         m.seconds(Megabytes{std::nextafter(m.split_mb().value(), 0.0)}).value();
     const double at = m.seconds(m.split_mb()).value();
     // The only difference is Range B's fixed overhead intercept.
     EXPECT_NEAR(at - below, 0.002, 1e-9) << "gb=" << gb;
-    const CpuPerfModel flat = CpuPerfModel::bandwidth_model(gb, Seconds{0.0});
+    const CpuPerfModel flat =
+        CpuPerfModel::bandwidth_model(GbPerSec{gb}, Seconds{0.0});
     EXPECT_NEAR(relative_jump_at_split(flat), 0.0, 1e-12) << "gb=" << gb;
   }
 }

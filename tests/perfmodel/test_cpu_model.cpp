@@ -42,7 +42,7 @@ TEST(CpuModel, EightThreadsFasterThanFourAtLargeSizes) {
 TEST(CpuModel, MonotoneInSize) {
   for (const CpuPerfModel& m :
        {CpuPerfModel::paper_4t(), CpuPerfModel::paper_8t(),
-        CpuPerfModel::bandwidth_model(1.0)}) {
+        CpuPerfModel::bandwidth_model(GbPerSec{1.0})}) {
     double prev = 0.0;
     for (double sc = 1.0; sc < 40000.0; sc *= 2.0) {
       const double t = m.seconds(Megabytes{sc}).value();
@@ -58,18 +58,19 @@ TEST(CpuModel, ZeroSizeCostsNothing) {
 }
 
 TEST(CpuModel, BandwidthModelStreamsAtConfiguredRate) {
-  const CpuPerfModel m = CpuPerfModel::bandwidth_model(1.0, Seconds{0.0});
+  const CpuPerfModel m =
+      CpuPerfModel::bandwidth_model(GbPerSec{1.0}, Seconds{0.0});
   // 1 GB/s: 1024 MB takes 1 s.
   EXPECT_NEAR(m.seconds(Megabytes{1024.0}).value(), 1.0, 1e-9);
-  EXPECT_NEAR(m.gb_per_second(Megabytes{2048.0}), 1.0, 1e-6);
+  EXPECT_NEAR(m.gb_per_second(Megabytes{2048.0}).value(), 1.0, 1e-6);
 }
 
 TEST(CpuModel, ImpliedBandwidthMatchesFigure3Regime) {
   // §III-D: the parallel engine reaches 15-20+ GB/s for cubes >= 128 MB.
   const CpuPerfModel m8 = CpuPerfModel::paper_8t();
-  const double bw = m8.gb_per_second(Megabytes{1024.0});
-  EXPECT_GT(bw, 15.0);
-  EXPECT_LT(bw, 30.0);
+  const GbPerSec bw = m8.gb_per_second(Megabytes{1024.0});
+  EXPECT_GT(bw, GbPerSec{15.0});
+  EXPECT_LT(bw, GbPerSec{30.0});
 }
 
 TEST(CpuModel, PaperForThreadsAnchors) {
@@ -78,8 +79,10 @@ TEST(CpuModel, PaperForThreadsAnchors) {
   EXPECT_NEAR(CpuPerfModel::paper_for_threads(8).seconds(Megabytes{100.0}).value(),
               CpuPerfModel::paper_8t().seconds(Megabytes{100.0}).value(), 1e-15);
   // 1 thread: the original ~1 GB/s engine.
-  EXPECT_NEAR(CpuPerfModel::paper_for_threads(1).gb_per_second(Megabytes{4096.0}), 1.0,
-              0.05);
+  EXPECT_NEAR(
+      CpuPerfModel::paper_for_threads(1).gb_per_second(Megabytes{4096.0})
+          .value(),
+      1.0, 0.05);
   EXPECT_THROW(CpuPerfModel::paper_for_threads(0), InvalidArgument);
 }
 

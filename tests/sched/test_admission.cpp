@@ -262,6 +262,29 @@ TEST(ShedFeedback, RollbackIsIndependentOfTheFeedbackFlag) {
   EXPECT_NEAR(sched.cpu_clock().value(), 0.0, 1e-15);
 }
 
+TEST(ShedFeedback, RollsDispatchShareOutOfTheDeviceClock) {
+  // With the modeled launch stage on, schedule() commits the device's
+  // dispatch clock as well; a shed must return that share too, or every
+  // shed GPU query permanently inflates the device's launch backlog. The
+  // dispatch clocks are internal, so prove the rollback by equivalence:
+  // after schedule -> shed, the next placement must match what a fresh
+  // scheduler produces — bit for bit, same arithmetic on both sides.
+  Fixture f;
+  f.config.modeled_gpu_dispatch = Seconds{0.004};
+  auto sched = f.scheduler();
+  const Placement shed = sched.schedule(expensive_cpu_query(), Seconds{});
+  ASSERT_EQ(shed.queue.kind, QueueRef::kGpu);
+  sched.on_shed(shed.queue, shed.processing_est, Seconds{});
+  const Placement after = sched.schedule(expensive_cpu_query(), Seconds{});
+
+  auto fresh = f.scheduler();
+  const Placement expected =
+      fresh.schedule(expensive_cpu_query(), Seconds{});
+  EXPECT_EQ(after.queue, expected.queue);
+  EXPECT_EQ(after.response_est, expected.response_est);
+  EXPECT_EQ(after.processing_est, expected.processing_est);
+}
+
 // --- translation feedback -------------------------------------------------
 
 TEST(TranslationFeedback, MeasuredOverrunShiftsTranslationClock) {

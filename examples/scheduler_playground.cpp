@@ -2,35 +2,91 @@
 // command line: pick a policy, an arrival rate, a deadline and a GPU
 // partitioning, and watch throughput / deadline adherence / utilisation.
 //
-//   ./scheduler_playground [policy] [arrival_qps] [deadline_ms] [queries]
-//                          [trace.jsonl]
+//   ./scheduler_playground [options] [policy] [arrival_qps] [deadline_ms]
+//                          [queries] [trace.jsonl]
 //   e.g. ./scheduler_playground figure10 120 250 3000
 //        ./scheduler_playground MET 250 100 3000
 //        ./scheduler_playground figure10 0 250 3000   (0 = closed loop)
 //        ./scheduler_playground figure10 120 250 3000 trace.jsonl
 //   A fifth argument dumps the run's span trace as JSON lines (one span
 //   per query lifecycle stage) and prints the observability summary.
+//
+// Fault-tolerance options (each may repeat; enabling any turns the
+// health monitor / circuit breakers / retry policy on):
+//   --fail-partition <id>@<t>     crash partition <id> at sim-time <t> s
+//   --recover-partition <id>@<t>  recover partition <id> at <t> s
+//   <id> is `cpu` or a GPU queue index (0-5 in the paper layout).
+//   e.g. ./scheduler_playground --fail-partition 4@0.2 \
+//            --recover-partition 4@0.7 figure10 800 250 3000
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table_printer.hpp"
 #include "obs/export.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/scenario.hpp"
 
 using namespace holap;
 
+namespace {
+
+/// Parse `<id>@<t>` (id = `cpu` or a GPU queue index) into a timed fault.
+bool parse_fault(const std::string& spec, TimedFault::Kind kind,
+                 std::vector<TimedFault>& out) {
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos || at + 1 >= spec.size()) return false;
+  const std::string id = spec.substr(0, at);
+  TimedFault fault;
+  fault.kind = kind;
+  try {
+    fault.ref = id == "cpu"
+                    ? FaultInjector::cpu_ref()
+                    : QueueRef{QueueRef::kGpu, std::stoi(id)};
+    fault.at = Seconds{std::stod(spec.substr(at + 1))};
+  } catch (const std::exception&) {
+    return false;
+  }
+  out.push_back(fault);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string policy = argc > 1 ? argv[1] : "figure10";
-  const double arrival = argc > 2 ? std::stod(argv[2]) : 120.0;
-  const double deadline_ms = argc > 3 ? std::stod(argv[3]) : 250.0;
-  const std::size_t queries = argc > 4 ? std::stoul(argv[4]) : 3000;
-  const std::string trace_path = argc > 5 ? argv[5] : "";
+  std::vector<TimedFault> faults;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fail-partition" || arg == "--recover-partition") {
+      const auto kind = arg == "--fail-partition"
+                            ? TimedFault::Kind::kCrash
+                            : TimedFault::Kind::kRecover;
+      if (i + 1 >= argc || !parse_fault(argv[++i], kind, faults)) {
+        std::cerr << arg << " expects <id>@<t> (e.g. 4@0.2 or cpu@0.5)\n";
+        return 1;
+      }
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string policy = positional.size() > 0 ? positional[0]
+                                                   : "figure10";
+  const double arrival =
+      positional.size() > 1 ? std::stod(positional[1]) : 120.0;
+  const double deadline_ms =
+      positional.size() > 2 ? std::stod(positional[2]) : 250.0;
+  const std::size_t queries =
+      positional.size() > 3 ? std::stoul(positional[3]) : 3000;
+  const std::string trace_path = positional.size() > 4 ? positional[4] : "";
 
   ScenarioOptions options;
   options.deadline = Seconds{deadline_ms / 1000.0};
   options.cube_levels = {0, 1, 2, 3};
   options.level_weights = {0.2, 0.25, 0.35, 0.2};
   options.mean_selectivity = 0.5;
+  options.fault_tolerance.enabled = !faults.empty();
   const PaperScenario scenario{options};
 
   std::cout << "system model: CPU " << options.cpu_threads
@@ -39,7 +95,18 @@ int main(int argc, char** argv) {
             << policy << "; deadline=" << deadline_ms << " ms; "
             << (arrival > 0 ? "open-loop " + std::to_string(arrival) + " Q/s"
                             : std::string("closed loop, 16 clients"))
-            << "; " << queries << " queries\n\n";
+            << "; " << queries << " queries\n";
+  FaultInjector injector;
+  for (const TimedFault& f : faults) {
+    injector.schedule_fault(f);
+    std::cout << (f.kind == TimedFault::Kind::kCrash ? "fault: crash "
+                                                     : "fault: recover ")
+              << (f.ref.kind == QueueRef::kCpu
+                      ? std::string("cpu")
+                      : "gpu" + std::to_string(f.ref.index))
+              << " at t=" << f.at.value() << " s\n";
+  }
+  std::cout << '\n';
 
   const auto workload = scenario.make_workload(queries);
   const auto p = scenario.make_policy(policy);
@@ -48,6 +115,7 @@ int main(int argc, char** argv) {
   config.closed_clients = 16;
   config.cpu_overhead = Seconds{0.005};
   config.gpu_dispatch_overhead = Seconds{0.0145};
+  if (!faults.empty()) config.fault = &injector;
   TraceRecorder recorder;
   config.recorder = &recorder;
   const SimResult r = run_simulation(*p, workload, config);
@@ -64,6 +132,12 @@ int main(int argc, char** argv) {
   t.add_row({"CPU : GPU routing", std::to_string(r.cpu_queries) + " : " +
                                       std::to_string(r.gpu_queries)});
   t.add_row({"translated queries", std::to_string(r.translated_queries)});
+  if (!faults.empty()) {
+    t.add_row({"partition faults", std::to_string(r.partition_faults)});
+    t.add_row({"retries / failed over", std::to_string(r.retries) + " / " +
+                                            std::to_string(r.failed_over)});
+    t.add_row({"exhausted retries", std::to_string(r.exhausted_retries)});
+  }
   t.add_row({"CPU partition busy",
              TablePrinter::fixed(100.0 * r.cpu_utilization, 1) + "%"});
   t.add_row({"translation partition busy",
@@ -78,6 +152,23 @@ int main(int argc, char** argv) {
                TablePrinter::fixed(100.0 * r.gpu_utilization[i], 1) + "%"});
   }
   t.print(std::cout, "simulation result");
+
+  if (!faults.empty()) {
+    std::cout << '\n';
+    TablePrinter health({"partition", "health", "failed", "retried",
+                         "failovers", "breaker transitions"});
+    for (const PartitionCounters& c : r.partitions) {
+      if (c.failed + c.retried + c.failovers + c.breaker_transitions == 0 &&
+          c.health == "healthy") {
+        continue;  // only partitions the faults actually touched
+      }
+      health.add_row({c.name, c.health, std::to_string(c.failed),
+                      std::to_string(c.retried),
+                      std::to_string(c.failovers),
+                      std::to_string(c.breaker_transitions)});
+    }
+    health.print(std::cout, "partition health");
+  }
 
   std::cout << '\n';
   const auto spans = recorder.snapshot();

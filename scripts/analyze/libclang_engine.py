@@ -184,6 +184,35 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
                     "take Seconds/Megabytes/MbPerSec/GbPerSec "
                     "(common/units.hpp) instead")
 
+        if "retry-bound" in rules and cursor.kind in (
+                ck.WHILE_STMT, ck.FOR_STMT, ck.DO_STMT,
+                ck.CXX_FOR_RANGE_STMT) and \
+                want(rel, "src/sched/", "src/olap/"):
+            toks = [t.spelling for t in cursor.get_tokens()]
+            if cursor.kind == ck.DO_STMT:
+                # The condition trails the body: tokens after the last
+                # `while` keyword.
+                idx = len(toks) - 1 - toks[::-1].index("while") \
+                    if "while" in toks else len(toks)
+                header = toks[idx:]
+            else:
+                depth, header = 0, []
+                for t in toks:
+                    header.append(t)
+                    if t == "(":
+                        depth += 1
+                    elif t == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+            if rules_ast._RETRY_IDENT.search(" ".join(header)) and \
+                    not any(t in ("<", "<=", ">", ">=") for t in header):
+                add("retry-bound", rel, cursor.location.line,
+                    "retry loop without a compile-time-visible attempt "
+                    "bound in its header",
+                    "bound the loop on an attempt counter (e.g. "
+                    "`attempt < policy.max_attempts`)")
+
         if "clock-ledger" in rules and cursor.kind == ck.BINARY_OPERATOR \
                 and want(rel, "src/"):
             toks = [t.spelling for t in cursor.get_tokens()]

@@ -1,6 +1,6 @@
 """Repo-specific invariant rules — the self-contained text/token engine.
 
-Five rules, each encoding a design invariant of this codebase (see
+Six rules, each encoding a design invariant of this codebase (see
 DESIGN.md, "Invariants as machine-checked rules"):
 
   clock-ledger      Only the Figure-10 scheduler's blessed members may
@@ -17,6 +17,9 @@ DESIGN.md, "Invariants as machine-checked rules"):
                     unwrapped-then-rewrapped.
   span-lifecycle    TraceSpan is an src/obs-internal type; everything
                     else records through TraceRecorder's builder.
+  retry-bound       Every retry loop in the scheduling/serving planes
+                    (src/sched, src/olap) carries a compile-time-visible
+                    attempt bound in its header — no `while (retry)`.
 
 The libclang engine (libclang_engine.py) checks the same invariants from
 the AST when the bindings are available; rule ids and messages match so
@@ -380,12 +383,53 @@ def check_span_lifecycle(ctx: Context) -> list[Finding]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# retry-bound
+
+
+_RETRY_SCOPES = ("src/sched", "src/olap")
+_RETRY_IDENT = re.compile(r"\b\w*(?:retry|retries|attempt)\w*\b",
+                          re.IGNORECASE)
+# A relational comparison that is not `->`, `<<` or `>>` (the visible
+# attempt bound; `<=`/`>=` match as `<`/`>` followed by `=`).
+_RELATIONAL = re.compile(r"(?<![-<>])[<>](?![<>])")
+
+
+def _loop_headers(text: str):
+    """(offset, header) for every while/for loop condition — the trailing
+    condition of a do { } while (...) is caught by the `while` branch."""
+    for m in re.finditer(r"\b(?:while|for)\s*\(", text):
+        open_at = text.find("(", m.start())
+        end = _skip_brackets(text, open_at, "(", ")")
+        yield m.start(), text[open_at + 1:end - 1]
+
+
+def check_retry_bound(ctx: Context) -> list[Finding]:
+    out: list[Finding] = []
+    for rel, sf in ctx.files(*_RETRY_SCOPES):
+        for off, header in _loop_headers(sf.stripped):
+            if not _RETRY_IDENT.search(header):
+                continue
+            if _RELATIONAL.search(header):
+                continue
+            line = sf.line_of(off)
+            out.append(Finding(
+                "retry-bound", rel, line,
+                "retry loop without a compile-time-visible attempt bound "
+                "in its header",
+                text=sf.line_text(line),
+                fix="bound the loop on an attempt counter (e.g. "
+                    "`attempt < policy.max_attempts`)"))
+    return out
+
+
 AST_RULES = {
     "clock-ledger": check_clock_ledger,
     "enum-exhaustive": check_enum_exhaustive,
     "bounded-queue": check_bounded_queue,
     "unit-escape": check_unit_escape,
     "span-lifecycle": check_span_lifecycle,
+    "retry-bound": check_retry_bound,
 }
 
 

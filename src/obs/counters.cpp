@@ -6,11 +6,14 @@ namespace holap {
 
 TablePrinter counters_table(const std::vector<PartitionCounters>& counters,
                             Seconds makespan) {
-  TablePrinter t({"partition", "enqueued", "completed", "shed", "max depth",
-                  "busy [s]", "utilization"});
+  TablePrinter t({"partition", "enqueued", "completed", "shed", "failed",
+                  "retried", "failovers", "health", "max depth", "busy [s]",
+                  "utilization"});
   for (const PartitionCounters& c : counters) {
     t.add_row({c.name, std::to_string(c.enqueued),
                std::to_string(c.completed), std::to_string(c.shed),
+               std::to_string(c.failed), std::to_string(c.retried),
+               std::to_string(c.failovers), c.health,
                std::to_string(c.max_depth),
                TablePrinter::fixed(c.busy.value(), 3),
                TablePrinter::fixed(100.0 * c.utilization(makespan), 1) +

@@ -29,6 +29,12 @@ struct PartitionCounters {
   std::size_t depth = 0;      ///< currently in flight (enqueued − completed)
   std::size_t max_depth = 0;  ///< high-water mark of `depth`
   Seconds busy{};             ///< cumulative service time
+  // Fault-tolerance counters (all zero while fault injection is off):
+  std::size_t failed = 0;     ///< queries this stage failed (crash/handoff)
+  std::size_t retried = 0;    ///< failed queries re-submitted for retry
+  std::size_t failovers = 0;  ///< retried queries this stage completed
+  std::size_t breaker_transitions = 0;  ///< circuit-breaker state changes
+  std::string health = "healthy";       ///< current PartitionHealth gauge
 
   void on_enqueue() {
     ++enqueued;
@@ -43,6 +49,11 @@ struct PartitionCounters {
   /// A queued item left without being served (load shedding).
   void on_shed() {
     ++shed;
+    if (depth > 0) --depth;
+  }
+  /// An in-flight item was lost to a partition fault.
+  void on_failed() {
+    ++failed;
     if (depth > 0) --depth;
   }
   /// Busy fraction of `makespan` (0 when the run is empty).

@@ -159,6 +159,12 @@ std::string to_jsonl(const PartitionCounters& counters) {
   out += ",\"depth\":" + std::to_string(counters.depth);
   out += ",\"max_depth\":" + std::to_string(counters.max_depth);
   out += ",\"busy\":" + format_double(counters.busy.value());
+  out += ",\"failed\":" + std::to_string(counters.failed);
+  out += ",\"retried\":" + std::to_string(counters.retried);
+  out += ",\"failovers\":" + std::to_string(counters.failovers);
+  out += ",\"breaker_transitions\":" +
+         std::to_string(counters.breaker_transitions);
+  out += ",\"health\":\"" + counters.health + "\"";
   out += "}";
   return out;
 }
@@ -182,6 +188,14 @@ PartitionCounters counters_from_jsonl(const std::string& line) {
   c.max_depth = static_cast<std::size_t>(
       std::stoull(raw_field(line, "max_depth")));
   c.busy = Seconds{double_field(line, "busy")};
+  c.failed = static_cast<std::size_t>(std::stoull(raw_field(line, "failed")));
+  c.retried =
+      static_cast<std::size_t>(std::stoull(raw_field(line, "retried")));
+  c.failovers =
+      static_cast<std::size_t>(std::stoull(raw_field(line, "failovers")));
+  c.breaker_transitions = static_cast<std::size_t>(
+      std::stoull(raw_field(line, "breaker_transitions")));
+  c.health = raw_field(line, "health");
   return c;
 }
 

@@ -229,9 +229,14 @@ std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
     // The shutdown-race window: after scheduling, before the enqueue.
     fault->run_submit_hook();
   }
+  route(std::move(job));
+  return future;
+}
+
+void AsyncHybridExecutor::route(Job job) {
   if (job.placement.queue.kind == QueueRef::kCpu) {
     enqueue(cpu_queue_, std::move(job), 0);
-  } else if (job.placement.translate) {
+  } else if (job.placement.translate && !job.translated) {
     enqueue(translation_queue_, std::move(job), 1);
   } else {
     const std::size_t slot = counter_slot(job.placement.queue, false);
@@ -239,15 +244,116 @@ std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
         job.placement.queue.index)];
     enqueue(queue, std::move(job), slot);
   }
-  return future;
+}
+
+void AsyncHybridExecutor::sync_health_gauges() {
+  PartitionHealthMonitor* monitor = scheduler_locked().health_monitor();
+  if (monitor == nullptr) return;
+  MutexLock lock(counters_mutex_);
+  counters_[0].health = to_string(monitor->health({QueueRef::kCpu, 0}));
+  counters_[0].breaker_transitions =
+      monitor->breaker_transitions({QueueRef::kCpu, 0});
+  for (int i = 0; i < monitor->gpu_queue_count(); ++i) {
+    const QueueRef ref{QueueRef::kGpu, i};
+    PartitionCounters& ctr = counters_[counter_slot(ref, false)];
+    ctr.health = to_string(monitor->health(ref));
+    ctr.breaker_transitions = monitor->breaker_transitions(ref);
+  }
+}
+
+void AsyncHybridExecutor::resolve_exhausted(Job job) {
+  ++exhausted_retries_;
+  ExecutionReport report;
+  report.outcome = ExecutionOutcome::kExhaustedRetries;
+  report.queue = job.placement.queue;
+  report.estimated_processing = job.placement.processing_est;
+  report.before_deadline_estimate = job.placement.before_deadline;
+  report.translated = job.translated;
+  report.attempts = job.attempt;
+  job.promise.set_value(std::move(report));
+}
+
+void AsyncHybridExecutor::fail_over(Job job, QueueRef failed_ref) {
+  ++partition_failures_;
+  const RetryPolicy* retry = nullptr;
+  Seconds now{};
+  {
+    // Roll the dead placement back exactly as a shed does (the partition
+    // will never run it; untranslated jobs also return their translation
+    // charge) and report the crash to the health monitor so the breaker
+    // removes the partition from the candidate set.
+    MutexLock lock(scheduler_mutex_);
+    now = clock_.elapsed();
+    const Seconds pending_translation =
+        (!job.translated && job.placement.translate)
+            ? job.placement.translation_est
+            : Seconds{};
+    scheduler_locked().on_shed(failed_ref, job.placement.processing_est,
+                               pending_translation);
+    if (PartitionHealthMonitor* monitor =
+            scheduler_locked().health_monitor()) {
+      monitor->on_crash(failed_ref, now);
+    }
+    retry = scheduler_locked().retry_policy();
+    sync_health_gauges();
+  }
+  {
+    MutexLock lock(counters_mutex_);
+    counters_[counter_slot(failed_ref, false)].on_failed();
+  }
+  const int max_attempts = retry != nullptr ? retry->max_attempts : 1;
+  if (job.attempt >= max_attempts) {
+    resolve_exhausted(std::move(job));
+    return;
+  }
+  // Exponential backoff feeds the deadline gate only: a native worker
+  // never sleeps a retry, but the gate sheds any job whose remaining
+  // slack could not survive the backoff it would owe.
+  const Seconds deadline = system_->scheduler().deadline();
+  Seconds backoff = retry->backoff_base;
+  for (int k = 1; k < job.attempt; ++k) backoff += backoff;
+  if (job.submitted_at + deadline - (now + backoff) <
+      deadline * retry->deadline_slack_gate) {
+    resolve_exhausted(std::move(job));
+    return;
+  }
+  ++retries_;
+  {
+    MutexLock lock(counters_mutex_);
+    ++counters_[counter_slot(failed_ref, false)].retried;
+  }
+  ++job.attempt;
+  ScheduleHints hints;
+  hints.translation_cached = job.translated;  // failover keeps integers
+  {
+    MutexLock lock(scheduler_mutex_);
+    const Seconds at = clock_.elapsed();
+    job.placement =
+        scheduler_locked().schedule(job.query, at, job.id, hints);
+    job.stage_enqueued_at = at;
+  }
+  if (job.placement.rejected || job.placement.shed_at_admission) {
+    // No live candidate partition took the retry (or admission turned it
+    // away). Neither outcome committed any clocks, so no rollback; the
+    // job resolves with its typed fault outcome.
+    resolve_exhausted(std::move(job));
+    return;
+  }
+  route(std::move(job));
 }
 
 void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {
+  // kFailedOver is a success outcome: the answer is valid, it just took
+  // more than one placement to get there.
+  report.outcome = job.attempt > 1 ? ExecutionOutcome::kFailedOver
+                                   : ExecutionOutcome::kCompleted;
+  report.attempts = job.attempt;
   {
     MutexLock lock(scheduler_mutex_);
     scheduler_locked().on_completed(job.placement.queue,
                                     report.estimated_processing,
                                     report.measured_processing);
+    sync_health_gauges();
   }
   const Seconds done = clock_.elapsed();
   record_span(job.id, SpanKind::kComplete, done, done, job.placement.queue,
@@ -259,9 +365,12 @@ void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {
   }
   {
     MutexLock lock(counters_mutex_);
-    counters_[counter_slot(job.placement.queue, false)].on_complete(
-        report.measured_processing);
+    PartitionCounters& ctr =
+        counters_[counter_slot(job.placement.queue, false)];
+    ctr.on_complete(report.measured_processing);
+    if (job.attempt > 1) ++ctr.failovers;
   }
+  if (job.attempt > 1) ++failed_over_;
   ++completed_;
   job.promise.set_value(std::move(report));
 }
@@ -269,7 +378,14 @@ void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {
 void AsyncHybridExecutor::cpu_worker() {
   while (auto job = cpu_queue_.pop()) {
     if (FaultInjector* fault = fault_.load()) {
+      // Order matters: the gate parks first (tests build a backlog), then
+      // the down-check sees faults injected while this worker was parked
+      // mid-pop — the crash-during-dequeue race made deterministic.
       fault->at_worker({QueueRef::kCpu, 0});
+      if (fault->partition_down({QueueRef::kCpu, 0})) {
+        fail_over(std::move(*job), {QueueRef::kCpu, 0});
+        continue;
+      }
     }
     ExecutionReport report;
     report.queue = job->placement.queue;
@@ -345,6 +461,13 @@ void AsyncHybridExecutor::gpu_worker(int queue) {
   while (auto job = jobs.pop()) {
     if (FaultInjector* fault = fault_.load()) {
       fault->at_worker({QueueRef::kGpu, queue});
+      if (fault->partition_down({QueueRef::kGpu, queue})) {
+        // The partition died while the job was queued (or this worker was
+        // parked mid-pop): fail over — an already-translated job keeps
+        // its integer parameters.
+        fail_over(std::move(*job), {QueueRef::kGpu, queue});
+        continue;
+      }
     }
     ExecutionReport report;
     report.queue = job->placement.queue;

@@ -85,6 +85,14 @@ class AsyncHybridExecutor {
   /// eviction) since construction.
   std::size_t shed() const { return shed_.load(); }
 
+  /// Fault-tolerance gauges: jobs that hit a down partition, retry
+  /// re-submissions performed, jobs resolved kExhaustedRetries, and jobs
+  /// completed kFailedOver (attempt > 1).
+  std::size_t partition_failures() const { return partition_failures_.load(); }
+  std::size_t retries() const { return retries_.load(); }
+  std::size_t exhausted_retries() const { return exhausted_retries_.load(); }
+  std::size_t failed_over() const { return failed_over_.load(); }
+
   /// Attach a span sink: the scheduler records kEnqueue at placement, the
   /// workers record translate/dispatch/execute/complete on the executor's
   /// wall clock. Call before submitting; nullptr detaches.
@@ -113,12 +121,32 @@ class AsyncHybridExecutor {
     Seconds submitted_at{};       ///< executor-clock submission time
     Seconds stage_enqueued_at{};  ///< entry time of the current queue
     bool translated = false;  ///< passed the translation partition already
+    int attempt = 1;          ///< placements tried (fault-tolerance retry)
   };
 
   void cpu_worker();
   void translation_worker();
   void gpu_worker(int queue);
   void finish(Job job, ExecutionReport report);
+
+  /// Enqueue a scheduled job on the queue its placement names (the tail
+  /// of submit(), shared with the retry path).
+  void route(Job job);
+
+  /// A worker pulled `job` off `failed_ref`'s queue and found the
+  /// partition down: roll the placement back, report the crash to the
+  /// health monitor, then either re-schedule the job under the retry
+  /// policy (failover — translation is never repeated) or resolve it
+  /// kExhaustedRetries.
+  void fail_over(Job job, QueueRef failed_ref);
+
+  /// Resolve a faulted job whose placement was already rolled back (or
+  /// never committed): typed kExhaustedRetries, no clock changes.
+  void resolve_exhausted(Job job);
+
+  /// Copy the monitor's health/breaker gauges into counters_. Call with
+  /// the scheduler lock held (the monitor shares its domain).
+  void sync_health_gauges() HOLAP_REQUIRES(scheduler_mutex_);
 
   /// Resolve a job that will never run: roll the scheduler clocks back
   /// and fulfil the promise with `outcome`. `counter_index` is the
@@ -158,6 +186,10 @@ class AsyncHybridExecutor {
   std::atomic<bool> down_{false};
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> partition_failures_{0};
+  std::atomic<std::size_t> retries_{0};
+  std::atomic<std::size_t> exhausted_retries_{0};
+  std::atomic<std::size_t> failed_over_{0};
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<TraceRecorder*> recorder_{nullptr};
   std::atomic<FaultInjector*> fault_{nullptr};

@@ -36,6 +36,10 @@ const char* to_string(ExecutionOutcome outcome) {
       return "shed_in_queue";
     case ExecutionOutcome::kFailed:
       return "failed";
+    case ExecutionOutcome::kFailedOver:
+      return "failed_over";
+    case ExecutionOutcome::kExhaustedRetries:
+      return "exhausted_retries";
   }
   return "unknown";
 }
@@ -68,6 +72,7 @@ HybridOlapSystem::HybridOlapSystem(FactTable table, HybridSystemConfig config)
   sched.deadline = config_.deadline;
   sched.feedback = config_.feedback;
   sched.admission = config_.admission;
+  sched.fault_tolerance = config_.fault_tolerance;
   policy_ = make_policy(
       config_.policy, sched,
       make_paper_estimator(config_.gpu_partitions,

@@ -57,6 +57,10 @@ struct HybridSystemConfig {
   /// Overload robustness: admission control over the scheduler's own
   /// feasibility signal (kNone = the paper's always-place behaviour).
   AdmissionControl admission{};
+  /// Partition fault tolerance: health tracking, per-partition circuit
+  /// breakers and the deadline-aware retry policy (sched/health.hpp).
+  /// Disabled keeps the paper's always-alive-partitions behaviour.
+  FaultTolerance fault_tolerance{};
   /// Record per-query lifecycle spans (enqueue/translate/dispatch/execute/
   /// complete) into the system's TraceRecorder, timestamped on the
   /// system's wall clock.
@@ -73,6 +77,11 @@ enum class ExecutionOutcome : std::uint8_t {
                      ///< or a full intake queue)
   kShedInQueue,      ///< queued, then evicted by load shedding
   kFailed,           ///< executor could not run it (shutdown race)
+  kFailedOver,       ///< completed after a partition fault; `answer` is
+                     ///< valid (a success outcome, like kCompleted)
+  kExhaustedRetries,  ///< lost to partition faults: retry budget or
+                      ///< deadline slack ran out before a live partition
+                      ///< could finish it
 };
 
 const char* to_string(ExecutionOutcome outcome);
@@ -89,6 +98,9 @@ struct ExecutionReport {
   Seconds measured_processing{};   ///< wall time (CPU) / modeled (GPU)
   Seconds translation_time{};      ///< measured translation wall time
   bool before_deadline_estimate = false;
+  /// Placements this query went through (1 = no faults; > 1 means the
+  /// outcome is kFailedOver or kExhaustedRetries).
+  int attempts = 1;
 };
 
 class HybridOlapSystem {

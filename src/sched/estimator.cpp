@@ -20,20 +20,22 @@ CostEstimator::CostEstimator(CpuPerfModel cpu_model,
   HOLAP_REQUIRE(translation_work_ != nullptr,
                 "estimator requires a translation work model");
   HOLAP_REQUIRE(gpu_total_columns_ > 0, "C_TOTAL must be positive");
+  gpu_degradation_.assign(gpu_models_.size(), 1.0);
 }
 
 CostEstimate CostEstimator::estimate(const Query& q) const {
   CostEstimate est;
   if (cpu_work_->can_answer(q)) {
     est.subcube_mb = cpu_work_->answer_mb(q);
-    est.cpu = cpu_model_.seconds(est.subcube_mb);
+    est.cpu = cpu_model_.seconds(est.subcube_mb) * cpu_degradation_;
   }
   est.column_fraction =
       std::min(1.0, static_cast<double>(q.gpu_columns_accessed()) /
                         static_cast<double>(gpu_total_columns_));
   est.gpu.reserve(gpu_models_.size());
-  for (const auto& model : gpu_models_) {
-    est.gpu.push_back(model.seconds(est.column_fraction));
+  for (std::size_t i = 0; i < gpu_models_.size(); ++i) {
+    est.gpu.push_back(gpu_models_[i].seconds(est.column_fraction) *
+                      gpu_degradation_[i]);
   }
   const auto lengths = translation_work_->dictionary_lengths(q);
   est.needs_translation = !lengths.empty();
@@ -59,6 +61,29 @@ void CostEstimator::set_translation_costing(TranslationCosting costing,
                 "hashed lookup cost must be positive");
   translation_costing_ = costing;
   hashed_seconds_ = hashed_seconds;
+}
+
+void CostEstimator::set_degradation(QueueRef ref, double multiplier) {
+  HOLAP_REQUIRE(multiplier >= 1.0,
+                "degradation must not make a partition look faster");
+  if (ref.kind == QueueRef::kCpu) {
+    HOLAP_REQUIRE(ref.index == 0,
+                  "degradation applies to processing partitions only");
+    cpu_degradation_ = multiplier;
+    return;
+  }
+  HOLAP_REQUIRE(ref.index >= 0 &&
+                    ref.index < static_cast<int>(gpu_degradation_.size()),
+                "GPU queue index out of range");
+  gpu_degradation_[static_cast<std::size_t>(ref.index)] = multiplier;
+}
+
+double CostEstimator::degradation(QueueRef ref) const {
+  if (ref.kind == QueueRef::kCpu) return cpu_degradation_;
+  HOLAP_REQUIRE(ref.index >= 0 &&
+                    ref.index < static_cast<int>(gpu_degradation_.size()),
+                "GPU queue index out of range");
+  return gpu_degradation_[static_cast<std::size_t>(ref.index)];
 }
 
 CostEstimator make_paper_estimator(

@@ -57,6 +57,14 @@ class CostEstimator {
   void set_translation_costing(TranslationCosting costing,
                                Seconds hashed_seconds = Seconds{2e-7});
 
+  /// Fault-tolerance degradation: inflate `ref`'s estimates by
+  /// `multiplier` (>= 1; 1 restores the model). A kDegraded partition
+  /// stays schedulable but honestly slower, so the Figure-10 feasibility
+  /// test routes around it whenever a healthy partition can still meet
+  /// the deadline. estimate() is monotone in the multiplier.
+  void set_degradation(QueueRef ref, double multiplier);
+  double degradation(QueueRef ref) const;
+
   int gpu_queue_count() const { return static_cast<int>(gpu_models_.size()); }
   const CpuPerfModel& cpu_model() const { return cpu_model_; }
   const DictPerfModel& dict_model() const { return dict_model_; }
@@ -70,6 +78,8 @@ class CostEstimator {
   int gpu_total_columns_;
   TranslationCosting translation_costing_ = TranslationCosting::kPerParameter;
   Seconds hashed_seconds_{2e-7};
+  double cpu_degradation_ = 1.0;
+  std::vector<double> gpu_degradation_;  ///< one per GPU queue, >= 1
 };
 
 /// Estimator wired with the paper's published models: the CPU model for

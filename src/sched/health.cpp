@@ -1,0 +1,251 @@
+#include "sched/health.hpp"
+
+#include "common/error.hpp"
+
+namespace holap {
+
+const char* to_string(PartitionHealth health) {
+  switch (health) {
+    case PartitionHealth::kHealthy:
+      return "healthy";
+    case PartitionHealth::kDegraded:
+      return "degraded";
+    case PartitionHealth::kFailed:
+      return "failed";
+    case PartitionHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const HealthPolicy& policy)
+    : window_(policy.breaker_window),
+      failure_threshold_(policy.breaker_failures),
+      cooldown_(policy.breaker_cooldown),
+      half_open_successes_(policy.half_open_successes) {
+  HOLAP_REQUIRE(window_ >= 1, "breaker window must be at least 1");
+  HOLAP_REQUIRE(failure_threshold_ >= 1 && failure_threshold_ <= window_,
+                "breaker failure threshold must be in [1, window]");
+  HOLAP_REQUIRE(cooldown_ > Seconds{0.0},
+                "breaker cool-down must be positive");
+  HOLAP_REQUIRE(half_open_successes_ >= 1,
+                "breaker needs at least one half-open success to close");
+}
+
+void CircuitBreaker::transition(State next) {
+  if (state_ == next) return;
+  state_ = next;
+  ++transitions_;
+}
+
+bool CircuitBreaker::refresh(Seconds now) {
+  if (state_ != State::kOpen || now < opened_at_ + cooldown_) return false;
+  transition(State::kHalfOpen);
+  probe_successes_ = 0;
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  switch (state_) {
+    case State::kClosed:
+      outcomes_.push_back(false);
+      while (static_cast<int>(outcomes_.size()) > window_) {
+        outcomes_.pop_front();
+      }
+      break;
+    case State::kHalfOpen:
+      if (++probe_successes_ >= half_open_successes_) {
+        transition(State::kClosed);
+        outcomes_.clear();
+      }
+      break;
+    case State::kOpen:
+      // An in-flight query beat the trip; it says nothing about now.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure(Seconds now) {
+  switch (state_) {
+    case State::kClosed: {
+      outcomes_.push_back(true);
+      while (static_cast<int>(outcomes_.size()) > window_) {
+        outcomes_.pop_front();
+      }
+      int failures = 0;
+      for (const bool failed : outcomes_) failures += failed ? 1 : 0;
+      if (failures >= failure_threshold_) {
+        transition(State::kOpen);
+        opened_at_ = now;
+        outcomes_.clear();
+      }
+      break;
+    }
+    case State::kHalfOpen:
+      // The probe failed: back to open, cool-down restarts.
+      transition(State::kOpen);
+      opened_at_ = now;
+      probe_successes_ = 0;
+      break;
+    case State::kOpen:
+      break;  // already open; stragglers do not extend the cool-down
+  }
+}
+
+void CircuitBreaker::trip(Seconds now) {
+  transition(State::kOpen);
+  opened_at_ = now;
+  probe_successes_ = 0;
+  outcomes_.clear();
+}
+
+void CircuitBreaker::begin_probe() {
+  if (state_ != State::kOpen) return;
+  transition(State::kHalfOpen);
+  probe_successes_ = 0;
+}
+
+PartitionHealthMonitor::PartitionHealthMonitor(int gpu_queues,
+                                               HealthPolicy policy)
+    : policy_(policy) {
+  HOLAP_REQUIRE(gpu_queues >= 0, "GPU queue count must be non-negative");
+  HOLAP_REQUIRE(policy_.degrade_streak >= 1 && policy_.restore_streak >= 1,
+                "health streak thresholds must be at least 1");
+  HOLAP_REQUIRE(policy_.error_ratio >= 1.0,
+                "overrun ratio below 1 would flag on-estimate completions");
+  HOLAP_REQUIRE(policy_.degraded_multiplier >= 1.0,
+                "degradation must not make a partition look faster");
+  entries_.reserve(static_cast<std::size_t>(gpu_queues) + 1);
+  for (int i = 0; i <= gpu_queues; ++i) entries_.emplace_back(policy_);
+}
+
+PartitionHealthMonitor::Entry& PartitionHealthMonitor::entry(QueueRef ref) {
+  if (ref.kind == QueueRef::kCpu) {
+    HOLAP_REQUIRE(ref.index == 0,
+                  "health is tracked for processing partitions only");
+    return entries_[0];
+  }
+  HOLAP_REQUIRE(ref.index >= 0 &&
+                    ref.index < static_cast<int>(entries_.size()) - 1,
+                "GPU queue index out of range");
+  return entries_[static_cast<std::size_t>(ref.index) + 1];
+}
+
+const PartitionHealthMonitor::Entry& PartitionHealthMonitor::entry(
+    QueueRef ref) const {
+  return const_cast<PartitionHealthMonitor*>(this)->entry(ref);
+}
+
+void PartitionHealthMonitor::set_health(Entry& e, PartitionHealth next) {
+  e.health = next;
+}
+
+void PartitionHealthMonitor::on_measured(QueueRef ref, Seconds estimated,
+                                         Seconds actual) {
+  Entry& e = entry(ref);
+  const bool overrun =
+      actual > estimated * policy_.error_ratio + policy_.error_slack;
+  switch (e.health) {
+    case PartitionHealth::kHealthy:
+      if (overrun) {
+        e.good_streak = 0;
+        if (++e.overrun_streak >= policy_.degrade_streak) {
+          set_health(e, PartitionHealth::kDegraded);
+        }
+      } else {
+        e.overrun_streak = 0;
+      }
+      break;
+    case PartitionHealth::kDegraded:
+      if (overrun) {
+        e.good_streak = 0;
+        ++e.overrun_streak;
+      } else if (++e.good_streak >= policy_.restore_streak) {
+        set_health(e, PartitionHealth::kHealthy);
+        e.overrun_streak = 0;
+        e.good_streak = 0;
+      }
+      break;
+    case PartitionHealth::kRecovering:
+      if (overrun) {
+        // Completed but slow: not a breaker failure, yet no evidence of
+        // recovery either.
+        e.good_streak = 0;
+        break;
+      }
+      e.breaker.record_success();
+      if (e.breaker.state() == CircuitBreaker::State::kClosed) {
+        set_health(e, PartitionHealth::kHealthy);
+        e.overrun_streak = 0;
+        e.good_streak = 0;
+      }
+      break;
+    case PartitionHealth::kFailed:
+      // In-flight work that beat the crash; the breaker stays open.
+      break;
+  }
+}
+
+void PartitionHealthMonitor::on_fault(QueueRef ref, Seconds now) {
+  Entry& e = entry(ref);
+  ++e.faults;
+  e.good_streak = 0;
+  e.breaker.refresh(now);
+  e.breaker.record_failure(now);
+  if (e.breaker.state() == CircuitBreaker::State::kOpen) {
+    set_health(e, PartitionHealth::kFailed);
+  }
+}
+
+void PartitionHealthMonitor::on_crash(QueueRef ref, Seconds now) {
+  Entry& e = entry(ref);
+  ++e.faults;
+  e.breaker.trip(now);
+  e.overrun_streak = 0;
+  e.good_streak = 0;
+  set_health(e, PartitionHealth::kFailed);
+}
+
+void PartitionHealthMonitor::on_recovered(QueueRef ref, Seconds now) {
+  (void)now;
+  Entry& e = entry(ref);
+  e.breaker.begin_probe();
+  if (e.health == PartitionHealth::kFailed) {
+    set_health(e, PartitionHealth::kRecovering);
+  }
+  e.overrun_streak = 0;
+  e.good_streak = 0;
+}
+
+bool PartitionHealthMonitor::schedulable(QueueRef ref, Seconds now) {
+  Entry& e = entry(ref);
+  e.breaker.refresh(now);
+  if (e.health == PartitionHealth::kFailed &&
+      e.breaker.state() != CircuitBreaker::State::kOpen) {
+    // The cool-down elapsed without an explicit recovery event: probe.
+    set_health(e, PartitionHealth::kRecovering);
+    e.overrun_streak = 0;
+    e.good_streak = 0;
+  }
+  return e.health != PartitionHealth::kFailed;
+}
+
+PartitionHealth PartitionHealthMonitor::health(QueueRef ref) const {
+  return entry(ref).health;
+}
+
+double PartitionHealthMonitor::multiplier(QueueRef ref) const {
+  return entry(ref).health == PartitionHealth::kHealthy
+             ? 1.0
+             : policy_.degraded_multiplier;
+}
+
+std::size_t PartitionHealthMonitor::breaker_transitions(QueueRef ref) const {
+  return entry(ref).breaker.transitions();
+}
+
+std::size_t PartitionHealthMonitor::fault_count(QueueRef ref) const {
+  return entry(ref).faults;
+}
+
+}  // namespace holap

@@ -1,0 +1,217 @@
+// Partition fault tolerance: health state machine, circuit breakers and
+// the retry policy the executor/simulator replay failed queries under.
+//
+// The Figure-10 machinery assumes every partition queue is permanently
+// alive; a crashed or degraded partition would silently absorb queries
+// and blow every deadline. This layer tracks a health state per
+// processing partition (the CPU queue and each GPU partition queue — the
+// translation partition is CPU-side and restartable, so it is assumed
+// reliable):
+//
+//     kHealthy ──(degrade_streak overruns)──▶ kDegraded
+//     kHealthy/kDegraded ──(crash / breaker opens)──▶ kFailed
+//     kDegraded ──(restore_streak good completions)──▶ kHealthy
+//     kFailed ──(cool-down elapses / explicit recovery)──▶ kRecovering
+//     kRecovering ──(half_open_successes completions)──▶ kHealthy
+//     kRecovering ──(any failure)──▶ kFailed
+//
+// kDegraded and kRecovering partitions stay schedulable but honestly
+// slower: the estimator inflates their estimates by degraded_multiplier,
+// so the Figure-10 feasibility test routes around them when it can.
+// kFailed partitions are removed from the choose() candidate set entirely
+// by the per-partition circuit breaker (failure-rate window over recent
+// outcomes; open/half-open/closed with a deterministic cool-down on the
+// caller's clock — wall time in the executor, sim time in the simulator).
+//
+// Everything here is an explicit counter or threshold: no wall clock, no
+// randomness (this header sits inside the determinism lint's include
+// closure via sched/scheduler.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/interfaces.hpp"
+
+namespace holap {
+
+/// Health of one processing partition (see the state machine above).
+enum class PartitionHealth : std::uint8_t {
+  kHealthy,     ///< estimates track reality; full candidate
+  kDegraded,    ///< persistent overruns; schedulable at inflated cost
+  kFailed,      ///< breaker open; removed from the candidate set
+  kRecovering,  ///< breaker half-open; probing at inflated cost
+};
+
+const char* to_string(PartitionHealth health);
+
+/// Thresholds of the health state machine and the circuit breaker.
+struct HealthPolicy {
+  /// Consecutive overruns (actual > estimated * error_ratio + error_slack)
+  /// that demote a kHealthy partition to kDegraded.
+  int degrade_streak = 4;
+  /// Measured-vs-estimated ratio above which a completion counts as an
+  /// overrun...
+  double error_ratio = 2.0;
+  /// ...plus this absolute slack, so constant per-query overheads (e.g.
+  /// the GPU dispatch cost folded into measured times) never read as
+  /// degradation on fast queries.
+  Seconds error_slack{0.02};
+  /// Consecutive good completions that restore kDegraded to kHealthy.
+  int restore_streak = 4;
+  /// Estimate inflation applied to kDegraded/kRecovering partitions
+  /// (>= 1): still schedulable, honestly slower.
+  double degraded_multiplier = 2.0;
+  /// Circuit breaker: outcomes kept in the sliding failure-rate window.
+  int breaker_window = 8;
+  /// Failures within the window that open the breaker.
+  int breaker_failures = 4;
+  /// Open -> half-open once this much time has passed on the caller's
+  /// clock since the breaker opened.
+  Seconds breaker_cooldown{0.5};
+  /// Consecutive half-open successes that close the breaker again.
+  int half_open_successes = 3;
+};
+
+/// Bounded, deadline-aware replay of failed queries.
+struct RetryPolicy {
+  /// Total attempts per query, the first included. 1 disables retries.
+  int max_attempts = 3;
+  /// Delay before attempt k is re-submitted: backoff_base * 2^(k-2).
+  /// (The simulator sleeps on the sim clock; the native executor does not
+  /// block a worker and applies the backoff to the slack gate only.)
+  Seconds backoff_base{0.01};
+  /// A retry is shed (kExhaustedRetries) unless the deadline slack left
+  /// after the backoff, (submit + T_C) - (now + backoff), is at least
+  /// this fraction of T_C. 0 demands the re-submission happen before the
+  /// deadline; negative values allow late retries.
+  double deadline_slack_gate = 0.0;
+};
+
+/// Fault-tolerance configuration, carried by SchedulerConfig. Disabled by
+/// default: the scheduler then behaves bit-identically to the paper's.
+struct FaultTolerance {
+  bool enabled = false;
+  HealthPolicy health;
+  RetryPolicy retry;
+};
+
+/// Per-partition circuit breaker: closed (normal), open (partition
+/// removed from the candidate set), half-open (probing). Deterministic —
+/// the cool-down runs on whatever clock the caller passes as `now`.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const HealthPolicy& policy);
+
+  State state() const { return state_; }
+
+  /// Promote kOpen to kHalfOpen once the cool-down has elapsed at `now`.
+  /// Returns true when that transition happened.
+  bool refresh(Seconds now);
+
+  /// A completion. Half-open successes accumulate toward kClosed.
+  void record_success();
+
+  /// A failure. Closed: enters the window and opens the breaker at the
+  /// threshold. Half-open: the probe failed; re-open with a fresh
+  /// cool-down. Open: ignored (stragglers from before the trip).
+  void record_failure(Seconds now);
+
+  /// An explicit partition crash: open immediately from any state, with
+  /// the cool-down restarting at `now`.
+  void trip(Seconds now);
+
+  /// An explicit recovery signal: start probing (kOpen -> kHalfOpen)
+  /// without waiting out the cool-down.
+  void begin_probe();
+
+  /// State changes since construction (an obs gauge).
+  std::size_t transitions() const { return transitions_; }
+
+ private:
+  void transition(State next);
+
+  int window_;
+  int failure_threshold_;
+  Seconds cooldown_;
+  int half_open_successes_;
+  State state_ = State::kClosed;
+  Seconds opened_at_{};
+  std::deque<bool> outcomes_;  ///< newest at back; true = failure
+  int probe_successes_ = 0;
+  std::size_t transitions_ = 0;
+};
+
+/// Health state machine over the CPU processing partition and every GPU
+/// partition queue, driven by measured-vs-estimated error streaks
+/// (on_measured), explicit fault events (on_fault/on_crash) and timed
+/// recoveries (on_recovered). Not thread-safe: the scheduler owns it and
+/// every caller already serialises on the scheduler (the executor's
+/// scheduler mutex, the simulator's single thread).
+class PartitionHealthMonitor {
+ public:
+  PartitionHealthMonitor(int gpu_queues, HealthPolicy policy);
+
+  /// Completion feedback: estimated vs actual processing time on `ref`.
+  /// Overrun streaks demote to kDegraded; good streaks restore and, in
+  /// kRecovering, count toward closing the breaker.
+  void on_measured(QueueRef ref, Seconds estimated, Seconds actual);
+
+  /// A query failed on `ref` (one event per failed query). Enters the
+  /// breaker's failure-rate window; at the threshold the partition fails.
+  void on_fault(QueueRef ref, Seconds now);
+
+  /// `ref`'s partition crashed outright: trip the breaker, fail the
+  /// partition immediately.
+  void on_crash(QueueRef ref, Seconds now);
+
+  /// Explicit recovery signal for `ref`: begin probing (kRecovering)
+  /// without waiting out the breaker cool-down.
+  void on_recovered(QueueRef ref, Seconds now);
+
+  /// Candidate filter for schedule(): false removes `ref` from the
+  /// choose() candidate set. Promotes kFailed to kRecovering when the
+  /// breaker cool-down has elapsed at `now`.
+  bool schedulable(QueueRef ref, Seconds now);
+
+  PartitionHealth health(QueueRef ref) const;
+
+  /// Estimate inflation for `ref`: 1 when healthy, the policy's
+  /// degraded_multiplier otherwise.
+  double multiplier(QueueRef ref) const;
+
+  /// Breaker state changes on `ref` since construction.
+  std::size_t breaker_transitions(QueueRef ref) const;
+
+  /// Fault events (on_fault + on_crash) recorded against `ref`.
+  std::size_t fault_count(QueueRef ref) const;
+
+  const HealthPolicy& policy() const { return policy_; }
+  int gpu_queue_count() const {
+    return static_cast<int>(entries_.size()) - 1;
+  }
+
+ private:
+  struct Entry {
+    explicit Entry(const HealthPolicy& policy) : breaker(policy) {}
+    PartitionHealth health = PartitionHealth::kHealthy;
+    CircuitBreaker breaker;
+    int overrun_streak = 0;
+    int good_streak = 0;
+    std::size_t faults = 0;
+  };
+
+  Entry& entry(QueueRef ref);
+  const Entry& entry(QueueRef ref) const;
+  void set_health(Entry& e, PartitionHealth next);
+
+  HealthPolicy policy_;
+  std::vector<Entry> entries_;  ///< slot 0 = CPU, slot 1 + i = GPU queue i
+};
+
+}  // namespace holap

@@ -53,6 +53,14 @@ struct QueueRef {
   friend bool operator==(const QueueRef&, const QueueRef&) = default;
 };
 
+/// Per-call scheduling hints, used by fault-tolerance re-submissions.
+struct ScheduleHints {
+  /// The query's text parameters were already translated on an earlier
+  /// attempt — failover keeps the integer parameters — so the placement
+  /// must not charge the translation partition again.
+  bool translation_cached = false;
+};
+
 /// Outcome of scheduling one query.
 struct Placement {
   bool rejected = false;  ///< no partition can process the query at all

@@ -40,6 +40,10 @@ QueueingScheduler::QueueingScheduler(SchedulerConfig config,
   }
   dispatch_clocks_.assign(static_cast<std::size_t>(devices), Seconds{});
   counters_.gpu_placements.assign(gpu_clocks_.size(), 0);
+  if (config_.fault_tolerance.enabled) {
+    health_ = std::make_unique<PartitionHealthMonitor>(
+        static_cast<int>(gpu_clocks_.size()), config_.fault_tolerance.health);
+  }
 }
 
 Seconds QueueingScheduler::gpu_clock(int queue) const {
@@ -58,13 +62,24 @@ Seconds& QueueingScheduler::clock_for(QueueRef ref) {
 }
 
 Placement QueueingScheduler::schedule(const Query& q, Seconds now,
-                                      std::uint64_t query_id) {
-  const CostEstimate est = estimator_.estimate(q);
+                                      std::uint64_t query_id,
+                                      ScheduleHints hints) {
+  if (health_ != nullptr) sync_degradation();
+  CostEstimate est = estimator_.estimate(q);
+  if (hints.translation_cached) {
+    // Failover re-submission: the integer parameters survived the failed
+    // attempt, so no translation work — and no translation-clock commit —
+    // is due on this placement.
+    est.needs_translation = false;
+    est.translation = Seconds{};
+  }
   const Seconds deadline = now + config_.deadline;  // T_D = T_Q + T_C
 
   // Step 3: response times for every partition that can process the query.
+  // Partitions whose circuit breaker is open (kFailed) are not candidates.
   std::vector<PartitionResponse> candidates;
-  if (config_.enable_cpu && est.cpu.has_value()) {
+  if (config_.enable_cpu && est.cpu.has_value() &&
+      partition_schedulable({QueueRef::kCpu, 0}, now)) {
     PartitionResponse r;
     r.ref = {QueueRef::kCpu, 0};
     r.processing = *est.cpu;
@@ -82,6 +97,7 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
     for (std::size_t i = 0; i < gpu_clocks_.size(); ++i) {
       PartitionResponse r;
       r.ref = {QueueRef::kGpu, static_cast<int>(i)};
+      if (!partition_schedulable(r.ref, now)) continue;
       r.processing = est.gpu[i];
       Seconds ready = std::max(gpu_clocks_[i], now);
       if (est.needs_translation) ready = std::max(ready, trans_done);
@@ -104,7 +120,9 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
 
   if (candidates.empty()) {
     Placement p;
-    p.rejected = true;  // CPU cannot answer and the GPU is disabled
+    // CPU cannot answer and the GPU is disabled — or every partition that
+    // could process the query has a tripped circuit breaker.
+    p.rejected = true;
     ++counters_.rejected;
     return p;
   }
@@ -172,6 +190,9 @@ void QueueingScheduler::on_completed(QueueRef ref, Seconds estimated,
                                      Seconds actual) {
   ++counters_.feedback_events;
   counters_.feedback_abs_error += abs(actual - estimated);
+  // Health watches the same measured-vs-estimated stream feedback uses,
+  // whether or not feedback is applied to the clocks.
+  if (health_ != nullptr) health_->on_measured(ref, estimated, actual);
   if (!config_.feedback) return;
   // Estimation error shifts everything queued behind the finished query.
   clock_for(ref) += actual - estimated;
@@ -204,6 +225,19 @@ void QueueingScheduler::on_translation_completed(Seconds estimated,
   counters_.feedback_abs_error += abs(actual - estimated);
   if (!config_.feedback) return;
   trans_clock_ += actual - estimated;
+}
+
+void QueueingScheduler::sync_degradation() {
+  estimator_.set_degradation({QueueRef::kCpu, 0},
+                             health_->multiplier({QueueRef::kCpu, 0}));
+  for (std::size_t i = 0; i < gpu_clocks_.size(); ++i) {
+    const QueueRef ref{QueueRef::kGpu, static_cast<int>(i)};
+    estimator_.set_degradation(ref, health_->multiplier(ref));
+  }
+}
+
+bool QueueingScheduler::partition_schedulable(QueueRef ref, Seconds now) {
+  return health_ == nullptr || health_->schedulable(ref, now);
 }
 
 std::optional<QueueRef> FigureTenScheduler::choose(

@@ -29,6 +29,7 @@
 
 #include "obs/trace.hpp"
 #include "sched/estimator.hpp"
+#include "sched/health.hpp"
 
 namespace holap {
 
@@ -72,6 +73,10 @@ struct SchedulerConfig {
   /// Overload robustness: reject queries whose best response estimate is
   /// beyond the deadline plus slack (kNone keeps the paper's behaviour).
   AdmissionControl admission;
+  /// Partition fault tolerance: health states, per-partition circuit
+  /// breakers and the retry policy (sched/health.hpp). Disabled by
+  /// default — the scheduler then behaves exactly as the paper's.
+  FaultTolerance fault_tolerance;
 };
 
 /// Step-3 output for one partition queue.
@@ -112,9 +117,12 @@ class SchedulerPolicy {
   virtual ~SchedulerPolicy() = default;
 
   /// Place query `q` arriving at absolute time `now`; updates queue clocks.
-  /// `query_id` only labels the trace span (0 when untraced).
+  /// `query_id` only labels the trace span (0 when untraced). `hints`
+  /// carries fault-tolerance re-submission context (a failed-over query's
+  /// translation is already done and must not be charged again).
   virtual Placement schedule(const Query& q, Seconds now,
-                             std::uint64_t query_id = 0) = 0;
+                             std::uint64_t query_id = 0,
+                             ScheduleHints hints = {}) = 0;
 
   /// Attach a span sink; the policy records one kEnqueue span per accepted
   /// placement. nullptr (the default) disables tracing.
@@ -146,6 +154,15 @@ class SchedulerPolicy {
     (void)actual;
   }
 
+  /// Partition health monitor, when fault tolerance is enabled; nullptr
+  /// otherwise. The monitor shares the policy's synchronisation domain:
+  /// callers serialise access exactly as they do for schedule().
+  virtual PartitionHealthMonitor* health_monitor() { return nullptr; }
+
+  /// Retry policy for failed queries, when fault tolerance is enabled;
+  /// nullptr otherwise (one attempt, no replay).
+  virtual const RetryPolicy* retry_policy() const { return nullptr; }
+
   /// T_C: the per-query time constraint this policy schedules against.
   virtual Seconds deadline() const = 0;
 
@@ -160,12 +177,17 @@ class QueueingScheduler : public SchedulerPolicy {
  public:
   QueueingScheduler(SchedulerConfig config, CostEstimator estimator);
 
-  Placement schedule(const Query& q, Seconds now,
-                     std::uint64_t query_id = 0) final;
+  Placement schedule(const Query& q, Seconds now, std::uint64_t query_id = 0,
+                     ScheduleHints hints = {}) final;
   void on_completed(QueueRef ref, Seconds estimated, Seconds actual) override;
   void on_shed(QueueRef ref, Seconds processing_est,
                Seconds pending_translation_est) override;
   void on_translation_completed(Seconds estimated, Seconds actual) override;
+  PartitionHealthMonitor* health_monitor() override { return health_.get(); }
+  const RetryPolicy* retry_policy() const override {
+    return config_.fault_tolerance.enabled ? &config_.fault_tolerance.retry
+                                           : nullptr;
+  }
   Seconds deadline() const override { return config_.deadline; }
   int gpu_queue_count() const override {
     return static_cast<int>(gpu_clocks_.size());
@@ -200,8 +222,18 @@ class QueueingScheduler : public SchedulerPolicy {
   std::vector<int> queue_device_;
   TraceRecorder* recorder_ = nullptr;
   SchedulerCounters counters_;
+  /// Non-null iff config_.fault_tolerance.enabled; with it null the
+  /// scheduler is bit-identical to the pre-fault-tolerance behaviour.
+  std::unique_ptr<PartitionHealthMonitor> health_;
 
   Seconds& clock_for(QueueRef ref);
+  /// Push the monitor's degradation multipliers into the estimator so the
+  /// next estimate() call prices kDegraded partitions honestly. Does not
+  /// touch the ledger clocks.
+  void sync_degradation();
+  /// Candidate-set gate: kFailed partitions (breaker open) are excluded
+  /// from choose(). Does not touch the ledger clocks.
+  bool partition_schedulable(QueueRef ref, Seconds now);
 };
 
 /// The paper's scheduler (Figure 10).

@@ -84,6 +84,18 @@ class FifoServer {
                       [cb = std::move(on_done), done]() { cb(done); });
   }
 
+  /// Partition crash at `now`: discard all queued/in-service work. The
+  /// server is continuously busy through free_at_, so the unserved span
+  /// (free_at_ − now) comes straight off the busy-time ledger. Completion
+  /// events already in the event queue still fire; the caller invalidates
+  /// them (the simulator's per-partition generation counters).
+  void preempt(Seconds now) {
+    if (free_at_ > now) {
+      busy_ -= free_at_ - now;
+      free_at_ = now;
+    }
+  }
+
   Seconds free_at() const { return free_at_; }
   Seconds busy_time() const { return busy_; }
   std::size_t jobs() const { return jobs_; }

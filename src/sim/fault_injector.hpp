@@ -28,6 +28,20 @@
 
 namespace holap {
 
+/// A partition fault scheduled at a simulation-time instant; the
+/// simulator turns these into events on its deterministic clock.
+struct TimedFault {
+  enum class Kind : std::uint8_t {
+    kCrash,     ///< partition dies at `at`: in-flight work fails
+    kSlowdown,  ///< service times on `ref` inflate by `multiplier`
+    kRecover,   ///< partition comes back at `at` (clears any slowdown)
+  };
+  Kind kind = Kind::kCrash;
+  QueueRef ref;  ///< processing partition (cpu_ref() or a kGpu queue)
+  Seconds at{};
+  double multiplier = 1.0;  ///< kSlowdown only
+};
+
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -117,6 +131,39 @@ class FaultInjector {
     return 1.0;
   }
 
+  // --- partition crash / timed faults --------------------------------
+  /// Queue a timed fault for the simulator to replay on its clock. Faults
+  /// fire in `at` order (ties in schedule order) before arrivals at the
+  /// same instant.
+  void schedule_fault(TimedFault fault) {
+    MutexLock lock(mutex_);
+    timed_faults_.push_back(fault);
+  }
+
+  std::vector<TimedFault> timed_faults() const {
+    MutexLock lock(mutex_);
+    return timed_faults_;
+  }
+
+  /// Mark `ref`'s partition down/up. The executor's workers consult this
+  /// after dequeuing a job: a down partition fails the job over instead
+  /// of executing it.
+  void set_partition_down(QueueRef ref, bool down) {
+    MutexLock lock(mutex_);
+    auto it = down_.begin();
+    while (it != down_.end() && !(*it == ref)) ++it;
+    if (down && it == down_.end()) down_.push_back(ref);
+    if (!down && it != down_.end()) down_.erase(it);
+  }
+
+  bool partition_down(QueueRef ref) const {
+    MutexLock lock(mutex_);
+    for (const auto& queue : down_) {
+      if (queue == ref) return true;
+    }
+    return false;
+  }
+
   // --- shutdown race --------------------------------------------------
   /// Runs inside AsyncHybridExecutor::submit(), after scheduling but
   /// before the enqueue — the exact window where a concurrent shutdown
@@ -146,6 +193,8 @@ class FaultInjector {
   int waiting_ HOLAP_GUARDED_BY(mutex_) = 0;
   std::vector<std::pair<QueueRef, double>> multipliers_
       HOLAP_GUARDED_BY(mutex_);
+  std::vector<TimedFault> timed_faults_ HOLAP_GUARDED_BY(mutex_);
+  std::vector<QueueRef> down_ HOLAP_GUARDED_BY(mutex_);
   std::function<void()> submit_hook_ HOLAP_GUARDED_BY(mutex_);
 };
 

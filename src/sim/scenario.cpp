@@ -61,6 +61,7 @@ std::unique_ptr<SchedulerPolicy> PaperScenario::make_policy(
   config.modeled_gpu_dispatch = options_.modeled_gpu_dispatch;
   config.gpu_queue_device = gpu_queue_device_map();
   config.admission = options_.admission;
+  config.fault_tolerance = options_.fault_tolerance;
   return ::holap::make_policy(name, std::move(config), make_estimator());
 }
 

@@ -53,6 +53,10 @@ struct ScenarioOptions {
   /// Overload robustness: admission control over the scheduler's
   /// feasibility signal (kNone keeps the paper's always-place behaviour).
   AdmissionControl admission{};
+  /// Partition fault tolerance: health tracking, circuit breakers and the
+  /// retry policy (sched/health.hpp). Disabled keeps the paper's
+  /// always-alive-partitions behaviour.
+  FaultTolerance fault_tolerance{};
   /// Share of text-capable conditions arriving as strings; 0 disables
   /// translation entirely (the paper's "original implementation").
   double text_probability = 0.5;

@@ -7,6 +7,20 @@
 
 namespace holap {
 
+namespace {
+
+/// A query resident in a processing partition's FIFO server, tracked so a
+/// partition crash can drain and fail it over.
+struct InFlight {
+  std::size_t idx = 0;
+  Seconds submit{};  ///< original submission time (the deadline anchor)
+  int attempt = 1;
+  bool translated = false;  ///< text parameters already integer
+  Seconds processing_est{};
+};
+
+}  // namespace
+
 SimResult run_simulation(SchedulerPolicy& policy,
                          std::span<const Query> queries,
                          const SimConfig& config) {
@@ -85,6 +99,36 @@ SimResult run_simulation(SchedulerPolicy& policy,
     return result.partitions[2 + static_cast<std::size_t>(device_count) +
                              queue];
   };
+  auto proc_ctr = [&](QueueRef ref) -> PartitionCounters& {
+    return ref.kind == QueueRef::kCpu
+               ? cpu_ctr
+               : gpu_ctr(static_cast<std::size_t>(ref.index));
+  };
+
+  // Fault-tolerance plumbing. Crash bookkeeping is per processing
+  // partition: slot 0 = CPU, slot 1 + i = GPU queue i. `generation`
+  // invalidates completion events already scheduled when a crash preempts
+  // a server; `down` gates the handoff into a dead partition.
+  PartitionHealthMonitor* const monitor = policy.health_monitor();
+  const RetryPolicy* const retry = policy.retry_policy();
+  const std::size_t slots = 1 + gpus.size();
+  std::vector<std::vector<InFlight>> inflight(slots);
+  std::vector<std::uint64_t> generation(slots, 0);
+  std::vector<char> down(slots, 0);
+  auto slot_of = [](QueueRef ref) {
+    return ref.kind == QueueRef::kCpu
+               ? std::size_t{0}
+               : 1 + static_cast<std::size_t>(ref.index);
+  };
+  auto take_inflight = [&](std::size_t slot, std::size_t idx) {
+    auto& v = inflight[slot];
+    for (auto it = v.begin(); it != v.end(); ++it) {
+      if (it->idx == idx) {
+        v.erase(it);
+        return;
+      }
+    }
+  };
 
   // The observability layer: the policy records the kEnqueue span at each
   // placement; the servers below record translate/dispatch/execute/
@@ -109,11 +153,23 @@ SimResult run_simulation(SchedulerPolicy& policy,
   const bool closed = config.arrival_rate <= 0.0;
   std::size_t next_query = 0;
 
-  std::function<void(std::size_t)> start_query;
+  std::function<void(std::size_t, Seconds, int, bool)> run_attempt;
+  auto start_query = [&](std::size_t idx) {
+    run_attempt(idx, events.now(), 1, false);
+  };
 
   auto finish = [&](std::size_t idx, Seconds submit, Seconds done,
-                    QueueRef queue, Seconds resp_est) {
+                    QueueRef queue, Seconds resp_est, int attempt) {
     ++result.completed;
+    if (attempt > 1) {
+      // Completed on a later attempt: a successful failover.
+      ++result.failed_over;
+      ++proc_ctr(queue).failovers;
+      if (config.record_trace) {
+        result.trace[idx].failed_over = true;
+        result.trace[idx].attempts = attempt;
+      }
+    }
     const Seconds latency = done - submit;
     latencies.push_back(latency.value());
     result.latency_histogram.add(latency);
@@ -141,18 +197,61 @@ SimResult run_simulation(SchedulerPolicy& policy,
     }
   };
 
-  start_query = [&](std::size_t idx) {
+  // A query failed on `ref` at time `at` (crash drain or dead-partition
+  // handoff). Roll its committed estimates back out of the partition
+  // clock — exactly as a shed does — then either re-submit it under the
+  // retry policy or resolve it as exhausted. Completed translation is
+  // real work and stays on the translation ledger; failures only strike
+  // after translation, so nothing is pending there.
+  auto fail_query = [&](const InFlight& f, QueueRef ref, Seconds at) {
+    ++result.partition_faults;
+    if (monitor != nullptr) monitor->on_fault(ref, at);
+    policy.on_shed(ref, f.processing_est, Seconds{});
+    if (config.record_trace) result.trace[f.idx].attempts = f.attempt;
+    auto exhaust = [&]() {
+      ++result.exhausted_retries;
+      if (config.record_trace) result.trace[f.idx].exhausted = true;
+      advance_closed(at);
+    };
+    if (retry == nullptr || f.attempt >= retry->max_attempts) {
+      exhaust();
+      return;
+    }
+    // Exponential backoff: backoff_base doubled per prior attempt.
+    Seconds backoff = retry->backoff_base;
+    for (int k = 1; k < f.attempt; ++k) backoff += backoff;
+    // Deadline-aware gate: shed unless the slack left after the backoff
+    // is at least deadline_slack_gate * T_C.
+    if (f.submit + policy.deadline() - (at + backoff) <
+        policy.deadline() * retry->deadline_slack_gate) {
+      exhaust();
+      return;
+    }
+    ++result.retries;
+    ++proc_ctr(ref).retried;
+    events.schedule(at + backoff,
+                    [&, idx = f.idx, submit = f.submit, attempt = f.attempt,
+                     translated = f.translated]() {
+                      run_attempt(idx, submit, attempt + 1, translated);
+                    });
+  };
+
+  run_attempt = [&](std::size_t idx, Seconds submit, int attempt,
+                    bool translated) {
     const Query& q = queries[idx];
     const Seconds now = events.now();
-    const Placement p = policy.schedule(q, now, idx);
+    ScheduleHints hints;
+    hints.translation_cached = translated;
+    const Placement p = policy.schedule(q, now, idx, hints);
     if (config.record_trace) {
       QueryTrace& t = result.trace[idx];
       t.index = idx;
-      t.submitted = now;
+      t.submitted = submit;
+      t.attempts = attempt;
       t.response_est = p.response_est;
-      t.slack_est = now + policy.deadline() - p.response_est;
+      t.slack_est = submit + policy.deadline() - p.response_est;
       t.queue = p.queue;
-      t.translated = p.translate;
+      t.translated = t.translated || p.translate;
       t.rejected = p.rejected;
       t.shed = p.shed_at_admission;
     }
@@ -164,12 +263,28 @@ SimResult run_simulation(SchedulerPolicy& policy,
       return;
     }
     if (p.rejected) {
-      ++result.rejected;
+      if (attempt > 1) {
+        // A retry that finds no live candidate partition has exhausted
+        // its options; keep the typed fault outcome.
+        ++result.exhausted_retries;
+        if (config.record_trace) result.trace[idx].exhausted = true;
+      } else {
+        ++result.rejected;
+      }
       advance_closed(now);
       return;
     }
     if (p.queue.kind == QueueRef::kCpu) {
-      ++result.cpu_queries;
+      if (attempt == 1) ++result.cpu_queries;
+      if (down[0] != 0) {
+        // Placed onto a dead partition (fault tolerance off, or the
+        // breaker probing): fail at the handoff — the query never
+        // enters the server, so `failed` bumps without depth.
+        ++cpu_ctr.failed;
+        fail_query({idx, submit, attempt, translated, p.processing_est},
+                   {QueueRef::kCpu, 0}, now);
+        return;
+      }
       cpu_ctr.on_enqueue();
       // The CPU path has no launch stage; record the queue handoff as a
       // zero-duration dispatch span so every query's chain is uniform.
@@ -178,19 +293,24 @@ SimResult run_simulation(SchedulerPolicy& policy,
       const Seconds actual =
           p.processing_est * noise() * fault_mult(FaultInjector::cpu_ref()) +
           config.cpu_overhead;
+      inflight[0].push_back(
+          {idx, submit, attempt, translated, p.processing_est});
+      const std::uint64_t gen = generation[0];
       cpu.submit(actual,
-                 [&, idx, submit = now, est = p.processing_est,
+                 [&, idx, submit, attempt, gen, est = p.processing_est,
                   resp_est = p.response_est, actual](Seconds done) {
+                   if (gen != generation[0]) return;  // crashed mid-run
+                   take_inflight(0, idx);
                    cpu_ctr.on_complete(actual);
                    record(idx, SpanKind::kExecute, done - actual, done,
                           {QueueRef::kCpu, 0}, resp_est, Seconds{}, Seconds{});
                    policy.on_completed({QueueRef::kCpu, 0}, est, actual);
-                   finish(idx, submit, done, {QueueRef::kCpu, 0},
-                          resp_est);
+                   finish(idx, submit, done, {QueueRef::kCpu, 0}, resp_est,
+                          attempt);
                  });
       return;
     }
-    ++result.gpu_queries;
+    if (attempt == 1) ++result.gpu_queries;
     const int queue = p.queue.index;
     const double bias =
         config.gpu_queue_bias.empty()
@@ -200,32 +320,49 @@ SimResult run_simulation(SchedulerPolicy& policy,
                                fault_mult({QueueRef::kGpu, queue});
     const auto device = static_cast<std::size_t>(
         queue_device[static_cast<std::size_t>(queue)]);
-    auto into_pipeline = [&, idx, queue, device, actual_gpu, submit = now,
-                          est = p.processing_est,
-                          resp_est = p.response_est](Seconds) {
+    auto into_pipeline = [&, idx, submit, attempt, queue, device, actual_gpu,
+                          est = p.processing_est, resp_est = p.response_est,
+                          translated_after =
+                              translated || p.translate](Seconds) {
       dispatch_ctr(device).on_enqueue();
       dispatchers[device]->submit(
           config.gpu_dispatch_overhead,
-          [&, idx, queue, device, actual_gpu, submit, est,
-           resp_est](Seconds ddone) {
+          [&, idx, submit, attempt, queue, device, actual_gpu, est, resp_est,
+           translated_after](Seconds ddone) {
             dispatch_ctr(device).on_complete(config.gpu_dispatch_overhead);
             record(idx, SpanKind::kDispatch,
                    ddone - config.gpu_dispatch_overhead, ddone,
                    {QueueRef::kGpu, queue}, resp_est, Seconds{}, Seconds{});
+            const std::size_t slot = 1 + static_cast<std::size_t>(queue);
+            if (down[slot] != 0) {
+              // The partition died while the query crossed translation/
+              // dispatch: fail at the handoff. Its translation survives —
+              // the retry re-schedules with translation_cached.
+              ++gpu_ctr(static_cast<std::size_t>(queue)).failed;
+              fail_query({idx, submit, attempt, translated_after, est},
+                         {QueueRef::kGpu, queue}, ddone);
+              return;
+            }
             gpu_ctr(static_cast<std::size_t>(queue)).on_enqueue();
+            inflight[slot].push_back(
+                {idx, submit, attempt, translated_after, est});
+            const std::uint64_t gen = generation[slot];
             gpus[static_cast<std::size_t>(queue)]->submit(
                 actual_gpu,
-                [&, idx, queue, actual_gpu, submit, est,
+                [&, idx, submit, attempt, queue, slot, gen, actual_gpu, est,
                  resp_est](Seconds done) {
+                  if (gen != generation[slot]) return;  // crashed mid-run
+                  take_inflight(slot, idx);
                   gpu_ctr(static_cast<std::size_t>(queue))
                       .on_complete(actual_gpu);
                   record(idx, SpanKind::kExecute, done - actual_gpu, done,
-                         {QueueRef::kGpu, queue}, resp_est, Seconds{}, Seconds{});
+                         {QueueRef::kGpu, queue}, resp_est, Seconds{},
+                         Seconds{});
                   policy.on_completed(
                       {QueueRef::kGpu, queue}, est,
                       actual_gpu + config.gpu_dispatch_overhead);
                   finish(idx, submit, done, {QueueRef::kGpu, queue},
-                         resp_est);
+                         resp_est, attempt);
                 });
           });
     };
@@ -249,6 +386,66 @@ SimResult run_simulation(SchedulerPolicy& policy,
     }
   };
 
+  // Timed faults fire on the sim clock, scheduled ahead of the arrivals so
+  // a fault at an arrival's instant takes effect first.
+  if (config.fault != nullptr) {
+    for (const TimedFault& f : config.fault->timed_faults()) {
+      HOLAP_REQUIRE(f.at >= Seconds{0.0}, "fault time must be >= 0");
+      const bool proc_ref =
+          (f.ref.kind == QueueRef::kCpu && f.ref.index == 0) ||
+          (f.ref.kind == QueueRef::kGpu && f.ref.index >= 0 &&
+           f.ref.index < static_cast<int>(gpus.size()));
+      switch (f.kind) {
+        case TimedFault::Kind::kCrash:
+          HOLAP_REQUIRE(proc_ref,
+                        "crash faults name a processing partition");
+          events.schedule(f.at, [&, f]() {
+            const std::size_t slot = slot_of(f.ref);
+            if (down[slot] != 0) return;  // already down
+            down[slot] = 1;
+            config.fault->set_partition_down(f.ref, true);
+            if (monitor != nullptr) monitor->on_crash(f.ref, events.now());
+            // Stale completion events still fire; bumping the generation
+            // makes them no-ops, and preempting the server returns the
+            // unserved span to the busy-time ledger.
+            ++generation[slot];
+            if (f.ref.kind == QueueRef::kCpu) {
+              cpu.preempt(events.now());
+            } else {
+              gpus[static_cast<std::size_t>(f.ref.index)]->preempt(
+                  events.now());
+            }
+            std::vector<InFlight> drained = std::move(inflight[slot]);
+            inflight[slot].clear();
+            for (const InFlight& lost : drained) {
+              proc_ctr(f.ref).on_failed();
+              fail_query(lost, f.ref, events.now());
+            }
+          });
+          break;
+        case TimedFault::Kind::kSlowdown:
+          HOLAP_REQUIRE(f.multiplier >= 0.0,
+                        "slowdown multiplier must be >= 0");
+          events.schedule(f.at, [&, f]() {
+            config.fault->set_service_multiplier(f.ref, f.multiplier);
+          });
+          break;
+        case TimedFault::Kind::kRecover:
+          HOLAP_REQUIRE(proc_ref,
+                        "recovery faults name a processing partition");
+          events.schedule(f.at, [&, f]() {
+            down[slot_of(f.ref)] = 0;
+            config.fault->set_partition_down(f.ref, false);
+            config.fault->set_service_multiplier(f.ref, 1.0);
+            if (monitor != nullptr) {
+              monitor->on_recovered(f.ref, events.now());
+            }
+          });
+          break;
+      }
+    }
+  }
+
   if (closed) {
     const auto clients = std::min<std::size_t>(
         static_cast<std::size_t>(config.closed_clients), queries.size());
@@ -267,6 +464,18 @@ SimResult run_simulation(SchedulerPolicy& policy,
 
   events.run_all();
   if (rec != nullptr) policy.set_trace_recorder(nullptr);
+
+  // Publish the per-partition health gauges the monitor ended the run in.
+  if (monitor != nullptr) {
+    cpu_ctr.health = to_string(monitor->health({QueueRef::kCpu, 0}));
+    cpu_ctr.breaker_transitions =
+        monitor->breaker_transitions({QueueRef::kCpu, 0});
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      const QueueRef ref{QueueRef::kGpu, static_cast<int>(i)};
+      gpu_ctr(i).health = to_string(monitor->health(ref));
+      gpu_ctr(i).breaker_transitions = monitor->breaker_transitions(ref);
+    }
+  }
 
   result.makespan = makespan;
   if (makespan > Seconds{0.0}) {

@@ -75,7 +75,9 @@ struct SimConfig {
   TraceRecorder* recorder = nullptr;
   /// Deterministic fault injection: per-queue service multipliers inflate
   /// the modeled service times (FaultInjector::translation_ref() names the
-  /// translation stage). Caller owns the injector; nullptr = no faults.
+  /// translation stage), and the injector's timed faults replay partition
+  /// crashes, slowdowns and recoveries on the sim clock. Caller owns the
+  /// injector; nullptr = no faults.
   FaultInjector* fault = nullptr;
   std::uint64_t seed = 99;
 };
@@ -93,6 +95,9 @@ struct QueryTrace {
   bool rejected = false;
   bool shed = false;  ///< turned away by admission control
   bool met_deadline = false;
+  int attempts = 1;          ///< placements tried (1 = no faults seen)
+  bool failed_over = false;  ///< completed on a later attempt
+  bool exhausted = false;    ///< gave up: retry budget or deadline slack
 };
 
 struct SimResult {
@@ -100,6 +105,14 @@ struct SimResult {
   std::size_t rejected = 0;
   /// Queries turned away by admission control (AdmissionControl::kReject).
   std::size_t shed_at_admission = 0;
+  // Fault-tolerance outcomes. Every query resolves to exactly one of
+  // {completed, rejected, shed_at_admission, exhausted_retries}; a
+  // completed query that needed more than one attempt also counts in
+  // failed_over.
+  std::size_t failed_over = 0;        ///< completed on attempt > 1
+  std::size_t exhausted_retries = 0;  ///< failed with no retry budget left
+  std::size_t retries = 0;            ///< re-submissions performed
+  std::size_t partition_faults = 0;   ///< per-query fault events observed
   std::size_t met_deadline = 0;
   std::size_t cpu_queries = 0;
   std::size_t gpu_queries = 0;

@@ -1,0 +1,15 @@
+// Fixture: retry loops without a compile-time-visible attempt bound —
+// the scheduling/serving planes must never spin on a bare flag.
+namespace holap {
+
+void drain_with_retries() {
+  bool retry = true;
+  while (retry) {  // unbounded: no attempt counter in the header
+    retry = step();
+  }
+  do {
+    poke();
+  } while (should_retry());  // unbounded: condition is a bare predicate
+}
+
+}  // namespace holap

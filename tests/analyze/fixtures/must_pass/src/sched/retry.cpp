@@ -1,0 +1,16 @@
+// Fixture: correctly bounded retry loops — the attempt counter is
+// compared against a limit right in the loop header.
+namespace holap {
+
+bool run_with_retries(int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (step()) return true;
+  }
+  int remaining_retries = 3;
+  while (remaining_retries > 0) {
+    --remaining_retries;
+  }
+  return false;
+}
+
+}  // namespace holap

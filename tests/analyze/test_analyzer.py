@@ -45,7 +45,7 @@ class MustFlagFixtures(unittest.TestCase):
         self.assertEqual(fired, {
             "determinism", "raw-new-delete", "include-hygiene",
             "clock-ledger", "enum-exhaustive", "bounded-queue",
-            "unit-escape", "span-lifecycle",
+            "unit-escape", "span-lifecycle", "retry-bound",
         })
 
     def test_rule_selection_restricts_output(self):

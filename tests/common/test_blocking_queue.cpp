@@ -161,6 +161,37 @@ TEST(BlockingQueue, PopForReturnsAvailableItemImmediately) {
   EXPECT_EQ(q.pop_for(std::chrono::milliseconds{0}), 11);
 }
 
+TEST(BlockingQueue, CloseWakesPopForWaiterBeforeItsTimeout) {
+  // The shutdown-during-retry race: a worker parked in a timed pop must
+  // observe close() immediately (nullopt + closed()), not sleep out its
+  // timeout and delay the drain.
+  BlockingQueue<int> q;
+  std::atomic<bool> saw_shutdown{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::thread consumer([&] {
+    const auto item = q.pop_for(std::chrono::seconds{60});
+    saw_shutdown = !item.has_value() && q.closed();
+  });
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(saw_shutdown);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds{30});
+}
+
+TEST(BlockingQueue, PushWakesPopForWaiterWithTheItem) {
+  BlockingQueue<int> q;
+  std::atomic<int> received{-1};
+  std::thread consumer([&] {
+    const auto item = q.pop_for(std::chrono::seconds{60});
+    received = item.value_or(-1);
+  });
+  q.push(7);
+  consumer.join();
+  EXPECT_EQ(received, 7);
+  EXPECT_FALSE(q.closed());
+}
+
 TEST(BlockingQueue, PopForSeesClosedAndDrained) {
   BlockingQueue<int> q;
   q.close();

@@ -1,0 +1,242 @@
+// Partition fault tolerance on the real executor: the crash-during-
+// dequeue race (worker parked mid-pop while the partition goes down),
+// GPU<->CPU failover, retry-budget exhaustion and the shutdown race —
+// every path must resolve the promise with a typed outcome.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "olap/async_executor.hpp"
+#include "query/workload.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+HybridOlapSystem make_system(bool fault_tolerance,
+                             std::vector<int> gpu_partitions = {1, 1, 2, 2,
+                                                                4, 4}) {
+  GeneratorConfig gen;
+  gen.rows = 400;
+  gen.seed = 5;
+  gen.text_levels = {{1, 3}};
+  HybridSystemConfig config;
+  config.cpu_threads = 2;
+  config.cube_levels = {0, 1, 2};
+  config.gpu_partitions = std::move(gpu_partitions);
+  config.fault_tolerance.enabled = fault_tolerance;
+  // These tests park workers for wall-clock milliseconds before releasing
+  // the fault; a non-negative slack gate would shed the retry for losing
+  // its deadline to the park, which is not what is under test here.
+  config.fault_tolerance.retry.deadline_slack_gate = -1000.0;
+  return HybridOlapSystem(
+      generate_fact_table(tiny_model_dimensions(), gen), config);
+}
+
+Query cheap_numeric_query() {
+  Query q;
+  q.conditions.push_back({0, 0, 0, 0, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+/// The partition the scheduler placed the (only) submitted query on,
+/// recovered from the intake counters. Slot 0 = cpu, 1 = translation
+/// (skipped: not a processing partition), 2 + i = gpu queue i.
+std::optional<QueueRef> placed_partition(const AsyncHybridExecutor& ex) {
+  const std::vector<PartitionCounters> counters = ex.partition_counters();
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i == 1 || counters[i].enqueued == 0) continue;
+    if (i == 0) return QueueRef{QueueRef::kCpu, 0};
+    return QueueRef{QueueRef::kGpu, static_cast<int>(i - 2)};
+  }
+  return std::nullopt;
+}
+
+/// Spin until `injector` reports at least one worker parked at the gate —
+/// the job has been dequeued and the worker is mid-pop.
+void wait_for_parked_worker(const FaultInjector& injector) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (injector.workers_waiting() < 1 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(injector.workers_waiting(), 1);
+}
+
+TEST(FaultTolerance, CrashWhileWorkerParkedMidPopFailsOver) {
+  HybridOlapSystem system = make_system(true);
+  AsyncHybridExecutor executor(system);
+  FaultInjector injector;
+  executor.set_fault_injector(&injector);
+
+  // Park the worker after it dequeues the job, then take its partition
+  // down while it is parked: the down-check after the gate must see the
+  // fault and fail the job over instead of executing on a dead partition.
+  injector.hold_workers();
+  const Query q = cheap_numeric_query();
+  auto future = executor.submit(q);
+  const std::optional<QueueRef> placed = placed_partition(executor);
+  ASSERT_TRUE(placed.has_value());
+  wait_for_parked_worker(injector);
+  injector.set_partition_down(*placed, true);
+  injector.release_workers();
+
+  const ExecutionReport report = future.get();
+  EXPECT_EQ(report.outcome, ExecutionOutcome::kFailedOver);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_FALSE(report.queue == *placed);
+  const QueryAnswer oracle = system.answer_on_gpu(q);
+  EXPECT_NEAR(report.answer.value, oracle.value, 1e-6);
+  EXPECT_EQ(report.answer.row_count, oracle.row_count);
+
+  EXPECT_EQ(executor.partition_failures(), 1u);
+  EXPECT_EQ(executor.retries(), 1u);
+  EXPECT_EQ(executor.failed_over(), 1u);
+  EXPECT_EQ(executor.exhausted_retries(), 0u);
+  // The crashed partition's gauges recorded the fault and the breaker trip.
+  executor.shutdown();
+  const std::vector<PartitionCounters> counters =
+      executor.partition_counters();
+  const std::size_t slot =
+      placed->kind == QueueRef::kCpu
+          ? 0
+          : 2 + static_cast<std::size_t>(placed->index);
+  EXPECT_EQ(counters[slot].failed, 1u);
+  EXPECT_EQ(counters[slot].retried, 1u);
+  EXPECT_EQ(counters[slot].health, "failed");
+  EXPECT_GT(counters[slot].breaker_transitions, 0u);
+}
+
+TEST(FaultTolerance, DisabledFaultToleranceExhaustsOnFirstFault) {
+  HybridOlapSystem system = make_system(false);
+  AsyncHybridExecutor executor(system);
+  FaultInjector injector;
+  executor.set_fault_injector(&injector);
+
+  injector.hold_workers();
+  auto future = executor.submit(cheap_numeric_query());
+  const std::optional<QueueRef> placed = placed_partition(executor);
+  ASSERT_TRUE(placed.has_value());
+  wait_for_parked_worker(injector);
+  injector.set_partition_down(*placed, true);
+  injector.release_workers();
+
+  const ExecutionReport report = future.get();
+  EXPECT_EQ(report.outcome, ExecutionOutcome::kExhaustedRetries);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(executor.partition_failures(), 1u);
+  EXPECT_EQ(executor.retries(), 0u);
+  EXPECT_EQ(executor.exhausted_retries(), 1u);
+  EXPECT_EQ(executor.failed_over(), 0u);
+}
+
+TEST(FaultTolerance, RepeatedCrashesExhaustTheRetryBudget) {
+  // Two processing partitions only (cpu + one 4-SM gpu queue), both down:
+  // attempt 1 fails on the placement, attempt 2 fails over to the other
+  // partition and fails there too, attempt 3's re-schedule finds no live
+  // candidate — the default budget of 3 is spent and the job resolves
+  // kExhaustedRetries, never an abandoned promise.
+  HybridOlapSystem system = make_system(true, {4});
+  AsyncHybridExecutor executor(system);
+  FaultInjector injector;
+  executor.set_fault_injector(&injector);
+
+  injector.hold_workers();
+  auto future = executor.submit(cheap_numeric_query());
+  wait_for_parked_worker(injector);
+  injector.set_partition_down({QueueRef::kCpu, 0}, true);
+  injector.set_partition_down({QueueRef::kGpu, 0}, true);
+  injector.release_workers();
+
+  const ExecutionReport report = future.get();
+  EXPECT_EQ(report.outcome, ExecutionOutcome::kExhaustedRetries);
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(executor.exhausted_retries(), 1u);
+  EXPECT_GE(executor.partition_failures(), 2u);
+  EXPECT_EQ(executor.failed_over(), 0u);
+  EXPECT_EQ(executor.completed(), 0u);
+}
+
+TEST(FaultTolerance, FailoverNeverRepeatsTranslation) {
+  // A translated GPU-only text job that fails over re-schedules with
+  // translation_cached: the text is already integers, so however many
+  // placements the retry burns through, the translation partition sees
+  // the query exactly once. Two equal 4-SM queues, both down up front —
+  // the job translates, fails on its placement, fails over to the other
+  // queue (routed directly, no second translation pass), fails there too
+  // and exhausts its budget. Fully deterministic: no gates, no timing.
+  HybridOlapSystem system = make_system(true, {4, 4});
+  AsyncHybridExecutor executor(system);
+  FaultInjector injector;
+  executor.set_fault_injector(&injector);
+  injector.set_partition_down({QueueRef::kGpu, 0}, true);
+  injector.set_partition_down({QueueRef::kGpu, 1}, true);
+
+  const int col = system.schema().dimension_column(1, 3);
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {system.dictionaries().for_column(col).decode(1)};
+  q.conditions.push_back(c);
+  q.conditions.push_back({0, 3, 0, 15, {}, {}});  // GPU-only resolution
+  q.measures = {12};
+
+  const ExecutionReport report = executor.submit(q).get();
+  EXPECT_EQ(report.outcome, ExecutionOutcome::kExhaustedRetries);
+  EXPECT_TRUE(report.translated);
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(executor.partition_failures(), 2u);
+  EXPECT_EQ(executor.retries(), 2u);
+  EXPECT_EQ(executor.exhausted_retries(), 1u);
+  executor.shutdown();
+  // One translation pass total: every failover kept the integers.
+  const std::vector<PartitionCounters> counters =
+      executor.partition_counters();
+  EXPECT_EQ(counters[1].enqueued, 1u);
+  EXPECT_EQ(counters[1].completed, 1u);
+  EXPECT_EQ(counters[2].failed + counters[3].failed, 2u);
+}
+
+TEST(FaultTolerance, ShutdownDuringRetryStillResolvesTyped) {
+  // A worker discovers its partition down while a concurrent shutdown is
+  // closing queues: whatever the retry lands on — a live partition, a
+  // closed queue, an exhausted budget — the promise resolves typed.
+  HybridOlapSystem system = make_system(true);
+  std::future<ExecutionReport> future;
+  FaultInjector injector;
+  Query q = cheap_numeric_query();
+  {
+    AsyncHybridExecutor executor(system);
+    executor.set_fault_injector(&injector);
+    injector.hold_workers();
+    future = executor.submit(q);
+    const std::optional<QueueRef> placed = placed_partition(executor);
+    ASSERT_TRUE(placed.has_value());
+    wait_for_parked_worker(injector);
+    injector.set_partition_down(*placed, true);
+    std::thread closer([&executor] { executor.shutdown(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    injector.release_workers();
+    closer.join();
+  }
+  const ExecutionReport report = future.get();
+  EXPECT_TRUE(report.outcome == ExecutionOutcome::kFailedOver ||
+              report.outcome == ExecutionOutcome::kExhaustedRetries ||
+              report.outcome == ExecutionOutcome::kFailed)
+      << "outcome: " << to_string(report.outcome);
+  if (report.outcome == ExecutionOutcome::kFailedOver) {
+    const QueryAnswer oracle = system.answer_on_gpu(q);
+    EXPECT_NEAR(report.answer.value, oracle.value, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -371,6 +371,8 @@ TEST(Overload, MixedBurstAlwaysResolvesTyped) {
         break;
       case ExecutionOutcome::kRejected:
       case ExecutionOutcome::kFailed:
+      case ExecutionOutcome::kFailedOver:
+      case ExecutionOutcome::kExhaustedRetries:
         break;
     }
   }

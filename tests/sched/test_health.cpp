@@ -1,0 +1,380 @@
+// Partition fault tolerance: the circuit breaker, the health state
+// machine, estimator degradation, and the scheduler's candidate gate.
+#include "sched/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/catalog.hpp"
+#include "sched/scheduler.hpp"
+
+namespace holap {
+namespace {
+
+HealthPolicy tight_policy() {
+  HealthPolicy p;
+  p.degrade_streak = 2;
+  p.restore_streak = 2;
+  p.breaker_window = 4;
+  p.breaker_failures = 2;
+  p.breaker_cooldown = Seconds{1.0};
+  p.half_open_successes = 2;
+  return p;
+}
+
+TEST(CircuitBreaker, OpensAtFailureThresholdInWindow) {
+  CircuitBreaker b(tight_policy());
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  b.record_failure(Seconds{0.1});
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  b.record_failure(Seconds{0.2});
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.transitions(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessesKeepFailuresBelowThreshold) {
+  // Window 4, threshold 2: a failure rate of one in four keeps every
+  // sliding window below the threshold — the breaker never trips.
+  CircuitBreaker b(tight_policy());
+  for (int i = 0; i < 8; ++i) {
+    b.record_failure(Seconds{0.1 * (i + 1)});
+    for (int s = 0; s < 3; ++s) b.record_success();
+    ASSERT_EQ(b.state(), CircuitBreaker::State::kClosed) << "round " << i;
+  }
+  EXPECT_EQ(b.transitions(), 0u);
+}
+
+TEST(CircuitBreaker, CooldownOpensProbeThenSuccessesClose) {
+  CircuitBreaker b(tight_policy());
+  b.trip(Seconds{1.0});
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(b.refresh(Seconds{1.5}));  // cool-down not elapsed
+  EXPECT_TRUE(b.refresh(Seconds{2.0}));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  b.record_success();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  b.record_success();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopensWithFreshCooldown) {
+  CircuitBreaker b(tight_policy());
+  b.trip(Seconds{0.0});
+  ASSERT_TRUE(b.refresh(Seconds{1.0}));
+  b.record_failure(Seconds{1.2});  // probe failed
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(b.refresh(Seconds{2.0}));  // cool-down restarted at 1.2
+  EXPECT_TRUE(b.refresh(Seconds{2.2}));
+}
+
+TEST(HealthMonitor, OverrunStreakDegradesGoodStreakRestores) {
+  PartitionHealthMonitor m(2, tight_policy());
+  const QueueRef gpu0{QueueRef::kGpu, 0};
+  // Overruns: actual far past estimated * error_ratio + error_slack.
+  m.on_measured(gpu0, Seconds{0.01}, Seconds{0.5});
+  EXPECT_EQ(m.health(gpu0), PartitionHealth::kHealthy);
+  m.on_measured(gpu0, Seconds{0.01}, Seconds{0.5});
+  EXPECT_EQ(m.health(gpu0), PartitionHealth::kDegraded);
+  EXPECT_DOUBLE_EQ(m.multiplier(gpu0), tight_policy().degraded_multiplier);
+  // The other partitions are untouched.
+  EXPECT_EQ(m.health({QueueRef::kGpu, 1}), PartitionHealth::kHealthy);
+  EXPECT_EQ(m.health({QueueRef::kCpu, 0}), PartitionHealth::kHealthy);
+  // Good completions restore.
+  m.on_measured(gpu0, Seconds{0.01}, Seconds{0.01});
+  m.on_measured(gpu0, Seconds{0.01}, Seconds{0.01});
+  EXPECT_EQ(m.health(gpu0), PartitionHealth::kHealthy);
+  EXPECT_DOUBLE_EQ(m.multiplier(gpu0), 1.0);
+}
+
+TEST(HealthMonitor, ErrorSlackAbsorbsConstantOverheadOnFastQueries) {
+  // 1 ms estimated, 15 ms actual: a huge ratio, but within the absolute
+  // slack (20 ms default-ish; tight_policy keeps the default 0.02).
+  PartitionHealthMonitor m(1, tight_policy());
+  const QueueRef gpu0{QueueRef::kGpu, 0};
+  for (int i = 0; i < 10; ++i) {
+    m.on_measured(gpu0, Seconds{0.001}, Seconds{0.015});
+  }
+  EXPECT_EQ(m.health(gpu0), PartitionHealth::kHealthy);
+}
+
+TEST(HealthMonitor, CrashFailsThenCooldownProbesThenSuccessesRecover) {
+  PartitionHealthMonitor m(2, tight_policy());
+  const QueueRef gpu1{QueueRef::kGpu, 1};
+  m.on_crash(gpu1, Seconds{5.0});
+  EXPECT_EQ(m.health(gpu1), PartitionHealth::kFailed);
+  EXPECT_FALSE(m.schedulable(gpu1, Seconds{5.5}));
+  EXPECT_EQ(m.fault_count(gpu1), 1u);
+  // Cool-down (1 s) elapses: schedulable() promotes to kRecovering.
+  EXPECT_TRUE(m.schedulable(gpu1, Seconds{6.0}));
+  EXPECT_EQ(m.health(gpu1), PartitionHealth::kRecovering);
+  EXPECT_DOUBLE_EQ(m.multiplier(gpu1), tight_policy().degraded_multiplier);
+  // half_open_successes good completions close the breaker.
+  m.on_measured(gpu1, Seconds{0.01}, Seconds{0.01});
+  m.on_measured(gpu1, Seconds{0.01}, Seconds{0.01});
+  EXPECT_EQ(m.health(gpu1), PartitionHealth::kHealthy);
+  EXPECT_GE(m.breaker_transitions(gpu1), 3u);  // closed->open->half->closed
+}
+
+TEST(HealthMonitor, ExplicitRecoverySkipsTheCooldown) {
+  PartitionHealthMonitor m(1, tight_policy());
+  const QueueRef gpu0{QueueRef::kGpu, 0};
+  m.on_crash(gpu0, Seconds{10.0});
+  m.on_recovered(gpu0, Seconds{10.1});
+  EXPECT_EQ(m.health(gpu0), PartitionHealth::kRecovering);
+  EXPECT_TRUE(m.schedulable(gpu0, Seconds{10.1}));
+}
+
+TEST(HealthMonitor, FaultStreakOpensBreakerLikeACrash) {
+  PartitionHealthMonitor m(1, tight_policy());
+  const QueueRef cpu{QueueRef::kCpu, 0};
+  m.on_fault(cpu, Seconds{0.1});
+  EXPECT_EQ(m.health(cpu), PartitionHealth::kHealthy);
+  m.on_fault(cpu, Seconds{0.2});  // breaker_failures = 2
+  EXPECT_EQ(m.health(cpu), PartitionHealth::kFailed);
+  EXPECT_FALSE(m.schedulable(cpu, Seconds{0.3}));
+}
+
+// ---------------------------------------------------------------------------
+// Estimator degradation
+
+struct EstimatorFixture {
+  TableSchema schema =
+      make_star_schema(paper_model_dimensions(),
+                       {"m0", "m1", "m2", "m3"}, {{1, 3}, {2, 3}});
+  VirtualCubeCatalog catalog{paper_model_dimensions(), {0, 1, 2, 3}};
+  VirtualTranslationModel translation{schema, 1000.0};
+
+  CostEstimator estimator() const {
+    return make_paper_estimator({1, 1, 2, 2, 4, 4}, 8, Megabytes{4096.0}, 16,
+                                &catalog, &translation);
+  }
+};
+
+Query mid_query() {
+  Query q;
+  q.conditions.push_back({0, 2, 0, 399, {}, {}});
+  q.conditions.push_back({1, 2, 0, 79, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+TEST(EstimatorDegradation, EstimateIsMonotoneInTheMultiplier) {
+  // Property: for every partition, estimate() is non-decreasing in the
+  // degradation multiplier, and other partitions are unaffected.
+  EstimatorFixture f;
+  auto est = f.estimator();
+  const Query q = mid_query();
+  const CostEstimate base = est.estimate(q);
+  ASSERT_TRUE(base.cpu.has_value());
+  const std::vector<double> multipliers = {1.0, 1.25, 2.0, 4.0, 16.0};
+  for (int queue = 0; queue < est.gpu_queue_count(); ++queue) {
+    const QueueRef ref{QueueRef::kGpu, queue};
+    Seconds prev{};
+    for (double mult : multipliers) {
+      est.set_degradation(ref, mult);
+      const CostEstimate e = est.estimate(q);
+      EXPECT_GE(e.gpu[static_cast<std::size_t>(queue)].value(),
+                prev.value());
+      EXPECT_NEAR(e.gpu[static_cast<std::size_t>(queue)].value(),
+                  base.gpu[static_cast<std::size_t>(queue)].value() * mult,
+                  1e-12);
+      // Untouched partitions keep their base estimates.
+      EXPECT_NEAR(e.cpu->value(), base.cpu->value(), 1e-15);
+      const int other = (queue + 1) % est.gpu_queue_count();
+      EXPECT_NEAR(e.gpu[static_cast<std::size_t>(other)].value(),
+                  base.gpu[static_cast<std::size_t>(other)].value(), 1e-15);
+      prev = e.gpu[static_cast<std::size_t>(queue)];
+    }
+    est.set_degradation(ref, 1.0);
+  }
+  // CPU degradation mirrors the GPU behaviour.
+  est.set_degradation({QueueRef::kCpu, 0}, 3.0);
+  const CostEstimate e = est.estimate(q);
+  EXPECT_NEAR(e.cpu->value(), base.cpu->value() * 3.0, 1e-12);
+}
+
+TEST(EstimatorDegradation, InvalidMultiplierThrows) {
+  EstimatorFixture f;
+  auto est = f.estimator();
+  EXPECT_THROW(est.set_degradation({QueueRef::kGpu, 0}, 0.5),
+               InvalidArgument);
+  EXPECT_THROW(est.set_degradation({QueueRef::kGpu, 99}, 2.0),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler integration: the candidate gate and ledger balance
+
+/// Records every candidate set choose() is offered; places on the first.
+class RecordingScheduler final : public QueueingScheduler {
+ public:
+  using QueueingScheduler::QueueingScheduler;
+  const char* name() const override { return "recording"; }
+
+  mutable std::vector<std::vector<QueueRef>> candidate_sets;
+
+ protected:
+  std::optional<QueueRef> choose(
+      const std::vector<PartitionResponse>& candidates,
+      Seconds /*deadline*/) const override {
+    std::vector<QueueRef> refs;
+    refs.reserve(candidates.size());
+    for (const PartitionResponse& c : candidates) refs.push_back(c.ref);
+    candidate_sets.push_back(std::move(refs));
+    return candidates.front().ref;
+  }
+};
+
+struct SchedFixture {
+  TableSchema schema =
+      make_star_schema(paper_model_dimensions(),
+                       {"m0", "m1", "m2", "m3"}, {{1, 3}, {2, 3}});
+  VirtualCubeCatalog catalog{paper_model_dimensions(), {0, 1, 2, 3}};
+  VirtualTranslationModel translation{schema, 1000.0};
+  SchedulerConfig config;
+
+  SchedFixture() {
+    config.deadline = Seconds{0.25};
+    config.fault_tolerance.enabled = true;
+    config.fault_tolerance.health = tight_policy();
+  }
+
+  template <typename Sched = FigureTenScheduler>
+  Sched scheduler() const {
+    return Sched(config,
+                 make_paper_estimator(config.gpu_partitions, 8,
+                                      Megabytes{4096.0}, 16, &catalog,
+                                      &translation));
+  }
+};
+
+Query expensive_query() {
+  Query q;
+  q.conditions.push_back({0, 3, 0, 1599, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+TEST(FaultTolerantScheduler, DisabledConfigExposesNoMonitor) {
+  SchedFixture f;
+  f.config.fault_tolerance.enabled = false;
+  auto sched = f.scheduler();
+  EXPECT_EQ(sched.health_monitor(), nullptr);
+  EXPECT_EQ(sched.retry_policy(), nullptr);
+}
+
+TEST(FaultTolerantScheduler, EnabledConfigExposesMonitorAndPolicy) {
+  SchedFixture f;
+  auto sched = f.scheduler();
+  ASSERT_NE(sched.health_monitor(), nullptr);
+  EXPECT_EQ(sched.health_monitor()->gpu_queue_count(), 6);
+  ASSERT_NE(sched.retry_policy(), nullptr);
+  EXPECT_EQ(sched.retry_policy()->max_attempts,
+            f.config.fault_tolerance.retry.max_attempts);
+}
+
+TEST(FaultTolerantScheduler, FailedPartitionsNeverReachChoose) {
+  SchedFixture f;
+  auto sched = f.scheduler<RecordingScheduler>();
+  PartitionHealthMonitor* monitor = sched.health_monitor();
+  ASSERT_NE(monitor, nullptr);
+  monitor->on_crash({QueueRef::kGpu, 0}, Seconds{0.0});
+  monitor->on_crash({QueueRef::kCpu, 0}, Seconds{0.0});
+  for (int i = 0; i < 8; ++i) {
+    const Placement p = sched.schedule(expensive_query(), Seconds{0.1});
+    EXPECT_FALSE(p.rejected);
+  }
+  ASSERT_FALSE(sched.candidate_sets.empty());
+  for (const auto& set : sched.candidate_sets) {
+    ASSERT_FALSE(set.empty());
+    for (const QueueRef& ref : set) {
+      EXPECT_FALSE(ref.kind == QueueRef::kGpu && ref.index == 0);
+      EXPECT_NE(ref.kind, QueueRef::kCpu);
+    }
+  }
+}
+
+TEST(FaultTolerantScheduler, AllPartitionsFailedRejectsInsteadOfPlacing) {
+  SchedFixture f;
+  auto sched = f.scheduler();
+  PartitionHealthMonitor* monitor = sched.health_monitor();
+  monitor->on_crash({QueueRef::kCpu, 0}, Seconds{0.0});
+  for (int i = 0; i < 6; ++i) {
+    monitor->on_crash({QueueRef::kGpu, i}, Seconds{0.0});
+  }
+  const Placement p = sched.schedule(expensive_query(), Seconds{0.1});
+  EXPECT_TRUE(p.rejected);
+  // The ledger stays untouched for a rejected query.
+  EXPECT_EQ(sched.cpu_clock(), Seconds{});
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(sched.gpu_clock(i), Seconds{});
+}
+
+TEST(FaultTolerantScheduler, CooldownRestoresCrashedPartition) {
+  SchedFixture f;
+  auto sched = f.scheduler<RecordingScheduler>();
+  sched.health_monitor()->on_crash({QueueRef::kGpu, 0}, Seconds{0.0});
+  // Past the 1 s cool-down the partition probes (kRecovering) and is a
+  // candidate again.
+  sched.schedule(expensive_query(), Seconds{2.0});
+  bool saw_gpu0 = false;
+  for (const QueueRef& ref : sched.candidate_sets.back()) {
+    saw_gpu0 |= ref.kind == QueueRef::kGpu && ref.index == 0;
+  }
+  EXPECT_TRUE(saw_gpu0);
+  EXPECT_EQ(sched.health_monitor()->health({QueueRef::kGpu, 0}),
+            PartitionHealth::kRecovering);
+}
+
+TEST(FaultTolerantScheduler, DegradedPartitionSchedulableAtInflatedCost) {
+  SchedFixture f;
+  auto sched = f.scheduler();
+  // Degrade GPU queue 0 (the slowest class) via overrun streaks.
+  PartitionHealthMonitor* monitor = sched.health_monitor();
+  monitor->on_measured({QueueRef::kGpu, 0}, Seconds{0.01}, Seconds{1.0});
+  monitor->on_measured({QueueRef::kGpu, 0}, Seconds{0.01}, Seconds{1.0});
+  ASSERT_EQ(monitor->health({QueueRef::kGpu, 0}), PartitionHealth::kDegraded);
+  // An expensive query normally lands on queue 0 (slowest feasible); the
+  // inflated estimate must still be an honest commitment on the ledger.
+  const Placement p = sched.schedule(expensive_query(), Seconds{});
+  ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
+  EXPECT_NEAR(sched.gpu_clock(p.queue.index).value(),
+              p.processing_est.value(), 1e-12);
+}
+
+TEST(FaultTolerantScheduler, LedgerBalancesAfterFaultDrain) {
+  // Schedule a batch with fault tolerance on, crash a partition, then
+  // drain everything through on_shed: every clock returns to zero —
+  // exactly the state of a fresh scheduler.
+  SchedFixture f;
+  auto sched = f.scheduler();
+  struct Committed {
+    QueueRef ref;
+    Seconds processing;
+    Seconds translation;
+  };
+  std::vector<Committed> committed;
+  for (int i = 0; i < 12; ++i) {
+    const Placement p = sched.schedule(expensive_query(), Seconds{});
+    ASSERT_FALSE(p.rejected);
+    committed.push_back({p.queue, p.processing_est,
+                         p.translate ? p.translation_est : Seconds{}});
+  }
+  sched.health_monitor()->on_crash({QueueRef::kGpu, 0}, Seconds{0.0});
+  for (const Committed& c : committed) {
+    sched.on_shed(c.ref, c.processing, c.translation);
+  }
+  EXPECT_NEAR(sched.cpu_clock().value(), 0.0, 1e-9);
+  EXPECT_NEAR(sched.translation_clock().value(), 0.0, 1e-9);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(sched.gpu_clock(i).value(), 0.0, 1e-9) << "queue " << i;
+  }
+}
+
+TEST(HealthToString, CoversEveryState) {
+  EXPECT_STREQ(to_string(PartitionHealth::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(PartitionHealth::kDegraded), "degraded");
+  EXPECT_STREQ(to_string(PartitionHealth::kFailed), "failed");
+  EXPECT_STREQ(to_string(PartitionHealth::kRecovering), "recovering");
+}
+
+}  // namespace
+}  // namespace holap

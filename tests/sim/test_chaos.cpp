@@ -1,0 +1,242 @@
+// Seeded chaos scenarios (ctest label `chaos`): partition crashes,
+// slowdowns and timed recoveries replayed deterministically on the sim
+// clock, with every affected query resolving to a typed outcome.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace holap {
+namespace {
+
+ScenarioOptions chaos_options() {
+  ScenarioOptions opts;
+  opts.fault_tolerance.enabled = true;
+  // Under the 800 Q/s burst every query is far past its 250 ms deadline
+  // when the crash lands; the default gate (0: retry only before the
+  // deadline) would shed every faulted query. Chaos runs care about the
+  // failover machinery, not the deadline, so admit late retries.
+  opts.fault_tolerance.retry.deadline_slack_gate = -100.0;
+  return opts;
+}
+
+SimConfig burst_config() {
+  SimConfig config;
+  // A burst well past the published hybrid rate: every partition class
+  // carries load when the crash lands, so the fault hits real work.
+  config.arrival_rate = 800.0;
+  config.record_trace = true;
+  return config;
+}
+
+/// Crash GPU queue 4 — the first 4-SM partition of the paper's
+/// {1,1,2,2,4,4} layout — while the burst's backlog is on it, recover it
+/// 0.6 s later. Timing matters: the serial dispatcher (14 ms/launch) is
+/// the bottleneck at this rate, so queue 4's work crosses into its
+/// partition server from ~1.25 s on; a crash at 1.4 s drains real
+/// in-flight work AND fails dispatch handoffs during the down window.
+void schedule_crash_and_recovery(FaultInjector& fault) {
+  fault.schedule_fault({TimedFault::Kind::kCrash,
+                        QueueRef{QueueRef::kGpu, 4}, Seconds{1.4}, 1.0});
+  fault.schedule_fault({TimedFault::Kind::kRecover,
+                        QueueRef{QueueRef::kGpu, 4}, Seconds{2.0}, 1.0});
+}
+
+/// Exactly one typed outcome per query, by counter precedence.
+enum class Outcome : std::uint8_t { kCompleted, kExhausted, kRejected, kShed };
+
+std::vector<Outcome> outcomes_of(const SimResult& r) {
+  std::vector<Outcome> out;
+  out.reserve(r.trace.size());
+  for (const QueryTrace& t : r.trace) {
+    if (t.completed > Seconds{}) {
+      out.push_back(Outcome::kCompleted);
+    } else if (t.exhausted) {
+      out.push_back(Outcome::kExhausted);
+    } else if (t.rejected) {
+      out.push_back(Outcome::kRejected);
+    } else if (t.shed) {
+      out.push_back(Outcome::kShed);
+    } else {
+      ADD_FAILURE() << "query " << t.index << " resolved to no outcome";
+    }
+  }
+  return out;
+}
+
+TEST(Chaos, GpuCrashMidBurstEveryQueryResolvesTyped) {
+  const PaperScenario s{chaos_options()};
+  const auto queries = s.make_workload(500);
+  auto policy = s.make_policy();
+  FaultInjector fault;
+  schedule_crash_and_recovery(fault);
+  SimConfig config = burst_config();
+  config.fault = &fault;
+  const SimResult r = run_simulation(*policy, queries, config);
+
+  // The crash struck in-flight or queued work.
+  EXPECT_GT(r.partition_faults, 0u);
+  EXPECT_GT(r.retries, 0u);
+  // Failover worked: queries completed on a later attempt.
+  EXPECT_GT(r.failed_over, 0u);
+  // Conservation: every query resolves to exactly one typed outcome.
+  EXPECT_EQ(r.completed + r.rejected + r.shed_at_admission +
+                r.exhausted_retries,
+            queries.size());
+  EXPECT_LE(r.failed_over, r.completed);
+  const std::vector<Outcome> outcomes = outcomes_of(r);
+  ASSERT_EQ(outcomes.size(), queries.size());
+  std::size_t completed = 0;
+  for (const Outcome o : outcomes) completed += o == Outcome::kCompleted;
+  EXPECT_EQ(completed, r.completed);
+  // The crashed partition recovered; its end-of-run health gauge agrees.
+  const PartitionCounters& gpu4 = r.partitions[r.partitions.size() - 2];
+  EXPECT_EQ(gpu4.name, "gpu4");
+  EXPECT_NE(gpu4.health, "failed");
+  EXPECT_GT(gpu4.failed + gpu4.retried + gpu4.failovers, 0u);
+  EXPECT_GT(gpu4.breaker_transitions, 0u);
+}
+
+TEST(Chaos, CrashRecoveryScenarioIsDeterministicAcrossRuns) {
+  const PaperScenario s{chaos_options()};
+  const auto queries = s.make_workload(500);
+  SimConfig config = burst_config();
+  auto run_once = [&]() {
+    auto policy = s.make_policy();
+    FaultInjector fault;
+    schedule_crash_and_recovery(fault);
+    SimConfig c = config;
+    c.fault = &fault;
+    return run_simulation(*policy, queries, c);
+  };
+  const SimResult a = run_once();
+  const SimResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed_over, b.failed_over);
+  EXPECT_EQ(a.exhausted_retries, b.exhausted_retries);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.partition_faults, b.partition_faults);
+  EXPECT_EQ(a.met_deadline, b.met_deadline);
+  // Not just the same counts — the same per-query outcomes.
+  EXPECT_EQ(outcomes_of(a), outcomes_of(b));
+  EXPECT_GT(a.partition_faults, 0u);
+}
+
+TEST(Chaos, DeadlineRateUnderFaultStaysWithinRecordedBound) {
+  // The acceptance bound for this repo: one 4-SM partition crashing
+  // mid-burst (with later recovery) costs at most 0.25 of the no-fault
+  // deadline-met rate.
+  const PaperScenario s{chaos_options()};
+  const auto queries = s.make_workload(500);
+  SimConfig config = burst_config();
+  config.record_trace = false;
+
+  auto baseline_policy = s.make_policy();
+  const SimResult baseline =
+      run_simulation(*baseline_policy, queries, config);
+
+  FaultInjector fault;
+  schedule_crash_and_recovery(fault);
+  config.fault = &fault;
+  auto fault_policy = s.make_policy();
+  const SimResult faulted = run_simulation(*fault_policy, queries, config);
+
+  EXPECT_GT(baseline.deadline_hit_rate, 0.0);
+  EXPECT_GE(faulted.deadline_hit_rate, baseline.deadline_hit_rate - 0.25);
+  // Fault tolerance must not lose queries the baseline completes.
+  EXPECT_EQ(faulted.completed + faulted.rejected + faulted.shed_at_admission +
+                faulted.exhausted_retries,
+            queries.size());
+}
+
+TEST(Chaos, SlowdownDegradesThePartitionWithoutFailingIt) {
+  const PaperScenario s{chaos_options()};
+  const auto queries = s.make_workload(300);
+  auto policy = s.make_policy();
+  FaultInjector fault;
+  // GPU queue 0 is the slowest class and the first the ladder tasks:
+  // a 50x slowdown produces overrun streaks well past error_ratio.
+  fault.schedule_fault({TimedFault::Kind::kSlowdown,
+                        QueueRef{QueueRef::kGpu, 0}, Seconds{0.0}, 50.0});
+  SimConfig config;
+  config.closed_clients = 16;
+  config.fault = &fault;
+  const SimResult r = run_simulation(*policy, queries, config);
+  EXPECT_EQ(r.completed + r.rejected, queries.size());
+  const PartitionCounters& gpu0 =
+      r.partitions[r.partitions.size() - static_cast<std::size_t>(
+                       policy->gpu_queue_count())];
+  EXPECT_EQ(gpu0.name, "gpu0");
+  // Degraded, not failed: the partition kept completing, only slowly.
+  EXPECT_EQ(gpu0.health, "degraded");
+  EXPECT_EQ(r.partition_faults, 0u);
+}
+
+TEST(Chaos, CpuCrashFailsOverToTheGpuSide) {
+  const PaperScenario s{chaos_options()};
+  const auto queries = s.make_workload(300);
+  auto policy = s.make_policy();
+  FaultInjector fault;
+  fault.schedule_fault({TimedFault::Kind::kCrash, FaultInjector::cpu_ref(),
+                        Seconds{0.1}, 1.0});
+  SimConfig config = burst_config();
+  config.fault = &fault;
+  const SimResult r = run_simulation(*policy, queries, config);
+  EXPECT_EQ(r.completed + r.rejected + r.shed_at_admission +
+                r.exhausted_retries,
+            queries.size());
+  EXPECT_GT(r.partition_faults, 0u);
+  EXPECT_EQ(r.partitions[0].name, "cpu");
+  EXPECT_GT(r.partitions[0].failed, 0u);
+  // With no recovery event the CPU stays out of service (failed) or is
+  // probing via the breaker cool-down (recovering) at run end.
+  EXPECT_NE(r.partitions[0].health, "healthy");
+}
+
+TEST(Chaos, FaultToleranceDisabledStillResolvesEveryQueryTyped) {
+  // The same crash with fault tolerance off: no monitor, no retries —
+  // affected queries resolve kExhaustedRetries on their first failure.
+  ScenarioOptions opts;  // fault_tolerance.enabled = false
+  const PaperScenario s{opts};
+  const auto queries = s.make_workload(300);
+  auto policy = s.make_policy();
+  ASSERT_EQ(policy->health_monitor(), nullptr);
+  FaultInjector fault;
+  fault.schedule_fault({TimedFault::Kind::kCrash,
+                        QueueRef{QueueRef::kGpu, 4}, Seconds{1.4}, 1.0});
+  SimConfig config = burst_config();
+  config.fault = &fault;
+  const SimResult r = run_simulation(*policy, queries, config);
+  EXPECT_EQ(r.completed + r.rejected + r.shed_at_admission +
+                r.exhausted_retries,
+            queries.size());
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.failed_over, 0u);
+  if (r.partition_faults > 0) {
+    EXPECT_GT(r.exhausted_retries, 0u);
+  }
+}
+
+TEST(Chaos, NoFaultRunsAreUnchangedByTheFaultTolerancePlumbing) {
+  // FT enabled but no fault events: bit-identical to the FT-disabled run
+  // (the monitor only observes; multipliers stay 1).
+  const auto queries = PaperScenario{ScenarioOptions{}}.make_workload(200);
+  SimConfig config;
+  config.closed_clients = 8;
+  const PaperScenario plain{ScenarioOptions{}};
+  const PaperScenario tolerant{chaos_options()};
+  auto p1 = plain.make_policy();
+  auto p2 = tolerant.make_policy();
+  const SimResult a = run_simulation(*p1, queries, config);
+  const SimResult b = run_simulation(*p2, queries, config);
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.met_deadline, b.met_deadline);
+  EXPECT_EQ(a.cpu_queries, b.cpu_queries);
+  EXPECT_EQ(b.partition_faults, 0u);
+  EXPECT_EQ(b.failed_over, 0u);
+}
+
+}  // namespace
+}  // namespace holap

@@ -213,7 +213,8 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
                     "bound the loop on an attempt counter (e.g. "
                     "`attempt < policy.max_attempts`)")
 
-        if "clock-ledger" in rules and cursor.kind == ck.BINARY_OPERATOR \
+        if ("clock-ledger" in rules or "batch-ledger" in rules) \
+                and cursor.kind == ck.BINARY_OPERATOR \
                 and want(rel, "src/"):
             toks = [t.spelling for t in cursor.get_tokens()]
             if any(op in toks for op in ("=", "+=", "-=")):
@@ -224,11 +225,12 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
                     member = current_member[0] if current_member else None
                     if rel != rules_ast.SCHEDULER_FILE or \
                             member not in rules_ast.BLESSED:
-                        add("clock-ledger", rel, cursor.location.line,
-                            "queue clock mutated outside the blessed "
-                            f"{rules_ast.SCHEDULER_CLASS} members",
-                            "route the update through schedule()/on_*() "
-                            "feedback")
+                        if "clock-ledger" in rules:
+                            add("clock-ledger", rel, cursor.location.line,
+                                "queue clock mutated outside the blessed "
+                                f"{rules_ast.SCHEDULER_CLASS} members",
+                                "route the update through schedule()/on_*() "
+                                "feedback")
                     elif member is not None:
                         for m in hit:
                             fams = rules_ast.CLOCK_FOR_FAMILIES \
@@ -238,10 +240,20 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
                                 mutated_members.setdefault(
                                     member, set()).add(fam)
 
+        if "batch-ledger" in rules and cursor.kind in (
+                ck.CALL_EXPR, ck.MEMBER_REF_EXPR) and \
+                want(rel, "src/olap/", "examples/"):
+            if cursor.spelling == rules_ast.BATCH_COMMIT_MEMBER:
+                batch_callers.setdefault(rel, cursor.location.line)
+            elif cursor.spelling == rules_ast.BATCH_ROLLBACK_MEMBER:
+                batch_rollers.add(rel)
+
         for child in cursor.get_children():
             visit(child, mutated_members, current_member)
 
     mutated: dict[str, set[str]] = {}
+    batch_callers: dict[str, int] = {}  # rel -> first schedule_batch line
+    batch_rollers: set[str] = set()     # rels referencing rollback_batch
     parsed = 0
     for path, args in args_by_file.items():
         if not path.endswith(".cpp") or "/src/" not in path.replace(
@@ -270,5 +282,28 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
                 f"({', '.join(rules_ast.ROLLBACK_MEMBERS)}) ever rolls it "
                 "back — a shed query would inflate the clock forever",
                 "subtract the committed estimate in on_shed()")
+
+    if "batch-ledger" in rules:
+        committed = mutated.get(rules_ast.BATCH_COMMIT_MEMBER, set())
+        rolled = mutated.get(rules_ast.BATCH_ROLLBACK_MEMBER, set())
+        for fam in sorted(committed - rolled):
+            add("batch-ledger", rules_ast.SCHEDULER_FILE, 1,
+                f"{rules_ast.BATCH_COMMIT_MEMBER}() commits the {fam} "
+                f"clock for a whole batch but "
+                f"{rules_ast.BATCH_ROLLBACK_MEMBER}() never subtracts it "
+                "— an unroutable batch would inflate the clock forever",
+                f"subtract the recorded {fam} delta in "
+                f"{rules_ast.BATCH_ROLLBACK_MEMBER}()")
+        for rel, line in sorted(batch_callers.items()):
+            if rel in batch_rollers:
+                continue
+            add("batch-ledger", rel, line,
+                f"{rules_ast.BATCH_COMMIT_MEMBER}() is called here but no "
+                f"{rules_ast.BATCH_ROLLBACK_MEMBER}() path is visible in "
+                "this file — a batch the executor cannot run has no "
+                "batch-granular undo",
+                f"roll unroutable batches back with "
+                f"{rules_ast.BATCH_ROLLBACK_MEMBER}() (or shed per query "
+                "through on_shed and say so here)")
 
     return findings

@@ -7,6 +7,11 @@ DESIGN.md, "Invariants as machine-checked rules"):
                     mutate the queue-clock ledger, and every clock family
                     schedule() commits must be rolled back or corrected
                     by on_shed()/on_completed()/on_translation_completed().
+  batch-ledger      Batched admission pairing: every clock family
+                    schedule_batch() commits must be subtracted by
+                    rollback_batch(), and serving-path call sites of
+                    schedule_batch() must keep the whole-batch rollback
+                    visible in the same file.
   enum-exhaustive   No `default:` labels; a switch over a scoped enum
                     must name every enumerator.
   bounded-queue     The serving path (src/olap, examples/) never
@@ -84,14 +89,25 @@ CLOCK_FOR_FAMILIES = ("cpu", "gpu")
 
 SCHEDULER_FILE = "src/sched/scheduler.cpp"
 SCHEDULER_CLASS = "QueueingScheduler"
-# The only members allowed to mutate the ledger. schedule() is the
-# committer; the three feedback hooks roll back or correct; clock_for is
-# the accessor; the constructor sizes the vectors.
+# The only members allowed to mutate the ledger. schedule() and
+# schedule_batch() are the committers; the three feedback hooks and
+# rollback_batch() roll back or correct; clock_for is the accessor; the
+# constructor sizes the vectors.
 BLESSED = {
-    "QueueingScheduler", "schedule", "on_completed", "on_shed",
-    "on_translation_completed", "clock_for",
+    "QueueingScheduler", "schedule", "schedule_batch", "on_completed",
+    "on_shed", "on_translation_completed", "rollback_batch", "clock_for",
 }
 ROLLBACK_MEMBERS = ("on_shed", "on_completed", "on_translation_completed")
+# Batched admission (batch-ledger rule): schedule_batch() commits a whole
+# batch's clock time in one ledger write, so it needs its own
+# batch-granular inverse — per-query on_shed() cannot undo a commit it
+# never saw the per-query pieces of.
+BATCH_COMMIT_MEMBER = "schedule_batch"
+BATCH_ROLLBACK_MEMBER = "rollback_batch"
+# Serving-path scopes where a schedule_batch() call site must keep its
+# whole-batch rollback visible (mirrors the bounded-queue scopes; the
+# simulation plane sheds through its own modeled path).
+_BATCH_CALLER_SCOPES = ("src/olap", "examples")
 
 _MUTATING_OPS = ("=", "+=", "-=")
 
@@ -202,6 +218,72 @@ def check_clock_ledger(ctx: Context) -> list[Finding]:
                 "— a shed query would inflate the clock forever",
                 text=scheduler.line_text(line),
                 fix=f"subtract the committed estimate in on_shed()"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# batch-ledger
+
+
+def check_batch_ledger(ctx: Context) -> list[Finding]:
+    out: list[Finding] = []
+    scheduler = None
+    for rel, sf in ctx.files("src"):
+        if rel == SCHEDULER_FILE:
+            scheduler = sf
+            break
+
+    # Inside the scheduler: every clock family the batch committer writes
+    # must be written by the batch rollback too, or a batch that dies
+    # between admission and routing leaves its whole load on the ledger.
+    if scheduler is not None:
+        extents = member_extents(scheduler, SCHEDULER_CLASS)
+
+        def owner(off: int) -> str | None:
+            for e in extents:
+                if e.start <= off <= e.end:
+                    return e.name
+            return None
+
+        committed: dict[str, int] = {}
+        rolled_back: set[str] = set()
+        for off, family, op in _ledger_mutations(scheduler.stripped):
+            member = owner(off)
+            if member == BATCH_COMMIT_MEMBER:
+                committed.setdefault(family, off)
+            elif member == BATCH_ROLLBACK_MEMBER:
+                rolled_back.add(family)
+        for family, off in sorted(committed.items(), key=lambda kv: kv[1]):
+            if family not in rolled_back:
+                line = scheduler.line_of(off)
+                out.append(Finding(
+                    "batch-ledger", SCHEDULER_FILE, line,
+                    f"{BATCH_COMMIT_MEMBER}() commits the {family} clock "
+                    f"for a whole batch but {BATCH_ROLLBACK_MEMBER}() never "
+                    "subtracts it — an unroutable batch would inflate the "
+                    "clock forever",
+                    text=scheduler.line_text(line),
+                    fix=f"subtract the recorded {family} delta in "
+                        f"{BATCH_ROLLBACK_MEMBER}()"))
+
+    # At the call sites: serving-path code that admits a batch must keep
+    # the whole-batch rollback visibly reachable in the same file.
+    for rel, sf in ctx.files(*_BATCH_CALLER_SCOPES):
+        call = re.search(rf"[.>]\s*{BATCH_COMMIT_MEMBER}\s*\(", sf.stripped)
+        if call is None:
+            continue
+        if re.search(rf"\b{BATCH_ROLLBACK_MEMBER}\b", sf.stripped):
+            continue
+        line = sf.line_of(call.start())
+        out.append(Finding(
+            "batch-ledger", rel, line,
+            f"{BATCH_COMMIT_MEMBER}() is called here but no "
+            f"{BATCH_ROLLBACK_MEMBER}() path is visible in this file — "
+            "a batch the executor cannot run has no batch-granular undo",
+            text=sf.line_text(line),
+            fix=f"roll unroutable batches back with "
+                f"{BATCH_ROLLBACK_MEMBER}() (or shed per query through "
+                "on_shed and say so here)"))
     return out
 
 
@@ -425,6 +507,7 @@ def check_retry_bound(ctx: Context) -> list[Finding]:
 
 AST_RULES = {
     "clock-ledger": check_clock_ledger,
+    "batch-ledger": check_batch_ledger,
     "enum-exhaustive": check_enum_exhaustive,
     "bounded-queue": check_bounded_queue,
     "unit-escape": check_unit_escape,

@@ -117,18 +117,27 @@ class BlockingQueue {
     return item;
   }
 
-  /// Timed pop for drain diagnostics: wait at most `timeout`. nullopt
-  /// means timeout, or closed-and-drained (distinguish via closed()).
+  /// Timed pop: wait at most `timeout` for an item. nullopt means
+  /// timeout, or closed-and-drained (distinguish via closed(): a closed
+  /// queue hands out its buffered items first, so nullopt from a closed
+  /// queue ALWAYS means empty). close() wakes parked callers immediately
+  /// — a consumer never waits out its timeout against a dead queue.
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::optional<T> item;
     {
       MutexLock lock(mutex_);
-      while (!closed_ && items_.empty()) {
-        if (ready_.wait_until(mutex_, deadline) == std::cv_status::timeout &&
-            !closed_ && items_.empty()) {
-          return std::nullopt;
+      while (items_.empty()) {
+        // Check closed BEFORE waiting: close() may have landed between
+        // this call and the wake it notified, and drain-then-nullopt must
+        // hold regardless of who observes the close first.
+        if (closed_) break;
+        if (ready_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
+          // The timeout verdict only stands if the queue is STILL open
+          // and empty: a push() or close() that raced the wake-up beat
+          // the deadline under this mutex, so it wins.
+          if (!closed_ && items_.empty()) return std::nullopt;
         }
       }
       item = take_locked();

@@ -1,0 +1,110 @@
+// Ingestion front-end observability: what the sharded, batch-aggregated
+// intake actually did.
+//
+// The front-end's whole claim is that aggregation amortises admission and
+// translation; these counters make the claim observable per run: how many
+// requests flushed alone (immediate) versus inside a real batch
+// (aggregated), WHY each flush happened (capacity, timeout, close), the
+// batch-size distribution, and per-shard intake gauges (accepted,
+// displaced, bounced, depth high-water marks). One snapshot type, plain
+// data — the front-end serialises updates behind its own mutex.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace holap {
+
+/// Distribution of flushed batch sizes. Linear buckets 1..kTracked, with
+/// one overflow bucket for larger batches — batch capacity is a small
+/// config value, so linear resolution over the interesting range beats
+/// the log-bucketing the latency histogram needs.
+class BatchSizeHistogram {
+ public:
+  static constexpr std::size_t kTracked = 64;
+
+  void add(std::size_t batch_size) {
+    ++total_batches_;
+    total_queries_ += batch_size;
+    max_size_ = std::max(max_size_, batch_size);
+    if (batch_size >= 1 && batch_size <= kTracked) {
+      ++buckets_[batch_size - 1];
+    } else if (batch_size > kTracked) {
+      ++overflow_;
+    }
+  }
+
+  void merge(const BatchSizeHistogram& other) {
+    for (std::size_t i = 0; i < kTracked; ++i) buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    total_batches_ += other.total_batches_;
+    total_queries_ += other.total_queries_;
+    max_size_ = std::max(max_size_, other.max_size_);
+  }
+
+  /// Batches of exactly `size` (1-based; size > kTracked is pooled).
+  std::size_t count(std::size_t size) const {
+    if (size >= 1 && size <= kTracked) return buckets_[size - 1];
+    return size > kTracked ? overflow_ : 0;
+  }
+  std::size_t batches() const { return total_batches_; }
+  std::size_t queries() const { return total_queries_; }
+  std::size_t max_size() const { return max_size_; }
+  /// Queries per flush (0 when nothing flushed) — the amortisation factor.
+  double mean_size() const {
+    return total_batches_ == 0
+               ? 0.0
+               : static_cast<double>(total_queries_) /
+                     static_cast<double>(total_batches_);
+  }
+
+ private:
+  std::array<std::size_t, kTracked> buckets_{};
+  std::size_t overflow_ = 0;
+  std::size_t total_batches_ = 0;
+  std::size_t total_queries_ = 0;
+  std::size_t max_size_ = 0;
+};
+
+/// Intake gauges of one admission shard.
+struct IngestShardCounters {
+  std::string name;            ///< "shard0", "shard1"…
+  std::size_t enqueued = 0;    ///< requests accepted into the shard queue
+  std::size_t displaced = 0;   ///< queued requests evicted by an arrival
+  std::size_t bounced = 0;     ///< arrivals turned away at a full shard
+  std::size_t depth = 0;       ///< currently queued (gauge)
+  std::size_t max_depth = 0;   ///< high-water mark of `depth`
+
+  void on_enqueue() {
+    ++enqueued;
+    ++depth;
+    max_depth = std::max(max_depth, depth);
+  }
+  void on_dequeue() {
+    if (depth > 0) --depth;
+  }
+  void on_displaced() {
+    ++displaced;
+    if (depth > 0) --depth;
+  }
+};
+
+/// One snapshot of the front-end's counters.
+struct IngestStats {
+  std::size_t submitted = 0;   ///< requests handed to submit()
+  /// Requests that flushed ALONE — a batch of one buys no amortisation,
+  /// so the immediate/aggregated split is the front-end's honesty gauge.
+  std::size_t immediate = 0;
+  std::size_t aggregated = 0;  ///< requests that flushed in a batch >= 2
+  std::size_t flushes = 0;
+  std::size_t flush_by_capacity = 0;  ///< batch filled to capacity
+  std::size_t flush_by_timeout = 0;   ///< partial batch aged out
+  std::size_t flush_on_close = 0;     ///< shutdown drained a partial batch
+  BatchSizeHistogram batch_sizes;
+  std::vector<IngestShardCounters> shards;
+};
+
+}  // namespace holap

@@ -233,6 +233,180 @@ std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
   return future;
 }
 
+std::vector<std::future<ExecutionReport>> AsyncHybridExecutor::submit_batch(
+    std::vector<Query> batch) {
+  HOLAP_REQUIRE(!down_.load(), "executor is shut down");
+  std::vector<std::future<ExecutionReport>> futures;
+  futures.reserve(batch.size());
+  std::vector<IngestRequest> requests;
+  requests.reserve(batch.size());
+  for (Query& q : batch) {
+    IngestRequest request;
+    request.query = std::move(q);
+    futures.push_back(request.promise.get_future());
+    requests.push_back(std::move(request));
+  }
+  admit(std::move(requests));
+  return futures;
+}
+
+void AsyncHybridExecutor::admit(std::vector<IngestRequest> batch) {
+  if (batch.empty()) return;
+  // Peel the queries into a contiguous vector for schedule_batch's span; a
+  // malformed query resolves typed right here instead of poisoning the
+  // batch (the front-end path has no caller to throw to).
+  std::vector<Job> jobs;
+  jobs.reserve(batch.size());
+  std::vector<Query> queries;
+  queries.reserve(batch.size());
+  for (IngestRequest& request : batch) {
+    try {
+      validate_query(request.query, system_->schema().dimensions(),
+                     system_->schema());
+    } catch (const std::exception&) {
+      ExecutionReport report;
+      report.outcome = ExecutionOutcome::kRejected;
+      report.rejected = true;
+      request.promise.set_value(std::move(report));
+      continue;
+    }
+    Job job;
+    job.promise = std::move(request.promise);
+    jobs.push_back(std::move(job));
+    queries.push_back(std::move(request.query));
+  }
+  if (jobs.empty()) return;
+
+  const std::uint64_t first_id =
+      next_id_.fetch_add(static_cast<std::uint64_t>(jobs.size()));
+  // The whole point: N queries cross the scheduler mutex ONCE, and the
+  // Figure-10 decision runs over the staged clocks with ONE ledger commit
+  // — decision-equivalent to N serial schedule() calls in order.
+  BatchPlacement placed;
+  Seconds now{};
+  {
+    MutexLock lock(scheduler_mutex_);
+    now = clock_.elapsed();
+    placed = scheduler_locked().schedule_batch(queries, now, first_id);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].query = std::move(queries[i]);
+    jobs[i].placement = placed.placements[i];
+    jobs[i].id = first_id + i;
+    jobs[i].submitted_at = now;
+    jobs[i].stage_enqueued_at = now;
+  }
+
+  // Admission-shed and rejected placements never committed clocks; they
+  // resolve typed immediately, exactly as the serial path does.
+  std::vector<Job> admitted;
+  admitted.reserve(jobs.size());
+  for (Job& job : jobs) {
+    if (job.placement.shed_at_admission) {
+      ++shed_;
+      ExecutionReport report;
+      report.outcome = ExecutionOutcome::kShedAtAdmission;
+      report.queue = job.placement.queue;
+      report.estimated_processing = job.placement.processing_est;
+      job.promise.set_value(std::move(report));
+      continue;
+    }
+    if (job.placement.rejected) {
+      ExecutionReport report;
+      report.outcome = ExecutionOutcome::kRejected;
+      report.rejected = true;
+      job.promise.set_value(std::move(report));
+      continue;
+    }
+    admitted.push_back(std::move(job));
+  }
+  if (admitted.empty()) return;
+
+  if (FaultInjector* fault = fault_.load()) {
+    // The shutdown-race window: after the batch committed, before routing.
+    fault->run_submit_hook();
+  }
+  if (down_.load()) {
+    // Shutdown raced the whole batch: return its clocks in ONE motion —
+    // rollback_batch subtracts exactly what schedule_batch committed (the
+    // admitted placements; shed/rejected never committed) — and resolve
+    // every admitted promise typed. No per-job on_shed here: that would
+    // subtract the same load twice.
+    {
+      MutexLock lock(scheduler_mutex_);
+      scheduler_locked().rollback_batch(placed);
+    }
+    for (Job& job : admitted) {
+      ExecutionReport report;
+      report.outcome = ExecutionOutcome::kFailed;
+      report.queue = job.placement.queue;
+      report.estimated_processing = job.placement.processing_est;
+      report.before_deadline_estimate = job.placement.before_deadline;
+      job.promise.set_value(std::move(report));
+    }
+    return;
+  }
+
+  // Amortised translation: ONE dictionary pass per distinct text column
+  // across the whole batch (BatchTranslator::translate_all), instead of
+  // one trip through the translation partition per query. GPU-bound
+  // `translate` placements pay the translation clock schedule_batch
+  // committed and post §III-G feedback as an aggregate; CPU-bound text
+  // queries pick up their codes in the same pass, turning the cpu
+  // worker's inline fallback into a no-op.
+  std::vector<Query*> to_translate;
+  std::vector<std::size_t> charged;  // admitted[i] with placement.translate
+  Seconds estimated_total{};
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    Job& job = admitted[i];
+    if (!job.query.needs_translation()) continue;
+    to_translate.push_back(&job.query);
+    if (job.placement.translate && !job.translated) {
+      charged.push_back(i);
+      estimated_total += job.placement.translation_est;
+    }
+  }
+  if (!to_translate.empty()) {
+    const Seconds trans_start = clock_.elapsed();
+    WallTimer timer;
+    system_->translate_batch(to_translate);
+    const Seconds took = timer.elapsed();
+    const Seconds trans_end = clock_.elapsed();
+    if (!charged.empty()) {
+      {
+        // One aggregate measured-vs-estimated correction for the batch,
+        // mirroring the per-job feedback of the translation worker.
+        MutexLock lock(scheduler_mutex_);
+        scheduler_locked().on_translation_completed(estimated_total, took);
+      }
+      {
+        MutexLock lock(counters_mutex_);
+        counters_[1].on_enqueue();
+        counters_[1].on_complete(took);
+      }
+      for (const std::size_t i : charged) {
+        Job& job = admitted[i];
+        record_span(job.id, SpanKind::kTranslate, trans_start, trans_end,
+                    job.placement.queue, job.placement.response_est,
+                    Seconds{}, Seconds{});
+        // Reports carry this job's measured share of the batch pass,
+        // proportional to its estimate (even split when estimates are 0).
+        const double share =
+            estimated_total > Seconds{}
+                ? job.placement.translation_est / estimated_total
+                : 1.0 / static_cast<double>(charged.size());
+        job.placement.translation_est = took * share;
+        job.translated = true;
+        job.stage_enqueued_at = trans_end;
+      }
+    }
+  }
+
+  // Translated jobs route straight to their GPU partitions; the serial
+  // translation-worker hop is not needed on this path.
+  for (Job& job : admitted) route(std::move(job));
+}
+
 void AsyncHybridExecutor::route(Job job) {
   if (job.placement.queue.kind == QueueRef::kCpu) {
     enqueue(cpu_queue_, std::move(job), 0);

@@ -34,6 +34,7 @@
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "olap/hybrid_system.hpp"
+#include "olap/ingest.hpp"
 #include "sim/fault_injector.hpp"
 
 namespace holap {
@@ -53,7 +54,7 @@ struct AsyncExecutorConfig {
   OverflowPolicy overflow = OverflowPolicy::kRejectNewest;
 };
 
-class AsyncHybridExecutor {
+class AsyncHybridExecutor : public BatchAdmitter {
  public:
   /// Spawns the worker threads over `system`'s components. The system
   /// must outlive the executor. The executor drives `system`'s scheduler
@@ -73,6 +74,23 @@ class AsyncHybridExecutor {
   /// shutdown resolves kFailed rather than abandoning the promise).
   /// Throws after shutdown() has been observed.
   std::future<ExecutionReport> submit(Query q);
+
+  /// Batched admission: schedule ALL of `batch` under one scheduler-mutex
+  /// acquisition and one clock-ledger commit (SchedulerPolicy::
+  /// schedule_batch), batch-translate the text parameters with one
+  /// dictionary pass per distinct column across the batch, then route
+  /// each admitted job to its partition queue. Decision-equivalent to
+  /// submitting the queries one by one in order; the amortisation is the
+  /// point. Throws after shutdown() has been observed.
+  std::vector<std::future<ExecutionReport>> submit_batch(
+      std::vector<Query> batch);
+
+  /// BatchAdmitter hook for ShardedIngestFrontEnd: same batched admission
+  /// over pre-built requests. EVERY promise resolves typed — a batch that
+  /// observes shutdown after scheduling is rolled back as one unit
+  /// (rollback_batch) and resolved kFailed. Safe to call concurrently
+  /// from multiple aggregator shards.
+  void admit(std::vector<IngestRequest> batch) override;
 
   /// Stop accepting work, finish everything in flight, join workers.
   /// Idempotent; also runs on destruction.

@@ -185,6 +185,11 @@ TranslationReport HybridOlapSystem::translate(Query& q) const {
   return translator_.translate(q);
 }
 
+TranslationReport HybridOlapSystem::translate_batch(
+    std::span<Query* const> batch) const {
+  return batch_translator_.translate_all(batch);
+}
+
 QueryAnswer HybridOlapSystem::answer_on_cpu(Query q) const {
   if (q.needs_translation()) translate(q);
   return cubes_.answer(q, config_.cpu_threads);

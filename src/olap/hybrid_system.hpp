@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "common/timer.hpp"
 #include "gpusim/gpu_device.hpp"
@@ -23,6 +24,24 @@
 #include "sched/baselines.hpp"
 
 namespace holap {
+
+/// Sharded, batch-aggregated ingestion front-end (olap/ingest.hpp):
+/// per-source admission shards aggregate small requests into batches that
+/// flush by capacity or timeout, so the scheduler decides — and the batch
+/// translator amortises — whole batches instead of single queries.
+struct IngestConfig {
+  /// Admission shards (per-source MPMC queues); each owns one aggregator.
+  int shards = 4;
+  /// Flush a shard's batch as soon as it holds this many requests.
+  std::size_t batch_capacity = 16;
+  /// Flush a partial batch this long after its FIRST request arrived, so
+  /// a trickle never waits for a full batch.
+  Seconds flush_timeout{0.002};
+  /// Bound of each shard's intake queue; an arrival at a full shard
+  /// displaces the queued request closest to its deadline (or sheds
+  /// itself when it is the least feasible) — always typed, never blocked.
+  std::size_t shard_queue_capacity = 256;
+};
 
 struct HybridSystemConfig {
   /// OpenMP threads of the CPU processing partition (0 = sequential).
@@ -65,6 +84,10 @@ struct HybridSystemConfig {
   /// complete) into the system's TraceRecorder, timestamped on the
   /// system's wall clock.
   bool record_trace = false;
+  /// Batch-aggregated ingestion front-end defaults, consumed by
+  /// ShardedIngestFrontEnd (olap/ingest.hpp). The synchronous execute()
+  /// path ignores it.
+  IngestConfig ingest{};
 };
 
 /// How one submission ended. Every submitted query resolves to exactly
@@ -116,6 +139,12 @@ class HybridOlapSystem {
   /// Translate `q`'s text parameters in place with the configured
   /// algorithm. Thread-safe (dictionaries are immutable after build).
   TranslationReport translate(Query& q) const;
+
+  /// Translate a whole batch's text parameters in place, amortised: one
+  /// dictionary pass per distinct text column ACROSS the batch
+  /// (BatchTranslator::translate_all), regardless of the configured
+  /// per-query algorithm. Thread-safe; null entries are skipped.
+  TranslationReport translate_batch(std::span<Query* const> batch) const;
 
   /// Reference answers for cross-checking (bypass the scheduler).
   QueryAnswer answer_on_cpu(Query q) const;  ///< cube engine; throws if no cube

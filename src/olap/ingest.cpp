@@ -1,0 +1,191 @@
+#include "olap/ingest.hpp"
+
+#include <chrono>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace holap {
+namespace {
+
+/// Displacement rank: the request nearest its deadline is worst. Every
+/// request shares the same T_C, so "nearest deadline" is simply "oldest
+/// accepted_at" — and queued items win ties (push_displacing requires a
+/// STRICTLY worse victim), so an arrival never displaces its own cohort.
+bool nearer_deadline(const IngestRequest& a, const IngestRequest& b) {
+  return a.accepted_at < b.accepted_at;
+}
+
+}  // namespace
+
+ShardedIngestFrontEnd::ShardedIngestFrontEnd(BatchAdmitter& admitter,
+                                             IngestConfig config)
+    : admitter_(&admitter), config_(config) {
+  HOLAP_REQUIRE(config_.shards > 0, "ingest front-end needs >= 1 shard");
+  HOLAP_REQUIRE(config_.batch_capacity > 0,
+                "ingest batch capacity must be >= 1");
+  stats_.shards.resize(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    stats_.shards[static_cast<std::size_t>(i)].name =
+        "shard" + std::to_string(i);
+    shards_.push_back(std::make_unique<BlockingQueue<IngestRequest>>(
+        config_.shard_queue_capacity));
+  }
+  for (int i = 0; i < config_.shards; ++i) {
+    aggregators_.emplace_back([this, i] { aggregator(i); });
+  }
+}
+
+ShardedIngestFrontEnd::~ShardedIngestFrontEnd() { shutdown(); }
+
+void ShardedIngestFrontEnd::shutdown() {
+  if (down_.exchange(true)) return;
+  // Closing wakes parked aggregators; BlockingQueue keeps handing out
+  // buffered items after close(), so each aggregator drains its shard and
+  // flushes whatever batch it was building before exiting.
+  for (auto& shard : shards_) shard->close();
+  for (auto& thread : aggregators_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void ShardedIngestFrontEnd::resolve_unadmitted(IngestRequest request,
+                                               ExecutionOutcome outcome) {
+  ExecutionReport report;
+  report.outcome = outcome;
+  request.promise.set_value(std::move(report));
+}
+
+std::future<ExecutionReport> ShardedIngestFrontEnd::submit(Query q) {
+  const auto shard = next_shard_.fetch_add(1) %
+                     static_cast<std::uint64_t>(shards_.size());
+  return submit(std::move(q), static_cast<int>(shard));
+}
+
+std::future<ExecutionReport> ShardedIngestFrontEnd::submit(Query q,
+                                                           int shard) {
+  HOLAP_REQUIRE(!down_.load(), "ingest front-end is shut down");
+  HOLAP_REQUIRE(shard >= 0 && shard < shard_count(),
+                "ingest shard index out of range");
+  IngestRequest request;
+  request.query = std::move(q);
+  request.accepted_at = clock_.elapsed();
+  std::future<ExecutionReport> future = request.promise.get_future();
+
+  // The push and its gauge update form ONE stats critical section: the
+  // aggregator decrements depth only after its own pop, under this same
+  // mutex, so the +1 for an item always lands before the -1 for popping
+  // it. (Lock order is stats -> queue here; the aggregator takes them
+  // strictly one at a time, so the pair can never deadlock.)
+  QueuePush result{};
+  std::optional<IngestRequest> ejected;
+  {
+    MutexLock lock(stats_mutex_);
+    std::tie(result, ejected) =
+        shards_[static_cast<std::size_t>(shard)]->push_displacing(
+            std::move(request), nearer_deadline);
+    IngestShardCounters& ctr = stats_.shards[static_cast<std::size_t>(shard)];
+    ++stats_.submitted;
+    switch (result) {
+      case QueuePush::kAccepted:
+        // Eviction precedes insertion inside push_displacing, so the
+        // gauge follows the same order and never reads above the true
+        // occupancy.
+        if (ejected.has_value()) ctr.on_displaced();
+        ctr.on_enqueue();
+        break;
+      case QueuePush::kFull:
+        // The arrival itself was the least feasible; it bounces.
+        ++ctr.bounced;
+        break;
+      case QueuePush::kClosed:
+        break;
+    }
+  }
+  if (ejected.has_value()) {
+    // Displaced queued request or bounced arrival: shed at the intake
+    // door, before the scheduler ever saw it — nothing to roll back.
+    resolve_unadmitted(std::move(*ejected),
+                       result == QueuePush::kClosed
+                           ? ExecutionOutcome::kFailed
+                           : ExecutionOutcome::kShedAtAdmission);
+  }
+  return future;
+}
+
+void ShardedIngestFrontEnd::aggregator(int shard) {
+  BlockingQueue<IngestRequest>& queue =
+      *shards_[static_cast<std::size_t>(shard)];
+  const auto drop_depth = [&] {
+    MutexLock lock(stats_mutex_);
+    stats_.shards[static_cast<std::size_t>(shard)].on_dequeue();
+  };
+  for (;;) {
+    // Block (indefinitely) for the request that OPENS a batch; the flush
+    // timer starts from its arrival, not from the previous flush.
+    std::optional<IngestRequest> first = queue.pop();
+    if (!first.has_value()) return;  // closed and fully drained
+    drop_depth();
+    std::vector<IngestRequest> batch;
+    batch.reserve(config_.batch_capacity);
+    batch.push_back(std::move(*first));
+
+    const Seconds deadline = clock_.elapsed() + config_.flush_timeout;
+    FlushReason reason = FlushReason::kCapacity;
+    while (batch.size() < config_.batch_capacity) {
+      const Seconds remaining = deadline - clock_.elapsed();
+      if (remaining <= Seconds{}) {
+        reason = FlushReason::kTimeout;
+        break;
+      }
+      std::optional<IngestRequest> next =
+          queue.pop_for(std::chrono::duration<double>(remaining.value()));
+      if (next.has_value()) {
+        drop_depth();
+        batch.push_back(std::move(*next));
+        continue;
+      }
+      // nullopt from pop_for is either a timeout or closed-and-drained;
+      // both flush the batch. Neither ends the aggregator here: only the
+      // outer pop() may exit, so a request racing a close() between this
+      // timeout and the closed() check is still drained next iteration
+      // (pop/pop_for on a closed queue hand out buffered items instantly).
+      reason = queue.closed() ? FlushReason::kClose : FlushReason::kTimeout;
+      break;
+    }
+    flush(std::move(batch), reason);
+  }
+}
+
+void ShardedIngestFrontEnd::flush(std::vector<IngestRequest> batch,
+                                  FlushReason reason) {
+  {
+    MutexLock lock(stats_mutex_);
+    ++stats_.flushes;
+    switch (reason) {
+      case FlushReason::kCapacity:
+        ++stats_.flush_by_capacity;
+        break;
+      case FlushReason::kTimeout:
+        ++stats_.flush_by_timeout;
+        break;
+      case FlushReason::kClose:
+        ++stats_.flush_on_close;
+        break;
+    }
+    stats_.batch_sizes.add(batch.size());
+    if (batch.size() == 1) {
+      ++stats_.immediate;
+    } else {
+      stats_.aggregated += batch.size();
+    }
+  }
+  admitter_->admit(std::move(batch));
+}
+
+IngestStats ShardedIngestFrontEnd::stats() const {
+  MutexLock lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace holap

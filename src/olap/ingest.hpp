@@ -1,0 +1,124 @@
+// Batch-aggregated sharded ingestion front-end — §III-A's "queries arrive
+// continuously" made a first-class intake stage.
+//
+// One scheduler decision per query means one scheduler-mutex acquisition
+// and one clock-ledger commit per query; under a many-producer arrival
+// storm that lock is the front door everyone queues at. The front-end
+// inverts the cost: producers enqueue into per-source admission shards
+// (bounded MPMC BlockingQueues — the arrival path never takes the
+// scheduler lock), and per-shard aggregator threads gather requests into
+// batches that flush when the batch fills (`batch_capacity`) or when its
+// FIRST request has waited `flush_timeout` — so a trickle pays one
+// timeout, never an unbounded wait. A flushed batch goes to a
+// BatchAdmitter (the async executor), which runs the Figure-10 choose()
+// decision over the whole batch under ONE lock acquisition and ONE
+// clock-ledger commit, and amortises text-to-integer translation with one
+// dictionary pass per distinct column across the batch.
+//
+// Overload discipline matches the executor's queues: a full shard
+// displaces the queued request nearest its deadline (oldest accepted_at —
+// every request shares T_C, so the oldest has the least slack left), or
+// turns the arrival away when IT is the least feasible. Either way the
+// victim's promise resolves typed (kShedAtAdmission) immediately.
+//
+// Shutdown closes every shard, and each aggregator drains its queue —
+// BlockingQueue hands out buffered items after close() — then flushes the
+// partial batch it was building. No request is ever dropped untyped: it
+// either reaches admit() (whose contract is to resolve every promise) or
+// is resolved right here.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+#include "common/mutex.hpp"
+#include "common/timer.hpp"
+#include "obs/ingest_counters.hpp"
+#include "olap/hybrid_system.hpp"
+
+namespace holap {
+
+/// One in-flight submission travelling shard → batch → admit().
+struct IngestRequest {
+  Query query;
+  std::promise<ExecutionReport> promise;
+  Seconds accepted_at{};  ///< front-end clock at submit(); displacement rank
+};
+
+/// Consumer of flushed batches (AsyncHybridExecutor implements this).
+///
+/// Contract: admit() resolves EVERY request's promise with a typed
+/// ExecutionOutcome — scheduled work runs or sheds through the executor's
+/// own rollback paths; a batch caught by shutdown rolls back as one unit
+/// and resolves kFailed. A promise must never be abandoned.
+class BatchAdmitter {
+ public:
+  virtual ~BatchAdmitter() = default;
+  virtual void admit(std::vector<IngestRequest> batch) = 0;
+};
+
+class ShardedIngestFrontEnd {
+ public:
+  /// Spawns one aggregator thread per shard. `admitter` must outlive the
+  /// front-end (or its shutdown()).
+  explicit ShardedIngestFrontEnd(BatchAdmitter& admitter,
+                                 IngestConfig config = {});
+
+  /// Shuts down: drains shards, flushes partial batches, joins.
+  ~ShardedIngestFrontEnd();
+
+  ShardedIngestFrontEnd(const ShardedIngestFrontEnd&) = delete;
+  ShardedIngestFrontEnd& operator=(const ShardedIngestFrontEnd&) = delete;
+
+  /// Enqueue `q` on a round-robin shard. Non-blocking; the future always
+  /// resolves with a typed outcome (a full shard sheds, typed, here).
+  /// Throws after shutdown() has been observed.
+  std::future<ExecutionReport> submit(Query q);
+
+  /// Enqueue on a specific source shard (per-source affinity keeps one
+  /// chatty producer's overload from displacing everyone else's work).
+  std::future<ExecutionReport> submit(Query q, int shard);
+
+  /// Stop intake, drain every shard, flush partial batches, join the
+  /// aggregators. Idempotent; also runs on destruction. The admitter may
+  /// still receive flushes while this drains.
+  void shutdown();
+
+  /// Counter snapshot (consistent under the stats mutex).
+  IngestStats stats() const;
+
+  const IngestConfig& config() const { return config_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  enum class FlushReason : std::uint8_t { kCapacity, kTimeout, kClose };
+
+  void aggregator(int shard);
+
+  /// Account the flush and hand the batch to the admitter (outside the
+  /// stats lock — admit() does real scheduling work).
+  void flush(std::vector<IngestRequest> batch, FlushReason reason);
+
+  /// Resolve a request the front-end itself turned away (displacement,
+  /// full shard, closed shard) — typed, immediately.
+  static void resolve_unadmitted(IngestRequest request,
+                                 ExecutionOutcome outcome);
+
+  BatchAdmitter* admitter_;
+  IngestConfig config_;
+  WallTimer clock_;
+  std::atomic<bool> down_{false};
+  std::atomic<std::uint64_t> next_shard_{0};
+
+  mutable Mutex stats_mutex_;
+  IngestStats stats_ HOLAP_GUARDED_BY(stats_mutex_);
+
+  std::vector<std::unique_ptr<BlockingQueue<IngestRequest>>> shards_;
+  std::vector<std::thread> aggregators_;
+};
+
+}  // namespace holap

@@ -10,28 +10,38 @@ BatchTranslator::BatchTranslator(const TableSchema& schema,
                                  const DictionarySet& dicts)
     : schema_(&schema), dicts_(&dicts) {}
 
-TranslationReport BatchTranslator::translate(Query& q) const {
-  TranslationReport report;
+namespace {
 
-  // Group the untranslated parameters by fact-table column.
-  struct Slot {
-    Condition* condition;
-    std::size_t value_index;
-  };
-  std::map<int, std::vector<Slot>> by_column;
+/// One untranslated text parameter, addressed into its owning condition.
+struct Slot {
+  Condition* condition;
+  std::size_t value_index;
+};
+
+}  // namespace
+
+/// Collect `q`'s untranslated parameters into `by_column`, resetting
+/// their codes to -1 (absent until a dictionary pass proves otherwise).
+static void collect_slots(const TableSchema& schema, Query& q,
+                          std::map<int, std::vector<Slot>>& by_column) {
   for (auto& c : q.conditions) {
     if (!c.needs_translation()) continue;
-    const int col = schema_->dimension_column(c.dim, c.level);
+    const int col = schema.dimension_column(c.dim, c.level);
     HOLAP_REQUIRE(
-        schema_->column(col).encoding == ValueEncoding::kDictEncodedText,
+        schema.column(col).encoding == ValueEncoding::kDictEncodedText,
         "text parameters on a non-text column");
     c.codes.assign(c.text_values.size(), -1);
     for (std::size_t v = 0; v < c.text_values.size(); ++v) {
       by_column[col].push_back({&c, v});
     }
   }
+}
 
-  // One automaton + one dictionary pass per column.
+/// The shared engine: per column, an automaton over every collected
+/// parameter and one streaming pass of that column's dictionary.
+static void run_column_passes(const DictionarySet& dicts,
+                              std::map<int, std::vector<Slot>>& by_column,
+                              TranslationReport& report) {
   for (auto& [col, slots] : by_column) {
     std::vector<std::string_view> patterns;
     patterns.reserve(slots.size());
@@ -39,7 +49,7 @@ TranslationReport BatchTranslator::translate(Query& q) const {
       patterns.push_back(slot.condition->text_values[slot.value_index]);
     }
     const AhoCorasick automaton(patterns);
-    const Dictionary& dict = dicts_->for_column(col);
+    const Dictionary& dict = dicts.for_column(col);
     std::vector<std::size_t> hits;
     for (std::int32_t code = 0;
          code < static_cast<std::int32_t>(dict.size()); ++code) {
@@ -56,6 +66,29 @@ TranslationReport BatchTranslator::translate(Query& q) const {
                          slot.condition->codes[slot.value_index] >= 0;
     }
   }
+}
+
+TranslationReport BatchTranslator::translate(Query& q) const {
+  TranslationReport report;
+  // Group the untranslated parameters by fact-table column, then one
+  // automaton + one dictionary pass per column.
+  std::map<int, std::vector<Slot>> by_column;
+  collect_slots(*schema_, q, by_column);
+  run_column_passes(*dicts_, by_column, report);
+  return report;
+}
+
+TranslationReport BatchTranslator::translate_all(
+    std::span<Query* const> batch) const {
+  TranslationReport report;
+  // Group every batched query's untranslated parameters by column FIRST,
+  // so queries sharing a column share its single dictionary pass.
+  std::map<int, std::vector<Slot>> by_column;
+  for (Query* q : batch) {
+    if (q == nullptr) continue;
+    collect_slots(*schema_, *q, by_column);
+  }
+  run_column_passes(*dicts_, by_column, report);
   return report;
 }
 

@@ -14,6 +14,8 @@
 // bench_future_translation quantifies what this buys the GPU pipeline.
 #pragma once
 
+#include <span>
+
 #include "query/translator.hpp"
 
 namespace holap {
@@ -27,6 +29,15 @@ class BatchTranslator {
   /// dictionary_entries_scanned counts one full pass per distinct column,
   /// not per parameter.
   TranslationReport translate(Query& q) const;
+
+  /// Translate the text parameters of EVERY query in `batch` together, in
+  /// place: per distinct column ACROSS THE WHOLE BATCH, one automaton over
+  /// all of the batch's parameters for that column and one dictionary
+  /// streaming pass. Produces exactly the codes per-query translate()
+  /// would; the amortisation is the point — k batched queries sharing a
+  /// text column cost one dictionary pass, not k. Null entries are
+  /// skipped; an empty batch returns an empty (all_found) report.
+  TranslationReport translate_all(std::span<Query* const> batch) const;
 
   /// Dictionary length per DISTINCT text column of `q` (the batch model's
   /// eq.-(18) input; compare Translator::dictionary_lengths, which lists

@@ -8,6 +8,33 @@
 
 namespace holap {
 
+BatchPlacement SchedulerPolicy::schedule_batch(
+    std::span<const Query> batch, Seconds now, std::uint64_t first_query_id,
+    std::span<const ScheduleHints> hints) {
+  HOLAP_REQUIRE(hints.empty() || hints.size() == batch.size(),
+                "hints must be empty or one per batched query");
+  // Reference semantics for every policy: a batch decides exactly as N
+  // serial schedule() calls sharing one arrival time.
+  BatchPlacement out;
+  out.placements.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ScheduleHints h = hints.empty() ? ScheduleHints{} : hints[i];
+    Placement p = schedule(batch[i], now, first_query_id + i, h);
+    if (!p.rejected && !p.shed_at_admission) ++out.admitted;
+    out.placements.push_back(p);
+  }
+  return out;
+}
+
+void SchedulerPolicy::rollback_batch(const BatchPlacement& batch) {
+  // Base policies committed per query, so they roll back per query.
+  for (const Placement& p : batch.placements) {
+    if (p.rejected || p.shed_at_admission) continue;
+    on_shed(p.queue, p.processing_est,
+            p.translate ? p.translation_est : Seconds{});
+  }
+}
+
 QueueingScheduler::QueueingScheduler(SchedulerConfig config,
                                      CostEstimator estimator)
     : config_(std::move(config)), estimator_(std::move(estimator)) {
@@ -61,9 +88,19 @@ Seconds& QueueingScheduler::clock_for(QueueRef ref) {
   return gpu_clocks_[static_cast<std::size_t>(ref.index)];
 }
 
-Placement QueueingScheduler::schedule(const Query& q, Seconds now,
-                                      std::uint64_t query_id,
-                                      ScheduleHints hints) {
+QueueingScheduler::StagedClocks QueueingScheduler::stage_clocks() const {
+  StagedClocks staged;
+  staged.cpu = cpu_clock_;
+  staged.translation = trans_clock_;
+  staged.gpu = gpu_clocks_;
+  staged.dispatch = dispatch_clocks_;
+  return staged;
+}
+
+Placement QueueingScheduler::decide(const Query& q, Seconds now,
+                                    std::uint64_t query_id,
+                                    ScheduleHints hints,
+                                    StagedClocks& staged) {
   if (health_ != nullptr) sync_degradation();
   CostEstimate est = estimator_.estimate(q);
   if (hints.translation_cached) {
@@ -83,7 +120,7 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
     PartitionResponse r;
     r.ref = {QueueRef::kCpu, 0};
     r.processing = *est.cpu;
-    r.response = std::max(cpu_clock_, now) + r.processing;
+    r.response = std::max(staged.cpu, now) + r.processing;
     // The paper's feasible set is T_R <= T_D: a response landing exactly
     // on the deadline is met, not missed.
     r.before_deadline = r.response <= deadline;
@@ -91,22 +128,22 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
   }
   if (config_.enable_gpu) {
     const Seconds trans_done = est.needs_translation
-                                   ? std::max(trans_clock_, now) +
+                                   ? std::max(staged.translation, now) +
                                          est.translation
                                    : Seconds{};
-    for (std::size_t i = 0; i < gpu_clocks_.size(); ++i) {
+    for (std::size_t i = 0; i < staged.gpu.size(); ++i) {
       PartitionResponse r;
       r.ref = {QueueRef::kGpu, static_cast<int>(i)};
       if (!partition_schedulable(r.ref, now)) continue;
       r.processing = est.gpu[i];
-      Seconds ready = std::max(gpu_clocks_[i], now);
+      Seconds ready = std::max(staged.gpu[i], now);
       if (est.needs_translation) ready = std::max(ready, trans_done);
       if (config_.modeled_gpu_dispatch > Seconds{0.0}) {
         // The launch stage is a shared serial resource per device,
         // handled exactly like the translation queue: cross it after
         // translation, before the partition can start.
         Seconds launch = std::max(
-            dispatch_clocks_[static_cast<std::size_t>(queue_device_[i])],
+            staged.dispatch[static_cast<std::size_t>(queue_device_[i])],
             now);
         if (est.needs_translation) launch = std::max(launch, trans_done);
         r.dispatch_done = launch + config_.modeled_gpu_dispatch;
@@ -150,7 +187,8 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
     return p;
   }
 
-  // Commit: advance the owning clocks to this query's completion.
+  // Stage the commitment: advance the staged clocks to this query's
+  // completion. The caller turns the staged view into the ledger.
   Placement p;
   p.queue = chosen->ref;
   p.processing_est = chosen->processing;
@@ -159,15 +197,20 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
   if (chosen->ref.kind == QueueRef::kGpu && est.needs_translation) {
     p.translate = true;
     p.translation_est = est.translation;
-    trans_clock_ = std::max(trans_clock_, now) + est.translation;
+    staged.translation = std::max(staged.translation, now) + est.translation;
   }
   if (chosen->ref.kind == QueueRef::kGpu &&
       config_.modeled_gpu_dispatch > Seconds{0.0}) {
-    dispatch_clocks_[static_cast<std::size_t>(
+    staged.dispatch[static_cast<std::size_t>(
         queue_device_[static_cast<std::size_t>(chosen->ref.index)])] =
         chosen->dispatch_done;
   }
-  clock_for(chosen->ref) = chosen->response;
+  if (chosen->ref.kind == QueueRef::kCpu) {
+    staged.cpu = chosen->response;
+  } else {
+    staged.gpu[static_cast<std::size_t>(chosen->ref.index)] =
+        chosen->response;
+  }
 
   ++counters_.scheduled;
   if (!p.before_deadline) ++counters_.missed_at_placement;
@@ -184,6 +227,75 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now,
       .deadline_slack(deadline - p.response_est)
       .commit();
   return p;
+}
+
+Placement QueueingScheduler::schedule(const Query& q, Seconds now,
+                                      std::uint64_t query_id,
+                                      ScheduleHints hints) {
+  StagedClocks staged = stage_clocks();
+  Placement p = decide(q, now, query_id, hints, staged);
+  // Commit: the staged view becomes the ledger.
+  cpu_clock_ = staged.cpu;
+  trans_clock_ = staged.translation;
+  gpu_clocks_ = std::move(staged.gpu);
+  dispatch_clocks_ = std::move(staged.dispatch);
+  return p;
+}
+
+BatchPlacement QueueingScheduler::schedule_batch(
+    std::span<const Query> batch, Seconds now, std::uint64_t first_query_id,
+    std::span<const ScheduleHints> hints) {
+  HOLAP_REQUIRE(hints.empty() || hints.size() == batch.size(),
+                "hints must be empty or one per batched query");
+  StagedClocks staged = stage_clocks();
+  BatchPlacement out;
+  out.placements.reserve(batch.size());
+  // Decision equivalence: query i's decide() sees the staged clock load of
+  // queries 0..i-1, exactly as serial schedule() calls at the same `now`.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ScheduleHints h = hints.empty() ? ScheduleHints{} : hints[i];
+    Placement p = decide(batch[i], now, first_query_id + i, h, staged);
+    if (!p.rejected && !p.shed_at_admission) ++out.admitted;
+    out.placements.push_back(p);
+  }
+  // Record the per-family movement so rollback_batch() can subtract it.
+  out.cpu_delta = staged.cpu - cpu_clock_;
+  out.trans_delta = staged.translation - trans_clock_;
+  out.gpu_deltas.resize(staged.gpu.size());
+  for (std::size_t i = 0; i < staged.gpu.size(); ++i) {
+    out.gpu_deltas[i] = staged.gpu[i] - gpu_clocks_[i];
+  }
+  out.dispatch_deltas.resize(staged.dispatch.size());
+  for (std::size_t d = 0; d < staged.dispatch.size(); ++d) {
+    out.dispatch_deltas[d] = staged.dispatch[d] - dispatch_clocks_[d];
+  }
+  // ONE ledger commit for the whole batch.
+  cpu_clock_ = staged.cpu;
+  trans_clock_ = staged.translation;
+  gpu_clocks_ = std::move(staged.gpu);
+  dispatch_clocks_ = std::move(staged.dispatch);
+  ++counters_.batch_commits;
+  counters_.batched_queries += batch.size();
+  return out;
+}
+
+void QueueingScheduler::rollback_batch(const BatchPlacement& batch) {
+  HOLAP_REQUIRE(batch.gpu_deltas.size() == gpu_clocks_.size() &&
+                    batch.dispatch_deltas.size() == dispatch_clocks_.size(),
+                "batch deltas must come from this scheduler's "
+                "schedule_batch()");
+  // Exact inverse of the batch commit: the recorded per-family deltas are
+  // subtracted in one place, so the ledger balances even when decide()
+  // jumped a clock forward over an idle gap (max(clock, now)).
+  cpu_clock_ -= batch.cpu_delta;
+  trans_clock_ -= batch.trans_delta;
+  for (std::size_t i = 0; i < gpu_clocks_.size(); ++i) {
+    gpu_clocks_[i] -= batch.gpu_deltas[i];
+  }
+  for (std::size_t d = 0; d < dispatch_clocks_.size(); ++d) {
+    dispatch_clocks_[d] -= batch.dispatch_deltas[d];
+  }
+  ++counters_.batch_rollbacks;
 }
 
 void QueueingScheduler::on_completed(QueueRef ref, Seconds estimated,

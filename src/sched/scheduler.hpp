@@ -26,6 +26,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "obs/trace.hpp"
 #include "sched/estimator.hpp"
@@ -88,6 +89,23 @@ struct PartitionResponse {
   bool before_deadline = false;
 };
 
+/// One batched admission: per-query placements in input order, plus the
+/// exact ledger movement the single batch commit applied per clock
+/// family. The deltas exist so rollback_batch() can undo the WHOLE batch
+/// in one call (batch-granular rollback) when the executor cannot run any
+/// of it — e.g. shutdown between admission and routing — without
+/// reconstructing per-query estimates.
+struct BatchPlacement {
+  std::vector<Placement> placements;  ///< one per input query, in order
+  /// Placements neither rejected nor shed at admission (they committed
+  /// clock time and must be run, individually shed, or batch-rolled-back).
+  std::size_t admitted = 0;
+  Seconds cpu_delta{};
+  Seconds trans_delta{};
+  std::vector<Seconds> gpu_deltas;       ///< one per GPU partition queue
+  std::vector<Seconds> dispatch_deltas;  ///< one per GPU device
+};
+
 /// What a policy did, counted per partition queue — the observability
 /// layer's view of the decision loop (placements, deadline misses already
 /// known at placement time, and how hard §III-G feedback had to correct
@@ -109,6 +127,11 @@ struct SchedulerCounters {
   std::size_t shed_in_queue = 0;
   /// Translation-clock feedback events (on_translation_completed).
   std::size_t translation_feedback_events = 0;
+  /// Batched admissions: schedule_batch() calls that committed the ledger
+  /// once, queries decided inside them, and whole-batch rollbacks.
+  std::size_t batch_commits = 0;
+  std::size_t batched_queries = 0;
+  std::size_t batch_rollbacks = 0;
 };
 
 /// Abstract scheduling policy over partition queues.
@@ -123,6 +146,29 @@ class SchedulerPolicy {
   virtual Placement schedule(const Query& q, Seconds now,
                              std::uint64_t query_id = 0,
                              ScheduleHints hints = {}) = 0;
+
+  /// Batched admission: decide every query of `batch` (all sharing arrival
+  /// time `now`) exactly as back-to-back schedule() calls would — query i
+  /// sees the clock load committed by queries 0..i-1 — and return the
+  /// per-query placements plus the ledger deltas of the whole batch.
+  /// `hints` is per-query when non-empty (same length as `batch`).
+  ///
+  /// The base implementation IS that serial loop, so every policy is
+  /// batch-decision-equivalent by construction; QueueingScheduler
+  /// overrides it with a staged path that commits the clock ledger once
+  /// per batch instead of once per query.
+  virtual BatchPlacement schedule_batch(
+      std::span<const Query> batch, Seconds now,
+      std::uint64_t first_query_id = 0,
+      std::span<const ScheduleHints> hints = {});
+
+  /// Undo one whole batch: every clock second schedule_batch() committed
+  /// for `batch` is returned to the ledger. For use when NONE of the
+  /// batch's admitted placements will run (shutdown or failure between
+  /// admission and routing); partially-run batches shed per query through
+  /// on_shed() instead. Must be fed a BatchPlacement produced by this
+  /// policy's own schedule_batch().
+  virtual void rollback_batch(const BatchPlacement& batch);
 
   /// Attach a span sink; the policy records one kEnqueue span per accepted
   /// placement. nullptr (the default) disables tracing.
@@ -179,6 +225,11 @@ class QueueingScheduler : public SchedulerPolicy {
 
   Placement schedule(const Query& q, Seconds now, std::uint64_t query_id = 0,
                      ScheduleHints hints = {}) final;
+  BatchPlacement schedule_batch(
+      std::span<const Query> batch, Seconds now,
+      std::uint64_t first_query_id = 0,
+      std::span<const ScheduleHints> hints = {}) final;
+  void rollback_batch(const BatchPlacement& batch) final;
   void on_completed(QueueRef ref, Seconds estimated, Seconds actual) override;
   void on_shed(QueueRef ref, Seconds processing_est,
                Seconds pending_translation_est) override;
@@ -213,6 +264,17 @@ class QueueingScheduler : public SchedulerPolicy {
   const CostEstimator& estimator() const { return estimator_; }
 
  private:
+  /// A working copy of the clock ledger. decide() reads and advances a
+  /// staged view; schedule()/schedule_batch() assign it back to the member
+  /// clocks in one place — ONE ledger commit per call, whether the call
+  /// decided one query or a whole batch.
+  struct StagedClocks {
+    Seconds cpu{};
+    Seconds translation{};
+    std::vector<Seconds> gpu;
+    std::vector<Seconds> dispatch;
+  };
+
   SchedulerConfig config_;
   CostEstimator estimator_;
   Seconds cpu_clock_{};
@@ -227,6 +289,14 @@ class QueueingScheduler : public SchedulerPolicy {
   std::unique_ptr<PartitionHealthMonitor> health_;
 
   Seconds& clock_for(QueueRef ref);
+  /// Snapshot the ledger into a staged view for decide() to work against.
+  StagedClocks stage_clocks() const;
+  /// The Figure-10 decision loop (steps 1-6 + admission control) against
+  /// `staged`: reads the staged clocks, writes the chosen placement's
+  /// commitment back into them. Counters, health and trace spans update
+  /// directly — only the clock ledger is staged.
+  Placement decide(const Query& q, Seconds now, std::uint64_t query_id,
+                   ScheduleHints hints, StagedClocks& staged);
   /// Push the monitor's degradation multipliers into the estimator so the
   /// next estimate() call prices kDegraded partitions honestly. Does not
   /// touch the ledger clocks.

@@ -37,6 +37,8 @@ SimResult run_simulation(SchedulerPolicy& policy,
 
   HOLAP_REQUIRE(config.translation_workers >= 1,
                 "translation partition requires at least one worker");
+  HOLAP_REQUIRE(config.ingest_batch >= 1,
+                "ingest batch capacity must be >= 1");
   std::vector<int> queue_device = config.gpu_queue_device;
   if (queue_device.empty()) {
     queue_device.assign(static_cast<std::size_t>(policy.gpu_queue_count()),
@@ -154,8 +156,43 @@ SimResult run_simulation(SchedulerPolicy& policy,
   std::size_t next_query = 0;
 
   std::function<void(std::size_t, Seconds, int, bool)> run_attempt;
+  // The post-decision half of run_attempt: drive one query through the
+  // server pipeline given its Placement. Split out so a batched flush can
+  // run N placements from ONE schedule_batch() call.
+  std::function<void(std::size_t, Seconds, int, bool, const Placement&,
+                     Seconds)>
+      execute_placement;
+
+  // Batch-aggregated admission (SimConfig::ingest_batch > 1): arrivals
+  // buffer here; a flush — by capacity or by the timeout event scheduled
+  // when the buffer opens — schedules the whole buffer at once. The
+  // generation guard voids a timeout event whose batch already flushed.
+  struct PendingArrival {
+    std::size_t idx;
+    Seconds submit;
+  };
+  std::vector<PendingArrival> pending;
+  std::uint64_t flush_generation = 0;
+  std::function<void()> flush_pending;
+
   auto start_query = [&](std::size_t idx) {
-    run_attempt(idx, events.now(), 1, false);
+    if (config.ingest_batch <= 1) {
+      run_attempt(idx, events.now(), 1, false);
+      return;
+    }
+    pending.push_back({idx, events.now()});
+    if (pending.size() >= config.ingest_batch) {
+      flush_pending();
+      return;
+    }
+    if (pending.size() == 1) {
+      // First arrival opens the batch; its timeout bounds everyone's wait.
+      const std::uint64_t gen = flush_generation;
+      events.schedule(events.now() + config.ingest_flush_timeout,
+                      [&, gen]() {
+                        if (gen == flush_generation) flush_pending();
+                      });
+    }
   };
 
   auto finish = [&](std::size_t idx, Seconds submit, Seconds done,
@@ -236,13 +273,8 @@ SimResult run_simulation(SchedulerPolicy& policy,
                     });
   };
 
-  run_attempt = [&](std::size_t idx, Seconds submit, int attempt,
-                    bool translated) {
-    const Query& q = queries[idx];
-    const Seconds now = events.now();
-    ScheduleHints hints;
-    hints.translation_cached = translated;
-    const Placement p = policy.schedule(q, now, idx, hints);
+  execute_placement = [&](std::size_t idx, Seconds submit, int attempt,
+                          bool translated, const Placement& p, Seconds now) {
     if (config.record_trace) {
       QueryTrace& t = result.trace[idx];
       t.index = idx;
@@ -383,6 +415,38 @@ SimResult run_simulation(SchedulerPolicy& policy,
           });
     } else {
       into_pipeline(now);
+    }
+  };
+
+  run_attempt = [&](std::size_t idx, Seconds submit, int attempt,
+                    bool translated) {
+    const Seconds now = events.now();
+    ScheduleHints hints;
+    hints.translation_cached = translated;
+    const Placement p = policy.schedule(queries[idx], now, idx, hints);
+    execute_placement(idx, submit, attempt, translated, p, now);
+  };
+
+  flush_pending = [&]() {
+    if (pending.empty()) return;
+    ++flush_generation;  // voids this batch's pending timeout event
+    std::vector<PendingArrival> batch = std::move(pending);
+    pending.clear();
+    std::vector<Query> batch_queries;
+    batch_queries.reserve(batch.size());
+    for (const PendingArrival& a : batch) {
+      batch_queries.push_back(queries[a.idx]);
+    }
+    // One decision pass, one ledger commit for the whole flush —
+    // decision-equivalent to scheduling the buffer serially in order.
+    // Trace/span ids are exact when the flush is contiguous in arrival
+    // order (always true for open-loop arrivals).
+    const Seconds now = events.now();
+    const BatchPlacement placed =
+        policy.schedule_batch(batch_queries, now, batch.front().idx);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      execute_placement(batch[i].idx, batch[i].submit, 1, false,
+                        placed.placements[i], now);
     }
   };
 

@@ -64,6 +64,16 @@ struct SimConfig {
   /// the error mode the §III-G feedback loop exists to absorb. Empty = no
   /// bias; otherwise must have one entry per GPU queue.
   std::vector<double> gpu_queue_bias;
+  /// Batch-aggregated admission on the sim clock, mirroring the native
+  /// ingestion front-end: arrivals buffer until `ingest_batch` of them
+  /// are pending, or until the FIRST buffered arrival has waited
+  /// `ingest_flush_timeout`; each flush runs ONE schedule_batch() over
+  /// the whole buffer. 1 = the serial paper behaviour (every arrival
+  /// schedules immediately). Retries always schedule serially — a
+  /// failover is latency-critical and never waits for co-batched peers.
+  /// Flush events fire on the sim clock, so runs stay deterministic.
+  std::size_t ingest_batch = 1;
+  Seconds ingest_flush_timeout{0.002};
   /// Record a per-query trace in SimResult::trace (costs memory; off by
   /// default).
   bool record_trace = false;

@@ -1,0 +1,14 @@
+// Fixture: batch-ledger violation at the call site — serving-path code
+// admits a whole batch through schedule_batch() but no rollback_batch()
+// path is visible anywhere in this file, so a batch the executor cannot
+// run (shutdown between commit and routing) has no batch-granular undo.
+#include <vector>
+
+namespace holap {
+
+void Ingest::admit(std::vector<Query> batch) {
+  auto placed = scheduler_->schedule_batch(batch, now_);
+  route(placed);  // shutdown here would leave the batch on the ledger
+}
+
+}  // namespace holap

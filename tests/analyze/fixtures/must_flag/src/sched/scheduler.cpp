@@ -24,4 +24,17 @@ void QueueingScheduler::reset_for_tests() {
   cpu_clock_ = Seconds{};  // unblessed member touching the ledger
 }
 
+BatchPlacement QueueingScheduler::schedule_batch(std::span<const Query> batch,
+                                                 Seconds now) {
+  trans_clock_ += est_;            // commit: translation
+  cpu_clock_ = now + est_;         // commit: cpu
+  gpu_clocks_[0] += est_;          // commit: gpu (no batch-granular undo)
+  return {};
+}
+
+void QueueingScheduler::rollback_batch(const BatchPlacement& placed) {
+  trans_clock_ -= est_;   // rollback: translation
+  cpu_clock_ -= est_;     // rollback: cpu — gpu is missing
+}
+
 }  // namespace holap

@@ -12,4 +12,13 @@ void drain(BlockingQueue<int>& queue) {
   while (auto item = queue.pop()) scratch.push(*item);
 }
 
+void Exec::admit(std::vector<Query> batch) {
+  auto placed = scheduler_->schedule_batch(batch, now_);
+  if (down_) {
+    scheduler_->rollback_batch(placed);  // batch-granular undo on shutdown
+    return;
+  }
+  route(placed);
+}
+
 }  // namespace holap

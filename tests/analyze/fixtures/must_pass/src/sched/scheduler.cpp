@@ -39,4 +39,20 @@ bool QueueingScheduler::idle() const {
   return cpu_clock_ == Seconds{};  // comparison, not assignment
 }
 
+BatchPlacement QueueingScheduler::schedule_batch(std::span<const Query> batch,
+                                                 Seconds now) {
+  trans_clock_ += est_;
+  dispatch_clocks_[0] += kDispatch;
+  clock_for(ref_) = now + est_;
+  return {};
+}
+
+void QueueingScheduler::rollback_batch(const BatchPlacement& placed) {
+  // Every family the batch committer writes has its batch-granular
+  // inverse here.
+  trans_clock_ -= est_;
+  dispatch_clocks_[0] -= kDispatch;
+  clock_for(ref_) -= est_;
+}
+
 }  // namespace holap

@@ -44,8 +44,9 @@ class MustFlagFixtures(unittest.TestCase):
         fired = {f["rule"] for f in payload["findings"]}
         self.assertEqual(fired, {
             "determinism", "raw-new-delete", "include-hygiene",
-            "clock-ledger", "enum-exhaustive", "bounded-queue",
-            "unit-escape", "span-lifecycle", "retry-bound",
+            "clock-ledger", "batch-ledger", "enum-exhaustive",
+            "bounded-queue", "unit-escape", "span-lifecycle",
+            "retry-bound",
         })
 
     def test_rule_selection_restricts_output(self):

@@ -199,6 +199,76 @@ TEST(BlockingQueue, PopForSeesClosedAndDrained) {
   EXPECT_TRUE(q.closed());
 }
 
+TEST(BlockingQueue, CloseWithParkedTimedConsumersDrainsThenWakesAll) {
+  // The aggregator-shard shutdown shape: several consumers parked in
+  // pop_for, items still buffered when close() lands. Every buffered item
+  // must be handed out (drain-then-nullopt), every consumer must wake
+  // well before its timeout, and nullopt must ONLY appear once the queue
+  // is empty — a consumer that sees nullopt+closed() may safely conclude
+  // there is nothing left to flush.
+  BlockingQueue<int> q;
+  constexpr int kConsumers = 3;
+  std::mutex seen_mutex;
+  std::vector<int> seen;
+  std::atomic<int> woke{0};
+  std::atomic<bool> nullopt_while_nonempty{false};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const auto item = q.pop_for(std::chrono::seconds{60});
+        if (!item.has_value()) {
+          if (q.size() != 0) nullopt_while_nonempty = true;
+          ++woke;
+          return;
+        }
+        const std::lock_guard lock(seen_mutex);
+        seen.push_back(*item);
+      }
+    });
+  }
+  for (int i = 0; i < 10; ++i) q.push(i);
+  const auto start = std::chrono::steady_clock::now();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds{30});
+  EXPECT_EQ(woke.load(), kConsumers);
+  EXPECT_FALSE(nullopt_while_nonempty.load());
+  EXPECT_EQ(seen.size(), 10u);  // nothing lost between close and drain
+}
+
+TEST(BlockingQueue, PopForNulloptWithClosedMeansEmptyNotTimeout) {
+  // Mid-batch close: a consumer holding a partial batch distinguishes
+  // "timed out, keep batching" from "closed, flush and exit" via
+  // closed(). A closed queue must FIRST hand out its buffered items;
+  // nullopt+closed() therefore certifies the queue is empty, which is
+  // what lets the aggregator flush its batch and exit without stranding
+  // (and hence never resolving) a buffered request.
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds{1}), 1);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds{1}), 2);
+  const auto done = q.pop_for(std::chrono::milliseconds{1});
+  EXPECT_EQ(done, std::nullopt);
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueue, PopForWithExpiredDeadlineStillDrainsBufferedItems) {
+  // A zero/negative remaining-time pop_for (the aggregator computes
+  // remaining = deadline - now, which can go non-positive under load)
+  // must still return an available item rather than reporting a timeout
+  // past a non-empty queue.
+  BlockingQueue<int> q;
+  q.push(42);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds{-5}), 42);
+  EXPECT_EQ(q.pop_for(std::chrono::milliseconds{-5}), std::nullopt);
+  EXPECT_FALSE(q.closed());
+}
+
 // Ranking for push_displacing tests: smaller value = less feasible.
 constexpr auto kSmallerIsWorse = [](const int& a, const int& b) {
   return a < b;

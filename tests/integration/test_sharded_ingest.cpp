@@ -1,0 +1,462 @@
+// Sustained-ingest integration: ShardedIngestFrontEnd feeding the async
+// executor's batched admission path, end to end.
+//
+// One invariant rules every scenario: a submitted promise ALWAYS resolves
+// with a typed ExecutionOutcome — under multi-producer storms, shard-full
+// displacement, flush-timeout races, and shutdown mid-batch — and every
+// completed answer matches the serial reference. The GateAdmitter stub
+// makes the front-end's own mechanics (displacement rank, flush reasons,
+// shard affinity) deterministic by parking the admit() consumer; the
+// real-executor scenarios then prove the same contracts hold with actual
+// scheduling, translation and partition workers behind the batches.
+#include "olap/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "olap/async_executor.hpp"
+#include "query/workload.hpp"
+#include "relational/generator.hpp"
+
+namespace holap {
+namespace {
+
+HybridOlapSystem make_system(std::size_t rows = 800) {
+  GeneratorConfig gen;
+  gen.rows = rows;
+  gen.seed = 5;
+  gen.text_levels = {{1, 3}};
+  HybridSystemConfig config;
+  config.cpu_threads = 2;
+  config.cube_levels = {0, 1, 2};
+  return HybridOlapSystem(
+      generate_fact_table(tiny_model_dimensions(), gen), config);
+}
+
+Query cheap_query() {
+  Query q;
+  q.conditions.push_back({0, 0, 0, 0, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+/// BatchAdmitter stub that can park the calling aggregator at the admit()
+/// door, so tests control exactly when a shard's consumer drains it.
+/// Resolves every promise kCompleted — the contract the real executor
+/// also honours.
+class GateAdmitter : public BatchAdmitter {
+ public:
+  void admit(std::vector<IngestRequest> batch) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++batches_;
+      queries_ += batch.size();
+      arrived_.notify_all();
+      while (held_) gate_.wait(lock);
+    }
+    for (IngestRequest& request : batch) {
+      ExecutionReport report;
+      report.outcome = ExecutionOutcome::kCompleted;
+      request.promise.set_value(std::move(report));
+    }
+  }
+
+  void hold() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    held_ = true;
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      held_ = false;
+    }
+    gate_.notify_all();
+  }
+  /// Block until `n` admit() calls have STARTED (parked calls count).
+  void wait_for_batches(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (batches_ < n) arrived_.wait(lock);
+  }
+  std::size_t batches() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batches_;
+  }
+  std::size_t queries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queries_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::condition_variable gate_;
+  bool held_ = false;
+  std::size_t batches_ = 0;
+  std::size_t queries_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic front-end mechanics (GateAdmitter).
+// ---------------------------------------------------------------------------
+
+TEST(ShardedIngest, ShardFullDisplacementResolvesVictimsTypedImmediately) {
+  GateAdmitter gate;
+  gate.hold();
+  IngestConfig config;
+  config.shards = 1;
+  config.batch_capacity = 1;        // every pop flushes: the consumer parks
+  config.flush_timeout = Seconds{10.0};
+  config.shard_queue_capacity = 2;  // displacement territory
+  ShardedIngestFrontEnd front_end(gate, config);
+
+  // The probe opens a batch and parks its aggregator inside admit(); the
+  // shard queue is now empty with its only consumer wedged.
+  auto probe = front_end.submit(cheap_query());
+  gate.wait_for_batches(1);
+
+  auto f1 = front_end.submit(cheap_query());
+  auto f2 = front_end.submit(cheap_query());
+  // Queue [f1, f2] is at capacity. Each further arrival displaces the
+  // OLDEST queued request — nearest its deadline, least slack left — and
+  // the victim resolves typed without waiting for any flush.
+  auto f3 = front_end.submit(cheap_query());
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f1.get().outcome, ExecutionOutcome::kShedAtAdmission);
+  auto f4 = front_end.submit(cheap_query());
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f2.get().outcome, ExecutionOutcome::kShedAtAdmission);
+
+  gate.release();
+  front_end.shutdown();
+  EXPECT_EQ(probe.get().outcome, ExecutionOutcome::kCompleted);
+  EXPECT_EQ(f3.get().outcome, ExecutionOutcome::kCompleted);
+  EXPECT_EQ(f4.get().outcome, ExecutionOutcome::kCompleted);
+
+  const IngestStats stats = front_end.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].enqueued, 5u);  // every arrival was accepted...
+  EXPECT_EQ(stats.shards[0].displaced, 2u);  // ...two were later evicted
+  EXPECT_EQ(stats.shards[0].bounced, 0u);
+  EXPECT_EQ(stats.shards[0].depth, 0u);
+  EXPECT_EQ(stats.shards[0].max_depth, 2u);
+  // batch_capacity 1: every flush is a capacity flush of a single request.
+  EXPECT_EQ(stats.flushes, 3u);
+  EXPECT_EQ(stats.flush_by_capacity, 3u);
+  EXPECT_EQ(stats.immediate, 3u);
+  EXPECT_EQ(stats.aggregated, 0u);
+  EXPECT_EQ(stats.batch_sizes.batches(), 3u);
+  EXPECT_EQ(stats.batch_sizes.max_size(), 1u);
+}
+
+TEST(ShardedIngest, FlushTimeoutFlushesAPartialBatch) {
+  GateAdmitter gate;
+  IngestConfig config;
+  config.shards = 1;
+  config.batch_capacity = 100;  // never fills: only the timer can flush
+  config.flush_timeout = Seconds{0.005};
+  ShardedIngestFrontEnd front_end(gate, config);
+
+  std::vector<std::future<ExecutionReport>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(front_end.submit(cheap_query()));
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().outcome, ExecutionOutcome::kCompleted);
+  }
+
+  const IngestStats stats = front_end.stats();
+  // Capacity was unreachable and nothing closed, so every flush that
+  // resolved those futures aged out on the timer.
+  EXPECT_GE(stats.flush_by_timeout, 1u);
+  EXPECT_EQ(stats.flush_by_capacity, 0u);
+  EXPECT_EQ(stats.flush_on_close, 0u);
+  EXPECT_EQ(stats.immediate + stats.aggregated, 3u);
+  front_end.shutdown();
+}
+
+TEST(ShardedIngest, CloseRacingTheFlushTimerStrandsNothing) {
+  // Requests parked behind a 10-second flush timer, then an immediate
+  // shutdown: the close must beat the timer, drain the shard, and flush
+  // everything as close-reason batches. No request may ride out the timer
+  // against a dead queue, and none may resolve untyped.
+  GateAdmitter gate;
+  IngestConfig config;
+  config.shards = 1;
+  config.batch_capacity = 100;
+  config.flush_timeout = Seconds{10.0};
+  ShardedIngestFrontEnd front_end(gate, config);
+
+  std::vector<std::future<ExecutionReport>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(front_end.submit(cheap_query()));
+  front_end.shutdown();  // must return promptly — close() wakes pop_for
+
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().outcome, ExecutionOutcome::kCompleted);
+  }
+  const IngestStats stats = front_end.stats();
+  EXPECT_GE(stats.flush_on_close, 1u);
+  EXPECT_EQ(stats.flush_by_timeout, 0u);
+  EXPECT_EQ(stats.flush_by_capacity, 0u);
+  EXPECT_EQ(stats.immediate + stats.aggregated, 4u);
+  EXPECT_EQ(stats.shards[0].depth, 0u);
+}
+
+TEST(ShardedIngest, PerSourceAffinityAndRoundRobinLandOnTheNamedShards) {
+  GateAdmitter gate;
+  IngestConfig config;
+  config.shards = 3;
+  config.batch_capacity = 1;
+  ShardedIngestFrontEnd front_end(gate, config);
+  ASSERT_EQ(front_end.shard_count(), 3);
+
+  std::vector<std::future<ExecutionReport>> futures;
+  // Affinity: one chatty source pinned to shard 2, a second on shard 0.
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(front_end.submit(cheap_query(), 2));
+  }
+  for (int i = 0; i < 2; ++i) {
+    futures.push_back(front_end.submit(cheap_query(), 0));
+  }
+  // Round-robin: six unpinned submissions spread two per shard.
+  for (int i = 0; i < 6; ++i) futures.push_back(front_end.submit(cheap_query()));
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().outcome, ExecutionOutcome::kCompleted);
+  }
+
+  EXPECT_THROW(front_end.submit(cheap_query(), 3), InvalidArgument);
+  EXPECT_THROW(front_end.submit(cheap_query(), -1), InvalidArgument);
+
+  const IngestStats stats = front_end.stats();
+  ASSERT_EQ(stats.shards.size(), 3u);
+  EXPECT_EQ(stats.shards[0].name, "shard0");
+  EXPECT_EQ(stats.shards[0].enqueued, 4u);  // 2 pinned + 2 round-robin
+  EXPECT_EQ(stats.shards[1].enqueued, 2u);
+  EXPECT_EQ(stats.shards[2].enqueued, 7u);  // 5 pinned + 2 round-robin
+
+  front_end.shutdown();
+  EXPECT_THROW(front_end.submit(cheap_query()), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// The real pipeline: front-end → AsyncHybridExecutor::admit() → partitions.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedIngest, MultiProducerStormEveryFutureTypedAndAnswersCorrect) {
+  HybridOlapSystem system = make_system();
+  AsyncHybridExecutor executor(system);
+  IngestConfig config;
+  config.shards = 3;
+  config.batch_capacity = 8;
+  config.flush_timeout = Seconds{0.001};
+  config.shard_queue_capacity = 64;
+  ShardedIngestFrontEnd front_end(executor, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::array<std::vector<std::pair<Query, std::future<ExecutionReport>>>,
+             kThreads>
+      submitted;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      WorkloadConfig wl;
+      wl.seed = 500 + static_cast<std::uint64_t>(t);
+      wl.text_probability = 0.4;
+      QueryGenerator gen(system.schema().dimensions(), system.schema(), wl);
+      for (int i = 0; i < kPerThread; ++i) {
+        Query q = gen.next();
+        auto future = front_end.submit(q);
+        submitted[static_cast<std::size_t>(t)].emplace_back(std::move(q),
+                                                            std::move(future));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  for (auto& thread_batch : submitted) {
+    for (auto& [query, future] : thread_batch) {
+      const ExecutionReport report = future.get();
+      switch (report.outcome) {
+        case ExecutionOutcome::kCompleted:
+        case ExecutionOutcome::kFailedOver: {
+          ++completed;
+          const QueryAnswer oracle = system.answer_on_gpu(query);
+          EXPECT_NEAR(report.answer.value, oracle.value, 1e-6);
+          EXPECT_EQ(report.answer.row_count, oracle.row_count);
+          break;
+        }
+        case ExecutionOutcome::kShedAtAdmission:
+          ++shed;
+          break;
+        default:
+          FAIL() << "unexpected outcome " << to_string(report.outcome);
+      }
+    }
+  }
+  front_end.shutdown();
+  executor.shutdown();
+
+  constexpr std::size_t kTotal =
+      static_cast<std::size_t>(kThreads) * kPerThread;
+  EXPECT_EQ(completed + shed, kTotal);
+  EXPECT_EQ(executor.completed(), completed);
+
+  // Counter coherence: every submission is accounted exactly once — it
+  // either flushed to admit() or was shed at the intake door.
+  const IngestStats stats = front_end.stats();
+  EXPECT_EQ(stats.submitted, kTotal);
+  std::size_t enqueued = 0;
+  std::size_t displaced = 0;
+  std::size_t bounced = 0;
+  for (const IngestShardCounters& shard : stats.shards) {
+    enqueued += shard.enqueued;
+    displaced += shard.displaced;
+    bounced += shard.bounced;
+    EXPECT_EQ(shard.depth, 0u) << shard.name;
+    EXPECT_LE(shard.max_depth, config.shard_queue_capacity) << shard.name;
+  }
+  EXPECT_EQ(enqueued + bounced, kTotal);
+  EXPECT_EQ(displaced + bounced, shed);
+  EXPECT_EQ(stats.immediate + stats.aggregated, kTotal - shed);
+  EXPECT_EQ(stats.batch_sizes.queries(), kTotal - shed);
+  EXPECT_EQ(stats.batch_sizes.batches(), stats.flushes);
+  EXPECT_EQ(stats.flush_by_capacity + stats.flush_by_timeout +
+                stats.flush_on_close,
+            stats.flushes);
+  EXPECT_LE(stats.batch_sizes.max_size(), config.batch_capacity);
+
+  // The batched path actually ran: the scheduler committed whole batches.
+  const auto* scheduler =
+      dynamic_cast<const QueueingScheduler*>(&system.scheduler());
+  ASSERT_NE(scheduler, nullptr);
+  EXPECT_GE(scheduler->counters().batch_commits, 1u);
+  EXPECT_EQ(scheduler->counters().batched_queries, kTotal - shed);
+}
+
+TEST(ShardedIngest, ExecutorShutdownMidBatchRollsBackAndResolvesFailed) {
+  // The FaultInjector submit hook fires inside admit() AFTER the batch is
+  // scheduled and committed, and shuts the executor down right there: the
+  // batch must roll back as ONE unit (rollback_batch) and every one of
+  // its promises must resolve kFailed — typed, never abandoned.
+  HybridOlapSystem system = make_system(400);
+  AsyncHybridExecutor executor(system);
+  FaultInjector fault;
+  executor.set_fault_injector(&fault);
+  fault.set_submit_hook([&executor] { executor.shutdown(); });
+
+  IngestConfig config;
+  config.shards = 1;
+  config.batch_capacity = 4;  // the 4th submission triggers the flush
+  config.flush_timeout = Seconds{10.0};
+  ShardedIngestFrontEnd front_end(executor, config);
+
+  std::vector<std::future<ExecutionReport>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(front_end.submit(cheap_query()));
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().outcome, ExecutionOutcome::kFailed);
+  }
+  front_end.shutdown();
+
+  const auto* scheduler =
+      dynamic_cast<const QueueingScheduler*>(&system.scheduler());
+  ASSERT_NE(scheduler, nullptr);
+  EXPECT_GE(scheduler->counters().batch_rollbacks, 1u);
+  // The rollback restored the ledger: nothing is left charged on any clock.
+  EXPECT_EQ(scheduler->cpu_clock().value(), 0.0);
+  EXPECT_EQ(scheduler->translation_clock().value(), 0.0);
+  for (int q = 0; q < scheduler->gpu_queue_count(); ++q) {
+    EXPECT_EQ(scheduler->gpu_clock(q).value(), 0.0) << "gpu queue " << q;
+  }
+  EXPECT_EQ(executor.completed(), 0u);
+}
+
+TEST(ShardedIngest, SubmitBatchReturnsFuturesInSubmissionOrder) {
+  // Executor-level batched admission without the front-end: futures come
+  // back positionally aligned with the input batch, and the whole batch
+  // costs one ledger commit.
+  HybridOlapSystem system = make_system();
+  WorkloadConfig wl;
+  wl.seed = 91;
+  wl.text_probability = 0.5;
+  QueryGenerator gen(system.schema().dimensions(), system.schema(), wl);
+  const std::vector<Query> queries = gen.batch(12);
+
+  AsyncHybridExecutor executor(system);
+  std::vector<std::future<ExecutionReport>> futures =
+      executor.submit_batch(queries);
+  ASSERT_EQ(futures.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const ExecutionReport report = futures[i].get();
+    ASSERT_EQ(report.outcome, ExecutionOutcome::kCompleted) << "query " << i;
+    const QueryAnswer oracle = system.answer_on_gpu(queries[i]);
+    EXPECT_NEAR(report.answer.value, oracle.value, 1e-6) << "query " << i;
+    EXPECT_EQ(report.answer.row_count, oracle.row_count) << "query " << i;
+  }
+  executor.shutdown();
+
+  const auto* scheduler =
+      dynamic_cast<const QueueingScheduler*>(&system.scheduler());
+  ASSERT_NE(scheduler, nullptr);
+  EXPECT_EQ(scheduler->counters().batch_commits, 1u);
+  EXPECT_EQ(scheduler->counters().batched_queries, queries.size());
+  EXPECT_THROW(executor.submit_batch({cheap_query()}), InvalidArgument);
+}
+
+TEST(ShardedIngest, SeededStormIsDeterministicInOutcomeTotals) {
+  // Two independent runs of the same seeded storm: thread interleaving
+  // (and therefore batching and placement) may vary, but the workload is
+  // identical, so every query must complete in both runs with the same
+  // answer. Placement only picks WHERE a query runs, never WHAT it
+  // returns — 1e-6 absorbs CPU-vs-GPU summation-order drift. Bit-exact
+  // rerun equivalence lives in the pure-scheduler property tests, where
+  // no wall clock participates.
+  auto run = [] {
+    HybridOlapSystem system = make_system(400);
+    AsyncHybridExecutor executor(system);
+    IngestConfig config;
+    config.shards = 2;
+    config.batch_capacity = 6;
+    config.flush_timeout = Seconds{0.001};
+    ShardedIngestFrontEnd front_end(executor, config);
+
+    WorkloadConfig wl;
+    wl.seed = 1234;
+    wl.text_probability = 0.5;
+    QueryGenerator gen(system.schema().dimensions(), system.schema(), wl);
+    std::vector<std::pair<Query, std::future<ExecutionReport>>> submitted;
+    for (int i = 0; i < 40; ++i) {
+      Query q = gen.next();
+      auto future = front_end.submit(q);
+      submitted.emplace_back(std::move(q), std::move(future));
+    }
+    std::vector<double> answers;
+    for (auto& [query, future] : submitted) {
+      const ExecutionReport report = future.get();
+      EXPECT_EQ(report.outcome, ExecutionOutcome::kCompleted);
+      answers.push_back(report.answer.value);
+    }
+    front_end.shutdown();
+    executor.shutdown();
+    return answers;
+  };
+  const std::vector<double> first = run();
+  const std::vector<double> second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(first[i], second[i], 1e-6) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace holap

@@ -133,5 +133,197 @@ TEST(BatchTranslator, NoTextIsNoOp) {
   EXPECT_TRUE(report.all_found);
 }
 
+TEST(TranslateAll, EmptyBatchIsANoOpWithCleanReport) {
+  Fixture f;
+  const BatchTranslator batch(f.table.schema(), f.dicts);
+  const TranslationReport report = batch.translate_all({});
+  EXPECT_EQ(report.parameters_translated, 0);
+  EXPECT_EQ(report.dictionary_entries_scanned, 0u);
+  EXPECT_TRUE(report.all_found);
+}
+
+TEST(TranslateAll, NullEntriesAreSkipped) {
+  Fixture f;
+  const BatchTranslator batch(f.table.schema(), f.dicts);
+  const int col = f.table.schema().dimension_column(1, 3);
+  Query q;
+  Condition c;
+  c.dim = 1;
+  c.level = 3;
+  c.text_values = {f.dicts.for_column(col).decode(3)};
+  q.conditions.push_back(c);
+  q.measures = {12};
+  std::vector<Query*> ptrs = {nullptr, &q, nullptr};
+  const TranslationReport report = batch.translate_all(ptrs);
+  EXPECT_EQ(report.parameters_translated, 1);
+  EXPECT_TRUE(report.all_found);
+  EXPECT_EQ(q.conditions[0].codes, (std::vector<std::int32_t>{3}));
+}
+
+TEST(TranslateAll, SingleQueryBatchMatchesPerQueryTranslate) {
+  Fixture f;
+  const BatchTranslator batch(f.table.schema(), f.dicts);
+  WorkloadConfig wl;
+  wl.seed = 14;
+  wl.text_probability = 1.0;
+  wl.max_text_values = 3;
+  QueryGenerator gen(f.table.schema().dimensions(), f.table.schema(), wl);
+  for (int i = 0; i < 20; ++i) {
+    Query a = gen.next();
+    Query b = a;
+    const TranslationReport ra = batch.translate(a);
+    Query* pb = &b;
+    const TranslationReport rb = batch.translate_all({&pb, 1});
+    EXPECT_EQ(ra.parameters_translated, rb.parameters_translated);
+    EXPECT_EQ(ra.dictionary_entries_scanned, rb.dictionary_entries_scanned);
+    ASSERT_EQ(a.conditions.size(), b.conditions.size());
+    for (std::size_t c = 0; c < a.conditions.size(); ++c) {
+      EXPECT_EQ(a.conditions[c].codes, b.conditions[c].codes);
+    }
+  }
+}
+
+TEST(TranslateAll, WholeBatchMatchesPerQueryTranslateExactly) {
+  // The decision-equivalence property on the translation side: one
+  // amortised pass over the batch produces bit-identical codes to
+  // translating each query alone.
+  Fixture f;
+  const BatchTranslator batch(f.table.schema(), f.dicts);
+  WorkloadConfig wl;
+  wl.seed = 77;
+  wl.text_probability = 0.8;  // mix in untranslated queries too
+  wl.max_text_values = 4;
+  QueryGenerator gen(f.table.schema().dimensions(), f.table.schema(), wl);
+  std::vector<Query> serial;
+  std::vector<Query> batched;
+  for (int i = 0; i < 40; ++i) {
+    serial.push_back(gen.next());
+    batched.push_back(serial.back());
+  }
+  for (Query& q : serial) batch.translate(q);
+  std::vector<Query*> ptrs;
+  for (Query& q : batched) ptrs.push_back(&q);
+  batch.translate_all(ptrs);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].conditions.size(), batched[i].conditions.size());
+    for (std::size_t c = 0; c < serial[i].conditions.size(); ++c) {
+      EXPECT_EQ(serial[i].conditions[c].codes,
+                batched[i].conditions[c].codes)
+          << "query " << i << " condition " << c;
+    }
+  }
+}
+
+TEST(TranslateAll, DuplicateTextKeysAcrossTheBatchAllResolve) {
+  // Two queries asking for the SAME string (plus one repeating it within
+  // a single condition) — the automaton reports every pattern index per
+  // dictionary hit, so duplicates must each get the code.
+  Fixture f;
+  const BatchTranslator batch(f.table.schema(), f.dicts);
+  const int col = f.table.schema().dimension_column(1, 3);
+  const std::string key = f.dicts.for_column(col).decode(7);
+  Query a;
+  Condition ca;
+  ca.dim = 1;
+  ca.level = 3;
+  ca.text_values = {key, key};  // duplicate within one condition
+  a.conditions.push_back(ca);
+  a.measures = {12};
+  Query b;
+  Condition cb;
+  cb.dim = 1;
+  cb.level = 3;
+  cb.text_values = {key};  // duplicate across queries
+  b.conditions.push_back(cb);
+  b.measures = {12};
+  std::vector<Query*> ptrs = {&a, &b};
+  const TranslationReport report = batch.translate_all(ptrs);
+  EXPECT_TRUE(report.all_found);
+  EXPECT_EQ(report.parameters_translated, 3);
+  // Still exactly ONE pass of the shared dictionary.
+  EXPECT_EQ(report.dictionary_entries_scanned,
+            f.dicts.for_column(col).size());
+  EXPECT_EQ(a.conditions[0].codes, (std::vector<std::int32_t>{7, 7}));
+  EXPECT_EQ(b.conditions[0].codes, (std::vector<std::int32_t>{7}));
+}
+
+TEST(TranslateAll, BatchSharingAColumnScansItsDictionaryOnce) {
+  // k queries over one column: the amortisation the front-end buys.
+  Fixture f;
+  const BatchTranslator batch(f.table.schema(), f.dicts);
+  const int col = f.table.schema().dimension_column(1, 3);
+  std::vector<Query> queries(6);
+  std::vector<Query*> ptrs;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    Condition c;
+    c.dim = 1;
+    c.level = 3;
+    c.text_values = {
+        f.dicts.for_column(col).decode(static_cast<std::int32_t>(i))};
+    queries[i].conditions.push_back(c);
+    queries[i].measures = {12};
+    ptrs.push_back(&queries[i]);
+  }
+  const TranslationReport report = batch.translate_all(ptrs);
+  EXPECT_TRUE(report.all_found);
+  EXPECT_EQ(report.parameters_translated, 6);
+  EXPECT_EQ(report.dictionary_entries_scanned,
+            f.dicts.for_column(col).size());  // one pass for all six
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].conditions[0].codes,
+              (std::vector<std::int32_t>{static_cast<std::int32_t>(i)}));
+  }
+}
+
+TEST(TranslateAll, BatchSpanningMultipleDictionariesScansEachOnce) {
+  Fixture f;
+  const BatchTranslator batch(f.table.schema(), f.dicts);
+  const int geo = f.table.schema().dimension_column(1, 3);
+  const int prod = f.table.schema().dimension_column(2, 3);
+  // Query A touches geo, query B touches prod, query C touches both.
+  Query a;
+  {
+    Condition c;
+    c.dim = 1;
+    c.level = 3;
+    c.text_values = {f.dicts.for_column(geo).decode(0)};
+    a.conditions.push_back(c);
+    a.measures = {12};
+  }
+  Query b;
+  {
+    Condition c;
+    c.dim = 2;
+    c.level = 3;
+    c.text_values = {f.dicts.for_column(prod).decode(1), "missing"};
+    b.conditions.push_back(c);
+    b.measures = {12};
+  }
+  Query c;
+  {
+    Condition g;
+    g.dim = 1;
+    g.level = 3;
+    g.text_values = {f.dicts.for_column(geo).decode(2)};
+    Condition p;
+    p.dim = 2;
+    p.level = 3;
+    p.text_values = {f.dicts.for_column(prod).decode(3)};
+    c.conditions.push_back(g);
+    c.conditions.push_back(p);
+    c.measures = {12};
+  }
+  std::vector<Query*> ptrs = {&a, &b, &c};
+  const TranslationReport report = batch.translate_all(ptrs);
+  EXPECT_FALSE(report.all_found);  // "missing" stays -1
+  EXPECT_EQ(report.parameters_translated, 5);
+  EXPECT_EQ(report.dictionary_entries_scanned,
+            f.dicts.for_column(geo).size() + f.dicts.for_column(prod).size());
+  EXPECT_EQ(a.conditions[0].codes, (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(b.conditions[0].codes, (std::vector<std::int32_t>{1, -1}));
+  EXPECT_EQ(c.conditions[0].codes, (std::vector<std::int32_t>{2}));
+  EXPECT_EQ(c.conditions[1].codes, (std::vector<std::int32_t>{3}));
+}
+
 }  // namespace
 }  // namespace holap

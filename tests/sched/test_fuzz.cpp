@@ -13,6 +13,8 @@
 #include "query/workload.hpp"
 #include "sched/baselines.hpp"
 #include "sched/catalog.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
 
 namespace holap {
 namespace {
@@ -146,6 +148,110 @@ TEST_P(SchedulerFuzz, InvariantsHoldOnRandomWorkloads) {
   }
 }
 
+TEST_P(SchedulerFuzz, BatchedAdmissionKeepsInvariantsAndBalancesTheLedger) {
+  // The batched twin of the sweep above: random batch sizes (including 0
+  // and 1) through schedule_batch, the same per-placement geometry, plus
+  // the batch-only invariants — clocks advance monotonically across a
+  // commit, and rollback_batch returns every clock family to its
+  // pre-batch value (the clock-ledger balance the analyzer's batch-ledger
+  // rule guards structurally).
+  const auto [seed, policy_name] = GetParam();
+  FuzzWorld world(seed);
+  SplitMix64 knobs(seed * 13 + 2);
+  if (knobs.bernoulli(0.4)) {
+    // Admission control in the mix: shed placements must stay delta-free.
+    world.config.admission.mode = AdmissionControl::Mode::kReject;
+    world.config.admission.slack_factor = knobs.uniform_real(0.0, 0.5);
+  }
+  auto policy = make_policy(policy_name, world.config, world.estimator());
+  auto* queueing = dynamic_cast<QueueingScheduler*>(policy.get());
+  ASSERT_NE(queueing, nullptr);
+  QueryGenerator gen(world.dims, world.schema, world.workload);
+
+  const auto snapshot = [&] {
+    std::vector<double> clocks{queueing->cpu_clock().value(),
+                               queueing->translation_clock().value()};
+    for (int g = 0; g < queueing->gpu_queue_count(); ++g) {
+      clocks.push_back(queueing->gpu_clock(g).value());
+    }
+    return clocks;
+  };
+
+  SplitMix64 arrivals(seed + 11);
+  Seconds now{};
+  std::uint64_t next_id = 0;
+  std::size_t rollbacks = 0;
+  for (int round = 0; round < 40; ++round) {
+    now += Seconds{arrivals.exponential(60.0)};
+    const auto n = static_cast<std::size_t>(arrivals.uniform_int(0, 12));
+    const std::vector<Query> batch = gen.batch(n);
+    const std::vector<double> before = snapshot();
+
+    const BatchPlacement placed = policy->schedule_batch(batch, now, next_id);
+    next_id += n;
+    ASSERT_EQ(placed.placements.size(), n);
+
+    std::size_t admitted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Placement& p = placed.placements[i];
+      if (p.rejected) {
+        EXPECT_FALSE(world.config.enable_gpu);
+        EXPECT_FALSE(world.catalog.can_answer(batch[i]));
+        continue;
+      }
+      if (p.shed_at_admission) {
+        EXPECT_EQ(world.config.admission.mode,
+                  AdmissionControl::Mode::kReject);
+        continue;
+      }
+      ++admitted;
+      if (p.queue.kind == QueueRef::kCpu) {
+        EXPECT_TRUE(world.config.enable_cpu);
+        EXPECT_FALSE(p.translate);
+      } else {
+        EXPECT_TRUE(world.config.enable_gpu);
+        EXPECT_GE(p.queue.index, 0);
+        EXPECT_LT(p.queue.index,
+                  static_cast<int>(world.config.gpu_partitions.size()));
+        EXPECT_EQ(p.translate, batch[i].needs_translation());
+      }
+      EXPECT_GE(p.processing_est, Seconds{});
+      EXPECT_GE(p.response_est.value(),
+                (now + p.processing_est).value() - 1e-12);
+      EXPECT_EQ(p.before_deadline,
+                (now + world.config.deadline - p.response_est).value() > 0.0);
+    }
+    EXPECT_EQ(placed.admitted, admitted);
+
+    // A commit only ever ADDS load: no clock runs backwards.
+    const std::vector<double> after = snapshot();
+    for (std::size_t c = 0; c < before.size(); ++c) {
+      EXPECT_GE(after[c], before[c] - 1e-12) << "clock " << c;
+    }
+
+    if (arrivals.bernoulli(0.35)) {
+      policy->rollback_batch(placed);
+      ++rollbacks;
+      const std::vector<double> restored = snapshot();
+      for (std::size_t c = 0; c < before.size(); ++c) {
+        EXPECT_NEAR(restored[c], before[c], 1e-9) << "clock " << c;
+      }
+    } else if (admitted > 0 && arrivals.bernoulli(0.5)) {
+      // Interleave completion feedback so later batches stage from
+      // feedback-corrected clocks, like the live executor does.
+      for (const Placement& p : placed.placements) {
+        if (p.rejected || p.shed_at_admission) continue;
+        policy->on_completed(p.queue, p.processing_est,
+                             p.processing_est *
+                                 arrivals.uniform_real(0.5, 1.5));
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(queueing->counters().batch_rollbacks, rollbacks);
+  EXPECT_EQ(queueing->counters().batch_commits, 40u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndPolicies, SchedulerFuzz,
     ::testing::Combine(::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
@@ -158,6 +264,69 @@ INSTANTIATE_TEST_SUITE_P(
                  : std::string(std::get<1>(suite_info.param)) + "_s" +
                        std::to_string(std::get<0>(suite_info.param));
     });
+
+// Batched ingest under a partition crash, on the deterministic sim clock:
+// randomized batch shapes must not cost a single typed resolution, and a
+// seeded run must replay bit-identically.
+TEST(BatchedIngestFuzz, CrashUnderBatchedAdmissionResolvesEveryQueryTyped) {
+  ScenarioOptions opts;
+  opts.fault_tolerance.enabled = true;
+  opts.fault_tolerance.retry.deadline_slack_gate = -100.0;
+  const PaperScenario s{opts};
+  const auto queries = s.make_workload(300);
+
+  for (const std::size_t batch : {std::size_t{2}, std::size_t{5},
+                                  std::size_t{9}}) {
+    auto run_once = [&] {
+      auto policy = s.make_policy();
+      FaultInjector fault;
+      fault.schedule_fault({TimedFault::Kind::kCrash,
+                            QueueRef{QueueRef::kGpu, 4}, Seconds{1.0}, 1.0});
+      fault.schedule_fault({TimedFault::Kind::kRecover,
+                            QueueRef{QueueRef::kGpu, 4}, Seconds{1.6}, 1.0});
+      SimConfig config;
+      config.arrival_rate = 600.0;
+      config.ingest_batch = batch;
+      config.ingest_flush_timeout = Seconds{0.004};
+      config.record_trace = true;
+      config.fault = &fault;
+      return run_simulation(*policy, queries, config);
+    };
+    const SimResult r = run_once();
+    // Conservation: every query resolves to exactly one typed outcome,
+    // crash or no crash, whatever the batch boundaries were.
+    EXPECT_EQ(r.completed + r.rejected + r.shed_at_admission +
+                  r.exhausted_retries,
+              queries.size())
+        << "batch " << batch;
+    EXPECT_GT(r.partition_faults, 0u) << "batch " << batch;
+    for (const QueryTrace& t : r.trace) {
+      const int resolutions = (t.completed > Seconds{} ? 1 : 0) +
+                              (t.exhausted ? 1 : 0) + (t.rejected ? 1 : 0) +
+                              (t.shed ? 1 : 0);
+      EXPECT_EQ(resolutions, 1) << "query " << t.index << " batch " << batch;
+      // Placement-time feasibility bookkeeping survives batching: the
+      // recorded slack is exactly T_D − T_R for the recorded estimate.
+      if (t.completed > Seconds{} || t.exhausted) {
+        EXPECT_NEAR(t.slack_est.value(),
+                    (t.submitted + s.options().deadline - t.response_est)
+                        .value(),
+                    1e-9)
+            << "query " << t.index;
+      }
+    }
+    // Determinism: flush events ride the sim clock, so a rerun replays
+    // the exact same batches, faults and outcomes.
+    const SimResult again = run_once();
+    EXPECT_DOUBLE_EQ(r.makespan.value(), again.makespan.value());
+    EXPECT_EQ(r.completed, again.completed);
+    EXPECT_EQ(r.failed_over, again.failed_over);
+    EXPECT_EQ(r.exhausted_retries, again.exhausted_retries);
+    EXPECT_EQ(r.retries, again.retries);
+    EXPECT_EQ(r.partition_faults, again.partition_faults);
+    EXPECT_EQ(r.met_deadline, again.met_deadline);
+  }
+}
 
 }  // namespace
 }  // namespace holap

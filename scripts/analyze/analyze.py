@@ -7,8 +7,15 @@ Rule families (select with --rules; each violation prints as
   lint   determinism, raw-new-delete, include-hygiene — the original
          scripts/lint.py rules (that script now forwards here).
   ast    clock-ledger, enum-exhaustive, bounded-queue, unit-escape,
-         span-lifecycle — structural invariants of this codebase; see
+         span-lifecycle — structural invariants of this codebase — plus
+         the interprocedural concurrency rules lock-order, blocking and
+         waitnotify (lock-order graph with cycle detection, blocking
+         calls under a held mutex, CondVar wait/notify protocol); see
          DESIGN.md "Invariants as machine-checked rules".
+
+``--only`` narrows whatever --rules selected to an explicit id list —
+``--rules ast --only lock-order,blocking,waitnotify`` is the CI
+concurrency job's invocation.
 
 Engines for the ast family (--engine):
 
@@ -88,6 +95,9 @@ def run(argv: list[str] | None = None) -> int:
     parser.add_argument("--rules", default="all",
                         help="comma list: all, lint, ast, or rule ids "
                              "(default: all)")
+    parser.add_argument("--only", default=None,
+                        help="restrict the selected rules to this comma "
+                             "list of rule ids (applied after --rules)")
     parser.add_argument("--engine", default="text",
                         choices=("auto", "text", "libclang"),
                         help="engine for the ast rules (default: text)")
@@ -111,6 +121,14 @@ def run(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     lint_rules, ast_rules = resolve_rules(args.rules)
+    if args.only is not None:
+        keep = {t.strip() for t in args.only.split(",") if t.strip()}
+        unknown = keep - set(LINT_RULES) - set(AST_RULES)
+        if unknown:
+            raise SystemExit("analyze: --only names unknown rule(s): "
+                             + ", ".join(sorted(unknown)))
+        lint_rules = [r for r in lint_rules if r in keep]
+        ast_rules = [r for r in ast_rules if r in keep]
     root = args.root.resolve()
 
     findings: list[Finding] = []
@@ -164,6 +182,9 @@ def run(argv: list[str] | None = None) -> int:
             "findings": [f.to_json() for f in live],
             "suppressed": len(findings) - len(live),
             "stale_baseline_entries": len(stale),
+            "stale_baseline": [
+                {"rule": e["rule"], "path": e["path"],
+                 "contains": e["contains"]} for e in stale],
         }, indent=2)
         if args.json_out == "-":
             print(payload)

@@ -1,0 +1,942 @@
+"""Interprocedural concurrency analysis shared by both engines.
+
+The engines (text: cppmodel.py via rules_ast.py; AST: libclang_engine.py)
+each extract the same intermediate representation — per-function ordered
+lock/call/block/wait/notify events (cppmodel.ConcEvent) plus entry-held
+sets from HOLAP_REQUIRES annotations — and this module runs the analysis:
+
+  1. a call graph over the extracted functions, with virtual/overload
+     calls resolved to the union of known definitions and unknown callees
+     conservatively assumed to acquire nothing and never block;
+  2. fixpoint summaries per function: the locks a call may transitively
+     acquire and the blocking primitives it may transitively reach, each
+     with one representative witness path;
+  3. a second pass simulating each function's events against its held-set
+     to build the lock-order graph and emit the findings.
+
+Rules (ids match the CI flags and DESIGN.md):
+
+  lock-order   two mutexes acquired in both orders on some interprocedural
+               path (deadlock; both witness paths printed), or a recursive
+               acquisition of the non-reentrant common::Mutex.
+  blocking     BlockingQueue::pop/pop_for/push, CondVar::wait on another
+               mutex, std::thread::join, or std::future::get reached while
+               a lock is held.
+  waitnotify   every CondVar::wait sits in a predicate loop; every
+               notify_* happens in a function that touched the waiter's
+               mutex, so the signalled state mutation is serialised.
+
+Lock identity is the qualified member name (instance-merged:
+'BlockingQueue::mutex_' covers every instance), which matches how the
+Thread Safety annotations name capabilities — deliberately conservative
+for rule 8: two instances of one class cannot alias-split a cycle away.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Callable, Iterable
+
+try:
+    from .cppmodel import (ConcEvent, FunctionDef, FunctionModel,
+                           SourceFile, brace_blocks, class_extents,
+                           class_fields, class_method_decls,
+                           enclosing_block_end, function_definitions,
+                           local_declarations, loop_body_spans,
+                           normalize_lock_expr, parameter_declarations)
+    from .findings import Finding
+except ImportError:  # executed as a flat script directory
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from cppmodel import (ConcEvent, FunctionDef, FunctionModel,
+                          SourceFile, brace_blocks, class_extents,
+                          class_fields, class_method_decls,
+                          enclosing_block_end, function_definitions,
+                          local_declarations, loop_body_spans,
+                          normalize_lock_expr, parameter_declarations)
+    from findings import Finding
+
+CONCURRENCY_RULES = ("lock-order", "blocking", "waitnotify")
+
+# The lock/condvar primitive layer itself is exempt: MutexLock's body IS
+# the acquire and CondVar::wait IS the wait, so analysing them would
+# double-report every use site.
+EXEMPT_FILES = ("src/common/mutex.hpp",)
+
+# Method names that block by contract even when the receiver cannot be
+# resolved to a known class (the conservative single-TU approximation;
+# the libclang engine refines this by receiver type).
+BLOCKING_QUEUE_METHODS = frozenset({"pop", "pop_for", "push"})
+
+_WITNESS_DEPTH = 6  # representative paths stay readable
+
+
+class ConcurrencyModel:
+    """Functions keyed by a unique id (qualified name, '#n'-suffixed for
+    overloads), plus the cv -> waiter-mutex map the wait/notify rule
+    needs. Call resolution targets qualified names, so a call site fans
+    out to every overload — the conservative union."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionModel] = {}
+        self.by_qual: dict[str, list[str]] = {}
+
+    def add(self, fn: FunctionModel) -> None:
+        keys = self.by_qual.setdefault(fn.qual, [])
+        for k in keys:
+            prev = self.functions[k]
+            if prev.rel == fn.rel and prev.line == fn.line:
+                return  # same definition re-parsed (headers, per TU)
+        key = fn.qual if not keys else f"{fn.qual}#{len(keys) + 1}"
+        self.functions[key] = fn
+        keys.append(key)
+
+    def waiter_mutexes(self) -> dict[str, set[str]]:
+        waiters: dict[str, set[str]] = {}
+        for fn in self.functions.values():
+            for ev in fn.events:
+                if ev.kind == "wait" and ev.mutex:
+                    waiters.setdefault(ev.name, set()).add(ev.mutex)
+        return waiters
+
+
+# ---------------------------------------------------------------------------
+# Text-engine extraction: SourceFile list -> ConcurrencyModel
+
+
+_GUARD = re.compile(
+    r"\b(?:MutexLock|(?:std\s*::\s*)?"
+    r"(?:lock_guard|unique_lock|scoped_lock)(?:\s*<[^;<>]*>)?)"
+    r"\s+(\w+)\s*[({]([^;]*?)[)}]\s*;")
+_WAIT = re.compile(r"(\w+)\s*(?:\.|->)\s*(wait|wait_until|wait_for)\s*\(")
+_NOTIFY = re.compile(r"(\w+)\s*(?:\.|->)\s*notify_(?:one|all)\s*\(")
+_JOIN = re.compile(r"(?:\.|->)\s*join\s*\(\s*\)")
+_GET = re.compile(r"(\w+)\s*(?:\.|->)\s*get\s*\(\s*\)")
+_CALL = re.compile(r"(\w+)\s*\(")
+_NON_ACQUIRING_ARGS = frozenset(
+    {"std::defer_lock", "std::adopt_lock", "std::try_to_lock"})
+_CALL_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "do",
+    "new", "delete", "throw", "alignof", "decltype", "static_assert",
+    "noexcept", "operator", "assert", "defined", "static_cast",
+    "const_cast", "reinterpret_cast", "dynamic_cast", "case", "else",
+})
+
+
+def _split_args(text: str) -> list[str]:
+    out, piece, depth = [], [], 0
+    for c in text:
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            out.append("".join(piece).strip())
+            piece = []
+        else:
+            piece.append(c)
+    tail = "".join(piece).strip()
+    if tail:
+        out.append(tail)
+    return out
+
+
+def _match_paren(text: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _receiver_before(text: str, pos: int) -> tuple[str, str, str]:
+    """What precedes the method-name token at `pos`: ('plain', '', '') for
+    a free/this call, ('qual', Class, '') for `Class::name(`, or
+    ('member', base_identifier, receiver_slice) for `expr.name(` /
+    `expr->name(`. The slice is the receiver text, for fallback typing."""
+    j = pos - 1
+    while j >= 0 and text[j].isspace():
+        j -= 1
+    if j >= 1 and text[j] == ":" and text[j - 1] == ":":
+        m = re.search(r"(\w+)\s*::\s*$", text[:j + 1])
+        return ("qual", m.group(1) if m else "", "")
+    is_dot = j >= 0 and text[j] == "."
+    is_arrow = j >= 1 and text[j - 1] == "-" and text[j] == ">"
+    if not (is_dot or is_arrow):
+        return ("plain", "", "")
+    end = j + 1
+    j = j - 1 if is_dot else j - 2
+    # Walk the postfix receiver expression leftwards to its base.
+    base = ""
+    while j >= 0:
+        while j >= 0 and text[j].isspace():
+            j -= 1
+        if j < 0:
+            break
+        c = text[j]
+        if c in ")]":
+            open_c = "(" if c == ")" else "["
+            depth = 0
+            while j >= 0:
+                if text[j] == c:
+                    depth += 1
+                elif text[j] == open_c:
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            j -= 1
+        elif c.isalnum() or c == "_":
+            k = j
+            while k >= 0 and (text[k].isalnum() or text[k] == "_"):
+                k -= 1
+            base = text[k + 1:j + 1]
+            jj = k
+            while jj >= 0 and text[jj].isspace():
+                jj -= 1
+            if jj >= 0 and (text[jj] == "."
+                            or (jj >= 1 and text[jj - 1] == "-"
+                                and text[jj] == ">")):
+                j = jj - 1 if text[jj] == "." else jj - 2
+                base = ""
+                continue
+            j = k
+            break
+        elif c in "*&":
+            j -= 1
+        else:
+            break
+    return ("member", base, text[max(j + 1, 0):end - 1])
+
+
+class _TreeIndex:
+    """Classes, fields, declared and defined methods, and free functions
+    across the scanned files — the resolution side of the call-graph
+    builder."""
+
+    def __init__(self, files: list[tuple[str, SourceFile]]) -> None:
+        self.files = files
+        self.functions: list[tuple[str, SourceFile, FunctionDef]] = []
+        self.class_names: set[str] = set()
+        self.fields: dict[str, dict[str, str]] = {}
+        self.methods: dict[str, set[str]] = {}  # cls -> defined methods
+        self.declared: dict[str, set[str]] = {}  # cls -> declared-only
+        self.method_classes: dict[str, set[str]] = {}  # name -> definers
+        self.free_functions: set[str] = set()
+        self.returns: dict[str, str] = {}  # 'C::m' -> return-type text
+        self.returns_capability: dict[str, str] = {}  # 'C::m' -> member
+        for rel, sf in files:
+            defs = function_definitions(sf)
+            for ce in class_extents(sf):
+                self.class_names.add(ce.name)
+                self.fields.setdefault(ce.name, {}).update(
+                    class_fields(sf, ce, defs))
+                self.declared.setdefault(ce.name, set()).update(
+                    class_method_decls(sf, ce, defs))
+            for fd in defs:
+                self.functions.append((rel, sf, fd))
+                if fd.cls:
+                    self.methods.setdefault(fd.cls, set()).add(fd.name)
+                    self.method_classes.setdefault(fd.name, set()).add(fd.cls)
+                    self.returns.setdefault(fd.qual, fd.ret)
+                    cap = re.search(r"HOLAP_RETURN_CAPABILITY\(([^()]*)\)",
+                                    fd.annotations)
+                    if cap:
+                        self.returns_capability[fd.qual] = cap.group(1).strip()
+                else:
+                    self.free_functions.add(fd.name)
+
+    def class_of(self, type_text: str) -> str | None:
+        """The known class a (normalised) type names, by head token."""
+        head = _head_of(type_text)
+        if head is None:
+            return None
+        tail = head.rsplit("::", 1)[-1]
+        return tail if tail in self.class_names else None
+
+
+# --- Receiver chain typing -------------------------------------------------
+#
+# 'shards_[i]->push_displacing' types as: field shards_ ->
+# std::vector<std::unique_ptr<BlockingQueue<T>>>, subscript-unwrap to
+# unique_ptr, deref-normalise to BlockingQueue. A chain that dead-ends in
+# a std:: type yields NO callees (so 'items_.size()' never unifies with
+# BlockingQueue::size); a chain that cannot be typed at all falls back to
+# the union of known definitions (the virtual/overload fallback).
+
+_WRAP_SUBSCRIPT = frozenset({"std::vector", "std::deque", "std::array",
+                             "std::span", "vector", "deque", "array"})
+_WRAP_DEREF = frozenset({"std::unique_ptr", "std::shared_ptr",
+                         "std::optional", "unique_ptr", "shared_ptr",
+                         "optional"})
+_DEAD = object()  # typed into a type we do not model (std::, primitive)
+
+
+def _head_of(type_text: str) -> str | None:
+    t = re.sub(r"\b(?:const|mutable|static|constexpr|typename)\b", " ",
+               type_text)
+    t = t.strip().lstrip("*&").strip()
+    m = re.match(r"[\w:]+", t)
+    return m.group(0) if m else None
+
+
+def _template_inner(type_text: str) -> str | None:
+    lt = type_text.find("<")
+    if lt == -1:
+        return None
+    depth = 0
+    for i in range(lt, len(type_text)):
+        if type_text[i] == "<":
+            depth += 1
+        elif type_text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return _split_args(type_text[lt + 1:i])[0]
+    return None
+
+
+def _deref_normalize(t: str) -> str:
+    """Strip pointers and smart-pointer/optional wrappers: the type whose
+    members a '->' or '.' access reaches."""
+    for _ in range(4):
+        head = _head_of(t)
+        if head in _WRAP_DEREF:
+            inner = _template_inner(t)
+            if inner is None:
+                return t
+            t = inner
+        elif t.rstrip().endswith(("*", "&")):
+            t = t.rstrip()[:-1]
+        else:
+            return t
+    return t
+
+
+class _Scope:
+    """Name -> type tables for one function body."""
+
+    def __init__(self, idx: _TreeIndex, cls: str | None,
+                 locals_: dict[str, str], params: dict[str, str]) -> None:
+        self.idx = idx
+        self.cls = cls
+        self.locals = locals_
+        self.params = params
+        self.fields = idx.fields.get(cls, {}) if cls else {}
+
+    def type_of_name(self, name: str) -> str | None:
+        for table in (self.locals, self.params, self.fields):
+            if name in table:
+                return table[name]
+        return None
+
+
+def _split_chain(expr: str) -> list[tuple[str, str]] | None:
+    """'(name, suffixes)' per component of a postfix chain, '.'/'->'
+    separated at depth 0. Suffixes is the concatenation of '[', '('
+    markers in access order. None if the shape is not a simple chain."""
+    expr = expr.strip()
+    while expr.startswith("(") and _match_paren(expr, 0) == len(expr) - 1:
+        expr = expr[1:-1].strip()
+    stars = 0
+    while expr.startswith("*"):
+        stars += 1
+        expr = expr[1:].strip()
+    comps: list[tuple[str, str]] = []
+    i, n = 0, len(expr)
+    while i < n:
+        m = re.match(r"\s*(\w+)", expr[i:])
+        if m is None:
+            return None
+        name = m.group(1)
+        i += m.end()
+        suffixes = ""
+        while i < n:
+            while i < n and expr[i].isspace():
+                i += 1
+            if i < n and expr[i] == "[":
+                depth = 0
+                while i < n:
+                    if expr[i] == "[":
+                        depth += 1
+                    elif expr[i] == "]":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    i += 1
+                i += 1
+                suffixes += "["
+            elif i < n and expr[i] == "(":
+                close = _match_paren(expr, i)
+                if close == -1:
+                    return None
+                i = close + 1
+                suffixes += "("
+            else:
+                break
+        comps.append((name, suffixes))
+        while i < n and expr[i].isspace():
+            i += 1
+        if i >= n:
+            break
+        if expr.startswith("->", i):
+            i += 2
+        elif expr[i] == ".":
+            i += 1
+        else:
+            return None
+    if not comps:
+        return None
+    comps[0] = (comps[0][0], comps[0][1] + "*" * stars)
+    return comps
+
+
+def _type_expr(expr: str, scope: _Scope, depth: int = 0):
+    """Type of a postfix expression: a type string, _DEAD (typed into a
+    type we do not model), or None (cannot be typed at all)."""
+    if depth > 3:
+        return None
+    comps = _split_chain(expr.strip().rstrip(";,"))
+    if comps is None:
+        return None
+    t: str | None = None
+    for pos, (name, suffixes) in enumerate(comps):
+        if pos == 0:
+            if name == "this":
+                t = scope.cls or ""
+                if not t:
+                    return None
+            else:
+                t = scope.type_of_name(name)
+                if t is None and "(" in suffixes and scope.cls \
+                        and name in scope.idx.methods.get(scope.cls, ()):
+                    t = scope.idx.returns.get(f"{scope.cls}::{name}", "")
+                    suffixes = suffixes.replace("(", "", 1)
+                if t is None:
+                    return None
+        else:
+            t = _deref_normalize(t)
+            cls = scope.idx.class_of(t)
+            if cls is None:
+                return _DEAD
+            if "(" in suffixes:
+                if name not in scope.idx.methods.get(cls, ()):
+                    return _DEAD
+                t = scope.idx.returns.get(f"{cls}::{name}", "")
+                suffixes = suffixes.replace("(", "", 1)
+            elif name in scope.idx.fields.get(cls, {}):
+                t = scope.idx.fields[cls][name]
+            else:
+                return _DEAD
+        if t is not None and t.startswith("auto:"):
+            t = _type_expr(t[len("auto:"):], scope, depth + 1)
+            if t is None or t is _DEAD:
+                return t
+        if not t:
+            return _DEAD
+        for s in suffixes:
+            if s == "[":
+                head = _head_of(t)
+                if head in _WRAP_SUBSCRIPT:
+                    inner = _template_inner(t)
+                    t = inner if inner else _DEAD
+                elif t.rstrip().endswith(("*", "&")):
+                    t = t.rstrip()[:-1]
+                else:
+                    return _DEAD
+            elif s == "*":
+                t = _deref_normalize(t)
+            elif s == "(":
+                return _DEAD  # functor/extra call: not modelled
+            if t is _DEAD or not t:
+                return _DEAD
+    return t
+
+
+def _resolve_member_call(recv_slice: str, method: str,
+                         scope: _Scope) -> list[str] | None:
+    """Candidate callee quals for 'recv.method(...)'. None means the
+    receiver was typed into a type we do not model (no callees, no
+    fallback); an empty list with an untypable receiver triggers the
+    union fallback at the call site."""
+    idx = scope.idx
+    t = _type_expr(recv_slice, scope)
+    if t is _DEAD:
+        return None
+    if t is None:
+        # Untypable receiver: the conservative union-of-definitions
+        # fallback (virtual dispatch, overloads, fixture-local shapes).
+        return sorted(f"{c}::{method}"
+                      for c in idx.method_classes.get(method, ()))
+    t = _deref_normalize(t)
+    cls = idx.class_of(t)
+    if cls is None:
+        return None
+    if method in idx.methods.get(cls, ()):
+        return [f"{cls}::{method}"]
+    if method in idx.declared.get(cls, ()):
+        # Declared here (e.g. pure virtual), defined in subclasses: the
+        # union of known definitions is the dispatch set.
+        return sorted(f"{c}::{method}"
+                      for c in idx.method_classes.get(method, ()))
+    return None
+
+
+def build_text_model(files: list[tuple[str, SourceFile]]) -> ConcurrencyModel:
+    """The text engine's extractor: best-effort single-TU approximation of
+    what the libclang engine reads from the AST."""
+    scanned = [(rel, sf) for rel, sf in files if rel not in EXEMPT_FILES]
+    idx = _TreeIndex(scanned)
+    model = ConcurrencyModel()
+    for rel, sf, fd in idx.functions:
+        model.add(_extract_function(rel, sf, fd, idx))
+    return model
+
+
+def _extract_function(rel: str, sf: SourceFile, fd: FunctionDef,
+                      idx: _TreeIndex) -> FunctionModel:
+    text = sf.stripped
+    body_lo, body_hi = fd.start, fd.end
+    body = text[body_lo:body_hi + 1]
+    scope = _Scope(idx, fd.cls, local_declarations(body),
+                   parameter_declarations(fd.params))
+    blocks = brace_blocks(text, body_lo, body_hi)
+    loops = loop_body_spans(text, body_lo, body_hi)
+    events: list[ConcEvent] = []
+    claimed: set[int] = set()  # method-name offsets already interpreted
+    guard_locks: dict[str, str] = {}  # guard var -> lock id
+
+    def lock_id(expr: str) -> str:
+        e = re.sub(r"\s+", "", expr).replace("this->", "")
+        if e in guard_locks:
+            return guard_locks[e]
+        # Getter canonicalisation: 'stats_.mutex()' resolves through the
+        # HOLAP_RETURN_CAPABILITY annotation to 'GuardedIngestStats::mutex_'.
+        m = re.fullmatch(r"([\w.\[\]>()-]+?)(?:\.|->)(\w+)\(\)", e)
+        if m:
+            t = _type_expr(m.group(1), scope)
+            cls = idx.class_of(_deref_normalize(t)) \
+                if isinstance(t, str) else None
+            if cls:
+                cap = idx.returns_capability.get(f"{cls}::{m.group(2)}")
+                if cap:
+                    return normalize_lock_expr(cap, cls)
+        return normalize_lock_expr(e, fd.cls)
+
+    for m in _GUARD.finditer(body):
+        off = body_lo + m.start(1)
+        args = _split_args(m.group(2))
+        acquired = [a for a in args
+                    if re.sub(r"\s+", "", a) not in _NON_ACQUIRING_ARGS]
+        if len(acquired) != len(args):
+            continue  # defer/adopt: ownership unclear, stay conservative
+        release_at = enclosing_block_end(blocks, off)
+        for arg in acquired:
+            lid = lock_id(arg)
+            guard_locks[m.group(1)] = lid
+            events.append(ConcEvent("acquire", off, sf.line_of(off),
+                                    name=lid))
+            if release_at != -1:
+                events.append(ConcEvent("release", release_at,
+                                        sf.line_of(release_at), name=lid))
+
+    def cv_receiver_kind(recv: str) -> str:
+        t = _type_expr(recv, scope)
+        if t is None:
+            return "unknown"
+        if t is _DEAD:
+            return "other"
+        if "CondVar" in t or "condition_variable" in t:
+            return "condvar"
+        if "future" in t:
+            return "future"
+        return "other"
+
+    for m in _WAIT.finditer(body):
+        close = _match_paren(body, m.end() - 1)
+        if close == -1:
+            continue
+        args = _split_args(body[m.end():close])
+        kind = cv_receiver_kind(m.group(1))
+        off = body_lo + m.start()
+        claimed.add(body_lo + m.start(2))
+        if kind == "future":
+            events.append(ConcEvent("block", off, sf.line_of(off),
+                                    detail="std::future::wait"))
+            continue
+        if kind == "other" or not args:
+            continue
+        has_predicate = (len(args) >= 2 if m.group(2) == "wait"
+                         else len(args) >= 3)
+        in_loop = has_predicate or any(
+            lo <= off <= hi for lo, hi in loops)
+        events.append(ConcEvent(
+            "wait", off, sf.line_of(off),
+            name=normalize_lock_expr(m.group(1), fd.cls),
+            mutex=lock_id(args[0]), in_loop=in_loop))
+
+    for m in _NOTIFY.finditer(body):
+        off = body_lo + m.start()
+        claimed.add(body_lo + body.index("notify", m.start(), m.end()))
+        events.append(ConcEvent(
+            "notify", off, sf.line_of(off),
+            name=normalize_lock_expr(m.group(1), fd.cls)))
+
+    for m in _JOIN.finditer(body):
+        off = body_lo + m.start()
+        claimed.add(body_lo + body.index("join", m.start(), m.end()))
+        events.append(ConcEvent("block", off, sf.line_of(off),
+                                detail="std::thread::join"))
+
+    for m in _GET.finditer(body):
+        recv = m.group(1)
+        t = _type_expr(recv, scope)
+        looks_future = (isinstance(t, str) and "future" in t) or (
+            t is None and ("fut" in recv.lower()))
+        if not looks_future:
+            continue
+        off = body_lo + m.start()
+        claimed.add(body_lo + body.index("get", m.end(1), m.end()))
+        events.append(ConcEvent("block", off, sf.line_of(off),
+                                detail="std::future::get"))
+
+    for m in _CALL.finditer(body):
+        name = m.group(1)
+        if body_lo + m.start(1) in claimed or name in _CALL_KEYWORDS:
+            continue
+        off = body_lo + m.start()
+        kind, base, recv_slice = _receiver_before(body, m.start())
+        callees: list[str] = []
+        if kind == "plain":
+            if fd.cls and name in idx.methods.get(fd.cls, ()):
+                callees = [f"{fd.cls}::{name}"]
+            elif name in idx.free_functions:
+                callees = [name]
+        elif kind == "qual":
+            if base in idx.class_names and name in idx.methods.get(base, ()):
+                callees = [f"{base}::{name}"]
+        else:  # member call
+            resolved = _resolve_member_call(recv_slice, name, scope)
+            if resolved is None:
+                continue  # receiver typed into std/unknown: not our code
+            callees = resolved
+            if not callees and name in BLOCKING_QUEUE_METHODS:
+                # Untypable receiver with a queue-shaped method name:
+                # conservative single-TU approximation for fixture code
+                # that declares but does not define its queue type.
+                events.append(ConcEvent(
+                    "block", off, sf.line_of(off),
+                    detail=f"BlockingQueue::{name} (unresolved "
+                           "receiver, assumed blocking)"))
+                continue
+        if callees:
+            events.append(ConcEvent("call", off, sf.line_of(off),
+                                    name=name, callees=tuple(callees)))
+
+    entry = tuple(sorted({
+        lock_id(a)
+        for m in re.finditer(r"HOLAP_REQUIRES\(([^()]*)\)", fd.annotations)
+        for a in _split_args(m.group(1))}))
+    events.sort(key=lambda e: (e.offset, 0 if e.kind == "release" else 1))
+    return FunctionModel(qual=fd.qual, cls=fd.cls, rel=rel, line=fd.line,
+                         entry_held=entry, events=events)
+
+
+# ---------------------------------------------------------------------------
+# Summaries: what a call may transitively acquire / block on.
+
+
+def compute_summaries(model: ConcurrencyModel) -> tuple[
+        dict[str, dict[str, tuple[str, ...]]],
+        dict[str, dict[str, tuple[str, ...]]]]:
+    """(acquires, blocks): per function, lock-or-primitive -> one witness
+    path (a tuple of human-readable steps). Monotone — each key is set at
+    most once — so recursion and cycles reach a fixpoint."""
+    acquires: dict[str, dict[str, tuple[str, ...]]] = {
+        q: {} for q in model.functions}
+    blocks: dict[str, dict[str, tuple[str, ...]]] = {
+        q: {} for q in model.functions}
+    order = sorted(model.functions)
+    changed = True
+    while changed:
+        changed = False
+        for key in order:
+            fn = model.functions[key]
+            own_acq, own_blk = acquires[key], blocks[key]
+            for ev in fn.events:
+                here = f"{fn.qual} ({fn.rel}:{ev.line})"
+                if ev.kind == "acquire" and ev.name not in own_acq:
+                    own_acq[ev.name] = (f"acquires {ev.name} in {here}",)
+                    changed = True
+                elif ev.kind == "wait":
+                    key = f"CondVar::wait on {ev.name}"
+                    if key not in own_blk:
+                        own_blk[key] = (f"waits on {ev.name} in {here}",)
+                        changed = True
+                elif ev.kind == "block" and ev.detail not in own_blk:
+                    own_blk[ev.detail] = (f"{ev.detail} in {here}",)
+                    changed = True
+                elif ev.kind == "call":
+                    step = f"calls {ev.name} in {here}"
+                    for callee in ev.callees:
+                        for ckey in model.by_qual.get(callee, ()):
+                            if ckey == key:
+                                continue
+                            for lock, path in acquires[ckey].items():
+                                if lock not in own_acq \
+                                        and len(path) < _WITNESS_DEPTH:
+                                    own_acq[lock] = (step,) + path
+                                    changed = True
+                            for bk, path in blocks[ckey].items():
+                                if bk not in own_blk \
+                                        and len(path) < _WITNESS_DEPTH:
+                                    own_blk[bk] = (step,) + path
+                                    changed = True
+    return acquires, blocks
+
+
+# ---------------------------------------------------------------------------
+# The rules.
+
+
+def _fmt(path: Iterable[str]) -> str:
+    return " -> ".join(path)
+
+
+def analyze_model(model: ConcurrencyModel, rules: Iterable[str],
+                  line_text: Callable[[str, int], str]) -> list[Finding]:
+    """Run the selected concurrency rules over an extracted model."""
+    wanted = set(rules)
+    acquires, blocks = compute_summaries(model)
+    waiters = model.waiter_mutexes()
+    findings: list[Finding] = []
+    # edge (a, b): a held while b acquired somewhere. One witness each.
+    edges: dict[tuple[str, str], tuple[str, tuple[str, ...], int]] = {}
+    notifies: list[tuple[FunctionModel, ConcEvent, set[str]]] = []
+
+    def note_edge(a: str, b: str, rel: str, line: int,
+                  path: tuple[str, ...]) -> None:
+        edges.setdefault((a, b), (rel, path, line))
+
+    for fkey in sorted(model.functions):
+        fn = model.functions[fkey]
+        held: dict[str, tuple[str, ...]] = {
+            lock: (f"enters {fn.qual} with {lock} held "
+                   f"(HOLAP_REQUIRES, {fn.rel}:{fn.line})",)
+            for lock in fn.entry_held}
+        touched: set[str] = set(fn.entry_held)
+        for ev in fn.events:
+            here = f"{fn.qual} ({fn.rel}:{ev.line})"
+            if ev.kind == "acquire":
+                touched.add(ev.name)
+                if ev.name in held:
+                    if "lock-order" in wanted:
+                        findings.append(Finding(
+                            "lock-order", fn.rel, ev.line,
+                            f"recursive acquisition of {ev.name} "
+                            f"[{_fmt(held[ev.name])} -> re-acquired in "
+                            f"{here}] — common::Mutex is non-reentrant, "
+                            "this self-deadlocks",
+                            text=line_text(fn.rel, ev.line)))
+                    continue
+                for h, hpath in held.items():
+                    note_edge(h, ev.name, fn.rel, ev.line,
+                              hpath + (f"acquires {ev.name} in {here}",))
+                held[ev.name] = (f"acquires {ev.name} in {here}",)
+            elif ev.kind == "release":
+                held.pop(ev.name, None)
+            elif ev.kind == "wait":
+                touched.add(ev.mutex)
+                others = [h for h in held if h != ev.mutex]
+                if others and "blocking" in wanted:
+                    findings.append(Finding(
+                        "blocking", fn.rel, ev.line,
+                        f"CondVar::wait on {ev.name} releases only "
+                        f"{ev.mutex}, but {', '.join(sorted(others))} "
+                        f"stay(s) held across the wait in {here} — every "
+                        "contender on those locks stalls until a signal",
+                        text=line_text(fn.rel, ev.line)))
+                if not ev.in_loop and "waitnotify" in wanted:
+                    findings.append(Finding(
+                        "waitnotify", fn.rel, ev.line,
+                        f"CondVar::wait on {ev.name} outside a predicate "
+                        f"loop in {here} — spurious wake-ups and "
+                        "missed-signal races slip through; re-check the "
+                        "condition in a while loop",
+                        text=line_text(fn.rel, ev.line)))
+            elif ev.kind == "block":
+                if held and "blocking" in wanted:
+                    locks = ", ".join(sorted(held))
+                    findings.append(Finding(
+                        "blocking", fn.rel, ev.line,
+                        f"{ev.detail} while holding {locks} in {here} — "
+                        "the lock is pinned for an unbounded sleep",
+                        text=line_text(fn.rel, ev.line)))
+            elif ev.kind == "notify":
+                notifies.append((fn, ev, touched | set(held)))
+            elif ev.kind == "call":
+                step = f"calls {ev.name} in {here}"
+                callee_acq: dict[str, tuple[str, ...]] = {}
+                callee_blk: dict[str, tuple[str, ...]] = {}
+                for callee in ev.callees:
+                    for ckey in model.by_qual.get(callee, ()):
+                        for lock, path in acquires.get(ckey, {}).items():
+                            callee_acq.setdefault(lock, (step,) + path)
+                        for bk, path in blocks.get(ckey, {}).items():
+                            callee_blk.setdefault(bk, (step,) + path)
+                for lock, path in sorted(callee_acq.items()):
+                    touched.add(lock)
+                    if lock in held:
+                        if "lock-order" in wanted:
+                            findings.append(Finding(
+                                "lock-order", fn.rel, ev.line,
+                                f"recursive acquisition of {lock} "
+                                f"[{_fmt(held[lock] + path)}] — "
+                                "common::Mutex is non-reentrant, this "
+                                "self-deadlocks",
+                                text=line_text(fn.rel, ev.line)))
+                        continue
+                    for h, hpath in held.items():
+                        note_edge(h, lock, fn.rel, ev.line, hpath + path)
+                if held and callee_blk and "blocking" in wanted:
+                    key = sorted(callee_blk)[0]
+                    findings.append(Finding(
+                        "blocking", fn.rel, ev.line,
+                        f"call may block [{_fmt(callee_blk[key])}] while "
+                        f"holding {', '.join(sorted(held))} — release "
+                        "before blocking or use a non-blocking variant",
+                        text=line_text(fn.rel, ev.line)))
+
+    if "lock-order" in wanted:
+        findings.extend(_lock_order_cycles(edges, line_text))
+    if "waitnotify" in wanted:
+        for fn, ev, touched in notifies:
+            mutexes = waiters.get(ev.name)
+            if not mutexes:
+                continue  # no observed waiter: nothing to agree with
+            if touched & mutexes:
+                continue
+            findings.append(Finding(
+                "waitnotify", fn.rel, ev.line,
+                f"notify on {ev.name} in {fn.qual} ({fn.rel}:{ev.line}) "
+                f"without ever holding the waiter's mutex "
+                f"({', '.join(sorted(mutexes))}) — the signalled state "
+                "mutation is unserialised and the wake-up can be lost",
+                text=line_text(fn.rel, ev.line)))
+    return findings
+
+
+def _lock_order_cycles(
+        edges: dict[tuple[str, str], tuple[str, tuple[str, ...], int]],
+        line_text: Callable[[str, int], str]) -> list[Finding]:
+    findings: list[Finding] = []
+    reported_nodes: set[str] = set()
+    for (a, b) in sorted(edges):
+        if a >= b or (b, a) not in edges:
+            continue
+        rel_ab, path_ab, line_ab = edges[(a, b)]
+        rel_ba, path_ba, _ = edges[(b, a)]
+        findings.append(Finding(
+            "lock-order", rel_ab, line_ab,
+            f"lock-order cycle between {a} and {b}: one path takes "
+            f"{a} then {b} [{_fmt(path_ab)}], another takes {b} then "
+            f"{a} [{_fmt(path_ba)} ({rel_ba})] — two threads "
+            "interleaving these paths deadlock",
+            text=line_text(rel_ab, line_ab)))
+        reported_nodes.update((a, b))
+    # Longer cycles (A->B->C->A without any pairwise inversion): report
+    # one finding per strongly-connected component not already covered.
+    adj: dict[str, set[str]] = {}
+    for (a, b) in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())
+    for comp in _sccs(adj):
+        if len(comp) < 2 or reported_nodes & set(comp):
+            continue
+        cycle = _find_cycle(adj, comp)
+        steps = []
+        for x, y in zip(cycle, cycle[1:]):
+            _, path, _ = edges[(x, y)]
+            steps.append(_fmt(path))
+        rel, _, line = edges[(cycle[0], cycle[1])]
+        findings.append(Finding(
+            "lock-order", rel, line,
+            f"lock-order cycle through {' -> '.join(cycle)}: "
+            f"[{' | '.join(steps)}] — a ring of threads interleaving "
+            "these paths deadlocks",
+            text=line_text(rel, line)))
+    return findings
+
+
+def _sccs(adj: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's strongly-connected components, iterative, sorted."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    comps: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(adj.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(adj.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                comps.append(sorted(comp))
+
+    for v in sorted(adj):
+        if v not in index:
+            strongconnect(v)
+    return comps
+
+
+def _find_cycle(adj: dict[str, set[str]], comp: list[str]) -> list[str]:
+    """A concrete cycle through a non-trivial SCC, as [a, b, ..., a]."""
+    comp_set = set(comp)
+    start = comp[0]
+    path = [start]
+    seen = {start}
+    v = start
+    while True:
+        nxt = sorted(w for w in adj.get(v, ()) if w in comp_set)[0]
+        if nxt == start:
+            return path + [start]
+        if nxt in seen:
+            i = path.index(nxt)
+            return path[i:] + [nxt]
+        path.append(nxt)
+        seen.add(nxt)
+        v = nxt

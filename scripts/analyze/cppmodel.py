@@ -219,6 +219,456 @@ def _blank_nested_switches(body: str) -> str:
 ENUM_DEF = re.compile(r"\benum\s+(?:class|struct)\s+(\w+)[^;{]*\{")
 
 
+# ---------------------------------------------------------------------------
+# Concurrency model: classes, function definitions, lock/call/wait events.
+#
+# The text engine's approximation of what the libclang engine reads from
+# the AST: enough structure to build a call graph, track scoped lock
+# guards, and spot blocking primitives. Known blind spots (macro-generated
+# functions, template metaprogramming, type-dependent dispatch) do not
+# occur in this codebase; the fixture suite pins the supported shapes.
+
+
+_CONTROL_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "do",
+    "else", "case", "new", "delete", "throw", "alignof", "decltype",
+    "static_assert", "noexcept", "operator", "assert", "defined",
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast",
+})
+
+_QUALIFIER_WORDS = frozenset({"const", "noexcept", "override", "final",
+                              "mutable", "try", "volatile"})
+
+CLASS_DEF = re.compile(
+    r"\b(enum\s+)?(?:class|struct)\s+"
+    r"(?:HOLAP_\w+\s*(?:\([^()]*\))?\s+)*"
+    r"(\w+)(?:\s+final)?\s*(?::[^;{]*)?\{")
+
+
+@dataclasses.dataclass
+class ClassExtent:
+    name: str
+    start: int  # offset of the opening '{'
+    end: int  # offset of the matching '}'
+
+
+def class_extents(sf: SourceFile) -> list[ClassExtent]:
+    """Every class/struct definition in the file (incl. nested ones)."""
+    out = []
+    for m in CLASS_DEF.finditer(sf.stripped):
+        if m.group(1):  # enum class — not a class
+            continue
+        brace = m.end() - 1
+        end = match_brace(sf.stripped, brace)
+        if end != -1:
+            out.append(ClassExtent(m.group(2), brace, end))
+    return out
+
+
+@dataclasses.dataclass
+class FunctionDef:
+    cls: str | None  # owning class (lexical or the Class:: qualifier)
+    name: str  # unqualified name ('~X' for destructors)
+    qual: str  # 'Class::name' or bare 'name' for free functions
+    params: str  # stripped text inside the signature parens
+    annotations: str  # text between ')' and '{' (qualifiers, HOLAP_*)
+    start: int  # offset of the opening '{'
+    end: int  # offset of the matching '}'
+    line: int  # line of the name token
+    ret: str = ""  # return-type text (best effort; '' for constructors)
+
+
+def _match_paren(text: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _skip_angles(text: str, i: int) -> int:
+    depth = 0
+    while i < len(text):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return i
+
+
+def _qualified_class_before(text: str, pos: int) -> str | None:
+    """The C in ``C::`` immediately before pos, if any."""
+    m = re.search(r"(\w+)\s*::\s*$", text[:pos])
+    return m.group(1) if m else None
+
+
+def _body_after_signature(text: str, sig_close: int) -> tuple[int, str]:
+    """Offset of the '{' starting a function body whose parameter list
+    closes at sig_close, plus the qualifier/annotation text in between.
+    Returns (-1, '') for declarations, expressions, and anything that is
+    not a function definition."""
+    i = sig_close + 1
+    n = len(text)
+    ann_start = i
+    after_arrow = False
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+        elif c == "{":
+            return i, text[ann_start:i]
+        elif c in ");=,]}?":
+            return -1, ""
+        elif c == ":" and not after_arrow:
+            if text.startswith("::", i):
+                i += 2  # qualified name in a trailing return type
+                continue
+            # Constructor init list: ident (...)/{...} groups, then '{'.
+            i += 1
+            while i < n:
+                while i < n and text[i].isspace():
+                    i += 1
+                m = re.match(r"[\w:]+(?:\s*<)?", text[i:])
+                if m is None:
+                    return -1, ""
+                i += m.end()
+                if m.group(0).endswith("<"):
+                    i = _skip_angles(text, i - 1)
+                while i < n and text[i].isspace():
+                    i += 1
+                if i >= n or text[i] not in "({":
+                    return -1, ""
+                close = (_match_paren(text, i) if text[i] == "("
+                         else match_brace(text, i))
+                if close == -1:
+                    return -1, ""
+                i = close + 1
+                while i < n and text[i].isspace():
+                    i += 1
+                if i < n and text[i] == ",":
+                    i += 1
+                    continue
+                if i < n and text[i] == "{":
+                    return i, text[ann_start:i]
+                return -1, ""
+            return -1, ""
+        elif text.startswith("->", i):
+            after_arrow = True
+            i += 2
+        elif c == "<":
+            i = _skip_angles(text, i)
+        elif c == "(":
+            close = _match_paren(text, i)  # noexcept(...), HOLAP_*(...)
+            if close == -1:
+                return -1, ""
+            i = close + 1
+        elif c == "&":
+            i += 1
+        elif c.isalnum() or c == "_":
+            m = re.match(r"\w+", text[i:])
+            word = m.group(0)
+            if (word not in _QUALIFIER_WORDS
+                    and not word.startswith("HOLAP_") and not after_arrow):
+                return -1, ""
+            i += m.end()
+        else:
+            return -1, ""
+    return -1, ""
+
+
+_RET_NOISE = re.compile(
+    r"^(?:template\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>|static|inline|virtual|"
+    r"explicit|constexpr|friend|\[\[[^\]]*\]\])\s*")
+
+
+def _return_type_before(text: str, pos: int, cls: str | None) -> str:
+    """Return-type text preceding the function name at pos (best effort:
+    back to the previous statement/brace boundary, specifiers and the
+    Class:: qualifier stripped)."""
+    lo = max(text.rfind(c, 0, pos) for c in ";{}")
+    head = text[lo + 1:pos].strip()
+    if cls:
+        head = re.sub(rf"\b{re.escape(cls)}\s*::\s*$", "", head).strip()
+    while True:
+        stripped = _RET_NOISE.sub("", head).strip()
+        if stripped == head:
+            break
+        head = stripped
+    return head
+
+
+def function_definitions(sf: SourceFile) -> list[FunctionDef]:
+    """Every function definition with a body in the file. Lambdas are not
+    separate functions: their bodies stay inside the enclosing extent (a
+    guard declared in a lambda is released at the lambda's brace, so the
+    approximation stays scope-correct)."""
+    text = sf.stripped
+    classes = class_extents(sf)
+    out: list[FunctionDef] = []
+    last_end = -1
+    for m in re.finditer(r"(~?)(\w+)\s*\(", text):
+        if m.start() < last_end:
+            continue  # inside the previous function body
+        name = m.group(1) + m.group(2)
+        if m.group(2) in _CONTROL_KEYWORDS:
+            continue
+        sig_open = m.end() - 1
+        sig_close = _match_paren(text, sig_open)
+        if sig_close == -1:
+            continue
+        start, annotations = _body_after_signature(text, sig_close)
+        if start == -1:
+            continue
+        end = match_brace(text, start)
+        if end == -1:
+            continue
+        cls = _qualified_class_before(text, m.start())
+        if cls is None:
+            for ce in classes:
+                if ce.start < m.start() < ce.end:
+                    cls = ce.name  # innermost wins (list is document order)
+        qual = f"{cls}::{name}" if cls else name
+        ret = "" if name.lstrip("~") == cls else _return_type_before(
+            text, m.start(), cls)
+        out.append(FunctionDef(
+            cls=cls, name=name, qual=qual,
+            params=text[sig_open + 1:sig_close], annotations=annotations,
+            start=start, end=end, line=sf.line_of(m.start()), ret=ret))
+        last_end = end
+    return out
+
+
+def _class_decl_text(sf: SourceFile, extent: ClassExtent,
+                     functions: list[FunctionDef]) -> str:
+    """The class body with in-class method bodies and nested classes
+    blanked, so only the declarations remain."""
+    body = sf.stripped[extent.start + 1:extent.end]
+    base = extent.start + 1
+    spans = [(f.start, f.end) for f in functions
+             if extent.start < f.start and f.end < extent.end]
+    spans += [(c.start, c.end) for c in class_extents(sf)
+              if extent.start < c.start and c.end < extent.end]
+    for s, e in spans:
+        lo, hi = s - base, e + 1 - base
+        body = body[:lo] + re.sub(r"[^\n]", " ", body[lo:hi]) + body[hi:]
+    return body
+
+
+def class_fields(sf: SourceFile, extent: ClassExtent,
+                 functions: list[FunctionDef]) -> dict[str, str]:
+    """name -> declared-type text for the data members of one class."""
+    body = _class_decl_text(sf, extent, functions)
+    fields: dict[str, str] = {}
+    decl = re.compile(
+        r"^\s*(?:mutable\s+|static\s+|constexpr\s+)*"
+        r"((?:const\s+)?[A-Za-z_][\w:]*(?:\s*<[^;]*>)?(?:\s*[&*])?)"
+        r"\s+(\w+)\s*"
+        r"(?:HOLAP_\w+\s*\([^()]*\)\s*)*"
+        r"(?:=[^;]*|\{[^;]*\})?;", re.MULTILINE)
+    for m in decl.finditer(body):
+        type_text = m.group(1).strip()
+        if type_text.split()[-1] in ("return", "using", "typedef"):
+            continue
+        fields[m.group(2)] = type_text
+    return fields
+
+
+def class_method_decls(sf: SourceFile, extent: ClassExtent,
+                       functions: list[FunctionDef]) -> set[str]:
+    """Names of member functions DECLARED (not defined) in the class body
+    — the dispatch surface for the virtual/overload resolution fallback:
+    a call through a base that only declares the method resolves to the
+    union of known definitions elsewhere."""
+    body = _class_decl_text(sf, extent, functions)
+    out: set[str] = set()
+    for m in re.finditer(r"(~?\w+)\s*\(", body):
+        name = m.group(1)
+        if name.lstrip("~") in _CONTROL_KEYWORDS:
+            continue
+        close = _match_paren(body, m.end() - 1)
+        if close == -1:
+            continue
+        rest = body[close + 1:]
+        semi = rest.find(";")
+        if semi == -1:
+            continue
+        tail = rest[:semi]
+        if "{" in tail or "}" in tail:
+            continue
+        # 'name(...) [qualifiers] ;' including '= 0;' pure virtuals.
+        if re.fullmatch(
+                r"(?:\s|const|noexcept|override|final|&|->|[\w:<>,*]|"
+                r"\([^()]*\)|=\s*0|=\s*default|=\s*delete)*", tail):
+            out.add(name)
+    return out
+
+
+def local_declarations(body: str) -> dict[str, str]:
+    """name -> declared-type text for block-scope declarations that the
+    concurrency pass can type (best effort, line anchored)."""
+    out: dict[str, str] = {}
+    decl = re.compile(
+        r"^\s*(?:const\s+)?"
+        r"(auto|[A-Za-z_][\w:]*(?:\s*<[^;=]*>)?)"
+        r"\s*[&*]?\s+(\w+)\s*(=|\()", re.MULTILINE)
+    for m in decl.finditer(body):
+        type_text = m.group(1).strip()
+        if type_text in ("return", "delete", "new", "throw", "case"):
+            continue
+        if type_text == "auto":
+            # Propagate through the initialiser: 'auto& q = *shards_[i]'
+            line_end = body.find("\n", m.end())
+            rhs = body[m.end():line_end if line_end != -1 else len(body)]
+            out[m.group(2)] = f"auto:{rhs.strip()}"
+        else:
+            out[m.group(2)] = type_text
+    # Range-for bindings: 'for (const Shard& shard : shards_)'.
+    range_for = re.compile(
+        r"\bfor\s*\(\s*(?:const\s+)?"
+        r"(auto|[A-Za-z_][\w:]*(?:\s*<[^;()]*>)?)\s*[&*]?\s+(\w+)\s*:"
+        r"\s*([^)]*)\)")
+    for m in range_for.finditer(body):
+        if m.group(1) == "auto":
+            out[m.group(2)] = f"auto:{m.group(3).strip()}[0]"
+        else:
+            out[m.group(2)] = m.group(1).strip()
+    return out
+
+
+def parameter_declarations(params: str) -> dict[str, str]:
+    """name -> type text for a signature's parameters (depth-0 commas)."""
+    out: dict[str, str] = {}
+    depth = 0
+    piece = []
+    pieces: list[str] = []
+    for c in params:
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        if c == "," and depth == 0:
+            pieces.append("".join(piece))
+            piece = []
+        else:
+            piece.append(c)
+    pieces.append("".join(piece))
+    for p in pieces:
+        m = re.match(r"\s*(.+?)[&*\s]+(\w+)\s*(?:=[^,]*)?$", p)
+        if m:
+            out[m.group(2)] = m.group(1).strip()
+    return out
+
+
+@dataclasses.dataclass
+class ConcEvent:
+    """One concurrency-relevant event inside a function body, in source
+    order. Kinds:
+
+      acquire  scoped guard construction; `name` is the lock id
+      release  the guard's enclosing block closes; `name` matches
+      call     a resolved call; `callees` lists candidate targets
+      block    an intrinsically blocking primitive; `detail` says which
+      wait     a condition-variable wait; `name` = cv id, `mutex` = lock
+      notify   notify_one/notify_all; `name` = cv id
+    """
+
+    kind: str
+    offset: int
+    line: int
+    name: str = ""
+    callees: tuple[str, ...] = ()
+    mutex: str = ""
+    in_loop: bool = False
+    detail: str = ""
+
+
+@dataclasses.dataclass
+class FunctionModel:
+    qual: str
+    cls: str | None
+    rel: str
+    line: int
+    entry_held: tuple[str, ...]  # from HOLAP_REQUIRES annotations
+    events: list[ConcEvent]
+
+
+def normalize_lock_expr(expr: str, cls: str | None) -> str:
+    """Canonical lock identity: qualified member name, instance-merged.
+    'mutex_' in BlockingQueue -> 'BlockingQueue::mutex_'."""
+    e = re.sub(r"\s+", "", expr).replace("this->", "")
+    if cls and not e.startswith(f"{cls}::"):
+        return f"{cls}::{e}"
+    return e
+
+
+def brace_blocks(text: str, start: int, end: int) -> list[tuple[int, int]]:
+    """(open, close) offsets of every brace block within [start, end],
+    including the outermost one."""
+    out = []
+    stack = []
+    for i in range(start, end + 1):
+        if text[i] == "{":
+            stack.append(i)
+        elif text[i] == "}" and stack:
+            out.append((stack.pop(), i))
+    return out
+
+
+def enclosing_block_end(blocks: list[tuple[int, int]], offset: int) -> int:
+    """Close offset of the innermost block containing `offset`."""
+    best = -1
+    best_size = None
+    for open_, close in blocks:
+        if open_ < offset < close:
+            size = close - open_
+            if best_size is None or size < best_size:
+                best, best_size = close, size
+    return best
+
+
+def loop_body_spans(text: str, start: int, end: int) -> list[tuple[int, int]]:
+    """Body extents of while/for/do loops inside [start, end]. Braced and
+    braceless single-statement bodies both count; `for (;;)` and
+    `while (true)` are not predicate loops and are excluded."""
+    spans = []
+    for m in re.finditer(r"\b(while|for)\s*\(", text[start:end]):
+        open_paren = start + m.end() - 1
+        close_paren = _match_paren(text, open_paren)
+        if close_paren == -1 or close_paren > end:
+            continue
+        header = text[open_paren + 1:close_paren].strip()
+        if m.group(1) == "for" and header.strip(" ;") == "":
+            continue
+        if m.group(1) == "while" and header in ("true", "1"):
+            continue
+        i = close_paren + 1
+        while i < end and text[i].isspace():
+            i += 1
+        if i >= end:
+            continue
+        if text[i] == "{":
+            close = match_brace(text, i)
+            if close != -1:
+                spans.append((i, close))
+        else:
+            semi = text.find(";", i)
+            if semi != -1 and semi <= end:
+                spans.append((i, semi))
+    for m in re.finditer(r"\bdo\b\s*\{", text[start:end]):
+        open_ = start + m.end() - 1
+        close = match_brace(text, open_)
+        if close != -1 and close <= end:
+            spans.append((open_, close))
+    return spans
+
+
 def enum_definitions(tree: SourceTree) -> dict[str, set[str]]:
     """Map from scoped-enum name to its enumerator set, across the tree."""
     enums: dict[str, set[str]] = {}

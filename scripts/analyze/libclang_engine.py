@@ -20,11 +20,17 @@ import sys
 
 try:
     from .findings import Finding
+    from . import concurrency
     from . import rules_ast
+    from .cppmodel import ConcEvent, FunctionModel
 except ImportError:  # executed as a flat script directory
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
     from findings import Finding
+    from cppmodel import ConcEvent, FunctionModel
+    import concurrency
     import rules_ast
+
+import re
 
 
 class EngineUnavailable(RuntimeError):
@@ -71,6 +77,179 @@ def _rel(root: pathlib.Path, location) -> str | None:
             .relative_to(root.resolve()).as_posix()
     except ValueError:
         return None
+
+
+_GUARD_TYPES = ("MutexLock", "lock_guard", "unique_lock", "scoped_lock")
+_WAIT_NAMES = ("wait", "wait_for", "wait_until")
+_REQUIRES_TOKENS = re.compile(r"HOLAP_REQUIRES\s*\(\s*([^()]*?)\s*\)")
+
+
+def _extract_concurrency_tu(cindex, root: pathlib.Path, tu,
+                            model) -> None:
+    """Walk one TU and add a FunctionModel per function definition under
+    src/, mirroring concurrency.build_text_model's event vocabulary. The
+    AST resolves receivers and callees precisely (cursor.referenced), so
+    the single-TU approximations of the text engine disappear; every
+    extraction is per-function best-effort and never fails the engine."""
+    ck = cindex.CursorKind
+    fn_kinds = {ck.CXX_METHOD, ck.CONSTRUCTOR, ck.DESTRUCTOR,
+                ck.FUNCTION_DECL}
+    cls_kinds = {ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE}
+
+    def rel_of(cursor) -> str | None:
+        return _rel(root, cursor.location)
+
+    def member_qual(ref) -> str:
+        owner = ref.semantic_parent
+        if owner is not None and owner.kind in cls_kinds and owner.spelling:
+            return f"{owner.spelling}::{ref.spelling}"
+        return ref.spelling
+
+    def lock_name(arg, cls: str | None) -> str:
+        """The capability an expression names: the referenced member's
+        qualified name when the AST resolves one, else normalised
+        tokens (keeps engine-internal consistency for odd shapes)."""
+        stack = [arg]
+        while stack:
+            c = stack.pop(0)
+            if c.kind == ck.MEMBER_REF_EXPR and c.referenced is not None:
+                return member_qual(c.referenced)
+            if c.kind == ck.DECL_REF_EXPR and c.referenced is not None \
+                    and c.referenced.kind == ck.VAR_DECL:
+                return c.referenced.spelling
+            stack.extend(c.get_children())
+        toks = "".join(t.spelling for t in arg.get_tokens())
+        return concurrency.normalize_lock_expr(toks, cls)
+
+    def entry_held(cursor, cls: str | None) -> tuple[str, ...]:
+        # HOLAP_REQUIRES expands to nothing under the gcc the tree builds
+        # with, so read it lexically from the declaration tokens before
+        # the body.
+        body_start = None
+        for c in cursor.get_children():
+            if c.kind == ck.COMPOUND_STMT:
+                body_start = c.extent.start.offset
+        head = "".join(
+            t.spelling + " " for t in cursor.get_tokens()
+            if body_start is None or t.extent.start.offset < body_start)
+        held = set()
+        for m in _REQUIRES_TOKENS.finditer(head):
+            for part in m.group(1).split(","):
+                if part.strip():
+                    held.add(concurrency.normalize_lock_expr(
+                        part.strip(), cls))
+        return tuple(sorted(held))
+
+    def extract_function(cursor, cls: str | None, qual: str,
+                         rel: str) -> FunctionModel:
+        events: list[ConcEvent] = []
+
+        def walk(node, loop_depth: int, block_end: int) -> None:
+            for child in node.get_children():
+                kind = child.kind
+                off = child.extent.start.offset
+                line = child.location.line
+                in_loop = loop_depth > 0
+                if kind == ck.COMPOUND_STMT:
+                    walk(child, loop_depth, child.extent.end.offset)
+                    continue
+                if kind in (ck.WHILE_STMT, ck.FOR_STMT, ck.DO_STMT,
+                            ck.CXX_FOR_RANGE_STMT):
+                    walk(child, loop_depth + 1, block_end)
+                    continue
+                if kind == ck.VAR_DECL and any(
+                        g in (child.type.spelling or "")
+                        for g in _GUARD_TYPES):
+                    init = [c for c in child.get_children()
+                            if c.kind not in (ck.TYPE_REF,
+                                              ck.NAMESPACE_REF,
+                                              ck.TEMPLATE_REF)]
+                    args = []
+                    if init:
+                        args = [c for c in init[-1].get_children()
+                                if c.kind != ck.TYPE_REF]
+                    toks = " ".join(
+                        t.spelling for t in child.get_tokens())
+                    if not any(d in toks for d in
+                               ("defer_lock", "adopt_lock",
+                                "try_to_lock")):
+                        for arg in args[:1] or args:
+                            lid = lock_name(arg, cls)
+                            events.append(ConcEvent(
+                                "acquire", off, line, name=lid))
+                            events.append(ConcEvent(
+                                "release", block_end, line, name=lid))
+                    walk(child, loop_depth, block_end)
+                    continue
+                if kind == ck.CALL_EXPR and child.referenced is not None:
+                    callee = child.referenced
+                    cname = callee.spelling
+                    crel = rel_of(callee)
+                    recv_type = ""
+                    kids = list(child.get_children())
+                    if kids and kids[0].type is not None:
+                        recv_type = kids[0].type.spelling or ""
+                    if cname in _WAIT_NAMES and (
+                            "CondVar" in recv_type
+                            or "condition_variable" in recv_type):
+                        args = list(child.get_arguments())
+                        mutex = lock_name(args[0], cls) if args else ""
+                        has_pred = (len(args) >= 2 if cname == "wait"
+                                    else len(args) >= 3)
+                        events.append(ConcEvent(
+                            "wait", off, line,
+                            name=lock_name(kids[0], cls), mutex=mutex,
+                            in_loop=in_loop or has_pred))
+                    elif cname in ("notify_one", "notify_all") and kids:
+                        events.append(ConcEvent(
+                            "notify", off, line,
+                            name=lock_name(kids[0], cls)))
+                    elif cname == "join" and "thread" in recv_type:
+                        events.append(ConcEvent(
+                            "block", off, line,
+                            detail="std::thread::join"))
+                    elif cname in _WAIT_NAMES + ("get",) \
+                            and "future" in recv_type:
+                        events.append(ConcEvent(
+                            "block", off, line,
+                            detail="std::future::get"))
+                    elif crel is not None and crel.startswith("src/") \
+                            and crel not in concurrency.EXEMPT_FILES:
+                        events.append(ConcEvent(
+                            "call", off, line, name=cname,
+                            callees=(member_qual(callee),)))
+                    walk(child, loop_depth, block_end)
+                    continue
+                walk(child, loop_depth, block_end)
+
+        body_end = cursor.extent.end.offset
+        walk(cursor, 0, body_end)
+        events.sort(key=lambda e: (e.offset,
+                                   0 if e.kind == "release" else 1))
+        return FunctionModel(qual=qual, cls=cls, rel=rel,
+                             line=cursor.location.line,
+                             entry_held=entry_held(cursor, cls),
+                             events=events)
+
+    def scan(cursor) -> None:
+        for child in cursor.get_children():
+            if child.kind in fn_kinds and child.is_definition():
+                rel = rel_of(child)
+                if rel is None or not rel.startswith("src/") \
+                        or rel in concurrency.EXEMPT_FILES:
+                    continue
+                parent = child.semantic_parent
+                cls = parent.spelling if parent is not None \
+                    and parent.kind in cls_kinds else None
+                qual = f"{cls}::{child.spelling}" if cls \
+                    else child.spelling
+                try:
+                    model.add(extract_function(child, cls, qual, rel))
+                except Exception:
+                    continue  # one odd function must not sink the pass
+            scan(child)
+
+    scan(tu.cursor)
 
 
 def run_libclang_engine(root: pathlib.Path, rules: list[str],
@@ -254,6 +433,9 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
     mutated: dict[str, set[str]] = {}
     batch_callers: dict[str, int] = {}  # rel -> first schedule_batch line
     batch_rollers: set[str] = set()     # rels referencing rollback_batch
+    conc_rules = [r for r in rules
+                  if r in concurrency.CONCURRENCY_RULES]
+    conc_model = concurrency.ConcurrencyModel()
     parsed = 0
     for path, args in args_by_file.items():
         if not path.endswith(".cpp") or "/src/" not in path.replace(
@@ -268,8 +450,14 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
             continue
         parsed += 1
         visit(tu.cursor, mutated, [])
+        if conc_rules:
+            _extract_concurrency_tu(cindex, root, tu, conc_model)
     if parsed == 0:
         raise EngineUnavailable("no translation unit parsed cleanly")
+
+    if conc_rules:
+        findings.extend(concurrency.analyze_model(
+            conc_model, conc_rules, line_text))
 
     if "clock-ledger" in rules:
         committed = mutated.get("schedule", set())

@@ -25,6 +25,15 @@ DESIGN.md, "Invariants as machine-checked rules"):
   retry-bound       Every retry loop in the scheduling/serving planes
                     (src/sched, src/olap) carries a compile-time-visible
                     attempt bound in its header — no `while (retry)`.
+  lock-order        Interprocedural lock-order graph with cycle
+                    detection: two mutexes acquired in both orders on
+                    some path is a deadlock, printed with both witness
+                    paths (concurrency.py; rule 8).
+  blocking          Blocking primitives (BlockingQueue::pop/pop_for/push,
+                    CondVar::wait, thread::join, future::get) reached
+                    while a lock is held (rule 9).
+  waitnotify        CondVar::wait sits in a predicate loop; notify_*
+                    happens under the waiter's mutex (rule 10).
 
 The libclang engine (libclang_engine.py) checks the same invariants from
 the AST when the bindings are available; rule ids and messages match so
@@ -38,11 +47,15 @@ import re
 import sys
 
 try:
+    from .concurrency import (CONCURRENCY_RULES, analyze_model,
+                              build_text_model)
     from .cppmodel import (SourceFile, SourceTree, enum_definitions,
                            find_switches, member_extents)
     from .findings import Finding
 except ImportError:  # executed as a flat script directory
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from concurrency import (CONCURRENCY_RULES, analyze_model,
+                             build_text_model)
     from cppmodel import (SourceFile, SourceTree, enum_definitions,
                           find_switches, member_extents)
     from findings import Finding
@@ -505,6 +518,44 @@ def check_retry_bound(ctx: Context) -> list[Finding]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# lock-order / blocking / waitnotify (rules 8–10, concurrency.py)
+
+
+def _concurrency_findings(ctx: Context, rule: str) -> list[Finding]:
+    """Extract the concurrency model once per Context and run one rule.
+    Scope: all of src/ (the concurrent core); concurrency.py exempts the
+    lock primitive layer itself."""
+    cached = getattr(ctx, "_concurrency", None)
+    if cached is None:
+        files = ctx.files("src")
+        model = build_text_model(files)
+        by_rel = {rel: sf for rel, sf in files}
+
+        def line_text(rel: str, line: int) -> str:
+            sf = by_rel.get(rel)
+            return sf.line_text(line) if sf else ""
+
+        cached = (model, line_text)
+        ctx._concurrency = cached
+    model, line_text = cached
+    findings = analyze_model(model, [rule], line_text)
+    findings.sort(key=lambda f: (f.path, f.line, f.message))
+    return findings
+
+
+def check_lock_order(ctx: Context) -> list[Finding]:
+    return _concurrency_findings(ctx, "lock-order")
+
+
+def check_blocking(ctx: Context) -> list[Finding]:
+    return _concurrency_findings(ctx, "blocking")
+
+
+def check_waitnotify(ctx: Context) -> list[Finding]:
+    return _concurrency_findings(ctx, "waitnotify")
+
+
 AST_RULES = {
     "clock-ledger": check_clock_ledger,
     "batch-ledger": check_batch_ledger,
@@ -513,7 +564,12 @@ AST_RULES = {
     "unit-escape": check_unit_escape,
     "span-lifecycle": check_span_lifecycle,
     "retry-bound": check_retry_bound,
+    "lock-order": check_lock_order,
+    "blocking": check_blocking,
+    "waitnotify": check_waitnotify,
 }
+
+assert set(CONCURRENCY_RULES) <= set(AST_RULES)
 
 
 def run_text_engine(root: pathlib.Path, rules: list[str]) -> list[Finding]:

@@ -78,6 +78,12 @@ class BlockingQueue {
   ///         {kFull,     arrival}        the arrival itself ranked worst;
   ///         {kClosed,   arrival}        queue closed.
   /// The caller owns whatever comes back and must resolve it.
+  ///
+  /// Never blocks (unlike push(), there is no wait on `space_`), so
+  /// callers may hold their own mutex across it — the ingest front-end
+  /// holds its stats mutex here, which the blocking-under-lock analysis
+  /// allows precisely because this path is wait-free. `worse` runs under
+  /// the queue mutex and must not block or touch the queue.
   template <typename WorseThan>
   std::pair<QueuePush, std::optional<T>> push_displacing(T item,
                                                          WorseThan worse) {

@@ -421,7 +421,7 @@ void AsyncHybridExecutor::route(Job job) {
 }
 
 void AsyncHybridExecutor::sync_health_gauges() {
-  PartitionHealthMonitor* monitor = scheduler_locked().health_monitor();
+  PartitionHealthMonitor* monitor = health_monitor_locked();
   if (monitor == nullptr) return;
   MutexLock lock(counters_mutex_);
   counters_[0].health = to_string(monitor->health({QueueRef::kCpu, 0}));
@@ -464,8 +464,7 @@ void AsyncHybridExecutor::fail_over(Job job, QueueRef failed_ref) {
             : Seconds{};
     scheduler_locked().on_shed(failed_ref, job.placement.processing_est,
                                pending_translation);
-    if (PartitionHealthMonitor* monitor =
-            scheduler_locked().health_monitor()) {
+    if (PartitionHealthMonitor* monitor = health_monitor_locked()) {
       monitor->on_crash(failed_ref, now);
     }
     retry = scheduler_locked().retry_policy();

@@ -197,6 +197,15 @@ class AsyncHybridExecutor : public BatchAdmitter {
     return system_->scheduler_mutable();
   }
 
+  /// The scheduler-owned health monitor (may be null). The monitor is
+  /// not thread-safe (see PartitionHealthMonitor's contract): the
+  /// scheduler mutex is its capability here, and this accessor makes
+  /// that requirement checkable instead of a comment at each call site.
+  PartitionHealthMonitor* health_monitor_locked()
+      HOLAP_REQUIRES(scheduler_mutex_) {
+    return scheduler_locked().health_monitor();
+  }
+
   HybridOlapSystem* system_;
   AsyncExecutorConfig config_;
   Mutex scheduler_mutex_;

@@ -24,10 +24,18 @@ ShardedIngestFrontEnd::ShardedIngestFrontEnd(BatchAdmitter& admitter,
   HOLAP_REQUIRE(config_.shards > 0, "ingest front-end needs >= 1 shard");
   HOLAP_REQUIRE(config_.batch_capacity > 0,
                 "ingest batch capacity must be >= 1");
-  stats_.shards.resize(static_cast<std::size_t>(config_.shards));
+  {
+    // No aggregator is running yet, but locked() demands its capability
+    // unconditionally — an uncontended acquisition is cheaper than an
+    // analysis exception.
+    MutexLock lock(stats_.mutex());
+    stats_.locked().shards.resize(static_cast<std::size_t>(config_.shards));
+    for (int i = 0; i < config_.shards; ++i) {
+      stats_.locked().shards[static_cast<std::size_t>(i)].name =
+          "shard" + std::to_string(i);
+    }
+  }
   for (int i = 0; i < config_.shards; ++i) {
-    stats_.shards[static_cast<std::size_t>(i)].name =
-        "shard" + std::to_string(i);
     shards_.push_back(std::make_unique<BlockingQueue<IngestRequest>>(
         config_.shard_queue_capacity));
   }
@@ -80,12 +88,13 @@ std::future<ExecutionReport> ShardedIngestFrontEnd::submit(Query q,
   QueuePush result{};
   std::optional<IngestRequest> ejected;
   {
-    MutexLock lock(stats_mutex_);
+    MutexLock lock(stats_.mutex());
     std::tie(result, ejected) =
         shards_[static_cast<std::size_t>(shard)]->push_displacing(
             std::move(request), nearer_deadline);
-    IngestShardCounters& ctr = stats_.shards[static_cast<std::size_t>(shard)];
-    ++stats_.submitted;
+    IngestStats& stats = stats_.locked();
+    IngestShardCounters& ctr = stats.shards[static_cast<std::size_t>(shard)];
+    ++stats.submitted;
     switch (result) {
       case QueuePush::kAccepted:
         // Eviction precedes insertion inside push_displacing, so the
@@ -117,8 +126,8 @@ void ShardedIngestFrontEnd::aggregator(int shard) {
   BlockingQueue<IngestRequest>& queue =
       *shards_[static_cast<std::size_t>(shard)];
   const auto drop_depth = [&] {
-    MutexLock lock(stats_mutex_);
-    stats_.shards[static_cast<std::size_t>(shard)].on_dequeue();
+    MutexLock lock(stats_.mutex());
+    stats_.locked().shards[static_cast<std::size_t>(shard)].on_dequeue();
   };
   for (;;) {
     // Block (indefinitely) for the request that OPENS a batch; the flush
@@ -160,32 +169,30 @@ void ShardedIngestFrontEnd::aggregator(int shard) {
 void ShardedIngestFrontEnd::flush(std::vector<IngestRequest> batch,
                                   FlushReason reason) {
   {
-    MutexLock lock(stats_mutex_);
-    ++stats_.flushes;
+    MutexLock lock(stats_.mutex());
+    IngestStats& stats = stats_.locked();
+    ++stats.flushes;
     switch (reason) {
       case FlushReason::kCapacity:
-        ++stats_.flush_by_capacity;
+        ++stats.flush_by_capacity;
         break;
       case FlushReason::kTimeout:
-        ++stats_.flush_by_timeout;
+        ++stats.flush_by_timeout;
         break;
       case FlushReason::kClose:
-        ++stats_.flush_on_close;
+        ++stats.flush_on_close;
         break;
     }
-    stats_.batch_sizes.add(batch.size());
+    stats.batch_sizes.add(batch.size());
     if (batch.size() == 1) {
-      ++stats_.immediate;
+      ++stats.immediate;
     } else {
-      stats_.aggregated += batch.size();
+      stats.aggregated += batch.size();
     }
   }
   admitter_->admit(std::move(batch));
 }
 
-IngestStats ShardedIngestFrontEnd::stats() const {
-  MutexLock lock(stats_mutex_);
-  return stats_;
-}
+IngestStats ShardedIngestFrontEnd::stats() const { return stats_.snapshot(); }
 
 }  // namespace holap

@@ -114,8 +114,9 @@ class ShardedIngestFrontEnd {
   std::atomic<bool> down_{false};
   std::atomic<std::uint64_t> next_shard_{0};
 
-  mutable Mutex stats_mutex_;
-  IngestStats stats_ HOLAP_GUARDED_BY(stats_mutex_);
+  /// Counters and their mutex travel together; the guard relationship
+  /// lives on GuardedIngestStats where both static analyses see it.
+  GuardedIngestStats stats_;
 
   std::vector<std::unique_ptr<BlockingQueue<IngestRequest>>> shards_;
   std::vector<std::thread> aggregators_;

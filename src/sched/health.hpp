@@ -152,7 +152,14 @@ class CircuitBreaker {
 /// (on_measured), explicit fault events (on_fault/on_crash) and timed
 /// recoveries (on_recovered). Not thread-safe: the scheduler owns it and
 /// every caller already serialises on the scheduler (the executor's
-/// scheduler mutex, the simulator's single thread).
+/// scheduler mutex, the simulator's single thread). The executor makes
+/// that contract checkable instead of a comment: its
+/// health_monitor_locked() accessor carries
+/// HOLAP_REQUIRES(scheduler_mutex_), so both clang Thread Safety
+/// Analysis and the repo concurrency analyzer see the monitor reached
+/// only with the scheduler capability held. Deliberately no mutex of
+/// its own here — a second lock under the scheduler mutex would add a
+/// lock-order edge for zero protection.
 class PartitionHealthMonitor {
  public:
   PartitionHealthMonitor(int gpu_queues, HealthPolicy policy);

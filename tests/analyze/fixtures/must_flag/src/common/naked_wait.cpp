@@ -1,0 +1,39 @@
+// Fixture: condition-variable protocol violations — receive() waits with
+// no predicate loop (spurious wake-ups and missed signals slip through),
+// deliver() mutates the signalled state and notifies without ever
+// holding the waiter's mutex, and receive_all() keeps an unrelated lock
+// held across the wait.
+namespace holap {
+
+class Mailbox {
+ public:
+  void deliver();
+  void receive();
+  void receive_all();
+
+ private:
+  Mutex mutex_;
+  Mutex pause_mutex_;
+  CondVar ready_;
+  bool has_mail_ = false;
+};
+
+void Mailbox::receive() {
+  MutexLock lock(mutex_);
+  ready_.wait(lock);  // no predicate loop around the wait
+}
+
+void Mailbox::deliver() {
+  has_mail_ = true;    // signalled state mutated outside mutex_
+  ready_.notify_one();  // notify without the waiter's mutex
+}
+
+void Mailbox::receive_all() {
+  MutexLock pause(pause_mutex_);
+  MutexLock lock(mutex_);
+  while (!has_mail_) {
+    ready_.wait(lock);  // pause_mutex_ stays held across the wait
+  }
+}
+
+}  // namespace holap

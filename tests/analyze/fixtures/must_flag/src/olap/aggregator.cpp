@@ -1,0 +1,24 @@
+// Fixture: aggregator-shaped blocking-under-lock — the drain path parks
+// the thread inside BlockingQueue::pop while still holding the stats
+// mutex, stop() joins the worker under the same lock, and the flush
+// path waits on a future under it. Every submitter contending on
+// stats_mutex_ stalls until the queue happens to produce an item.
+namespace holap {
+
+void Aggregator::drain_shard(int shard) {
+  MutexLock lock(stats_mutex_);
+  Query q = queue_->pop();  // pop can park with stats_mutex_ held
+  apply(q, shard);
+}
+
+void Aggregator::stop() {
+  MutexLock lock(stats_mutex_);
+  worker_.join();  // join under stats_mutex_
+}
+
+int Aggregator::flush_result() {
+  MutexLock lock(stats_mutex_);
+  return result_future_.get();  // future::get under stats_mutex_
+}
+
+}  // namespace holap

@@ -1,0 +1,48 @@
+// Fixture: interprocedural ABBA deadlock — route() takes routing_mutex_
+// and reaches health_mutex_ through touch_health(); rebalance() takes
+// health_mutex_ and reaches routing_mutex_ through touch_routing().
+// Neither function acquires both locks directly: only the call graph
+// sees the cycle. refresh() re-acquires routing_mutex_ through a helper
+// (common::Mutex is non-reentrant, so that self-deadlocks).
+namespace holap {
+
+class RouteTable {
+ public:
+  void route();
+  void rebalance();
+  void refresh();
+
+ private:
+  void touch_health();
+  void touch_routing();
+  Mutex routing_mutex_;
+  Mutex health_mutex_;
+  int generation_ = 0;
+};
+
+void RouteTable::touch_health() {
+  MutexLock lock(health_mutex_);
+  ++generation_;
+}
+
+void RouteTable::touch_routing() {
+  MutexLock lock(routing_mutex_);
+  ++generation_;
+}
+
+void RouteTable::route() {
+  MutexLock lock(routing_mutex_);
+  touch_health();  // routing_mutex_ -> health_mutex_
+}
+
+void RouteTable::rebalance() {
+  MutexLock lock(health_mutex_);
+  touch_routing();  // health_mutex_ -> routing_mutex_: the inversion
+}
+
+void RouteTable::refresh() {
+  MutexLock lock(routing_mutex_);
+  touch_routing();  // re-acquires routing_mutex_ via the helper
+}
+
+}  // namespace holap

@@ -1,0 +1,35 @@
+// Fixture: the full wait/notify protocol done right — waits sit in a
+// predicate loop (or pass the predicate to wait directly), the notifier
+// mutates the signalled state under the waiter's mutex, and nothing
+// else is held across the wait.
+namespace holap {
+
+class Channel {
+ public:
+  void send() {
+    MutexLock lock(mutex_);
+    pending_ += 1;
+    ready_.notify_one();  // state mutated under the waiter's mutex
+  }
+
+  int recv() {
+    MutexLock lock(mutex_);
+    while (pending_ == 0) {
+      ready_.wait(lock);  // predicate re-checked after every wake-up
+    }
+    pending_ -= 1;
+    return pending_;
+  }
+
+  void drain() {
+    MutexLock lock(mutex_);
+    ready_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar ready_;
+  int pending_ = 0;
+};
+
+}  // namespace holap

@@ -1,0 +1,33 @@
+// Fixture: disciplined two-lock code — every interprocedural path takes
+// table_mutex_ before stats_mutex_ (one direction, no cycle), and the
+// helper that expects a caller-held lock says so with HOLAP_REQUIRES
+// instead of re-acquiring.
+namespace holap {
+
+class OrderedTable {
+ public:
+  void update() {
+    MutexLock table(table_mutex_);
+    MutexLock stats(stats_mutex_);
+    bump_locked();
+  }
+
+  void publish() {
+    MutexLock table(table_mutex_);
+    refresh_stats();  // same order as update(): table before stats
+  }
+
+ private:
+  void bump_locked() HOLAP_REQUIRES(stats_mutex_) { ++revision_; }
+
+  void refresh_stats() {
+    MutexLock stats(stats_mutex_);
+    ++revision_;
+  }
+
+  Mutex table_mutex_;
+  Mutex stats_mutex_;
+  int revision_ = 0;
+};
+
+}  // namespace holap

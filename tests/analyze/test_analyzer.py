@@ -46,8 +46,46 @@ class MustFlagFixtures(unittest.TestCase):
             "determinism", "raw-new-delete", "include-hygiene",
             "clock-ledger", "batch-ledger", "enum-exhaustive",
             "bounded-queue", "unit-escape", "span-lifecycle",
-            "retry-bound",
+            "retry-bound", "lock-order", "blocking", "waitnotify",
         })
+
+    def test_abba_deadlock_prints_both_witness_paths(self):
+        _, payload, _ = run_analyze(
+            "--root", str(FIXTURES / "must_flag"), "--baseline", "none",
+            "--rules", "lock-order")
+        cycles = [f for f in payload["findings"]
+                  if "lock-order cycle" in f["message"]]
+        self.assertEqual(len(cycles), 1)
+        msg = cycles[0]["message"]
+        # Both orders appear, and each witness is interprocedural: the
+        # acquiring function differs from the one making the call.
+        self.assertIn("RouteTable::health_mutex_ then "
+                      "RouteTable::routing_mutex_", msg)
+        self.assertIn("RouteTable::routing_mutex_ then "
+                      "RouteTable::health_mutex_", msg)
+        self.assertIn("calls touch_routing in RouteTable::rebalance", msg)
+        self.assertIn("calls touch_health in RouteTable::route", msg)
+
+    def test_blocking_flags_queue_pop_join_and_future_get(self):
+        _, payload, _ = run_analyze(
+            "--root", str(FIXTURES / "must_flag"), "--baseline", "none",
+            "--rules", "blocking")
+        in_aggregator = [f["message"] for f in payload["findings"]
+                         if f["path"] == "src/olap/aggregator.cpp"]
+        self.assertEqual(len(in_aggregator), 3)
+        joined = "\n".join(in_aggregator)
+        self.assertIn("BlockingQueue::pop", joined)
+        self.assertIn("std::thread::join", joined)
+        self.assertIn("std::future::get", joined)
+
+    def test_waitnotify_flags_naked_wait_and_unserialised_notify(self):
+        _, payload, _ = run_analyze(
+            "--root", str(FIXTURES / "must_flag"), "--baseline", "none",
+            "--rules", "waitnotify")
+        msgs = [f["message"] for f in payload["findings"]]
+        self.assertTrue(any("outside a predicate loop" in m for m in msgs))
+        self.assertTrue(any("without ever holding the waiter's mutex" in m
+                            for m in msgs))
 
     def test_rule_selection_restricts_output(self):
         code, payload, _ = run_analyze(

@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Unit tests for the call-graph builder behind the concurrency rules:
+receiver typing, virtual/overload resolution fallbacks, recursion
+cutoff, and unknown-callee conservatism. Everything runs on in-memory
+sources, no fixture tree needed."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "scripts" / "analyze"))
+
+from cppmodel import SourceFile, strip_comments_and_strings  # noqa: E402
+from concurrency import (analyze_model, build_text_model,  # noqa: E402
+                         compute_summaries)
+
+
+def src(rel: str, text: str) -> tuple[str, SourceFile]:
+    return rel, SourceFile(pathlib.Path(rel), rel, text,
+                           strip_comments_and_strings(text))
+
+
+def model_of(*files: tuple[str, str]):
+    return build_text_model([src(rel, text) for rel, text in files])
+
+
+def run_rules(model, rules=("lock-order", "blocking", "waitnotify")):
+    return analyze_model(model, rules, lambda rel, line: "")
+
+
+class ReceiverTyping(unittest.TestCase):
+    def test_member_chain_through_container_and_smart_pointer(self):
+        model = model_of(("src/a.cpp", """
+            class Worker {
+             public:
+              void grab() { MutexLock lock(mutex_); }
+             private:
+              Mutex mutex_;
+            };
+            class Pool {
+             public:
+              void tick() { workers_[0]->grab(); }
+             private:
+              std::vector<std::unique_ptr<Worker>> workers_;
+            };
+        """))
+        acq, _ = compute_summaries(model)
+        self.assertIn("Worker::mutex_", acq["Pool::tick"])
+
+    def test_std_typed_receiver_is_a_dead_end_not_a_fallback(self):
+        # items_.size() must not unify with an unrelated Queue::size()
+        # that takes a lock — the receiver types into std::deque, which
+        # the model does not own, so the chain yields no callees.
+        model = model_of(("src/a.cpp", """
+            class Queue {
+             public:
+              int size() { MutexLock lock(mutex_); return n_; }
+             private:
+              Mutex mutex_;
+              int n_ = 0;
+            };
+            class Buffer {
+             public:
+              int depth() { return items_.size(); }
+             private:
+              std::deque<int> items_;
+            };
+        """))
+        acq, _ = compute_summaries(model)
+        self.assertEqual(acq["Buffer::depth"], {})
+
+
+class VirtualAndOverloadFallbacks(unittest.TestCase):
+    def test_declared_only_method_resolves_to_union_of_definers(self):
+        # Admitter::admit is declared but never defined (pure virtual
+        # shape): a call through the base must fan out to every known
+        # definition of admit.
+        model = model_of(("src/a.cpp", """
+            class Admitter {
+             public:
+              virtual bool admit(int n) = 0;
+            };
+            class LockedAdmitter {
+             public:
+              bool admit(int n) { MutexLock lock(mutex_); return n > 0; }
+             private:
+              Mutex mutex_;
+            };
+            class Gate {
+             public:
+              bool check() { return admitter_->admit(1); }
+             private:
+              std::unique_ptr<Admitter> admitter_;
+            };
+        """))
+        acq, _ = compute_summaries(model)
+        self.assertIn("LockedAdmitter::mutex_", acq["Gate::check"])
+
+    def test_untypable_receiver_falls_back_to_union(self):
+        # free() sees an extern object it cannot type; the union of
+        # known definitions of refresh() is the conservative answer.
+        model = model_of(("src/a.cpp", """
+            class Registry {
+             public:
+              void refresh() { MutexLock lock(mutex_); }
+             private:
+              Mutex mutex_;
+            };
+            void poke() { live_registry->refresh(); }
+        """))
+        acq, _ = compute_summaries(model)
+        self.assertIn("Registry::mutex_", acq["poke"])
+
+    def test_overloads_all_contribute(self):
+        # Two submit() overloads: a call by name reaches both, so the
+        # lock only one of them takes still propagates.
+        model = model_of(("src/a.cpp", """
+            class Front {
+             public:
+              void submit(int q) { submit(q, 0); }
+              void submit(int q, int shard) { MutexLock lock(mutex_); }
+             private:
+              Mutex mutex_;
+            };
+            void drive(Front& f) { f.submit(7); }
+        """))
+        acq, _ = compute_summaries(model)
+        self.assertIn("Front::mutex_", acq["drive"])
+        self.assertEqual(len(model.by_qual["Front::submit"]), 2)
+
+
+class RecursionCutoff(unittest.TestCase):
+    def test_direct_recursion_reaches_fixpoint(self):
+        model = model_of(("src/a.cpp", """
+            class Walker {
+             public:
+              void descend(int n) {
+                MutexLock lock(mutex_);
+                if (n > 0) descend(n - 1);
+              }
+             private:
+              Mutex mutex_;
+            };
+        """))
+        acq, _ = compute_summaries(model)  # must terminate
+        self.assertIn("Walker::mutex_", acq["Walker::descend"])
+        # And the self-call under the held lock is a recursive
+        # acquisition finding, not an infinite loop.
+        findings = run_rules(model, ["lock-order"])
+        self.assertEqual(len(findings), 1)
+        self.assertIn("recursive acquisition", findings[0].message)
+
+    def test_mutual_recursion_reaches_fixpoint(self):
+        model = model_of(("src/a.cpp", """
+            class PingPong {
+             public:
+              void ping(int n) { if (n > 0) pong(n - 1); }
+              void pong(int n) {
+                MutexLock lock(mutex_);
+                if (n > 1) ping(n - 1);
+              }
+             private:
+              Mutex mutex_;
+            };
+        """))
+        acq, _ = compute_summaries(model)
+        self.assertIn("PingPong::mutex_", acq["PingPong::ping"])
+
+    def test_witness_paths_stay_bounded_on_deep_chains(self):
+        calls = "\n".join(
+            f"void f{i}() {{ f{i + 1}(); }}" for i in range(12))
+        model = model_of(("src/a.cpp", f"""
+            class Leaf {{
+             public:
+              void grab() {{ MutexLock lock(mutex_); }}
+             private:
+              Mutex mutex_;
+            }};
+            void f12() {{ leaf->grab(); }}
+            {calls}
+        """))
+        acq, _ = compute_summaries(model)
+        # The deep callers above the cutoff simply stop accumulating a
+        # witness; nothing blows up and the near callers keep theirs.
+        self.assertIn("Leaf::mutex_", acq["f12"])
+        for q, locks in acq.items():
+            for path in locks.values():
+                self.assertLessEqual(len(path), 6, (q, path))
+
+
+class UnknownCalleeConservatism(unittest.TestCase):
+    def test_unknown_callee_acquires_nothing(self):
+        model = model_of(("src/a.cpp", """
+            class Caller {
+             public:
+              void go() { external_helper(42); }
+            };
+        """))
+        acq, blk = compute_summaries(model)
+        self.assertEqual(acq["Caller::go"], {})
+        self.assertEqual(blk["Caller::go"], {})
+
+    def test_unresolved_queue_method_assumed_blocking(self):
+        # queue_ has no visible type and nothing in the tree defines
+        # pop(): the single-TU approximation must still treat it as a
+        # blocking queue operation when a lock is held.
+        model = model_of(("src/a.cpp", """
+            class Drainer {
+             public:
+              void drain() {
+                MutexLock lock(stats_mutex_);
+                queue_->pop();
+              }
+             private:
+              Mutex stats_mutex_;
+            };
+        """))
+        findings = run_rules(model, ["blocking"])
+        self.assertEqual(len(findings), 1)
+        self.assertIn("BlockingQueue::pop", findings[0].message)
+
+    def test_resolved_non_blocking_method_is_not_assumed_blocking(self):
+        # Same shape, but push resolves to a real non-blocking method:
+        # no intrinsic assumption, no finding.
+        model = model_of(("src/a.cpp", """
+            class Ring {
+             public:
+              bool push(int v) { n_ += v; return true; }
+             private:
+              int n_ = 0;
+            };
+            class Writer {
+             public:
+              void put() {
+                MutexLock lock(mutex_);
+                ring_.push(1);
+              }
+             private:
+              Mutex mutex_;
+              Ring ring_;
+            };
+        """))
+        findings = run_rules(model, ["blocking"])
+        self.assertEqual(findings, [])
+
+
+class InterproceduralFindings(unittest.TestCase):
+    def test_abba_cycle_across_helpers(self):
+        model = model_of(("src/a.cpp", """
+            class Table {
+             public:
+              void forward() { MutexLock a(a_); take_b(); }
+              void backward() { MutexLock b(b_); take_a(); }
+             private:
+              void take_a() { MutexLock a(a_); }
+              void take_b() { MutexLock b(b_); }
+              Mutex a_;
+              Mutex b_;
+            };
+        """))
+        findings = run_rules(model, ["lock-order"])
+        self.assertEqual(len(findings), 1)
+        self.assertIn("lock-order cycle", findings[0].message)
+        self.assertIn("Table::a_", findings[0].message)
+        self.assertIn("Table::b_", findings[0].message)
+
+    def test_requires_annotation_seeds_entry_held(self):
+        # A helper annotated HOLAP_REQUIRES(m_) that then blocks is a
+        # finding even though the acquisition happens in its caller.
+        model = model_of(("src/a.cpp", """
+            class Guarded {
+             public:
+              void locked_drain() HOLAP_REQUIRES(m_) {
+                worker_.join();
+              }
+             private:
+              Mutex m_;
+            };
+        """))
+        findings = run_rules(model, ["blocking"])
+        self.assertEqual(len(findings), 1)
+        self.assertIn("std::thread::join", findings[0].message)
+        self.assertIn("while holding Guarded::m_", findings[0].message)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -152,6 +152,21 @@ class BlockingQueue {
     return item;
   }
 
+  /// Atomically remove and return everything currently queued, leaving
+  /// the queue open (consumers keep blocking, producers keep pushing).
+  /// Wait-free — no condition wait — so callers may hold their own mutex
+  /// across it: the async executor holds the scheduler mutex here while
+  /// draining a repartitioned partition's intake.
+  std::deque<T> drain() {
+    std::deque<T> taken;
+    {
+      MutexLock lock(mutex_);
+      taken.swap(items_);
+    }
+    space_.notify_all();
+    return taken;
+  }
+
   /// Reject future pushes and wake all waiting producers and consumers.
   void close() {
     {

@@ -56,10 +56,28 @@ struct PartitionCounters {
     ++failed;
     if (depth > 0) --depth;
   }
+  /// A queued item was drained and re-routed by elastic repartitioning:
+  /// it leaves this stage's depth without counting as shed or failed (it
+  /// still resolves normally elsewhere).
+  void on_drained() {
+    if (depth > 0) --depth;
+  }
   /// Busy fraction of `makespan` (0 when the run is empty).
   double utilization(Seconds makespan) const {
     return makespan > Seconds{0.0} ? busy / makespan : 0.0;
   }
+};
+
+/// End-of-run gauges of one GPU device, published when the policy models
+/// an elastic device catalog (sched/devices.hpp). All zero/empty while the
+/// catalog is disabled.
+struct DeviceGauges {
+  std::string name;       ///< "device0"…
+  int active_queues = 0;  ///< partitions currently in the candidate set
+  int total_sms = 0;      ///< SMs across those partitions
+  std::size_t merges = 0;  ///< repartition operations applied on the device
+  std::size_t splits = 0;
+  std::size_t drained = 0;  ///< queries drained and re-placed by operations
 };
 
 /// Render a counter set as an aligned table ("partition", "enqueued",

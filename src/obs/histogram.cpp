@@ -8,29 +8,37 @@
 
 namespace holap {
 
-Seconds LatencyHistogram::bucket_lower(std::size_t i) {
-  HOLAP_REQUIRE(i < kBucketCount, "bucket index out of range");
+LatencyHistogram::LatencyHistogram(int buckets_per_decade)
+    : buckets_per_decade_(buckets_per_decade) {
+  HOLAP_REQUIRE(buckets_per_decade_ >= 1,
+                "histogram needs at least one bucket per decade");
+  buckets_.assign(
+      static_cast<std::size_t>(buckets_per_decade_) * kDecades + 1, 0);
+}
+
+Seconds LatencyHistogram::bucket_lower(std::size_t i) const {
+  HOLAP_REQUIRE(i < buckets_.size(), "bucket index out of range");
   if (i == 0) return Seconds{0.0};
   return Seconds{kMinSeconds *
                  std::pow(10.0, static_cast<double>(i - 1) /
-                                    kBucketsPerDecade)};
+                                    buckets_per_decade_)};
 }
 
-Seconds LatencyHistogram::bucket_upper(std::size_t i) {
-  HOLAP_REQUIRE(i < kBucketCount, "bucket index out of range");
-  if (i + 1 == kBucketCount) {
+Seconds LatencyHistogram::bucket_upper(std::size_t i) const {
+  HOLAP_REQUIRE(i < buckets_.size(), "bucket index out of range");
+  if (i + 1 == buckets_.size()) {
     return Seconds{std::numeric_limits<double>::infinity()};
   }
-  return Seconds{kMinSeconds *
-                 std::pow(10.0, static_cast<double>(i) / kBucketsPerDecade)};
+  return Seconds{kMinSeconds * std::pow(10.0, static_cast<double>(i) /
+                                                  buckets_per_decade_)};
 }
 
-std::size_t LatencyHistogram::bucket_index(Seconds latency) {
+std::size_t LatencyHistogram::bucket_index(Seconds latency) const {
   if (!(latency.value() >= kMinSeconds)) return 0;  // also catches NaN
   const double decades = std::log10(latency.value() / kMinSeconds);
   const auto i = static_cast<std::size_t>(
-      1 + static_cast<long long>(decades * kBucketsPerDecade));
-  return std::min(i, kBucketCount - 1);
+      1 + static_cast<long long>(decades * buckets_per_decade_));
+  return std::min(i, buckets_.size() - 1);
 }
 
 void LatencyHistogram::add(Seconds latency) {
@@ -47,7 +55,10 @@ void LatencyHistogram::add(Seconds latency) {
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
-  for (std::size_t i = 0; i < kBucketCount; ++i) {
+  HOLAP_REQUIRE(buckets_per_decade_ == other.buckets_per_decade_ &&
+                    buckets_.size() == other.buckets_.size(),
+                "histogram bucket layouts must match to merge");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
   if (other.count_ > 0) {
@@ -66,7 +77,7 @@ Seconds LatencyHistogram::percentile(double p) const {
       1, static_cast<std::uint64_t>(
              std::ceil(p / 100.0 * static_cast<double>(count_))));
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kBucketCount; ++i) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
     if (cumulative + buckets_[i] >= target) {
       // Interpolate within the covering bucket; the unbounded top bucket

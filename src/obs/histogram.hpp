@@ -1,17 +1,25 @@
-// Fixed-layout log-spaced latency histogram.
+// Log-spaced latency histogram with a configurable bucket layout.
 //
 // Every instrumented run wants the same three numbers — p50/p95/p99 — and
 // long simulations cannot afford to keep every sample. The histogram uses
-// a fixed geometric bucket layout (8 buckets per decade from 1 µs to 1000 s)
-// so any two histograms are mergeable bucket-by-bucket: per-partition or
-// per-shard histograms combine into a run-level one without resampling.
-// Percentile estimates interpolate within the covering bucket, which bounds
-// the relative error by the bucket width (10^(1/8) ≈ 1.33).
+// a geometric bucket layout (by default 8 buckets per decade from 1 µs to
+// 1000 s) so any two histograms WITH THE SAME LAYOUT are mergeable
+// bucket-by-bucket: per-partition, per-device or per-shard histograms
+// combine into a run-level one without resampling. Percentile estimates
+// interpolate within the covering bucket, which bounds the relative error
+// by the bucket width (10^(1/8) ≈ 1.33 at the default resolution).
+//
+// Degenerate inputs are defined, not accidental:
+//   - every statistic of an EMPTY histogram is Seconds{0} — mean, min,
+//     max and percentile(p) all return 0 (per-device histograms of idle
+//     devices hit this constantly);
+//   - merge() of two histograms with DIFFERENT bucket layouts throws
+//     InvalidArgument instead of silently mixing incompatible buckets.
 #pragma once
 
-#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/units.hpp"
 
@@ -21,47 +29,58 @@ class LatencyHistogram {
  public:
   /// Smallest resolvable latency; everything below lands in bucket 0.
   static constexpr double kMinSeconds = 1e-6;
-  /// Bucket layout: kBucketsPerDecade geometric buckets per factor of 10.
+  /// Default layout: kBucketsPerDecade geometric buckets per factor of 10.
   static constexpr int kBucketsPerDecade = 8;
   static constexpr int kDecades = 9;  ///< 1e-6 s .. 1e3 s
   static constexpr std::size_t kBucketCount =
       static_cast<std::size_t>(kBucketsPerDecade) * kDecades + 1;
 
+  /// The default layout is the historical fixed one (8 buckets/decade);
+  /// a different `buckets_per_decade` trades resolution for footprint.
+  /// Histograms merge only when their layouts match.
+  explicit LatencyHistogram(int buckets_per_decade = kBucketsPerDecade);
+
   /// Record one latency (negative values are clamped to 0).
   void add(Seconds latency);
 
-  /// Bucket-wise sum with `other` (identical fixed layouts).
+  /// Bucket-wise sum with `other`. Throws InvalidArgument when the two
+  /// bucket layouts differ — mismatched layouts cannot be summed.
   void merge(const LatencyHistogram& other);
 
   std::size_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
   Seconds total() const { return Seconds{sum_}; }
-  /// Exact mean of the recorded samples (the sum is kept exactly).
+  /// Exact mean of the recorded samples (the sum is kept exactly);
+  /// Seconds{0} when empty.
   Seconds mean() const {
     return Seconds{count_ ? sum_ / static_cast<double>(count_) : 0.0};
   }
   Seconds min() const { return Seconds{count_ ? min_ : 0.0}; }
   Seconds max() const { return Seconds{count_ ? max_ : 0.0}; }
 
-  /// Percentile estimate, `p` in [0, 100]; 0 when empty. Monotone in `p`
-  /// and clamped to the exact [min, max] of the recorded samples.
+  /// Percentile estimate, `p` in [0, 100]; Seconds{0} when empty (the
+  /// documented degenerate case — an idle device's histogram has no
+  /// samples to estimate from). Monotone in `p` and clamped to the exact
+  /// [min, max] of the recorded samples.
   Seconds percentile(double p) const;
   Seconds p50() const { return percentile(50.0); }
   Seconds p95() const { return percentile(95.0); }
   Seconds p99() const { return percentile(99.0); }
 
   /// Bucket accessors (tests and exporters).
-  std::size_t bucket_count() const { return kBucketCount; }
+  int buckets_per_decade() const { return buckets_per_decade_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
   std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
   /// Inclusive lower edge of bucket `i` (bucket 0 starts at 0).
-  static Seconds bucket_lower(std::size_t i);
+  Seconds bucket_lower(std::size_t i) const;
   /// Exclusive upper edge of bucket `i` (last bucket is unbounded).
-  static Seconds bucket_upper(std::size_t i);
+  Seconds bucket_upper(std::size_t i) const;
   /// Index of the bucket covering `latency`.
-  static std::size_t bucket_index(Seconds latency);
+  std::size_t bucket_index(Seconds latency) const;
 
  private:
-  std::array<std::uint64_t, kBucketCount> buckets_{};
+  int buckets_per_decade_ = kBucketsPerDecade;
+  std::vector<std::uint64_t> buckets_;
   std::size_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;

@@ -11,47 +11,61 @@
 #pragma once
 
 #include <algorithm>
-#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace holap {
 
-/// Distribution of flushed batch sizes. Linear buckets 1..kTracked, with
+/// Distribution of flushed batch sizes. Linear buckets 1..tracked(), with
 /// one overflow bucket for larger batches — batch capacity is a small
 /// config value, so linear resolution over the interesting range beats
-/// the log-bucketing the latency histogram needs.
+/// the log-bucketing the latency histogram needs. Two histograms merge
+/// only when their tracked ranges match (InvalidArgument otherwise);
+/// mean_size() of an empty histogram is a defined 0.
 class BatchSizeHistogram {
  public:
   static constexpr std::size_t kTracked = 64;
+
+  explicit BatchSizeHistogram(std::size_t tracked = kTracked)
+      : buckets_(tracked, 0) {
+    HOLAP_REQUIRE(tracked >= 1,
+                  "batch-size histogram needs at least one bucket");
+  }
 
   void add(std::size_t batch_size) {
     ++total_batches_;
     total_queries_ += batch_size;
     max_size_ = std::max(max_size_, batch_size);
-    if (batch_size >= 1 && batch_size <= kTracked) {
+    if (batch_size >= 1 && batch_size <= buckets_.size()) {
       ++buckets_[batch_size - 1];
-    } else if (batch_size > kTracked) {
+    } else if (batch_size > buckets_.size()) {
       ++overflow_;
     }
   }
 
   void merge(const BatchSizeHistogram& other) {
-    for (std::size_t i = 0; i < kTracked; ++i) buckets_[i] += other.buckets_[i];
+    HOLAP_REQUIRE(buckets_.size() == other.buckets_.size(),
+                  "batch-size histogram tracked ranges must match to merge");
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
     overflow_ += other.overflow_;
     total_batches_ += other.total_batches_;
     total_queries_ += other.total_queries_;
     max_size_ = std::max(max_size_, other.max_size_);
   }
 
-  /// Batches of exactly `size` (1-based; size > kTracked is pooled).
+  std::size_t tracked() const { return buckets_.size(); }
+
+  /// Batches of exactly `size` (1-based; size > tracked() is pooled).
   std::size_t count(std::size_t size) const {
-    if (size >= 1 && size <= kTracked) return buckets_[size - 1];
-    return size > kTracked ? overflow_ : 0;
+    if (size >= 1 && size <= buckets_.size()) return buckets_[size - 1];
+    return size > buckets_.size() ? overflow_ : 0;
   }
   std::size_t batches() const { return total_batches_; }
   std::size_t queries() const { return total_queries_; }
@@ -65,7 +79,7 @@ class BatchSizeHistogram {
   }
 
  private:
-  std::array<std::size_t, kTracked> buckets_{};
+  std::vector<std::size_t> buckets_;
   std::size_t overflow_ = 0;
   std::size_t total_batches_ = 0;
   std::size_t total_queries_ = 0;

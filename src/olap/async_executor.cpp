@@ -483,8 +483,7 @@ void AsyncHybridExecutor::fail_over(Job job, QueueRef failed_ref) {
   // never sleeps a retry, but the gate sheds any job whose remaining
   // slack could not survive the backoff it would owe.
   const Seconds deadline = system_->scheduler().deadline();
-  Seconds backoff = retry->backoff_base;
-  for (int k = 1; k < job.attempt; ++k) backoff += backoff;
+  const Seconds backoff = retry->backoff_for(job.attempt);
   if (job.submitted_at + deadline - (now + backoff) <
       deadline * retry->deadline_slack_gate) {
     resolve_exhausted(std::move(job));
@@ -513,6 +512,82 @@ void AsyncHybridExecutor::fail_over(Job job, QueueRef failed_ref) {
     return;
   }
   route(std::move(job));
+}
+
+RepartitionDecision AsyncHybridExecutor::repartition(
+    const RepartitionDecision& decision) {
+  HOLAP_REQUIRE(!down_.load(), "executor is shut down");
+  std::vector<Job> drained;
+  std::vector<std::size_t> old_slots;  ///< counter slot each job left
+  RepartitionDecision applied;
+  {
+    MutexLock lock(scheduler_mutex_);
+    SchedulerPolicy& sched = scheduler_locked();
+    HOLAP_REQUIRE(sched.device_catalog() != nullptr,
+                  "scheduler has no device catalog to repartition");
+    const Seconds now = clock_.elapsed();
+    for (const int q : {decision.keeper, decision.donor}) {
+      HOLAP_REQUIRE(q >= 0 && q < static_cast<int>(gpu_queues_.size()),
+                    "repartition names an unknown GPU queue");
+      auto jobs = gpu_queues_[static_cast<std::size_t>(q)]->drain();
+      for (Job& job : jobs) {
+        // Roll the queued placement back exactly as a shed does; an
+        // untranslated job also returns its translation charge (jobs in a
+        // GPU intake queue are normally translated already, but a breaker
+        // probe can route one here directly).
+        const Seconds pending_translation =
+            (!job.translated && job.placement.translate)
+                ? job.placement.translation_est
+                : Seconds{};
+        sched.on_shed(job.placement.queue, job.placement.processing_est,
+                      pending_translation);
+        old_slots.push_back(counter_slot(job.placement.queue, false));
+        drained.push_back(std::move(job));
+      }
+    }
+    applied = sched.apply_repartition(decision);
+    // Re-place against the new widths under the same lock: same attempt
+    // (a drain is not a fault), translation preserved via the cached
+    // hint, so the drained work is neither lost nor double-charged.
+    for (Job& job : drained) {
+      ScheduleHints hints;
+      hints.translation_cached = job.translated;
+      job.placement = sched.schedule(job.query, now, job.id, hints);
+      job.stage_enqueued_at = now;
+    }
+  }
+  if (applied.kind == RepartitionDecision::Kind::kMerge) {
+    ++repartition_merges_;
+  } else {
+    ++repartition_splits_;
+  }
+  repartition_drained_ += drained.size();
+  if (!old_slots.empty()) {
+    // The drained jobs left their old intake queues unserved; their depth
+    // gauges must not keep counting them.
+    MutexLock lock(counters_mutex_);
+    for (const std::size_t slot : old_slots) counters_[slot].on_drained();
+  }
+  for (Job& job : drained) {
+    if (job.placement.rejected || job.placement.shed_at_admission) {
+      // No live candidate partition took the re-placement (rejected
+      // placements commit no clocks, so nothing to roll back).
+      const bool is_shed = job.placement.shed_at_admission;
+      if (is_shed) ++shed_;
+      ExecutionReport report;
+      report.outcome = is_shed ? ExecutionOutcome::kShedAtAdmission
+                               : ExecutionOutcome::kRejected;
+      report.queue = job.placement.queue;
+      report.estimated_processing = job.placement.processing_est;
+      report.before_deadline_estimate = job.placement.before_deadline;
+      report.translated = job.translated;
+      report.attempts = job.attempt;
+      job.promise.set_value(std::move(report));
+      continue;
+    }
+    route(std::move(job));
+  }
+  return applied;
 }
 
 void AsyncHybridExecutor::finish(Job job, ExecutionReport report) {

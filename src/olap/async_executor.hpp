@@ -111,6 +111,24 @@ class AsyncHybridExecutor : public BatchAdmitter {
   std::size_t exhausted_retries() const { return exhausted_retries_.load(); }
   std::size_t failed_over() const { return failed_over_.load(); }
 
+  /// Apply one elastic merge/split to the shared scheduler (which must
+  /// model a device catalog). Under ONE scheduler-mutex acquisition the
+  /// two affected partitions' intake queues are drained, each drained
+  /// job's placement is rolled back through on_shed(), the operation is
+  /// applied, and every drained job is re-scheduled against the new
+  /// widths — same attempt, translation preserved — then re-routed. Jobs
+  /// a worker already pulled finish on the old widths (stragglers).
+  /// Returns the decision with derived widths resolved.
+  RepartitionDecision repartition(const RepartitionDecision& decision);
+
+  /// Elastic repartitioning gauges: operations applied and jobs drained
+  /// and re-placed by them.
+  std::size_t repartition_merges() const { return repartition_merges_.load(); }
+  std::size_t repartition_splits() const { return repartition_splits_.load(); }
+  std::size_t repartition_drained() const {
+    return repartition_drained_.load();
+  }
+
   /// Attach a span sink: the scheduler records kEnqueue at placement, the
   /// workers record translate/dispatch/execute/complete on the executor's
   /// wall clock. Call before submitting; nullptr detaches.
@@ -217,6 +235,9 @@ class AsyncHybridExecutor : public BatchAdmitter {
   std::atomic<std::size_t> retries_{0};
   std::atomic<std::size_t> exhausted_retries_{0};
   std::atomic<std::size_t> failed_over_{0};
+  std::atomic<std::size_t> repartition_merges_{0};
+  std::atomic<std::size_t> repartition_splits_{0};
+  std::atomic<std::size_t> repartition_drained_{0};
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<TraceRecorder*> recorder_{nullptr};
   std::atomic<FaultInjector*> fault_{nullptr};

@@ -73,6 +73,13 @@ HybridOlapSystem::HybridOlapSystem(FactTable table, HybridSystemConfig config)
   sched.feedback = config_.feedback;
   sched.admission = config_.admission;
   sched.fault_tolerance = config_.fault_tolerance;
+  sched.gpu_queue_device = config_.gpu_queue_device;
+  sched.topology = config_.topology;
+  if (sched.topology.enabled) {
+    // Repartitioned GPU models must rescale to the table actually
+    // resident on the device, not the config default.
+    sched.topology.gpu_table_mb = bytes_to_mb(table_.size_bytes());
+  }
   policy_ = make_policy(
       config_.policy, sched,
       make_paper_estimator(config_.gpu_partitions,

@@ -80,6 +80,13 @@ struct HybridSystemConfig {
   /// breakers and the deadline-aware retry policy (sched/health.hpp).
   /// Disabled keeps the paper's always-alive-partitions behaviour.
   FaultTolerance fault_tolerance{};
+  /// Elastic multi-device catalog (sched/devices.hpp): prices off-home
+  /// transfers into T_R and enables AsyncHybridExecutor::repartition().
+  /// `gpu_table_mb` is overridden from the actual fact-table size at
+  /// build time. Disabled keeps the distance-blind scheduler bit-for-bit.
+  DeviceTopology topology{};
+  /// Device owning each GPU queue; empty = device 0 owns all of them.
+  std::vector<int> gpu_queue_device;
   /// Record per-query lifecycle spans (enqueue/translate/dispatch/execute/
   /// complete) into the system's TraceRecorder, timestamped on the
   /// system's wall clock.

@@ -1,0 +1,271 @@
+#include "sched/devices.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace holap {
+
+DeviceCatalog::DeviceCatalog(DeviceTopology topology,
+                             std::vector<int> partitions,
+                             std::vector<int> queue_device)
+    : topology_(std::move(topology)),
+      configured_(std::move(partitions)),
+      width_(configured_),
+      queue_device_(std::move(queue_device)) {
+  HOLAP_REQUIRE(!configured_.empty(), "catalog requires GPU queues");
+  HOLAP_REQUIRE(queue_device_.size() == configured_.size(),
+                "queue_device must have one entry per GPU queue");
+  for (const int w : configured_) {
+    HOLAP_REQUIRE(w >= 1, "partition widths must be positive");
+  }
+  for (const int d : queue_device_) {
+    HOLAP_REQUIRE(d >= 0, "device ids must be non-negative");
+    device_count_ = std::max(device_count_, d + 1);
+  }
+  HOLAP_REQUIRE(topology_.home_device >= 0 &&
+                    topology_.home_device < device_count_,
+                "home device must exist in the catalog");
+  HOLAP_REQUIRE(topology_.transfer_unit >= Seconds{0.0},
+                "transfer unit must be non-negative");
+  if (!topology_.distance.empty()) {
+    HOLAP_REQUIRE(static_cast<int>(topology_.distance.size()) ==
+                      device_count_,
+                  "distance matrix must have one row per device");
+    for (const auto& row : topology_.distance) {
+      HOLAP_REQUIRE(static_cast<int>(row.size()) == device_count_,
+                    "distance matrix must be square");
+      for (const double hop : row) {
+        HOLAP_REQUIRE(hop >= 0.0, "distances must be non-negative");
+      }
+    }
+  }
+}
+
+int DeviceCatalog::device_of(int queue) const {
+  HOLAP_REQUIRE(queue >= 0 && queue < queue_count(),
+                "GPU queue index out of range");
+  return queue_device_[static_cast<std::size_t>(queue)];
+}
+
+std::vector<int> DeviceCatalog::queues_on(int device) const {
+  std::vector<int> queues;
+  for (int q = 0; q < queue_count(); ++q) {
+    if (queue_device_[static_cast<std::size_t>(q)] == device) {
+      queues.push_back(q);
+    }
+  }
+  return queues;
+}
+
+double DeviceCatalog::distance(int from, int to) const {
+  HOLAP_REQUIRE(from >= 0 && from < device_count_ && to >= 0 &&
+                    to < device_count_,
+                "device index out of range");
+  if (topology_.distance.empty()) {
+    return from == to ? 0.0 : 1.0;  // single-hop default
+  }
+  return topology_.distance[static_cast<std::size_t>(from)]
+                           [static_cast<std::size_t>(to)];
+}
+
+Seconds DeviceCatalog::transfer_seconds(int queue) const {
+  return topology_.transfer_unit *
+         distance(topology_.home_device, device_of(queue));
+}
+
+bool DeviceCatalog::active(int queue) const { return width(queue) > 0; }
+
+int DeviceCatalog::width(int queue) const {
+  HOLAP_REQUIRE(queue >= 0 && queue < queue_count(),
+                "GPU queue index out of range");
+  return width_[static_cast<std::size_t>(queue)];
+}
+
+int DeviceCatalog::configured_width(int queue) const {
+  HOLAP_REQUIRE(queue >= 0 && queue < queue_count(),
+                "GPU queue index out of range");
+  return configured_[static_cast<std::size_t>(queue)];
+}
+
+int DeviceCatalog::active_queues_on(int device) const {
+  int n = 0;
+  for (const int q : queues_on(device)) {
+    if (active(q)) ++n;
+  }
+  return n;
+}
+
+std::optional<RepartitionDecision> DeviceCatalog::plan_merge(
+    int device) const {
+  // The two narrowest equal-width active siblings: merging 1+1 -> 2
+  // before 2+2 -> 4 keeps the ladder shape as long as possible.
+  int best_keeper = -1;
+  int best_donor = -1;
+  for (const int q : queues_on(device)) {
+    if (!active(q)) continue;
+    for (const int r : queues_on(device)) {
+      if (r <= q || !active(r) || width(r) != width(q)) continue;
+      if (best_keeper < 0 || width(q) < width(best_keeper)) {
+        best_keeper = q;
+        best_donor = r;
+      }
+      break;  // lowest-index partner of q
+    }
+  }
+  if (best_keeper < 0) return std::nullopt;
+  RepartitionDecision d;
+  d.kind = RepartitionDecision::Kind::kMerge;
+  d.device = device;
+  d.keeper = best_keeper;
+  d.donor = best_donor;
+  d.keeper_width = width(best_keeper) + width(best_donor);
+  d.donor_width = 0;
+  return d;
+}
+
+std::optional<RepartitionDecision> DeviceCatalog::plan_split(
+    int device) const {
+  // Undo the most recent merge on the device still standing, so repeated
+  // splits walk back to the configured ladder in reverse order.
+  for (auto it = merge_history_.rbegin(); it != merge_history_.rend();
+       ++it) {
+    if (it->device != device) continue;
+    RepartitionDecision d;
+    d.kind = RepartitionDecision::Kind::kSplit;
+    d.device = device;
+    d.keeper = it->keeper;
+    d.donor = it->donor;
+    d.donor_width = configured_[static_cast<std::size_t>(it->donor)];
+    d.keeper_width = width(it->keeper) - d.donor_width;
+    return d;
+  }
+  return std::nullopt;
+}
+
+RepartitionDecision DeviceCatalog::apply(
+    const RepartitionDecision& decision) {
+  RepartitionDecision d = decision;
+  HOLAP_REQUIRE(d.keeper >= 0 && d.keeper < queue_count() && d.donor >= 0 &&
+                    d.donor < queue_count() && d.keeper != d.donor,
+                "repartition names two distinct GPU queues");
+  HOLAP_REQUIRE(device_of(d.keeper) == d.device &&
+                    device_of(d.donor) == d.device,
+                "repartition queues must share the named device");
+  const auto keeper = static_cast<std::size_t>(d.keeper);
+  const auto donor = static_cast<std::size_t>(d.donor);
+  if (d.kind == RepartitionDecision::Kind::kMerge) {
+    HOLAP_REQUIRE(active(d.keeper) && active(d.donor),
+                  "merge requires two active partitions");
+    if (d.keeper_width == 0) {
+      d.keeper_width = width_[keeper] + width_[donor];
+    }
+    HOLAP_REQUIRE(d.keeper_width == width_[keeper] + width_[donor] &&
+                      d.donor_width == 0,
+                  "merge must conserve SMs into the keeper");
+    width_[keeper] = d.keeper_width;
+    width_[donor] = 0;
+    merge_history_.push_back(d);
+    ++merges_;
+    return d;
+  }
+  HOLAP_REQUIRE(active(d.keeper) && !active(d.donor),
+                "split reactivates a merged-away partition");
+  if (d.donor_width == 0) d.donor_width = configured_[donor];
+  if (d.keeper_width == 0) d.keeper_width = width_[keeper] - d.donor_width;
+  HOLAP_REQUIRE(d.keeper_width >= 1 && d.donor_width >= 1 &&
+                    d.keeper_width + d.donor_width == width_[keeper],
+                "split must conserve the keeper's SMs");
+  width_[keeper] = d.keeper_width;
+  width_[donor] = d.donor_width;
+  // Retire the matching merge record (newest first) so plan_split keeps
+  // walking back through whatever merges still stand.
+  for (auto it = merge_history_.rbegin(); it != merge_history_.rend();
+       ++it) {
+    if (it->keeper == d.keeper && it->donor == d.donor) {
+      merge_history_.erase(std::next(it).base());
+      break;
+    }
+  }
+  ++splits_;
+  return d;
+}
+
+ElasticPartitioner::ElasticPartitioner(ElasticPolicy policy,
+                                       const DeviceCatalog* catalog)
+    : policy_(policy), catalog_(catalog) {
+  HOLAP_REQUIRE(catalog_ != nullptr, "partitioner requires a catalog");
+  HOLAP_REQUIRE(policy_.check_interval > Seconds{0.0},
+                "check interval must be positive");
+  HOLAP_REQUIRE(policy_.sustain_checks >= 1,
+                "sustain_checks must be at least 1");
+  HOLAP_REQUIRE(policy_.cooldown_checks >= 0,
+                "cooldown_checks must be non-negative");
+  HOLAP_REQUIRE(policy_.merge_backlog > policy_.split_backlog,
+                "merge threshold must exceed the split threshold");
+  const auto devices = static_cast<std::size_t>(catalog_->device_count());
+  merge_streak_.assign(devices, 0);
+  split_streak_.assign(devices, 0);
+  cooldown_.assign(devices, 0);
+}
+
+std::optional<RepartitionDecision> ElasticPartitioner::evaluate(
+    const std::vector<Seconds>& backlog, const std::vector<bool>& healthy) {
+  HOLAP_REQUIRE(static_cast<int>(backlog.size()) ==
+                        catalog_->queue_count() &&
+                    healthy.size() == backlog.size(),
+                "one backlog/health sample per GPU queue");
+  for (int dev = 0; dev < catalog_->device_count(); ++dev) {
+    const auto slot = static_cast<std::size_t>(dev);
+    if (cooldown_[slot] > 0) {
+      --cooldown_[slot];
+      continue;
+    }
+    Seconds total{};
+    int active = 0;
+    for (const int q : catalog_->queues_on(dev)) {
+      if (!catalog_->active(q)) continue;
+      total += backlog[static_cast<std::size_t>(q)];
+      ++active;
+    }
+    if (active == 0) continue;
+    const Seconds mean = total / static_cast<double>(active);
+    if (mean >= policy_.merge_backlog) {
+      split_streak_[slot] = 0;
+      if (++merge_streak_[slot] < policy_.sustain_checks) continue;
+      const auto plan = catalog_->plan_merge(dev);
+      // Only fold HEALTHY siblings together: merging into a degraded or
+      // probing partition would concentrate load on the partition least
+      // able to take it.
+      if (plan.has_value() &&
+          healthy[static_cast<std::size_t>(plan->keeper)] &&
+          healthy[static_cast<std::size_t>(plan->donor)]) {
+        return plan;
+      }
+      merge_streak_[slot] = 0;  // re-arm: wait out another full streak
+    } else if (mean <= policy_.split_backlog) {
+      merge_streak_[slot] = 0;
+      if (++split_streak_[slot] < policy_.sustain_checks) continue;
+      const auto plan = catalog_->plan_split(dev);
+      if (plan.has_value() &&
+          healthy[static_cast<std::size_t>(plan->keeper)]) {
+        return plan;
+      }
+      split_streak_[slot] = 0;
+    } else {
+      merge_streak_[slot] = 0;
+      split_streak_[slot] = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+void ElasticPartitioner::on_applied(const RepartitionDecision& decision) {
+  const auto slot = static_cast<std::size_t>(decision.device);
+  HOLAP_REQUIRE(slot < cooldown_.size(), "decision names an unknown device");
+  merge_streak_[slot] = 0;
+  split_streak_[slot] = 0;
+  cooldown_[slot] = policy_.cooldown_checks;
+}
+
+}  // namespace holap

@@ -1,0 +1,191 @@
+// Elastic multi-GPU device catalog: topology-aware placement costs and
+// online SM repartitioning.
+//
+// The paper fixes one Tesla C2070 carved into six static {1,1,2,2,4,4}
+// partitions. Real multi-accelerator systems (PG-Strom's device model,
+// Theseus-style data-movement-aware scheduling) enumerate N devices, each
+// with its own partition set and its own link back to wherever the data
+// lives. This header models both extensions on top of the unchanged
+// Figure-10 machinery:
+//
+//   - DeviceCatalog: N simulated GPUs, each owning a slice of the global
+//     GPU queue list, plus a device-distance matrix. Placing a query on a
+//     non-home device pays a transfer term in its T_R —
+//     distance(home, device) * transfer_unit * column_fraction — fed into
+//     the estimator, so choose() ranks candidates across ALL devices with
+//     placement-aware estimates while the Figure-10 algorithm itself
+//     stays untouched.
+//
+//   - Online repartitioning: sibling partitions on one device MERGE into
+//     a double-width partition (halved service times drain a sustained
+//     backlog) and previously merged slots SPLIT back to the configured
+//     ladder when load subsides. The global queue-slot list never
+//     resizes; a merged-away slot deactivates (leaves the candidate set)
+//     and reactivates on split, so every queue clock, counter and health
+//     entry keeps its identity across operations.
+//
+//   - ElasticPartitioner: the deterministic trigger. Per-device mean
+//     backlog (seconds of committed clock work per active queue) must
+//     stay beyond a threshold for `sustain_checks` consecutive checks
+//     before an operation fires, and only kHealthy siblings merge; a
+//     cooldown separates successive operations per device.
+//
+// Everything here is explicit state driven by the caller's clock — no
+// wall time, no randomness (this header sits inside the determinism
+// lint's include closure via sched/scheduler.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace holap {
+
+/// Static device topology: how many GPUs, where the data lives, and what
+/// crossing the interconnect costs. Disabled (the default) keeps the
+/// scheduler bit-identical to the single-device, distance-blind paper
+/// behaviour.
+struct DeviceTopology {
+  bool enabled = false;
+  /// Device holding the resident working set; transfers price from here.
+  int home_device = 0;
+  /// Seconds to stage the FULL resident column set across one unit of
+  /// distance. A query placed on device d pays
+  /// distance(home_device, d) * transfer_unit * column_fraction in T_R.
+  Seconds transfer_unit{};
+  /// Distance matrix [from][to]. Empty derives the single-hop default:
+  /// 0 on the diagonal, 1 between distinct devices.
+  std::vector<std::vector<double>> distance;
+  /// Table size the repartitioned GPU models are rescaled to.
+  Megabytes gpu_table_mb{4096.0};
+};
+
+/// Trigger thresholds for online repartitioning.
+struct ElasticPolicy {
+  bool enabled = false;
+  /// Sim-clock cadence of trigger evaluations.
+  Seconds check_interval{0.05};
+  /// Consecutive checks a threshold must hold before an operation fires.
+  int sustain_checks = 3;
+  /// Mean backlog per active queue at or above which siblings merge.
+  Seconds merge_backlog{0.5};
+  /// Mean backlog at or below which merged slots split back apart.
+  Seconds split_backlog{0.05};
+  /// Checks skipped on a device after one of its operations applied.
+  int cooldown_checks = 4;
+};
+
+/// One merge/split operation on one device's partition set.
+struct RepartitionDecision {
+  enum class Kind : std::uint8_t {
+    kMerge,  ///< donor's SMs fold into keeper; donor deactivates
+    kSplit,  ///< keeper returns donor's configured SMs; donor reactivates
+  };
+  Kind kind = Kind::kMerge;
+  int device = 0;
+  int keeper = 0;  ///< global GPU queue index that stays active
+  int donor = 0;   ///< global GPU queue index merged away / reactivated
+  /// Post-operation SM widths. 0 asks DeviceCatalog::apply() to derive
+  /// them (merge: keeper absorbs everything; split: donor returns to its
+  /// configured width) — the form timed test scenarios use.
+  int keeper_width = 0;
+  int donor_width = 0;
+};
+
+/// A repartition forced at a sim-clock instant (FaultInjector-style),
+/// bypassing the ElasticPartitioner trigger — how tests pin an operation
+/// to the middle of a burst.
+struct TimedRepartition {
+  Seconds at{};
+  RepartitionDecision decision;
+};
+
+/// The device inventory: queue->device ownership, distances, transfer
+/// costs and the mutable SM-width state online repartitioning edits.
+class DeviceCatalog {
+ public:
+  /// `partitions` is the global queue ladder (SMs per queue, all devices
+  /// concatenated); `queue_device` the owning device per queue, ids dense
+  /// from 0 and covering every device in `topology.distance` when given.
+  DeviceCatalog(DeviceTopology topology, std::vector<int> partitions,
+                std::vector<int> queue_device);
+
+  const DeviceTopology& topology() const { return topology_; }
+  int device_count() const { return device_count_; }
+  int queue_count() const { return static_cast<int>(width_.size()); }
+  int device_of(int queue) const;
+  std::vector<int> queues_on(int device) const;
+
+  /// Hop cost between devices (the derived default when no matrix given).
+  double distance(int from, int to) const;
+  /// T_R transfer term for `queue`, per unit column fraction: 0 on the
+  /// home device, distance-scaled elsewhere.
+  Seconds transfer_seconds(int queue) const;
+
+  /// false once a merge folded the slot away (out of the candidate set).
+  bool active(int queue) const;
+  /// Current SM width of `queue` (0 while inactive).
+  int width(int queue) const;
+  /// Width the queue was constructed with.
+  int configured_width(int queue) const;
+  int active_queues_on(int device) const;
+
+  /// The next merge the catalog would perform on `device`: the two
+  /// narrowest equal-width active siblings, keeper = lower index. Empty
+  /// when no such pair exists.
+  std::optional<RepartitionDecision> plan_merge(int device) const;
+  /// The inverse of the most recent un-split merge on `device`; empty
+  /// when the device is at its configured ladder.
+  std::optional<RepartitionDecision> plan_split(int device) const;
+
+  /// Validate and apply one operation (deriving widths where the
+  /// decision left them 0). Throws InvalidArgument on conservation or
+  /// activity violations. Returns the decision with widths resolved.
+  RepartitionDecision apply(const RepartitionDecision& decision);
+
+  std::size_t merges() const { return merges_; }
+  std::size_t splits() const { return splits_; }
+
+ private:
+  DeviceTopology topology_;
+  std::vector<int> configured_;   ///< construction-time ladder widths
+  std::vector<int> width_;        ///< current widths; 0 = inactive
+  std::vector<int> queue_device_;
+  int device_count_ = 0;
+  /// Applied merges not yet undone by a split, in application order.
+  std::vector<RepartitionDecision> merge_history_;
+  std::size_t merges_ = 0;
+  std::size_t splits_ = 0;
+};
+
+/// Deterministic merge/split trigger over backlog and health signals.
+class ElasticPartitioner {
+ public:
+  /// `catalog` must outlive the partitioner.
+  ElasticPartitioner(ElasticPolicy policy, const DeviceCatalog* catalog);
+
+  /// One trigger check: `backlog` is the committed clock work per GPU
+  /// queue (clamped >= 0), `healthy` whether each queue's partition is
+  /// kHealthy. Returns the operation to apply when a device's sustained
+  /// signal crossed a threshold; at most one operation per check.
+  std::optional<RepartitionDecision> evaluate(
+      const std::vector<Seconds>& backlog, const std::vector<bool>& healthy);
+
+  /// An operation was applied: reset the device's streaks, start its
+  /// cooldown.
+  void on_applied(const RepartitionDecision& decision);
+
+  const ElasticPolicy& policy() const { return policy_; }
+
+ private:
+  ElasticPolicy policy_;
+  const DeviceCatalog* catalog_;
+  std::vector<int> merge_streak_;  ///< per device
+  std::vector<int> split_streak_;
+  std::vector<int> cooldown_;
+};
+
+}  // namespace holap

@@ -21,6 +21,7 @@ CostEstimator::CostEstimator(CpuPerfModel cpu_model,
                 "estimator requires a translation work model");
   HOLAP_REQUIRE(gpu_total_columns_ > 0, "C_TOTAL must be positive");
   gpu_degradation_.assign(gpu_models_.size(), 1.0);
+  gpu_transfer_.assign(gpu_models_.size(), Seconds{});
 }
 
 CostEstimate CostEstimator::estimate(const Query& q) const {
@@ -34,8 +35,12 @@ CostEstimate CostEstimator::estimate(const Query& q) const {
                         static_cast<double>(gpu_total_columns_));
   est.gpu.reserve(gpu_models_.size());
   for (std::size_t i = 0; i < gpu_models_.size(); ++i) {
+    // The transfer term prices data movement onto a non-home device; it
+    // scales with the columns touched, not with the partition's speed, so
+    // it stays outside the degradation multiplier.
     est.gpu.push_back(gpu_models_[i].seconds(est.column_fraction) *
-                      gpu_degradation_[i]);
+                          gpu_degradation_[i] +
+                      gpu_transfer_[i] * est.column_fraction);
   }
   const auto lengths = translation_work_->dictionary_lengths(q);
   est.needs_translation = !lengths.empty();
@@ -61,6 +66,28 @@ void CostEstimator::set_translation_costing(TranslationCosting costing,
                 "hashed lookup cost must be positive");
   translation_costing_ = costing;
   hashed_seconds_ = hashed_seconds;
+}
+
+void CostEstimator::set_gpu_transfer(int queue, Seconds per_fraction) {
+  HOLAP_REQUIRE(queue >= 0 &&
+                    queue < static_cast<int>(gpu_transfer_.size()),
+                "GPU queue index out of range");
+  HOLAP_REQUIRE(per_fraction >= Seconds{0.0},
+                "transfer cost must be non-negative");
+  gpu_transfer_[static_cast<std::size_t>(queue)] = per_fraction;
+}
+
+Seconds CostEstimator::gpu_transfer(int queue) const {
+  HOLAP_REQUIRE(queue >= 0 &&
+                    queue < static_cast<int>(gpu_transfer_.size()),
+                "GPU queue index out of range");
+  return gpu_transfer_[static_cast<std::size_t>(queue)];
+}
+
+void CostEstimator::set_gpu_model(int queue, GpuPerfModel model) {
+  HOLAP_REQUIRE(queue >= 0 && queue < static_cast<int>(gpu_models_.size()),
+                "GPU queue index out of range");
+  gpu_models_[static_cast<std::size_t>(queue)] = std::move(model);
 }
 
 void CostEstimator::set_degradation(QueueRef ref, double multiplier) {

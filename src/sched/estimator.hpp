@@ -57,6 +57,18 @@ class CostEstimator {
   void set_translation_costing(TranslationCosting costing,
                                Seconds hashed_seconds = Seconds{2e-7});
 
+  /// Topology-aware placement: additive transfer cost for GPU queue
+  /// `queue`, charged per unit column fraction — the data-movement term a
+  /// device catalog prices into T_R for queues off the home device
+  /// (sched/devices.hpp). The default 0 keeps estimates bit-identical to
+  /// the distance-blind behaviour.
+  void set_gpu_transfer(int queue, Seconds per_fraction);
+  Seconds gpu_transfer(int queue) const;
+
+  /// Elastic repartitioning: replace `queue`'s performance model after an
+  /// online SM-width change.
+  void set_gpu_model(int queue, GpuPerfModel model);
+
   /// Fault-tolerance degradation: inflate `ref`'s estimates by
   /// `multiplier` (>= 1; 1 restores the model). A kDegraded partition
   /// stays schedulable but honestly slower, so the Figure-10 feasibility
@@ -80,6 +92,7 @@ class CostEstimator {
   Seconds hashed_seconds_{2e-7};
   double cpu_degradation_ = 1.0;
   std::vector<double> gpu_degradation_;  ///< one per GPU queue, >= 1
+  std::vector<Seconds> gpu_transfer_;    ///< per-fraction transfer term
 };
 
 /// Estimator wired with the paper's published models: the CPU model for

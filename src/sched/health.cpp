@@ -1,5 +1,7 @@
 #include "sched/health.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace holap {
@@ -16,6 +18,17 @@ const char* to_string(PartitionHealth health) {
       return "recovering";
   }
   return "unknown";
+}
+
+Seconds RetryPolicy::backoff_for(int failed_attempt) const {
+  HOLAP_REQUIRE(failed_attempt >= 1,
+                "backoff applies to a failed attempt (>= 1)");
+  HOLAP_REQUIRE(max_backoff_doublings >= 0,
+                "backoff doubling cap must be non-negative");
+  const int doublings = std::min(failed_attempt - 1, max_backoff_doublings);
+  Seconds backoff = backoff_base;
+  for (int k = 0; k < doublings; ++k) backoff += backoff;
+  return backoff;
 }
 
 CircuitBreaker::CircuitBreaker(const HealthPolicy& policy)

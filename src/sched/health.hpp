@@ -80,15 +80,27 @@ struct HealthPolicy {
 struct RetryPolicy {
   /// Total attempts per query, the first included. 1 disables retries.
   int max_attempts = 3;
-  /// Delay before attempt k is re-submitted: backoff_base * 2^(k-2).
+  /// Delay before attempt k is re-submitted:
+  /// backoff_base * 2^min(k-2, max_backoff_doublings).
   /// (The simulator sleeps on the sim clock; the native executor does not
   /// block a worker and applies the backoff to the slack gate only.)
   Seconds backoff_base{0.01};
+  /// Clamp on the backoff exponent: without it a large max_attempts grows
+  /// backoff_base * 2^(k-2) without bound — past any deadline slack gate
+  /// and, eventually, past what Seconds can represent. 16 doublings keep
+  /// the default base at a ~655 s ceiling while leaving every small
+  /// attempt count bit-identical to the unclamped series.
+  int max_backoff_doublings = 16;
   /// A retry is shed (kExhaustedRetries) unless the deadline slack left
   /// after the backoff, (submit + T_C) - (now + backoff), is at least
   /// this fraction of T_C. 0 demands the re-submission happen before the
   /// deadline; negative values allow late retries.
   double deadline_slack_gate = 0.0;
+
+  /// Backoff owed after attempt `failed_attempt` (>= 1) failed, i.e.
+  /// before attempt failed_attempt + 1 is re-submitted, with the doubling
+  /// exponent clamped to max_backoff_doublings.
+  Seconds backoff_for(int failed_attempt) const;
 };
 
 /// Fault-tolerance configuration, carried by SchedulerConfig. Disabled by

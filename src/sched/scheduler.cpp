@@ -71,6 +71,25 @@ QueueingScheduler::QueueingScheduler(SchedulerConfig config,
     health_ = std::make_unique<PartitionHealthMonitor>(
         static_cast<int>(gpu_clocks_.size()), config_.fault_tolerance.health);
   }
+  if (config_.topology.enabled) {
+    HOLAP_REQUIRE(config_.enable_gpu,
+                  "device topology requires GPU partitions");
+    catalog_ = std::make_unique<DeviceCatalog>(
+        config_.topology, config_.gpu_partitions, queue_device_);
+    // Price data movement onto non-home devices into every estimate: the
+    // transfer term rides inside T_GPUj, so the unchanged Figure-10
+    // choose() sees topology through T_R without learning about devices.
+    for (int i = 0; i < static_cast<int>(gpu_clocks_.size()); ++i) {
+      estimator_.set_gpu_transfer(i, catalog_->transfer_seconds(i));
+    }
+    if (config_.elastic.enabled) {
+      elastic_ = std::make_unique<ElasticPartitioner>(config_.elastic,
+                                                      catalog_.get());
+    }
+  } else {
+    HOLAP_REQUIRE(!config_.elastic.enabled,
+                  "elastic repartitioning requires topology.enabled");
+  }
 }
 
 Seconds QueueingScheduler::gpu_clock(int queue) const {
@@ -134,6 +153,10 @@ Placement QueueingScheduler::decide(const Query& q, Seconds now,
     for (std::size_t i = 0; i < staged.gpu.size(); ++i) {
       PartitionResponse r;
       r.ref = {QueueRef::kGpu, static_cast<int>(i)};
+      // A merged-away partition owns no SMs until a split reactivates it.
+      if (catalog_ != nullptr && !catalog_->active(static_cast<int>(i))) {
+        continue;
+      }
       if (!partition_schedulable(r.ref, now)) continue;
       r.processing = est.gpu[i];
       Seconds ready = std::max(staged.gpu[i], now);
@@ -153,6 +176,25 @@ Placement QueueingScheduler::decide(const Query& q, Seconds now,
       r.before_deadline = r.response <= deadline;  // T_R <= T_D
       candidates.push_back(r);
     }
+  }
+
+  if (catalog_ != nullptr) {
+    // Under repartitioning the configured slow-first queue order no longer
+    // reflects live widths, so restore the "slowest feasible GPU first"
+    // meaning by sorting GPU candidates slowest-processing first. Stable,
+    // and only when the catalog is enabled: disabled configurations keep
+    // the paper's configured order bit-for-bit. The CPU candidate, when
+    // present, is always at the front and stays there.
+    auto gpu_begin = candidates.begin();
+    if (gpu_begin != candidates.end() &&
+        gpu_begin->ref.kind == QueueRef::kCpu) {
+      ++gpu_begin;
+    }
+    std::stable_sort(gpu_begin, candidates.end(),
+                     [](const PartitionResponse& a,
+                        const PartitionResponse& b) {
+                       return a.processing > b.processing;
+                     });
   }
 
   if (candidates.empty()) {
@@ -350,6 +392,49 @@ void QueueingScheduler::sync_degradation() {
 
 bool QueueingScheduler::partition_schedulable(QueueRef ref, Seconds now) {
   return health_ == nullptr || health_->schedulable(ref, now);
+}
+
+std::optional<RepartitionDecision> QueueingScheduler::evaluate_repartition(
+    Seconds now) {
+  if (elastic_ == nullptr) return std::nullopt;
+  // Backlog gauge per GPU queue: how far its clock runs ahead of `now`.
+  // Reads the ledger, never writes it.
+  std::vector<Seconds> backlog(gpu_clocks_.size());
+  std::vector<bool> healthy(gpu_clocks_.size(), true);
+  for (std::size_t i = 0; i < gpu_clocks_.size(); ++i) {
+    const Seconds clock = gpu_clocks_[i];
+    backlog[i] = clock > now ? clock - now : Seconds{};
+    if (health_ != nullptr) {
+      healthy[i] = health_->health({QueueRef::kGpu, static_cast<int>(i)}) ==
+                   PartitionHealth::kHealthy;
+    }
+  }
+  return elastic_->evaluate(backlog, healthy);
+}
+
+RepartitionDecision QueueingScheduler::apply_repartition(
+    const RepartitionDecision& decision) {
+  HOLAP_REQUIRE(catalog_ != nullptr,
+                "policy has no device catalog to repartition");
+  // Catalog + estimator state only: the clock ledger is untouched. The
+  // caller drains the affected queues through on_shed() (the blessed
+  // rollback path) before calling this, then re-schedules the drained
+  // work against the new widths.
+  const RepartitionDecision applied = catalog_->apply(decision);
+  if (elastic_ != nullptr) elastic_->on_applied(applied);
+  const auto rebuild = [&](int queue, int width) {
+    if (width <= 0) return;  // merged away: not a candidate, no model
+    estimator_.set_gpu_model(queue, GpuPerfModel::paper_c2070_scaled(
+                                        width, config_.topology.gpu_table_mb));
+  };
+  rebuild(applied.keeper, applied.keeper_width);
+  rebuild(applied.donor, applied.donor_width);
+  if (applied.kind == RepartitionDecision::Kind::kMerge) {
+    ++counters_.repartition_merges;
+  } else {
+    ++counters_.repartition_splits;
+  }
+  return applied;
 }
 
 std::optional<QueueRef> FigureTenScheduler::choose(

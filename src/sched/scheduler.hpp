@@ -28,7 +28,9 @@
 #include <memory>
 #include <span>
 
+#include "common/error.hpp"
 #include "obs/trace.hpp"
+#include "sched/devices.hpp"
 #include "sched/estimator.hpp"
 #include "sched/health.hpp"
 
@@ -78,6 +80,15 @@ struct SchedulerConfig {
   /// breakers and the retry policy (sched/health.hpp). Disabled by
   /// default — the scheduler then behaves exactly as the paper's.
   FaultTolerance fault_tolerance;
+  /// Elastic multi-device catalog (sched/devices.hpp): device distances
+  /// feed a transfer term into every GPU queue's T_R, and the candidate
+  /// set is re-ordered slowest-processing-first so the unchanged
+  /// Figure-10 choose() keeps its "slowest feasible first" meaning when
+  /// online repartitioning changes queue widths. Disabled by default —
+  /// the scheduler is then bit-identical to the distance-blind behaviour.
+  DeviceTopology topology;
+  /// Online SM repartitioning trigger (requires topology.enabled).
+  ElasticPolicy elastic;
 };
 
 /// Step-3 output for one partition queue.
@@ -132,6 +143,9 @@ struct SchedulerCounters {
   std::size_t batch_commits = 0;
   std::size_t batched_queries = 0;
   std::size_t batch_rollbacks = 0;
+  /// Elastic repartitioning: merge/split operations applied.
+  std::size_t repartition_merges = 0;
+  std::size_t repartition_splits = 0;
 };
 
 /// Abstract scheduling policy over partition queues.
@@ -209,6 +223,34 @@ class SchedulerPolicy {
   /// nullptr otherwise (one attempt, no replay).
   virtual const RetryPolicy* retry_policy() const { return nullptr; }
 
+  /// Elastic device catalog when the policy models one; nullptr
+  /// otherwise. Shares the policy's synchronisation domain.
+  virtual const DeviceCatalog* device_catalog() const { return nullptr; }
+
+  /// The repartitioning trigger configuration, when enabled; nullptr
+  /// otherwise. Callers (the simulator) use it to pace trigger checks.
+  virtual const ElasticPolicy* elastic_policy() const { return nullptr; }
+
+  /// Evaluate the elastic trigger at `now`: non-empty when sustained
+  /// imbalance wants a merge/split applied. Reads the clock ledger, never
+  /// writes it.
+  virtual std::optional<RepartitionDecision> evaluate_repartition(
+      Seconds now) {
+    (void)now;
+    return std::nullopt;
+  }
+
+  /// Apply a merge/split: updates the catalog's active set and the
+  /// estimator's per-queue models. Never touches the clock ledger — the
+  /// caller drains affected queues through on_shed()/rollback_batch()
+  /// and re-schedules the drained work itself. Returns the decision with
+  /// derived widths resolved.
+  virtual RepartitionDecision apply_repartition(
+      const RepartitionDecision& decision) {
+    HOLAP_ASSERT(false, "policy has no device catalog to repartition");
+    return decision;
+  }
+
   /// T_C: the per-query time constraint this policy schedules against.
   virtual Seconds deadline() const = 0;
 
@@ -239,6 +281,16 @@ class QueueingScheduler : public SchedulerPolicy {
     return config_.fault_tolerance.enabled ? &config_.fault_tolerance.retry
                                            : nullptr;
   }
+  const DeviceCatalog* device_catalog() const override {
+    return catalog_.get();
+  }
+  const ElasticPolicy* elastic_policy() const override {
+    return elastic_ != nullptr ? &config_.elastic : nullptr;
+  }
+  std::optional<RepartitionDecision> evaluate_repartition(
+      Seconds now) override;
+  RepartitionDecision apply_repartition(
+      const RepartitionDecision& decision) override;
   Seconds deadline() const override { return config_.deadline; }
   int gpu_queue_count() const override {
     return static_cast<int>(gpu_clocks_.size());
@@ -287,6 +339,11 @@ class QueueingScheduler : public SchedulerPolicy {
   /// Non-null iff config_.fault_tolerance.enabled; with it null the
   /// scheduler is bit-identical to the pre-fault-tolerance behaviour.
   std::unique_ptr<PartitionHealthMonitor> health_;
+  /// Non-null iff config_.topology.enabled; with it null the candidate
+  /// set keeps the paper's configured order and zero transfer terms.
+  std::unique_ptr<DeviceCatalog> catalog_;
+  /// Non-null iff config_.elastic.enabled (which requires the catalog).
+  std::unique_ptr<ElasticPartitioner> elastic_;
 
   Seconds& clock_for(QueueRef ref);
   /// Snapshot the ledger into a staged view for decide() to work against.

@@ -62,6 +62,9 @@ std::unique_ptr<SchedulerPolicy> PaperScenario::make_policy(
   config.gpu_queue_device = gpu_queue_device_map();
   config.admission = options_.admission;
   config.fault_tolerance = options_.fault_tolerance;
+  config.topology = options_.topology;
+  config.topology.gpu_table_mb = gpu_table_mb();
+  config.elastic = options_.elastic;
   return ::holap::make_policy(name, std::move(config), make_estimator());
 }
 

@@ -57,6 +57,13 @@ struct ScenarioOptions {
   /// retry policy (sched/health.hpp). Disabled keeps the paper's
   /// always-alive-partitions behaviour.
   FaultTolerance fault_tolerance{};
+  /// Elastic multi-device catalog (sched/devices.hpp): device-distance
+  /// transfer costs in every GPU estimate, per-queue device ownership from
+  /// gpu_queue_device_map(), and — with `elastic.enabled` — online SM
+  /// merge/split under sustained imbalance. Disabled keeps the scheduler
+  /// bit-identical to the distance-blind behaviour.
+  DeviceTopology topology{};
+  ElasticPolicy elastic{};
   /// Share of text-capable conditions arriving as strings; 0 disables
   /// translation entirely (the paper's "original implementation").
   double text_probability = 0.5;

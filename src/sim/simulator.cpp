@@ -79,6 +79,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
 
   SimResult result;
   result.gpu_utilization.assign(gpus.size(), 0.0);
+  result.device_latency.resize(static_cast<std::size_t>(device_count));
   if (config.record_trace) result.trace.resize(queries.size());
 
   // Per-stage counters in fixed layout: cpu, translation, one dispatch
@@ -155,12 +156,15 @@ SimResult run_simulation(SchedulerPolicy& policy,
   const bool closed = config.arrival_rate <= 0.0;
   std::size_t next_query = 0;
 
-  std::function<void(std::size_t, Seconds, int, bool)> run_attempt;
+  // `requeued` marks a re-submission caused by a repartition drain (NOT a
+  // retry): the query keeps its attempt number and must not re-enter the
+  // first-attempt counters it already counted into.
+  std::function<void(std::size_t, Seconds, int, bool, bool)> run_attempt;
   // The post-decision half of run_attempt: drive one query through the
   // server pipeline given its Placement. Split out so a batched flush can
   // run N placements from ONE schedule_batch() call.
-  std::function<void(std::size_t, Seconds, int, bool, const Placement&,
-                     Seconds)>
+  std::function<void(std::size_t, Seconds, int, bool, bool,
+                     const Placement&, Seconds)>
       execute_placement;
 
   // Batch-aggregated admission (SimConfig::ingest_batch > 1): arrivals
@@ -177,7 +181,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
 
   auto start_query = [&](std::size_t idx) {
     if (config.ingest_batch <= 1) {
-      run_attempt(idx, events.now(), 1, false);
+      run_attempt(idx, events.now(), 1, false, false);
       return;
     }
     pending.push_back({idx, events.now()});
@@ -210,6 +214,11 @@ SimResult run_simulation(SchedulerPolicy& policy,
     const Seconds latency = done - submit;
     latencies.push_back(latency.value());
     result.latency_histogram.add(latency);
+    if (queue.kind == QueueRef::kGpu) {
+      result.device_latency[static_cast<std::size_t>(
+          queue_device[static_cast<std::size_t>(queue.index)])]
+          .add(latency);
+    }
     const bool met = latency <= policy.deadline();
     if (met) ++result.met_deadline;
     if (config.record_trace) {
@@ -254,9 +263,9 @@ SimResult run_simulation(SchedulerPolicy& policy,
       exhaust();
       return;
     }
-    // Exponential backoff: backoff_base doubled per prior attempt.
-    Seconds backoff = retry->backoff_base;
-    for (int k = 1; k < f.attempt; ++k) backoff += backoff;
+    // Exponential backoff, exponent clamped by the policy so a large
+    // retry budget cannot grow the delay without bound.
+    const Seconds backoff = retry->backoff_for(f.attempt);
     // Deadline-aware gate: shed unless the slack left after the backoff
     // is at least deadline_slack_gate * T_C.
     if (f.submit + policy.deadline() - (at + backoff) <
@@ -269,12 +278,14 @@ SimResult run_simulation(SchedulerPolicy& policy,
     events.schedule(at + backoff,
                     [&, idx = f.idx, submit = f.submit, attempt = f.attempt,
                      translated = f.translated]() {
-                      run_attempt(idx, submit, attempt + 1, translated);
+                      run_attempt(idx, submit, attempt + 1, translated,
+                                  false);
                     });
   };
 
   execute_placement = [&](std::size_t idx, Seconds submit, int attempt,
-                          bool translated, const Placement& p, Seconds now) {
+                          bool translated, bool requeued, const Placement& p,
+                          Seconds now) {
     if (config.record_trace) {
       QueryTrace& t = result.trace[idx];
       t.index = idx;
@@ -307,7 +318,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
       return;
     }
     if (p.queue.kind == QueueRef::kCpu) {
-      if (attempt == 1) ++result.cpu_queries;
+      if (attempt == 1 && !requeued) ++result.cpu_queries;
       if (down[0] != 0) {
         // Placed onto a dead partition (fault tolerance off, or the
         // breaker probing): fail at the handoff — the query never
@@ -342,7 +353,7 @@ SimResult run_simulation(SchedulerPolicy& policy,
                  });
       return;
     }
-    if (attempt == 1) ++result.gpu_queries;
+    if (attempt == 1 && !requeued) ++result.gpu_queries;
     const int queue = p.queue.index;
     const double bias =
         config.gpu_queue_bias.empty()
@@ -419,12 +430,12 @@ SimResult run_simulation(SchedulerPolicy& policy,
   };
 
   run_attempt = [&](std::size_t idx, Seconds submit, int attempt,
-                    bool translated) {
+                    bool translated, bool requeued) {
     const Seconds now = events.now();
     ScheduleHints hints;
     hints.translation_cached = translated;
     const Placement p = policy.schedule(queries[idx], now, idx, hints);
-    execute_placement(idx, submit, attempt, translated, p, now);
+    execute_placement(idx, submit, attempt, translated, requeued, p, now);
   };
 
   flush_pending = [&]() {
@@ -445,8 +456,67 @@ SimResult run_simulation(SchedulerPolicy& policy,
     const BatchPlacement placed =
         policy.schedule_batch(batch_queries, now, batch.front().idx);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      execute_placement(batch[i].idx, batch[i].submit, 1, false,
+      execute_placement(batch[i].idx, batch[i].submit, 1, false, false,
                         placed.placements[i], now);
+    }
+  };
+
+  // Elastic repartitioning. One merge/split: drain BOTH affected queues
+  // (keeper and donor) through the policy's on_shed() rollback — exactly
+  // the crash-drain discipline, minus the fault — apply the operation to
+  // the catalog/estimator, then re-schedule every drained query against
+  // the new widths with its attempt number and translation state intact.
+  // Every drained query still resolves exactly once; no retry budget is
+  // consumed and no clock second is lost or double-counted.
+  std::vector<std::size_t> device_merges;
+  std::vector<std::size_t> device_splits;
+  std::vector<std::size_t> device_drained;
+  device_merges.assign(static_cast<std::size_t>(device_count), 0);
+  device_splits.assign(static_cast<std::size_t>(device_count), 0);
+  device_drained.assign(static_cast<std::size_t>(device_count), 0);
+  auto do_repartition = [&](const RepartitionDecision& decision) {
+    const Seconds now = events.now();
+    struct Drained {
+      InFlight f;
+      int queue;
+    };
+    std::vector<Drained> drained;
+    for (const int q : {decision.keeper, decision.donor}) {
+      HOLAP_REQUIRE(q >= 0 && q < static_cast<int>(gpus.size()),
+                    "repartition names an unknown GPU queue");
+      const std::size_t slot = 1 + static_cast<std::size_t>(q);
+      // Stale completion events become no-ops; preempting the server
+      // returns the unserved span to the busy-time ledger.
+      ++generation[slot];
+      gpus[static_cast<std::size_t>(q)]->preempt(now);
+      std::vector<InFlight> lost = std::move(inflight[slot]);
+      inflight[slot].clear();
+      for (InFlight& f : lost) {
+        gpu_ctr(static_cast<std::size_t>(q)).on_drained();
+        // Roll the placement's committed estimate back out of the queue
+        // clock (translation already ran — it stays on its ledger).
+        policy.on_shed({QueueRef::kGpu, q}, f.processing_est, Seconds{});
+        drained.push_back({f, q});
+      }
+    }
+    const RepartitionDecision applied = policy.apply_repartition(decision);
+    const auto dev = static_cast<std::size_t>(applied.device);
+    HOLAP_REQUIRE(dev < device_merges.size(),
+                  "repartition names an unknown device");
+    if (applied.kind == RepartitionDecision::Kind::kMerge) {
+      ++result.repartition_merges;
+      ++device_merges[dev];
+    } else {
+      ++result.repartition_splits;
+      ++device_splits[dev];
+    }
+    result.repartition_drained += drained.size();
+    device_drained[dev] += drained.size();
+    for (const Drained& d : drained) {
+      // Same attempt (this is not a retry), translation preserved via the
+      // translation_cached hint, requeued so first-attempt counters do not
+      // double-count.
+      run_attempt(d.f.idx, d.f.submit, d.f.attempt, d.f.translated, true);
     }
   };
 
@@ -510,6 +580,37 @@ SimResult run_simulation(SchedulerPolicy& policy,
     }
   }
 
+  // Forced repartitions fire on the sim clock, like timed faults.
+  if (!config.timed_repartitions.empty()) {
+    HOLAP_REQUIRE(policy.device_catalog() != nullptr,
+                  "timed repartitions require a policy with a device "
+                  "catalog (SchedulerConfig::topology.enabled)");
+    for (const TimedRepartition& r : config.timed_repartitions) {
+      HOLAP_REQUIRE(r.at >= Seconds{0.0}, "repartition time must be >= 0");
+      events.schedule(r.at, [&, r]() { do_repartition(r.decision); });
+    }
+  }
+
+  // The elastic trigger: evaluate the policy's backlog/health signals on a
+  // fixed sim-clock cadence. The tick re-arms itself only while queries
+  // remain unresolved, so an otherwise-finished run terminates.
+  std::function<void()> elastic_tick;
+  const ElasticPolicy* const elastic = policy.elastic_policy();
+  if (elastic != nullptr) {
+    elastic_tick = [&]() {
+      const auto decision = policy.evaluate_repartition(events.now());
+      if (decision.has_value()) do_repartition(*decision);
+      const std::size_t resolved = result.completed + result.rejected +
+                                   result.shed_at_admission +
+                                   result.exhausted_retries;
+      if (resolved < queries.size()) {
+        events.schedule(events.now() + elastic->check_interval,
+                        [&]() { elastic_tick(); });
+      }
+    };
+    events.schedule(elastic->check_interval, [&]() { elastic_tick(); });
+  }
+
   if (closed) {
     const auto clients = std::min<std::size_t>(
         static_cast<std::size_t>(config.closed_clients), queries.size());
@@ -538,6 +639,24 @@ SimResult run_simulation(SchedulerPolicy& policy,
       const QueueRef ref{QueueRef::kGpu, static_cast<int>(i)};
       gpu_ctr(i).health = to_string(monitor->health(ref));
       gpu_ctr(i).breaker_transitions = monitor->breaker_transitions(ref);
+    }
+  }
+
+  // Per-device gauges, when the policy models a catalog: the partition
+  // layout the run ended in plus what repartitioning did per device.
+  if (const DeviceCatalog* catalog = policy.device_catalog();
+      catalog != nullptr) {
+    result.devices.resize(static_cast<std::size_t>(catalog->device_count()));
+    for (int d = 0; d < catalog->device_count(); ++d) {
+      DeviceGauges& g = result.devices[static_cast<std::size_t>(d)];
+      g.name = "device" + std::to_string(d);
+      g.active_queues = catalog->active_queues_on(d);
+      for (const int q : catalog->queues_on(d)) g.total_sms += catalog->width(q);
+      if (static_cast<std::size_t>(d) < device_merges.size()) {
+        g.merges = device_merges[static_cast<std::size_t>(d)];
+        g.splits = device_splits[static_cast<std::size_t>(d)];
+        g.drained = device_drained[static_cast<std::size_t>(d)];
+      }
     }
   }
 

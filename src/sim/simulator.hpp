@@ -89,6 +89,13 @@ struct SimConfig {
   /// crashes, slowdowns and recoveries on the sim clock. Caller owns the
   /// injector; nullptr = no faults.
   FaultInjector* fault = nullptr;
+  /// Forced repartitions on the sim clock (FaultInjector-style), bypassing
+  /// the elastic trigger — how tests pin a merge/split to the middle of a
+  /// burst. Requires the policy to expose a device catalog. Queued work on
+  /// the two affected partitions is drained through the policy's on_shed()
+  /// rollback and re-scheduled against the new widths; nothing is lost or
+  /// double-counted.
+  std::vector<TimedRepartition> timed_repartitions;
   std::uint64_t seed = 99;
 };
 
@@ -144,6 +151,19 @@ struct SimResult {
   /// Per-stage counters in fixed order: cpu, translation, dispatch per
   /// device, then one per GPU partition queue.
   std::vector<PartitionCounters> partitions;
+  // Elastic repartitioning outcomes (all zero while no catalog is
+  // configured):
+  std::size_t repartition_merges = 0;  ///< merge operations applied
+  std::size_t repartition_splits = 0;  ///< split operations applied
+  /// Queries drained from a repartitioned queue and re-placed; each still
+  /// resolves exactly once (completed/rejected/shed/exhausted).
+  std::size_t repartition_drained = 0;
+  /// Per-device end-of-run gauges, one per GPU device when the policy
+  /// models a device catalog; empty otherwise.
+  std::vector<DeviceGauges> devices;
+  /// Mergeable latency distribution per GPU device (queries completing on
+  /// one of the device's partition queues).
+  std::vector<LatencyHistogram> device_latency;
 };
 
 /// Run `queries` through `policy` under `config`. The policy's queue

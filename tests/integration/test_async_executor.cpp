@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "query/workload.hpp"
 #include "relational/generator.hpp"
 
@@ -134,6 +136,106 @@ TEST(AsyncExecutor, InvalidQueriesRejectedSynchronously) {
   bad.conditions.push_back({0, 9, 0, 0, {}, {}});
   bad.measures = {12};
   EXPECT_THROW(executor.submit(bad), InvalidArgument);
+}
+
+/// make_system with the device catalog enabled: one device owning the
+/// {1,1,2,2,4,4} ladder (home device, so no transfer is ever priced) —
+/// what the executor's repartition() path needs.
+HybridOlapSystem make_catalog_system(std::size_t rows = 800) {
+  GeneratorConfig gen;
+  gen.rows = rows;
+  gen.seed = 5;
+  gen.text_levels = {{1, 3}};
+  HybridSystemConfig config;
+  config.cpu_threads = 2;
+  config.cube_levels = {0, 1, 2};
+  config.topology.enabled = true;
+  config.topology.transfer_unit = Seconds{0.01};
+  return HybridOlapSystem(
+      generate_fact_table(tiny_model_dimensions(), gen), config);
+}
+
+/// Spin until `injector` reports at least one worker parked at the gate.
+void wait_for_parked_worker(const FaultInjector& injector) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (injector.workers_waiting() < 1 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(injector.workers_waiting(), 1);
+}
+
+RepartitionDecision narrow_pair(RepartitionDecision::Kind kind) {
+  RepartitionDecision d;
+  d.kind = kind;
+  d.device = 0;
+  d.keeper = 0;
+  d.donor = 1;
+  return d;
+}
+
+TEST(AsyncExecutor, RepartitionWithoutACatalogThrows) {
+  HybridOlapSystem system = make_system(100);
+  AsyncHybridExecutor executor(system);
+  EXPECT_THROW(
+      executor.repartition(narrow_pair(RepartitionDecision::Kind::kMerge)),
+      InvalidArgument);
+  EXPECT_EQ(executor.repartition_merges(), 0u);
+}
+
+TEST(AsyncExecutor, RepartitionMidStreamDrainsAndKeepsAnswersCorrect) {
+  HybridOlapSystem system = make_catalog_system();
+  AsyncHybridExecutor executor(system);
+  FaultInjector injector;
+  executor.set_fault_injector(&injector);
+
+  // Park every worker at the gate so the burst backs up in the intake
+  // queues: the slowest-feasible-first rule stacks the GPU-bound work on
+  // the narrow pair, which the merge must then drain and re-place.
+  injector.hold_workers();
+  WorkloadConfig wl;
+  wl.seed = 77;
+  wl.text_probability = 0.3;
+  QueryGenerator gen(system.schema().dimensions(), system.schema(), wl);
+  std::vector<Query> queries;
+  std::vector<std::future<ExecutionReport>> futures;
+  for (int i = 0; i < 80; ++i) {
+    queries.push_back(gen.next());
+    futures.push_back(executor.submit(queries.back()));
+  }
+  wait_for_parked_worker(injector);
+
+  const RepartitionDecision applied =
+      executor.repartition(narrow_pair(RepartitionDecision::Kind::kMerge));
+  EXPECT_EQ(applied.keeper_width, 2);  // donor's SM folded into the keeper
+  EXPECT_EQ(applied.donor_width, 0);
+  EXPECT_EQ(executor.repartition_merges(), 1u);
+  // With all workers parked, anything queued past the narrow pair's two
+  // in-worker jobs was drained and re-placed against the merged widths.
+  EXPECT_GT(executor.repartition_drained(), 0u);
+  injector.release_workers();
+
+  // Split the pair back apart while the drained work is still resolving;
+  // the donor returns to its configured 1-SM width.
+  const RepartitionDecision restored =
+      executor.repartition(narrow_pair(RepartitionDecision::Kind::kSplit));
+  EXPECT_EQ(restored.keeper_width, 1);
+  EXPECT_EQ(restored.donor_width, 1);
+  EXPECT_EQ(executor.repartition_splits(), 1u);
+
+  // Conservation: no query was lost or duplicated by either drain — every
+  // future resolves completed with the oracle's answer.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const ExecutionReport report = futures[i].get();
+    ASSERT_EQ(report.outcome, ExecutionOutcome::kCompleted) << "query " << i;
+    const QueryAnswer oracle = system.answer_on_gpu(queries[i]);
+    EXPECT_NEAR(report.answer.value, oracle.value, 1e-6) << "query " << i;
+    EXPECT_EQ(report.answer.row_count, oracle.row_count) << "query " << i;
+  }
+  executor.shutdown();
+  EXPECT_EQ(executor.completed(), queries.size());
+  EXPECT_EQ(executor.shed(), 0u);
 }
 
 }  // namespace

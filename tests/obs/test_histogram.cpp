@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
+
+#include "obs/ingest_counters.hpp"
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -15,41 +18,101 @@ namespace holap {
 namespace {
 
 TEST(LatencyHistogram, EmptyHistogramIsZeroEverywhere) {
+  // The documented degenerate case: EVERY statistic of an empty histogram
+  // is Seconds{0} — per-device histograms of idle devices hit this.
   LatencyHistogram h;
   EXPECT_TRUE(h.empty());
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.mean(), Seconds{});
-  EXPECT_EQ(h.percentile(50.0), Seconds{});
   EXPECT_EQ(h.min(), Seconds{});
   EXPECT_EQ(h.max(), Seconds{});
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), Seconds{}) << "p=" << p;
+  }
+  EXPECT_EQ(h.p50(), Seconds{});
+  EXPECT_EQ(h.p99(), Seconds{});
 }
 
 TEST(LatencyHistogram, BucketLayoutIsContiguousAndMonotone) {
   // Every bucket's upper edge is the next bucket's lower edge and edges
-  // grow strictly — the fixed layout any two histograms share.
-  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
-    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper(i).value(),
-                     LatencyHistogram::bucket_lower(i + 1).value());
-    EXPECT_LT(LatencyHistogram::bucket_lower(i),
-              LatencyHistogram::bucket_upper(i));
+  // grow strictly — the layout any two mergeable histograms share.
+  const LatencyHistogram h;
+  EXPECT_EQ(h.bucket_count(), LatencyHistogram::kBucketCount);
+  for (std::size_t i = 0; i + 1 < h.bucket_count(); ++i) {
+    EXPECT_DOUBLE_EQ(h.bucket_upper(i).value(),
+                     h.bucket_lower(i + 1).value());
+    EXPECT_LT(h.bucket_lower(i), h.bucket_upper(i));
   }
-  EXPECT_EQ(LatencyHistogram::bucket_lower(0), Seconds{});
-  EXPECT_TRUE(std::isinf(LatencyHistogram::bucket_upper(
-                         LatencyHistogram::kBucketCount - 1)
-                         .value()));
+  EXPECT_EQ(h.bucket_lower(0), Seconds{});
+  EXPECT_TRUE(std::isinf(h.bucket_upper(h.bucket_count() - 1).value()));
 }
 
 TEST(LatencyHistogram, BucketIndexCoversItsValue) {
   SplitMix64 rng(7);
+  const LatencyHistogram h;
   for (int i = 0; i < 2000; ++i) {
     const double v = rng.uniform_real(0.0, 2000.0);
-    const std::size_t b = LatencyHistogram::bucket_index(Seconds{v});
-    EXPECT_GE(v, LatencyHistogram::bucket_lower(b).value());
-    EXPECT_LT(v, LatencyHistogram::bucket_upper(b).value());
+    const std::size_t b = h.bucket_index(Seconds{v});
+    EXPECT_GE(v, h.bucket_lower(b).value());
+    EXPECT_LT(v, h.bucket_upper(b).value());
   }
-  EXPECT_EQ(LatencyHistogram::bucket_index(Seconds{}), 0u);
-  EXPECT_EQ(LatencyHistogram::bucket_index(Seconds{1e12}),
-            LatencyHistogram::kBucketCount - 1);
+  EXPECT_EQ(h.bucket_index(Seconds{}), 0u);
+  EXPECT_EQ(h.bucket_index(Seconds{1e12}), h.bucket_count() - 1);
+}
+
+TEST(LatencyHistogram, ConfigurableResolutionKeepsEstimatesInBounds) {
+  // A coarser layout still brackets the exact percentile by its (wider)
+  // bucket width.
+  SplitMix64 rng(11);
+  LatencyHistogram h(2);
+  EXPECT_EQ(h.buckets_per_decade(), 2);
+  EXPECT_EQ(h.bucket_count(),
+            static_cast<std::size_t>(2 * LatencyHistogram::kDecades + 1));
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.exponential(50.0);
+    samples.push_back(v);
+    h.add(Seconds{v});
+  }
+  const double width = std::pow(10.0, 1.0 / 2.0);
+  const double exact = percentile(samples, 95.0);
+  const double est = h.percentile(95.0).value();
+  EXPECT_LE(est, exact * width * 1.01);
+  EXPECT_GE(est, exact / width / 1.01);
+  EXPECT_THROW(LatencyHistogram{0}, InvalidArgument);
+}
+
+TEST(LatencyHistogram, MergeOfMismatchedLayoutsThrows) {
+  // Bucket-layout mismatch is an explicit error, not a silent mix of
+  // incompatible buckets — and the target must stay unchanged.
+  LatencyHistogram fine;  // default 8/decade
+  LatencyHistogram coarse(4);
+  fine.add(Seconds{0.010});
+  coarse.add(Seconds{0.020});
+  EXPECT_THROW(fine.merge(coarse), InvalidArgument);
+  EXPECT_THROW(coarse.merge(fine), InvalidArgument);
+  EXPECT_EQ(fine.count(), 1u);
+  EXPECT_DOUBLE_EQ(fine.max().value(), 0.010);
+  EXPECT_EQ(coarse.count(), 1u);
+}
+
+TEST(BatchSizeHistogram, MergeOfMismatchedTrackedRangesThrows) {
+  BatchSizeHistogram a;      // default 64 tracked sizes
+  BatchSizeHistogram b(16);  // shard configured smaller
+  a.add(3);
+  b.add(3);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  EXPECT_EQ(a.batches(), 1u);  // target unchanged by the failed merge
+  BatchSizeHistogram c(16);
+  c.add(20);  // past the tracked range: pooled in overflow
+  b.merge(c);
+  EXPECT_EQ(b.batches(), 2u);
+  EXPECT_EQ(b.count(3), 1u);
+  EXPECT_EQ(b.count(20), 1u);
+  EXPECT_EQ(b.max_size(), 20u);
+  EXPECT_THROW(BatchSizeHistogram{0}, InvalidArgument);
+  // Empty histogram: the amortisation gauge is a defined 0.
+  EXPECT_DOUBLE_EQ(BatchSizeHistogram{}.mean_size(), 0.0);
 }
 
 TEST(LatencyHistogram, PercentilesAreMonotoneInP) {

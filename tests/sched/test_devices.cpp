@@ -1,0 +1,505 @@
+// The elastic multi-GPU device catalog (sched/devices.hpp): topology
+// validation, transfer pricing, merge/split planning and application, the
+// deterministic ElasticPartitioner trigger, and the catalog's integration
+// with the Figure-10 scheduler (candidate gating, the transfer term in
+// T_R, repartition application and ledger-safe draining).
+#include "sched/devices.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sched/catalog.hpp"
+#include "sched/scheduler.hpp"
+
+namespace holap {
+namespace {
+
+DeviceTopology two_device_topology(Seconds transfer_unit = Seconds{0.01}) {
+  DeviceTopology t;
+  t.enabled = true;
+  t.home_device = 0;
+  t.transfer_unit = transfer_unit;
+  return t;
+}
+
+/// Two devices, each carrying the narrow half of a partition ladder.
+DeviceCatalog two_device_catalog(Seconds transfer_unit = Seconds{0.01}) {
+  return DeviceCatalog(two_device_topology(transfer_unit), {1, 1, 2, 1, 1, 2},
+                       {0, 0, 0, 1, 1, 1});
+}
+
+TEST(DeviceCatalog, ConstructionValidatesItsInputs) {
+  EXPECT_THROW(DeviceCatalog(two_device_topology(), {}, {}), InvalidArgument);
+  EXPECT_THROW(DeviceCatalog(two_device_topology(), {1, 1}, {0}),
+               InvalidArgument);
+  EXPECT_THROW(DeviceCatalog(two_device_topology(), {1, 0}, {0, 0}),
+               InvalidArgument);
+  EXPECT_THROW(DeviceCatalog(two_device_topology(), {1, 1}, {0, -1}),
+               InvalidArgument);
+  DeviceTopology bad_home = two_device_topology();
+  bad_home.home_device = 7;
+  EXPECT_THROW(DeviceCatalog(bad_home, {1, 1}, {0, 1}), InvalidArgument);
+  DeviceTopology bad_unit = two_device_topology(Seconds{-0.01});
+  EXPECT_THROW(DeviceCatalog(bad_unit, {1, 1}, {0, 1}), InvalidArgument);
+  DeviceTopology bad_rows = two_device_topology();
+  bad_rows.distance = {{0.0, 1.0}};  // one row for two devices
+  EXPECT_THROW(DeviceCatalog(bad_rows, {1, 1}, {0, 1}), InvalidArgument);
+  DeviceTopology not_square = two_device_topology();
+  not_square.distance = {{0.0}, {1.0, 0.0}};
+  EXPECT_THROW(DeviceCatalog(not_square, {1, 1}, {0, 1}), InvalidArgument);
+  DeviceTopology negative_hop = two_device_topology();
+  negative_hop.distance = {{0.0, -1.0}, {1.0, 0.0}};
+  EXPECT_THROW(DeviceCatalog(negative_hop, {1, 1}, {0, 1}), InvalidArgument);
+}
+
+TEST(DeviceCatalog, MapsQueuesToDevicesAndDefaultsSingleHopDistances) {
+  const DeviceCatalog c = two_device_catalog();
+  EXPECT_EQ(c.device_count(), 2);
+  EXPECT_EQ(c.queue_count(), 6);
+  EXPECT_EQ(c.device_of(0), 0);
+  EXPECT_EQ(c.device_of(5), 1);
+  EXPECT_THROW(c.device_of(6), InvalidArgument);
+  EXPECT_EQ(c.queues_on(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(c.queues_on(1), (std::vector<int>{3, 4, 5}));
+  // No matrix given: 0 on the diagonal, 1 between distinct devices.
+  EXPECT_DOUBLE_EQ(c.distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(c.distance(0, 1), 1.0);
+  EXPECT_THROW(c.distance(0, 2), InvalidArgument);
+  // Home-device queues transfer for free; the far device pays one hop.
+  EXPECT_DOUBLE_EQ(c.transfer_seconds(1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(c.transfer_seconds(4).value(), 0.01);
+  EXPECT_EQ(c.configured_width(2), 2);
+}
+
+TEST(DeviceCatalog, ExplicitDistanceMatrixScalesTransfer) {
+  DeviceTopology t = two_device_topology(Seconds{0.004});
+  t.distance = {{0.0, 2.5}, {2.5, 0.0}};
+  const DeviceCatalog c(t, {1, 1}, {0, 1});
+  EXPECT_DOUBLE_EQ(c.distance(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(c.transfer_seconds(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(c.transfer_seconds(1).value(), 0.01);
+}
+
+TEST(DeviceCatalog, MergeFoldsNarrowestSiblingsAndSplitWalksBack) {
+  DeviceCatalog c = two_device_catalog();
+  // Device 0 carries {1,1,2}: the two 1-SM queues merge first.
+  const auto plan = c.plan_merge(0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->kind, RepartitionDecision::Kind::kMerge);
+  EXPECT_EQ(plan->keeper, 0);
+  EXPECT_EQ(plan->donor, 1);
+  EXPECT_EQ(plan->keeper_width, 2);
+
+  const RepartitionDecision applied = c.apply(*plan);
+  EXPECT_EQ(applied.keeper_width, 2);
+  EXPECT_EQ(c.width(0), 2);
+  EXPECT_EQ(c.width(1), 0);
+  EXPECT_FALSE(c.active(1));
+  EXPECT_EQ(c.active_queues_on(0), 2);
+  EXPECT_EQ(c.merges(), 1u);
+
+  // The second merge folds the two remaining 2-SM queues.
+  const auto second = c.plan_merge(0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->keeper, 0);
+  EXPECT_EQ(second->donor, 2);
+  c.apply(*second);
+  EXPECT_EQ(c.width(0), 4);
+  EXPECT_EQ(c.active_queues_on(0), 1);
+  // Fully merged: nothing left to fold.
+  EXPECT_FALSE(c.plan_merge(0).has_value());
+
+  // Splits undo the merges newest-first, back to the configured ladder.
+  const auto undo = c.plan_split(0);
+  ASSERT_TRUE(undo.has_value());
+  EXPECT_EQ(undo->kind, RepartitionDecision::Kind::kSplit);
+  EXPECT_EQ(undo->donor, 2);
+  EXPECT_EQ(undo->donor_width, 2);
+  c.apply(*undo);
+  EXPECT_EQ(c.width(0), 2);
+  EXPECT_EQ(c.width(2), 2);
+  const auto undo2 = c.plan_split(0);
+  ASSERT_TRUE(undo2.has_value());
+  EXPECT_EQ(undo2->donor, 1);
+  c.apply(*undo2);
+  EXPECT_EQ(c.width(0), 1);
+  EXPECT_EQ(c.width(1), 1);
+  EXPECT_EQ(c.splits(), 2u);
+  // Back at the configured ladder: nothing to split.
+  EXPECT_FALSE(c.plan_split(0).has_value());
+  // The other device never repartitioned.
+  EXPECT_EQ(c.active_queues_on(1), 3);
+}
+
+TEST(DeviceCatalog, ApplyRejectsNonConservingOrInvalidOperations) {
+  DeviceCatalog c = two_device_catalog();
+  RepartitionDecision d;
+  d.kind = RepartitionDecision::Kind::kMerge;
+  d.device = 0;
+  d.keeper = 0;
+  d.donor = 0;  // keeper == donor
+  EXPECT_THROW(c.apply(d), InvalidArgument);
+  d.donor = 3;  // lives on device 1
+  EXPECT_THROW(c.apply(d), InvalidArgument);
+  d.donor = 1;
+  d.keeper_width = 7;  // 1 + 1 != 7
+  EXPECT_THROW(c.apply(d), InvalidArgument);
+  d.keeper_width = 0;  // derive
+  c.apply(d);
+  // Merging an inactive donor again must fail.
+  EXPECT_THROW(c.apply(d), InvalidArgument);
+  // A split whose donor is still active must fail.
+  RepartitionDecision s;
+  s.kind = RepartitionDecision::Kind::kSplit;
+  s.device = 0;
+  s.keeper = 0;
+  s.donor = 2;
+  EXPECT_THROW(c.apply(s), InvalidArgument);
+  // A split returning more SMs than the keeper holds must fail.
+  s.donor = 1;
+  s.donor_width = 5;
+  EXPECT_THROW(c.apply(s), InvalidArgument);
+}
+
+TEST(ElasticPartitioner, ValidatesPolicyAndCatalog) {
+  const DeviceCatalog c = two_device_catalog();
+  EXPECT_THROW(ElasticPartitioner(ElasticPolicy{}, nullptr), InvalidArgument);
+  ElasticPolicy bad_interval;
+  bad_interval.check_interval = Seconds{};
+  EXPECT_THROW(ElasticPartitioner(bad_interval, &c), InvalidArgument);
+  ElasticPolicy bad_sustain;
+  bad_sustain.sustain_checks = 0;
+  EXPECT_THROW(ElasticPartitioner(bad_sustain, &c), InvalidArgument);
+  ElasticPolicy bad_cooldown;
+  bad_cooldown.cooldown_checks = -1;
+  EXPECT_THROW(ElasticPartitioner(bad_cooldown, &c), InvalidArgument);
+  ElasticPolicy inverted;
+  inverted.merge_backlog = Seconds{0.01};
+  inverted.split_backlog = Seconds{0.02};
+  EXPECT_THROW(ElasticPartitioner(inverted, &c), InvalidArgument);
+}
+
+ElasticPolicy quick_policy() {
+  ElasticPolicy p;
+  p.enabled = true;
+  p.sustain_checks = 2;
+  p.cooldown_checks = 1;
+  p.merge_backlog = Seconds{0.5};
+  p.split_backlog = Seconds{0.05};
+  return p;
+}
+
+TEST(ElasticPartitioner, MergeNeedsASustainedStreakAndRespectsCooldown) {
+  DeviceCatalog c = two_device_catalog();
+  ElasticPartitioner p(quick_policy(), &c);
+  const std::vector<Seconds> heavy(6, Seconds{1.0});
+  const std::vector<bool> healthy(6, true);
+
+  EXPECT_THROW(p.evaluate({Seconds{1.0}}, {true}), InvalidArgument);
+
+  // One heavy sample is not a sustained signal.
+  EXPECT_FALSE(p.evaluate(heavy, healthy).has_value());
+  // The second consecutive sample fires a merge, device 0 first.
+  const auto d = p.evaluate(heavy, healthy);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, RepartitionDecision::Kind::kMerge);
+  EXPECT_EQ(d->device, 0);
+  c.apply(*d);
+  p.on_applied(*d);
+  // Device 0 cools down, so the next sustained sample fires on device 1
+  // (its streak was already at the threshold).
+  const auto d2 = p.evaluate(heavy, healthy);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->device, 1);
+  c.apply(*d2);
+  p.on_applied(*d2);
+  // A mid-band sample resets both streaks.
+  const std::vector<Seconds> mid(6, Seconds{0.2});
+  EXPECT_FALSE(p.evaluate(mid, healthy).has_value());
+  EXPECT_FALSE(p.evaluate(heavy, healthy).has_value());
+}
+
+TEST(ElasticPartitioner, UnhealthySiblingsBlockMergesUntilRearmed) {
+  DeviceCatalog c = two_device_catalog();
+  ElasticPartitioner p(quick_policy(), &c);
+  const std::vector<Seconds> heavy(6, Seconds{1.0});
+  std::vector<bool> healthy(6, true);
+  healthy[1] = false;  // the would-be donor on device 0 is degraded
+
+  EXPECT_FALSE(p.evaluate(heavy, healthy).has_value());
+  // Device 1 is all-healthy, so the sustained streak fires there; device
+  // 0's gated merge re-arms instead of firing into a sick partition.
+  const auto d = p.evaluate(heavy, healthy);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->device, 1);
+  c.apply(*d);
+  p.on_applied(*d);
+  // Once the sibling heals, device 0 merges after a fresh full streak.
+  healthy[1] = true;
+  EXPECT_FALSE(p.evaluate(heavy, healthy).has_value());
+  const auto d0 = p.evaluate(heavy, healthy);
+  ASSERT_TRUE(d0.has_value());
+  EXPECT_EQ(d0->device, 0);
+}
+
+TEST(ElasticPartitioner, SustainedIdlenessSplitsMergedPartitions) {
+  DeviceCatalog c = two_device_catalog();
+  ElasticPolicy policy = quick_policy();
+  policy.cooldown_checks = 0;
+  ElasticPartitioner p(policy, &c);
+  const auto merge = c.plan_merge(0);
+  ASSERT_TRUE(merge.has_value());
+  c.apply(*merge);
+
+  const std::vector<Seconds> idle(6, Seconds{});
+  const std::vector<bool> healthy(6, true);
+  EXPECT_FALSE(p.evaluate(idle, healthy).has_value());
+  const auto split = p.evaluate(idle, healthy);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->kind, RepartitionDecision::Kind::kSplit);
+  EXPECT_EQ(split->device, 0);
+  c.apply(*split);
+  p.on_applied(*split);
+  EXPECT_THROW(p.on_applied(RepartitionDecision{.device = 9}),
+               InvalidArgument);
+  // At the configured ladder idleness has nothing left to split.
+  EXPECT_FALSE(p.evaluate(idle, healthy).has_value());
+  EXPECT_FALSE(p.evaluate(idle, healthy).has_value());
+}
+
+// ---- Scheduler integration -------------------------------------------
+
+struct SchedFixture {
+  VirtualCubeCatalog cubes{paper_model_dimensions(), {0, 1, 2, 3}};
+  VirtualTranslationModel translation{
+      make_star_schema(paper_model_dimensions(), {"m0", "m1", "m2", "m3"},
+                       {{1, 3}, {2, 3}}),
+      1000.0};
+
+  SchedulerConfig config;
+
+  SchedFixture() {
+    config.deadline = Seconds{0.25};
+    config.gpu_partitions = {1, 1, 2, 1, 1, 2};
+    config.gpu_queue_device = {0, 0, 0, 1, 1, 1};
+  }
+
+  CostEstimator estimator() const {
+    return make_paper_estimator(config.gpu_partitions, 8, Megabytes{4096.0},
+                                16, &cubes, &translation);
+  }
+
+  FigureTenScheduler scheduler() const {
+    return FigureTenScheduler(config, estimator());
+  }
+};
+
+// Needs level 3 on dimension 0; small extent, so cheap everywhere.
+Query gpu_query() {
+  Query q;
+  q.conditions.push_back({0, 3, 0, 99, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+// Full-extent level 3: the expensive shape that loads GPU queue clocks.
+Query heavy_query() {
+  Query q;
+  q.conditions.push_back({0, 3, 0, 1599, {}, {}});
+  q.measures = {12};
+  return q;
+}
+
+TEST(SchedulerDevices, ElasticWithoutTopologyIsRejected) {
+  SchedFixture f;
+  f.config.elastic.enabled = true;
+  EXPECT_THROW(f.scheduler(), InvalidArgument);
+}
+
+TEST(SchedulerDevices, TopologyRequiresGpuPartitions) {
+  SchedFixture f;
+  f.config.enable_gpu = false;
+  f.config.topology = two_device_topology();
+  EXPECT_THROW(f.scheduler(), InvalidArgument);
+}
+
+TEST(SchedulerDevices, TransferTermPricesOffHomePlacementExactly) {
+  SchedFixture f;
+  f.config.enable_cpu = false;
+  auto plain = f.scheduler();
+  f.config.topology = two_device_topology(Seconds{0.05});
+  auto priced = f.scheduler();
+  ASSERT_NE(priced.device_catalog(), nullptr);
+  EXPECT_EQ(priced.device_catalog()->device_count(), 2);
+  EXPECT_EQ(plain.device_catalog(), nullptr);
+
+  // The estimator contract: the transfer term adds exactly
+  // transfer_unit * distance * column_fraction to an off-home queue's
+  // processing estimate and nothing to a home queue's.
+  CostEstimator est = f.estimator();
+  const CostEstimate before = est.estimate(gpu_query());
+  est.set_gpu_transfer(4, Seconds{0.05});
+  const CostEstimate after = est.estimate(gpu_query());
+  ASSERT_GT(before.column_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(est.gpu_transfer(4).value(), 0.05);
+  EXPECT_DOUBLE_EQ(after.gpu[4].value(),
+                   before.gpu[4].value() + 0.05 * before.column_fraction);
+  EXPECT_DOUBLE_EQ(after.gpu[0].value(), before.gpu[0].value());
+
+  // Placement view: the distance-blind scheduler starts at configured
+  // queue 0; under the catalog the transfer term makes device 1's 1-SM
+  // queues the slowest candidates, so Figure 10's slowest-feasible-first
+  // rule picks the off-home device while it remains feasible — and its
+  // committed estimate carries exactly the transfer term.
+  const Placement a = plain.schedule(gpu_query(), Seconds{});
+  const Placement b = priced.schedule(gpu_query(), Seconds{});
+  ASSERT_EQ(a.queue.kind, QueueRef::kGpu);
+  EXPECT_EQ(a.queue.index, 0);
+  ASSERT_EQ(b.queue.kind, QueueRef::kGpu);
+  EXPECT_EQ(priced.device_catalog()->device_of(b.queue.index), 1);
+  EXPECT_DOUBLE_EQ(b.processing_est.value(),
+                   a.processing_est.value() + 0.05 * before.column_fraction);
+}
+
+TEST(SchedulerDevices, RepartitionRetiresTheDonorFromTheCandidateSet) {
+  SchedFixture f;
+  f.config.enable_cpu = false;
+  f.config.topology = two_device_topology(Seconds{});
+  auto sched = f.scheduler();
+  ASSERT_NE(sched.device_catalog(), nullptr);
+
+  RepartitionDecision d;
+  d.kind = RepartitionDecision::Kind::kMerge;
+  d.device = 0;
+  d.keeper = 0;
+  d.donor = 1;
+  const RepartitionDecision applied = sched.apply_repartition(d);
+  EXPECT_EQ(applied.keeper_width, 2);
+  EXPECT_EQ(sched.counters().repartition_merges, 1u);
+  EXPECT_FALSE(sched.device_catalog()->active(1));
+
+  // Queue 1 never receives another placement while inactive.
+  for (int i = 0; i < 40; ++i) {
+    const Placement p = sched.schedule(heavy_query(), Seconds{});
+    ASSERT_FALSE(p.rejected);
+    ASSERT_EQ(p.queue.kind, QueueRef::kGpu);
+    EXPECT_NE(p.queue.index, 1);
+  }
+  EXPECT_EQ(sched.gpu_clock(1), Seconds{});
+
+  RepartitionDecision s;
+  s.kind = RepartitionDecision::Kind::kSplit;
+  s.device = 0;
+  s.keeper = 0;
+  s.donor = 1;
+  sched.apply_repartition(s);
+  EXPECT_EQ(sched.counters().repartition_splits, 1u);
+  EXPECT_TRUE(sched.device_catalog()->active(1));
+}
+
+TEST(SchedulerDevices, CatalogFreeSchedulerRejectsRepartitionCalls) {
+  SchedFixture f;
+  auto sched = f.scheduler();  // no topology -> no catalog
+  EXPECT_EQ(sched.elastic_policy(), nullptr);
+  EXPECT_FALSE(sched.evaluate_repartition(Seconds{}).has_value());
+  EXPECT_THROW(sched.apply_repartition(RepartitionDecision{}),
+               InvalidArgument);
+}
+
+TEST(SchedulerDevices, DrainThroughOnShedBalancesTheLedgerExactly) {
+  SchedFixture f;
+  f.config.enable_cpu = false;
+  f.config.topology = two_device_topology(Seconds{0.002});
+  auto sched = f.scheduler();
+
+  // Load the queues, remembering each placement's committed estimates.
+  std::vector<Placement> placements;
+  for (int i = 0; i < 30; ++i) {
+    placements.push_back(sched.schedule(heavy_query(), Seconds{}));
+    ASSERT_FALSE(placements.back().rejected);
+  }
+  double committed = 0.0;
+  for (int q = 0; q < 6; ++q) committed += sched.gpu_clock(q).value();
+  ASSERT_GT(committed, 0.0);
+
+  // Drain every queue exactly as the simulator/executor do before a
+  // repartition: shed each queued placement back through on_shed().
+  for (const Placement& p : placements) {
+    sched.on_shed(p.queue, p.processing_est,
+                  p.translate ? p.translation_est : Seconds{});
+  }
+  // Every clock returned to zero to machine precision — nothing lost,
+  // nothing double-counted.
+  for (int q = 0; q < 6; ++q) {
+    EXPECT_NEAR(sched.gpu_clock(q).value(), 0.0, 1e-12) << "queue " << q;
+  }
+
+  // With the queues empty the merge applies cleanly and re-scheduled
+  // work lands on live queues only.
+  RepartitionDecision d;
+  d.kind = RepartitionDecision::Kind::kMerge;
+  d.device = 0;
+  d.keeper = 0;
+  d.donor = 1;
+  sched.apply_repartition(d);
+  const Placement re = sched.schedule(heavy_query(), Seconds{});
+  ASSERT_FALSE(re.rejected);
+  EXPECT_NE(re.queue.index, 1);
+}
+
+TEST(SchedulerDevices, EvaluateRepartitionReadsBacklogFromTheClocks) {
+  SchedFixture f;
+  f.config.enable_cpu = false;
+  f.config.topology = two_device_topology(Seconds{});
+  f.config.elastic.enabled = true;
+  f.config.elastic.sustain_checks = 2;
+  f.config.elastic.merge_backlog = Seconds{0.0005};
+  f.config.elastic.split_backlog = Seconds{0.00001};
+  auto sched = f.scheduler();
+  ASSERT_NE(sched.elastic_policy(), nullptr);
+  EXPECT_EQ(sched.elastic_policy()->sustain_checks, 2);
+
+  // Pile enough work onto the queues that the mean backlog per active
+  // queue passes the merge threshold, then evaluate twice to satisfy
+  // the sustain requirement.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_FALSE(sched.schedule(heavy_query(), Seconds{}).rejected);
+  }
+  EXPECT_FALSE(sched.evaluate_repartition(Seconds{}).has_value());
+  const auto d = sched.evaluate_repartition(Seconds{});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, RepartitionDecision::Kind::kMerge);
+  // Backlog clamps at zero for a `now` past every clock: far in the
+  // future the same ledger reads as idle, so no merge fires.
+  EXPECT_FALSE(sched.evaluate_repartition(Seconds{1000.0}).has_value());
+}
+
+TEST(SchedulerDevices, SingleDeviceCatalogIsBitIdenticalToTheSeed) {
+  // One device holding the paper's {1,1,2,2,4,4} ladder: every transfer
+  // is zero and the configured order is already slowest-first, so the
+  // catalog-enabled scheduler must place bit-for-bit like the seed.
+  SchedFixture f;
+  f.config.gpu_partitions = {1, 1, 2, 2, 4, 4};
+  f.config.gpu_queue_device.clear();
+  auto seed = f.scheduler();
+  f.config.topology = two_device_topology(Seconds{0.01});
+  auto catalogued = f.scheduler();
+  ASSERT_NE(catalogued.device_catalog(), nullptr);
+  EXPECT_EQ(catalogued.device_catalog()->device_count(), 1);
+  for (int i = 0; i < 50; ++i) {
+    const Seconds now{0.001 * i};
+    const Query q = (i % 3 == 0) ? gpu_query() : heavy_query();
+    const Placement a = seed.schedule(q, now);
+    const Placement b = catalogued.schedule(q, now);
+    ASSERT_EQ(a.queue.kind, b.queue.kind);
+    ASSERT_EQ(a.queue.index, b.queue.index);
+    ASSERT_DOUBLE_EQ(a.processing_est.value(), b.processing_est.value());
+    ASSERT_DOUBLE_EQ(a.response_est.value(), b.response_est.value());
+  }
+  EXPECT_DOUBLE_EQ(seed.gpu_clock(0).value(),
+                   catalogued.gpu_clock(0).value());
+  EXPECT_DOUBLE_EQ(seed.cpu_clock().value(), catalogued.cpu_clock().value());
+}
+
+}  // namespace
+}  // namespace holap

@@ -369,6 +369,34 @@ TEST(FaultTolerantScheduler, LedgerBalancesAfterFaultDrain) {
   }
 }
 
+TEST(RetryBackoff, DoublesUnclampedThenSaturatesAtTheCap) {
+  RetryPolicy retry;
+  retry.backoff_base = Seconds{0.01};
+  // Small attempt counts follow the unclamped doubling series exactly.
+  EXPECT_DOUBLE_EQ(retry.backoff_for(1).value(), 0.01);
+  EXPECT_DOUBLE_EQ(retry.backoff_for(2).value(), 0.02);
+  EXPECT_DOUBLE_EQ(retry.backoff_for(3).value(), 0.04);
+  EXPECT_DOUBLE_EQ(retry.backoff_for(5).value(), 0.16);
+  // At the cap (16 doublings by default) the exponent saturates: attempt
+  // 17 is the first clamped one and every later attempt owes the same.
+  const double ceiling = 0.01 * 65536.0;  // base * 2^16
+  EXPECT_DOUBLE_EQ(retry.backoff_for(17).value(), ceiling);
+  EXPECT_DOUBLE_EQ(retry.backoff_for(18).value(), ceiling);
+  EXPECT_DOUBLE_EQ(retry.backoff_for(1000).value(), ceiling);
+  // A tighter cap clamps earlier but leaves the pre-cap series alone.
+  retry.max_backoff_doublings = 2;
+  EXPECT_DOUBLE_EQ(retry.backoff_for(2).value(), 0.02);
+  EXPECT_DOUBLE_EQ(retry.backoff_for(3).value(), 0.04);
+  EXPECT_DOUBLE_EQ(retry.backoff_for(4).value(), 0.04);
+  // A zero cap disables the doubling entirely.
+  retry.max_backoff_doublings = 0;
+  EXPECT_DOUBLE_EQ(retry.backoff_for(9).value(), 0.01);
+  // Misuse is rejected, not silently absorbed.
+  EXPECT_THROW(retry.backoff_for(0), InvalidArgument);
+  retry.max_backoff_doublings = -1;
+  EXPECT_THROW(retry.backoff_for(1), InvalidArgument);
+}
+
 TEST(HealthToString, CoversEveryState) {
   EXPECT_STREQ(to_string(PartitionHealth::kHealthy), "healthy");
   EXPECT_STREQ(to_string(PartitionHealth::kDegraded), "degraded");

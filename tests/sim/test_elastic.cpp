@@ -1,0 +1,219 @@
+// Elastic repartitioning scenarios (ctest label `elastic`): timed
+// merge/split operations and the backlog-driven trigger replayed
+// deterministically on the sim clock, with every query — including the
+// ones drained off a repartitioned queue — resolving to a typed outcome.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace holap {
+namespace {
+
+/// Two simulated devices, each with its own {1,1,2,2,4,4} ladder and
+/// dispatch stage; the catalog prices off-home transfers into T_R.
+ScenarioOptions elastic_options() {
+  ScenarioOptions opts;
+  opts.gpu_devices = 2;
+  opts.modeled_gpu_dispatch = Seconds{0.0145};
+  opts.topology.enabled = true;
+  opts.topology.home_device = 0;
+  opts.topology.transfer_unit = Seconds{0.002};
+  return opts;
+}
+
+/// Options for the timed-operation tests: no dispatch stage, no text, so
+/// the 800 Q/s burst queues at the partition servers themselves and the
+/// merge provably drains queued work (with the serialised dispatcher in
+/// the path the backlog would sit at the dispatcher instead).
+ScenarioOptions timed_options() {
+  ScenarioOptions opts = elastic_options();
+  opts.modeled_gpu_dispatch = Seconds{};
+  opts.text_probability = 0.0;
+  return opts;
+}
+
+SimConfig burst_config() {
+  SimConfig config;
+  // A burst well past the published hybrid rate: every queue carries
+  // load when the repartitions land, so the drain hits real work.
+  config.arrival_rate = 800.0;
+  config.record_trace = true;
+  config.gpu_dispatch_overhead = Seconds{};
+  return config;
+}
+
+/// Merge device 0's narrow pair mid-burst, split it back once the tail
+/// of the burst is draining.
+std::vector<TimedRepartition> merge_then_split() {
+  RepartitionDecision merge;
+  merge.kind = RepartitionDecision::Kind::kMerge;
+  merge.device = 0;
+  merge.keeper = 0;
+  merge.donor = 1;
+  RepartitionDecision split;
+  split.kind = RepartitionDecision::Kind::kSplit;
+  split.device = 0;
+  split.keeper = 0;
+  split.donor = 1;
+  return {{Seconds{0.35}, merge}, {Seconds{1.6}, split}};
+}
+
+/// Exactly one typed outcome per query, by counter precedence.
+enum class Outcome : std::uint8_t { kCompleted, kExhausted, kRejected, kShed };
+
+std::vector<Outcome> outcomes_of(const SimResult& r) {
+  std::vector<Outcome> out;
+  out.reserve(r.trace.size());
+  for (const QueryTrace& t : r.trace) {
+    if (t.completed > Seconds{}) {
+      out.push_back(Outcome::kCompleted);
+    } else if (t.exhausted) {
+      out.push_back(Outcome::kExhausted);
+    } else if (t.rejected) {
+      out.push_back(Outcome::kRejected);
+    } else if (t.shed) {
+      out.push_back(Outcome::kShed);
+    } else {
+      ADD_FAILURE() << "query " << t.index << " resolved to no outcome";
+    }
+  }
+  return out;
+}
+
+TEST(Elastic, TimedRepartitionRequiresADeviceCatalog) {
+  const PaperScenario s{ScenarioOptions{}};  // no topology -> no catalog
+  const auto queries = s.make_workload(10);
+  auto policy = s.make_policy();
+  SimConfig config;
+  config.closed_clients = 4;
+  config.timed_repartitions = merge_then_split();
+  EXPECT_THROW(run_simulation(*policy, queries, config), InvalidArgument);
+}
+
+TEST(Elastic, TimedMergeAndSplitMidBurstResolveEveryQueryTyped) {
+  const PaperScenario s{timed_options()};
+  const auto queries = s.make_workload(500);
+  auto policy = s.make_policy();
+  SimConfig config = burst_config();
+  config.gpu_queue_device = s.gpu_queue_device_map();
+  config.timed_repartitions = merge_then_split();
+  const SimResult r = run_simulation(*policy, queries, config);
+
+  EXPECT_EQ(r.repartition_merges, 1u);
+  EXPECT_EQ(r.repartition_splits, 1u);
+  // The merge landed while the burst had queued work on the narrow pair.
+  EXPECT_GT(r.repartition_drained, 0u);
+  // Conservation: every query — drained and re-placed ones included —
+  // resolves to exactly one typed outcome.
+  EXPECT_EQ(r.completed + r.rejected + r.shed_at_admission +
+                r.exhausted_retries,
+            queries.size());
+  const std::vector<Outcome> outcomes = outcomes_of(r);
+  ASSERT_EQ(outcomes.size(), queries.size());
+  std::size_t completed = 0;
+  for (const Outcome o : outcomes) completed += o == Outcome::kCompleted;
+  EXPECT_EQ(completed, r.completed);
+
+  // End-of-run device gauges: both devices reported, the operations and
+  // the drain attributed to device 0, and the split restored the ladder.
+  ASSERT_EQ(r.devices.size(), 2u);
+  EXPECT_EQ(r.devices[0].merges, 1u);
+  EXPECT_EQ(r.devices[0].splits, 1u);
+  EXPECT_EQ(r.devices[0].drained, r.repartition_drained);
+  EXPECT_EQ(r.devices[0].active_queues, 6);
+  EXPECT_EQ(r.devices[1].merges, 0u);
+  EXPECT_EQ(r.devices[1].active_queues, 6);
+  EXPECT_EQ(r.devices[0].total_sms, r.devices[1].total_sms);
+  EXPECT_EQ(r.device_latency.size(), 2u);
+}
+
+TEST(Elastic, RepartitionScenarioIsDeterministicAcrossRuns) {
+  const PaperScenario s{timed_options()};
+  const auto queries = s.make_workload(500);
+  auto run_once = [&]() {
+    auto policy = s.make_policy();
+    SimConfig config = burst_config();
+    config.gpu_queue_device = s.gpu_queue_device_map();
+    config.timed_repartitions = merge_then_split();
+    return run_simulation(*policy, queries, config);
+  };
+  const SimResult a = run_once();
+  const SimResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.met_deadline, b.met_deadline);
+  EXPECT_EQ(a.repartition_merges, b.repartition_merges);
+  EXPECT_EQ(a.repartition_splits, b.repartition_splits);
+  EXPECT_EQ(a.repartition_drained, b.repartition_drained);
+  EXPECT_EQ(a.cpu_queries, b.cpu_queries);
+  EXPECT_EQ(a.gpu_queries, b.gpu_queries);
+  // Not just the same counts — the same per-query outcomes.
+  EXPECT_EQ(outcomes_of(a), outcomes_of(b));
+  EXPECT_GT(a.repartition_drained, 0u);
+}
+
+TEST(Elastic, BacklogTriggerMergesUnderSustainedSaturation) {
+  // The ElasticPartitioner trigger, not timed operations: saturate two
+  // devices in a closed loop so per-queue backlog stays over the merge
+  // threshold and the partitioner folds narrow siblings mid-run.
+  ScenarioOptions opts = elastic_options();
+  opts.elastic.enabled = true;
+  opts.elastic.check_interval = Seconds{0.05};
+  opts.elastic.sustain_checks = 3;
+  opts.elastic.merge_backlog = Seconds{0.03};
+  opts.elastic.split_backlog = Seconds{0.003};
+  const PaperScenario s{opts};
+  const auto queries = s.make_workload(800);
+  auto policy = s.make_policy();
+  ASSERT_NE(policy->elastic_policy(), nullptr);
+  SimConfig config;
+  config.closed_clients = 64;
+  config.record_trace = true;
+  config.gpu_queue_device = s.gpu_queue_device_map();
+  const SimResult r = run_simulation(*policy, queries, config);
+
+  EXPECT_GT(r.repartition_merges, 0u);
+  EXPECT_EQ(r.completed + r.rejected + r.shed_at_admission +
+                r.exhausted_retries,
+            queries.size());
+  const std::vector<Outcome> outcomes = outcomes_of(r);
+  ASSERT_EQ(outcomes.size(), queries.size());
+  // The gauges attribute every applied operation to some device.
+  ASSERT_EQ(r.devices.size(), 2u);
+  EXPECT_EQ(r.devices[0].merges + r.devices[1].merges, r.repartition_merges);
+  EXPECT_EQ(r.devices[0].splits + r.devices[1].splits, r.repartition_splits);
+  EXPECT_GT(r.throughput_qps, 0.0);
+}
+
+TEST(Elastic, SingleDeviceCatalogRunMatchesTheSeedBitForBit) {
+  // One device, zero transfer, no repartitions: the catalog-enabled
+  // scenario must reproduce the distance-blind run exactly — the
+  // disabled path is unchanged by the elastic machinery.
+  const auto queries = PaperScenario{ScenarioOptions{}}.make_workload(300);
+  SimConfig config;
+  config.closed_clients = 16;
+  const PaperScenario plain{ScenarioOptions{}};
+  ScenarioOptions catalogued_opts;
+  catalogued_opts.topology.enabled = true;
+  catalogued_opts.topology.transfer_unit = Seconds{0.01};  // home: no hop
+  const PaperScenario catalogued{catalogued_opts};
+  auto p1 = plain.make_policy();
+  auto p2 = catalogued.make_policy();
+  const SimResult a = run_simulation(*p1, queries, config);
+  const SimResult b = run_simulation(*p2, queries, config);
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.met_deadline, b.met_deadline);
+  EXPECT_EQ(a.cpu_queries, b.cpu_queries);
+  EXPECT_EQ(a.gpu_queries, b.gpu_queries);
+  EXPECT_DOUBLE_EQ(a.mean_latency.value(), b.mean_latency.value());
+  // Only the gauges differ: the catalog run reports its device.
+  EXPECT_TRUE(a.devices.empty());
+  ASSERT_EQ(b.devices.size(), 1u);
+  EXPECT_EQ(b.devices[0].active_queues, 6);
+  EXPECT_EQ(b.devices[0].merges, 0u);
+}
+
+}  // namespace
+}  // namespace holap

@@ -10,8 +10,12 @@ Rule families (select with --rules; each violation prints as
          span-lifecycle — structural invariants of this codebase — plus
          the interprocedural concurrency rules lock-order, blocking and
          waitnotify (lock-order graph with cycle detection, blocking
-         calls under a held mutex, CondVar wait/notify protocol); see
-         DESIGN.md "Invariants as machine-checked rules".
+         calls under a held mutex, CondVar wait/notify protocol) and the
+         path-sensitive dataflow rules definite-outcome,
+         ledger-balance-paths and repartition-invalidation (CFG +
+         forward fixpoint over scripts/analyze/cfg.py); see DESIGN.md
+         "Invariants as machine-checked rules" and "Path-sensitive
+         dataflow".
 
 ``--only`` narrows whatever --rules selected to an explicit id list —
 ``--rules ast --only lock-order,blocking,waitnotify`` is the CI
@@ -31,6 +35,7 @@ Usage:
   scripts/analyze/analyze.py --rules clock-ledger,unit-escape
   scripts/analyze/analyze.py --fix-dry-run         # show suggested fixes
   scripts/analyze/analyze.py --json findings.json  # machine-readable dump
+  scripts/analyze/analyze.py --format sarif > a.sarif  # SARIF 2.1.0 log
 
 Exit codes: 0 clean (all findings baselined), 1 findings or stale
 baseline entries, 2 bad invocation.
@@ -48,13 +53,13 @@ import pathlib
 import sys
 
 try:
-    from .findings import Baseline, Finding
+    from .findings import Baseline, Finding, to_sarif
     from .rules_ast import AST_RULES, run_text_engine
     from .rules_lint import LINT_RULES
     from . import libclang_engine
 except ImportError:  # executed as a plain script
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
-    from findings import Baseline, Finding
+    from findings import Baseline, Finding, to_sarif
     from rules_ast import AST_RULES, run_text_engine
     from rules_lint import LINT_RULES
     import libclang_engine
@@ -114,6 +119,11 @@ def run(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", dest="json_out",
                         help="write findings as JSON to this path "
                              "('-' = stdout)")
+    parser.add_argument("--format", dest="out_format", default="text",
+                        choices=("text", "sarif"),
+                        help="stdout format: 'text' prints one line per "
+                             "finding, 'sarif' prints a SARIF 2.1.0 log "
+                             "instead (summaries move to stderr)")
     parser.add_argument("--fix-dry-run", action="store_true",
                         help="print the suggested fix next to each "
                              "violation (no files are modified); exit "
@@ -125,8 +135,10 @@ def run(argv: list[str] | None = None) -> int:
         keep = {t.strip() for t in args.only.split(",") if t.strip()}
         unknown = keep - set(LINT_RULES) - set(AST_RULES)
         if unknown:
+            known = ", ".join([*LINT_RULES, *AST_RULES])
             raise SystemExit("analyze: --only names unknown rule(s): "
-                             + ", ".join(sorted(unknown)))
+                             + ", ".join(sorted(unknown))
+                             + f" (known: {known})")
         lint_rules = [r for r in lint_rules if r in keep]
         ast_rules = [r for r in ast_rules if r in keep]
     root = args.root.resolve()
@@ -163,10 +175,14 @@ def run(argv: list[str] | None = None) -> int:
 
     live = [f for f in findings if not baseline.suppresses(f)]
 
-    for f in live:
-        print(f.format())
-        if args.fix_dry_run and f.fix:
-            print(f"{f.path}:{f.line}: [{f.rule}] would fix: {f.fix}")
+    if args.out_format == "sarif":
+        sarif = to_sarif(live, lint_rules + ast_rules, engine_used)
+        print(json.dumps(sarif, indent=2))
+    else:
+        for f in live:
+            print(f.format())
+            if args.fix_dry_run and f.fix:
+                print(f"{f.path}:{f.line}: [{f.rule}] would fix: {f.fix}")
 
     stale = baseline.stale_entries()
     for e in stale:
@@ -199,7 +215,8 @@ def run(argv: list[str] | None = None) -> int:
     suppressed = len(findings)
     suffix = f", {suppressed} baselined" if suppressed else ""
     print(f"analyze: OK ({len(lint_rules) + len(ast_rules)} rules, "
-          f"engine={engine_used}{suffix})")
+          f"engine={engine_used}{suffix})",
+          file=sys.stderr if args.out_format == "sarif" else sys.stdout)
     return 0
 
 

@@ -1,0 +1,511 @@
+"""Control-flow graphs over the engine-neutral IR in cppmodel.
+
+Two layers, shared by both analyzer engines:
+
+1. A structured intermediate representation (SIR) of a function body —
+   a tree of Seq/If/Loop/Switch/Try nodes whose leaves are `Stmt`
+   records carrying canonical statement text plus a source offset/line.
+   The text engine produces SIR by recursive descent over the stripped
+   single-TU token stream (`parse_function`); the libclang engine
+   produces the same shapes from cursors, so everything downstream of
+   SIR — lowering, dataflow, rules — is engine-agnostic.
+
+2. Lowering SIR to a CFG of basic blocks (`lower`): edges for if/else,
+   loop back-edges, switch dispatch + case fallthrough, return,
+   break/continue, and a conservative exception edge from every
+   statement the caller marks as potentially throwing to the nearest
+   enclosing catch handler (or the synthetic exception exit).
+
+The CFG keeps two synthetic exits: `EXIT` for normal returns/fall-off
+and `EXC_EXIT` for exceptional paths that leave the function.
+"""
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Callable
+
+from cppmodel import match_brace, _match_paren
+
+EXIT = -1  # synthetic normal-exit block id
+EXC_EXIT = -2  # synthetic exceptional-exit block id
+
+# ---------------------------------------------------------------------------
+# SIR
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Stmt:
+    text: str  # canonical statement text (condition text for cond stmts)
+    offset: int  # offset into the stripped file (or -1 for synthesized)
+    line: int  # 1-based source line
+    kind: str  # expr|cond|return|break|continue|throw
+
+
+@dataclasses.dataclass
+class Seq:
+    children: list  # Stmt | If | Loop | Switch | Try
+
+
+@dataclasses.dataclass
+class If:
+    cond: Stmt
+    then: Seq
+    orelse: Seq | None
+
+
+@dataclasses.dataclass
+class Loop:
+    cond: Stmt
+    body: Seq
+    kind: str  # while|for|rangefor|dowhile
+
+
+@dataclasses.dataclass
+class Switch:
+    cond: Stmt
+    groups: list  # list[tuple[list[str], Seq]] — labels, statements
+    has_default: bool
+
+
+@dataclasses.dataclass
+class Try:
+    body: Seq
+    handlers: list  # list[Seq]
+
+
+_CONTROL = ("if", "else", "while", "for", "do", "switch", "return",
+            "break", "continue", "throw", "try", "case", "default")
+_WORD = re.compile(r"\w+")
+
+
+class _Parser:
+    """Recursive-descent statement parser over stripped source text."""
+
+    def __init__(self, text: str, line_of: Callable[[int], int]):
+        self.text = text
+        self.line_of = line_of
+
+    def _skip_ws(self, i: int, end: int) -> int:
+        text = self.text
+        while i < end and (text[i].isspace() or text[i] == ";"):
+            i += 1
+        return i
+
+    def _word_at(self, i: int) -> str:
+        m = _WORD.match(self.text, i)
+        return m.group(0) if m else ""
+
+    def _stmt_end(self, i: int, end: int) -> int:
+        """Offset one past the ';' terminating the simple statement at i,
+        tracking nested (), {}, [] so lambdas and braced initializers do
+        not end the statement early."""
+        text = self.text
+        depth = 0
+        while i < end:
+            c = text[i]
+            if c in "({[":
+                depth += 1
+            elif c in ")}]":
+                depth -= 1
+            elif c == ";" and depth == 0:
+                return i + 1
+            i += 1
+        return end
+
+    def _make_stmt(self, start: int, stop: int, kind: str) -> Stmt:
+        text = self.text[start:stop].strip().rstrip(";").strip()
+        return Stmt(text=text, offset=start, line=self.line_of(start),
+                    kind=kind)
+
+    def _parse_paren(self, i: int, end: int) -> tuple[Stmt, int]:
+        """Condition/header text inside the parens starting at or after i."""
+        text = self.text
+        open_pos = text.index("(", i, end)
+        close = _match_paren(text, open_pos)
+        cond = Stmt(text=text[open_pos + 1:close].strip(), offset=open_pos,
+                    line=self.line_of(open_pos), kind="cond")
+        return cond, close + 1
+
+    def parse_seq(self, i: int, end: int) -> Seq:
+        children: list = []
+        i = self._skip_ws(i, end)
+        while i < end:
+            node, i = self.parse_one(i, end)
+            if node is not None:
+                children.append(node)
+            i = self._skip_ws(i, end)
+        return Seq(children)
+
+    def _parse_body(self, i: int, end: int) -> tuple[Seq, int]:
+        """A statement-or-block in a control-structure body position."""
+        i = self._skip_ws(i, end)
+        if i < end and self.text[i] == "{":
+            close = match_brace(self.text, i)
+            return self.parse_seq(i + 1, close), close + 1
+        node, i = self.parse_one(i, end)
+        return Seq([node] if node is not None else []), i
+
+    def parse_one(self, i: int, end: int):
+        text = self.text
+        i = self._skip_ws(i, end)
+        if i >= end:
+            return None, end
+        if text[i] == "{":
+            close = match_brace(text, i)
+            return self.parse_seq(i + 1, close), close + 1
+        word = self._word_at(i)
+        if word == "if":
+            cond, j = self._parse_paren(i, end)
+            then, j = self._parse_body(j, end)
+            j = self._skip_ws(j, end)
+            orelse = None
+            if self._word_at(j) == "else":
+                orelse, j = self._parse_body(j + len("else"), end)
+            return If(cond, then, orelse), j
+        if word in ("while", "for"):
+            cond, j = self._parse_paren(i, end)
+            body, j = self._parse_body(j, end)
+            kind = "while" if word == "while" else (
+                "rangefor" if ":" in cond.text.split(";")[0]
+                and ";" not in cond.text else "for")
+            return Loop(cond, body, kind), j
+        if word == "do":
+            body, j = self._parse_body(i + len("do"), end)
+            j = self._skip_ws(j, end)
+            cond, j = self._parse_paren(j, end)  # the while(...)
+            j = self._skip_ws(j, end)
+            return Loop(cond, body, "dowhile"), j
+        if word == "switch":
+            cond, j = self._parse_paren(i, end)
+            j = self._skip_ws(j, end)
+            close = match_brace(text, j)
+            groups, has_default = self._parse_switch_body(j + 1, close)
+            return Switch(cond, groups, has_default), close + 1
+        if word == "try":
+            j = self._skip_ws(i + len("try"), end)
+            close = match_brace(text, j)
+            body = self.parse_seq(j + 1, close)
+            j = self._skip_ws(close + 1, end)
+            handlers = []
+            while self._word_at(j) == "catch":
+                _, j = self._parse_paren(j, end)
+                j = self._skip_ws(j, end)
+                hclose = match_brace(text, j)
+                handlers.append(self.parse_seq(j + 1, hclose))
+                j = self._skip_ws(hclose + 1, end)
+            return Try(body, handlers), j
+        if word in ("return", "throw", "break", "continue"):
+            stop = self._stmt_end(i, end)
+            return self._make_stmt(i, stop, word), stop
+        stop = self._stmt_end(i, end)
+        return self._make_stmt(i, stop, "expr"), stop
+
+    def _parse_switch_body(self, i: int, end: int):
+        """Case groups: every `case X:`/`default:` run of labels followed
+        by the statements up to the next label."""
+        text = self.text
+        groups: list = []
+        has_default = False
+        labels: list[str] = []
+        children: list = []
+        i = self._skip_ws(i, end)
+        while i < end:
+            word = self._word_at(i)
+            if word in ("case", "default"):
+                if children:
+                    groups.append((labels, Seq(children)))
+                    labels, children = [], []
+                if word == "default":
+                    has_default = True
+                    labels.append("default")
+                    i = text.index(":", i, end) + 1
+                else:
+                    colon = text.index(":", i, end)
+                    while colon + 1 < end and text[colon + 1] == ":":
+                        colon = text.index(":", colon + 2, end)
+                    labels.append(text[i + len("case"):colon].strip())
+                    i = colon + 1
+                i = self._skip_ws(i, end)
+                continue
+            node, i = self.parse_one(i, end)
+            if node is not None:
+                children.append(node)
+            i = self._skip_ws(i, end)
+        if labels or children:
+            groups.append((labels, Seq(children)))
+        return groups, has_default
+
+
+def parse_function(text: str, body_open: int, body_close: int,
+                   line_of: Callable[[int], int]) -> Seq:
+    """SIR for the function body delimited by its braces (offsets of '{'
+    and the matching '}') in `text` (stripped of comments/strings)."""
+    return _Parser(text, line_of).parse_seq(body_open + 1, body_close)
+
+
+# ---------------------------------------------------------------------------
+# Lowering to a CFG
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Block:
+    bid: int
+    stmts: list  # list[Stmt]
+    succs: list  # list[tuple[int, str]] — (block id, edge kind)
+
+
+@dataclasses.dataclass
+class CFG:
+    blocks: dict  # dict[int, Block]
+    entry: int
+
+    def block(self, bid: int) -> Block:
+        return self.blocks[bid]
+
+    def edge_kinds(self) -> set:
+        return {kind for b in self.blocks.values() for _, kind in b.succs}
+
+    def preds(self) -> dict:
+        out: dict = {bid: [] for bid in self.blocks}
+        out[EXIT] = []
+        out[EXC_EXIT] = []
+        for b in self.blocks.values():
+            for target, kind in b.succs:
+                out.setdefault(target, []).append((b.bid, kind))
+        return out
+
+
+class _Lowerer:
+    def __init__(self, throws: Callable[[Stmt], bool],
+                 assume_loops_entered: bool):
+        self.throws = throws
+        self.assume_loops_entered = assume_loops_entered
+        self.blocks: dict[int, Block] = {}
+        self.next_id = 0
+        # (break target, continue target) per enclosing loop/switch
+        self.break_stack: list[int] = []
+        self.continue_stack: list[int] = []
+        self.exc_stack: list[list[int]] = []  # catch handler entries
+
+    def new_block(self) -> int:
+        bid = self.next_id
+        self.next_id += 1
+        self.blocks[bid] = Block(bid, [], [])
+        return bid
+
+    def edge(self, src: int, dst: int, kind: str) -> None:
+        if src in (EXIT, EXC_EXIT):
+            return
+        self.blocks[src].succs.append((dst, kind))
+
+    def exc_targets(self) -> list[int]:
+        return self.exc_stack[-1] if self.exc_stack else [EXC_EXIT]
+
+    def emit_stmt(self, cur: int, stmt: Stmt) -> int:
+        """Append stmt to block `cur`; if it may throw it terminates the
+        block with an exception edge plus a fallthrough successor."""
+        self.blocks[cur].stmts.append(stmt)
+        if stmt.kind == "throw":
+            for target in self.exc_targets():
+                self.edge(cur, target, "exc")
+            return self.new_block()  # unreachable continuation
+        throwing = self.throws(stmt)
+        if throwing:
+            for target in self.exc_targets():
+                self.edge(cur, target, "exc")
+        if stmt.kind == "return":
+            self.edge(cur, EXIT, "return")
+            return self.new_block()
+        if stmt.kind == "break":
+            if self.break_stack:
+                self.edge(cur, self.break_stack[-1], "break")
+            return self.new_block()
+        if stmt.kind == "continue":
+            if self.continue_stack:
+                self.edge(cur, self.continue_stack[-1], "continue")
+            return self.new_block()
+        if throwing:
+            nxt = self.new_block()
+            self.edge(cur, nxt, "fall")
+            return nxt
+        return cur
+
+    def lower_seq(self, seq: Seq, cur: int) -> int:
+        for node in seq.children:
+            cur = self.lower_node(node, cur)
+        return cur
+
+    def lower_node(self, node, cur: int) -> int:
+        if isinstance(node, Stmt):
+            return self.emit_stmt(cur, node)
+        if isinstance(node, Seq):
+            return self.lower_seq(node, cur)
+        if isinstance(node, If):
+            cur = self.emit_stmt(cur, node.cond)
+            then_b = self.new_block()
+            join = self.new_block()
+            self.edge(cur, then_b, "true")
+            then_end = self.lower_seq(node.then, then_b)
+            self.edge(then_end, join, "fall")
+            if node.orelse is not None:
+                else_b = self.new_block()
+                self.edge(cur, else_b, "false")
+                else_end = self.lower_seq(node.orelse, else_b)
+                self.edge(else_end, join, "fall")
+            else:
+                self.edge(cur, join, "false")
+            return join
+        if isinstance(node, Loop):
+            return self.lower_loop(node, cur)
+        if isinstance(node, Switch):
+            return self.lower_switch(node, cur)
+        if isinstance(node, Try):
+            return self.lower_try(node, cur)
+        raise TypeError(f"unknown SIR node {node!r}")
+
+    def lower_loop(self, node: Loop, cur: int) -> int:
+        after = self.new_block()
+        if node.kind == "dowhile" or self.assume_loops_entered:
+            # body-first shape: entry -> body -> head(cond) -> body|after
+            body_b = self.new_block()
+            self.edge(cur, body_b, "fall")
+            head = self.new_block()
+            self.break_stack.append(after)
+            self.continue_stack.append(head)
+            body_end = self.lower_seq(node.body, body_b)
+            self.continue_stack.pop()
+            self.break_stack.pop()
+            self.edge(body_end, head, "fall")
+            head = self.emit_stmt(head, node.cond)
+            self.edge(head, body_b, "back")
+            self.edge(head, after, "false")
+            return after
+        head = self.new_block()
+        self.edge(cur, head, "fall")
+        head_end = self.emit_stmt(head, node.cond)
+        body_b = self.new_block()
+        self.edge(head_end, body_b, "true")
+        self.edge(head_end, after, "false")
+        self.break_stack.append(after)
+        self.continue_stack.append(head)
+        body_end = self.lower_seq(node.body, body_b)
+        self.continue_stack.pop()
+        self.break_stack.pop()
+        self.edge(body_end, head, "back")
+        return after
+
+    def lower_switch(self, node: Switch, cur: int) -> int:
+        cur = self.emit_stmt(cur, node.cond)
+        after = self.new_block()
+        self.break_stack.append(after)
+        group_entries = [self.new_block() for _ in node.groups]
+        for entry in group_entries:
+            self.edge(cur, entry, "case")
+        if not node.has_default:
+            self.edge(cur, after, "case")
+        for idx, (_, seq) in enumerate(node.groups):
+            end = self.lower_seq(seq, group_entries[idx])
+            if idx + 1 < len(group_entries):
+                self.edge(end, group_entries[idx + 1], "fall")  # fallthrough
+            else:
+                self.edge(end, after, "fall")
+        self.break_stack.pop()
+        return after
+
+    def lower_try(self, node: Try, cur: int) -> int:
+        join = self.new_block()
+        handler_entries = [self.new_block() for _ in node.handlers]
+        self.exc_stack.append(handler_entries or [EXC_EXIT])
+        body_b = self.new_block()
+        self.edge(cur, body_b, "fall")
+        body_end = self.lower_seq(node.body, body_b)
+        self.exc_stack.pop()
+        self.edge(body_end, join, "fall")
+        for idx, handler in enumerate(node.handlers):
+            end = self.lower_seq(handler, handler_entries[idx])
+            self.edge(end, join, "fall")
+        return join
+
+
+def lower(sir: Seq, throws: Callable[[Stmt], bool] | None = None,
+          assume_loops_entered: bool = False) -> CFG:
+    """Lower SIR to a CFG. `throws` marks statements that get a
+    conservative exception edge to the nearest catch handler or the
+    synthetic EXC_EXIT. `assume_loops_entered` lowers every loop in
+    do-while shape (body executes at least once) — used by must-style
+    analyses where a zero-trip loop would be pure noise (the loops in
+    question iterate per-family vectors that are non-empty by config).
+    """
+    lowerer = _Lowerer(throws or (lambda stmt: False), assume_loops_entered)
+    entry = lowerer.new_block()
+    end = lowerer.lower_seq(sir, entry)
+    lowerer.edge(end, EXIT, "fall")  # fall off the end of the body
+    return CFG(blocks=lowerer.blocks, entry=entry)
+
+
+def walk_stmts(sir) -> list:
+    """Every Stmt in the SIR, in document order (conditions included)."""
+    out: list = []
+
+    def visit(node):
+        if isinstance(node, Stmt):
+            out.append(node)
+        elif isinstance(node, Seq):
+            for child in node.children:
+                visit(child)
+        elif isinstance(node, If):
+            visit(node.cond)
+            visit(node.then)
+            if node.orelse is not None:
+                visit(node.orelse)
+        elif isinstance(node, Loop):
+            visit(node.cond)
+            visit(node.body)
+        elif isinstance(node, Switch):
+            visit(node.cond)
+            for _, seq in node.groups:
+                visit(seq)
+        elif isinstance(node, Try):
+            visit(node.body)
+            for handler in node.handlers:
+                visit(handler)
+
+    visit(sir)
+    return out
+
+
+def stmts_outside_try(sir) -> list:
+    """Every Stmt not protected by an enclosing try — the statements
+    whose exceptions escape the function (used by may-throw summaries;
+    handlers themselves are unprotected)."""
+    out: list = []
+
+    def visit(node, protected: bool):
+        if isinstance(node, Stmt):
+            if not protected:
+                out.append(node)
+        elif isinstance(node, Seq):
+            for child in node.children:
+                visit(child, protected)
+        elif isinstance(node, If):
+            visit(node.cond, protected)
+            visit(node.then, protected)
+            if node.orelse is not None:
+                visit(node.orelse, protected)
+        elif isinstance(node, Loop):
+            visit(node.cond, protected)
+            visit(node.body, protected)
+        elif isinstance(node, Switch):
+            visit(node.cond, protected)
+            for _, seq in node.groups:
+                visit(seq, protected)
+        elif isinstance(node, Try):
+            visit(node.body, True)
+            for handler in node.handlers:
+                visit(handler, protected)
+
+    visit(sir, False)
+    return out

@@ -1,0 +1,118 @@
+"""Forward dataflow over cfg.CFG: a small gen/kill fixpoint framework.
+
+A rule supplies three things:
+
+- `init`: the lattice value entering the function,
+- `transfer(stmt, state) -> state`: the per-statement effect (must be
+  monotone over the rule's finite lattice),
+- `join(states) -> state`: merge-at-join (union for may-analyses,
+  intersection for must-analyses).
+
+Optionally `edge_transfer(stmt, kind, state) -> state` refines the value
+carried by a specific out-edge of the block terminated by `stmt` — how
+rules encode branch facts such as "the `!x.has_value()` true-edge proves
+slot x empty". Exception edges carry the state from *before* their
+terminator: the throwing call's effects may not have happened yet, which
+is the conservative direction for leak detection.
+
+States are opaque to the framework; they only need `==`. `None` is the
+unreached value (⊥) and never passed to transfer/join.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from cfg import CFG, EXC_EXIT, EXIT
+
+
+@dataclasses.dataclass
+class ExitEdge:
+    bid: int  # source block
+    stmt: object  # terminating Stmt, or None for fall-off-the-end
+    kind: str  # edge kind ('return', 'fall', 'exc')
+    state: object  # converged lattice value carried by the edge
+
+
+@dataclasses.dataclass
+class Result:
+    block_in: dict  # block id -> converged in-state (unreached blocks absent)
+    exit_edges: list  # ExitEdge per edge into EXIT
+    exc_edges: list  # ExitEdge per edge into EXC_EXIT (stmt = throwing stmt)
+
+
+def run_forward(cfg: CFG, init, transfer: Callable, join: Callable,
+                edge_transfer: Callable | None = None) -> Result:
+    block_in: dict = {cfg.entry: init}
+    # edge key -> state, where key identifies (src block, succ index)
+    edge_states: dict = {}
+
+    def flow_block(bid: int):
+        """States carried by each out-edge of `bid` given its in-state."""
+        block = cfg.block(bid)
+        state = block_in[bid]
+        pre_term = state
+        for stmt in block.stmts:
+            pre_term = state
+            state = transfer(stmt, state)
+        term = block.stmts[-1] if block.stmts else None
+        out = []
+        for idx, (target, kind) in enumerate(block.succs):
+            es = pre_term if kind == "exc" else state
+            if edge_transfer is not None and term is not None:
+                es = edge_transfer(term, kind, es)
+            out.append((idx, target, kind, es))
+        return out
+
+    worklist = [cfg.entry]
+    # generous bound: lattices here are tiny, so convergence is quick;
+    # the cap only guards against a non-monotone transfer looping.
+    budget = (len(cfg.blocks) + 2) * 64
+    while worklist and budget > 0:
+        budget -= 1
+        bid = worklist.pop()
+        for idx, target, kind, es in flow_block(bid):
+            key = (bid, idx)
+            if edge_states.get(key, "\0unset") == es:
+                continue
+            edge_states[key] = es
+            if target in (EXIT, EXC_EXIT):
+                continue
+            incoming = [
+                edge_states[(p, i)]
+                for p in cfg.blocks
+                for i, (t, _) in enumerate(cfg.block(p).succs)
+                if t == target and (p, i) in edge_states
+            ]
+            new_in = join(incoming) if incoming else None
+            if new_in is not None and block_in.get(target, None) != new_in:
+                block_in[target] = new_in
+                worklist.append(target)
+
+    exit_edges: list = []
+    exc_edges: list = []
+    for bid, block in cfg.blocks.items():
+        if bid not in block_in:
+            continue  # unreachable
+        for idx, (target, kind) in enumerate(block.succs):
+            state = edge_states.get((bid, idx))
+            if state is None:
+                continue
+            term = block.stmts[-1] if block.stmts else None
+            if target == EXIT:
+                exit_edges.append(ExitEdge(bid, term, kind, state))
+            elif target == EXC_EXIT:
+                exc_edges.append(ExitEdge(bid, term, kind, state))
+    return Result(block_in=block_in, exit_edges=exit_edges,
+                  exc_edges=exc_edges)
+
+
+def replay(cfg: CFG, result: Result, visit: Callable) -> None:
+    """Walk every reached block with its converged in-state, calling
+    `visit(stmt, state_before) -> state_after` per statement — the hook
+    where rules emit findings at the event that proves them (a second
+    resolve, a use of a stale reference) with exact line information."""
+    for bid in sorted(result.block_in):
+        state = result.block_in[bid]
+        for stmt in cfg.block(bid).stmts:
+            state = visit(stmt, state)

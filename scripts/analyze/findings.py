@@ -25,6 +25,47 @@ class Finding:
         return dataclasses.asdict(self)
 
 
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(findings: list, rule_ids: list, engine: str = "text") -> dict:
+    """SARIF 2.1.0 log for a finished run — the format code scanners
+    upload to code-review UIs. Relative artifact URIs (repo-root based),
+    one result per finding, the suggested fix under properties."""
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": f.line},
+                },
+            }],
+        }
+        if f.text:
+            result["locations"][0]["physicalLocation"]["region"][
+                "snippet"] = {"text": f.text}
+        if f.fix:
+            result["properties"] = {"fix": f.fix}
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "holap-analyze",
+                "rules": [{"id": rid} for rid in rule_ids],
+            }},
+            "properties": {"engine": engine},
+            "results": results,
+        }],
+    }
+
+
 class Baseline:
     """Accepted findings that do not fail the build.
 

@@ -20,15 +20,19 @@ import sys
 
 try:
     from .findings import Finding
+    from . import cfg as sir
     from . import concurrency
     from . import rules_ast
-    from .cppmodel import ConcEvent, FunctionModel
+    from . import rules_dataflow
+    from .cppmodel import ConcEvent, FunctionModel, _match_paren
 except ImportError:  # executed as a flat script directory
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
     from findings import Finding
-    from cppmodel import ConcEvent, FunctionModel
+    from cppmodel import ConcEvent, FunctionModel, _match_paren
+    import cfg as sir
     import concurrency
     import rules_ast
+    import rules_dataflow
 
 import re
 
@@ -252,6 +256,203 @@ def _extract_concurrency_tu(cindex, root: pathlib.Path, tu,
     scan(tu.cursor)
 
 
+def _build_sir(ck, cursor, src_text: str) -> "sir.Seq":
+    """SIR for a function-body compound cursor. Statement text is the
+    original source extent (not token-joined), so the shared dataflow
+    regexes see exactly what the text engine sees — operator adjacency
+    like `!placement.rejected` included."""
+    _KIND_WORDS = ("return", "throw", "break", "continue")
+
+    def slice_of(c) -> str:
+        return src_text[c.extent.start.offset:c.extent.end.offset]
+
+    def leaf(c) -> "sir.Stmt":
+        text = slice_of(c).strip().rstrip(";").strip()
+        word = re.match(r"\w+", text)
+        kind = word.group(0) if word and word.group(0) in _KIND_WORDS \
+            else "expr"
+        return sir.Stmt(text=text, offset=c.extent.start.offset,
+                        line=c.location.line, kind=kind)
+
+    def cond_from(cursors) -> "sir.Stmt":
+        first = cursors[0]
+        text = " ".join(slice_of(c).strip().rstrip(";").strip()
+                        for c in cursors)
+        return sir.Stmt(text=text, offset=first.extent.start.offset,
+                        line=first.location.line, kind="cond")
+
+    def header_cond(c) -> "sir.Stmt":
+        """for/range-for header: the text inside the parens."""
+        start = c.extent.start.offset
+        try:
+            open_pos = src_text.index("(", start, c.extent.end.offset)
+            close = _match_paren(src_text, open_pos)
+            text = src_text[open_pos + 1:close].strip()
+        except (ValueError, IndexError):
+            text = ""
+        return sir.Stmt(text=text, offset=start, line=c.location.line,
+                        kind="cond")
+
+    def as_seq(node) -> "sir.Seq":
+        if isinstance(node, sir.Seq):
+            return node
+        return sir.Seq([node] if node is not None else [])
+
+    def conv(c):
+        kind = c.kind
+        if kind == ck.COMPOUND_STMT:
+            out = []
+            for child in c.get_children():
+                node = conv(child)
+                if node is not None:
+                    out.append(node)
+            return sir.Seq(out)
+        if kind == ck.IF_STMT:
+            kids = list(c.get_children())
+            if len(kids) < 2:
+                return leaf(c)
+            # [cond..., then] or [cond..., then, else]; if-init rare
+            # enough that three children mean an else here.
+            orelse = as_seq(conv(kids[-1])) if len(kids) >= 3 else None
+            then = as_seq(conv(kids[-2] if orelse is not None
+                               else kids[-1]))
+            cond_kids = kids[:-2] if orelse is not None else kids[:-1]
+            return sir.If(cond_from(cond_kids), then, orelse)
+        if kind == ck.WHILE_STMT:
+            kids = list(c.get_children())
+            if len(kids) < 2:
+                return leaf(c)
+            return sir.Loop(cond_from(kids[:-1]), as_seq(conv(kids[-1])),
+                            "while")
+        if kind == ck.DO_STMT:
+            kids = list(c.get_children())
+            if len(kids) < 2:
+                return leaf(c)
+            return sir.Loop(cond_from(kids[1:]), as_seq(conv(kids[0])),
+                            "dowhile")
+        if kind == ck.FOR_STMT:
+            kids = list(c.get_children())
+            if not kids:
+                return leaf(c)
+            return sir.Loop(header_cond(c), as_seq(conv(kids[-1])),
+                            "for")
+        if kind == ck.CXX_FOR_RANGE_STMT:
+            kids = list(c.get_children())
+            if not kids:
+                return leaf(c)
+            return sir.Loop(header_cond(c), as_seq(conv(kids[-1])),
+                            "rangefor")
+        if kind == ck.SWITCH_STMT:
+            kids = list(c.get_children())
+            if len(kids) < 2:
+                return leaf(c)
+            cond = cond_from(kids[:-1])
+            groups: list = []
+            has_default = False
+            labels: list[str] = []
+            children: list = []
+            body = kids[-1]
+            for child in (body.get_children()
+                          if body.kind == ck.COMPOUND_STMT else [body]):
+                node = child
+                if node.kind in (ck.CASE_STMT, ck.DEFAULT_STMT):
+                    if children:
+                        groups.append((labels, sir.Seq(children)))
+                        labels, children = [], []
+                    # Consecutive labels nest: case A: case B: stmt.
+                    while node is not None and node.kind in (
+                            ck.CASE_STMT, ck.DEFAULT_STMT):
+                        subs = list(node.get_children())
+                        if node.kind == ck.DEFAULT_STMT:
+                            has_default = True
+                            labels.append("default")
+                            node = subs[0] if subs else None
+                        else:
+                            labels.append(slice_of(subs[0]).strip()
+                                          if subs else "")
+                            node = subs[1] if len(subs) > 1 else None
+                if node is not None:
+                    made = conv(node)
+                    if made is not None:
+                        children.append(made)
+            if labels or children:
+                groups.append((labels, sir.Seq(children)))
+            return sir.Switch(cond, groups, has_default)
+        if kind == ck.CXX_TRY_STMT:
+            kids = list(c.get_children())
+            if not kids:
+                return leaf(c)
+            handlers = []
+            for h in kids[1:]:
+                hkids = list(h.get_children())
+                handlers.append(as_seq(conv(hkids[-1]))
+                                if hkids else sir.Seq([]))
+            return sir.Try(as_seq(conv(kids[0])), handlers)
+        if kind == ck.NULL_STMT:
+            return None
+        return leaf(c)
+
+    return as_seq(conv(cursor))
+
+
+def _extract_dataflow_tu(cindex, root: pathlib.Path, tu, functions: list,
+                         seen: set, src_cache: dict) -> None:
+    """FunctionIR records (rules_dataflow's engine contract) for every
+    definition under the dataflow scopes in one TU. Per-function
+    best-effort: an odd body falls out of the pass, never the engine."""
+    ck = cindex.CursorKind
+    fn_kinds = {ck.CXX_METHOD, ck.CONSTRUCTOR, ck.DESTRUCTOR,
+                ck.FUNCTION_DECL}
+    cls_kinds = {ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE}
+    scopes = tuple(rules_dataflow.DATAFLOW_SCOPES)
+
+    def src_of(cursor) -> str | None:
+        path = cursor.location.file.name if cursor.location.file else None
+        if path is None:
+            return None
+        if path not in src_cache:
+            try:
+                src_cache[path] = pathlib.Path(path).read_text(
+                    encoding="utf-8", errors="replace")
+            except OSError:
+                src_cache[path] = ""
+        return src_cache[path]
+
+    def scan(cursor) -> None:
+        for child in cursor.get_children():
+            if child.kind in fn_kinds and child.is_definition():
+                rel = _rel(root, child.location)
+                if rel is None or not rel.startswith(scopes):
+                    continue
+                key = (rel, child.spelling, child.location.line)
+                if key in seen:
+                    continue
+                src_text = src_of(child)
+                body = None
+                for c in child.get_children():
+                    if c.kind == ck.COMPOUND_STMT:
+                        body = c
+                if body is None or not src_text:
+                    continue
+                parent = child.semantic_parent
+                cls = parent.spelling if parent is not None \
+                    and parent.kind in cls_kinds else ""
+                params = ", ".join(
+                    src_text[p.extent.start.offset:p.extent.end.offset]
+                    for p in child.get_arguments())
+                try:
+                    body_sir = _build_sir(ck, body, src_text)
+                except Exception:
+                    continue
+                seen.add(key)
+                functions.append(rules_dataflow.FunctionIR(
+                    rel, cls, child.spelling, child.location.line,
+                    child.extent.end.line, params, body_sir))
+            scan(child)
+
+    scan(tu.cursor)
+
+
 def run_libclang_engine(root: pathlib.Path, rules: list[str],
                         build_dir: pathlib.Path) -> list[Finding]:
     cindex = _import_cindex()
@@ -436,6 +637,11 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
     conc_rules = [r for r in rules
                   if r in concurrency.CONCURRENCY_RULES]
     conc_model = concurrency.ConcurrencyModel()
+    df_rules = [r for r in rules
+                if r in rules_dataflow.DATAFLOW_RULES]
+    df_functions: list = []
+    df_seen: set = set()
+    df_src_cache: dict = {}
     parsed = 0
     for path, args in args_by_file.items():
         if not path.endswith(".cpp") or "/src/" not in path.replace(
@@ -452,12 +658,19 @@ def run_libclang_engine(root: pathlib.Path, rules: list[str],
         visit(tu.cursor, mutated, [])
         if conc_rules:
             _extract_concurrency_tu(cindex, root, tu, conc_model)
+        if df_rules:
+            _extract_dataflow_tu(cindex, root, tu, df_functions,
+                                 df_seen, df_src_cache)
     if parsed == 0:
         raise EngineUnavailable("no translation unit parsed cleanly")
 
     if conc_rules:
         findings.extend(concurrency.analyze_model(
             conc_model, conc_rules, line_text))
+
+    if df_rules:
+        findings.extend(rules_dataflow.analyze_functions(
+            df_functions, df_rules, line_text))
 
     if "clock-ledger" in rules:
         committed = mutated.get("schedule", set())

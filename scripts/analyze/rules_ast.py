@@ -52,6 +52,8 @@ try:
     from .cppmodel import (SourceFile, SourceTree, enum_definitions,
                            find_switches, member_extents)
     from .findings import Finding
+    from .rules_dataflow import DATAFLOW_RULES
+    from .rules_dataflow import run_text_rules as run_text_dataflow
 except ImportError:  # executed as a flat script directory
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
     from concurrency import (CONCURRENCY_RULES, analyze_model,
@@ -59,6 +61,8 @@ except ImportError:  # executed as a flat script directory
     from cppmodel import (SourceFile, SourceTree, enum_definitions,
                           find_switches, member_extents)
     from findings import Finding
+    from rules_dataflow import DATAFLOW_RULES
+    from rules_dataflow import run_text_rules as run_text_dataflow
 
 
 class Context:
@@ -556,6 +560,29 @@ def check_waitnotify(ctx: Context) -> list[Finding]:
     return _concurrency_findings(ctx, "waitnotify")
 
 
+# ---------------------------------------------------------------------------
+# definite-outcome / ledger-balance-paths / repartition-invalidation
+# (rules 11–13, rules_dataflow.py — CFG + forward dataflow over cfg.py)
+
+
+def _dataflow_findings(ctx: Context, rule: str) -> list[Finding]:
+    findings = run_text_dataflow(ctx, [rule])
+    findings.sort(key=lambda f: (f.path, f.line, f.message))
+    return findings
+
+
+def check_definite_outcome(ctx: Context) -> list[Finding]:
+    return _dataflow_findings(ctx, "definite-outcome")
+
+
+def check_ledger_balance_paths(ctx: Context) -> list[Finding]:
+    return _dataflow_findings(ctx, "ledger-balance-paths")
+
+
+def check_repartition_invalidation(ctx: Context) -> list[Finding]:
+    return _dataflow_findings(ctx, "repartition-invalidation")
+
+
 AST_RULES = {
     "clock-ledger": check_clock_ledger,
     "batch-ledger": check_batch_ledger,
@@ -567,9 +594,13 @@ AST_RULES = {
     "lock-order": check_lock_order,
     "blocking": check_blocking,
     "waitnotify": check_waitnotify,
+    "definite-outcome": check_definite_outcome,
+    "ledger-balance-paths": check_ledger_balance_paths,
+    "repartition-invalidation": check_repartition_invalidation,
 }
 
 assert set(CONCURRENCY_RULES) <= set(AST_RULES)
+assert set(DATAFLOW_RULES) <= set(AST_RULES)
 
 
 def run_text_engine(root: pathlib.Path, rules: list[str]) -> list[Finding]:

@@ -1,0 +1,741 @@
+"""Path-sensitive dataflow rules over the shared CFG (rules 11-13).
+
+Three rules, each a forward dataflow problem on `cfg.lower()` graphs
+(see DESIGN.md, "Path-sensitive dataflow"):
+
+  definite-outcome (11)      Any src/olap or src/sched function that owns
+                             a query promise slot (a by-value `Job` /
+                             `IngestRequest`, a popped optional, or a
+                             local whose promise was armed) must resolve
+                             it exactly once on every path to exit,
+                             including exception edges. Double-resolve
+                             and leak-on-early-return are distinct
+                             findings.
+  ledger-balance-paths (12)  Re-expresses the rule-1/7 pairing heuristic
+                             as a path fact: after a schedule()/
+                             schedule_batch() clock commit, every path to
+                             exit must either hand the work to a queue or
+                             roll the commit back — including the
+                             exception edge out of a throwing call.
+                             Inside QueueingScheduler, on_shed() and
+                             rollback_batch() must subtract every family
+                             they ever subtract on *all* paths
+                             (must-analysis, intersection join).
+  repartition-invalidation (13)
+                             References/iterators into DeviceCatalog /
+                             partition state obtained before a call that
+                             may apply() a RepartitionDecision must not
+                             be used after it.
+
+Engine neutrality: both engines produce `FunctionIR` records (the text
+engine via `build_text_functions`, the libclang engine from cursors) and
+feed them to `analyze_functions` — everything below FunctionIR is
+engine-agnostic, so rule ids, messages, and baselines match.
+
+May-throw policy: exception edges are seeded by explicit `throw`
+statements and by calls to a curated set of throwing APIs
+(`THROWING_APIS` — validation and translation entry points plus the
+fault-injector hook), then propagated transitively by callee simple
+name. HOLAP_REQUIRE/HOLAP_ASSERT sites are deliberately *not* seeds:
+they assert programmer invariants on data the serving path has already
+validated, and seeding them would drown the rules in invariant-failure
+paths no recovery code is expected to handle. Statements inside a `try`
+do not contribute to a function's own may-throw summary.
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+try:
+    from . import cfg as C
+    from . import dataflow as D
+    from .cppmodel import function_definitions
+    from .findings import Finding
+except ImportError:  # executed as a flat script directory
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    import cfg as C
+    import dataflow as D
+    from cppmodel import function_definitions
+    from findings import Finding
+
+
+DATAFLOW_RULES = ("definite-outcome", "ledger-balance-paths",
+                  "repartition-invalidation")
+
+# Scopes the path-sensitive rules run over (mirrors the serving-path
+# scopes of rules 1/7; the simulation plane sheds through its own path).
+DATAFLOW_SCOPES = ("src/olap", "src/sched")
+
+# Types that carry a query promise by value. Owning one creates the
+# resolve-exactly-once obligation of rule 11.
+OWNED_TYPES = ("Job", "IngestRequest")
+
+# Curated may-throw seeds: the validation/translation entry points the
+# serving path calls on request data, plus the fault-injector's
+# admission hook (which tests arm with throwing callables).
+THROWING_APIS = frozenset({
+    "validate_query", "translate", "translate_batch", "translate_all",
+    "execute", "answer", "run_submit_hook",
+})
+
+_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def _called_names(text: str) -> set:
+    return set(_CALL_RE.findall(text))
+
+
+class FunctionIR:
+    """One function body in engine-neutral form."""
+
+    def __init__(self, rel: str, cls: str, name: str, line: int,
+                 end_line: int, params: str, sir) -> None:
+        self.rel = rel
+        self.cls = cls  # enclosing class name or ""
+        self.name = name  # simple name
+        self.line = line
+        self.end_line = end_line
+        self.params = params  # raw parameter list text
+        self.sir = sir  # cfg.Seq
+
+
+def build_text_functions(files) -> list:
+    """FunctionIR records for every definition in (rel, SourceFile)
+    pairs — the text engine's half of the shared contract."""
+    out = []
+    for rel, sf in files:
+        for fd in function_definitions(sf):
+            sir = C.parse_function(sf.stripped, fd.start, fd.end,
+                                   sf.line_of)
+            out.append(FunctionIR(rel, fd.cls or "", fd.name, fd.line,
+                                  sf.line_of(fd.end), fd.params, sir))
+    return out
+
+
+def may_throw_names(functions) -> set:
+    """Simple names whose calls get a conservative exception edge:
+    the curated APIs plus every scanned function that (outside any try)
+    throws or calls something already in the set — a fixpoint over
+    callee simple names."""
+    throwing = set(THROWING_APIS)
+    changed = True
+    while changed:
+        changed = False
+        for fn in functions:
+            if fn.name in throwing:
+                continue
+            for stmt in C.stmts_outside_try(fn.sir):
+                if stmt.kind == "throw" or (_called_names(stmt.text)
+                                            & throwing):
+                    throwing.add(fn.name)
+                    changed = True
+                    break
+    throwing.discard("throw_require_failure")
+    return throwing
+
+
+def _throws_pred(throwing: set):
+    def throws(stmt) -> bool:
+        if stmt.kind == "throw":
+            return True
+        return bool(_called_names(stmt.text) & throwing)
+    return throws
+
+
+def _throwing_callee(stmt, throwing: set) -> str:
+    if stmt.kind == "throw":
+        return "throw"
+    hit = sorted(_called_names(stmt.text) & throwing)
+    return hit[0] if hit else "a callee"
+
+
+# ---------------------------------------------------------------------------
+# Rule 11: definite-outcome
+# ---------------------------------------------------------------------------
+#
+# Lattice per slot: subset of {I, U, R, E}.
+#   I  inert     — declared, but its promise has not been armed (a default
+#                  `Job job;` holds a promise nobody observes yet)
+#   U  unresolved— armed: some caller holds (or will hold) the future
+#   R  resolved  — set_value ran or ownership moved out (std::move)
+#   E  escaped   — handed to a conditional-transfer API (try_push): the
+#                  callee may or may not have consumed it, so both a
+#                  later resolve and a clean exit are fine
+# Join is per-slot union (may-analysis: report what can happen on SOME
+# path for double-resolve, on EVERY path via edge states for leaks).
+
+_TYPE_ALT = "|".join(OWNED_TYPES)
+_PARAM_RE = re.compile(rf"^\s*({_TYPE_ALT})\s*(?:&&)?\s+(\w+)\s*$")
+_DECL_RE = re.compile(rf"^({_TYPE_ALT})\s+(\w+)\s*(;|=|\{{|$)")
+_OPT_DECL_RE = re.compile(
+    rf"^(?:auto|std\s*::\s*optional\s*<\s*(?:{_TYPE_ALT})\s*>)"
+    rf"\s+(\w+)\s*=\s*(.+)$")
+_POP_RHS_RE = re.compile(r"\b(?:try_)?pop(?:_for)?\s*\(")
+_COND_POP_DECL_RE = re.compile(
+    r"^auto\s+(\w+)\s*=\s*.*\b(?:try_)?pop(?:_for)?\s*\(")
+_RANGEFOR_BIND_RE = re.compile(
+    rf"^(?:const\s+)?({_TYPE_ALT})\s*&*\s+(\w+)\s*:")
+_HAS_VALUE_NEG_RE = re.compile(r"^!\s*(\w+)\s*(?:\.|->)\s*has_value\s*\(")
+_HAS_VALUE_POS_RE = re.compile(r"^(\w+)\s*(?:\.|->)\s*has_value\s*\(")
+
+
+def _split_params(params: str) -> list:
+    depth, piece, pieces = 0, [], []
+    for c in params:
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        if c == "," and depth == 0:
+            pieces.append("".join(piece))
+            piece = []
+        else:
+            piece.append(c)
+    pieces.append("".join(piece))
+    return pieces
+
+
+def _owned_params(params: str) -> list:
+    """Names of by-value (or rvalue-ref) OWNED_TYPES parameters — the
+    signatures that transfer promise ownership into the function."""
+    out = []
+    for piece in _split_params(params):
+        m = _PARAM_RE.match(piece)
+        if m:
+            out.append(m.group(2))
+    return out
+
+
+class _SlotRules:
+    """Per-function compiled regexes + static facts for rule 11."""
+
+    def __init__(self, fn: FunctionIR):
+        self.fn = fn
+        texts = [s.text for s in C.walk_stmts(fn.sir)]
+        body = "\n".join(texts)
+        # Slots whose future is taken in this function: these are the
+        # creator pattern (submit()). On an exception edge the local
+        # future dies with the frame — nobody observes the unresolved
+        # promise — so creators are exempt from exception-leak findings.
+        self.creators = {
+            m.group(1) for m in re.finditer(
+                r"\b(\w+)\s*(?:\.|->)\s*promise\s*(?:\.|->)"
+                r"\s*get_future\s*\(", body)}
+
+    def set_value_re(self, name: str):
+        return re.compile(rf"\b{name}\b\s*(?:\.|->)\s*promise\s*"
+                          rf"(?:\.|->)\s*set_value\s*\(")
+
+    def move_re(self, name: str):
+        return re.compile(rf"std\s*::\s*move\s*\(\s*\*?\s*{name}\s*\)")
+
+    def try_push_re(self, name: str):
+        return re.compile(rf"\btry_push\s*\(\s*{name}\s*\)")
+
+    def arm_re(self, name: str):
+        # The promise becomes observable: moved in from a live request,
+        # the whole object assigned/move-initialised, or get_future
+        # taken. A default-constructed slot stays inert until then.
+        return re.compile(
+            rf"\b{name}\b\s*(?:\.|->)\s*promise\s*="
+            rf"|^{name}\s*=\s*std\s*::\s*move\s*\("
+            rf"|\b{name}\b\s*(?:\.|->)\s*promise\s*(?:\.|->)"
+            rf"\s*get_future\s*\(")
+
+
+def _r11_step(stmt, state: dict, rules: _SlotRules, sink=None):
+    """Apply one statement to {name: frozenset(status)}; when `sink` is
+    given (replay pass), emit double-resolve findings at the resolving
+    statement."""
+    text = stmt.text
+    state = dict(state)
+
+    def resolve(name: str):
+        s = state[name]
+        if "E" in s:
+            return  # conditional-transfer API owns the contract now
+        if sink is not None and "R" in s:
+            definite = s == frozenset("R")
+            sink(stmt, name, definite)
+        state[name] = frozenset("R")
+
+    # Range-for bindings alias container-owned elements and shadow any
+    # earlier slot of the same name: stop tracking the name.
+    m = _RANGEFOR_BIND_RE.match(text) if stmt.kind == "cond" else None
+    if m:
+        state.pop(m.group(2), None)
+        return state
+
+    # Events against already-tracked slots, oldest obligation first.
+    for name in list(state):
+        used = re.search(rf"\b{name}\b", text)
+        if not used:
+            continue
+        if rules.arm_re(name).search(text) and "I" in state[name]:
+            state[name] = (state[name] - {"I"}) | {"U"}
+        if rules.set_value_re(name).search(text):
+            resolve(name)
+        elif rules.move_re(name).search(text):
+            resolve(name)
+        elif rules.try_push_re(name).search(text):
+            state[name] = frozenset("E")
+
+    # Declarations (gen) — after move processing so that
+    # `Job fwd = std::move(*job);` resolves job before generating fwd.
+    m = _DECL_RE.match(text)
+    if m and stmt.kind == "expr":
+        name = m.group(2)
+        armed = ("std::move" in text.replace(" ", "")
+                 or name in rules.creators)
+        state[name] = frozenset("U" if armed else "I")
+    else:
+        m = _OPT_DECL_RE.match(text)
+        if m and stmt.kind == "expr" and _POP_RHS_RE.search(m.group(2)):
+            state[m.group(1)] = frozenset("U")
+    return state
+
+
+def _r11_edge(stmt, kind: str, state: dict) -> dict:
+    if stmt.kind != "cond":
+        return state
+    text = stmt.text
+    m = _COND_POP_DECL_RE.match(text)
+    if m:
+        state = dict(state)
+        if kind in ("true", "back"):
+            state[m.group(1)] = frozenset("U")  # loop iteration owns one
+        else:
+            state.pop(m.group(1), None)  # queue closed: no slot
+        return state
+    m = _HAS_VALUE_NEG_RE.match(text)
+    if m and kind == "true" and m.group(1) in state:
+        state = dict(state)
+        state.pop(m.group(1))  # proven empty on this edge
+        return state
+    m = _HAS_VALUE_POS_RE.match(text)
+    if m and kind == "false" and m.group(1) in state:
+        state = dict(state)
+        state.pop(m.group(1))
+        return state
+    return state
+
+
+def _freeze(state: dict) -> frozenset:
+    return frozenset(state.items())
+
+
+def _thaw(state) -> dict:
+    return dict(state)
+
+
+def check_definite_outcome(functions, throwing: set, line_text) -> list:
+    out: list = []
+    seen: set = set()
+
+    def emit(rel, line, message, fix):
+        key = (rel, line, message)
+        if key in seen:
+            return
+        seen.add(key)
+        out.append(Finding("definite-outcome", rel, line, message,
+                           text=line_text(rel, line), fix=fix))
+
+    for fn in functions:
+        rules = _SlotRules(fn)
+        params = _owned_params(fn.params)
+        has_locals = any(
+            _DECL_RE.match(s.text) or _OPT_DECL_RE.match(s.text)
+            or _COND_POP_DECL_RE.match(s.text)
+            for s in C.walk_stmts(fn.sir))
+        if not params and not has_locals:
+            continue
+        graph = C.lower(fn.sir, throws=_throws_pred(throwing))
+        init = _freeze({name: frozenset("U") for name in params})
+
+        def transfer(stmt, state):
+            return _freeze(_r11_step(stmt, _thaw(state), rules))
+
+        def edge_transfer(stmt, kind, state):
+            return _freeze(_r11_edge(stmt, kind, _thaw(state)))
+
+        def join(states):
+            merged: dict = {}
+            for st in states:
+                for name, status in st:
+                    merged[name] = merged.get(name, frozenset()) | status
+            return _freeze(merged)
+
+        result = D.run_forward(graph, init, transfer, join, edge_transfer)
+
+        def sink(stmt, name, definite):
+            how = ("is already resolved" if definite
+                   else "may already be resolved")
+            emit(fn.rel, stmt.line,
+                 f"outcome slot '{name}' {how} when this statement "
+                 f"resolves it again (double-resolve in "
+                 f"{fn.name}())",
+                 fix="resolve each promise exactly once per path")
+
+        D.replay(graph, result, lambda stmt, state: _freeze(
+            _r11_step(stmt, _thaw(state), rules, sink)))
+
+        for edge in result.exit_edges:
+            for name, status in sorted(_thaw(edge.state).items()):
+                if "U" not in status:
+                    continue
+                where = ("the early-return path"
+                         if edge.kind == "return" else "the path")
+                line = edge.stmt.line if edge.stmt else fn.end_line
+                some = "" if status == frozenset("U") else " on some path"
+                emit(fn.rel, line,
+                     f"outcome slot '{name}' leaks{some} on {where} "
+                     f"exiting {fn.name}() here — its promise is never "
+                     f"resolved",
+                     fix="resolve or hand off the slot before returning")
+        for edge in result.exc_edges:
+            callee = _throwing_callee(edge.stmt, throwing)
+            for name, status in sorted(_thaw(edge.state).items()):
+                if "U" not in status or name in rules.creators:
+                    continue
+                emit(fn.rel, edge.stmt.line,
+                     f"outcome slot '{name}' leaks from {fn.name}() if "
+                     f"'{callee}' throws here — no handler resolves it",
+                     fix="wrap in try/catch and resolve the promise "
+                         "before rethrowing or recovering")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rule 12: ledger-balance-paths
+# ---------------------------------------------------------------------------
+#
+# 12a (call sites): obligation lattice subset of {N, P1, PB, D} — no
+# commit / single-query commit pending / batch commit pending /
+# discharged. A receiver call to schedule() commits clock time (P1),
+# schedule_batch() commits a whole batch (PB). Handing the job onward or
+# rolling back discharges (D). decide() advances no clock for a
+# shed-at-admission or rejected placement, so the true-edge of a
+# `placement.shed_at_admission` / `.rejected` test discharges a P1
+# commit (a batch commit still covers the *other* admitted queries and
+# stays pending). Report paths that exit with a commit definitely
+# pending, and exception edges where one may be pending.
+
+_COMMIT_BATCH_RE = re.compile(r"[.>]\s*schedule_batch\s*\(")
+_COMMIT_ONE_RE = re.compile(r"[.>]\s*schedule\s*\(")
+_SHED_REJECT_EDGE_RE = re.compile(
+    r"(?<![!\w])\w+\s*(?:\.|->)\s*(?:shed_at_admission|rejected)\b")
+# Direct discharges: rolling the ledger back, queueing the work (route/
+# enqueue — from there runtime feedback balances the clocks), running it
+# inline to completion (the on_*_completed feedback hooks of the
+# synchronous plane), or resolving the outcome (shed/reject paths, where
+# schedule() itself never advanced the clocks). Counting set_value as a
+# whole-obligation discharge over-approximates for batches that resolve
+# one promise and abandon the rest — the exception/early-return leaks
+# this rule exists for never resolve anything, so the blind spot is
+# acceptable and documented.
+_DISCHARGE_SEEDS = frozenset({
+    "rollback_batch", "on_shed", "route", "enqueue", "resolve_unrun",
+    "resolve_exhausted", "resolve_unadmitted", "set_value",
+    "on_completed", "on_translation_completed",
+})
+
+
+def discharging_names(functions) -> set:
+    """Seeds plus every scanned function that calls one — so helper
+    wrappers (resolve_unrun calls on_shed) discharge transitively."""
+    names = set(_DISCHARGE_SEEDS)
+    changed = True
+    while changed:
+        changed = False
+        for fn in functions:
+            if fn.name in names:
+                continue
+            for stmt in C.walk_stmts(fn.sir):
+                if _called_names(stmt.text) & names:
+                    names.add(fn.name)
+                    changed = True
+                    break
+    return names
+
+
+# 12b (scheduler members): the families each all-paths rollback member
+# must subtract on every path. on_shed()'s dispatch share is legitimately
+# conditional (only GPU-queue sheds crossed the launch stage), so it is
+# excluded there; rollback_batch() inverts a whole-batch commit and owes
+# every family. clock_for() writes count as cpu+gpu, matching rule 1.
+ALL_PATH_FAMILIES = {
+    "on_shed": ("cpu", "gpu", "translation"),
+    "rollback_batch": ("cpu", "gpu", "translation", "dispatch"),
+}
+_SCHEDULER_FILE = "src/sched/scheduler.cpp"
+_SCHEDULER_CLASS = "QueueingScheduler"
+
+
+def _ledger_mutations(text: str):
+    try:
+        from .rules_ast import _ledger_mutations as f
+    except ImportError:
+        from rules_ast import _ledger_mutations as f
+    return f(text)
+
+
+def check_ledger_balance_paths(functions, throwing: set,
+                               line_text) -> list:
+    out: list = []
+    seen: set = set()
+
+    def emit(rel, line, message, fix):
+        key = (rel, line, message)
+        if key in seen:
+            return
+        seen.add(key)
+        out.append(Finding("ledger-balance-paths", rel, line, message,
+                           text=line_text(rel, line), fix=fix))
+
+    discharging = discharging_names(functions)
+
+    # --- 12a: commit obligations at scheduler call sites -------------
+    pending = {"P1", "PB"}
+    for fn in functions:
+        stmts = C.walk_stmts(fn.sir)
+        if not any(_COMMIT_ONE_RE.search(s.text)
+                   or _COMMIT_BATCH_RE.search(s.text) for s in stmts):
+            continue
+        graph = C.lower(fn.sir, throws=_throws_pred(throwing))
+
+        def transfer(stmt, state):
+            if _COMMIT_BATCH_RE.search(stmt.text):
+                return frozenset({"PB"})
+            if _COMMIT_ONE_RE.search(stmt.text):
+                return frozenset({"P1"})
+            if _called_names(stmt.text) & discharging:
+                if state & pending:
+                    return (state - pending) | {"D"}
+            return state
+
+        def edge_transfer(stmt, kind, state):
+            if (stmt.kind == "cond" and kind == "true"
+                    and "P1" in state
+                    and _SHED_REJECT_EDGE_RE.search(stmt.text)):
+                return (state - {"P1"}) | {"D"}
+            return state
+
+        def join(states):
+            merged: frozenset = frozenset()
+            for st in states:
+                merged = merged | st
+            return merged
+
+        result = D.run_forward(graph, frozenset("N"), transfer, join,
+                               edge_transfer)
+        for edge in result.exit_edges:
+            if edge.state and edge.state <= pending:
+                line = edge.stmt.line if edge.stmt else fn.end_line
+                emit(fn.rel, line,
+                     f"{fn.name}() exits here with a schedule() clock "
+                     f"commit neither queued nor rolled back on this "
+                     f"path",
+                     fix="route the job or roll the commit back before "
+                         "returning")
+        for edge in result.exc_edges:
+            if edge.state & pending:
+                callee = _throwing_callee(edge.stmt, throwing)
+                emit(fn.rel, edge.stmt.line,
+                     f"schedule() clock commit in {fn.name}() leaks if "
+                     f"'{callee}' throws here — the ledger stays "
+                     f"advanced for work that never runs",
+                     fix="catch, roll back the commit (rollback_batch/"
+                         "on_shed) and resolve the outcome")
+
+    # --- 12b: all-paths family subtraction inside the scheduler ------
+    for fn in functions:
+        if (fn.rel != _SCHEDULER_FILE or fn.cls != _SCHEDULER_CLASS
+                or fn.name not in ALL_PATH_FAMILIES):
+            continue
+        required = set(ALL_PATH_FAMILIES[fn.name])
+        subtracted_anywhere = {
+            fam for s in C.walk_stmts(fn.sir)
+            for _, fam, op in _ledger_mutations(s.text) if op == "-="}
+        # Families never subtracted at all belong to rules 1/7; this
+        # rule owns the some-paths-but-not-all blind spot.
+        required &= subtracted_anywhere
+        if not required:
+            continue
+        graph = C.lower(fn.sir, assume_loops_entered=True)
+
+        def transfer(stmt, state):
+            fams = {fam for _, fam, op in _ledger_mutations(stmt.text)
+                    if op == "-="}
+            return state | frozenset(fams)
+
+        def join(states):
+            merged = None
+            for st in states:
+                merged = st if merged is None else (merged & st)
+            return merged if merged is not None else frozenset()
+
+        result = D.run_forward(graph, frozenset(), transfer, join)
+        for edge in result.exit_edges:
+            for fam in sorted(required - set(edge.state)):
+                line = edge.stmt.line if edge.stmt else fn.end_line
+                emit(fn.rel, line,
+                     f"{fn.name}() subtracts the {fam} clock on some "
+                     f"paths but not on the path exiting here — the "
+                     f"ledger unbalances",
+                     fix="make the family rollback unconditional or "
+                         "roll back before every exit")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rule 13: repartition-invalidation
+# ---------------------------------------------------------------------------
+#
+# State: {name: {'live'} | {'stale'} | both}. A reference/iterator bind
+# whose initialiser reads catalog state goes live; any call that may
+# apply() a RepartitionDecision marks every live binding stale; a use of
+# a stale binding is the finding. Re-binding from the catalog revives.
+
+_CATALOG_SRC_RE = re.compile(r"catalog")
+_REF_BIND_RE = re.compile(
+    r"^(?:const\s+)?[A-Za-z_][\w:<>,\s]*&\s*(\w+)\s*=\s*(.+)$")
+_ITER_BIND_RE = re.compile(r"^auto\s+(\w+)\s*=\s*(.+)$")
+_INVALIDATE_DIRECT_RE = re.compile(
+    r"\bapply_repartition\s*\(|[.>]\s*apply\s*\(")
+
+
+def invalidating_names(functions) -> set:
+    """Functions that (transitively) may apply a RepartitionDecision."""
+    names: set = set()
+    changed = True
+    while changed:
+        changed = False
+        for fn in functions:
+            if fn.name in names:
+                continue
+            for stmt in C.walk_stmts(fn.sir):
+                if (_INVALIDATE_DIRECT_RE.search(stmt.text)
+                        or (_called_names(stmt.text) & names)):
+                    names.add(fn.name)
+                    changed = True
+                    break
+    return names
+
+
+def check_repartition_invalidation(functions, throwing: set,
+                                   line_text) -> list:
+    out: list = []
+    seen: set = set()
+
+    def emit(rel, line, message, fix):
+        key = (rel, line, message)
+        if key in seen:
+            return
+        seen.add(key)
+        out.append(Finding("repartition-invalidation", rel, line, message,
+                           text=line_text(rel, line), fix=fix))
+
+    invalidating = invalidating_names(functions)
+
+    def invalidates(text: str) -> bool:
+        return bool(_INVALIDATE_DIRECT_RE.search(text)
+                    or (_called_names(text) & invalidating))
+
+    def binds(text: str):
+        m = _REF_BIND_RE.match(text)
+        if m and _CATALOG_SRC_RE.search(m.group(2)):
+            return m.group(1)
+        m = _ITER_BIND_RE.match(text)
+        if (m and _CATALOG_SRC_RE.search(m.group(2))
+                and re.search(r"\.(?:begin|end|find)\s*\(", m.group(2))):
+            return m.group(1)
+        return None
+
+    for fn in functions:
+        stmts = C.walk_stmts(fn.sir)
+        if not any(binds(s.text) for s in stmts):
+            continue
+        if not any(invalidates(s.text) for s in stmts):
+            continue
+        graph = C.lower(fn.sir, throws=_throws_pred(throwing))
+
+        def step(stmt, state: dict, report: bool):
+            text = stmt.text
+            state = dict(state)
+            if report:
+                for name, status in sorted(state.items()):
+                    if "stale" in status and re.search(
+                            rf"\b{name}\b", text):
+                        some = ("" if status == frozenset({"stale"})
+                                else " on some path")
+                        emit(fn.rel, stmt.line,
+                             f"'{name}' refers to DeviceCatalog/"
+                             f"partition state captured before a "
+                             f"repartition apply(){some} — stale after "
+                             f"the catalog changed",
+                             fix="re-read the catalog after apply() "
+                                 "instead of holding the reference "
+                                 "across it")
+            if invalidates(text):
+                for name in state:
+                    state[name] = frozenset({"stale"})
+            bound = binds(text)
+            if bound:
+                state[bound] = frozenset({"live"})
+            return state
+
+        def transfer(stmt, state):
+            return _freeze(step(stmt, _thaw(state), False))
+
+        def join(states):
+            merged: dict = {}
+            for st in states:
+                for name, status in st:
+                    merged[name] = merged.get(name, frozenset()) | status
+            return _freeze(merged)
+
+        result = D.run_forward(graph, _freeze({}), transfer, join)
+        D.replay(graph, result, lambda stmt, state: _freeze(
+            step(stmt, _thaw(state), True)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Engine-neutral entry point
+# ---------------------------------------------------------------------------
+
+
+def analyze_functions(functions, rules, line_text) -> list:
+    """Run the named dataflow rules over FunctionIR records. `line_text`
+    is `(rel, line) -> str` for finding context (either engine's source
+    cache)."""
+    throwing = may_throw_names(functions)
+    out: list = []
+    if "definite-outcome" in rules:
+        out.extend(check_definite_outcome(functions, throwing, line_text))
+    if "ledger-balance-paths" in rules:
+        out.extend(check_ledger_balance_paths(functions, throwing,
+                                              line_text))
+    if "repartition-invalidation" in rules:
+        out.extend(check_repartition_invalidation(functions, throwing,
+                                                  line_text))
+    return out
+
+
+def run_text_rules(ctx, rules) -> list:
+    """Text-engine driver: build FunctionIR from the Context's source
+    trees (cached on the Context) and analyze."""
+    if not hasattr(ctx, "_dataflow"):
+        files = ctx.files(*DATAFLOW_SCOPES)
+        functions = build_text_functions(files)
+        by_rel = {rel: sf for rel, sf in files}
+
+        def line_text(rel: str, line: int) -> str:
+            sf = by_rel.get(rel)
+            return sf.line_text(line) if sf is not None else ""
+
+        ctx._dataflow = (functions, line_text)
+    functions, line_text = ctx._dataflow
+    return analyze_functions(functions, rules, line_text)

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Merge BENCH_*.json outputs into one trend artifact and gate drift.
+
+The benches (bench_multi_gpu, bench_sustained_ingest, ...) each write a
+machine-readable BENCH_<name>.json next to the build. Those files are
+committed, so the copy at HEAD is the accepted baseline. This script
+
+  1. collects every BENCH_*.json under --dir (default: cwd),
+  2. flattens each to dotted numeric metrics (rows become rows.N.key),
+  3. diffs against the committed baseline (``git show HEAD:<file>``),
+  4. writes a single merged trajectory artifact (--out bench-trend.json),
+  5. exits 1 if any throughput-like metric (qps, speedup) dropped, or
+     any latency-like metric (*_ms, p50/p99) rose, by more than
+     --threshold (default 0.20 = 20%), or if a bench reports pass=false.
+
+Metrics that are neither throughput- nor latency-like (row counts,
+configuration echo like producers/queries) are carried in the artifact
+for plotting but never gated. A bench with no committed baseline (first
+run) is recorded with "baseline": null and not gated.
+
+Usage:
+  scripts/bench_trend.py                       # gate vs HEAD, cwd
+  scripts/bench_trend.py --threshold 0.5       # looser gate
+  scripts/bench_trend.py --out trend.json --dir build
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+
+def flatten(obj, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested json value, with dotted keys."""
+    out: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            out.update(flatten(v, f"{prefix}{k}."))
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            out.update(flatten(v, f"{prefix}{i}."))
+    elif isinstance(obj, bool):
+        pass  # pass/verdict flags are handled separately, not as metrics
+    elif isinstance(obj, (int, float)):
+        out[prefix[:-1]] = float(obj)
+    return out
+
+
+def direction(key: str) -> str:
+    """'up' = higher is better, 'down' = lower is better, '' = ungated."""
+    leaf = key.rsplit(".", 1)[-1]
+    if "qps" in leaf or "speedup" in leaf:
+        return "up"
+    if leaf.endswith("_ms") or leaf.startswith(("p50", "p99")):
+        return "down"
+    return ""
+
+
+def baseline_blob(repo: pathlib.Path, rel: str) -> dict | None:
+    """The committed version of a bench file, or None if untracked."""
+    proc = subprocess.run(
+        ["git", "-C", str(repo), "show", f"HEAD:{rel}"],
+        capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def diff_bench(current: dict, base: dict | None,
+               threshold: float) -> tuple[dict, list[str]]:
+    """(per-metric trend record, list of regression descriptions)."""
+    cur = flatten(current)
+    old = flatten(base) if base is not None else {}
+    metrics: dict[str, dict] = {}
+    regressions: list[str] = []
+    for key in sorted(cur):
+        entry = {"value": cur[key]}
+        dirn = direction(key)
+        if dirn:
+            entry["direction"] = dirn
+        if key in old:
+            entry["baseline"] = old[key]
+            if old[key] != 0:
+                ratio = cur[key] / old[key]
+                entry["ratio"] = round(ratio, 4)
+                if dirn == "up" and ratio < 1.0 - threshold:
+                    regressions.append(
+                        f"{key}: {old[key]:g} -> {cur[key]:g} "
+                        f"({(1 - ratio) * 100:.1f}% drop)")
+                elif dirn == "down" and ratio > 1.0 + threshold:
+                    regressions.append(
+                        f"{key}: {old[key]:g} -> {cur[key]:g} "
+                        f"({(ratio - 1) * 100:.1f}% rise)")
+        metrics[key] = entry
+    if current.get("pass") is False:
+        regressions.append("bench reports pass=false (its own gate)")
+    return metrics, regressions
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--dir", type=pathlib.Path,
+                        default=pathlib.Path("."),
+                        help="directory holding BENCH_*.json (default: .)")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("bench-trend.json"),
+                        help="merged trajectory artifact path")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional drift that fails the gate "
+                             "(default: 0.20 = 20%%)")
+    args = parser.parse_args(argv)
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    paths = sorted(glob.glob(str(args.dir / "BENCH_*.json")))
+    if not paths:
+        print(f"bench-trend: no BENCH_*.json under {args.dir}",
+              file=sys.stderr)
+        return 2
+
+    benches: dict[str, dict] = {}
+    all_regressions: list[str] = []
+    for path in paths:
+        name = pathlib.Path(path).name
+        try:
+            current = json.loads(pathlib.Path(path).read_text())
+        except json.JSONDecodeError as e:
+            print(f"bench-trend: {name}: unparseable ({e})",
+                  file=sys.stderr)
+            return 2
+        # Baseline is the committed copy at the repo root, regardless of
+        # where the fresh run wrote its file.
+        base = baseline_blob(repo, name)
+        metrics, regressions = diff_bench(current, base, args.threshold)
+        benches[name] = {
+            "bench": current.get("bench", name),
+            "pass": current.get("pass"),
+            "baseline": None if base is None else "HEAD",
+            "metrics": metrics,
+            "regressions": regressions,
+        }
+        all_regressions.extend(f"{name}: {r}" for r in regressions)
+
+    head = subprocess.run(
+        ["git", "-C", str(repo), "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True, check=False).stdout.strip()
+    artifact = {
+        "baseline_commit": head or None,
+        "threshold": args.threshold,
+        "benches": benches,
+        "regressions": all_regressions,
+    }
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n",
+                        encoding="utf-8")
+
+    gated = sum(1 for b in benches.values()
+                for m in b["metrics"].values()
+                if "direction" in m and "baseline" in m)
+    for r in all_regressions:
+        print(f"bench-trend: REGRESSION {r}", file=sys.stderr)
+    if all_regressions:
+        print(f"\nbench-trend: {len(all_regressions)} regression(s) "
+              f"beyond {args.threshold:.0%}; artifact: {args.out}",
+              file=sys.stderr)
+        return 1
+    print(f"bench-trend: OK ({len(benches)} bench file(s), {gated} gated "
+          f"metric(s), drift < {args.threshold:.0%}; artifact: {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -227,7 +227,15 @@ std::future<ExecutionReport> AsyncHybridExecutor::submit(Query q) {
   }
   if (FaultInjector* fault = fault_.load()) {
     // The shutdown-race window: after scheduling, before the enqueue.
-    fault->run_submit_hook();
+    try {
+      fault->run_submit_hook();
+    } catch (const std::exception&) {
+      // A throwing hook models a crash between the ledger commit and the
+      // enqueue: roll the placement back and resolve typed instead of
+      // leaking the commit (and the caller's future) with the exception.
+      resolve_unrun(std::move(job), ExecutionOutcome::kFailed, kNoCounter);
+      return future;
+    }
   }
   route(std::move(job));
   return future;
@@ -324,7 +332,14 @@ void AsyncHybridExecutor::admit(std::vector<IngestRequest> batch) {
 
   if (FaultInjector* fault = fault_.load()) {
     // The shutdown-race window: after the batch committed, before routing.
-    fault->run_submit_hook();
+    try {
+      fault->run_submit_hook();
+    } catch (const std::exception&) {
+      // A throwing hook models a crash mid-admission: the batch commit
+      // and every admitted promise must still settle.
+      fail_admitted(placed, admitted);
+      return;
+    }
   }
   if (down_.load()) {
     // Shutdown raced the whole batch: return its clocks in ONE motion —
@@ -332,18 +347,7 @@ void AsyncHybridExecutor::admit(std::vector<IngestRequest> batch) {
     // admitted placements; shed/rejected never committed) — and resolve
     // every admitted promise typed. No per-job on_shed here: that would
     // subtract the same load twice.
-    {
-      MutexLock lock(scheduler_mutex_);
-      scheduler_locked().rollback_batch(placed);
-    }
-    for (Job& job : admitted) {
-      ExecutionReport report;
-      report.outcome = ExecutionOutcome::kFailed;
-      report.queue = job.placement.queue;
-      report.estimated_processing = job.placement.processing_est;
-      report.before_deadline_estimate = job.placement.before_deadline;
-      job.promise.set_value(std::move(report));
-    }
+    fail_admitted(placed, admitted);
     return;
   }
 
@@ -369,7 +373,16 @@ void AsyncHybridExecutor::admit(std::vector<IngestRequest> batch) {
   if (!to_translate.empty()) {
     const Seconds trans_start = clock_.elapsed();
     WallTimer timer;
-    system_->translate_batch(to_translate);
+    try {
+      system_->translate_batch(to_translate);
+    } catch (const std::exception&) {
+      // The dictionary pass died after the batch commit: subtract the
+      // whole commit in one motion and fail every admitted promise
+      // typed — the aggregator thread driving this path has no caller
+      // to throw to.
+      fail_admitted(placed, admitted);
+      return;
+    }
     const Seconds took = timer.elapsed();
     const Seconds trans_end = clock_.elapsed();
     if (!charged.empty()) {
@@ -405,6 +418,26 @@ void AsyncHybridExecutor::admit(std::vector<IngestRequest> batch) {
   // Translated jobs route straight to their GPU partitions; the serial
   // translation-worker hop is not needed on this path.
   for (Job& job : admitted) route(std::move(job));
+}
+
+void AsyncHybridExecutor::fail_admitted(const BatchPlacement& placed,
+                                        std::vector<Job>& admitted) {
+  // Whole-batch failure between commit and routing: rollback_batch
+  // subtracts exactly what schedule_batch committed (shed/rejected
+  // placements never committed), and every admitted promise resolves
+  // typed. No per-job on_shed here: that would subtract the load twice.
+  {
+    MutexLock lock(scheduler_mutex_);
+    scheduler_locked().rollback_batch(placed);
+  }
+  for (Job& job : admitted) {
+    ExecutionReport report;
+    report.outcome = ExecutionOutcome::kFailed;
+    report.queue = job.placement.queue;
+    report.estimated_processing = job.placement.processing_est;
+    report.before_deadline_estimate = job.placement.before_deadline;
+    job.promise.set_value(std::move(report));
+  }
 }
 
 void AsyncHybridExecutor::route(Job job) {
@@ -635,36 +668,49 @@ void AsyncHybridExecutor::cpu_worker() {
         continue;
       }
     }
-    ExecutionReport report;
-    report.queue = job->placement.queue;
-    report.estimated_processing = job->placement.processing_est;
-    report.before_deadline_estimate = job->placement.before_deadline;
-    // Queue wait between placement and the partition picking the job up.
-    record_span(job->id, SpanKind::kDispatch, job->stage_enqueued_at,
-                clock_.elapsed(), job->placement.queue,
-                job->placement.response_est, Seconds{}, Seconds{});
-    // CPU-path text parameters translate inline (hashed path), outside
-    // the translation partition — §III-F: translation is a GPU-side need.
-    // It still costs wall time, so it is timed and traced like any other
-    // translation, just after the dispatch span instead of before it.
-    if (job->query.needs_translation()) {
-      const Seconds trans_start = clock_.elapsed();
-      WallTimer trans_timer;
-      system_->translate(job->query);
-      report.translation_time = trans_timer.elapsed();
-      record_span(job->id, SpanKind::kTranslate, trans_start,
+    try {
+      ExecutionReport report;
+      report.queue = job->placement.queue;
+      report.estimated_processing = job->placement.processing_est;
+      report.before_deadline_estimate = job->placement.before_deadline;
+      // Queue wait between placement and the partition picking the job up.
+      record_span(job->id, SpanKind::kDispatch, job->stage_enqueued_at,
                   clock_.elapsed(), job->placement.queue,
                   job->placement.response_est, Seconds{}, Seconds{});
+      // CPU-path text parameters translate inline (hashed path), outside
+      // the translation partition — §III-F: translation is a GPU-side
+      // need. It still costs wall time, so it is timed and traced like
+      // any other translation, just after the dispatch span instead of
+      // before it.
+      if (job->query.needs_translation()) {
+        const Seconds trans_start = clock_.elapsed();
+        WallTimer trans_timer;
+        system_->translate(job->query);
+        report.translation_time = trans_timer.elapsed();
+        record_span(job->id, SpanKind::kTranslate, trans_start,
+                    clock_.elapsed(), job->placement.queue,
+                    job->placement.response_est, Seconds{}, Seconds{});
+      }
+      const Seconds exec_start = clock_.elapsed();
+      WallTimer timer;
+      report.answer = system_->cubes().answer(
+          job->query, system_->config().cpu_threads);
+      report.measured_processing = timer.elapsed();
+      record_span(job->id, SpanKind::kExecute, exec_start,
+                  clock_.elapsed(), job->placement.queue,
+                  job->placement.response_est, Seconds{}, Seconds{});
+      finish(std::move(*job), std::move(report));
+    } catch (const std::exception&) {
+      // A data-dependent translation/execution failure must not kill the
+      // worker thread (std::terminate would take every in-flight promise
+      // with it): debit the depth gauge, roll the placement back, and
+      // resolve this one promise typed.
+      {
+        MutexLock lock(counters_mutex_);
+        counters_[0].on_failed();
+      }
+      resolve_unrun(std::move(*job), ExecutionOutcome::kFailed, kNoCounter);
     }
-    const Seconds exec_start = clock_.elapsed();
-    WallTimer timer;
-    report.answer = system_->cubes().answer(job->query,
-                                            system_->config().cpu_threads);
-    report.measured_processing = timer.elapsed();
-    record_span(job->id, SpanKind::kExecute, exec_start, clock_.elapsed(),
-                job->placement.queue, job->placement.response_est, Seconds{},
-                Seconds{});
-    finish(std::move(*job), std::move(report));
   }
 }
 
@@ -676,7 +722,19 @@ void AsyncHybridExecutor::translation_worker() {
     const Seconds estimated = job->placement.translation_est;
     const Seconds trans_start = clock_.elapsed();
     WallTimer timer;
-    system_->translate(job->query);
+    try {
+      system_->translate(job->query);
+    } catch (const std::exception&) {
+      // Translation failed on request data: the job never reaches its
+      // GPU queue, so return its clocks (processing AND the pending
+      // translation share) and resolve typed — the worker keeps serving.
+      {
+        MutexLock lock(counters_mutex_);
+        counters_[1].on_failed();
+      }
+      resolve_unrun(std::move(*job), ExecutionOutcome::kFailed, kNoCounter);
+      continue;
+    }
     const Seconds took = timer.elapsed();
     record_span(job->id, SpanKind::kTranslate, trans_start,
                 clock_.elapsed(), job->placement.queue,
@@ -717,25 +775,36 @@ void AsyncHybridExecutor::gpu_worker(int queue) {
         continue;
       }
     }
-    ExecutionReport report;
-    report.queue = job->placement.queue;
-    report.estimated_processing = job->placement.processing_est;
-    report.before_deadline_estimate = job->placement.before_deadline;
-    report.translated = job->placement.translate;
-    report.translation_time = job->placement.translate
-                                  ? job->placement.translation_est
-                                  : Seconds{};
-    record_span(job->id, SpanKind::kDispatch, job->stage_enqueued_at,
-                clock_.elapsed(), job->placement.queue,
-                job->placement.response_est, Seconds{}, Seconds{});
-    const Seconds exec_start = clock_.elapsed();
-    const GpuExecution exec = system_->device().execute(queue, job->query);
-    report.answer = exec.answer;
-    report.measured_processing = exec.modeled_seconds;
-    record_span(job->id, SpanKind::kExecute, exec_start, clock_.elapsed(),
-                job->placement.queue, job->placement.response_est, Seconds{},
-                Seconds{});
-    finish(std::move(*job), std::move(report));
+    try {
+      ExecutionReport report;
+      report.queue = job->placement.queue;
+      report.estimated_processing = job->placement.processing_est;
+      report.before_deadline_estimate = job->placement.before_deadline;
+      report.translated = job->placement.translate;
+      report.translation_time = job->placement.translate
+                                    ? job->placement.translation_est
+                                    : Seconds{};
+      record_span(job->id, SpanKind::kDispatch, job->stage_enqueued_at,
+                  clock_.elapsed(), job->placement.queue,
+                  job->placement.response_est, Seconds{}, Seconds{});
+      const Seconds exec_start = clock_.elapsed();
+      const GpuExecution exec =
+          system_->device().execute(queue, job->query);
+      report.answer = exec.answer;
+      report.measured_processing = exec.modeled_seconds;
+      record_span(job->id, SpanKind::kExecute, exec_start,
+                  clock_.elapsed(), job->placement.queue,
+                  job->placement.response_est, Seconds{}, Seconds{});
+      finish(std::move(*job), std::move(report));
+    } catch (const std::exception&) {
+      // Same contract as the CPU worker: a throwing execution resolves
+      // one promise typed instead of terminating the process.
+      {
+        MutexLock lock(counters_mutex_);
+        counters_[counter_slot({QueueRef::kGpu, queue}, false)].on_failed();
+      }
+      resolve_unrun(std::move(*job), ExecutionOutcome::kFailed, kNoCounter);
+    }
   }
 }
 

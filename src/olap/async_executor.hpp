@@ -190,6 +190,13 @@ class AsyncHybridExecutor : public BatchAdmitter {
   void resolve_unrun(Job job, ExecutionOutcome outcome,
                      std::size_t counter_index);
 
+  /// Whole-batch failure between schedule_batch()'s commit and routing
+  /// (shutdown race, throwing submit hook, failed dictionary pass):
+  /// subtract the batch commit in one rollback_batch() and resolve every
+  /// admitted promise kFailed.
+  void fail_admitted(const BatchPlacement& placed,
+                     std::vector<Job>& admitted);
+
   /// Enqueue under the configured capacity/overflow policy; resolves the
   /// displaced or rejected job itself. `counter_index` is the counter
   /// slot of `queue`; `arrival_shed_outcome` types a turned-away arrival

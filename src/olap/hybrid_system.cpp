@@ -151,7 +151,18 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
   if (working.needs_translation()) {
     const Seconds trans_start = clock_.elapsed();
     WallTimer t;
-    translate(working);
+    try {
+      translate(working);
+    } catch (const std::exception&) {
+      // schedule() committed clocks for work that now cannot run: roll
+      // the whole placement back (processing plus any pending
+      // translation share) before the error escapes, or later
+      // placements carry phantom load.
+      policy_->on_shed(placement.queue, placement.processing_est,
+                       placement.translate ? placement.translation_est
+                                           : Seconds{});
+      throw;
+    }
     report.translation_time = t.elapsed();
     report.translated = placement.translate;
     record(SpanKind::kTranslate, trans_start, clock_.elapsed(),
@@ -163,15 +174,22 @@ ExecutionReport HybridOlapSystem::execute(const Query& q) {
   const Seconds exec_start = clock_.elapsed();
   record(SpanKind::kDispatch, exec_start, exec_start, placement.queue,
          placement.response_est, Seconds{}, Seconds{});
-  if (placement.queue.kind == QueueRef::kCpu) {
-    WallTimer t;
-    report.answer = cubes_.answer(working, config_.cpu_threads);
-    report.measured_processing = t.elapsed();
-  } else {
-    const GpuExecution exec =
-        device_.execute(placement.queue.index, working);
-    report.answer = exec.answer;
-    report.measured_processing = exec.modeled_seconds;
+  try {
+    if (placement.queue.kind == QueueRef::kCpu) {
+      WallTimer t;
+      report.answer = cubes_.answer(working, config_.cpu_threads);
+      report.measured_processing = t.elapsed();
+    } else {
+      const GpuExecution exec =
+          device_.execute(placement.queue.index, working);
+      report.answer = exec.answer;
+      report.measured_processing = exec.modeled_seconds;
+    }
+  } catch (const std::exception&) {
+    // Translation (if any) already happened; only the processing commit
+    // is phantom load now.
+    policy_->on_shed(placement.queue, placement.processing_est, Seconds{});
+    throw;
   }
   record(SpanKind::kExecute, exec_start, clock_.elapsed(),
          placement.queue, placement.response_est, Seconds{}, Seconds{});

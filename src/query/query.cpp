@@ -58,6 +58,15 @@ void validate_query(const Query& q, const std::vector<Dimension>& dims,
           static_cast<std::int32_t>(dim.level(c.level).cardinality);
       HOLAP_REQUIRE(c.from >= 0 && c.to < card && c.from <= c.to,
                     "condition range out of bounds for level");
+    } else {
+      // Text parameters only translate against a dict-encoded column.
+      // Admission is the last point with a caller to throw to: past it
+      // the query runs on a worker thread, where the translators'
+      // data-dependent HOLAP_REQUIRE would have no handler.
+      const int col = schema.dimension_column(c.dim, c.level);
+      HOLAP_REQUIRE(schema.column(col).encoding ==
+                        ValueEncoding::kDictEncodedText,
+                    "text parameters on a non-text column");
     }
   }
   for (int m : q.measures) {

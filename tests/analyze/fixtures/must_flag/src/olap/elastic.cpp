@@ -1,0 +1,12 @@
+// Fixture: repartition-invalidation. A reference into the device
+// catalog survives an apply() and is read afterwards — apply_repartition
+// drains, rewrites widths and re-places, so the binding is stale.
+namespace holap {
+
+int Elastic::rebalance(const RepartitionDecision& d) {
+  const DevicePartition& part = catalog_->device(d.keeper);
+  scheduler_->apply_repartition(d);
+  return part.sm_share;  // stale: apply() rewrote the catalog entry
+}
+
+}  // namespace holap

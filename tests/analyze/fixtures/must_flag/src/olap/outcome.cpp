@@ -1,0 +1,62 @@
+// Fixture: path-sensitive outcome/ledger violations. A promise slot
+// leaked on an early return, leaked across an exception edge, resolved
+// twice (definitely and on-some-path), and a schedule() clock commit
+// abandoned both on a gated return and on a throwing call.
+#include <future>
+#include <utility>
+
+namespace holap {
+
+// Early-return leak: the rejected path exits without resolving.
+void Outcome::resolve_unrun(Job job, ExecutionOutcome outcome) {
+  if (outcome == ExecutionOutcome::kRejected) {
+    ++rejected_;
+    return;  // job.promise never resolves on this path
+  }
+  ExecutionReport report;
+  report.outcome = outcome;
+  job.promise.set_value(std::move(report));
+}
+
+// Definite double-resolve: straight-line second set_value.
+void Outcome::resolve_twice(Job job) {
+  ExecutionReport report;
+  job.promise.set_value(std::move(report));
+  job.promise.set_value(std::move(report));
+}
+
+// May-double-resolve: the shed branch resolves, then the tail resolves
+// again — double on the branch path, fine on the other.
+void Outcome::resolve_shed(Job job) {
+  ExecutionReport report;
+  if (shed_) {
+    job.promise.set_value(std::move(report));
+  }
+  job.promise.set_value(std::move(report));
+}
+
+// Exception-edge leak: translate() throws on bad text parameters and
+// the popped job's promise dies with the worker thread.
+void Outcome::worker() {
+  while (auto job = queue_.pop()) {
+    system_->translate(job->query);
+    finish(std::move(*job));
+  }
+}
+
+// Commit leaked on a path: the hook can throw after schedule()
+// committed, and the gated branch returns without routing or rollback.
+std::future<ExecutionReport> Outcome::submit(Query q) {
+  Job job;
+  job.query = std::move(q);
+  std::future<ExecutionReport> future = job.promise.get_future();
+  job.placement = scheduler_->schedule(job.query, now_);
+  fault_->run_submit_hook();
+  if (paused_) {
+    return future;  // schedule() commit neither queued nor rolled back
+  }
+  route(std::move(job));
+  return future;
+}
+
+}  // namespace holap

@@ -17,6 +17,7 @@ Placement QueueingScheduler::schedule(const Query& q, Seconds now) {
 
 void QueueingScheduler::on_shed(QueueRef ref, Seconds est) {
   clock_for(ref) -= est;   // rollback: cpu/gpu
+  if (est == Seconds{}) return;  // skips the translation share below
   trans_clock_ -= est;     // rollback: translation — dispatch is missing
 }
 

@@ -1,0 +1,18 @@
+// Fixture: catalog access around repartition apply() that must pass —
+// reads re-issued after the apply, or completed strictly before it.
+namespace holap {
+
+int Elastic::rebalance(const RepartitionDecision& d) {
+  scheduler_->apply_repartition(d);
+  const DevicePartition& part = catalog_->device(d.keeper);
+  return part.sm_share;
+}
+
+int Elastic::width_before(const RepartitionDecision& d) {
+  const DevicePartition& part = catalog_->device(d.keeper);
+  const int width = part.sm_share;  // read completes before apply()
+  scheduler_->apply_repartition(d);
+  return width;
+}
+
+}  // namespace holap

@@ -1,0 +1,69 @@
+// Fixture: path-sensitive outcome/ledger shapes the rules must accept —
+// every path resolves exactly once, exception edges land in handlers
+// that resolve, a try_push transfer is conditional, an empty optional
+// carries no obligation, and clock commits discharge on all paths.
+#include <future>
+#include <utility>
+
+namespace holap {
+
+// All paths resolve exactly once.
+void Outcome::resolve_unrun(Job job, ExecutionOutcome outcome) {
+  ExecutionReport report;
+  report.outcome = outcome;
+  if (outcome == ExecutionOutcome::kRejected) ++rejected_;
+  job.promise.set_value(std::move(report));
+}
+
+// The worker catches data-dependent failures and resolves typed.
+void Outcome::worker() {
+  while (auto job = queue_.pop()) {
+    try {
+      system_->translate(job->query);
+      finish(std::move(*job));
+    } catch (const std::exception&) {
+      resolve_unrun(std::move(*job), ExecutionOutcome::kFailed);
+    }
+  }
+}
+
+// Conditional transfer: try_push may keep or return the job — after the
+// handoff both a resolving branch and a clean exit are fine.
+void Outcome::enqueue(Job job) {
+  if (queue_.try_push(job)) return;
+  resolve_unrun(std::move(job), ExecutionOutcome::kShedInQueue);
+}
+
+// An empty optional is not an obligation: the has_value() guard kills
+// the slot on the early-return edge.
+void Outcome::aggregate() {
+  auto first = queue_.pop_for(timeout_);
+  if (!first.has_value()) return;
+  route(std::move(*first));
+}
+
+// The commit discharges on every path, including the exception edge
+// (decide() stages nothing for a rejected placement, so that early
+// return owes the ledger nothing).
+std::future<ExecutionReport> Outcome::submit(Query q) {
+  Job job;
+  job.query = std::move(q);
+  std::future<ExecutionReport> future = job.promise.get_future();
+  job.placement = scheduler_->schedule(job.query, now_);
+  if (job.placement.rejected) {
+    ExecutionReport report;
+    report.outcome = ExecutionOutcome::kRejected;
+    job.promise.set_value(std::move(report));
+    return future;
+  }
+  try {
+    fault_->run_submit_hook();
+  } catch (const std::exception&) {
+    resolve_unrun(std::move(job), ExecutionOutcome::kFailed);
+    return future;
+  }
+  route(std::move(job));
+  return future;
+}
+
+}  // namespace holap

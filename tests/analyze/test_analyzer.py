@@ -47,6 +47,8 @@ class MustFlagFixtures(unittest.TestCase):
             "clock-ledger", "batch-ledger", "enum-exhaustive",
             "bounded-queue", "unit-escape", "span-lifecycle",
             "retry-bound", "lock-order", "blocking", "waitnotify",
+            "definite-outcome", "ledger-balance-paths",
+            "repartition-invalidation",
         })
 
     def test_abba_deadlock_prints_both_witness_paths(self):

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Unit tests for the SIR parser and CFG lowering in scripts/analyze/cfg
+plus the forward-dataflow fixpoint in dataflow.py. These pin the block
+and edge shapes every path-sensitive rule depends on: if/else joins,
+loop back-edges (both normal and assume-loops-entered form), switch
+dispatch with fallthrough, early returns, break/continue, and the
+conservative exception edges into catch handlers or EXC_EXIT. Everything
+runs on in-memory sources, no fixture tree needed."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "scripts" / "analyze"))
+
+import cfg  # noqa: E402
+import dataflow  # noqa: E402
+from cfg import EXC_EXIT, EXIT, If, Loop, Seq, Stmt, Switch, Try  # noqa: E402
+
+
+def parse(body: str) -> Seq:
+    """SIR for a braced function body given as plain source text."""
+    text = "void f() " + body
+    open_pos = text.index("{")
+
+    def line_of(offset: int) -> int:
+        return text.count("\n", 0, offset) + 1
+
+    from cppmodel import match_brace
+    return cfg.parse_function(text, open_pos, match_brace(text, open_pos),
+                              line_of)
+
+
+def edges(graph: cfg.CFG) -> set:
+    """Every (src, dst, kind) edge of the CFG."""
+    return {(b.bid, dst, kind)
+            for b in graph.blocks.values() for dst, kind in b.succs}
+
+
+def edges_into(graph: cfg.CFG, target: int) -> list:
+    return [(b.bid, kind)
+            for b in graph.blocks.values() for dst, kind in b.succs
+            if dst == target]
+
+
+def stmt_block(graph: cfg.CFG, needle: str) -> cfg.Block:
+    """The unique block containing a statement whose text has `needle`."""
+    hits = [b for b in graph.blocks.values()
+            if any(needle in s.text for s in b.stmts)]
+    assert len(hits) == 1, f"{needle!r} in {len(hits)} blocks"
+    return hits[0]
+
+
+class ParserShapes(unittest.TestCase):
+    def test_if_else_and_leaf_kinds(self):
+        sir = parse("{ int x = 0; if (x > 0) { return; } else { x = 1; } }")
+        self.assertEqual([type(n) for n in sir.children], [Stmt, If])
+        node = sir.children[1]
+        self.assertEqual(node.cond.text, "x > 0")
+        self.assertEqual(node.then.children[0].kind, "return")
+        self.assertEqual(node.orelse.children[0].kind, "expr")
+
+    def test_unbraced_bodies_and_line_numbers(self):
+        sir = parse("{\n  if (a)\n    return;\n  b();\n}")
+        node = sir.children[0]
+        self.assertEqual(node.then.children[0].line, 3)
+        self.assertIsNone(node.orelse)
+        self.assertEqual(sir.children[1].line, 4)
+
+    def test_loop_kinds(self):
+        sir = parse("{ while (a) {} for (int i = 0; i < n; ++i) {} "
+                    "for (auto& x : xs) {} do { a(); } while (b); }")
+        kinds = [n.kind for n in sir.children if isinstance(n, Loop)]
+        self.assertEqual(kinds, ["while", "for", "rangefor", "dowhile"])
+
+    def test_switch_groups_and_default(self):
+        sir = parse("{ switch (k) { case A: case B: a(); break; "
+                    "default: b(); } }")
+        node = sir.children[0]
+        self.assertIsInstance(node, Switch)
+        self.assertTrue(node.has_default)
+        self.assertEqual([labels for labels, _ in node.groups],
+                         [["A", "B"], ["default"]])
+
+    def test_try_with_two_handlers(self):
+        sir = parse("{ try { a(); } catch (const X& e) { b(); } "
+                    "catch (...) { c(); } }")
+        node = sir.children[0]
+        self.assertIsInstance(node, Try)
+        self.assertEqual(len(node.handlers), 2)
+        self.assertEqual(node.body.children[0].text, "a()")
+
+    def test_lambda_semicolons_do_not_split_statement(self):
+        sir = parse("{ run([] { x(); y(); }); z(); }")
+        self.assertEqual(len(sir.children), 2)
+        self.assertIn("x(); y();", sir.children[0].text)
+
+    def test_walk_and_outside_try(self):
+        sir = parse("{ a(); try { b(); } catch (...) { c(); } d(); }")
+        self.assertEqual([s.text for s in cfg.walk_stmts(sir)],
+                         ["a()", "b()", "c()", "d()"])
+        # b() is protected; the handler body and everything else is not.
+        self.assertEqual([s.text for s in cfg.stmts_outside_try(sir)],
+                         ["a()", "c()", "d()"])
+
+
+class LoweringShapes(unittest.TestCase):
+    def test_if_else_joins(self):
+        g = cfg.lower(parse("{ if (p) { a(); } else { b(); } c(); }"))
+        cond = stmt_block(g, "p")
+        then_b = stmt_block(g, "a()")
+        else_b = stmt_block(g, "b()")
+        join = stmt_block(g, "c()")
+        e = edges(g)
+        self.assertIn((cond.bid, then_b.bid, "true"), e)
+        self.assertIn((cond.bid, else_b.bid, "false"), e)
+        self.assertIn((then_b.bid, join.bid, "fall"), e)
+        self.assertIn((else_b.bid, join.bid, "fall"), e)
+        self.assertIn((join.bid, EXIT, "fall"), e)
+
+    def test_if_without_else_falls_to_join(self):
+        g = cfg.lower(parse("{ if (p) { a(); } c(); }"))
+        cond = stmt_block(g, "p")
+        join = stmt_block(g, "c()")
+        self.assertIn((cond.bid, join.bid, "false"), edges(g))
+
+    def test_while_head_true_false_and_back_edge(self):
+        g = cfg.lower(parse("{ while (p) { a(); } c(); }"))
+        head = stmt_block(g, "p")
+        body = stmt_block(g, "a()")
+        after = stmt_block(g, "c()")
+        e = edges(g)
+        self.assertIn((head.bid, body.bid, "true"), e)
+        self.assertIn((head.bid, after.bid, "false"), e)
+        self.assertIn((body.bid, head.bid, "back"), e)
+
+    def test_assume_loops_entered_is_body_first(self):
+        g = cfg.lower(parse("{ while (p) { a(); } c(); }"),
+                      assume_loops_entered=True)
+        head = stmt_block(g, "p")
+        body = stmt_block(g, "a()")
+        e = edges(g)
+        # Body precedes the condition: body falls into the head, the head
+        # loops back — there is no edge that skips the body entirely.
+        self.assertIn((body.bid, head.bid, "fall"), e)
+        self.assertIn((head.bid, body.bid, "back"), e)
+        self.assertNotIn((head.bid, body.bid, "true"), e)
+        into_body = {kind for src, kind in edges_into(g, body.bid)}
+        self.assertEqual(into_body, {"fall", "back"})
+
+    def test_dowhile_is_body_first_without_the_flag(self):
+        g = cfg.lower(parse("{ do { a(); } while (p); c(); }"))
+        head = stmt_block(g, "p")
+        body = stmt_block(g, "a()")
+        self.assertIn((head.bid, body.bid, "back"), edges(g))
+        self.assertIn((body.bid, head.bid, "fall"), edges(g))
+
+    def test_break_and_continue_edges(self):
+        g = cfg.lower(parse(
+            "{ while (p) { if (q) break; if (r) continue; a(); } c(); }"))
+        head = stmt_block(g, "p")
+        after = stmt_block(g, "c()")
+        brk = stmt_block(g, "break")
+        cont = stmt_block(g, "continue")
+        e = edges(g)
+        self.assertIn((brk.bid, after.bid, "break"), e)
+        self.assertIn((cont.bid, head.bid, "continue"), e)
+
+    def test_switch_dispatch_fallthrough_and_no_default_bypass(self):
+        g = cfg.lower(parse("{ switch (sel) { case A: a(); case B: b(); "
+                            "break; } c(); }"))
+        disp = stmt_block(g, "sel")
+        a_b = stmt_block(g, "a()")
+        b_b = stmt_block(g, "b()")
+        after = stmt_block(g, "c()")
+        e = edges(g)
+        self.assertIn((disp.bid, a_b.bid, "case"), e)
+        self.assertIn((disp.bid, b_b.bid, "case"), e)
+        self.assertIn((a_b.bid, b_b.bid, "fall"), e)  # fallthrough A -> B
+        # No default: the dispatch can bypass every group.
+        self.assertIn((disp.bid, after.bid, "case"), e)
+
+    def test_early_return_reaches_exit(self):
+        g = cfg.lower(parse("{ if (p) { return; } a(); }"))
+        ret = stmt_block(g, "return")
+        self.assertIn((ret.bid, EXIT, "return"), edges(g))
+
+    def test_throwing_stmt_gets_exc_edge_to_exc_exit(self):
+        g = cfg.lower(parse("{ a(); risky(); b(); }"),
+                      throws=lambda s: "risky" in s.text)
+        risky = stmt_block(g, "risky")
+        e = edges(g)
+        self.assertIn((risky.bid, EXC_EXIT, "exc"), e)
+        # The throwing call still falls through on the normal path.
+        after = stmt_block(g, "b()")
+        self.assertIn((risky.bid, after.bid, "fall"), e)
+
+    def test_exc_edge_lands_in_nearest_catch_handler(self):
+        g = cfg.lower(parse("{ try { risky(); } catch (...) { h(); } "
+                            "c(); }"), throws=lambda s: "risky" in s.text)
+        risky = stmt_block(g, "risky")
+        handler = stmt_block(g, "h()")
+        join = stmt_block(g, "c()")
+        e = edges(g)
+        self.assertIn((risky.bid, handler.bid, "exc"), e)
+        self.assertNotIn((risky.bid, EXC_EXIT, "exc"), e)
+        self.assertIn((handler.bid, join.bid, "fall"), e)
+
+    def test_explicit_throw_terminates_the_block(self):
+        g = cfg.lower(parse("{ if (p) { throw X{}; } a(); }"))
+        thr = stmt_block(g, "throw")
+        self.assertIn((thr.bid, EXC_EXIT, "exc"), edges(g))
+        # A throw never falls through to the statement after it.
+        kinds = {kind for _, kind in thr.succs}
+        self.assertEqual(kinds, {"exc"})
+
+
+class ForwardDataflow(unittest.TestCase):
+    """The fixpoint framework on a tiny assigned-names analysis."""
+
+    @staticmethod
+    def analysis(body: str, **lower_kwargs):
+        g = cfg.lower(parse(body), **lower_kwargs)
+
+        def transfer(stmt, state):
+            if "=" in stmt.text and stmt.kind == "expr":
+                return state | {stmt.text.split("=")[0].strip()}
+            return state
+
+        return g, dataflow.run_forward(
+            g, init=frozenset(), transfer=transfer,
+            join=lambda states: frozenset().union(*states))
+
+    def test_branches_union_at_the_join(self):
+        _, res = self.analysis("{ if (p) { x = 1; } else { y = 2; } "
+                               "return; }")
+        (exit_edge,) = [e for e in res.exit_edges if e.kind == "return"]
+        self.assertEqual(exit_edge.state, {"x", "y"})
+
+    def test_loop_body_facts_reach_the_exit(self):
+        _, res = self.analysis("{ while (p) { x = 1; } return; }")
+        (exit_edge,) = [e for e in res.exit_edges if e.kind == "return"]
+        # May-analysis: the zero-trip path keeps the empty set, the
+        # through-body path adds x; union survives the back-edge fixpoint.
+        self.assertEqual(exit_edge.state, {"x"})
+
+    def test_exc_edge_carries_pre_terminator_state(self):
+        g = cfg.lower(parse("{ x = 1; risky(); return; }"),
+                      throws=lambda s: "risky" in s.text)
+
+        def transfer(stmt, state):
+            if stmt.text.startswith("x ="):
+                return state | {"x"}
+            if "risky" in stmt.text:
+                return state | {"risky-ran"}
+            return state
+
+        res = dataflow.run_forward(
+            g, init=frozenset(), transfer=transfer,
+            join=lambda states: frozenset().union(*states))
+        (exc,) = res.exc_edges
+        self.assertEqual(exc.state, {"x"})  # not {'x', 'risky-ran'}
+        (ret,) = [e for e in res.exit_edges if e.kind == "return"]
+        self.assertEqual(ret.state, {"x", "risky-ran"})
+
+    def test_edge_transfer_refines_one_branch(self):
+        g = cfg.lower(parse("{ if (!x) { a(); } b(); return; }"))
+
+        def edge_transfer(stmt, kind, state):
+            if stmt.kind == "cond" and stmt.text == "!x" and kind == "true":
+                return state - {"x"}
+            return state
+
+        res = dataflow.run_forward(
+            g, init=frozenset({"x"}), transfer=lambda s, st: st,
+            join=lambda states: frozenset().union(*states),
+            edge_transfer=edge_transfer)
+        then_b = stmt_block(g, "a()")
+        self.assertEqual(res.block_in[then_b.bid], frozenset())
+        # The join below sees both branches again.
+        join_b = stmt_block(g, "b()")
+        self.assertEqual(res.block_in[join_b.bid], {"x"})
+
+    def test_replay_visits_with_converged_in_state(self):
+        g, res = self.analysis("{ x = 1; if (p) { y = 2; } z(); return; }")
+        seen = {}
+
+        def visit(stmt, state):
+            seen[stmt.text] = state
+            if "=" in stmt.text and stmt.kind == "expr":
+                return state | {stmt.text.split("=")[0].strip()}
+            return state
+
+        dataflow.replay(g, res, visit)
+        self.assertEqual(seen["x = 1"], frozenset())
+        self.assertEqual(seen["y = 2"], {"x"})
+        self.assertEqual(seen["z()"], {"x", "y"})
+
+
+if __name__ == "__main__":
+    unittest.main()

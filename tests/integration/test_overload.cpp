@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "obs/export.hpp"
@@ -380,6 +381,71 @@ TEST(Overload, MixedBurstAlwaysResolvesTyped) {
   EXPECT_EQ(completed, executor.completed());
   EXPECT_EQ(shed, executor.shed());
   EXPECT_EQ(completed + shed, 120u);  // nothing rejected or failed here
+}
+
+TEST(Overload, ThrowingSubmitHookResolvesFailedAndRollsBack) {
+  HybridOlapSystem system = make_cpu_system();
+  AsyncHybridExecutor executor(system);
+  FaultInjector fault;
+  executor.set_fault_injector(&fault);
+  // A hook that throws models a crash between schedule()'s clock commit
+  // and the enqueue: the caller's future must still settle and the
+  // commit must come back off the ledger.
+  fault.set_submit_hook(
+      [] { throw std::runtime_error("crash in the race window"); });
+  const ExecutionReport report = executor.submit(cheap_query()).get();
+  EXPECT_EQ(report.outcome, ExecutionOutcome::kFailed);
+  const auto* sched =
+      dynamic_cast<const QueueingScheduler*>(&system.scheduler());
+  ASSERT_NE(sched, nullptr);
+  // on_shed() ran: the commit is off the ledger (the exact arithmetic
+  // is pinned by tests/sched/test_scheduler.cpp; the clock keeps only
+  // the idle advance to `now`, so exact-zero is not assertable here).
+  EXPECT_EQ(sched->counters().shed_in_queue, 1u);
+  // The executor keeps serving once the fault clears.
+  fault.set_submit_hook({});
+  EXPECT_EQ(executor.submit(cheap_query()).get().outcome,
+            ExecutionOutcome::kCompleted);
+}
+
+TEST(Overload, ThrowingSubmitHookFailsWholeBatchTyped) {
+  HybridOlapSystem system = make_cpu_system();
+  AsyncHybridExecutor executor(system);
+  FaultInjector fault;
+  executor.set_fault_injector(&fault);
+  fault.set_submit_hook(
+      [] { throw std::runtime_error("crash mid-admission"); });
+  std::vector<Query> batch(4, cheap_query());
+  auto futures = executor.submit_batch(std::move(batch));
+  ASSERT_EQ(futures.size(), 4u);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().outcome, ExecutionOutcome::kFailed);
+  }
+  const auto* sched =
+      dynamic_cast<const QueueingScheduler*>(&system.scheduler());
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->cpu_clock(), Seconds{});  // one rollback_batch undid it
+  fault.set_submit_hook({});
+  EXPECT_EQ(executor.submit(cheap_query()).get().outcome,
+            ExecutionOutcome::kCompleted);
+}
+
+TEST(Overload, TextParametersOnANonTextColumnRejectedAtAdmission) {
+  HybridOlapSystem system = make_cpu_system();
+  AsyncHybridExecutor executor(system);
+  Query q;
+  // Dimension 0 level 0 is a plain integer column in this schema: text
+  // parameters against it can never translate, so admission must refuse
+  // the query while there is still a caller to throw to — past this
+  // point it would detonate on a worker thread with no handler.
+  q.conditions.push_back({0, 0, 0, 0, {"no-such-member"}, {}});
+  q.measures = {12};
+  EXPECT_THROW(executor.submit(q), InvalidArgument);
+  // The batch front-end has no caller to throw to: it resolves typed.
+  std::vector<Query> batch{q};
+  auto futures = executor.submit_batch(std::move(batch));
+  ASSERT_EQ(futures.size(), 1u);
+  EXPECT_EQ(futures[0].get().outcome, ExecutionOutcome::kRejected);
 }
 
 }  // namespace
